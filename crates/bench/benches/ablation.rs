@@ -1,0 +1,65 @@
+//! Ablation: Fourier–Motzkin **with vs. without integer tightening**
+//! (§3.2's extension of Fourier's method).
+//!
+//! The summary printed at startup shows, per program, how many goals each
+//! variant proves: `bcopy` *requires* tightening (its tail-loop bound
+//! `0 ≤ 4·(n div 4)` is only integer-valid), reproducing the paper's remark
+//! that the tightening transformation "is used in type-checking an
+//! optimized byte copy function".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dml::experiments::{bench_source, benchmarks};
+use dml::pipeline::compile_with_options;
+use dml_solver::system::FourierOptions;
+use dml_solver::SolverOptions;
+use std::hint::black_box;
+
+fn options(tighten: bool) -> SolverOptions {
+    SolverOptions {
+        fourier: FourierOptions { tighten, ..FourierOptions::default() },
+        ..SolverOptions::default()
+    }
+}
+
+fn print_summary() {
+    println!("\n=== Ablation: integer tightening on/off ===");
+    println!("{:<14} {:>14} {:>14}", "program", "verified+T", "verified-T");
+    for b in benchmarks() {
+        let src = bench_source(&b.program);
+        let with = compile_with_options(&src, options(true)).expect("compiles");
+        let without = compile_with_options(&src, options(false)).expect("compiles");
+        println!(
+            "{:<14} {:>14} {:>14}",
+            b.program.name,
+            if with.fully_verified() { "yes" } else { "NO" },
+            if without.fully_verified() { "yes" } else { "NO" },
+        );
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_summary();
+    let mut group = c.benchmark_group("ablation_tightening");
+    group.sample_size(10);
+    for b in benchmarks() {
+        let src = bench_source(&b.program);
+        for (label, tighten) in [("with", true), ("without", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(b.program.name, label),
+                &tighten,
+                |bencher, &tighten| {
+                    bencher.iter(|| {
+                        let compiled =
+                            compile_with_options(black_box(&src), options(tighten))
+                                .expect("compiles");
+                        black_box(compiled.stats().solver.fm_combinations)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Shared helpers for the Criterion benchmark harness; the benches live in
+//! `benches/` and regenerate the paper's tables and figures. See
+//! `EXPERIMENTS.md` at the repository root.

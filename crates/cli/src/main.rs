@@ -1,0 +1,175 @@
+//! `dmlc` — command-line driver for the dml-rs pipeline.
+//!
+//! ```text
+//! dmlc check <file.dml>        type-check; report proven/unproven checks
+//! dmlc constraints <file.dml>  print every generated constraint
+//! dmlc run <file.dml> <fun> [ints...]   run a function on integer args
+//! dmlc figure4                 print the paper's Figure 4 constraints
+//! dmlc table <1|2|3> [factor]  regenerate a table of the evaluation
+//! ```
+
+use dml::experiments;
+use dml::{compile, Mode, Value};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => with_file(&args, check),
+        Some("constraints") => with_file(&args, constraints),
+        Some("run") => run(&args),
+        Some("figure4") => {
+            for line in experiments::figure4() {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("table") => table(&args),
+        _ => {
+            eprintln!(
+                "usage: dmlc <check|constraints|run|figure4|table> ...\n\
+                 \n\
+                 dmlc check <file.dml>\n\
+                 dmlc constraints <file.dml>\n\
+                 dmlc run <file.dml> <fun> [ints...]\n\
+                 dmlc figure4\n\
+                 dmlc table <1|2|3> [factor]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_file(args: &[String], f: impl Fn(&str) -> ExitCode) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("missing file argument");
+        return ExitCode::FAILURE;
+    };
+    match std::fs::read_to_string(path) {
+        Ok(src) => f(&src),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(src: &str) -> ExitCode {
+    match compile(src) {
+        Ok(compiled) => {
+            let stats = compiled.stats();
+            println!(
+                "{} constraints generated ({} goals), {:.1} ms generation, {:.1} ms solving",
+                stats.constraints,
+                stats.goals,
+                stats.generation_time.as_secs_f64() * 1e3,
+                stats.solve_time.as_secs_f64() * 1e3,
+            );
+            println!(
+                "proven check sites: {}; unproven: {}",
+                compiled.proven_sites().len(),
+                compiled.unproven_sites().len()
+            );
+            for (site, con) in compiled.match_warnings() {
+                println!(
+                    "warning: match at {site} may not be exhaustive (constructor `{con}` \
+                     not provably impossible)"
+                );
+            }
+            if compiled.fully_verified() {
+                println!("fully verified: all run-time checks at proven sites are eliminated");
+                ExitCode::SUCCESS
+            } else {
+                println!("NOT fully verified; unproven obligations:\n");
+                print!("{}", compiled.explain_failures(src));
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn constraints(src: &str) -> ExitCode {
+    match compile(src) {
+        Ok(compiled) => {
+            for (o, r) in compiled.obligations() {
+                println!("{o}  [{}]", if r.is_valid() { "valid" } else { "NOT PROVEN" });
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let (Some(path), Some(fun)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: dmlc run <file.dml> <fun> [ints...]");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compile(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ints = Vec::new();
+    for a in &args[3..] {
+        match a.parse::<i64>() {
+            Ok(n) => ints.push(Value::Int(n)),
+            Err(_) => {
+                eprintln!("argument `{a}` is not an integer");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let call_args = match ints.len() {
+        0 => vec![Value::Unit],
+        1 => ints,
+        _ => vec![Value::Tuple(std::rc::Rc::new(ints))],
+    };
+    let mut machine = compiled.machine(Mode::Eliminated);
+    match machine.call(fun, call_args) {
+        Ok(v) => {
+            println!("{v}");
+            println!(
+                "checks: {} executed, {} eliminated",
+                machine.counters.executed(),
+                machine.counters.eliminated()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn table(args: &[String]) -> ExitCode {
+    let which = args.get(1).map(String::as_str).unwrap_or("1");
+    let factor: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    match which {
+        "1" => print!("{}", experiments::table1_rendered()),
+        "2" => print!("{}", experiments::table_rendered(&experiments::table2(factor))),
+        "3" => print!("{}", experiments::table_rendered(&experiments::table3(factor))),
+        other => {
+            eprintln!("unknown table `{other}` (expected 1, 2, or 3)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,98 @@
+//! Integration tests driving the `dmlc` binary end to end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn dmlc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dmlc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dmlc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const GOOD: &str = r#"
+fun first(v) = sub(v, 0)
+where first <| {n:nat | n > 0} int array(n) -> int
+fun make(k) = array(k, 7)
+where make <| {k:nat} int(k) -> int array(k)
+fun demo(k) = first(array(k, 7))
+where demo <| {k:nat | k > 0} int(k) -> int
+"#;
+
+const BAD: &str = r#"
+fun oops(v) = sub(v, length v)
+where oops <| {n:nat} int array(n) -> int
+"#;
+
+#[test]
+fn check_reports_verified() {
+    let path = write_temp("good.dml", GOOD);
+    let out = dmlc().arg("check").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("fully verified"), "{stdout}");
+}
+
+#[test]
+fn check_reports_failures_with_explanations() {
+    let path = write_temp("bad.dml", BAD);
+    let out = dmlc().arg("check").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success());
+    assert!(stdout.contains("NOT fully verified"), "{stdout}");
+    assert!(stdout.contains("cannot prove"), "{stdout}");
+    assert!(stdout.contains("sub(v, length v)"), "snippet shown: {stdout}");
+}
+
+#[test]
+fn run_executes_a_function() {
+    let path = write_temp("run.dml", GOOD);
+    let out = dmlc().args(["run"]).arg(&path).args(["demo", "5"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.lines().next().unwrap().trim() == "7", "{stdout}");
+    assert!(stdout.contains("eliminated"), "{stdout}");
+}
+
+#[test]
+fn constraints_lists_obligations() {
+    let path = write_temp("cons.dml", GOOD);
+    let out = dmlc().arg("constraints").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("array bound check for `sub`"), "{stdout}");
+    assert!(stdout.contains("[valid]"), "{stdout}");
+}
+
+#[test]
+fn figure4_prints_constraints() {
+    let out = dmlc().arg("figure4").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("forall"), "{stdout}");
+    assert!(stdout.contains("valid"), "{stdout}");
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let out = dmlc().output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+    let out = dmlc().args(["table", "9"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_file_reported() {
+    let out = dmlc().args(["check", "/nonexistent/xyz.dml"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -1,0 +1,42 @@
+//! `dml` — a Rust reproduction of *Eliminating Array Bound Checking
+//! Through Dependent Types* (Xi & Pfenning, PLDI 1998).
+//!
+//! The crate ties the pipeline together:
+//!
+//! ```text
+//! source ─parse→ AST ─phase 1 (ML inference)→ ─phase 2 (dependent
+//! elaboration)→ obligations ─solve (Fourier–Motzkin + tightening)→
+//! proven sites ─compile→ interpreter with checks eliminated
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use dml::{compile, Mode};
+//! use dml_eval::Value;
+//!
+//! let src = r#"
+//! fun first(v) = sub(v, 0)
+//! where first <| {n:nat | n > 0} int array(n) -> int
+//! "#;
+//! let compiled = compile(src).expect("pipeline runs");
+//! assert!(compiled.fully_verified());
+//! assert_eq!(compiled.proven_sites().len(), 1);
+//!
+//! let mut machine = compiled.machine(Mode::Eliminated);
+//! let v = Value::int_array([7, 8, 9]);
+//! let r = machine.call("first", vec![v]).expect("runs");
+//! assert_eq!(r.as_int(), Some(7));
+//! assert_eq!(machine.counters.array_checks_eliminated, 1);
+//! ```
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's §4 evaluation; see `EXPERIMENTS.md` at the repository root for
+//! the comparison against the published numbers.
+
+pub mod experiments;
+pub mod pipeline;
+pub mod table;
+
+pub use dml_eval::{CheckConfig, Counters, Machine, Mode, Value};
+pub use pipeline::{compile, compile_with_options, Compiled, CompileStats, PipelineError};

@@ -1,0 +1,369 @@
+//! The compilation pipeline: parse → phase-1 ML inference → phase-2
+//! dependent elaboration → constraint solving → check elimination.
+
+use dml_elab::{elaborate, ElabOutput, Obligation};
+use dml_eval::{CheckConfig, Machine, Mode};
+use dml_solver::{GoalResult, Solver, SolverOptions};
+use dml_syntax::ast as sast;
+use dml_syntax::Span;
+use dml_types::builtins::{base_env, check_kind};
+use dml_types::env::Env;
+use dml_types::infer::infer_program;
+use dml_index::VarGen;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A hard front-end failure (parse, environment, phase-1, phase-2).
+/// Unproven constraints are *not* errors — they appear in
+/// [`Compiled::failures`] and simply keep their checks at run time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Lexical or syntactic error.
+    Parse(dml_syntax::ParseError),
+    /// `datatype`/`typeref`/`assert` processing error.
+    Env(String, Span),
+    /// Phase-1 ML type error.
+    Infer(String, Span),
+    /// Phase-2 elaboration error.
+    Elab(String, Span),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "{e}"),
+            PipelineError::Env(m, s) => write!(f, "environment error at {s}: {m}"),
+            PipelineError::Infer(m, s) => write!(f, "type error at {s}: {m}"),
+            PipelineError::Elab(m, s) => write!(f, "elaboration error at {s}: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Timing and counting statistics of one compilation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Proof obligations generated (the paper's "constraints generated").
+    pub constraints: usize,
+    /// Solver goals examined (obligations split into atomic sequents).
+    pub goals: usize,
+    /// Time spent generating constraints (parse + phase 1 + phase 2).
+    pub generation_time: Duration,
+    /// Time spent solving constraints.
+    pub solve_time: Duration,
+    /// Aggregated solver statistics.
+    pub solver: dml_solver::SolverStats,
+}
+
+/// The result of compiling a program.
+#[derive(Debug)]
+pub struct Compiled {
+    program: sast::Program,
+    env: Env,
+    obligations: Vec<(Obligation, GoalResult)>,
+    proven_sites: HashSet<Span>,
+    fully_verified: bool,
+    stats: CompileStats,
+    top_level: HashMap<String, dml_types::ty::Scheme>,
+}
+
+impl Compiled {
+    /// The parsed program.
+    pub fn program(&self) -> &sast::Program {
+        &self.program
+    }
+
+    /// The type environment (with prelude and program declarations).
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Every obligation with its proof result.
+    pub fn obligations(&self) -> &[(Obligation, GoalResult)] {
+        &self.obligations
+    }
+
+    /// Obligations that were not proven (including exhaustiveness
+    /// warnings; see [`Compiled::match_warnings`] for just those).
+    pub fn failures(&self) -> impl Iterator<Item = &(Obligation, GoalResult)> {
+        self.obligations.iter().filter(|(_, r)| !r.is_valid())
+    }
+
+    /// Non-exhaustive `case` expressions whose missing constructors could
+    /// not be proven impossible under the index constraints. A refined
+    /// match like `case (s : 'a stack(n) | n >= 2) of PUSH(_, PUSH(_, r))`
+    /// produces *no* warning — the refinement proves the other arms dead.
+    pub fn match_warnings(&self) -> Vec<(Span, String)> {
+        self.obligations
+            .iter()
+            .filter_map(|(o, r)| match (&o.kind, r) {
+                (dml_elab::ObKind::Unreachable { con }, r) if !r.is_valid() => {
+                    Some((o.site, con.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `true` if every obligation was proven — the program dependently
+    /// type-checks and all `sub`/`update`/`nth` sites compile unchecked.
+    pub fn fully_verified(&self) -> bool {
+        self.fully_verified
+    }
+
+    /// The call sites whose run-time checks are eliminated.
+    pub fn proven_sites(&self) -> &HashSet<Span> {
+        &self.proven_sites
+    }
+
+    /// Check-primitive call sites that could *not* be proven (their checks
+    /// stay at run time even in eliminated mode).
+    pub fn unproven_sites(&self) -> HashSet<Span> {
+        let mut all: HashSet<Span> = self
+            .obligations
+            .iter()
+            .filter(|(o, _)| o.kind.is_check())
+            .map(|(o, _)| o.site)
+            .collect();
+        all.retain(|s| !self.proven_sites.contains(s));
+        all
+    }
+
+    /// Compilation statistics.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Dependent schemes of the top-level bindings.
+    pub fn top_level(&self) -> &HashMap<String, dml_types::ty::Scheme> {
+        &self.top_level
+    }
+
+    /// Renders every unproven obligation as a source-anchored diagnostic
+    /// (the paper's §6 "more informative error messages" future work).
+    pub fn explain_failures(&self, src: &str) -> String {
+        let mut out = String::new();
+        for (ob, r) in self.failures() {
+            let reason = match r {
+                GoalResult::Valid => unreachable!("failures() filters valid results"),
+                GoalResult::NotProven(why) => why.to_string(),
+            };
+            out.push_str(&dml_elab::explain(ob, &reason, src));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Builds an interpreter in the given mode (proven sites are passed
+    /// through so `Mode::Eliminated` skips exactly the verified checks).
+    pub fn machine(&self, mode: Mode) -> Machine {
+        let config = match mode {
+            Mode::Checked => CheckConfig::checked(),
+            Mode::Eliminated => CheckConfig::eliminated(self.proven_sites.clone()),
+        };
+        self.machine_with(config)
+    }
+
+    /// Builds an interpreter with a custom configuration (cost model,
+    /// validation); the proven-site set is filled in for eliminated mode.
+    pub fn machine_with(&self, mut config: CheckConfig) -> Machine {
+        if config.mode == Mode::Eliminated {
+            config.proven = self.proven_sites.clone();
+        }
+        Machine::load(&self.program, config).expect("compiled programs load")
+    }
+}
+
+/// Compiles with default solver options.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] for parse/type/elaboration failures.
+pub fn compile(src: &str) -> Result<Compiled, PipelineError> {
+    compile_with_options(src, SolverOptions::default())
+}
+
+/// Compiles with explicit solver options (used by the ablation bench).
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] for parse/type/elaboration failures.
+pub fn compile_with_options(
+    src: &str,
+    options: SolverOptions,
+) -> Result<Compiled, PipelineError> {
+    let gen_start = Instant::now();
+    let program = dml_syntax::parse_program(src).map_err(PipelineError::Parse)?;
+    let mut gen = VarGen::new();
+    let mut env = base_env(&mut gen);
+    for d in &program.decls {
+        match d {
+            sast::Decl::Datatype(dd) => env
+                .add_datatype(dd, &mut gen)
+                .map_err(|e| PipelineError::Env(e.message, e.span))?,
+            sast::Decl::Typeref(tr) => env
+                .add_typeref(tr, &mut gen)
+                .map_err(|e| PipelineError::Env(e.message, e.span))?,
+            sast::Decl::Assert(sigs) => env
+                .add_assert(sigs, &check_kind, &mut gen)
+                .map_err(|e| PipelineError::Env(e.message, e.span))?,
+            _ => {}
+        }
+    }
+    let phase1 =
+        infer_program(&program, &env).map_err(|e| PipelineError::Infer(e.message, e.span))?;
+    let ElabOutput { obligations, top_level, gen } =
+        elaborate(&program, &env, &phase1, gen).map_err(|e| {
+            PipelineError::Elab(e.message, e.span)
+        })?;
+    let generation_time = gen_start.elapsed();
+
+    // Solve every obligation.
+    let solve_start = Instant::now();
+    let mut solver = Solver::new(options);
+    let mut gen = gen;
+    let mut results = Vec::with_capacity(obligations.len());
+    let mut solver_stats = dml_solver::SolverStats::default();
+    let mut goals = 0usize;
+    for ob in obligations {
+        let outcome = solver.prove(&ob.constraint, &mut gen);
+        goals += outcome.results.len();
+        solver_stats.merge(&outcome.stats);
+        let result = if outcome.all_valid() {
+            GoalResult::Valid
+        } else {
+            outcome
+                .results
+                .into_iter()
+                .find_map(|(_, r)| if r.is_valid() { None } else { Some(r) })
+                .expect("a goal failed")
+        };
+        results.push((ob, result));
+    }
+    let solve_time = solve_start.elapsed();
+
+    // Check elimination (§4): a program that type-checks compiles its
+    // proven `sub`/`update`/`nth` sites to the unchecked primitives. If
+    // any *non-check* obligation failed, the program does not dependently
+    // type-check and nothing is eliminated (fail-safe). Exhaustiveness
+    // obligations are warnings (potential match failures), never blockers.
+    let non_check_ok = results.iter().all(|(o, r)| {
+        o.kind.is_check()
+            || matches!(o.kind, dml_elab::ObKind::Unreachable { .. })
+            || r.is_valid()
+    });
+    let mut site_ok: HashMap<Span, bool> = HashMap::new();
+    for (o, r) in &results {
+        if o.kind.is_check() {
+            let e = site_ok.entry(o.site).or_insert(true);
+            *e &= r.is_valid();
+        }
+    }
+    let proven_sites: HashSet<Span> = if non_check_ok {
+        site_ok.iter().filter(|(_, ok)| **ok).map(|(s, _)| *s).collect()
+    } else {
+        HashSet::new()
+    };
+    let fully_verified = non_check_ok
+        && results.iter().all(|(o, r)| {
+            matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_valid()
+        });
+
+    let stats = CompileStats {
+        constraints: results.len(),
+        goals,
+        generation_time,
+        solve_time,
+        solver: solver_stats,
+    };
+    Ok(Compiled {
+        program,
+        env,
+        obligations: results,
+        proven_sites,
+        fully_verified,
+        stats,
+        top_level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verified_program_eliminates_checks() {
+        let src = r#"
+fun first(v) = sub(v, 0)
+where first <| {n:nat | n > 0} int array(n) -> int
+"#;
+        let c = compile(src).unwrap();
+        assert!(c.fully_verified());
+        assert_eq!(c.proven_sites().len(), 1);
+        assert!(c.unproven_sites().is_empty());
+        assert!(c.stats().constraints > 0);
+    }
+
+    #[test]
+    fn unannotated_program_keeps_checks() {
+        let c = compile("fun get(v, i) = sub(v, i)").unwrap();
+        assert!(!c.fully_verified());
+        assert!(c.proven_sites().is_empty());
+        assert_eq!(c.unproven_sites().len(), 1);
+    }
+
+    #[test]
+    fn eliminated_machine_skips_checks() {
+        let src = r#"
+fun total(v) = let
+  fun loop(i, n, sum) =
+    if i = n then sum else loop(i+1, n, sum + sub(v, i))
+  where loop <| {k:nat | k <= n} {i:nat | i <= k} int(i) * int(k) * int -> int
+in
+  loop(0, length v, 0)
+end
+where total <| {n:nat} int array(n) -> int
+"#;
+        let c = compile(src).unwrap();
+        assert!(c.fully_verified(), "{:?}", c.failures().collect::<Vec<_>>());
+        let mut m = c.machine(Mode::Eliminated);
+        let r = m
+            .call("total", vec![dml_eval::Value::int_array([1, 2, 3, 4])])
+            .unwrap();
+        assert_eq!(r.as_int(), Some(10));
+        assert_eq!(m.counters.array_checks_eliminated, 4);
+        assert_eq!(m.counters.array_checks_executed, 0);
+        let mut m = c.machine(Mode::Checked);
+        m.call("total", vec![dml_eval::Value::int_array([1, 2, 3, 4])]).unwrap();
+        assert_eq!(m.counters.array_checks_executed, 4);
+    }
+
+    #[test]
+    fn failed_equation_blocks_all_elimination() {
+        // The bound obligation on `sub(v, 0)` is provable, but the result
+        // type equation is false, so the program does not type-check and
+        // nothing may be eliminated.
+        let src = r#"
+fun broken(v) = sub(v, 0)
+where broken <| {n:nat | n > 0} int array(n) -> int(n+1)
+"#;
+        let c = compile(src).unwrap();
+        assert!(!c.fully_verified());
+        assert!(c.proven_sites().is_empty(), "type error must block elimination");
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        assert!(matches!(compile("fun = 3"), Err(PipelineError::Parse(_))));
+    }
+
+    #[test]
+    fn infer_errors_reported() {
+        assert!(matches!(
+            compile("fun f(x) = x + true"),
+            Err(PipelineError::Infer(_, _))
+        ));
+    }
+}

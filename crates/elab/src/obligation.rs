@@ -1,0 +1,102 @@
+//! Proof obligations produced by elaboration.
+
+use dml_syntax::Span;
+use dml_index::Constraint;
+use dml_types::env::CheckKind;
+use std::fmt;
+
+/// What an obligation asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObKind {
+    /// The guard of a checking primitive (`sub`, `update`, `nth`, ...);
+    /// proving every `Bound` obligation of a call site eliminates its
+    /// run-time check.
+    Bound {
+        /// The primitive's name.
+        prim: String,
+        /// Array bound or list tag.
+        check: CheckKind,
+    },
+    /// A division-by-zero guard (`div`, `mod`).
+    DivGuard,
+    /// Any other instantiated guard (e.g. `array` allocation size, subset
+    /// types, existential package guards).
+    Guard,
+    /// An index equation from a type coercion (result types, singleton
+    /// flows). Failure is a dependent type error.
+    TypeEq,
+    /// A match-exhaustiveness obligation: the named constructor is missing
+    /// from a `case` and must be *impossible* under the index constraints
+    /// (conclusion `false`). Failure is a warning (potential match
+    /// failure), not a type error — it never blocks check elimination.
+    Unreachable {
+        /// The uncovered constructor.
+        con: String,
+    },
+}
+
+impl ObKind {
+    /// `true` for obligations whose proof eliminates a run-time check.
+    pub fn is_check(&self) -> bool {
+        matches!(self, ObKind::Bound { .. })
+    }
+}
+
+impl fmt::Display for ObKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObKind::Bound { prim, check } => match check {
+                CheckKind::ListTag => write!(f, "list tag check for `{prim}`"),
+                _ => write!(f, "array bound check for `{prim}`"),
+            },
+            ObKind::DivGuard => write!(f, "division guard"),
+            ObKind::Guard => write!(f, "guard"),
+            ObKind::TypeEq => write!(f, "index equation"),
+            ObKind::Unreachable { con } => {
+                write!(f, "exhaustiveness (missing `{con}` must be impossible)")
+            }
+        }
+    }
+}
+
+/// A fully-closed proof obligation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obligation {
+    /// What is being asserted.
+    pub kind: ObKind,
+    /// The source span of the originating expression (for `Bound`
+    /// obligations, the span of the primitive application — the evaluator
+    /// uses the same span to select checked vs. unchecked behaviour).
+    pub site: Span,
+    /// The closed constraint `∀ctx. ∃evars. hyps ⊃ concl`.
+    pub constraint: Constraint,
+    /// The enclosing function, for reporting.
+    pub in_fun: String,
+}
+
+impl fmt::Display for Obligation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} in {} at {}] {}", self.kind, self.in_fun, self.site, self.constraint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_is_check() {
+        assert!(ObKind::Bound { prim: "sub".into(), check: CheckKind::ArrayBound }.is_check());
+        assert!(!ObKind::TypeEq.is_check());
+        assert!(!ObKind::DivGuard.is_check());
+        assert!(!ObKind::Unreachable { con: "nil".into() }.is_check());
+    }
+
+    #[test]
+    fn display_mentions_prim() {
+        let k = ObKind::Bound { prim: "sub".into(), check: CheckKind::ArrayBound };
+        assert!(k.to_string().contains("sub"));
+        let k = ObKind::Bound { prim: "nth".into(), check: CheckKind::ListTag };
+        assert!(k.to_string().contains("list tag"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Human-readable explanations of unproven obligations (§6: "we plan to
+//! investigate how to generate more informative error messages should
+//! dependent type-checking fail").
+//!
+//! An unproven obligation is rendered as a source-anchored diagnostic: the
+//! offending expression, what had to be proven, the hypotheses that were
+//! available, and why the solver gave up.
+
+use crate::obligation::{ObKind, Obligation};
+use dml_syntax::Diagnostic;
+use dml_index::{Constraint, Prop};
+
+/// A sequent-like view of a constraint: the innermost conclusions with the
+/// hypotheses in scope (quantifier structure flattened for display).
+#[derive(Debug, Clone, Default)]
+pub struct SequentView {
+    /// Universally quantified variable names.
+    pub universals: Vec<String>,
+    /// Existentially quantified (instantiation) variable names.
+    pub existentials: Vec<String>,
+    /// Hypotheses, rendered.
+    pub hypotheses: Vec<String>,
+    /// Conclusions, rendered.
+    pub conclusions: Vec<String>,
+}
+
+/// Flattens a constraint into a [`SequentView`].
+pub fn sequent_view(c: &Constraint) -> SequentView {
+    let mut view = SequentView::default();
+    fn go(c: &Constraint, view: &mut SequentView) {
+        match c {
+            Constraint::Prop(p) => {
+                if *p != Prop::True {
+                    for q in p.conjuncts() {
+                        view.conclusions.push(q.to_string());
+                    }
+                }
+            }
+            Constraint::And(cs) => {
+                for c in cs {
+                    go(c, view);
+                }
+            }
+            Constraint::Implies(p, c) => {
+                for q in p.conjuncts() {
+                    view.hypotheses.push(q.to_string());
+                }
+                go(c, view);
+            }
+            Constraint::Forall(v, s, c) => {
+                view.universals.push(format!("{v}:{s}"));
+                go(c, view);
+            }
+            Constraint::Exists(v, s, c) => {
+                view.existentials.push(format!("{v}:{s}"));
+                go(c, view);
+            }
+        }
+    }
+    go(c, &mut view);
+    view
+}
+
+/// Renders one unproven obligation against its source, with a caret
+/// snippet, the proof goal, and the available hypotheses.
+pub fn explain(ob: &Obligation, reason: &str, src: &str) -> String {
+    let view = sequent_view(&ob.constraint);
+    let headline = match &ob.kind {
+        ObKind::Bound { prim, .. } => format!(
+            "cannot prove this `{prim}` in bounds — the check stays at run time"
+        ),
+        ObKind::DivGuard => "cannot prove the divisor non-zero".to_string(),
+        ObKind::Guard => "cannot prove this guard".to_string(),
+        ObKind::TypeEq => "cannot prove this index equation (dependent type error)".to_string(),
+        ObKind::Unreachable { con } => format!(
+            "match may not be exhaustive: cannot prove constructor `{con}` impossible here"
+        ),
+    };
+    let mut out = Diagnostic::warning(headline, ob.site)
+        .with_note(format!("in function `{}`", ob.in_fun))
+        .with_note(format!("must prove: {}", view.conclusions.join("  and  ")))
+        .render(src);
+    if view.hypotheses.is_empty() {
+        out.push_str("  = no hypotheses were available\n");
+    } else {
+        out.push_str("  = from hypotheses:\n");
+        for h in view.hypotheses.iter().take(12) {
+            out.push_str(&format!("      {h}\n"));
+        }
+        if view.hypotheses.len() > 12 {
+            out.push_str(&format!("      ... and {} more\n", view.hypotheses.len() - 12));
+        }
+    }
+    out.push_str(&format!("  = solver verdict: {reason}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::{IExp, Sort, Var, VarGen};
+    use dml_syntax::Span;
+    use dml_types::env::CheckKind;
+
+    fn sample_constraint(gen: &mut VarGen) -> (Constraint, Var) {
+        let n = gen.fresh("n");
+        let i = gen.fresh("i");
+        let c = Constraint::Forall(
+            n.clone(),
+            Sort::Int,
+            Box::new(Constraint::Exists(
+                i.clone(),
+                Sort::Int,
+                Box::new(Constraint::Implies(
+                    Prop::le(IExp::lit(0), IExp::var(n.clone())),
+                    Box::new(Constraint::Prop(Prop::lt(IExp::var(i), IExp::var(n.clone())))),
+                )),
+            )),
+        );
+        (c, n)
+    }
+
+    #[test]
+    fn sequent_view_flattens() {
+        let mut gen = VarGen::new();
+        let (c, _) = sample_constraint(&mut gen);
+        let v = sequent_view(&c);
+        assert_eq!(v.universals, vec!["n:int"]);
+        assert_eq!(v.existentials, vec!["i:int"]);
+        assert_eq!(v.hypotheses, vec!["0 <= n"]);
+        assert_eq!(v.conclusions, vec!["i < n"]);
+    }
+
+    #[test]
+    fn explain_renders_source_snippet() {
+        let src = "fun f(v) = sub(v, 9)";
+        let mut gen = VarGen::new();
+        let (c, _) = sample_constraint(&mut gen);
+        let ob = Obligation {
+            kind: ObKind::Bound { prim: "sub".into(), check: CheckKind::ArrayBound },
+            site: Span::new(11, 20),
+            constraint: c,
+            in_fun: "f".into(),
+        };
+        let text = explain(&ob, "possibly falsifiable", src);
+        assert!(text.contains("sub(v, 9)"), "{text}");
+        assert!(text.contains("must prove: i < n"), "{text}");
+        assert!(text.contains("0 <= n"), "{text}");
+        assert!(text.contains("possibly falsifiable"), "{text}");
+        assert!(text.contains("in function `f`"), "{text}");
+    }
+
+    #[test]
+    fn explain_truncates_long_hypothesis_lists() {
+        let src = "x";
+        let _gen = VarGen::new();
+        let hyps = (0..20).fold(Prop::True, |acc, k| {
+            acc.and(Prop::le(IExp::lit(k), IExp::lit(k + 1)))
+        });
+        let c = Constraint::Implies(hyps, Box::new(Constraint::Prop(Prop::False)));
+        let ob = Obligation {
+            kind: ObKind::Guard,
+            site: Span::new(0, 1),
+            constraint: c,
+            in_fun: "g".into(),
+        };
+        let text = explain(&ob, "blowup", src);
+        assert!(text.contains("and 8 more"), "{text}");
+    }
+}

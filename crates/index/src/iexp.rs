@@ -1,0 +1,342 @@
+//! Semantic integer index expressions.
+
+use crate::var::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops;
+
+/// An integer index expression (the paper's `i, j`).
+///
+/// `Div` and `Mod` follow SML semantics (flooring division); the constraint
+/// solver only accepts them with a positive constant divisor, which is all
+/// the paper's programs need (`(hi - lo) div 2` and friends).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IExp {
+    /// Index variable.
+    Var(Var),
+    /// Integer literal.
+    Lit(i64),
+    /// `i + j`
+    Add(Box<IExp>, Box<IExp>),
+    /// `i - j`
+    Sub(Box<IExp>, Box<IExp>),
+    /// `i * j`
+    Mul(Box<IExp>, Box<IExp>),
+    /// `div(i, j)` — flooring division.
+    Div(Box<IExp>, Box<IExp>),
+    /// `mod(i, j)` — remainder with the sign of the divisor.
+    Mod(Box<IExp>, Box<IExp>),
+    /// `min(i, j)`
+    Min(Box<IExp>, Box<IExp>),
+    /// `max(i, j)`
+    Max(Box<IExp>, Box<IExp>),
+    /// `abs(i)`
+    Abs(Box<IExp>),
+    /// `sgn(i)` — −1, 0, or 1.
+    Sgn(Box<IExp>),
+}
+
+impl IExp {
+    /// A variable expression.
+    pub fn var(v: Var) -> IExp {
+        IExp::Var(v)
+    }
+
+    /// A literal expression.
+    pub fn lit(n: i64) -> IExp {
+        IExp::Lit(n)
+    }
+
+    /// Flooring division (named after SML's `div`; this is a domain
+    /// constructor, not `std::ops::Div`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: IExp) -> IExp {
+        IExp::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// Flooring modulus.
+    pub fn modulo(self, rhs: IExp) -> IExp {
+        IExp::Mod(Box::new(self), Box::new(rhs))
+    }
+
+    /// Minimum.
+    pub fn min(self, rhs: IExp) -> IExp {
+        IExp::Min(Box::new(self), Box::new(rhs))
+    }
+
+    /// Maximum.
+    pub fn max(self, rhs: IExp) -> IExp {
+        IExp::Max(Box::new(self), Box::new(rhs))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> IExp {
+        IExp::Abs(Box::new(self))
+    }
+
+    /// Sign (−1, 0, or 1).
+    pub fn sgn(self) -> IExp {
+        IExp::Sgn(Box::new(self))
+    }
+
+    /// Collects the free variables into `out`.
+    pub fn free_vars_into(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            IExp::Var(v) => {
+                out.insert(v.clone());
+            }
+            IExp::Lit(_) => {}
+            IExp::Add(a, b)
+            | IExp::Sub(a, b)
+            | IExp::Mul(a, b)
+            | IExp::Div(a, b)
+            | IExp::Mod(a, b)
+            | IExp::Min(a, b)
+            | IExp::Max(a, b) => {
+                a.free_vars_into(out);
+                b.free_vars_into(out);
+            }
+            IExp::Abs(a) | IExp::Sgn(a) => a.free_vars_into(out),
+        }
+    }
+
+    /// The set of free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.free_vars_into(&mut s);
+        s
+    }
+
+    /// Capture-free substitution of `v := e` (ids are globally unique, so no
+    /// renaming is ever needed).
+    pub fn subst(&self, v: &Var, e: &IExp) -> IExp {
+        match self {
+            IExp::Var(w) if w == v => e.clone(),
+            IExp::Var(_) | IExp::Lit(_) => self.clone(),
+            IExp::Add(a, b) => IExp::Add(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            IExp::Sub(a, b) => IExp::Sub(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            IExp::Mul(a, b) => IExp::Mul(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            IExp::Div(a, b) => IExp::Div(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            IExp::Mod(a, b) => IExp::Mod(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            IExp::Min(a, b) => IExp::Min(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            IExp::Max(a, b) => IExp::Max(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            IExp::Abs(a) => IExp::Abs(Box::new(a.subst(v, e))),
+            IExp::Sgn(a) => IExp::Sgn(Box::new(a.subst(v, e))),
+        }
+    }
+
+    /// Evaluates a closed expression; `None` if a variable is free or a
+    /// division by zero occurs.
+    pub fn eval(&self, env: &dyn Fn(&Var) -> Option<i64>) -> Option<i64> {
+        Some(match self {
+            IExp::Var(v) => env(v)?,
+            IExp::Lit(n) => *n,
+            IExp::Add(a, b) => a.eval(env)?.checked_add(b.eval(env)?)?,
+            IExp::Sub(a, b) => a.eval(env)?.checked_sub(b.eval(env)?)?,
+            IExp::Mul(a, b) => a.eval(env)?.checked_mul(b.eval(env)?)?,
+            IExp::Div(a, b) => {
+                let (x, y) = (a.eval(env)?, b.eval(env)?);
+                if y == 0 {
+                    return None;
+                }
+                floor_div(x, y)
+            }
+            IExp::Mod(a, b) => {
+                let (x, y) = (a.eval(env)?, b.eval(env)?);
+                if y == 0 {
+                    return None;
+                }
+                x - y * floor_div(x, y)
+            }
+            IExp::Min(a, b) => a.eval(env)?.min(b.eval(env)?),
+            IExp::Max(a, b) => a.eval(env)?.max(b.eval(env)?),
+            IExp::Abs(a) => a.eval(env)?.checked_abs()?,
+            IExp::Sgn(a) => a.eval(env)?.signum(),
+        })
+    }
+}
+
+/// Flooring (SML-style) integer division.
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Flooring (SML-style) modulus: result has the sign of the divisor.
+pub fn floor_mod(a: i64, b: i64) -> i64 {
+    a - b * floor_div(a, b)
+}
+
+impl ops::Add for IExp {
+    type Output = IExp;
+    fn add(self, rhs: IExp) -> IExp {
+        IExp::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Sub for IExp {
+    type Output = IExp;
+    fn sub(self, rhs: IExp) -> IExp {
+        IExp::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Mul for IExp {
+    type Output = IExp;
+    fn mul(self, rhs: IExp) -> IExp {
+        IExp::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Neg for IExp {
+    type Output = IExp;
+    fn neg(self) -> IExp {
+        IExp::Sub(Box::new(IExp::Lit(0)), Box::new(self))
+    }
+}
+
+impl From<i64> for IExp {
+    fn from(n: i64) -> IExp {
+        IExp::Lit(n)
+    }
+}
+
+impl From<Var> for IExp {
+    fn from(v: Var) -> IExp {
+        IExp::Var(v)
+    }
+}
+
+impl fmt::Display for IExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &IExp, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match e {
+                IExp::Var(v) => write!(f, "{v}"),
+                IExp::Lit(n) => write!(f, "{n}"),
+                IExp::Add(a, b) | IExp::Sub(a, b) => {
+                    if prec > 0 {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 0)?;
+                    write!(f, "{}", if matches!(e, IExp::Add(_, _)) { " + " } else { " - " })?;
+                    go(b, f, 1)?;
+                    if prec > 0 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                IExp::Mul(a, b) | IExp::Div(a, b) | IExp::Mod(a, b) => {
+                    if prec > 1 {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 1)?;
+                    write!(
+                        f,
+                        "{}",
+                        match e {
+                            IExp::Mul(_, _) => " * ",
+                            IExp::Div(_, _) => " div ",
+                            _ => " mod ",
+                        }
+                    )?;
+                    go(b, f, 2)?;
+                    if prec > 1 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                IExp::Min(a, b) => write!(f, "min({a}, {b})"),
+                IExp::Max(a, b) => write!(f, "max({a}, {b})"),
+                IExp::Abs(a) => write!(f, "abs({a})"),
+                IExp::Sgn(a) => write!(f, "sgn({a})"),
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarGen;
+
+    fn v(g: &mut VarGen, n: &str) -> Var {
+        g.fresh(n)
+    }
+
+    #[test]
+    fn floor_div_matches_sml() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(7, -2), -4);
+        assert_eq!(floor_div(-7, -2), 3);
+        assert_eq!(floor_mod(7, 2), 1);
+        assert_eq!(floor_mod(-7, 2), 1);
+        assert_eq!(floor_mod(7, -2), -1);
+    }
+
+    #[test]
+    fn subst_replaces_only_target() {
+        let mut g = VarGen::new();
+        let a = v(&mut g, "a");
+        let b = v(&mut g, "b");
+        let e = IExp::var(a.clone()) + IExp::var(b.clone());
+        let r = e.subst(&a, &IExp::lit(3));
+        assert_eq!(r, IExp::lit(3) + IExp::var(b));
+    }
+
+    #[test]
+    fn free_vars_collects_all() {
+        let mut g = VarGen::new();
+        let a = v(&mut g, "a");
+        let b = v(&mut g, "b");
+        let e = (IExp::var(a.clone()) * IExp::lit(2)).min(IExp::var(b.clone()).abs());
+        let fv = e.free_vars();
+        assert!(fv.contains(&a) && fv.contains(&b));
+        assert_eq!(fv.len(), 2);
+    }
+
+    #[test]
+    fn eval_closed_expressions() {
+        let env = |_: &Var| None;
+        let e = (IExp::lit(10) - IExp::lit(3)).div(IExp::lit(2));
+        assert_eq!(e.eval(&env), Some(3));
+        let e = IExp::lit(-5).modulo(IExp::lit(3));
+        assert_eq!(e.eval(&env), Some(1));
+        let e = IExp::lit(-5).sgn();
+        assert_eq!(e.eval(&env), Some(-1));
+        let e = IExp::lit(4).div(IExp::lit(0));
+        assert_eq!(e.eval(&env), None);
+    }
+
+    #[test]
+    fn eval_with_env() {
+        let mut g = VarGen::new();
+        let a = v(&mut g, "a");
+        let a2 = a.clone();
+        let env = move |w: &Var| if *w == a2 { Some(5) } else { None };
+        assert_eq!((IExp::var(a) + IExp::lit(1)).eval(&env), Some(6));
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let mut g = VarGen::new();
+        let a = IExp::var(v(&mut g, "a"));
+        let b = IExp::var(v(&mut g, "b"));
+        let c = IExp::var(v(&mut g, "c"));
+        let e = (a.clone() + b.clone()) * c.clone();
+        assert_eq!(e.to_string(), "(a + b) * c");
+        let e = a + b * c;
+        assert_eq!(e.to_string(), "a + b * c");
+    }
+
+    #[test]
+    fn neg_is_zero_minus() {
+        let e = -IExp::lit(5);
+        assert_eq!(e.eval(&|_| None), Some(-5));
+    }
+}

@@ -1,0 +1,407 @@
+//! Linear forms: normalised `c0 + Σ cᵢ·xᵢ` representations of index
+//! expressions, the currency of the constraint solver.
+
+use crate::iexp::IExp;
+use crate::var::Var;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised when an index expression is not linear (e.g. `m * n` with
+/// both factors non-constant, or `div`/`mod`/`min`/`max`/`abs`/`sgn` at a
+/// position where the caller requires pure linearity).
+///
+/// The paper rejects non-linear constraints outright (§3.2); our solver
+/// additionally lowers `div`/`mod`/etc. with fresh variables *before*
+/// linearisation, so hitting this error there means the constraint is
+/// genuinely outside the supported fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonLinear {
+    /// The offending subexpression, rendered.
+    pub expr: String,
+}
+
+impl fmt::Display for NonLinear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-linear index expression: {}", self.expr)
+    }
+}
+
+impl std::error::Error for NonLinear {}
+
+/// A linear form `constant + Σ coeff·var` with exact integer coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct Linear {
+    /// Coefficients per variable; zero coefficients are never stored.
+    coeffs: BTreeMap<Var, i64>,
+    /// The constant term.
+    constant: i64,
+}
+
+impl Linear {
+    /// The zero form.
+    pub fn zero() -> Linear {
+        Linear::default()
+    }
+
+    /// A constant form.
+    pub fn constant(c: i64) -> Linear {
+        Linear { coeffs: BTreeMap::new(), constant: c }
+    }
+
+    /// The form `1·v`.
+    pub fn var(v: Var) -> Linear {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, 1);
+        Linear { coeffs, constant: 0 }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Iterates over `(var, coeff)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (&Var, i64)> {
+        self.coeffs.iter().map(|(v, c)| (v, *c))
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: &Var) -> i64 {
+        self.coeffs.get(v).copied().unwrap_or(0)
+    }
+
+    /// `true` if the form is a constant (no variables).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// If the form is exactly one variable with coefficient 1 and no
+    /// constant, returns it.
+    pub fn as_var(&self) -> Option<&Var> {
+        if self.constant == 0 && self.coeffs.len() == 1 {
+            let (v, c) = self.coeffs.iter().next().expect("len checked");
+            if *c == 1 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Number of variables with non-zero coefficients.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The variables of the form.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.coeffs.keys()
+    }
+
+    /// Adds `c·v` in place.
+    pub fn add_term(&mut self, v: Var, c: i64) {
+        if c == 0 {
+            return;
+        }
+        let new_coeff = self.coeff(&v) + c;
+        if new_coeff == 0 {
+            self.coeffs.remove(&v);
+        } else {
+            self.coeffs.insert(v, new_coeff);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: i64) {
+        self.constant += c;
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &Linear) -> Linear {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (v, c) in other.terms() {
+            out.add_term(v.clone(), c);
+        }
+        out
+    }
+
+    /// Pointwise difference `self - other`.
+    pub fn sub(&self, other: &Linear) -> Linear {
+        self.add(&other.scale(-1))
+    }
+
+    /// Divides every coefficient and the constant by `k` if all divide
+    /// exactly; `None` otherwise (or when `k == 0`).
+    pub fn div_exact(&self, k: i64) -> Option<Linear> {
+        if k == 0 {
+            return None;
+        }
+        if self.constant % k != 0 || self.coeffs.values().any(|c| c % k != 0) {
+            return None;
+        }
+        Some(Linear {
+            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c / k)).collect(),
+            constant: self.constant / k,
+        })
+    }
+
+    /// Scales every coefficient and the constant by `k`.
+    pub fn scale(&self, k: i64) -> Linear {
+        if k == 0 {
+            return Linear::zero();
+        }
+        Linear {
+            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Substitutes a linear form for a variable.
+    pub fn subst(&self, v: &Var, e: &Linear) -> Linear {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(v);
+        out.add(&e.scale(c))
+    }
+
+    /// Evaluates under an assignment; `None` if a variable is unbound.
+    pub fn eval(&self, env: &dyn Fn(&Var) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (v, c) in self.terms() {
+            acc = acc.checked_add(c.checked_mul(env(v)?)?)?;
+        }
+        Some(acc)
+    }
+
+    /// The GCD of the variable coefficients (0 when constant).
+    pub fn coeff_gcd(&self) -> i64 {
+        self.coeffs.values().fold(0i64, |g, c| gcd(g, c.abs()))
+    }
+
+    /// Converts an [`IExp`] to a linear form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonLinear`] for products of non-constants and for
+    /// `div`/`mod`/`min`/`max`/`abs`/`sgn` (those must be lowered first by
+    /// the solver's preprocessing pass).
+    pub fn from_iexp(e: &IExp) -> Result<Linear, NonLinear> {
+        match e {
+            IExp::Var(v) => Ok(Linear::var(v.clone())),
+            IExp::Lit(n) => Ok(Linear::constant(*n)),
+            IExp::Add(a, b) => Ok(Linear::from_iexp(a)?.add(&Linear::from_iexp(b)?)),
+            IExp::Sub(a, b) => Ok(Linear::from_iexp(a)?.sub(&Linear::from_iexp(b)?)),
+            IExp::Mul(a, b) => {
+                let la = Linear::from_iexp(a)?;
+                let lb = Linear::from_iexp(b)?;
+                if la.is_constant() {
+                    Ok(lb.scale(la.constant))
+                } else if lb.is_constant() {
+                    Ok(la.scale(lb.constant))
+                } else {
+                    Err(NonLinear { expr: e.to_string() })
+                }
+            }
+            IExp::Div(_, _)
+            | IExp::Mod(_, _)
+            | IExp::Min(_, _)
+            | IExp::Max(_, _)
+            | IExp::Abs(_)
+            | IExp::Sgn(_) => Err(NonLinear { expr: e.to_string() }),
+        }
+    }
+
+    /// Converts back to an [`IExp`] (for display and substitution back into
+    /// constraint stores).
+    pub fn to_iexp(&self) -> IExp {
+        let mut acc: Option<IExp> = if self.constant != 0 || self.coeffs.is_empty() {
+            Some(IExp::Lit(self.constant))
+        } else {
+            None
+        };
+        for (v, c) in self.terms() {
+            let term = if c == 1 {
+                IExp::Var(v.clone())
+            } else {
+                IExp::Lit(c) * IExp::Var(v.clone())
+            };
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        acc.unwrap_or(IExp::Lit(0))
+    }
+}
+
+impl fmt::Display for Linear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.terms() {
+            if first {
+                if c == 1 {
+                    write!(f, "{v}")?;
+                } else if c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}{v}")?;
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}{v}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Greatest common divisor of non-negative integers (`gcd(0, n) = n`).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarGen;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(-12, 18), 6);
+    }
+
+    #[test]
+    fn from_iexp_linear() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        // 2*a + b - 3
+        let e = IExp::lit(2) * IExp::var(a.clone()) + IExp::var(b.clone()) - IExp::lit(3);
+        let l = Linear::from_iexp(&e).unwrap();
+        assert_eq!(l.coeff(&a), 2);
+        assert_eq!(l.coeff(&b), 1);
+        assert_eq!(l.constant_term(), -3);
+    }
+
+    #[test]
+    fn from_iexp_rejects_products() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        let e = IExp::var(a) * IExp::var(b);
+        assert!(Linear::from_iexp(&e).is_err());
+    }
+
+    #[test]
+    fn from_iexp_rejects_div() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        assert!(Linear::from_iexp(&IExp::var(a).div(IExp::lit(2))).is_err());
+    }
+
+    #[test]
+    fn cancellation_removes_zero_coeffs() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let l = Linear::var(a.clone()).sub(&Linear::var(a.clone()));
+        assert!(l.is_constant());
+        assert_eq!(l.coeff(&a), 0);
+        assert_eq!(l, Linear::zero());
+    }
+
+    #[test]
+    fn subst_linear() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        // 2a + 1 with a := b + 3  →  2b + 7
+        let l = Linear::var(a.clone()).scale(2).add(&Linear::constant(1));
+        let e = Linear::var(b.clone()).add(&Linear::constant(3));
+        let r = l.subst(&a, &e);
+        assert_eq!(r.coeff(&b), 2);
+        assert_eq!(r.constant_term(), 7);
+        assert_eq!(r.coeff(&a), 0);
+    }
+
+    #[test]
+    fn to_iexp_round_trip_eval() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        let l = Linear::var(a.clone())
+            .scale(3)
+            .add(&Linear::var(b.clone()).scale(-2))
+            .add(&Linear::constant(5));
+        let e = l.to_iexp();
+        let a2 = a.clone();
+        let b2 = b.clone();
+        let env = move |w: &Var| {
+            if *w == a2 {
+                Some(2)
+            } else if *w == b2 {
+                Some(7)
+            } else {
+                None
+            }
+        };
+        assert_eq!(e.eval(&env), Some(3 * 2 - 2 * 7 + 5));
+        assert_eq!(l.eval(&env), Some(3 * 2 - 2 * 7 + 5));
+    }
+
+    #[test]
+    fn as_var_detection() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        assert_eq!(Linear::var(a.clone()).as_var(), Some(&a));
+        assert_eq!(Linear::var(a.clone()).scale(2).as_var(), None);
+        assert_eq!(Linear::var(a).add(&Linear::constant(1)).as_var(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        let l = Linear::var(a).scale(2).add(&Linear::var(b).scale(-1)).add(&Linear::constant(-3));
+        assert_eq!(l.to_string(), "2a - b - 3");
+        assert_eq!(Linear::constant(0).to_string(), "0");
+    }
+
+    #[test]
+    fn coeff_gcd_computation() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        let l = Linear::var(a).scale(6).add(&Linear::var(b).scale(9));
+        assert_eq!(l.coeff_gcd(), 3);
+        assert_eq!(Linear::constant(5).coeff_gcd(), 0);
+    }
+}

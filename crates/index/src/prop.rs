@@ -1,0 +1,418 @@
+//! Boolean index propositions (the paper's `b`).
+
+use crate::iexp::IExp;
+use crate::var::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Comparison operators between integer index expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl Cmp {
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> Cmp {
+        match self {
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Ge => Cmp::Le,
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ne => Cmp::Ne,
+        }
+    }
+
+    /// The logical negation (`¬(a < b)` ⇔ `a >= b`).
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+        }
+    }
+
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+            Cmp::Ne => "<>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean index proposition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Prop {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// A boolean index variable.
+    BVar(Var),
+    /// Comparison between integer index expressions.
+    Cmp(Cmp, IExp, IExp),
+    /// Negation.
+    Not(Box<Prop>),
+    /// Conjunction.
+    And(Box<Prop>, Box<Prop>),
+    /// Disjunction.
+    Or(Box<Prop>, Box<Prop>),
+}
+
+impl Prop {
+    /// Builds a comparison proposition.
+    pub fn cmp(op: Cmp, a: IExp, b: IExp) -> Prop {
+        Prop::Cmp(op, a, b)
+    }
+
+    /// `a = b`.
+    pub fn eq(a: IExp, b: IExp) -> Prop {
+        Prop::Cmp(Cmp::Eq, a, b)
+    }
+
+    /// `a <= b`.
+    pub fn le(a: IExp, b: IExp) -> Prop {
+        Prop::Cmp(Cmp::Le, a, b)
+    }
+
+    /// `a < b`.
+    pub fn lt(a: IExp, b: IExp) -> Prop {
+        Prop::Cmp(Cmp::Lt, a, b)
+    }
+
+    /// Negation, folding double negations and constants.
+    pub fn negate(self) -> Prop {
+        match self {
+            Prop::True => Prop::False,
+            Prop::False => Prop::True,
+            Prop::Not(p) => *p,
+            Prop::Cmp(op, a, b) => Prop::Cmp(op.negate(), a, b),
+            other => Prop::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction, folding `True` units.
+    pub fn and(self, other: Prop) -> Prop {
+        match (self, other) {
+            (Prop::True, q) => q,
+            (p, Prop::True) => p,
+            (Prop::False, _) | (_, Prop::False) => Prop::False,
+            (p, q) => Prop::And(Box::new(p), Box::new(q)),
+        }
+    }
+
+    /// Disjunction, folding `False` units.
+    pub fn or(self, other: Prop) -> Prop {
+        match (self, other) {
+            (Prop::False, q) => q,
+            (p, Prop::False) => p,
+            (Prop::True, _) | (_, Prop::True) => Prop::True,
+            (p, q) => Prop::Or(Box::new(p), Box::new(q)),
+        }
+    }
+
+    /// Conjunction of an iterator of propositions.
+    pub fn conj(ps: impl IntoIterator<Item = Prop>) -> Prop {
+        ps.into_iter().fold(Prop::True, Prop::and)
+    }
+
+    /// Collects the free variables into `out`.
+    pub fn free_vars_into(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Prop::True | Prop::False => {}
+            Prop::BVar(v) => {
+                out.insert(v.clone());
+            }
+            Prop::Cmp(_, a, b) => {
+                a.free_vars_into(out);
+                b.free_vars_into(out);
+            }
+            Prop::Not(p) => p.free_vars_into(out),
+            Prop::And(p, q) | Prop::Or(p, q) => {
+                p.free_vars_into(out);
+                q.free_vars_into(out);
+            }
+        }
+    }
+
+    /// The set of free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.free_vars_into(&mut s);
+        s
+    }
+
+    /// Substitutes an integer expression for an integer index variable.
+    pub fn subst(&self, v: &Var, e: &IExp) -> Prop {
+        match self {
+            Prop::True | Prop::False => self.clone(),
+            Prop::BVar(_) => self.clone(),
+            Prop::Cmp(op, a, b) => Prop::Cmp(*op, a.subst(v, e), b.subst(v, e)),
+            Prop::Not(p) => Prop::Not(Box::new(p.subst(v, e))),
+            Prop::And(p, q) => Prop::And(Box::new(p.subst(v, e)), Box::new(q.subst(v, e))),
+            Prop::Or(p, q) => Prop::Or(Box::new(p.subst(v, e)), Box::new(q.subst(v, e))),
+        }
+    }
+
+    /// Substitutes a proposition for a *boolean* index variable.
+    pub fn subst_bool(&self, v: &Var, p0: &Prop) -> Prop {
+        match self {
+            Prop::True | Prop::False | Prop::Cmp(_, _, _) => match self {
+                Prop::Cmp(op, a, b) => Prop::Cmp(*op, a.clone(), b.clone()),
+                other => other.clone(),
+            },
+            Prop::BVar(w) if w == v => p0.clone(),
+            Prop::BVar(_) => self.clone(),
+            Prop::Not(p) => Prop::Not(Box::new(p.subst_bool(v, p0))),
+            Prop::And(p, q) => {
+                Prop::And(Box::new(p.subst_bool(v, p0)), Box::new(q.subst_bool(v, p0)))
+            }
+            Prop::Or(p, q) => {
+                Prop::Or(Box::new(p.subst_bool(v, p0)), Box::new(q.subst_bool(v, p0)))
+            }
+        }
+    }
+
+    /// Evaluates under integer and boolean environments; `None` if a free
+    /// variable is unbound or arithmetic fails.
+    pub fn eval(
+        &self,
+        ienv: &dyn Fn(&Var) -> Option<i64>,
+        benv: &dyn Fn(&Var) -> Option<bool>,
+    ) -> Option<bool> {
+        Some(match self {
+            Prop::True => true,
+            Prop::False => false,
+            Prop::BVar(v) => benv(v)?,
+            Prop::Cmp(op, a, b) => op.eval(a.eval(ienv)?, b.eval(ienv)?),
+            Prop::Not(p) => !p.eval(ienv, benv)?,
+            Prop::And(p, q) => p.eval(ienv, benv)? && q.eval(ienv, benv)?,
+            Prop::Or(p, q) => p.eval(ienv, benv)? || q.eval(ienv, benv)?,
+        })
+    }
+
+    /// Negation normal form: negations pushed to atoms.
+    pub fn nnf(self) -> Prop {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(self, neg: bool) -> Prop {
+        match self {
+            Prop::True => {
+                if neg {
+                    Prop::False
+                } else {
+                    Prop::True
+                }
+            }
+            Prop::False => {
+                if neg {
+                    Prop::True
+                } else {
+                    Prop::False
+                }
+            }
+            Prop::BVar(v) => {
+                if neg {
+                    Prop::Not(Box::new(Prop::BVar(v)))
+                } else {
+                    Prop::BVar(v)
+                }
+            }
+            Prop::Cmp(op, a, b) => {
+                if neg {
+                    Prop::Cmp(op.negate(), a, b)
+                } else {
+                    Prop::Cmp(op, a, b)
+                }
+            }
+            Prop::Not(p) => p.nnf_inner(!neg),
+            Prop::And(p, q) => {
+                let (p, q) = (p.nnf_inner(neg), q.nnf_inner(neg));
+                if neg {
+                    Prop::Or(Box::new(p), Box::new(q))
+                } else {
+                    Prop::And(Box::new(p), Box::new(q))
+                }
+            }
+            Prop::Or(p, q) => {
+                let (p, q) = (p.nnf_inner(neg), q.nnf_inner(neg));
+                if neg {
+                    Prop::And(Box::new(p), Box::new(q))
+                } else {
+                    Prop::Or(Box::new(p), Box::new(q))
+                }
+            }
+        }
+    }
+
+    /// The conjuncts of a (right-nested or arbitrary) conjunction tree.
+    pub fn conjuncts(&self) -> Vec<&Prop> {
+        let mut out = Vec::new();
+        fn go<'a>(p: &'a Prop, out: &mut Vec<&'a Prop>) {
+            match p {
+                Prop::And(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                Prop::True => {}
+                other => out.push(other),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &Prop, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match p {
+                Prop::True => write!(f, "true"),
+                Prop::False => write!(f, "false"),
+                Prop::BVar(v) => write!(f, "{v}"),
+                Prop::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+                Prop::Not(q) => {
+                    write!(f, "not(")?;
+                    go(q, f, 0)?;
+                    write!(f, ")")
+                }
+                Prop::And(a, b) => {
+                    if prec > 1 {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 1)?;
+                    write!(f, " /\\ ")?;
+                    go(b, f, 2)?;
+                    if prec > 1 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Prop::Or(a, b) => {
+                    if prec > 0 {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 0)?;
+                    write!(f, " \\/ ")?;
+                    go(b, f, 1)?;
+                    if prec > 0 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarGen;
+
+    #[test]
+    fn negate_comparisons() {
+        let p = Prop::lt(IExp::lit(1), IExp::lit(2));
+        assert_eq!(p.negate(), Prop::cmp(Cmp::Ge, IExp::lit(1), IExp::lit(2)));
+    }
+
+    #[test]
+    fn and_or_units() {
+        let p = Prop::lt(IExp::lit(0), IExp::lit(1));
+        assert_eq!(Prop::True.and(p.clone()), p);
+        assert_eq!(p.clone().and(Prop::True), p);
+        assert_eq!(Prop::False.or(p.clone()), p);
+        assert_eq!(p.clone().and(Prop::False), Prop::False);
+        assert_eq!(p.clone().or(Prop::True), Prop::True);
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let mut g = VarGen::new();
+        let a = IExp::var(g.fresh("a"));
+        let b = IExp::var(g.fresh("b"));
+        // not (a < b && a = b)  →  a >= b || a <> b
+        let p = Prop::Not(Box::new(
+            Prop::lt(a.clone(), b.clone()).and(Prop::eq(a.clone(), b.clone())),
+        ));
+        let n = p.nnf();
+        match n {
+            Prop::Or(l, r) => {
+                assert_eq!(*l, Prop::cmp(Cmp::Ge, a.clone(), b.clone()));
+                assert_eq!(*r, Prop::cmp(Cmp::Ne, a, b));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_props() {
+        let t = Prop::le(IExp::lit(1), IExp::lit(1));
+        assert_eq!(t.eval(&|_| None, &|_| None), Some(true));
+        let f = Prop::lt(IExp::lit(1), IExp::lit(1));
+        assert_eq!(f.eval(&|_| None, &|_| None), Some(false));
+    }
+
+    #[test]
+    fn conjuncts_flatten() {
+        let p = Prop::conj(vec![
+            Prop::lt(IExp::lit(0), IExp::lit(1)),
+            Prop::lt(IExp::lit(1), IExp::lit(2)),
+            Prop::lt(IExp::lit(2), IExp::lit(3)),
+        ]);
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn subst_bool_replaces_bvar() {
+        let mut g = VarGen::new();
+        let b = g.fresh("b");
+        let p = Prop::BVar(b.clone()).and(Prop::True);
+        let q = p.subst_bool(&b, &Prop::False);
+        assert_eq!(q, Prop::False);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut g = VarGen::new();
+        let a = IExp::var(g.fresh("a"));
+        let p = Prop::le(IExp::lit(0), a.clone()).and(Prop::lt(a, IExp::lit(10)));
+        assert_eq!(p.to_string(), "0 <= a /\\ a < 10");
+    }
+}

@@ -1,0 +1,50 @@
+//! Semantic index sorts.
+//!
+//! Surface subset sorts `{a:γ | b}` are normalised during conversion into a
+//! base sort plus a guard proposition, so the semantic language only has the
+//! two base sorts. `nat` is `Int` with the guard `0 <= a`.
+
+use std::fmt;
+
+/// A base index sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Integer indices.
+    Int,
+    /// Boolean indices.
+    Bool,
+}
+
+impl Sort {
+    /// `true` if this is the integer sort.
+    pub fn is_int(self) -> bool {
+        matches!(self, Sort::Int)
+    }
+
+    /// `true` if this is the boolean sort.
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Int => write!(f, "int"),
+            Sort::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_predicates() {
+        assert_eq!(Sort::Int.to_string(), "int");
+        assert_eq!(Sort::Bool.to_string(), "bool");
+        assert!(Sort::Int.is_int() && !Sort::Int.is_bool());
+        assert!(Sort::Bool.is_bool() && !Sort::Bool.is_int());
+    }
+}

@@ -1,0 +1,153 @@
+//! Interned index variables.
+//!
+//! A [`Var`] pairs a unique numeric id with a human-readable base name.
+//! Identity (equality, hashing, ordering) is by id only, so two variables
+//! both displayed as `n` never collide, and substitution is capture-free
+//! as long as binders always use fresh ids (which [`VarGen`] guarantees).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An index variable: a unique id plus a display name.
+#[derive(Debug, Clone)]
+pub struct Var {
+    id: u32,
+    name: Arc<str>,
+}
+
+impl Var {
+    /// Creates a variable with an explicit id. Prefer [`VarGen::fresh`].
+    pub fn new(id: u32, name: impl Into<Arc<str>>) -> Self {
+        Var { id, name: name.into() }
+    }
+
+    /// The unique id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The display name (not necessarily unique).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl PartialEq for Var {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Var {}
+
+impl PartialOrd for Var {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Var {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.id.cmp(&other.id)
+    }
+}
+
+impl std::hash::Hash for Var {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A supply of fresh [`Var`]s.
+#[derive(Debug, Default, Clone)]
+pub struct VarGen {
+    next: u32,
+}
+
+impl VarGen {
+    /// Creates a fresh supply starting at id 0.
+    pub fn new() -> Self {
+        VarGen::default()
+    }
+
+    /// Returns a fresh variable with the given display name.
+    pub fn fresh(&mut self, name: &str) -> Var {
+        let id = self.next;
+        self.next += 1;
+        Var::new(id, name)
+    }
+
+    /// Returns a fresh variable whose display name is derived from `base`
+    /// with the id appended, e.g. `E#12` — used for elaboration-introduced
+    /// existential variables so Figure-4-style output stays readable.
+    pub fn fresh_tagged(&mut self, base: &str) -> Var {
+        let id = self.next;
+        self.next += 1;
+        Var::new(id, format!("{base}#{id}"))
+    }
+
+    /// Number of variables generated so far.
+    pub fn count(&self) -> u32 {
+        self.next
+    }
+
+    /// Ensures future ids are strictly greater than `id` (used when a
+    /// supply must not collide with variables created elsewhere).
+    pub fn advance_past(&mut self, id: u32) {
+        if self.next <= id {
+            self.next = id + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identity_is_by_id() {
+        let a = Var::new(0, "n");
+        let b = Var::new(1, "n");
+        let c = Var::new(0, "m");
+        assert_ne!(a, b);
+        assert_eq!(a, c, "same id, different display name");
+    }
+
+    #[test]
+    fn gen_produces_distinct_vars() {
+        let mut g = VarGen::new();
+        let vs: HashSet<Var> = (0..100).map(|_| g.fresh("x")).collect();
+        assert_eq!(vs.len(), 100);
+        assert_eq!(g.count(), 100);
+    }
+
+    #[test]
+    fn tagged_names_include_id() {
+        let mut g = VarGen::new();
+        g.fresh("a");
+        let v = g.fresh_tagged("E");
+        assert_eq!(v.to_string(), "E#1");
+    }
+
+    #[test]
+    fn advance_past_prevents_collisions() {
+        let mut g = VarGen::new();
+        g.advance_past(10);
+        assert_eq!(g.fresh("x").id(), 11);
+        g.advance_past(5); // no-op, already past
+        assert_eq!(g.fresh("y").id(), 12);
+    }
+
+    #[test]
+    fn ordering_follows_ids() {
+        let mut g = VarGen::new();
+        let a = g.fresh("z");
+        let b = g.fresh("a");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 3: binary search through a sorted array.
+//!
+//! The midpoint arithmetic `lo + (hi - lo) div 2` is the paper's flagship
+//! constraint (Figure 4 lists the generated goals); the `div` is handled by
+//! the solver's quotient-remainder lowering plus tightening.
+
+use crate::BenchProgram;
+use dml_eval::{Value, XorShift};
+use std::rc::Rc;
+
+/// The DML source, including the `order`-returning integer comparator and a
+/// monomorphic driver (`isearch`).
+pub const SOURCE: &str = r#"
+datatype 'a answer = NOTFOUND | FOUND of int * 'a
+
+fun('a){size:nat} bsearch cmp (key, arr) = let
+  fun look(lo, hi) =
+    if hi >= lo then
+      let val m = lo + (hi - lo) div 2
+          val x = sub(arr, m)
+      in
+        case cmp(key, x) of
+          LESS => look(lo, m-1)
+        | EQUAL => FOUND(m, x)
+        | GREATER => look(m+1, hi)
+      end
+    else NOTFOUND
+  where look <| {l:nat | l <= size} {h:int | 0 <= h+1 && h+1 <= size}
+                int(l) * int(h) -> 'a answer
+in
+  look (0, length arr - 1)
+end
+where bsearch <| ('a * 'a -> order) -> 'a * 'a array(size) -> 'a answer
+
+fun icmp(x, y) = if x < y then LESS else if x > y then GREATER else EQUAL
+
+fun isearch(key, arr) = bsearch icmp (key, arr)
+where isearch <| {size:nat} int * int array(size) -> int answer
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "binary search",
+    source: SOURCE,
+    workload: "search 2^20 random keys in a random sorted array of size 2^20 (paper)",
+};
+
+/// Builds a sorted array of `n` distinct-ish values plus `probes` keys.
+pub fn workload(n: usize, probes: usize, seed: u64) -> (Vec<i64>, Vec<i64>) {
+    let mut rng = XorShift::new(seed);
+    let mut arr = rng.int_vec(n, (n as i64) * 4 + 1);
+    arr.sort_unstable();
+    let keys = rng.int_vec(probes, (n as i64) * 4 + 1);
+    (arr, keys)
+}
+
+/// The argument tuple `(key, arr)` for `isearch`.
+pub fn args(key: i64, arr: &Value) -> Value {
+    Value::Tuple(Rc::new(vec![Value::Int(key), arr.clone()]))
+}
+
+/// Reference implementation: whether `key` occurs in the sorted slice.
+pub fn reference(arr: &[i64], key: i64) -> bool {
+    arr.binary_search(&key).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    #[test]
+    fn finds_exactly_the_present_keys() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let (arr, keys) = workload(256, 100, 11);
+        let arr_v = Value::int_array(arr.iter().copied());
+        for key in keys {
+            let r = m.call("isearch", vec![args(key, &arr_v)]).unwrap();
+            let found = matches!(&r, Value::Con(n, Some(_)) if &**n == "FOUND");
+            assert_eq!(found, reference(&arr, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn empty_array_not_found() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let arr_v = Value::int_array([]);
+        let r = m.call("isearch", vec![args(5, &arr_v)]).unwrap();
+        assert!(matches!(&r, Value::Con(n, None) if &**n == "NOTFOUND"));
+    }
+
+    #[test]
+    fn found_index_is_correct() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let arr: Vec<i64> = (0..50).map(|i| i * 2).collect();
+        let arr_v = Value::int_array(arr.iter().copied());
+        let r = m.call("isearch", vec![args(48, &arr_v)]).unwrap();
+        match r {
+            Value::Con(n, Some(pair)) if &*n == "FOUND" => match pair.as_ref() {
+                Value::Tuple(vs) => {
+                    assert_eq!(vs[0].as_int(), Some(24));
+                    assert_eq!(vs[1].as_int(), Some(48));
+                }
+                other => panic!("bad payload {other:?}"),
+            },
+            other => panic!("expected FOUND, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Bubble sort on an integer array.
+
+use crate::BenchProgram;
+use dml_eval::{Value, XorShift};
+
+/// The DML source.
+pub const SOURCE: &str = r#"
+fun bubblesort(a) = let
+  val n = length a
+  fun inner(j, lim) =
+    if j < lim then
+      (if sub(a, j) > sub(a, j+1) then
+         let val t = sub(a, j) in
+           (update(a, j, sub(a, j+1)); update(a, j+1, t))
+         end
+       else ();
+       inner(j+1, lim))
+    else ()
+  where inner <| {lim:nat | lim < size} {j:nat | j <= lim} int(j) * int(lim) -> unit
+  fun outer(i) =
+    if i > 0 then (inner(0, i); outer(i-1)) else ()
+  where outer <| {i:int | 0 <= i+1 && i < size} int(i) -> unit
+in
+  if n > 0 then outer(n - 1) else ()
+end
+where bubblesort <| {size:nat} int array(size) -> unit
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "bubble sort",
+    source: SOURCE,
+    workload: "sort a random array of size 2^13 (paper)",
+};
+
+/// Builds a random array of `n` elements.
+pub fn workload(n: usize, seed: u64) -> Vec<i64> {
+    XorShift::new(seed).int_vec(n, 1_000_000)
+}
+
+/// Builds the array argument, returning the handle for inspection.
+pub fn args(data: &[i64]) -> Value {
+    Value::int_array(data.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    fn sort(data: &[i64]) -> Vec<i64> {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let arr = args(data);
+        m.call("bubblesort", vec![arr.clone()]).unwrap();
+        arr.int_array_to_vec().unwrap()
+    }
+
+    #[test]
+    fn sorts_random_data() {
+        let data = workload(200, 4);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(sort(&data), expect);
+    }
+
+    #[test]
+    fn sorts_edge_cases() {
+        assert_eq!(sort(&[]), Vec::<i64>::new());
+        assert_eq!(sort(&[1]), vec![1]);
+        assert_eq!(sort(&[3, 2, 1]), vec![1, 2, 3]);
+        assert_eq!(sort(&[5, 5, 5]), vec![5, 5, 5]);
+    }
+}

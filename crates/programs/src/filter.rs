@@ -1,0 +1,42 @@
+//! §2.4: the filter function with an existentially quantified result
+//! length (`[n:nat | n <= m] 'a list(n)`).
+
+use crate::BenchProgram;
+use dml_eval::Value;
+
+/// The DML source.
+pub const SOURCE: &str = r#"
+fun filter p l = case l of
+    nil => nil
+  | x :: xs => if p(x) then x :: filter p xs else filter p xs
+where filter <| {m:nat} ('a -> bool) -> 'a list(m) -> [n:nat | n <= m] 'a list(n)
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "filter",
+    source: SOURCE,
+    workload: "filtering a list with a predicate",
+};
+
+/// Builds the input list `[0..n)`.
+pub fn workload(n: usize) -> Value {
+    Value::list((0..n as i64).map(Value::Int))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    #[test]
+    fn filters_with_a_predicate() {
+        let src = format!("{SOURCE}\nfun evens(l) = filter (fn x => x mod 2 = 0) l");
+        let ast = dml_syntax::parse_program(&src).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let r = m.call("evens", vec![workload(10)]).unwrap();
+        let out: Vec<i64> =
+            r.list_to_vec().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+}

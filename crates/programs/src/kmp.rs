@@ -1,0 +1,146 @@
+//! Appendix A: Knuth–Morris–Pratt string matching.
+//!
+//! The prefix table's elements live in the existential subset type
+//! `[i:int | 0 <= i+1] int(i)` (the paper's `intPrefix`), written inline.
+//! As in the paper, "several array bound checks in the body of
+//! `computePrefix` cannot be eliminated" — those use `subCK`, while every
+//! access in `kmpMatch`'s scan loop verifies and uses the unchecked `sub`.
+
+use crate::BenchProgram;
+use dml_eval::{Value, XorShift};
+use std::rc::Rc;
+
+/// The DML source.
+pub const SOURCE: &str = r#"
+fun computePrefix(pat) = let
+  val plen = length pat
+  val pa : [s:nat] ([i:int | 0 <= i+1] int(i)) array(s) =
+    array(plen, (~1 : [i:int | 0 <= i+1] int(i)))
+  fun adjust(k, q) =
+    if k >= 0 andalso subCK(pat, k+1) <> sub(pat, q) then adjust(subCK(pa, k), q)
+    else k
+  where adjust <| {q:nat | q < p} ([i:int | 0 <= i+1] int(i)) * int(q)
+                  -> [i:int | 0 <= i+1] int(i)
+  fun loop(k, q) =
+    if q < plen then
+      let val k1 = adjust(k, q)
+          val k2 : [i:int | 0 <= i+1] int(i) =
+            if k1 + 1 < plen andalso subCK(pat, k1+1) = sub(pat, q)
+            then k1 + 1 else k1
+      in
+        (update(pa, q, k2); loop(k2, q+1))
+      end
+    else ()
+  where loop <| {q:nat | q >= 1} ([i:int | 0 <= i+1] int(i)) * int(q) -> unit
+in
+  (loop(~1, 1); pa)
+end
+where computePrefix <| {p:nat} int array(p) -> ([i:int | 0 <= i+1] int(i)) array(p)
+
+fun kmpMatch(str, pat) = let
+  val strLen = length str
+  val patLen = length pat
+  val pa = computePrefix(pat)
+  fun loop(s, p) =
+    if s < strLen then
+      if p < patLen then
+        (if sub(str, s) = sub(pat, p) then loop(s+1, p+1)
+         else if p = 0 then loop(s+1, 0)
+         else let val k : [i:int | 0 <= i+1] int(i) = sub(pa, p - 1)
+              in loop(s, k + 1) end)
+      else s - patLen
+    else (if p = patLen andalso patLen > 0 then s - patLen else ~1)
+  where loop <| {s:nat} {q:nat} int(s) * int(q) -> int
+in
+  loop(0, 0)
+end
+where kmpMatch <| {sl:nat} {pl:nat} int array(sl) * int array(pl) -> int
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "kmp",
+    source: SOURCE,
+    workload: "Knuth-Morris-Pratt string matching (Appendix A)",
+};
+
+/// Builds a text of length `n` over a small alphabet, with `pat` embedded
+/// at `embed_at` when given.
+pub fn workload(n: usize, pat: &[i64], embed_at: Option<usize>, seed: u64) -> Vec<i64> {
+    let mut rng = XorShift::new(seed);
+    let mut text = rng.int_vec(n, 4);
+    if let Some(at) = embed_at {
+        text[at..at + pat.len()].copy_from_slice(pat);
+    }
+    text
+}
+
+/// Builds the `(str, pat)` argument.
+pub fn args(text: &[i64], pat: &[i64]) -> Value {
+    Value::Tuple(Rc::new(vec![
+        Value::int_array(text.iter().copied()),
+        Value::int_array(pat.iter().copied()),
+    ]))
+}
+
+/// Reference: index of the first occurrence, or −1.
+pub fn reference(text: &[i64], pat: &[i64]) -> i64 {
+    if pat.is_empty() {
+        return 0;
+    }
+    text.windows(pat.len()).position(|w| w == pat).map(|i| i as i64).unwrap_or(-1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    fn matcher(text: &[i64], pat: &[i64]) -> i64 {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        m.call("kmpMatch", vec![args(text, pat)]).unwrap().as_int().unwrap()
+    }
+
+    #[test]
+    fn finds_embedded_pattern() {
+        let pat = [1, 2, 1, 1, 2];
+        let text = workload(300, &pat, Some(137), 3);
+        let found = matcher(&text, &pat);
+        let expect = reference(&text, &pat);
+        assert_eq!(found, expect);
+        assert!(found >= 0);
+    }
+
+    #[test]
+    fn reports_absent_pattern() {
+        // Alphabet {0..3}; a pattern containing 9 never occurs.
+        let text = workload(200, &[], None, 5);
+        assert_eq!(matcher(&text, &[9, 9]), -1);
+    }
+
+    #[test]
+    fn matches_against_reference_on_many_cases() {
+        let mut rng = XorShift::new(77);
+        for case in 0..30 {
+            let n = 20 + (case * 7) % 100;
+            let plen = 1 + (case % 5);
+            let pat: Vec<i64> = (0..plen).map(|_| rng.int_below(3)).collect();
+            let text = workload(n, &[], None, 1000 + case as u64);
+            assert_eq!(
+                matcher(&text, &pat),
+                reference(&text, &pat),
+                "case {case}: text={text:?} pat={pat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_prefix_patterns() {
+        let text = [1, 1, 1, 2, 1, 1, 2, 2];
+        let pat = [1, 1, 2, 2];
+        assert_eq!(matcher(&text, &pat), reference(&text, &pat));
+        let pat2 = [1, 2, 1, 1];
+        assert_eq!(matcher(&text, &pat2), reference(&text, &pat2));
+    }
+}

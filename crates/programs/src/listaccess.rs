@@ -1,0 +1,73 @@
+//! List access: fetch the first sixteen elements of a random list,
+//! repeatedly (paper: 2^20 total accesses). This is the benchmark whose
+//! *tag* checks `nth` eliminates.
+
+use crate::BenchProgram;
+use dml_eval::{Value, XorShift};
+use std::rc::Rc;
+
+/// The DML source.
+pub const SOURCE: &str = r#"
+fun listaccess(l, rounds) = let
+  fun inner(i, acc) =
+    if i < 16 then inner(i+1, acc + nth(l, i)) else acc
+  where inner <| {i:nat | i <= 16} int(i) * int -> int
+  fun outer(r, acc) =
+    if r > 0 then outer(r - 1, acc + inner(0, 0)) else acc
+  where outer <| {r:int | r >= 0} int(r) * int -> int
+in
+  outer(rounds, 0)
+end
+where listaccess <| {n:nat | n >= 16} {r:nat} int list(n) * int(r) -> int
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "list access",
+    source: SOURCE,
+    workload: "access the first 16 elements of a random list, 2^20 / 16 rounds (paper)",
+};
+
+/// Builds a random list of `n ≥ 16` elements.
+pub fn workload(n: usize, seed: u64) -> Vec<i64> {
+    assert!(n >= 16, "the benchmark requires at least 16 elements");
+    XorShift::new(seed).int_vec(n, 1000)
+}
+
+/// Builds the `(list, rounds)` argument.
+pub fn args(data: &[i64], rounds: i64) -> Value {
+    Value::Tuple(Rc::new(vec![
+        Value::list(data.iter().copied().map(Value::Int)),
+        Value::Int(rounds),
+    ]))
+}
+
+/// Reference result.
+pub fn reference(data: &[i64], rounds: i64) -> i64 {
+    data[..16].iter().sum::<i64>() * rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    #[test]
+    fn sums_first_sixteen() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let data = workload(40, 21);
+        let r = m.call("listaccess", vec![args(&data, 5)]).unwrap();
+        assert_eq!(r.as_int(), Some(reference(&data, 5)));
+        assert_eq!(m.counters.tag_checks_executed, 5 * 16);
+    }
+
+    #[test]
+    fn zero_rounds() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let data = workload(16, 22);
+        let r = m.call("listaccess", vec![args(&data, 0)]).unwrap();
+        assert_eq!(r.as_int(), Some(0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Matrix multiplication on two-dimensional integer arrays
+//! (`int array(size) array(size)`): the element type of the outer array is
+//! itself indexed, so row accesses propagate the inner length and every
+//! inner access verifies.
+
+use crate::BenchProgram;
+use dml_eval::{Value, XorShift};
+use std::rc::Rc;
+
+/// The DML source.
+pub const SOURCE: &str = r#"
+fun matmult(a, b, c) = let
+  val n = length a
+  fun loopk(i, j, k, sum) =
+    if k < n then loopk(i, j, k+1, sum + sub(sub(a, i), k) * sub(sub(b, k), j))
+    else update(sub(c, i), j, sum)
+  where loopk <| {i:nat | i < size} {j:nat | j < size} {k:nat | k <= size}
+                 int(i) * int(j) * int(k) * int -> unit
+  fun loopj(i, j) =
+    if j < n then (loopk(i, j, 0, 0); loopj(i, j+1)) else ()
+  where loopj <| {i:nat | i < size} {j:nat | j <= size} int(i) * int(j) -> unit
+  fun loopi(i) =
+    if i < n then (loopj(i, 0); loopi(i+1)) else ()
+  where loopi <| {i:nat | i <= size} int(i) -> unit
+in
+  loopi(0)
+end
+where matmult <| {size:nat}
+                 int array(size) array(size) * int array(size) array(size) * int array(size) array(size) ->
+                 unit
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "matrix mult",
+    source: SOURCE,
+    workload: "multiply two random 256x256 matrices (paper)",
+};
+
+/// Builds a random `n`×`n` matrix.
+pub fn workload(n: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = XorShift::new(seed);
+    (0..n).map(|_| rng.int_vec(n, 100)).collect()
+}
+
+/// Converts a matrix to a value.
+pub fn matrix_value(m: &[Vec<i64>]) -> Value {
+    Value::array(m.iter().map(|row| Value::int_array(row.iter().copied())).collect())
+}
+
+/// Builds the `(a, b, c)` argument; `c` is returned for inspection.
+pub fn args(a: &[Vec<i64>], b: &[Vec<i64>]) -> (Value, Value) {
+    let n = a.len();
+    let c = matrix_value(&vec![vec![0; n]; n]);
+    (
+        Value::Tuple(Rc::new(vec![matrix_value(a), matrix_value(b), c.clone()])),
+        c,
+    )
+}
+
+/// Extracts a matrix value back to vectors.
+pub fn matrix_back(v: &Value) -> Option<Vec<Vec<i64>>> {
+    match v {
+        Value::Array(rows) => rows.borrow().iter().map(|r| r.int_array_to_vec()).collect(),
+        _ => None,
+    }
+}
+
+/// Reference multiplication.
+pub fn reference(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    let n = a.len();
+    let mut c = vec![vec![0i64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut sum = 0;
+            for (k, bk) in b.iter().enumerate() {
+                sum += a[i][k] * bk[j];
+            }
+            c[i][j] = sum;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    #[test]
+    fn multiplies_correctly() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let a = workload(8, 1);
+        let b = workload(8, 2);
+        let (tuple, c) = args(&a, &b);
+        m.call("matmult", vec![tuple]).unwrap();
+        assert_eq!(matrix_back(&c).unwrap(), reference(&a, &b));
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let n = 5;
+        let a = workload(n, 3);
+        let mut eye = vec![vec![0i64; n]; n];
+        for (i, row) in eye.iter_mut().enumerate() {
+            row[i] = 1;
+        }
+        let (tuple, c) = args(&a, &eye);
+        m.call("matmult", vec![tuple]).unwrap();
+        assert_eq!(matrix_back(&c).unwrap(), a);
+    }
+
+    #[test]
+    fn check_counts() {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let n = 4usize;
+        let a = workload(n, 5);
+        let b = workload(n, 6);
+        let (tuple, _) = args(&a, &b);
+        m.call("matmult", vec![tuple]).unwrap();
+        // Per (i,j,k): 4 subs; per (i,j): 1 sub + 1 update.
+        let expected = (n * n * n * 4 + n * n * 2) as u64;
+        assert_eq!(m.counters.array_checks_executed, expected);
+    }
+}

@@ -1,0 +1,77 @@
+//! The n-queens problem (paper: a 12×12 board), counting placements.
+
+use crate::BenchProgram;
+use dml_eval::Value;
+
+/// The DML source.
+pub const SOURCE: &str = r#"
+fun queens(board) = let
+  val n = length board
+  fun ok(i, r, c) =
+    if i < r then
+      let val bi = sub(board, i) in
+        if bi = c then false
+        else if bi + (r - i) = c then false
+        else if bi - (r - i) = c then false
+        else ok(i+1, r, c)
+      end
+    else true
+  where ok <| {r:nat | r <= size} {i:nat | i <= r} int(i) * int(r) * int -> bool
+  fun cols(c, r, acc) =
+    if c < n then
+      (if ok(0, r, c) then
+         (update(board, r, c); cols(c+1, r, acc + place(r+1)))
+       else cols(c+1, r, acc))
+    else acc
+  where cols <| {r:nat | r < size} {c:nat | c <= size} int(c) * int(r) * int -> int
+  and place(r) =
+    if r = n then 1 else cols(0, r, 0)
+  where place <| {r:nat | r <= size} int(r) -> int
+in
+  place(0)
+end
+where queens <| {size:nat} int array(size) -> int
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "queen",
+    source: SOURCE,
+    workload: "count placements on a 12x12 board (paper)",
+};
+
+/// Builds the board argument for an `n`×`n` instance.
+pub fn args(n: usize) -> Value {
+    Value::int_array(std::iter::repeat_n(0, n))
+}
+
+/// Reference solution counts for small boards.
+pub fn reference(n: usize) -> u64 {
+    // OEIS A000170.
+    const COUNTS: [u64; 13] = [1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200];
+    COUNTS[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    fn solve(n: usize) -> i64 {
+        let ast = dml_syntax::parse_program(SOURCE).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        m.call("queens", vec![args(n)]).unwrap().as_int().unwrap()
+    }
+
+    #[test]
+    fn known_solution_counts() {
+        for n in 1..=8 {
+            assert_eq!(solve(n) as u64, reference(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_board_has_one_empty_placement() {
+        assert_eq!(solve(0), 1);
+    }
+}

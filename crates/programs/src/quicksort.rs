@@ -1,0 +1,94 @@
+//! Quicksort on arrays (SML/NJ library style, polymorphic with a
+//! comparison function), Lomuto partition.
+
+use crate::BenchProgram;
+use dml_eval::{Value, XorShift};
+
+/// The DML source. The partition loop's result type is an existential
+/// `[s:nat | lo <= s && s <= hi] int(s)` — the store index is statically
+/// unknown but bounded, exactly the idiom of §2.4.
+pub const SOURCE: &str = r#"
+fun('a){size:nat} quicksort cmp a = let
+  fun swap(i, j) =
+    let val t = sub(a, i) in
+      (update(a, i, sub(a, j)); update(a, j, t))
+    end
+  where swap <| {i:nat | i < size} {j:nat | j < size} int(i) * int(j) -> unit
+  fun part(j, store, lo, hi, pivot) =
+    if j < hi then
+      (if cmp(sub(a, j), pivot) then
+         (swap(j, store); part(j+1, store+1, lo, hi, pivot))
+       else part(j+1, store, lo, hi, pivot))
+    else store
+  where part <| {lo:nat} {hi:int | lo <= hi && hi < size} {store:nat | lo <= store}
+                {j:nat | store <= j && j <= hi}
+                int(j) * int(store) * int(lo) * int(hi) * 'a ->
+                [s:nat | lo <= s && s <= hi] int(s)
+  fun qsort(lo, hi) =
+    if lo < hi then
+      let val pivot = sub(a, hi)
+          val s = part(lo, lo, lo, hi, pivot)
+      in
+        (swap(s, hi); qsort(lo, s - 1); qsort(s + 1, hi))
+      end
+    else ()
+  where qsort <| {lo:nat | lo <= size} {hi:int | 0 <= hi+1 && hi < size}
+                 int(lo) * int(hi) -> unit
+in
+  qsort(0, length a - 1)
+end
+where quicksort <| ('a * 'a -> bool) -> 'a array(size) -> unit
+"#;
+
+/// Program metadata.
+pub const PROGRAM: BenchProgram = BenchProgram {
+    name: "quick sort",
+    source: SOURCE,
+    workload: "sort a random integer array (paper: size 2^20 from the SML/NJ library code)",
+};
+
+/// Builds a random array of `n` elements.
+pub fn workload(n: usize, seed: u64) -> Vec<i64> {
+    XorShift::new(seed).int_vec(n, 1_000_000)
+}
+
+/// Builds the array argument.
+pub fn args(data: &[i64]) -> Value {
+    Value::int_array(data.iter().copied())
+}
+
+/// The integer `<=` comparator as DML source to append for drivers.
+pub const INT_DRIVER: &str = "\nfun isort(a) = quicksort (fn (x, y) => x <= y) a\n\
+                              where isort <| {size:nat} int array(size) -> unit\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_eval::{CheckConfig, Machine};
+
+    fn sort(data: &[i64]) -> Vec<i64> {
+        let src = format!("{SOURCE}{INT_DRIVER}");
+        let ast = dml_syntax::parse_program(&src).unwrap();
+        let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
+        let arr = args(data);
+        m.call("isort", vec![arr.clone()]).unwrap();
+        arr.int_array_to_vec().unwrap()
+    }
+
+    #[test]
+    fn sorts_random_data() {
+        let data = workload(500, 13);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(sort(&data), expect);
+    }
+
+    #[test]
+    fn sorts_edge_cases() {
+        assert_eq!(sort(&[]), Vec::<i64>::new());
+        assert_eq!(sort(&[2, 1]), vec![1, 2]);
+        assert_eq!(sort(&[1, 1, 1, 1]), vec![1, 1, 1, 1]);
+        let descending: Vec<i64> = (0..100).rev().collect();
+        assert_eq!(sort(&descending), (0..100).collect::<Vec<i64>>());
+    }
+}

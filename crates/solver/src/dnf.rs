@@ -1,0 +1,249 @@
+//! Disjunctive normal form expansion of (lowered, NNF) propositions into
+//! inequality systems.
+//!
+//! Boolean index variables are modelled as 0/1 integer variables: the atom
+//! `b` becomes `β = 1`, `¬b` becomes `β = 0`, and `0 ≤ β ≤ 1` is added for
+//! every boolean variable mentioned.
+
+use crate::system::{Ineq, System};
+use dml_index::{Cmp, IExp, Linear, NonLinear, Prop, Var};
+use std::collections::BTreeSet;
+
+/// Error for propositions whose DNF is too large to expand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnfOverflow {
+    /// The limit that was exceeded.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for DnfOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DNF expansion exceeded {} disjuncts", self.limit)
+    }
+}
+
+impl std::error::Error for DnfOverflow {}
+
+/// A literal of the DNF: a linear atom or a boolean variable (possibly
+/// negated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Literal {
+    Cmp(Cmp, IExp, IExp),
+    BoolIs(Var, bool),
+    False,
+}
+
+/// Expands a proposition (already in NNF with linear atoms) into DNF and
+/// converts each disjunct into a [`System`] of integer inequalities.
+///
+/// # Errors
+///
+/// Returns [`DnfOverflow`] when more than `max_disjuncts` would be produced,
+/// or [`NonLinear`] if an atom cannot be linearised (callers should have
+/// lowered non-linear operators already).
+pub fn to_systems(p: &Prop, max_disjuncts: usize) -> Result<Vec<System>, DnfError> {
+    let clauses = dnf(p, max_disjuncts)?;
+    let mut out = Vec::with_capacity(clauses.len());
+    'clause: for clause in clauses {
+        let mut sys = System::new();
+        let mut bools: BTreeSet<Var> = BTreeSet::new();
+        for lit in clause {
+            match lit {
+                Literal::False => continue 'clause, // disjunct trivially unsat; skip
+                Literal::Cmp(op, a, b) => {
+                    let la = Linear::from_iexp(&a).map_err(DnfError::NonLinear)?;
+                    let lb = Linear::from_iexp(&b).map_err(DnfError::NonLinear)?;
+                    push_cmp(&mut sys, op, la, lb);
+                }
+                Literal::BoolIs(v, val) => {
+                    bools.insert(v.clone());
+                    let lv = Linear::var(v);
+                    sys.push_eq(lv, Linear::constant(if val { 1 } else { 0 }));
+                }
+            }
+        }
+        for b in bools {
+            let lv = Linear::var(b);
+            sys.push(Ineq::le(Linear::constant(0), lv.clone()));
+            sys.push(Ineq::le(lv, Linear::constant(1)));
+        }
+        out.push(sys);
+    }
+    Ok(out)
+}
+
+/// Errors from DNF conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnfError {
+    /// Too many disjuncts.
+    Overflow(DnfOverflow),
+    /// A non-linear atom survived lowering.
+    NonLinear(NonLinear),
+}
+
+impl std::fmt::Display for DnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnfError::Overflow(o) => write!(f, "{o}"),
+            DnfError::NonLinear(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl std::error::Error for DnfError {}
+
+fn push_cmp(sys: &mut System, op: Cmp, la: Linear, lb: Linear) {
+    match op {
+        Cmp::Le => sys.push(Ineq::le(la, lb)),
+        Cmp::Lt => sys.push(Ineq::lt(la, lb)),
+        Cmp::Ge => sys.push(Ineq::le(lb, la)),
+        Cmp::Gt => sys.push(Ineq::lt(lb, la)),
+        Cmp::Eq => sys.push_eq(la, lb),
+        Cmp::Ne => unreachable!("Ne atoms are rewritten before DNF"),
+    }
+}
+
+/// Rewrites `<>` atoms as disjunctions (`a <> b` → `a < b ∨ a > b`). Input
+/// must be in NNF; output is NNF without `Ne` atoms.
+pub fn expand_ne(p: &Prop) -> Prop {
+    match p {
+        Prop::Cmp(Cmp::Ne, a, b) => Prop::lt(a.clone(), b.clone())
+            .or(Prop::cmp(Cmp::Gt, a.clone(), b.clone())),
+        Prop::True | Prop::False | Prop::BVar(_) | Prop::Cmp(_, _, _) => p.clone(),
+        Prop::Not(q) => match q.as_ref() {
+            // NNF guarantees negation only wraps boolean variables.
+            Prop::BVar(_) => p.clone(),
+            other => Prop::Not(Box::new(expand_ne(other))),
+        },
+        Prop::And(a, b) => Prop::And(Box::new(expand_ne(a)), Box::new(expand_ne(b))),
+        Prop::Or(a, b) => Prop::Or(Box::new(expand_ne(a)), Box::new(expand_ne(b))),
+    }
+}
+
+fn dnf(p: &Prop, max: usize) -> Result<Vec<Vec<Literal>>, DnfError> {
+    let clauses = go(p, max)?;
+    Ok(clauses)
+}
+
+fn go(p: &Prop, max: usize) -> Result<Vec<Vec<Literal>>, DnfError> {
+    match p {
+        Prop::True => Ok(vec![Vec::new()]),
+        Prop::False => Ok(vec![vec![Literal::False]]),
+        Prop::BVar(v) => Ok(vec![vec![Literal::BoolIs(v.clone(), true)]]),
+        Prop::Not(q) => match q.as_ref() {
+            Prop::BVar(v) => Ok(vec![vec![Literal::BoolIs(v.clone(), false)]]),
+            other => {
+                // Push the negation and retry (defensive; NNF input should
+                // not reach here).
+                go(&other.clone().negate(), max)
+            }
+        },
+        Prop::Cmp(op, a, b) => Ok(vec![vec![Literal::Cmp(*op, a.clone(), b.clone())]]),
+        Prop::Or(a, b) => {
+            let mut l = go(a, max)?;
+            let r = go(b, max)?;
+            l.extend(r);
+            if l.len() > max {
+                return Err(DnfError::Overflow(DnfOverflow { limit: max }));
+            }
+            Ok(l)
+        }
+        Prop::And(a, b) => {
+            let l = go(a, max)?;
+            let r = go(b, max)?;
+            if l.len().saturating_mul(r.len()) > max {
+                return Err(DnfError::Overflow(DnfOverflow { limit: max }));
+            }
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for x in &l {
+                for y in &r {
+                    let mut clause = x.clone();
+                    clause.extend(y.iter().cloned());
+                    out.push(clause);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FourierOptions;
+    use crate::system::RefuteResult;
+    use dml_index::VarGen;
+
+    #[test]
+    fn single_atom_single_system() {
+        let p = Prop::le(IExp::lit(0), IExp::lit(1));
+        let systems = to_systems(&p, 16).unwrap();
+        assert_eq!(systems.len(), 1);
+        assert_eq!(systems[0].len(), 1);
+    }
+
+    #[test]
+    fn disjunction_splits() {
+        let p = Prop::le(IExp::lit(0), IExp::lit(1)).or(Prop::le(IExp::lit(1), IExp::lit(2)));
+        let systems = to_systems(&p, 16).unwrap();
+        assert_eq!(systems.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_distributes_over_disjunction() {
+        let a = Prop::le(IExp::lit(0), IExp::lit(1)).or(Prop::le(IExp::lit(1), IExp::lit(2)));
+        let b = Prop::le(IExp::lit(2), IExp::lit(3)).or(Prop::le(IExp::lit(3), IExp::lit(4)));
+        let systems = to_systems(&a.and(b), 16).unwrap();
+        assert_eq!(systems.len(), 4);
+    }
+
+    #[test]
+    fn overflow_reported() {
+        let atom = || Prop::le(IExp::lit(0), IExp::lit(1));
+        let mut p = atom().or(atom());
+        for _ in 0..6 {
+            p = p.clone().and(atom().or(atom()));
+        }
+        assert!(matches!(to_systems(&p, 16), Err(DnfError::Overflow(_))));
+    }
+
+    #[test]
+    fn ne_expansion() {
+        let mut g = VarGen::new();
+        let a = IExp::var(g.fresh("a"));
+        let p = Prop::cmp(Cmp::Ne, a.clone(), IExp::lit(0));
+        let q = expand_ne(&p);
+        assert!(matches!(q, Prop::Or(_, _)));
+        let systems = to_systems(&q, 16).unwrap();
+        assert_eq!(systems.len(), 2);
+    }
+
+    #[test]
+    fn bool_vars_become_01_ints() {
+        let mut g = VarGen::new();
+        let b = g.fresh("b");
+        // b ∧ ¬b is unsatisfiable.
+        let p = Prop::BVar(b.clone()).and(Prop::Not(Box::new(Prop::BVar(b))));
+        let systems = to_systems(&p, 16).unwrap();
+        assert_eq!(systems.len(), 1);
+        let (r, _) = systems[0].refute(&FourierOptions::default());
+        assert_eq!(r, RefuteResult::Refuted);
+    }
+
+    #[test]
+    fn false_literal_drops_disjunct() {
+        let p = Prop::False.or(Prop::le(IExp::lit(0), IExp::lit(1)));
+        let systems = to_systems(&p, 16).unwrap();
+        // The `false` disjunct is dropped entirely.
+        assert_eq!(systems.len(), 1);
+    }
+
+    #[test]
+    fn equality_becomes_two_ineqs() {
+        let mut g = VarGen::new();
+        let x = IExp::var(g.fresh("x"));
+        let p = Prop::eq(x, IExp::lit(3));
+        let systems = to_systems(&p, 16).unwrap();
+        assert_eq!(systems[0].len(), 2);
+    }
+}

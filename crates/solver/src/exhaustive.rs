@@ -1,0 +1,87 @@
+//! Brute-force integer satisfiability over bounded boxes.
+//!
+//! Used as ground truth in property tests (Fourier–Motzkin refutation must
+//! never disagree with exhaustive search) and as the slow "exact" reference
+//! in the ablation bench. This is *not* part of the type-checking pipeline.
+
+use crate::system::System;
+use dml_index::Var;
+use std::collections::HashMap;
+
+/// Searches for an integer solution of `sys` with every variable in
+/// `[-bound, bound]`. Returns a witness assignment if found.
+///
+/// The search is exponential in the number of variables; keep `bound` and
+/// the variable count small (property tests use ≤ 4 variables, bound ≤ 6).
+pub fn find_solution(sys: &System, bound: i64) -> Option<HashMap<Var, i64>> {
+    let vars: Vec<Var> = sys.vars().into_iter().collect();
+    let mut assignment: HashMap<Var, i64> = HashMap::new();
+    if search(sys, &vars, 0, bound, &mut assignment) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+fn search(
+    sys: &System,
+    vars: &[Var],
+    idx: usize,
+    bound: i64,
+    assignment: &mut HashMap<Var, i64>,
+) -> bool {
+    if idx == vars.len() {
+        let env = |v: &Var| assignment.get(v).copied();
+        return sys.satisfied_by(&env) == Some(true);
+    }
+    for val in -bound..=bound {
+        assignment.insert(vars[idx].clone(), val);
+        if search(sys, vars, idx + 1, bound, assignment) {
+            return true;
+        }
+    }
+    assignment.remove(&vars[idx]);
+    false
+}
+
+/// `true` if the system has **no** integer solution inside the box
+/// `[-bound, bound]^n`. Note this does not certify global unsatisfiability.
+pub fn unsat_in_box(sys: &System, bound: i64) -> bool {
+    find_solution(sys, bound).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Ineq;
+    use dml_index::{Linear, VarGen};
+
+    #[test]
+    fn finds_witness() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let mut s = System::new();
+        // 3 ≤ x ≤ 4
+        s.push(Ineq::le(Linear::constant(3), Linear::var(x.clone())));
+        s.push(Ineq::le(Linear::var(x.clone()), Linear::constant(4)));
+        let w = find_solution(&s, 6).expect("solution exists");
+        let v = w[&x];
+        assert!((3..=4).contains(&v));
+    }
+
+    #[test]
+    fn reports_unsat_in_box() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let mut s = System::new();
+        s.push(Ineq::le(Linear::constant(1), Linear::var(x.clone())));
+        s.push(Ineq::le(Linear::var(x), Linear::constant(0)));
+        assert!(unsat_in_box(&s, 6));
+    }
+
+    #[test]
+    fn empty_system_has_trivial_solution() {
+        let s = System::new();
+        assert!(find_solution(&s, 2).is_some());
+    }
+}

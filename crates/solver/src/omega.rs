@@ -1,0 +1,510 @@
+//! An implementation of the **Omega test** (Pugh, 1991; Pugh & Wonnacott,
+//! 1992/1994) — the exact integer satisfiability procedure the paper cites
+//! as future work for its constraint solver (§3.2, §6: "We would also like
+//! to incorporate the ideas and observations from (Pugh and Wonnacott
+//! 1994) into our constraint solver").
+//!
+//! Unlike Fourier–Motzkin with tightening (sound for refutation but
+//! incomplete), the Omega test *decides* integer satisfiability:
+//!
+//! 1. **Equality elimination**: unit-coefficient equalities substitute
+//!    directly; others are reduced by the `mod̂` transformation, which
+//!    introduces an auxiliary variable and strictly shrinks coefficients.
+//! 2. **Real shadow**: ordinary FM elimination — unsatisfiable real shadow
+//!    means unsatisfiable system.
+//! 3. **Dark shadow**: FM combination with the extra slack
+//!    `(a−1)(b−1)`; a satisfiable dark shadow guarantees an integer point.
+//! 4. **Splinters**: in the gray region, case-split on
+//!    `b·x = l + i` for `0 ≤ i ≤ (a·b − a − b)/a` per lower bound, where
+//!    `a` is the largest upper-bound coefficient of `x`.
+//!
+//! The implementation is fuel-bounded and returns [`Tri::Unknown`] when the
+//! budget is exhausted — callers treat that as "not proven" (fail-safe).
+
+use crate::system::System;
+
+use dml_index::{Linear, Var, VarGen};
+use std::collections::BTreeSet;
+
+/// Three-valued satisfiability verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// The system has an integer solution.
+    Sat,
+    /// The system has no integer solution.
+    Unsat,
+    /// The fuel budget was exhausted before a decision.
+    Unknown,
+}
+
+/// Resource limits for the Omega test.
+#[derive(Debug, Clone, Copy)]
+pub struct OmegaOptions {
+    /// Recursion budget (each dark-shadow/splinter branch consumes one).
+    pub max_depth: u32,
+    /// Maximum number of inequalities in any intermediate system.
+    pub max_ineqs: usize,
+}
+
+impl Default for OmegaOptions {
+    fn default() -> Self {
+        OmegaOptions { max_depth: 24, max_ineqs: 4096 }
+    }
+}
+
+/// Decides integer satisfiability of a [`System`] (conjunction of
+/// `lin ≤ 0`).
+pub fn omega_sat(sys: &System, gen: &mut VarGen, opts: &OmegaOptions) -> Tri {
+    // Defend against a supply that did not create the system's variables:
+    // the auxiliary σ variables must not collide with existing ids.
+    for v in sys.vars() {
+        gen.advance_past(v.id());
+    }
+    let ineqs: Vec<Linear> = sys.ineqs().iter().map(|i| i.linear().clone()).collect();
+    solve(Vec::new(), ineqs, gen, opts, opts.max_depth)
+}
+
+/// `true` if the Omega test *refutes* the system (exact UNSAT).
+pub fn omega_refutes(sys: &System, gen: &mut VarGen, opts: &OmegaOptions) -> bool {
+    omega_sat(sys, gen, opts) == Tri::Unsat
+}
+
+/// Core solver over equalities (`= 0`) and inequalities (`≤ 0`).
+fn solve(
+    mut eqs: Vec<Linear>,
+    mut ineqs: Vec<Linear>,
+    gen: &mut VarGen,
+    opts: &OmegaOptions,
+    fuel: u32,
+) -> Tri {
+    if fuel == 0 || ineqs.len() > opts.max_ineqs {
+        return Tri::Unknown;
+    }
+
+    // ----- 1. Equality elimination. ---------------------------------
+    let mut eq_rounds = 0u32;
+    while let Some(eq) = eqs.pop() {
+        eq_rounds += 1;
+        if eq_rounds > 256 {
+            return Tri::Unknown;
+        }
+        let g = eq.coeff_gcd();
+        if g == 0 {
+            if eq.constant_term() != 0 {
+                return Tri::Unsat;
+            }
+            continue;
+        }
+        if eq.constant_term() % g != 0 {
+            return Tri::Unsat; // no integer solution to g | c
+        }
+        let eq = eq.div_exact(g).expect("gcd divides");
+        // Unit coefficient: substitute directly (exact).
+        if let Some((v, c)) = eq.terms().find(|(_, c)| c.abs() == 1) {
+            let v = v.clone();
+            // c·v + rest = 0  →  v = −rest/c = rest·(−c) for c = ±1.
+            let mut rest = eq.clone();
+            rest.add_term(v.clone(), -c);
+            let replacement = rest.scale(-c);
+            for e in eqs.iter_mut() {
+                *e = e.subst(&v, &replacement);
+            }
+            for i in ineqs.iter_mut() {
+                *i = i.subst(&v, &replacement);
+            }
+            continue;
+        }
+        // mod̂ reduction: pick the variable with the smallest |coefficient|.
+        let (vk, ak) = eq
+            .terms()
+            .min_by_key(|(_, c)| c.abs())
+            .map(|(v, c)| (v.clone(), c))
+            .expect("equality with no unit coefficient has variables");
+        let m = ak.abs() + 1;
+        let sigma = gen.fresh_tagged("s");
+        // New equation: Σ hat(aᵢ)·xᵢ + hat(c) = m·σ, where
+        // hat(a) = a − m·⌊a/m + 1/2⌋ ∈ (−m/2, m/2].
+        let mut hat_eq = Linear::zero();
+        for (v, c) in eq.terms() {
+            hat_eq.add_term(v.clone(), hat(c, m));
+        }
+        hat_eq.add_constant(hat(eq.constant_term(), m));
+        hat_eq.add_term(sigma.clone(), -m);
+        // hat(ak) = −sign(ak): the new equation is unit in vk; solve it.
+        let ck = hat_eq.coeff(&vk);
+        debug_assert_eq!(
+            ck.abs(),
+            1,
+            "mod-hat must produce a unit coefficient: eq={eq} vk={vk} ak={ak} m={m}"
+        );
+        let mut rest = hat_eq.clone();
+        rest.add_term(vk.clone(), -ck);
+        let replacement = rest.scale(-ck);
+        for e in eqs.iter_mut() {
+            *e = e.subst(&vk, &replacement);
+        }
+        for i in ineqs.iter_mut() {
+            *i = i.subst(&vk, &replacement);
+        }
+        // The original equality (with vk substituted) returns to the
+        // worklist with strictly smaller coefficients.
+        eqs.push(eq.subst(&vk, &replacement));
+    }
+
+    // ----- 2. Normalise inequalities (gcd tightening). --------------
+    let mut work: Vec<Linear> = Vec::with_capacity(ineqs.len());
+    for lin in ineqs {
+        let g = lin.coeff_gcd();
+        if g == 0 {
+            if lin.constant_term() > 0 {
+                return Tri::Unsat;
+            }
+            continue;
+        }
+        // Σ aᵢxᵢ ≤ −c  →  Σ (aᵢ/g)xᵢ ≤ ⌊−c/g⌋ : constant becomes ⌈c/g⌉.
+        let mut out = Linear::zero();
+        for (v, c) in lin.terms() {
+            out.add_term(v.clone(), c / g);
+        }
+        let c = lin.constant_term();
+        let ceil = if c >= 0 { (c + g - 1) / g } else { -((-c) / g) };
+        out.add_constant(ceil);
+        if out.is_constant() {
+            if out.constant_term() > 0 {
+                return Tri::Unsat;
+            }
+            continue;
+        }
+        work.push(out);
+    }
+    work.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+    work.dedup();
+
+    // ----- 3. Variable elimination. ----------------------------------
+    loop {
+        if work.is_empty() {
+            return Tri::Sat;
+        }
+        let mut vars: BTreeSet<Var> = BTreeSet::new();
+        for lin in &work {
+            vars.extend(lin.vars().cloned());
+        }
+        // Unbounded variables (only uppers or only lowers) are free to
+        // absorb their constraints: drop those inequalities (exact).
+        let mut dropped_unbounded = false;
+        for v in &vars {
+            let ups = work.iter().filter(|l| l.coeff(v) > 0).count();
+            let los = work.iter().filter(|l| l.coeff(v) < 0).count();
+            if ups == 0 || los == 0 {
+                work.retain(|l| l.coeff(v) == 0);
+                dropped_unbounded = true;
+            }
+        }
+        if dropped_unbounded {
+            continue;
+        }
+        if vars.is_empty() {
+            return Tri::Sat;
+        }
+
+        // Pick the cheapest variable.
+        let target = vars
+            .iter()
+            .min_by_key(|v| {
+                let ups = work.iter().filter(|l| l.coeff(v) > 0).count();
+                let los = work.iter().filter(|l| l.coeff(v) < 0).count();
+                ups * los
+            })
+            .cloned()
+            .expect("non-empty");
+
+        let uppers: Vec<Linear> =
+            work.iter().filter(|l| l.coeff(&target) > 0).cloned().collect();
+        let lowers: Vec<Linear> =
+            work.iter().filter(|l| l.coeff(&target) < 0).cloned().collect();
+        let rest: Vec<Linear> =
+            work.iter().filter(|l| l.coeff(&target) == 0).cloned().collect();
+
+        // Exact elimination when every pairing has a unit coefficient.
+        let all_unit = uppers
+            .iter()
+            .all(|u| u.coeff(&target) == 1)
+            || lowers.iter().all(|l| l.coeff(&target) == -1);
+        if all_unit {
+            let mut next = rest;
+            for u in &uppers {
+                for l in &lowers {
+                    let a = u.coeff(&target);
+                    let b = -l.coeff(&target);
+                    let combined = u.scale(b).add(&l.scale(a));
+                    debug_assert_eq!(combined.coeff(&target), 0);
+                    if combined.is_constant() {
+                        if combined.constant_term() > 0 {
+                            return Tri::Unsat;
+                        }
+                    } else {
+                        next.push(combined);
+                    }
+                }
+            }
+            if next.len() > opts.max_ineqs {
+                return Tri::Unknown;
+            }
+            next.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+            next.dedup();
+            work = next;
+            continue;
+        }
+
+        // Inexact: real shadow, dark shadow, splinters.
+        let mut real = rest.clone();
+        let mut dark = rest.clone();
+        for u in &uppers {
+            for l in &lowers {
+                let a = u.coeff(&target);
+                let b = -l.coeff(&target);
+                let combined = u.scale(b).add(&l.scale(a));
+                real.push(combined.clone());
+                dark.push(combined.add(&Linear::constant((a - 1) * (b - 1))));
+            }
+        }
+        if real.len() > opts.max_ineqs {
+            return Tri::Unknown;
+        }
+        match solve(Vec::new(), real, gen, opts, fuel - 1) {
+            Tri::Unsat => return Tri::Unsat,
+            Tri::Unknown => return Tri::Unknown,
+            Tri::Sat => {}
+        }
+        match solve(Vec::new(), dark, gen, opts, fuel - 1) {
+            Tri::Sat => return Tri::Sat,
+            Tri::Unknown => return Tri::Unknown,
+            Tri::Unsat => {}
+        }
+        // Gray region: splinter on each lower bound.
+        let a_max = uppers.iter().map(|u| u.coeff(&target)).max().expect("has uppers");
+        let mut any_unknown = false;
+        for l in &lowers {
+            let b = -l.coeff(&target);
+            // l ≤ b·x (as a linear form: l_rest ≤ b·x where l = l_rest − b·x).
+            let mut l_rest = l.clone();
+            l_rest.add_term(target.clone(), b); // now l_rest ≤ 0 means l_rest ≤ b·x... keep exact form below.
+            let bound = (a_max * b - a_max - b) / a_max;
+            for i in 0..=bound {
+                // Splinter: b·x = l_rest + i  ⇔  l + b·x ... construct
+                // equality: (l with the −b·x term removed) + i − b·x = 0.
+                let mut eq = l_rest.clone();
+                eq.add_constant(i);
+                eq.add_term(target.clone(), -b);
+                let mut sub_eqs = vec![eq];
+                let sub_ineqs = work.clone();
+                match solve(std::mem::take(&mut sub_eqs), sub_ineqs, gen, opts, fuel - 1) {
+                    Tri::Sat => return Tri::Sat,
+                    Tri::Unknown => any_unknown = true,
+                    Tri::Unsat => {}
+                }
+            }
+        }
+        return if any_unknown { Tri::Unknown } else { Tri::Unsat };
+    }
+}
+
+/// `hat(a) = a mod̂ m`, the representative of `a (mod m)` in
+/// `(−m/2, m/2]`.
+fn hat(a: i64, m: i64) -> i64 {
+    debug_assert!(m > 1);
+    let r = a.rem_euclid(m); // in [0, m)
+    if 2 * r > m {
+        r - m
+    } else {
+        r
+    }
+}
+
+/// Cheap divisibility helper re-exported for tests.
+pub fn divides(d: i64, n: i64) -> bool {
+    d != 0 && n % d == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive;
+    use crate::system::Ineq;
+
+    fn lv(v: &Var) -> Linear {
+        Linear::var(v.clone())
+    }
+
+    fn k(c: i64) -> Linear {
+        Linear::constant(c)
+    }
+
+    fn sat(sys: &System) -> Tri {
+        let mut gen = VarGen::new();
+        omega_sat(sys, &mut gen, &OmegaOptions::default())
+    }
+
+    #[test]
+    fn hat_is_centered_residue() {
+        for m in 2..8i64 {
+            for a in -30..30i64 {
+                let h = hat(a, m);
+                assert!((a - h) % m == 0, "hat({a}, {m}) = {h} not congruent");
+                assert!(h > -(m + 1) / 2 - 1 && 2 * h <= m, "hat({a}, {m}) = {h} out of range");
+            }
+        }
+        assert_eq!(hat(5, 2), 1);
+        assert_eq!(hat(4, 3), 1);
+        assert_eq!(hat(-4, 3), -1);
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let mut s = System::new();
+        s.push(Ineq::le(k(0), lv(&x)));
+        s.push(Ineq::le(lv(&x), k(5)));
+        assert_eq!(sat(&s), Tri::Sat);
+
+        let mut s = System::new();
+        s.push(Ineq::le(k(1), lv(&x)));
+        s.push(Ineq::le(lv(&x), k(0)));
+        assert_eq!(sat(&s), Tri::Unsat);
+    }
+
+    #[test]
+    fn parity_gap_detected() {
+        // 1 ≤ 2x ≤ 1: rational solution x = 1/2 only.
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let mut s = System::new();
+        s.push(Ineq::le(k(1), lv(&x).scale(2)));
+        s.push(Ineq::le(lv(&x).scale(2), k(1)));
+        assert_eq!(sat(&s), Tri::Unsat);
+    }
+
+    /// Pugh's classic example: 27 ≤ 11x + 13y ≤ 45 ∧ −10 ≤ 7x − 9y ≤ 4 is
+    /// rationally satisfiable but has no integer solution.
+    #[test]
+    fn pugh_classic_gray_region() {
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let y = gen.fresh("y");
+        let e1 = lv(&x).scale(11).add(&lv(&y).scale(13));
+        let e2 = lv(&x).scale(7).sub(&lv(&y).scale(9));
+        let mut s = System::new();
+        s.push(Ineq::le(k(27), e1.clone()));
+        s.push(Ineq::le(e1, k(45)));
+        s.push(Ineq::le(k(-10), e2.clone()));
+        s.push(Ineq::le(e2, k(4)));
+        // Plain FM + tightening does NOT refute this one...
+        let (fm, _) = s.refute(&crate::system::FourierOptions::default());
+        assert_eq!(fm, crate::system::RefuteResult::PossiblySat);
+        // ...the Omega test decides it exactly.
+        assert_eq!(sat(&s), Tri::Unsat);
+        // Sanity: brute force agrees within a box comfortably containing
+        // the rational polytope.
+        assert!(exhaustive::find_solution(&s, 10).is_none());
+    }
+
+    #[test]
+    fn pugh_classic_relaxed_is_sat() {
+        // Widen one band so an integer point exists: x=2, y=2 satisfies
+        // 27 ≤ 11x+13y = 48 ≤ 52 and 7x−9y = −4 ∈ [−10, 4].
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let y = gen.fresh("y");
+        let e1 = lv(&x).scale(11).add(&lv(&y).scale(13));
+        let e2 = lv(&x).scale(7).sub(&lv(&y).scale(9));
+        let mut s = System::new();
+        s.push(Ineq::le(k(27), e1.clone()));
+        s.push(Ineq::le(e1, k(52)));
+        s.push(Ineq::le(k(-10), e2.clone()));
+        s.push(Ineq::le(e2, k(4)));
+        assert!(exhaustive::find_solution(&s, 6).is_some(), "witness exists");
+        assert_eq!(sat(&s), Tri::Sat);
+    }
+
+    #[test]
+    fn equality_with_gcd_gap() {
+        // 3x + 6y = 4 has no integer solution (gcd 3 does not divide 4).
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let y = gen.fresh("y");
+        let mut s = System::new();
+        let e = lv(&x).scale(3).add(&lv(&y).scale(6));
+        s.push_eq(e, k(4));
+        assert_eq!(sat(&s), Tri::Unsat);
+    }
+
+    #[test]
+    fn equality_mod_reduction() {
+        // 7x + 12y = 17 has integer solutions (x=-1, y=2).
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let y = gen.fresh("y");
+        let mut s = System::new();
+        let e = lv(&x).scale(7).add(&lv(&y).scale(12));
+        s.push_eq(e, k(17));
+        assert_eq!(sat(&s), Tri::Sat);
+    }
+
+    #[test]
+    fn bounded_equality_unsat() {
+        // 7x + 12y = 17, 0 ≤ x ≤ 1, 0 ≤ y ≤ 1: only candidate points fail.
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let y = gen.fresh("y");
+        let mut s = System::new();
+        let e = lv(&x).scale(7).add(&lv(&y).scale(12));
+        s.push_eq(e, k(17));
+        s.push(Ineq::le(k(0), lv(&x)));
+        s.push(Ineq::le(lv(&x), k(1)));
+        s.push(Ineq::le(k(0), lv(&y)));
+        s.push(Ineq::le(lv(&y), k(1)));
+        assert_eq!(sat(&s), Tri::Unsat);
+    }
+
+    #[test]
+    fn unbounded_variables_absorbed() {
+        // x ≤ y with both unbounded: trivially satisfiable.
+        let mut gen = VarGen::new();
+        let x = gen.fresh("x");
+        let y = gen.fresh("y");
+        let mut s = System::new();
+        s.push(Ineq::le(lv(&x), lv(&y)));
+        assert_eq!(sat(&s), Tri::Sat);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_a_grid_of_cases() {
+        // A deterministic sweep over small two-variable band systems.
+        let mut checked = 0;
+        for lo1 in -3..=3i64 {
+            for w1 in 0..=2i64 {
+                for lo2 in -3..=0i64 {
+                    let mut gen = VarGen::new();
+                    let x = gen.fresh("x");
+                    let y = gen.fresh("y");
+                    let e1 = lv(&x).scale(2).add(&lv(&y).scale(3));
+                    let e2 = lv(&x).scale(5).sub(&lv(&y).scale(2));
+                    let mut s = System::new();
+                    s.push(Ineq::le(k(lo1), e1.clone()));
+                    s.push(Ineq::le(e1, k(lo1 + w1)));
+                    s.push(Ineq::le(k(lo2), e2.clone()));
+                    s.push(Ineq::le(e2, k(lo2 + 1)));
+                    let brute = exhaustive::find_solution(&s, 12).is_some();
+                    match sat(&s) {
+                        Tri::Sat => assert!(brute, "omega Sat but brute none: {s}"),
+                        Tri::Unsat => assert!(!brute, "omega Unsat but brute found: {s}"),
+                        Tri::Unknown => {}
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 50);
+    }
+}

@@ -1,0 +1,76 @@
+//! Solver statistics, feeding Table 1's "constraints generated / solved"
+//! columns and the ablation benches.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated across one [`crate::Solver::prove`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of proof goals (sequents) examined.
+    pub goals: usize,
+    /// Goals proven valid.
+    pub proven: usize,
+    /// Goals not proven (counterexample possible, non-linear, residual
+    /// existential, or resource overflow).
+    pub not_proven: usize,
+    /// Existential variables eliminated by equality substitution.
+    pub existentials_eliminated: usize,
+    /// Existential variables that could not be eliminated.
+    pub existentials_residual: usize,
+    /// DNF disjuncts refuted.
+    pub disjuncts_refuted: usize,
+    /// Fourier–Motzkin pair combinations performed.
+    pub fm_combinations: usize,
+    /// Fresh variables introduced by non-linear lowering.
+    pub lowered_vars: usize,
+    /// Wall-clock time spent solving.
+    pub solve_time: Duration,
+}
+
+impl SolverStats {
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.goals += other.goals;
+        self.proven += other.proven;
+        self.not_proven += other.not_proven;
+        self.existentials_eliminated += other.existentials_eliminated;
+        self.existentials_residual += other.existentials_residual;
+        self.disjuncts_refuted += other.disjuncts_refuted;
+        self.fm_combinations += other.fm_combinations;
+        self.lowered_vars += other.lowered_vars;
+        self.solve_time += other.solve_time;
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} goals ({} proven, {} not proven), {} FM combinations, {:?}",
+            self.goals, self.proven, self.not_proven, self.fm_combinations, self.solve_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = SolverStats { goals: 2, proven: 1, ..Default::default() };
+        let b = SolverStats { goals: 3, proven: 3, fm_combinations: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.goals, 5);
+        assert_eq!(a.proven, 4);
+        assert_eq!(a.fm_combinations, 7);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = SolverStats { goals: 1, proven: 1, ..Default::default() };
+        let text = s.to_string();
+        assert!(text.contains("1 goals"), "{text}");
+    }
+}

@@ -1,0 +1,470 @@
+//! Systems of linear integer inequalities and Fourier–Motzkin refutation
+//! with the paper's integer tightening step.
+//!
+//! An [`Ineq`] represents `lin ≤ 0` where `lin` is a [`Linear`] form.
+//! [`System::refute`] eliminates variables one at a time; if a contradictory
+//! constant inequality (`c ≤ 0` with `c > 0`) appears, the system has **no
+//! integer solution** and refutation succeeds.
+//!
+//! Tightening (§3.2): an inequality `Σ aᵢxᵢ ≤ a` is replaced by
+//! `Σ (aᵢ/g)xᵢ ≤ ⌊a/g⌋` where `g = gcd(aᵢ)`. This preserves integer
+//! solutions exactly while shrinking the rational relaxation, which is what
+//! lets the solver discharge the `div`-heavy constraints of `bcopy` and
+//! `bsearch`.
+
+
+use dml_index::{Linear, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single inequality `lin ≤ 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ineq {
+    lin: Linear,
+}
+
+impl Ineq {
+    /// Builds `lin ≤ 0`.
+    pub fn le_zero(lin: Linear) -> Ineq {
+        Ineq { lin }
+    }
+
+    /// Builds `a ≤ b` as `a − b ≤ 0`.
+    pub fn le(a: Linear, b: Linear) -> Ineq {
+        Ineq { lin: a.sub(&b) }
+    }
+
+    /// Builds `a < b` as `a − b + 1 ≤ 0` (exact over the integers).
+    pub fn lt(a: Linear, b: Linear) -> Ineq {
+        Ineq { lin: a.sub(&b).add(&Linear::constant(1)) }
+    }
+
+    /// The underlying linear form (`self` means `lin ≤ 0`).
+    pub fn linear(&self) -> &Linear {
+        &self.lin
+    }
+
+    /// `true` if the inequality is variable-free and violated (`c ≤ 0` with
+    /// `c > 0`).
+    pub fn is_contradiction(&self) -> bool {
+        self.lin.is_constant() && self.lin.constant_term() > 0
+    }
+
+    /// `true` if the inequality is variable-free and trivially satisfied.
+    pub fn is_trivial(&self) -> bool {
+        self.lin.is_constant() && self.lin.constant_term() <= 0
+    }
+
+    /// Integer tightening: divide variable coefficients by their GCD `g` and
+    /// replace the constant by `⌈c/g⌉` (for the `lin ≤ 0` orientation).
+    ///
+    /// Writing the inequality as `Σ aᵢxᵢ ≤ -c`, the tightened form is
+    /// `Σ (aᵢ/g) xᵢ ≤ ⌊-c/g⌋`, which in `≤ 0` orientation has constant
+    /// `-⌊-c/g⌋ = ⌈c/g⌉`.
+    pub fn tighten(&self) -> Ineq {
+        let g = self.lin.coeff_gcd();
+        if g <= 1 {
+            return self.clone();
+        }
+        let mut out = Linear::zero();
+        for (v, c) in self.lin.terms() {
+            out.add_term(v.clone(), c / g);
+        }
+        // ceil(c / g) for possibly negative c.
+        let c = self.lin.constant_term();
+        let ceil = if c >= 0 { (c + g - 1) / g } else { -((-c) / g) };
+        out.add_constant(ceil);
+        Ineq { lin: out }
+    }
+
+    /// Evaluates the inequality under an assignment.
+    pub fn holds(&self, env: &dyn Fn(&Var) -> Option<i64>) -> Option<bool> {
+        Some(self.lin.eval(env)? <= 0)
+    }
+}
+
+impl fmt::Display for Ineq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= 0", self.lin)
+    }
+}
+
+/// Result of a refutation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefuteResult {
+    /// The system has no integer solution (a contradiction was derived).
+    Refuted,
+    /// Elimination completed without contradiction: the rational relaxation
+    /// (after tightening) is satisfiable, so the system *may* have integer
+    /// solutions. Fail-safe: the goal is not proven.
+    PossiblySat,
+    /// Resource limits hit; treated like [`RefuteResult::PossiblySat`].
+    Overflow,
+}
+
+/// Tuning knobs for Fourier–Motzkin elimination.
+#[derive(Debug, Clone, Copy)]
+pub struct FourierOptions {
+    /// Apply integer tightening after every combination (the paper's
+    /// extension of Fourier's method). Disable for the ablation bench.
+    pub tighten: bool,
+    /// Abort when the working set exceeds this many inequalities.
+    pub max_ineqs: usize,
+    /// Abort after this many pair combinations.
+    pub max_combinations: usize,
+}
+
+impl Default for FourierOptions {
+    fn default() -> Self {
+        FourierOptions { tighten: true, max_ineqs: 50_000, max_combinations: 2_000_000 }
+    }
+}
+
+/// A conjunction of inequalities `lin ≤ 0`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct System {
+    ineqs: Vec<Ineq>,
+}
+
+impl System {
+    /// The empty (trivially satisfiable) system.
+    pub fn new() -> System {
+        System::default()
+    }
+
+    /// Adds an inequality.
+    pub fn push(&mut self, ineq: Ineq) {
+        self.ineqs.push(ineq);
+    }
+
+    /// Adds the equation `a = b` as two inequalities.
+    pub fn push_eq(&mut self, a: Linear, b: Linear) {
+        self.ineqs.push(Ineq::le(a.clone(), b.clone()));
+        self.ineqs.push(Ineq::le(b, a));
+    }
+
+    /// The inequalities of the system.
+    pub fn ineqs(&self) -> &[Ineq] {
+        &self.ineqs
+    }
+
+    /// Number of inequalities.
+    pub fn len(&self) -> usize {
+        self.ineqs.len()
+    }
+
+    /// `true` if the system has no inequalities.
+    pub fn is_empty(&self) -> bool {
+        self.ineqs.is_empty()
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        for i in &self.ineqs {
+            for v in i.linear().vars() {
+                out.insert(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Checks whether an assignment satisfies every inequality.
+    pub fn satisfied_by(&self, env: &dyn Fn(&Var) -> Option<i64>) -> Option<bool> {
+        for i in &self.ineqs {
+            if !i.holds(env)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// Attempts to refute the system (prove it has no integer solution) by
+    /// Fourier–Motzkin elimination with optional integer tightening.
+    ///
+    /// Returns the result together with the number of pair combinations
+    /// performed (for solver statistics).
+    pub fn refute(&self, opts: &FourierOptions) -> (RefuteResult, usize) {
+        let mut work: Vec<Ineq> = Vec::with_capacity(self.ineqs.len());
+        for i in &self.ineqs {
+            let i = if opts.tighten { i.tighten() } else { i.clone() };
+            if i.is_contradiction() {
+                return (RefuteResult::Refuted, 0);
+            }
+            if !i.is_trivial() {
+                work.push(i);
+            }
+        }
+        let mut combinations = 0usize;
+        loop {
+            // Collect remaining variables.
+            let mut vars = BTreeSet::new();
+            for i in &work {
+                for v in i.linear().vars() {
+                    vars.insert(v.clone());
+                }
+            }
+            let Some(target) = Self::pick_variable(&work, &vars) else {
+                // No variables left and no contradiction was found.
+                return (RefuteResult::PossiblySat, combinations);
+            };
+
+            let mut lowers: Vec<&Ineq> = Vec::new(); // coeff < 0
+            let mut uppers: Vec<&Ineq> = Vec::new(); // coeff > 0
+            let mut rest: Vec<Ineq> = Vec::new();
+            for i in &work {
+                let c = i.linear().coeff(&target);
+                if c > 0 {
+                    uppers.push(i);
+                } else if c < 0 {
+                    lowers.push(i);
+                } else {
+                    rest.push(i.clone());
+                }
+            }
+
+            for up in &uppers {
+                for lo in &lowers {
+                    combinations += 1;
+                    if combinations > opts.max_combinations {
+                        return (RefuteResult::Overflow, combinations);
+                    }
+                    let a = up.linear().coeff(&target); // a > 0
+                    let b = -lo.linear().coeff(&target); // b > 0
+                    // b·up + a·lo eliminates `target`.
+                    let combined = up.linear().scale(b).add(&lo.linear().scale(a));
+                    debug_assert_eq!(combined.coeff(&target), 0);
+                    let mut ineq = Ineq::le_zero(combined);
+                    if opts.tighten {
+                        ineq = ineq.tighten();
+                    }
+                    if ineq.is_contradiction() {
+                        return (RefuteResult::Refuted, combinations);
+                    }
+                    if !ineq.is_trivial() {
+                        rest.push(ineq);
+                    }
+                }
+            }
+            if rest.len() > opts.max_ineqs {
+                return (RefuteResult::Overflow, combinations);
+            }
+            // Deduplicate to keep the working set small.
+            rest.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+            rest.dedup();
+            work = rest;
+            if work.is_empty() {
+                return (RefuteResult::PossiblySat, combinations);
+            }
+        }
+    }
+
+    /// Chooses the elimination variable minimising the number of new
+    /// inequalities (`#uppers × #lowers`), the classic greedy heuristic.
+    fn pick_variable(work: &[Ineq], vars: &BTreeSet<Var>) -> Option<Var> {
+        let mut best: Option<(Var, usize)> = None;
+        for v in vars {
+            let mut ups = 0usize;
+            let mut los = 0usize;
+            for i in work {
+                let c = i.linear().coeff(v);
+                if c > 0 {
+                    ups += 1;
+                } else if c < 0 {
+                    los += 1;
+                }
+            }
+            let cost = ups * los;
+            match &best {
+                Some((_, c)) if *c <= cost => {}
+                _ => best = Some((v.clone(), cost)),
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+}
+
+impl FromIterator<Ineq> for System {
+    fn from_iter<T: IntoIterator<Item = Ineq>>(iter: T) -> Self {
+        System { ineqs: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Ineq> for System {
+    fn extend<T: IntoIterator<Item = Ineq>>(&mut self, iter: T) {
+        self.ineqs.extend(iter);
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, i) in self.ineqs.iter().enumerate() {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::VarGen;
+
+    fn lv(v: &Var) -> Linear {
+        Linear::var(v.clone())
+    }
+
+    fn k(c: i64) -> Linear {
+        Linear::constant(c)
+    }
+
+    #[test]
+    fn tighten_matches_paper() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let y = g.fresh("y");
+        // 2x + 2y ≤ 1  has no integer solutions with x + y ≥ 1; tightened it
+        // becomes x + y ≤ 0.
+        let i = Ineq::le(lv(&x).scale(2).add(&lv(&y).scale(2)), k(1));
+        let t = i.tighten();
+        assert_eq!(t, Ineq::le(lv(&x).add(&lv(&y)), k(0)));
+    }
+
+    #[test]
+    fn tighten_negative_constant() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        // 3x ≤ -2  →  x ≤ ⌊-2/3⌋ = -1.
+        let i = Ineq::le(lv(&x).scale(3), k(-2));
+        let t = i.tighten();
+        assert_eq!(t, Ineq::le(lv(&x), k(-1)));
+    }
+
+    #[test]
+    fn tighten_identity_when_gcd_one() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let y = g.fresh("y");
+        let i = Ineq::le(lv(&x).scale(2).add(&lv(&y).scale(3)), k(5));
+        assert_eq!(i.tighten(), i);
+    }
+
+    #[test]
+    fn refute_simple_contradiction() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let mut s = System::new();
+        // x ≤ 0 and x ≥ 1.
+        s.push(Ineq::le(lv(&x), k(0)));
+        s.push(Ineq::le(k(1), lv(&x)));
+        let (r, _) = s.refute(&FourierOptions::default());
+        assert_eq!(r, RefuteResult::Refuted);
+    }
+
+    #[test]
+    fn satisfiable_system_not_refuted() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let y = g.fresh("y");
+        let mut s = System::new();
+        // 0 ≤ x ≤ y ≤ 10.
+        s.push(Ineq::le(k(0), lv(&x)));
+        s.push(Ineq::le(lv(&x), lv(&y)));
+        s.push(Ineq::le(lv(&y), k(10)));
+        let (r, _) = s.refute(&FourierOptions::default());
+        assert_eq!(r, RefuteResult::PossiblySat);
+    }
+
+    #[test]
+    fn tightening_refutes_integer_infeasible() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        // 1 ≤ 2x ≤ 1: rationally satisfiable (x = 1/2), integrally not.
+        let mut s = System::new();
+        s.push(Ineq::le(k(1), lv(&x).scale(2)));
+        s.push(Ineq::le(lv(&x).scale(2), k(1)));
+        let with = s.refute(&FourierOptions::default()).0;
+        assert_eq!(with, RefuteResult::Refuted);
+        let without =
+            s.refute(&FourierOptions { tighten: false, ..FourierOptions::default() }).0;
+        assert_eq!(without, RefuteResult::PossiblySat);
+    }
+
+    #[test]
+    fn equations_as_two_ineqs() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let mut s = System::new();
+        s.push_eq(lv(&x), k(3));
+        s.push(Ineq::le(lv(&x), k(2)));
+        let (r, _) = s.refute(&FourierOptions::default());
+        assert_eq!(r, RefuteResult::Refuted);
+    }
+
+    #[test]
+    fn strict_inequality_exact_over_integers() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        // x < 1 and x > 0 has no integer solution.
+        let mut s = System::new();
+        s.push(Ineq::lt(lv(&x), k(1)));
+        s.push(Ineq::lt(k(0), lv(&x)));
+        let (r, _) = s.refute(&FourierOptions::default());
+        assert_eq!(r, RefuteResult::Refuted);
+    }
+
+    #[test]
+    fn multi_variable_chain_refutation() {
+        let mut g = VarGen::new();
+        let vars: Vec<Var> = (0..6).map(|i| g.fresh(&format!("v{i}"))).collect();
+        let mut s = System::new();
+        // v0 ≤ v1 ≤ ... ≤ v5 and v5 ≤ v0 - 1: a cycle with slack -1.
+        for w in vars.windows(2) {
+            s.push(Ineq::le(lv(&w[0]), lv(&w[1])));
+        }
+        s.push(Ineq::le(lv(&vars[5]).add(&k(1)), lv(&vars[0])));
+        let (r, _) = s.refute(&FourierOptions::default());
+        assert_eq!(r, RefuteResult::Refuted);
+    }
+
+    #[test]
+    fn satisfied_by_checks_assignment() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let mut s = System::new();
+        s.push(Ineq::le(k(0), lv(&x)));
+        s.push(Ineq::le(lv(&x), k(5)));
+        let x2 = x.clone();
+        let env3 = move |w: &Var| if *w == x2 { Some(3) } else { None };
+        assert_eq!(s.satisfied_by(&env3), Some(true));
+        let x3 = x.clone();
+        let env9 = move |w: &Var| if *w == x3 { Some(9) } else { None };
+        assert_eq!(s.satisfied_by(&env9), Some(false));
+    }
+
+    #[test]
+    fn empty_system_possibly_sat() {
+        let s = System::new();
+        assert_eq!(s.refute(&FourierOptions::default()).0, RefuteResult::PossiblySat);
+    }
+
+    #[test]
+    fn contradiction_on_input_detected_immediately() {
+        let mut s = System::new();
+        s.push(Ineq::le(k(1), k(0)));
+        let (r, combos) = s.refute(&FourierOptions::default());
+        assert_eq!(r, RefuteResult::Refuted);
+        assert_eq!(combos, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let i = Ineq::le(lv(&x), k(3));
+        assert_eq!(i.to_string(), "x - 3 <= 0");
+    }
+}

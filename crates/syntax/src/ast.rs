@@ -1,0 +1,508 @@
+//! Surface abstract syntax for DML programs.
+//!
+//! The surface syntax mirrors the paper's concrete syntax: ML expressions and
+//! declarations plus dependent type annotations. Index expressions and
+//! propositions here are *surface* forms; `dml-types` converts them into the
+//! semantic index language of `dml-index` during elaboration.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The name itself.
+    pub name: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier.
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident { name: name.into(), span }
+    }
+
+    /// A synthesized identifier with a dummy span.
+    pub fn synth(name: impl Into<String>) -> Self {
+        Ident { name: name.into(), span: Span::default() }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A complete program: a sequence of top-level declarations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level declarations, in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// A top-level or `let`-local declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `assert f <| dtype and g <| dtype ...` — dependent signatures for
+    /// primitives supplied by the runtime (e.g. `sub`, `update`, `length`).
+    Assert(Vec<(Ident, DType)>),
+    /// `datatype 'a list = nil | :: of 'a * 'a list`
+    Datatype(DatatypeDecl),
+    /// `typeref 'a list of nat with nil <| ... | :: <| ...`
+    Typeref(TyperefDecl),
+    /// `fun f p1 ... pn = e | f q1 ... qn = e' ... where f <| dtype`
+    /// (mutual recursion via `and` between clause groups).
+    Fun(Vec<FunDecl>),
+    /// `val p = e`
+    Val(ValDecl),
+    /// `exception E` — declares a (nullary) exception constructor (§6's
+    /// "immediate goal" extension; value-carrying exceptions are future
+    /// work here too).
+    Exception(Ident),
+}
+
+impl Decl {
+    /// Source span of the whole declaration (approximate: first binder).
+    pub fn span(&self) -> Span {
+        match self {
+            Decl::Assert(sigs) => sigs.first().map(|(i, _)| i.span).unwrap_or_default(),
+            Decl::Datatype(d) => d.name.span,
+            Decl::Typeref(t) => t.name.span,
+            Decl::Fun(fs) => fs.first().map(|f| f.name.span).unwrap_or_default(),
+            Decl::Val(v) => v.span,
+            Decl::Exception(e) => e.span,
+        }
+    }
+}
+
+/// `datatype ('a, 'b) name = Con1 of ty | Con2 | ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatatypeDecl {
+    /// Bound type variables, e.g. `['a]` for `'a list`.
+    pub tyvars: Vec<Ident>,
+    /// The datatype name.
+    pub name: Ident,
+    /// Constructors with their optional argument type.
+    pub cons: Vec<ConDecl>,
+}
+
+/// One constructor of a datatype declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConDecl {
+    /// Constructor name (`nil`, `::`, `SOME`, ...).
+    pub name: Ident,
+    /// Argument type if the constructor takes one (`of ty`).
+    pub arg: Option<DType>,
+}
+
+/// `typeref 'a list of nat with nil <| 'a list(0) | :: <| {n:nat} ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct TyperefDecl {
+    /// Type variables of the refined datatype.
+    pub tyvars: Vec<Ident>,
+    /// Name of the datatype being refined.
+    pub name: Ident,
+    /// The index sorts the datatype is refined by (usually one, e.g. `nat`).
+    pub sorts: Vec<Sort>,
+    /// Refined constructor signatures.
+    pub cons: Vec<(Ident, DType)>,
+}
+
+/// A function declaration: one or more clauses plus an optional dependent
+/// annotation from a `where` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDecl {
+    /// Explicitly scoped type variables: `fun('a) f ...`.
+    pub tyvars: Vec<Ident>,
+    /// Explicitly scoped index parameters: `fun{size:nat} f ...`.
+    pub index_params: Vec<Quant>,
+    /// The function name.
+    pub name: Ident,
+    /// Clauses; each must have the same number of curried argument patterns.
+    pub clauses: Vec<Clause>,
+    /// The `where f <| dtype` annotation, if present.
+    pub anno: Option<DType>,
+}
+
+/// One clause of a function: `f p1 ... pn = body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// Curried argument patterns.
+    pub params: Vec<Pat>,
+    /// Clause body.
+    pub body: Expr,
+}
+
+/// `val p = e` with an optional type annotation `val p : t = e`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValDecl {
+    /// The bound pattern.
+    pub pat: Pat,
+    /// Optional annotation.
+    pub anno: Option<DType>,
+    /// The bound expression.
+    pub expr: Expr,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable or nullary constructor reference.
+    Var(Ident),
+    /// Integer literal.
+    Int(i64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Application `e1 e2` (operators are desugared to this).
+    App(Box<Expr>, Box<Expr>, Span),
+    /// Tuple `(e1, ..., en)`; `()` is the empty tuple (unit).
+    Tuple(Vec<Expr>, Span),
+    /// `if e1 then e2 else e3`
+    If(Box<Expr>, Box<Expr>, Box<Expr>, Span),
+    /// `case e of p1 => e1 | ... | pn => en`
+    Case(Box<Expr>, Vec<(Pat, Expr)>, Span),
+    /// `let decls in body end`
+    Let(Vec<Decl>, Box<Expr>, Span),
+    /// `fn p1 => e1 | p2 => e2` — anonymous function with clauses.
+    Fn(Vec<(Pat, Expr)>, Span),
+    /// `(e1; e2; ...; en)` — sequence, value of the last expression.
+    Seq(Vec<Expr>, Span),
+    /// `e : t` — explicit type ascription (checking-mode switch).
+    Anno(Box<Expr>, DType, Span),
+    /// `e1 andalso e2` — short-circuit conjunction.
+    Andalso(Box<Expr>, Box<Expr>, Span),
+    /// `e1 orelse e2` — short-circuit disjunction.
+    Orelse(Box<Expr>, Box<Expr>, Span),
+    /// `raise E` — raises exception `E`.
+    Raise(Ident, Span),
+    /// `e handle E => e'` — evaluates `e`; on exception `E` evaluates the
+    /// handler instead. Built-in run-time failures are catchable under
+    /// their SML basis names (`Subscript`, `Div`, `Size`, `Match`).
+    Handle(Box<Expr>, Vec<(Ident, Expr)>, Span),
+}
+
+impl Expr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Var(i) => i.span,
+            Expr::Int(_, s)
+            | Expr::Bool(_, s)
+            | Expr::App(_, _, s)
+            | Expr::Tuple(_, s)
+            | Expr::If(_, _, _, s)
+            | Expr::Case(_, _, s)
+            | Expr::Let(_, _, s)
+            | Expr::Fn(_, s)
+            | Expr::Seq(_, s)
+            | Expr::Anno(_, _, s)
+            | Expr::Andalso(_, _, s)
+            | Expr::Orelse(_, _, s)
+            | Expr::Raise(_, s)
+            | Expr::Handle(_, _, s) => *s,
+        }
+    }
+
+    /// The unit value `()`.
+    pub fn unit(span: Span) -> Expr {
+        Expr::Tuple(Vec::new(), span)
+    }
+
+    /// Builds `f (a1, ..., an)` — application of a named function to a tuple,
+    /// the calling convention used by the paper's primitives.
+    pub fn call(f: &str, args: Vec<Expr>, span: Span) -> Expr {
+        let arg = if args.len() == 1 {
+            args.into_iter().next().expect("one element")
+        } else {
+            Expr::Tuple(args, span)
+        };
+        Expr::App(Box::new(Expr::Var(Ident::new(f, span))), Box::new(arg), span)
+    }
+}
+
+/// Patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// `_`
+    Wild(Span),
+    /// Variable binding (or a nullary constructor — disambiguated during
+    /// elaboration against the constructor environment).
+    Var(Ident),
+    /// Integer literal pattern.
+    Int(i64, Span),
+    /// Boolean literal pattern.
+    Bool(bool, Span),
+    /// Tuple pattern `(p1, ..., pn)`; empty = unit pattern.
+    Tuple(Vec<Pat>, Span),
+    /// Constructor application pattern `C p` (e.g. `x :: xs`, `SOME x`).
+    Con(Ident, Option<Box<Pat>>, Span),
+    /// Annotated pattern `p : t`.
+    Anno(Box<Pat>, DType, Span),
+}
+
+impl Pat {
+    /// Source span of the pattern.
+    pub fn span(&self) -> Span {
+        match self {
+            Pat::Wild(s) | Pat::Int(_, s) | Pat::Bool(_, s) | Pat::Tuple(_, s) => *s,
+            Pat::Var(i) => i.span,
+            Pat::Con(_, _, s) | Pat::Anno(_, _, s) => *s,
+        }
+    }
+
+    /// All variables bound by the pattern, in left-to-right order.
+    pub fn bound_vars(&self) -> Vec<&Ident> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a Ident>) {
+        match self {
+            Pat::Wild(_) | Pat::Int(_, _) | Pat::Bool(_, _) => {}
+            Pat::Var(i) => out.push(i),
+            Pat::Tuple(ps, _) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+            Pat::Con(_, arg, _) => {
+                if let Some(p) = arg {
+                    p.collect_vars(out);
+                }
+            }
+            Pat::Anno(p, _, _) => p.collect_vars(out),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependent types (surface).
+// ---------------------------------------------------------------------------
+
+/// Surface index sorts: `int`, `bool`, `nat` (sugar for `{a:int | a >= 0}`),
+/// and subset sorts `{a:sort | prop}`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sort {
+    /// The sort of integers.
+    Int,
+    /// The sort of booleans.
+    Bool,
+    /// `nat` — sugar for `{a:int | 0 <= a}`.
+    Nat,
+    /// Subset sort `{a : s | p}`.
+    Subset(Ident, Box<Sort>, Box<IProp>),
+}
+
+/// A quantified index variable with its sort and optional guard:
+/// the `i:nat | i < n` inside `{i:nat | i < n}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quant {
+    /// Bound index variable.
+    pub var: Ident,
+    /// Its sort.
+    pub sort: Sort,
+    /// Optional guard proposition (scopes over this and later variables of
+    /// the same quantifier group).
+    pub guard: Option<IProp>,
+}
+
+/// Surface integer index expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IExpr {
+    /// Index variable.
+    Var(Ident),
+    /// Integer constant.
+    Lit(i64, Span),
+    /// `i + j`
+    Add(Box<IExpr>, Box<IExpr>),
+    /// `i - j`
+    Sub(Box<IExpr>, Box<IExpr>),
+    /// `i * j`
+    Mul(Box<IExpr>, Box<IExpr>),
+    /// `i div j` (flooring division as in SML `div`).
+    Div(Box<IExpr>, Box<IExpr>),
+    /// `i mod j`
+    Mod(Box<IExpr>, Box<IExpr>),
+    /// `min(i, j)`
+    Min(Box<IExpr>, Box<IExpr>),
+    /// `max(i, j)`
+    Max(Box<IExpr>, Box<IExpr>),
+    /// `abs(i)`
+    Abs(Box<IExpr>),
+    /// `sgn(i)`
+    Sgn(Box<IExpr>),
+    /// `~i` / unary minus.
+    Neg(Box<IExpr>),
+}
+
+impl IExpr {
+    /// Source span (approximate: leftmost leaf).
+    pub fn span(&self) -> Span {
+        match self {
+            IExpr::Var(i) => i.span,
+            IExpr::Lit(_, s) => *s,
+            IExpr::Add(a, _)
+            | IExpr::Sub(a, _)
+            | IExpr::Mul(a, _)
+            | IExpr::Div(a, _)
+            | IExpr::Mod(a, _)
+            | IExpr::Min(a, _)
+            | IExpr::Max(a, _) => a.span(),
+            IExpr::Abs(a) | IExpr::Sgn(a) | IExpr::Neg(a) => a.span(),
+        }
+    }
+}
+
+/// Comparison operators in index propositions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Surface boolean index propositions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IProp {
+    /// Boolean index variable.
+    Var(Ident),
+    /// `true` / `false`.
+    Lit(bool, Span),
+    /// Comparison `i op j`.
+    Cmp(CmpOp, Box<IExpr>, Box<IExpr>),
+    /// `not p`
+    Not(Box<IProp>),
+    /// `p && q` (also written `andalso` in sorts).
+    And(Box<IProp>, Box<IProp>),
+    /// `p || q`
+    Or(Box<IProp>, Box<IProp>),
+}
+
+/// Surface dependent types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DType {
+    /// Type variable `'a`.
+    Var(Ident),
+    /// A base family applied to type arguments and index arguments:
+    /// `int(n)`, `bool`, `'a array(n)`, `('k, 'v) tree(h)`, `unit`.
+    App {
+        /// Family name (`int`, `array`, `list`, user datatypes, ...).
+        name: Ident,
+        /// Type arguments (`'a` in `'a array(n)`).
+        ty_args: Vec<DType>,
+        /// Index arguments (`n` in `'a array(n)`). May be integer or
+        /// boolean expressions; booleans are wrapped via [`Index::Prop`].
+        ix_args: Vec<Index>,
+    },
+    /// Product `t1 * ... * tn` (n >= 2); `unit` is `App` with name "unit".
+    Product(Vec<DType>),
+    /// Function `t1 -> t2`.
+    Arrow(Box<DType>, Box<DType>),
+    /// Universal quantification `{a1:s1, ..., an:sn | guard} t` (Π).
+    Pi(Vec<Quant>, Box<DType>),
+    /// Existential quantification `[a1:s1, ..., an:sn | guard] t` (Σ).
+    Sigma(Vec<Quant>, Box<DType>),
+}
+
+/// An index argument: either an integer expression or a boolean proposition
+/// (for boolean-indexed families such as `bool(b)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Index {
+    /// Integer index expression.
+    Int(IExpr),
+    /// Boolean index proposition.
+    Prop(IProp),
+}
+
+impl DType {
+    /// The `unit` type.
+    pub fn unit() -> DType {
+        DType::App { name: Ident::synth("unit"), ty_args: Vec::new(), ix_args: Vec::new() }
+    }
+
+    /// An unindexed base type like `int` (existential interpretation happens
+    /// during elaboration).
+    pub fn base(name: &str) -> DType {
+        DType::App { name: Ident::synth(name), ty_args: Vec::new(), ix_args: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_vars_in_order() {
+        let p = Pat::Tuple(
+            vec![
+                Pat::Var(Ident::synth("x")),
+                Pat::Con(
+                    Ident::synth("::"),
+                    Some(Box::new(Pat::Tuple(
+                        vec![Pat::Var(Ident::synth("y")), Pat::Wild(Span::default())],
+                        Span::default(),
+                    ))),
+                    Span::default(),
+                ),
+            ],
+            Span::default(),
+        );
+        let vars: Vec<&str> = p.bound_vars().iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn expr_call_builds_tuple_application() {
+        let e = Expr::call("sub", vec![Expr::Int(1, Span::default()), Expr::Int(2, Span::default())], Span::default());
+        match e {
+            Expr::App(f, arg, _) => {
+                assert!(matches!(*f, Expr::Var(ref i) if i.name == "sub"));
+                assert!(matches!(*arg, Expr::Tuple(ref es, _) if es.len() == 2));
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_call_single_arg_no_tuple() {
+        let e = Expr::call("length", vec![Expr::Var(Ident::synth("v"))], Span::default());
+        match e {
+            Expr::App(_, arg, _) => assert!(matches!(*arg, Expr::Var(_))),
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dtype_helpers() {
+        assert!(matches!(DType::unit(), DType::App { ref name, .. } if name.name == "unit"));
+        assert!(matches!(DType::base("int"), DType::App { ref name, .. } if name.name == "int"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Diagnostics: parse errors with spans and rendered source snippets.
+
+use crate::span::{line_col, Span};
+use std::error::Error;
+use std::fmt;
+
+/// A parse (or lex) error with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates an error with a message and the span it refers to.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+
+    /// The error message, without location information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The span the error refers to.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the error against its source text with a caret snippet.
+    pub fn render(&self, src: &str) -> String {
+        Diagnostic::error(self.message.clone(), self.span).render(src)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// A hard error; the pipeline stops.
+    Error,
+    /// A warning; the pipeline continues.
+    Warning,
+    /// Informational note (e.g. which constraints were kept as checked).
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Note => write!(f, "note"),
+        }
+    }
+}
+
+/// A diagnostic message tied to a source span, renderable as a snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How severe the diagnostic is.
+    pub severity: Severity,
+    /// The main message.
+    pub message: String,
+    /// The primary span.
+    pub span: Span,
+    /// Optional extra notes.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// A note-severity diagnostic.
+    pub fn note(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Note, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Appends an auxiliary note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic against `src` with a single-line caret snippet.
+    pub fn render(&self, src: &str) -> String {
+        let lc = line_col(src, self.span.start);
+        let mut out = format!("{}: {} (at {})\n", self.severity, self.message, lc);
+        // Find the line containing the span start.
+        let line_start = src[..(self.span.start as usize).min(src.len())]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let line_end = src[line_start..].find('\n').map(|i| line_start + i).unwrap_or(src.len());
+        let line = &src[line_start..line_end];
+        out.push_str(&format!("  | {line}\n"));
+        let col = (self.span.start as usize).saturating_sub(line_start);
+        let width = ((self.span.len() as usize).max(1)).min(line.len().saturating_sub(col).max(1));
+        out.push_str(&format!("  | {}{}\n", " ".repeat(col), "^".repeat(width)));
+        for note in &self.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (at {})", self.severity, self.message, self.span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_span() {
+        let src = "fun f(x = x";
+        let d = Diagnostic::error("expected `)`", Span::new(8, 9));
+        let r = d.render(src);
+        assert!(r.contains("expected `)`"), "{r}");
+        assert!(r.contains("fun f(x = x"), "{r}");
+        assert!(r.lines().nth(2).unwrap().contains('^'), "{r}");
+    }
+
+    #[test]
+    fn render_multiline_source() {
+        let src = "line one\nline two\nline three";
+        let d = Diagnostic::warning("here", Span::new(14, 17));
+        let r = d.render(src);
+        assert!(r.contains("line two"), "{r}");
+        assert!(!r.contains("line three\n  |"), "{r}");
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::new("boom", Span::new(1, 2));
+        assert_eq!(e.to_string(), "parse error at 1..2: boom");
+        assert_eq!(e.message(), "boom");
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let d = Diagnostic::note("n", Span::point(0)).with_note("extra context");
+        assert!(d.render("x").contains("extra context"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Hand-rolled lexer for the DML surface language.
+//!
+//! Comments are SML-style `(* ... *)` and nest. Whitespace is insignificant.
+
+use crate::diag::ParseError;
+use crate::span::Span;
+use crate::token::Token;
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token itself.
+    pub tok: Token,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Lexes `src` into a token stream terminated by a single [`Token::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated comments, malformed integer
+/// literals, or characters outside the language's alphabet.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    out: Vec<Spanned>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, out: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn emit(&mut self, tok: Token, start: usize) {
+        self.out.push(Spanned { tok, span: Span::new(start as u32, self.pos as u32) });
+    }
+
+    fn error(&self, msg: impl Into<String>, start: usize) -> ParseError {
+        ParseError::new(msg.into(), Span::new(start as u32, self.pos.max(start + 1) as u32))
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, ParseError> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'(' if self.peek2() == Some(b'*') => {
+                    self.skip_comment(start)?;
+                }
+                b'(' => {
+                    self.bump();
+                    self.emit(Token::LParen, start);
+                }
+                b')' => {
+                    self.bump();
+                    self.emit(Token::RParen, start);
+                }
+                b'[' => {
+                    self.bump();
+                    self.emit(Token::LBracket, start);
+                }
+                b']' => {
+                    self.bump();
+                    self.emit(Token::RBracket, start);
+                }
+                b'{' => {
+                    self.bump();
+                    self.emit(Token::LBrace, start);
+                }
+                b'}' => {
+                    self.bump();
+                    self.emit(Token::RBrace, start);
+                }
+                b',' => {
+                    self.bump();
+                    self.emit(Token::Comma, start);
+                }
+                b';' => {
+                    self.bump();
+                    self.emit(Token::Semi, start);
+                }
+                b'+' => {
+                    self.bump();
+                    self.emit(Token::Plus, start);
+                }
+                b'*' => {
+                    self.bump();
+                    self.emit(Token::Star, start);
+                }
+                b'/' => {
+                    self.bump();
+                    self.emit(Token::Slash, start);
+                }
+                b'~' => {
+                    self.bump();
+                    self.emit(Token::Tilde, start);
+                }
+                b'_' => {
+                    self.bump();
+                    // `_` followed by ident chars is an identifier like `_foo`
+                    if self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                        let ident = self.take_ident(start);
+                        self.emit(Token::Ident(ident), start);
+                    } else {
+                        self.emit(Token::Underscore, start);
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    self.emit(Token::Bang, start);
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        self.emit(Token::AmpAmp, start);
+                    } else {
+                        return Err(self.error("expected `&&`", start));
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        self.emit(Token::BarBar, start);
+                    } else {
+                        self.emit(Token::Bar, start);
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        self.emit(Token::Arrow, start);
+                    } else {
+                        self.emit(Token::Minus, start);
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        self.emit(Token::DArrow, start);
+                    } else {
+                        self.emit(Token::Eq, start);
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            self.emit(Token::Le, start);
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            self.emit(Token::Neq, start);
+                        }
+                        Some(b'|') => {
+                            self.bump();
+                            self.emit(Token::OfType, start);
+                        }
+                        _ => self.emit(Token::Lt, start),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.emit(Token::Ge, start);
+                    } else {
+                        self.emit(Token::Gt, start);
+                    }
+                }
+                b':' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b':') => {
+                            self.bump();
+                            self.emit(Token::ColonColon, start);
+                        }
+                        Some(b'=') => {
+                            self.bump();
+                            self.emit(Token::Assign, start);
+                        }
+                        _ => self.emit(Token::Colon, start),
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    if !self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                        return Err(self.error("expected type variable after `'`", start));
+                    }
+                    let name_start = self.pos;
+                    let name = self.take_ident(name_start);
+                    self.emit(Token::TyVar(name), start);
+                }
+                b'0'..=b'9' => {
+                    let text = self.take_while(start, |c| c.is_ascii_digit());
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("integer literal `{text}` out of range"), start))?;
+                    self.emit(Token::Int(n), start);
+                }
+                c if c.is_ascii_alphabetic() => {
+                    let ident = self.take_ident(start);
+                    let tok = Token::keyword(&ident).unwrap_or(Token::Ident(ident));
+                    self.emit(tok, start);
+                }
+                c => {
+                    self.bump();
+                    return Err(self.error(format!("unexpected character `{}`", c as char), start));
+                }
+            }
+        }
+        let end = self.pos as u32;
+        self.out.push(Spanned { tok: Token::Eof, span: Span::point(end) });
+        Ok(self.out)
+    }
+
+    fn take_ident(&mut self, start: usize) -> String {
+        self.take_while(start, |c| c.is_ascii_alphanumeric() || c == b'_' || c == b'\'')
+    }
+
+    fn take_while(&mut self, start: usize, pred: impl Fn(u8) -> bool) -> String {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn skip_comment(&mut self, start: usize) -> Result<(), ParseError> {
+        // Consumes `(*`, tracks nesting depth.
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.peek() {
+                None => return Err(self.error("unterminated comment", start)),
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                Some(b'*') if self.peek2() == Some(b')') => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lex_simple_fun() {
+        assert_eq!(
+            toks("fun f(x) = x + 1"),
+            vec![
+                Token::Fun,
+                Token::Ident("f".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::RParen,
+                Token::Eq,
+                Token::Ident("x".into()),
+                Token::Plus,
+                Token::Int(1),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_of_type_marker() {
+        assert_eq!(
+            toks("f <| {n:nat} 'a array(n) -> int(n)"),
+            vec![
+                Token::Ident("f".into()),
+                Token::OfType,
+                Token::LBrace,
+                Token::Ident("n".into()),
+                Token::Colon,
+                Token::Ident("nat".into()),
+                Token::RBrace,
+                Token::TyVar("a".into()),
+                Token::Ident("array".into()),
+                Token::LParen,
+                Token::Ident("n".into()),
+                Token::RParen,
+                Token::Arrow,
+                Token::Ident("int".into()),
+                Token::LParen,
+                Token::Ident("n".into()),
+                Token::RParen,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comparison_cluster() {
+        assert_eq!(
+            toks("< <= <> <| > >= = =>"),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Neq,
+                Token::OfType,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::DArrow,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_cons_and_colon() {
+        assert_eq!(
+            toks("x::xs : t"),
+            vec![
+                Token::Ident("x".into()),
+                Token::ColonColon,
+                Token::Ident("xs".into()),
+                Token::Colon,
+                Token::Ident("t".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_nested_comment() {
+        assert_eq!(
+            toks("a (* outer (* inner *) still *) b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn lex_tyvar_and_primes() {
+        assert_eq!(
+            toks("'a x'"),
+            vec![Token::TyVar("a".into()), Token::Ident("x'".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("' 1").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let ts = lex("ab + cd").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 2));
+        assert_eq!(ts[1].span, Span::new(3, 4));
+        assert_eq!(ts[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn underscore_variants() {
+        assert_eq!(
+            toks("_ _x"),
+            vec![Token::Underscore, Token::Ident("_x".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_are_not_idents() {
+        assert_eq!(toks("div mod"), vec![Token::Div, Token::Mod, Token::Eof]);
+    }
+
+    #[test]
+    fn huge_int_overflow_errors() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

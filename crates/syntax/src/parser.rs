@@ -1,0 +1,1601 @@
+//! Recursive-descent parser for the DML surface language.
+//!
+//! Grammar summary (see the paper, §2, for the concrete syntax it mirrors):
+//!
+//! ```text
+//! program  ::= decl*
+//! decl     ::= "assert" sig ("and" sig)*
+//!            | "datatype" tyvars? name "=" conbind ("|" conbind)*
+//!            | "typeref" tyvars? name "of" sorts "with" sig ("|" sig)*
+//!            | "fun" funbody ("and" funbody)*
+//!            | "val" pat (":" dtype)? "=" expr
+//! sig      ::= name "<|" dtype
+//! funbody  ::= typarams? ixparams? clauses ("where" name "<|" dtype)?
+//! dtype    ::= "{" quants "}" dtype | "[" quants "]" dtype
+//!            | product ("->" dtype)?
+//! product  ::= postfix ("*" postfix)*
+//! postfix  ::= atom (name ixargs?)*
+//! ```
+//!
+//! Operator precedence in expressions, loosest first:
+//! `orelse` < `andalso` < comparisons < `::` < `+ -` < `* div mod` <
+//! application < atoms.
+
+use crate::ast::*;
+use crate::diag::ParseError;
+use crate::lexer::{lex, Spanned};
+use crate::span::Span;
+use crate::token::Token;
+
+/// Parses a complete program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser::new(toks);
+    let mut decls = Vec::new();
+    while !p.at(&Token::Eof) {
+        decls.push(p.decl()?);
+    }
+    Ok(Program { decls })
+}
+
+/// Parses a single expression (useful for tests and the REPL-style CLI).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser::new(toks);
+    let e = p.expr()?;
+    p.expect(Token::Eof)?;
+    Ok(e)
+}
+
+/// Parses a dependent type in isolation.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_dtype(src: &str) -> Result<DType, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser::new(toks);
+    let t = p.dtype()?;
+    p.expect(Token::Eof)?;
+    Ok(t)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<Spanned>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn at(&self, t: &Token) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let s = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        s
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.at(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<Spanned, ParseError> {
+        if self.at(&t) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected `{t}`, found {}", self.peek().describe())))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError::new(msg, self.span())
+    }
+
+    fn ident(&mut self) -> Result<Ident, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                let s = self.bump();
+                Ok(Ident::new(name, s.span))
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    /// A constructor-or-function name: an identifier or the `::` symbol.
+    fn con_name(&mut self) -> Result<Ident, ParseError> {
+        if self.at(&Token::ColonColon) {
+            let s = self.bump();
+            Ok(Ident::new("::", s.span))
+        } else {
+            self.ident()
+        }
+    }
+
+    /// A signature name in `assert` declarations: an identifier, `::`, or an
+    /// operator symbol (the refined standard basis declares `+`, `<=`, ...).
+    fn sig_name(&mut self) -> Result<Ident, ParseError> {
+        let op = match self.peek() {
+            Token::Plus => Some("+"),
+            Token::Minus => Some("-"),
+            Token::Star => Some("*"),
+            Token::Div => Some("div"),
+            Token::Mod => Some("mod"),
+            Token::Eq => Some("="),
+            Token::Neq => Some("<>"),
+            Token::Lt => Some("<"),
+            Token::Le => Some("<="),
+            Token::Gt => Some(">"),
+            Token::Ge => Some(">="),
+            Token::Not => Some("not"),
+            _ => None,
+        };
+        if let Some(name) = op {
+            let s = self.bump();
+            Ok(Ident::new(name, s.span))
+        } else {
+            self.con_name()
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Declarations.
+    // -----------------------------------------------------------------
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        match self.peek() {
+            Token::Assert => self.assert_decl(),
+            Token::Datatype => self.datatype_decl(),
+            Token::Typeref => self.typeref_decl(),
+            Token::Fun => self.fun_decl(),
+            Token::Val => self.val_decl(),
+            Token::Exception => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Decl::Exception(name))
+            }
+            other => Err(self.err(format!(
+                "expected a declaration (`fun`, `val`, `datatype`, `typeref`, `assert`,                  `exception`), found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn assert_decl(&mut self) -> Result<Decl, ParseError> {
+        self.expect(Token::Assert)?;
+        let mut sigs = Vec::new();
+        loop {
+            let name = self.sig_name()?;
+            self.expect(Token::OfType)?;
+            let ty = self.dtype()?;
+            sigs.push((name, ty));
+            if !self.eat(&Token::And) {
+                break;
+            }
+        }
+        Ok(Decl::Assert(sigs))
+    }
+
+    fn tyvar_seq(&mut self) -> Result<Vec<Ident>, ParseError> {
+        // 'a  |  ('a, 'b)  |  nothing
+        match self.peek().clone() {
+            Token::TyVar(name) => {
+                let s = self.bump();
+                Ok(vec![Ident::new(name, s.span)])
+            }
+            Token::LParen if matches!(self.peek_at(1), Token::TyVar(_)) => {
+                self.bump();
+                let mut vs = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        Token::TyVar(name) => {
+                            let s = self.bump();
+                            vs.push(Ident::new(name, s.span));
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "expected type variable, found {}",
+                                other.describe()
+                            )))
+                        }
+                    }
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Token::RParen)?;
+                Ok(vs)
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    fn datatype_decl(&mut self) -> Result<Decl, ParseError> {
+        self.expect(Token::Datatype)?;
+        let tyvars = self.tyvar_seq()?;
+        let name = self.ident()?;
+        self.expect(Token::Eq)?;
+        let mut cons = Vec::new();
+        loop {
+            let cname = self.con_name()?;
+            let arg = if self.eat(&Token::Of) { Some(self.dtype()?) } else { None };
+            cons.push(ConDecl { name: cname, arg });
+            if !self.eat(&Token::Bar) {
+                break;
+            }
+        }
+        Ok(Decl::Datatype(DatatypeDecl { tyvars, name, cons }))
+    }
+
+    fn typeref_decl(&mut self) -> Result<Decl, ParseError> {
+        self.expect(Token::Typeref)?;
+        let tyvars = self.tyvar_seq()?;
+        let name = self.ident()?;
+        self.expect(Token::Of)?;
+        let mut sorts = vec![self.sort()?];
+        while self.eat(&Token::Star) {
+            sorts.push(self.sort()?);
+        }
+        self.expect(Token::With)?;
+        let mut cons = Vec::new();
+        loop {
+            let cname = self.con_name()?;
+            self.expect(Token::OfType)?;
+            let ty = self.dtype()?;
+            cons.push((cname, ty));
+            if !self.eat(&Token::Bar) {
+                break;
+            }
+        }
+        Ok(Decl::Typeref(TyperefDecl { tyvars, name, sorts, cons }))
+    }
+
+    fn fun_decl(&mut self) -> Result<Decl, ParseError> {
+        self.expect(Token::Fun)?;
+        let mut funs = vec![self.fun_body()?];
+        while self.eat(&Token::And) {
+            funs.push(self.fun_body()?);
+        }
+        Ok(Decl::Fun(funs))
+    }
+
+    fn fun_body(&mut self) -> Result<FunDecl, ParseError> {
+        // Optional explicit type parameters `('a)` and index parameters
+        // `{size:nat}`, as in `fun('a){size:nat} bsearch cmp (key, arr) = ...`.
+        let tyvars = if self.at(&Token::LParen) && matches!(self.peek_at(1), Token::TyVar(_)) {
+            self.tyvar_seq()?
+        } else {
+            Vec::new()
+        };
+        let mut index_params = Vec::new();
+        while self.at(&Token::LBrace) {
+            self.bump();
+            let qs = self.quants()?;
+            self.expect(Token::RBrace)?;
+            index_params.extend(qs);
+        }
+        let name = self.ident()?;
+        let mut clauses = vec![self.clause_tail()?];
+        while self.at(&Token::Bar) {
+            // A `|` here starts another clause of the same function.
+            self.bump();
+            let cname = self.ident()?;
+            if cname.name != name.name {
+                return Err(ParseError::new(
+                    format!(
+                        "clause name `{}` does not match function name `{}`",
+                        cname.name, name.name
+                    ),
+                    cname.span,
+                ));
+            }
+            clauses.push(self.clause_tail()?);
+        }
+        let anno = if self.eat(&Token::Where) {
+            let aname = self.ident()?;
+            if aname.name != name.name {
+                return Err(ParseError::new(
+                    format!(
+                        "`where` annotation names `{}` but the function is `{}`",
+                        aname.name, name.name
+                    ),
+                    aname.span,
+                ));
+            }
+            self.expect(Token::OfType)?;
+            Some(self.dtype()?)
+        } else {
+            None
+        };
+        Ok(FunDecl { tyvars, index_params, name, clauses, anno })
+    }
+
+    fn clause_tail(&mut self) -> Result<Clause, ParseError> {
+        let mut params = Vec::new();
+        while !self.at(&Token::Eq) {
+            params.push(self.atomic_pat()?);
+        }
+        if params.is_empty() {
+            return Err(self.err("function clause needs at least one parameter".into()));
+        }
+        self.expect(Token::Eq)?;
+        let body = self.expr()?;
+        Ok(Clause { params, body })
+    }
+
+    fn val_decl(&mut self) -> Result<Decl, ParseError> {
+        let start = self.span();
+        self.expect(Token::Val)?;
+        let mut pat = self.pat()?;
+        // `val x : t = e` — the pattern parser already folded the ascription
+        // into an annotated pattern; lift it into the declaration.
+        let mut anno = None;
+        if let Pat::Anno(inner, t, _) = pat {
+            pat = *inner;
+            anno = Some(t);
+        }
+        if anno.is_none() && self.eat(&Token::Colon) {
+            anno = Some(self.dtype()?);
+        }
+        self.expect(Token::Eq)?;
+        let expr = self.expr()?;
+        let span = start.merge(expr.span());
+        Ok(Decl::Val(ValDecl { pat, anno, expr, span }))
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions.
+    // -----------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        if self.at(&Token::Raise) {
+            let start = self.bump().span;
+            let name = self.ident()?;
+            let span = start.merge(name.span);
+            return Ok(Expr::Raise(name, span));
+        }
+        let mut e = self.expr_orelse()?;
+        if self.eat(&Token::Colon) {
+            let t = self.dtype()?;
+            let span = e.span().merge(self.prev_span());
+            e = Expr::Anno(Box::new(e), t, span);
+        }
+        while self.eat(&Token::Handle) {
+            let mut arms = Vec::new();
+            loop {
+                let name = self.ident()?;
+                self.expect(Token::DArrow)?;
+                let body = self.expr()?;
+                arms.push((name, body));
+                if !self.eat(&Token::Bar) {
+                    break;
+                }
+            }
+            let span = e.span().merge(self.prev_span());
+            e = Expr::Handle(Box::new(e), arms, span);
+        }
+        Ok(e)
+    }
+
+    fn expr_orelse(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_andalso()?;
+        while self.eat(&Token::Orelse) {
+            let rhs = self.expr_andalso()?;
+            let span = e.span().merge(rhs.span());
+            e = Expr::Orelse(Box::new(e), Box::new(rhs), span);
+        }
+        Ok(e)
+    }
+
+    fn expr_andalso(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_cmp()?;
+        while self.eat(&Token::Andalso) {
+            let rhs = self.expr_cmp()?;
+            let span = e.span().merge(rhs.span());
+            e = Expr::Andalso(Box::new(e), Box::new(rhs), span);
+        }
+        Ok(e)
+    }
+
+    fn expr_cmp(&mut self) -> Result<Expr, ParseError> {
+        let e = self.expr_cons()?;
+        let op = match self.peek() {
+            Token::Eq => "=",
+            Token::Neq => "<>",
+            Token::Lt => "<",
+            Token::Le => "<=",
+            Token::Gt => ">",
+            Token::Ge => ">=",
+            _ => return Ok(e),
+        };
+        self.bump();
+        let rhs = self.expr_cons()?;
+        let span = e.span().merge(rhs.span());
+        Ok(Expr::call(op, vec![e, rhs], span))
+    }
+
+    fn expr_cons(&mut self) -> Result<Expr, ParseError> {
+        let e = self.expr_add()?;
+        if self.at(&Token::ColonColon) {
+            let s = self.bump().span;
+            let rhs = self.expr_cons()?;
+            let span = e.span().merge(rhs.span());
+            let arg = Expr::Tuple(vec![e, rhs], span);
+            Ok(Expr::App(Box::new(Expr::Var(Ident::new("::", s))), Box::new(arg), span))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => "+",
+                Token::Minus => "-",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.expr_mul()?;
+            let span = e.span().merge(rhs.span());
+            e = Expr::call(op, vec![e, rhs], span);
+        }
+        Ok(e)
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_app()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => "*",
+                Token::Div => "div",
+                Token::Mod => "mod",
+                Token::Slash => {
+                    return Err(self.err(
+                        "`/` is real division; use `div` for integer division".into(),
+                    ))
+                }
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.expr_app()?;
+            let span = e.span().merge(rhs.span());
+            e = Expr::call(op, vec![e, rhs], span);
+        }
+        Ok(e)
+    }
+
+    fn expr_app(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_atom()?;
+        while self.starts_atom() {
+            let arg = self.expr_atom()?;
+            let span = e.span().merge(arg.span());
+            e = Expr::App(Box::new(e), Box::new(arg), span);
+        }
+        Ok(e)
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Token::Ident(_)
+                | Token::Int(_)
+                | Token::True
+                | Token::False
+                | Token::LParen
+                | Token::Tilde
+                | Token::Not
+                | Token::If
+                | Token::Case
+                | Token::Let
+                | Token::Fn
+        )
+    }
+
+    fn expr_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                let s = self.bump();
+                Ok(Expr::Var(Ident::new(name, s.span)))
+            }
+            Token::Int(n) => {
+                let s = self.bump();
+                Ok(Expr::Int(n, s.span))
+            }
+            Token::True => {
+                let s = self.bump();
+                Ok(Expr::Bool(true, s.span))
+            }
+            Token::False => {
+                let s = self.bump();
+                Ok(Expr::Bool(false, s.span))
+            }
+            Token::Tilde => {
+                let s = self.bump();
+                let e = self.expr_atom()?;
+                match e {
+                    Expr::Int(n, sp) => Ok(Expr::Int(-n, s.span.merge(sp))),
+                    other => {
+                        let span = s.span.merge(other.span());
+                        Ok(Expr::call("neg", vec![other], span))
+                    }
+                }
+            }
+            Token::Not => {
+                let s = self.bump();
+                let e = self.expr_atom()?;
+                let span = s.span.merge(e.span());
+                Ok(Expr::call("not", vec![e], span))
+            }
+            Token::If => self.if_expr(),
+            Token::Case => self.case_expr(),
+            Token::Let => self.let_expr(),
+            Token::Fn => self.fn_expr(),
+            Token::LParen => self.paren_expr(),
+            other => Err(self.err(format!("expected an expression, found {}", other.describe()))),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(Token::If)?;
+        let c = self.expr()?;
+        self.expect(Token::Then)?;
+        let t = self.expr()?;
+        self.expect(Token::Else)?;
+        let f = self.expr()?;
+        let span = start.merge(f.span());
+        Ok(Expr::If(Box::new(c), Box::new(t), Box::new(f), span))
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(Token::Case)?;
+        let scrut = self.expr()?;
+        self.expect(Token::Of)?;
+        let mut arms = Vec::new();
+        loop {
+            let p = self.pat()?;
+            self.expect(Token::DArrow)?;
+            let body = self.expr()?;
+            arms.push((p, body));
+            if !self.eat(&Token::Bar) {
+                break;
+            }
+        }
+        let span = start.merge(self.prev_span());
+        Ok(Expr::Case(Box::new(scrut), arms, span))
+    }
+
+    fn let_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(Token::Let)?;
+        let mut decls = Vec::new();
+        while !self.at(&Token::In) {
+            decls.push(self.decl()?);
+        }
+        self.expect(Token::In)?;
+        let mut body = self.expr()?;
+        // `let d in e1; e2 end` — sequence in the body.
+        if self.at(&Token::Semi) {
+            let mut es = vec![body];
+            while self.eat(&Token::Semi) {
+                es.push(self.expr()?);
+            }
+            let span = es[0].span().merge(es[es.len() - 1].span());
+            body = Expr::Seq(es, span);
+        }
+        let end = self.expect(Token::End)?;
+        let span = start.merge(end.span);
+        Ok(Expr::Let(decls, Box::new(body), span))
+    }
+
+    fn fn_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(Token::Fn)?;
+        let mut arms = Vec::new();
+        loop {
+            let p = self.pat()?;
+            self.expect(Token::DArrow)?;
+            let body = self.expr()?;
+            arms.push((p, body));
+            if !self.eat(&Token::Bar) {
+                break;
+            }
+        }
+        let span = start.merge(self.prev_span());
+        Ok(Expr::Fn(arms, span))
+    }
+
+    fn paren_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        self.expect(Token::LParen)?;
+        if self.at(&Token::RParen) {
+            let end = self.bump().span;
+            return Ok(Expr::unit(start.merge(end)));
+        }
+        let first = self.expr()?;
+        if self.at(&Token::Comma) {
+            let mut es = vec![first];
+            while self.eat(&Token::Comma) {
+                es.push(self.expr()?);
+            }
+            let end = self.expect(Token::RParen)?.span;
+            Ok(Expr::Tuple(es, start.merge(end)))
+        } else if self.at(&Token::Semi) {
+            let mut es = vec![first];
+            while self.eat(&Token::Semi) {
+                es.push(self.expr()?);
+            }
+            let end = self.expect(Token::RParen)?.span;
+            Ok(Expr::Seq(es, start.merge(end)))
+        } else {
+            self.expect(Token::RParen)?;
+            Ok(first)
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Patterns.
+    // -----------------------------------------------------------------
+
+    fn pat(&mut self) -> Result<Pat, ParseError> {
+        let p = self.app_pat()?;
+        if self.at(&Token::ColonColon) {
+            let s = self.bump().span;
+            let rest = self.pat()?;
+            let span = p.span().merge(rest.span());
+            let arg = Pat::Tuple(vec![p, rest], span);
+            Ok(Pat::Con(Ident::new("::", s), Some(Box::new(arg)), span))
+        } else if self.at(&Token::Colon) {
+            self.bump();
+            let t = self.dtype()?;
+            let span = p.span().merge(self.prev_span());
+            Ok(Pat::Anno(Box::new(p), t, span))
+        } else {
+            Ok(p)
+        }
+    }
+
+    fn app_pat(&mut self) -> Result<Pat, ParseError> {
+        // `C atpat` — constructor application; otherwise an atomic pattern.
+        if let Token::Ident(name) = self.peek().clone() {
+            if self.starts_atomic_pat_at(1) {
+                let s = self.bump().span;
+                let arg = self.atomic_pat()?;
+                let span = s.merge(arg.span());
+                return Ok(Pat::Con(Ident::new(name, s), Some(Box::new(arg)), span));
+            }
+        }
+        self.atomic_pat()
+    }
+
+    fn starts_atomic_pat_at(&self, n: usize) -> bool {
+        matches!(
+            self.peek_at(n),
+            Token::Ident(_)
+                | Token::Int(_)
+                | Token::True
+                | Token::False
+                | Token::LParen
+                | Token::Underscore
+                | Token::Tilde
+        )
+    }
+
+    fn atomic_pat(&mut self) -> Result<Pat, ParseError> {
+        match self.peek().clone() {
+            Token::Underscore => {
+                let s = self.bump();
+                Ok(Pat::Wild(s.span))
+            }
+            Token::Ident(name) => {
+                let s = self.bump();
+                Ok(Pat::Var(Ident::new(name, s.span)))
+            }
+            Token::Int(n) => {
+                let s = self.bump();
+                Ok(Pat::Int(n, s.span))
+            }
+            Token::Tilde => {
+                let s = self.bump();
+                match self.peek().clone() {
+                    Token::Int(n) => {
+                        let e = self.bump();
+                        Ok(Pat::Int(-n, s.span.merge(e.span)))
+                    }
+                    other => Err(self.err(format!(
+                        "expected integer literal after `~` in pattern, found {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            Token::True => {
+                let s = self.bump();
+                Ok(Pat::Bool(true, s.span))
+            }
+            Token::False => {
+                let s = self.bump();
+                Ok(Pat::Bool(false, s.span))
+            }
+            Token::LParen => {
+                let start = self.bump().span;
+                if self.at(&Token::RParen) {
+                    let end = self.bump().span;
+                    return Ok(Pat::Tuple(Vec::new(), start.merge(end)));
+                }
+                let first = self.pat()?;
+                if self.at(&Token::Comma) {
+                    let mut ps = vec![first];
+                    while self.eat(&Token::Comma) {
+                        ps.push(self.pat()?);
+                    }
+                    let end = self.expect(Token::RParen)?.span;
+                    Ok(Pat::Tuple(ps, start.merge(end)))
+                } else {
+                    self.expect(Token::RParen)?;
+                    Ok(first)
+                }
+            }
+            other => Err(self.err(format!("expected a pattern, found {}", other.describe()))),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Dependent types.
+    // -----------------------------------------------------------------
+
+    fn dtype(&mut self) -> Result<DType, ParseError> {
+        match self.peek() {
+            Token::LBrace => {
+                self.bump();
+                let qs = self.quants()?;
+                self.expect(Token::RBrace)?;
+                let body = self.dtype()?;
+                Ok(DType::Pi(qs, Box::new(body)))
+            }
+            Token::LBracket => {
+                self.bump();
+                let qs = self.quants()?;
+                self.expect(Token::RBracket)?;
+                let body = self.dtype()?;
+                Ok(DType::Sigma(qs, Box::new(body)))
+            }
+            _ => {
+                let lhs = self.dtype_product()?;
+                if self.eat(&Token::Arrow) {
+                    let rhs = self.dtype()?;
+                    Ok(DType::Arrow(Box::new(lhs), Box::new(rhs)))
+                } else {
+                    Ok(lhs)
+                }
+            }
+        }
+    }
+
+    fn dtype_product(&mut self) -> Result<DType, ParseError> {
+        let first = self.dtype_postfix()?;
+        if !self.at(&Token::Star) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat(&Token::Star) {
+            parts.push(self.dtype_postfix()?);
+        }
+        Ok(DType::Product(parts))
+    }
+
+    fn dtype_postfix(&mut self) -> Result<DType, ParseError> {
+        // Parse an atom, then fold postfix constructor applications:
+        // `'a array(n)`, `int list`, `(int, bool) pair(k)`.
+        let mut parts: Vec<DType> = Vec::new();
+        let mut t = self.dtype_atom(&mut parts)?;
+        while let Token::Ident(name) = self.peek().clone() {
+            let s = self.bump().span;
+            let ix_args = self.index_args()?;
+            let ty_args = match t {
+                Some(inner) => vec![inner],
+                None => std::mem::take(&mut parts),
+            };
+            t = Some(DType::App { name: Ident::new(name, s), ty_args, ix_args });
+        }
+        match t {
+            Some(ty) => Ok(ty),
+            None => {
+                // `(t1, t2)` with no following constructor is an error; a
+                // single `(t)` parse returns Some.
+                Err(self.err("expected a type constructor after `(ty, ty)`".into()))
+            }
+        }
+    }
+
+    /// Parses an atomic type. If it is a parenthesized *list* of types
+    /// destined for a constructor (e.g. `('a, 'b) pair`), stores the parts in
+    /// `pending` and returns `None`.
+    fn dtype_atom(&mut self, pending: &mut Vec<DType>) -> Result<Option<DType>, ParseError> {
+        match self.peek().clone() {
+            Token::TyVar(name) => {
+                let s = self.bump();
+                Ok(Some(DType::Var(Ident::new(name, s.span))))
+            }
+            Token::Ident(name) => {
+                let s = self.bump().span;
+                let ix_args = self.index_args()?;
+                Ok(Some(DType::App { name: Ident::new(name, s), ty_args: Vec::new(), ix_args }))
+            }
+            Token::LParen => {
+                self.bump();
+                let first = self.dtype()?;
+                if self.at(&Token::Comma) {
+                    let mut ts = vec![first];
+                    while self.eat(&Token::Comma) {
+                        ts.push(self.dtype()?);
+                    }
+                    self.expect(Token::RParen)?;
+                    *pending = ts;
+                    Ok(None)
+                } else {
+                    self.expect(Token::RParen)?;
+                    Ok(Some(first))
+                }
+            }
+            other => Err(self.err(format!("expected a type, found {}", other.describe()))),
+        }
+    }
+
+    fn index_args(&mut self) -> Result<Vec<Index>, ParseError> {
+        if !self.at(&Token::LParen) {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        let mut args = Vec::new();
+        loop {
+            args.push(self.index()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(Token::RParen)?;
+        Ok(args)
+    }
+
+    /// Parses an index argument: a boolean proposition if it syntactically
+    /// must be one (literal, comparison, connective), otherwise an integer
+    /// expression. A bare variable parses as an integer expression; sort
+    /// checking may later reinterpret it as boolean.
+    fn index(&mut self) -> Result<Index, ParseError> {
+        if matches!(self.peek(), Token::True | Token::False | Token::Not) {
+            return Ok(Index::Prop(self.iprop()?));
+        }
+        let e = self.iexpr()?;
+        if self.peek_is_cmp() || self.at(&Token::AmpAmp) || self.at(&Token::BarBar) {
+            let p = self.iprop_continue(e)?;
+            Ok(Index::Prop(p))
+        } else {
+            Ok(Index::Int(e))
+        }
+    }
+
+    fn peek_is_cmp(&self) -> bool {
+        matches!(
+            self.peek(),
+            Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::Eq | Token::Neq
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // Sorts and quantifiers.
+    // -----------------------------------------------------------------
+
+    fn sort(&mut self) -> Result<Sort, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                let s = self.bump();
+                match name.as_str() {
+                    "int" => Ok(Sort::Int),
+                    "bool" => Ok(Sort::Bool),
+                    "nat" => Ok(Sort::Nat),
+                    other => Err(ParseError::new(
+                        format!("unknown sort `{other}` (expected `int`, `bool`, or `nat`)"),
+                        s.span,
+                    )),
+                }
+            }
+            Token::LBrace => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(Token::Colon)?;
+                let inner = self.sort()?;
+                self.expect(Token::Bar)?;
+                let p = self.iprop()?;
+                self.expect(Token::RBrace)?;
+                Ok(Sort::Subset(var, Box::new(inner), Box::new(p)))
+            }
+            other => Err(self.err(format!("expected a sort, found {}", other.describe()))),
+        }
+    }
+
+    fn quants(&mut self) -> Result<Vec<Quant>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let var = self.ident()?;
+            self.expect(Token::Colon)?;
+            let sort = self.sort()?;
+            out.push(Quant { var, sort, guard: None });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        if self.eat(&Token::Bar) {
+            let guard = self.iprop()?;
+            // The guard scopes over the whole group; attach to the last
+            // quantifier (all earlier variables are in scope there).
+            if let Some(last) = out.last_mut() {
+                last.guard = Some(guard);
+            }
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Index expressions and propositions.
+    // -----------------------------------------------------------------
+
+    fn iexpr(&mut self) -> Result<IExpr, ParseError> {
+        let mut e = self.imul()?;
+        loop {
+            match self.peek() {
+                Token::Plus => {
+                    self.bump();
+                    let rhs = self.imul()?;
+                    e = IExpr::Add(Box::new(e), Box::new(rhs));
+                }
+                Token::Minus => {
+                    self.bump();
+                    let rhs = self.imul()?;
+                    e = IExpr::Sub(Box::new(e), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn imul(&mut self) -> Result<IExpr, ParseError> {
+        let mut e = self.iunary()?;
+        loop {
+            match self.peek() {
+                Token::Star => {
+                    self.bump();
+                    let rhs = self.iunary()?;
+                    e = IExpr::Mul(Box::new(e), Box::new(rhs));
+                }
+                Token::Div => {
+                    self.bump();
+                    let rhs = self.iunary()?;
+                    e = IExpr::Div(Box::new(e), Box::new(rhs));
+                }
+                Token::Mod => {
+                    self.bump();
+                    let rhs = self.iunary()?;
+                    e = IExpr::Mod(Box::new(e), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn iunary(&mut self) -> Result<IExpr, ParseError> {
+        match self.peek() {
+            Token::Tilde | Token::Minus => {
+                self.bump();
+                let e = self.iunary()?;
+                Ok(IExpr::Neg(Box::new(e)))
+            }
+            _ => self.iatom(),
+        }
+    }
+
+    fn iatom(&mut self) -> Result<IExpr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(n) => {
+                let s = self.bump();
+                Ok(IExpr::Lit(n, s.span))
+            }
+            Token::Ident(name) => {
+                let s = self.bump();
+                // Function-style forms: min(i,j), max(i,j), abs(i), sgn(i),
+                // div(i,j), mod(i,j).
+                if self.at(&Token::LParen)
+                    && matches!(name.as_str(), "min" | "max" | "abs" | "sgn" | "div" | "mod")
+                {
+                    self.bump();
+                    let a = self.iexpr()?;
+                    let result = match name.as_str() {
+                        "abs" | "sgn" => {
+                            
+                            if name == "abs" {
+                                IExpr::Abs(Box::new(a))
+                            } else {
+                                IExpr::Sgn(Box::new(a))
+                            }
+                        }
+                        two_arg => {
+                            self.expect(Token::Comma)?;
+                            let b = self.iexpr()?;
+                            match two_arg {
+                                "min" => IExpr::Min(Box::new(a), Box::new(b)),
+                                "max" => IExpr::Max(Box::new(a), Box::new(b)),
+                                "div" => IExpr::Div(Box::new(a), Box::new(b)),
+                                "mod" => IExpr::Mod(Box::new(a), Box::new(b)),
+                                _ => unreachable!("matched above"),
+                            }
+                        }
+                    };
+                    self.expect(Token::RParen)?;
+                    Ok(result)
+                } else {
+                    Ok(IExpr::Var(Ident::new(name, s.span)))
+                }
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.iexpr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            other => {
+                Err(self.err(format!("expected an index expression, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn iprop(&mut self) -> Result<IProp, ParseError> {
+        let mut p = self.iand()?;
+        while self.eat(&Token::BarBar) {
+            let rhs = self.iand()?;
+            p = IProp::Or(Box::new(p), Box::new(rhs));
+        }
+        Ok(p)
+    }
+
+    fn iand(&mut self) -> Result<IProp, ParseError> {
+        let mut p = self.inot()?;
+        while self.eat(&Token::AmpAmp) {
+            let rhs = self.inot()?;
+            p = IProp::And(Box::new(p), Box::new(rhs));
+        }
+        Ok(p)
+    }
+
+    fn inot(&mut self) -> Result<IProp, ParseError> {
+        match self.peek().clone() {
+            Token::Not => {
+                self.bump();
+                let p = self.inot()?;
+                Ok(IProp::Not(Box::new(p)))
+            }
+            Token::True => {
+                let s = self.bump();
+                Ok(IProp::Lit(true, s.span))
+            }
+            Token::False => {
+                let s = self.bump();
+                Ok(IProp::Lit(false, s.span))
+            }
+            Token::LParen => {
+                // Ambiguous: `(p || q)` is a parenthesized proposition,
+                // `(a + b) < c` a parenthesized integer operand. Try the
+                // proposition reading with backtracking; accept it only
+                // when the closing paren is not followed by an operator
+                // that would make the parens an integer operand.
+                let save = self.pos;
+                self.bump();
+                if let Ok(p) = self.iprop() {
+                    if self.eat(&Token::RParen)
+                        && !self.peek_is_cmp()
+                        && !matches!(
+                            self.peek(),
+                            Token::Plus
+                                | Token::Minus
+                                | Token::Star
+                                | Token::Div
+                                | Token::Mod
+                        )
+                    {
+                        return Ok(p);
+                    }
+                }
+                self.pos = save;
+                let e = self.iexpr()?;
+                self.iprop_continue(e)
+            }
+            _ => {
+                let e = self.iexpr()?;
+                self.iprop_continue(e)
+            }
+        }
+    }
+
+    /// Continues a proposition whose first integer operand is already
+    /// parsed. Supports chained comparisons: `0 <= i < n` becomes
+    /// `0 <= i && i < n`.
+    fn iprop_continue(&mut self, first: IExpr) -> Result<IProp, ParseError> {
+        if !self.peek_is_cmp() {
+            // A bare variable can be a boolean index variable.
+            if let IExpr::Var(v) = first {
+                let mut p = IProp::Var(v);
+                // allow `b && ...` chains after bare var
+                while self.eat(&Token::AmpAmp) {
+                    let rhs = self.inot()?;
+                    p = IProp::And(Box::new(p), Box::new(rhs));
+                }
+                return Ok(p);
+            }
+            return Err(self.err(format!(
+                "expected a comparison operator, found {}",
+                self.peek().describe()
+            )));
+        }
+        let mut lhs = first;
+        let mut props: Vec<IProp> = Vec::new();
+        while self.peek_is_cmp() {
+            let op = match self.peek() {
+                Token::Lt => CmpOp::Lt,
+                Token::Le => CmpOp::Le,
+                Token::Gt => CmpOp::Gt,
+                Token::Ge => CmpOp::Ge,
+                Token::Eq => CmpOp::Eq,
+                Token::Neq => CmpOp::Neq,
+                _ => unreachable!("peek_is_cmp"),
+            };
+            self.bump();
+            let rhs = self.iexpr()?;
+            props.push(IProp::Cmp(op, Box::new(lhs.clone()), Box::new(rhs.clone())));
+            lhs = rhs;
+        }
+        let mut it = props.into_iter();
+        let mut p = it.next().expect("at least one comparison");
+        for q in it {
+            p = IProp::And(Box::new(p), Box::new(q));
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_fun() {
+        let p = parse_program("fun id(x) = x").unwrap();
+        assert_eq!(p.decls.len(), 1);
+        match &p.decls[0] {
+            Decl::Fun(fs) => {
+                assert_eq!(fs.len(), 1);
+                assert_eq!(fs[0].name.name, "id");
+                assert_eq!(fs[0].clauses.len(), 1);
+                assert_eq!(fs[0].clauses[0].params.len(), 1);
+            }
+            other => panic!("expected Fun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_where_annotation() {
+        let src = "fun double(x) = x + x where double <| {n:int} int(n) -> int(n+n)";
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Fun(fs) => {
+                let anno = fs[0].anno.as_ref().expect("where annotation");
+                assert!(matches!(anno, DType::Pi(_, _)));
+            }
+            other => panic!("expected Fun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_where_wrong_name_errors() {
+        let src = "fun f(x) = x where g <| int -> int";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn parse_multi_clause_fun() {
+        let src = "fun rev(ns, ys) = ys | rev(xs, ys) = ys";
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Fun(fs) => assert_eq!(fs[0].clauses.len(), 2),
+            other => panic!("expected Fun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cons_pattern_clause() {
+        let src = "fun rev(nil, ys) = ys | rev(x::xs, ys) = rev(xs, x::ys)";
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Fun(fs) => {
+                let second = &fs[0].clauses[1].params[0];
+                match second {
+                    Pat::Tuple(ps, _) => {
+                        assert!(matches!(&ps[0], Pat::Con(c, Some(_), _) if c.name == "::"));
+                    }
+                    other => panic!("expected tuple pattern, got {other:?}"),
+                }
+            }
+            other => panic!("expected Fun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_assert_decl() {
+        let src = "assert length <| {n:nat} 'a array(n) -> int(n) \
+                   and sub <| {n:nat} {i:nat | i < n} 'a array(n) * int(i) -> 'a";
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Assert(sigs) => {
+                assert_eq!(sigs.len(), 2);
+                assert_eq!(sigs[0].0.name, "length");
+                assert_eq!(sigs[1].0.name, "sub");
+            }
+            other => panic!("expected Assert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_typeref_list() {
+        let src = "typeref 'a list of nat with nil <| 'a list(0) \
+                   | :: <| {n:nat} 'a * 'a list(n) -> 'a list(n+1)";
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Typeref(t) => {
+                assert_eq!(t.name.name, "list");
+                assert_eq!(t.cons.len(), 2);
+                assert_eq!(t.cons[1].0.name, "::");
+            }
+            other => panic!("expected Typeref, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_datatype() {
+        let src = "datatype 'a option = NONE | SOME of 'a";
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Datatype(d) => {
+                assert_eq!(d.cons.len(), 2);
+                assert!(d.cons[0].arg.is_none());
+                assert!(d.cons[1].arg.is_some());
+            }
+            other => panic!("expected Datatype, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_dotprod_figure1() {
+        let src = r#"
+assert length <| {n:nat} 'a array(n) -> int(n)
+and sub <| {n:nat} {i:nat | i < n} 'a array(n) * int(i) -> 'a
+
+fun dotprod(v1, v2) = let
+  fun loop(i, n, sum) =
+    if i = n then sum
+    else loop(i+1, n, sum + sub(v1, i) * sub(v2, i))
+  where loop <| {n:nat} {i:nat | i <= n} int(i) * int(n) * int -> int
+in
+  loop(0, length v1, 0)
+end
+where dotprod <| {p:nat} {q:nat | p <= q} int array(p) * int array(q) -> int
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 2);
+    }
+
+    #[test]
+    fn parse_bsearch_figure3() {
+        let src = r#"
+fun('a){size:nat} bsearch cmp (key, arr) = let
+  fun look(lo, hi) =
+    if hi >= lo then
+      let val m = lo + (hi - lo) div 2
+          val x = sub(arr, m)
+      in
+        case cmp(key, x) of
+          LESS => look(lo, m-1)
+        | EQUAL => SOME(m, x)
+        | GREATER => look(m+1, hi)
+      end
+    else NONE
+  where look <| {l:nat | 0 <= l && l <= size} {h:int | 0 <= h+1 && h+1 <= size}
+                int(l) * int(h) -> 'a answer
+in
+  look (0, length arr - 1)
+end
+where bsearch <| ('a * 'a -> order) -> 'a * 'a array(size) -> 'a answer
+"#;
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Fun(fs) => {
+                assert_eq!(fs[0].tyvars.len(), 1);
+                assert_eq!(fs[0].index_params.len(), 1);
+                assert_eq!(fs[0].clauses[0].params.len(), 2, "cmp and (key, arr)");
+            }
+            other => panic!("expected Fun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_existential_type() {
+        let t = parse_dtype("[n:nat | n <= m] 'a list(n)").unwrap();
+        match t {
+            DType::Sigma(qs, body) => {
+                assert_eq!(qs.len(), 1);
+                assert!(qs[0].guard.is_some());
+                assert!(matches!(*body, DType::App { .. }));
+            }
+            other => panic!("expected Sigma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_chained_comparison_guard() {
+        let t = parse_dtype("{size:int, i:int | 0 <= i < size} 'a array(size) * int(i) -> 'a")
+            .unwrap();
+        match t {
+            DType::Pi(qs, _) => {
+                assert_eq!(qs.len(), 2);
+                let guard = qs[1].guard.as_ref().expect("guard");
+                assert!(matches!(guard, IProp::And(_, _)));
+            }
+            other => panic!("expected Pi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_product_and_arrow_associativity() {
+        let t = parse_dtype("int * int -> int -> int").unwrap();
+        // (int * int) -> (int -> int)
+        match t {
+            DType::Arrow(lhs, rhs) => {
+                assert!(matches!(*lhs, DType::Product(ref ps) if ps.len() == 2));
+                assert!(matches!(*rhs, DType::Arrow(_, _)));
+            }
+            other => panic!("expected Arrow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_postfix_type_application() {
+        let t = parse_dtype("int array(p)").unwrap();
+        match t {
+            DType::App { name, ty_args, ix_args } => {
+                assert_eq!(name.name, "array");
+                assert_eq!(ty_args.len(), 1);
+                assert_eq!(ix_args.len(), 1);
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_multi_tyarg_application() {
+        let t = parse_dtype("(int, bool) pair").unwrap();
+        match t {
+            DType::App { name, ty_args, .. } => {
+                assert_eq!(name.name, "pair");
+                assert_eq!(ty_args.len(), 2);
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_index_expressions() {
+        let t = parse_dtype("int(min(a, b) + max(a, b) * 2 - abs(c))").unwrap();
+        match t {
+            DType::App { ix_args, .. } => {
+                assert_eq!(ix_args.len(), 1);
+                assert!(matches!(ix_args[0], Index::Int(IExpr::Sub(_, _))));
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_div_in_index() {
+        let t = parse_dtype("int(l + (h - l) div 2)").unwrap();
+        match t {
+            DType::App { ix_args, .. } => {
+                assert!(matches!(ix_args[0], Index::Int(IExpr::Add(_, _))));
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_bool_singleton() {
+        let t = parse_dtype("bool(a <= b)").unwrap();
+        match t {
+            DType::App { name, ix_args, .. } => {
+                assert_eq!(name.name, "bool");
+                assert!(matches!(ix_args[0], Index::Prop(_)));
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_if_and_case() {
+        let e = parse_expr("if x = 0 then 1 else case y of SOME z => z | NONE => 0").unwrap();
+        assert!(matches!(e, Expr::If(_, _, _, _)));
+    }
+
+    #[test]
+    fn parse_let_with_seq_body() {
+        let e = parse_expr("let val x = 1 in f x; g x end").unwrap();
+        match e {
+            Expr::Let(decls, body, _) => {
+                assert_eq!(decls.len(), 1);
+                assert!(matches!(*body, Expr::Seq(ref es, _) if es.len() == 2));
+            }
+            other => panic!("expected Let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_operator_precedence() {
+        // 1 + 2 * 3 = 7  parses as  (=) ((+) 1 ((*) 2 3)) 7
+        let e = parse_expr("1 + 2 * 3 = 7").unwrap();
+        match e {
+            Expr::App(f, _, _) => {
+                assert!(matches!(*f, Expr::Var(ref i) if i.name == "="));
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cons_right_assoc() {
+        let e = parse_expr("1 :: 2 :: nil").unwrap();
+        // :: (1, :: (2, nil))
+        match e {
+            Expr::App(f, arg, _) => {
+                assert!(matches!(*f, Expr::Var(ref i) if i.name == "::"));
+                match *arg {
+                    Expr::Tuple(ref es, _) => {
+                        assert!(matches!(es[0], Expr::Int(1, _)));
+                        assert!(matches!(es[1], Expr::App(_, _, _)));
+                    }
+                    ref other => panic!("expected tuple, got {other:?}"),
+                }
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_negative_literals() {
+        let e = parse_expr("~1").unwrap();
+        assert!(matches!(e, Expr::Int(-1, _)));
+        let e = parse_expr("f(~1, 1)").unwrap();
+        assert!(matches!(e, Expr::App(_, _, _)));
+    }
+
+    #[test]
+    fn parse_andalso_orelse() {
+        let e = parse_expr("a andalso b orelse c").unwrap();
+        assert!(matches!(e, Expr::Orelse(_, _, _)));
+    }
+
+    #[test]
+    fn parse_unit_and_tuple() {
+        assert!(matches!(parse_expr("()").unwrap(), Expr::Tuple(ref es, _) if es.is_empty()));
+        assert!(matches!(parse_expr("(1, 2, 3)").unwrap(), Expr::Tuple(ref es, _) if es.len() == 3));
+    }
+
+    #[test]
+    fn parse_fn_expr() {
+        let e = parse_expr("fn x => x + 1").unwrap();
+        assert!(matches!(e, Expr::Fn(ref arms, _) if arms.len() == 1));
+    }
+
+    #[test]
+    fn parse_val_with_annotation() {
+        let p = parse_program("val x : int = 3").unwrap();
+        match &p.decls[0] {
+            Decl::Val(v) => assert!(v.anno.is_some()),
+            other => panic!("expected Val, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_mutual_recursion() {
+        let src = "fun even(n) = if n = 0 then true else odd(n - 1) \
+                   and odd(n) = if n = 0 then false else even(n - 1)";
+        let p = parse_program(src).unwrap();
+        match &p.decls[0] {
+            Decl::Fun(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("expected Fun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_subset_sort() {
+        let t = parse_dtype("{i: {a:int | a >= 0} | i < n} int(i) -> int").unwrap();
+        match t {
+            DType::Pi(qs, _) => {
+                assert!(matches!(qs[0].sort, Sort::Subset(_, _, _)));
+            }
+            other => panic!("expected Pi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_unknown_sort() {
+        assert!(parse_dtype("{n:real} int").is_err());
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("fun = 3").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_dtype("->").is_err());
+    }
+
+    #[test]
+    fn parse_seq_in_parens() {
+        let e = parse_expr("(update(a, 0, x); loop(i+1))").unwrap();
+        assert!(matches!(e, Expr::Seq(ref es, _) if es.len() == 2));
+    }
+
+    #[test]
+    fn parse_annotation_expr() {
+        let e = parse_expr("(x : int(3))").unwrap();
+        assert!(matches!(e, Expr::Anno(_, _, _)));
+    }
+
+    #[test]
+    fn parse_comments_ignored() {
+        let p = parse_program("(* header *) fun f(x) = x (* trailing *)").unwrap();
+        assert_eq!(p.decls.len(), 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! Pretty-printing of surface syntax back to concrete syntax.
+//!
+//! The printer is used for diagnostics and golden tests; it produces valid
+//! concrete syntax (re-parseable for types and index expressions).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a dependent type.
+pub fn dtype(t: &DType) -> String {
+    let mut s = String::new();
+    write_dtype(&mut s, t, 0);
+    s
+}
+
+/// Renders an index expression.
+pub fn iexpr(e: &IExpr) -> String {
+    let mut s = String::new();
+    write_iexpr(&mut s, e, 0);
+    s
+}
+
+/// Renders an index proposition.
+pub fn iprop(p: &IProp) -> String {
+    let mut s = String::new();
+    write_iprop(&mut s, p, 0);
+    s
+}
+
+/// Renders a sort.
+pub fn sort(s0: &Sort) -> String {
+    match s0 {
+        Sort::Int => "int".to_string(),
+        Sort::Bool => "bool".to_string(),
+        Sort::Nat => "nat".to_string(),
+        Sort::Subset(v, inner, p) => {
+            format!("{{{}:{} | {}}}", v.name, sort(inner), iprop(p))
+        }
+    }
+}
+
+/// Renders a pattern.
+pub fn pat(p: &Pat) -> String {
+    match p {
+        Pat::Wild(_) => "_".to_string(),
+        Pat::Var(i) => i.name.clone(),
+        Pat::Int(n, _) => {
+            if *n < 0 {
+                format!("~{}", -n)
+            } else {
+                n.to_string()
+            }
+        }
+        Pat::Bool(b, _) => b.to_string(),
+        Pat::Tuple(ps, _) => {
+            let inner: Vec<String> = ps.iter().map(pat).collect();
+            format!("({})", inner.join(", "))
+        }
+        Pat::Con(c, arg, _) => match arg {
+            None => c.name.clone(),
+            Some(a) if c.name == "::" => match a.as_ref() {
+                Pat::Tuple(ps, _) if ps.len() == 2 => {
+                    format!("{} :: {}", pat(&ps[0]), pat(&ps[1]))
+                }
+                other => format!(":: {}", pat(other)),
+            },
+            Some(a) => format!("{} {}", c.name, pat(a)),
+        },
+        Pat::Anno(p, t, _) => format!("({} : {})", pat(p), dtype(t)),
+    }
+}
+
+/// Renders an expression (single line; intended for diagnostics).
+pub fn expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+fn quants_str(qs: &[Quant]) -> String {
+    let mut parts = Vec::new();
+    let mut guard = None;
+    for q in qs {
+        parts.push(format!("{}:{}", q.var.name, sort(&q.sort)));
+        if let Some(g) = &q.guard {
+            guard = Some(iprop(g));
+        }
+    }
+    match guard {
+        Some(g) => format!("{} | {}", parts.join(", "), g),
+        None => parts.join(", "),
+    }
+}
+
+fn write_dtype(out: &mut String, t: &DType, prec: u8) {
+    // prec: 0 = top (arrow), 1 = product, 2 = atom
+    match t {
+        DType::Var(i) => {
+            let _ = write!(out, "'{}", i.name);
+        }
+        DType::App { name, ty_args, ix_args } => {
+            match ty_args.len() {
+                0 => {}
+                1 => {
+                    write_dtype(out, &ty_args[0], 2);
+                    out.push(' ');
+                }
+                _ => {
+                    out.push('(');
+                    for (k, a) in ty_args.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        write_dtype(out, a, 0);
+                    }
+                    out.push_str(") ");
+                }
+            }
+            out.push_str(&name.name);
+            if !ix_args.is_empty() {
+                out.push('(');
+                for (k, ix) in ix_args.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    match ix {
+                        Index::Int(e) => write_iexpr(out, e, 0),
+                        Index::Prop(p) => write_iprop(out, p, 0),
+                    }
+                }
+                out.push(')');
+            }
+        }
+        DType::Product(parts) => {
+            if prec > 1 {
+                out.push('(');
+            }
+            for (k, p) in parts.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(" * ");
+                }
+                write_dtype(out, p, 2);
+            }
+            if prec > 1 {
+                out.push(')');
+            }
+        }
+        DType::Arrow(a, b) => {
+            if prec > 0 {
+                out.push('(');
+            }
+            write_dtype(out, a, 1);
+            out.push_str(" -> ");
+            write_dtype(out, b, 0);
+            if prec > 0 {
+                out.push(')');
+            }
+        }
+        DType::Pi(qs, body) => {
+            // A quantified type binds loosest; parenthesize in any tighter
+            // context (products, postfix application, arrow domains).
+            if prec > 0 {
+                out.push('(');
+            }
+            let _ = write!(out, "{{{}}} ", quants_str(qs));
+            write_dtype(out, body, 0);
+            if prec > 0 {
+                out.push(')');
+            }
+        }
+        DType::Sigma(qs, body) => {
+            if prec > 0 {
+                out.push('(');
+            }
+            let _ = write!(out, "[{}] ", quants_str(qs));
+            write_dtype(out, body, 0);
+            if prec > 0 {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn write_iexpr(out: &mut String, e: &IExpr, prec: u8) {
+    // prec: 0 = additive, 1 = multiplicative, 2 = atom
+    match e {
+        IExpr::Var(i) => out.push_str(&i.name),
+        IExpr::Lit(n, _) => {
+            if *n < 0 {
+                let _ = write!(out, "~{}", -n);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        IExpr::Add(a, b) | IExpr::Sub(a, b) => {
+            if prec > 0 {
+                out.push('(');
+            }
+            write_iexpr(out, a, 0);
+            out.push_str(if matches!(e, IExpr::Add(_, _)) { " + " } else { " - " });
+            write_iexpr(out, b, 1);
+            if prec > 0 {
+                out.push(')');
+            }
+        }
+        IExpr::Mul(a, b) | IExpr::Div(a, b) | IExpr::Mod(a, b) => {
+            if prec > 1 {
+                out.push('(');
+            }
+            write_iexpr(out, a, 1);
+            out.push_str(match e {
+                IExpr::Mul(_, _) => " * ",
+                IExpr::Div(_, _) => " div ",
+                _ => " mod ",
+            });
+            write_iexpr(out, b, 2);
+            if prec > 1 {
+                out.push(')');
+            }
+        }
+        IExpr::Min(a, b) | IExpr::Max(a, b) => {
+            out.push_str(if matches!(e, IExpr::Min(_, _)) { "min(" } else { "max(" });
+            write_iexpr(out, a, 0);
+            out.push_str(", ");
+            write_iexpr(out, b, 0);
+            out.push(')');
+        }
+        IExpr::Abs(a) => {
+            out.push_str("abs(");
+            write_iexpr(out, a, 0);
+            out.push(')');
+        }
+        IExpr::Sgn(a) => {
+            out.push_str("sgn(");
+            write_iexpr(out, a, 0);
+            out.push(')');
+        }
+        IExpr::Neg(a) => {
+            out.push('~');
+            write_iexpr(out, a, 2);
+        }
+    }
+}
+
+fn write_iprop(out: &mut String, p: &IProp, prec: u8) {
+    // prec: 0 = or, 1 = and, 2 = atom
+    match p {
+        IProp::Var(i) => out.push_str(&i.name),
+        IProp::Lit(b, _) => {
+            let _ = write!(out, "{b}");
+        }
+        IProp::Cmp(op, a, b) => {
+            write_iexpr(out, a, 0);
+            let _ = write!(out, " {op} ");
+            write_iexpr(out, b, 0);
+        }
+        IProp::Not(q) => {
+            out.push_str("not ");
+            write_iprop(out, q, 2);
+        }
+        IProp::And(a, b) => {
+            if prec > 1 {
+                out.push('(');
+            }
+            write_iprop(out, a, 1);
+            out.push_str(" && ");
+            write_iprop(out, b, 2);
+            if prec > 1 {
+                out.push(')');
+            }
+        }
+        IProp::Or(a, b) => {
+            if prec > 0 {
+                out.push('(');
+            }
+            write_iprop(out, a, 0);
+            out.push_str(" || ");
+            write_iprop(out, b, 1);
+            if prec > 0 {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Var(i) => out.push_str(&i.name),
+        Expr::Int(n, _) => {
+            if *n < 0 {
+                let _ = write!(out, "~{}", -n);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Expr::Bool(b, _) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::App(f, a, _) => {
+            match f.as_ref() {
+                Expr::Var(i) => out.push_str(&i.name),
+                nested => {
+                    out.push('(');
+                    write_expr(out, nested);
+                    out.push(')');
+                }
+            }
+            match a.as_ref() {
+                Expr::Tuple(_, _) => write_expr(out, a),
+                simple @ (Expr::Var(_) | Expr::Int(_, _) | Expr::Bool(_, _)) => {
+                    out.push(' ');
+                    write_expr(out, simple);
+                }
+                complex => {
+                    out.push('(');
+                    write_expr(out, complex);
+                    out.push(')');
+                }
+            }
+        }
+        Expr::Tuple(es, _) => {
+            out.push('(');
+            for (k, x) in es.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, x);
+            }
+            out.push(')');
+        }
+        Expr::If(c, t, f, _) => {
+            out.push_str("if ");
+            write_expr(out, c);
+            out.push_str(" then ");
+            write_expr(out, t);
+            out.push_str(" else ");
+            write_expr(out, f);
+        }
+        Expr::Case(s, arms, _) => {
+            out.push_str("case ");
+            write_expr(out, s);
+            out.push_str(" of ");
+            for (k, (p, b)) in arms.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&pat(p));
+                out.push_str(" => ");
+                write_expr(out, b);
+            }
+        }
+        Expr::Let(_, body, _) => {
+            out.push_str("let ... in ");
+            write_expr(out, body);
+            out.push_str(" end");
+        }
+        Expr::Fn(arms, _) => {
+            out.push_str("fn ");
+            for (k, (p, b)) in arms.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&pat(p));
+                out.push_str(" => ");
+                write_expr(out, b);
+            }
+        }
+        Expr::Seq(es, _) => {
+            out.push('(');
+            for (k, x) in es.iter().enumerate() {
+                if k > 0 {
+                    out.push_str("; ");
+                }
+                write_expr(out, x);
+            }
+            out.push(')');
+        }
+        Expr::Anno(x, t, _) => {
+            out.push('(');
+            write_expr(out, x);
+            out.push_str(" : ");
+            out.push_str(&dtype(t));
+            out.push(')');
+        }
+        Expr::Andalso(a, b, _) => {
+            write_expr(out, a);
+            out.push_str(" andalso ");
+            write_expr(out, b);
+        }
+        Expr::Orelse(a, b, _) => {
+            write_expr(out, a);
+            out.push_str(" orelse ");
+            write_expr(out, b);
+        }
+        Expr::Raise(name, _) => {
+            out.push_str("raise ");
+            out.push_str(&name.name);
+        }
+        Expr::Handle(body, arms, _) => {
+            out.push('(');
+            write_expr(out, body);
+            out.push_str(" handle ");
+            for (k, (name, h)) in arms.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&name.name);
+                out.push_str(" => ");
+                write_expr(out, h);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_dtype, parse_expr};
+
+    /// Types round-trip: parse → print → parse yields the same AST.
+    fn roundtrip_ty(src: &str) {
+        let t1 = parse_dtype(src).unwrap();
+        let printed = dtype(&t1);
+        let t2 = parse_dtype(&printed).unwrap_or_else(|e| {
+            panic!("re-parse of `{printed}` failed: {e}");
+        });
+        let p2 = dtype(&t2);
+        assert_eq!(printed, p2, "printing must be a fixed point");
+    }
+
+    #[test]
+    fn roundtrip_simple_types() {
+        roundtrip_ty("int");
+        roundtrip_ty("int(n)");
+        roundtrip_ty("'a array(n)");
+        roundtrip_ty("int * int -> int");
+        roundtrip_ty("{n:nat} 'a array(n) -> int(n)");
+        roundtrip_ty("{n:nat} {i:nat | i < n} 'a array(n) * int(i) -> 'a");
+        roundtrip_ty("[n:nat | n <= m] 'a list(n)");
+        roundtrip_ty("int(l + (h - l) div 2)");
+        roundtrip_ty("bool(a <= b)");
+        roundtrip_ty("int(min(a, b) * 2)");
+    }
+
+    #[test]
+    fn pretty_expr_smoke() {
+        let e = parse_expr("if x = 0 then f(1, 2) else g x").unwrap();
+        let s = expr(&e);
+        assert!(s.contains("if"), "{s}");
+        assert!(s.contains("f(1, 2)"), "{s}");
+    }
+
+    #[test]
+    fn pretty_cons_pattern() {
+        let p = crate::parser::parse_program("fun f(x::xs) = x").unwrap();
+        if let crate::ast::Decl::Fun(fs) = &p.decls[0] {
+            let s = pat(&fs[0].clauses[0].params[0]);
+            assert_eq!(s, "x :: xs");
+        } else {
+            panic!("expected fun");
+        }
+    }
+
+    #[test]
+    fn pretty_negative_numbers() {
+        let e = parse_expr("~3").unwrap();
+        assert_eq!(expr(&e), "~3");
+    }
+}

@@ -1,0 +1,128 @@
+//! Byte-offset source spans and line/column resolution.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for synthesized nodes.
+    pub fn point(pos: u32) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Span length in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The source text this span covers.
+    pub fn slice(self, src: &str) -> &str {
+        &src[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Resolves a byte offset to a [`LineCol`] within `src`.
+pub fn line_col(src: &str, offset: u32) -> LineCol {
+    let offset = (offset as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 4), LineCol { line: 2, col: 2 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let src = "x";
+        assert_eq!(line_col(src, 100), LineCol { line: 1, col: 2 });
+    }
+}

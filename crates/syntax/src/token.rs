@@ -1,0 +1,258 @@
+//! Tokens produced by the [lexer](crate::lexer).
+
+use std::fmt;
+
+/// A lexical token of the DML surface language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Alphanumeric identifier beginning with a letter: `foo`, `loop'`.
+    Ident(String),
+    /// Type variable: `'a`, `'key`.
+    TyVar(String),
+    /// Integer literal (always non-negative at the lexical level; unary
+    /// minus is applied by the parser).
+    Int(i64),
+
+    // Keywords.
+    And,
+    Andalso,
+    Assert,
+    Case,
+    Datatype,
+    Div,
+    Else,
+    End,
+    False,
+    Fn,
+    Fun,
+    If,
+    In,
+    Let,
+    Mod,
+    Not,
+    Of,
+    Orelse,
+    Then,
+    True,
+    Typeref,
+    Val,
+    Where,
+    With,
+    /// `exception`
+    Exception,
+    /// `raise`
+    Raise,
+    /// `handle`
+    Handle,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `|`
+    Bar,
+    /// `=>`
+    DArrow,
+    /// `->`
+    Arrow,
+    /// `<|` — the paper's "has dependent type" annotation marker.
+    OfType,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    BarBar,
+    /// `~` — SML unary negation.
+    Tilde,
+    /// `_`
+    Underscore,
+    /// `!` — dereference (unused by the core fragment, reserved).
+    Bang,
+    /// `:=` — assignment (unused by the core fragment, reserved).
+    Assign,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "and" => Token::And,
+            "andalso" => Token::Andalso,
+            "assert" => Token::Assert,
+            "case" => Token::Case,
+            "datatype" => Token::Datatype,
+            "div" => Token::Div,
+            "else" => Token::Else,
+            "end" => Token::End,
+            "false" => Token::False,
+            "fn" => Token::Fn,
+            "fun" => Token::Fun,
+            "if" => Token::If,
+            "in" => Token::In,
+            "let" => Token::Let,
+            "mod" => Token::Mod,
+            "not" => Token::Not,
+            "of" => Token::Of,
+            "orelse" => Token::Orelse,
+            "then" => Token::Then,
+            "true" => Token::True,
+            "typeref" => Token::Typeref,
+            "val" => Token::Val,
+            "where" => Token::Where,
+            "with" => Token::With,
+            "exception" => Token::Exception,
+            "raise" => Token::Raise,
+            "handle" => Token::Handle,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::TyVar(s) => format!("type variable `'{s}`"),
+            Token::Int(n) => format!("integer `{n}`"),
+            Token::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Token::Ident(s) => return write!(f, "{s}"),
+            Token::TyVar(s) => return write!(f, "'{s}"),
+            Token::Int(n) => return write!(f, "{n}"),
+            Token::And => "and",
+            Token::Andalso => "andalso",
+            Token::Assert => "assert",
+            Token::Case => "case",
+            Token::Datatype => "datatype",
+            Token::Div => "div",
+            Token::Else => "else",
+            Token::End => "end",
+            Token::False => "false",
+            Token::Fn => "fn",
+            Token::Fun => "fun",
+            Token::If => "if",
+            Token::In => "in",
+            Token::Let => "let",
+            Token::Mod => "mod",
+            Token::Not => "not",
+            Token::Of => "of",
+            Token::Orelse => "orelse",
+            Token::Then => "then",
+            Token::True => "true",
+            Token::Typeref => "typeref",
+            Token::Val => "val",
+            Token::Where => "where",
+            Token::With => "with",
+            Token::Exception => "exception",
+            Token::Raise => "raise",
+            Token::Handle => "handle",
+            Token::LParen => "(",
+            Token::RParen => ")",
+            Token::LBracket => "[",
+            Token::RBracket => "]",
+            Token::LBrace => "{",
+            Token::RBrace => "}",
+            Token::Comma => ",",
+            Token::Semi => ";",
+            Token::Colon => ":",
+            Token::ColonColon => "::",
+            Token::Bar => "|",
+            Token::DArrow => "=>",
+            Token::Arrow => "->",
+            Token::OfType => "<|",
+            Token::Eq => "=",
+            Token::Neq => "<>",
+            Token::Lt => "<",
+            Token::Le => "<=",
+            Token::Gt => ">",
+            Token::Ge => ">=",
+            Token::Plus => "+",
+            Token::Minus => "-",
+            Token::Star => "*",
+            Token::Slash => "/",
+            Token::AmpAmp => "&&",
+            Token::BarBar => "||",
+            Token::Tilde => "~",
+            Token::Underscore => "_",
+            Token::Bang => "!",
+            Token::Assign => ":=",
+            Token::Eof => "<eof>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(Token::keyword("fun"), Some(Token::Fun));
+        assert_eq!(Token::keyword("typeref"), Some(Token::Typeref));
+        assert_eq!(Token::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_round_trip_punct() {
+        assert_eq!(Token::OfType.to_string(), "<|");
+        assert_eq!(Token::ColonColon.to_string(), "::");
+        assert_eq!(Token::DArrow.to_string(), "=>");
+    }
+
+    #[test]
+    fn describe_is_never_empty() {
+        for t in [
+            Token::Ident("x".into()),
+            Token::Int(3),
+            Token::Eof,
+            Token::Plus,
+        ] {
+            assert!(!t.describe().is_empty());
+        }
+    }
+}

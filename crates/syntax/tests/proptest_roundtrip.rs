@@ -1,0 +1,174 @@
+//! Property tests: the pretty-printer and parser are mutually consistent —
+//! `parse ∘ pretty` is the identity up to printing (printing is a fixed
+//! point), for randomly generated types, index expressions, and
+//! propositions.
+
+use dml_syntax::ast::{CmpOp, DType, IExpr, IProp, Ident, Index, Quant, Sort};
+use dml_syntax::{parse_dtype, pretty};
+use dml_syntax::Span;
+use proptest::prelude::*;
+
+fn ident(name: &str) -> Ident {
+    Ident::new(name, Span::default())
+}
+
+fn arb_iexpr() -> impl Strategy<Value = IExpr> {
+    let leaf = prop_oneof![
+        (0i64..50).prop_map(|n| IExpr::Lit(n, Span::default())),
+        prop_oneof![Just("n"), Just("m"), Just("i")].prop_map(|s| IExpr::Var(ident(s))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Max(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| IExpr::Abs(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+    ]
+}
+
+fn arb_iprop() -> impl Strategy<Value = IProp> {
+    let atom = (arb_cmp(), arb_iexpr(), arb_iexpr())
+        .prop_map(|(op, a, b)| IProp::Cmp(op, Box::new(a), Box::new(b)));
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IProp::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IProp::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| IProp::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    let leaf = prop_oneof![
+        Just(DType::base("int")),
+        Just(DType::base("bool")),
+        Just(DType::unit()),
+        Just(DType::Var(ident("a"))),
+        arb_iexpr().prop_map(|e| DType::App {
+            name: ident("int"),
+            ty_args: vec![],
+            ix_args: vec![Index::Int(e)],
+        }),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_iexpr()).prop_map(|(t, e)| DType::App {
+                name: ident("array"),
+                ty_args: vec![t],
+                ix_args: vec![Index::Int(e)],
+            }),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(DType::Product),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| DType::Arrow(Box::new(a), Box::new(b))),
+            (arb_iprop(), inner.clone()).prop_map(|(g, t)| DType::Pi(
+                vec![
+                    Quant { var: ident("n"), sort: Sort::Nat, guard: None },
+                    Quant { var: ident("m"), sort: Sort::Int, guard: None },
+                    Quant { var: ident("i"), sort: Sort::Int, guard: Some(g) },
+                ],
+                Box::new(t),
+            )),
+            (arb_iprop(), inner).prop_map(|(g, t)| DType::Sigma(
+                vec![Quant { var: ident("n"), sort: Sort::Nat, guard: Some(g) },
+                     Quant { var: ident("m"), sort: Sort::Int, guard: None }],
+                Box::new(t),
+            )),
+        ]
+    })
+}
+
+/// Strips spans so ASTs can be compared structurally after a reparse.
+fn print_twice_fixed_point(t: &DType) {
+    let once = pretty::dtype(t);
+    let reparsed = parse_dtype(&once)
+        .unwrap_or_else(|e| panic!("re-parse of `{once}` failed: {}", e.render(&once)));
+    let twice = pretty::dtype(&reparsed);
+    assert_eq!(once, twice, "printing is a fixed point");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn dtype_print_parse_fixed_point(t in arb_dtype()) {
+        print_twice_fixed_point(&t);
+    }
+
+    #[test]
+    fn iexpr_print_parse_fixed_point(e in arb_iexpr()) {
+        let t = DType::App {
+            name: ident("int"),
+            ty_args: vec![],
+            ix_args: vec![Index::Int(e)],
+        };
+        print_twice_fixed_point(&t);
+    }
+
+    #[test]
+    fn iprop_print_parse_fixed_point(p in arb_iprop()) {
+        let t = DType::Pi(
+            vec![Quant { var: ident("n"), sort: Sort::Int, guard: Some(p) }],
+            Box::new(DType::base("int")),
+        );
+        print_twice_fixed_point(&t);
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(src in "\\PC{0,120}") {
+        let _ = dml_syntax::lexer::lex(&src);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(src in "\\PC{0,120}") {
+        let _ = dml_syntax::parse_program(&src);
+        let _ = dml_syntax::parse_expr(&src);
+        let _ = dml_syntax::parse_dtype(&src);
+    }
+
+    /// Token-soup built from the language's own vocabulary parses or fails
+    /// gracefully (a much denser source of near-miss programs than \\PC).
+    #[test]
+    fn parser_total_on_vocabulary_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("fun"), Just("val"), Just("let"), Just("in"), Just("end"),
+                Just("if"), Just("then"), Just("else"), Just("case"), Just("of"),
+                Just("where"), Just("<|"), Just("{"), Just("}"), Just("("),
+                Just(")"), Just("["), Just("]"), Just("->"), Just("=>"),
+                Just("="), Just("|"), Just("::"), Just("nat"), Just("int"),
+                Just("x"), Just("f"), Just("n"), Just("0"), Just("1"),
+                Just("+"), Just("*"), Just("sub"), Just("array"), Just(","),
+                Just(":"), Just("'a"), Just("&&"), Just("~"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = dml_syntax::parse_program(&src);
+    }
+}

@@ -1,0 +1,434 @@
+//! Conversion of surface types, sorts, and index expressions into the
+//! internal languages of [`crate::ty`] and [`dml_index`].
+//!
+//! Index variable names are resolved against a lexically scoped [`Scope`];
+//! every binder allocates a fresh [`Var`] so ids are globally unique and all
+//! downstream substitution is capture-free.
+
+use crate::ty::{Binder, Ix, Ty};
+use dml_syntax::ast as sast;
+use dml_syntax::Span;
+use dml_index::{IExp, Prop, Sort, Var, VarGen};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Conversion error (unbound index variable, unknown family, arity
+/// mismatch, boolean/integer sort confusion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertError {
+    /// Human-readable message.
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl ConvertError {
+    fn new(message: impl Into<String>, span: Span) -> Self {
+        ConvertError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type conversion error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Declared shape of a type family: its type arity and index sorts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySig {
+    /// Number of type arguments.
+    pub ty_arity: usize,
+    /// Sorts of the index arguments (surface sorts; `nat` retains its
+    /// guard). Empty for unrefined datatypes.
+    pub ix_sorts: Vec<sast::Sort>,
+}
+
+/// A lexical scope of index variables (name → semantic variable + sort).
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    vars: HashMap<String, (Var, Sort)>,
+}
+
+impl Scope {
+    /// The empty scope.
+    pub fn new() -> Scope {
+        Scope::default()
+    }
+
+    /// Child scope with an extra binding.
+    pub fn bind(&mut self, name: &str, v: Var, s: Sort) -> Option<(Var, Sort)> {
+        self.vars.insert(name.to_string(), (v, s))
+    }
+
+    /// Looks up a variable.
+    pub fn lookup(&self, name: &str) -> Option<&(Var, Sort)> {
+        self.vars.get(name)
+    }
+}
+
+/// The conversion context: family signatures, in-scope ML type variables,
+/// and a fresh-variable supply.
+pub struct Converter<'a> {
+    /// Known type families (`int`, `bool`, `unit`, `array`, `list`, user
+    /// datatypes).
+    pub families: &'a HashMap<String, FamilySig>,
+    /// Fresh index variable supply.
+    pub gen: &'a mut VarGen,
+}
+
+impl<'a> Converter<'a> {
+    /// Creates a converter.
+    pub fn new(families: &'a HashMap<String, FamilySig>, gen: &'a mut VarGen) -> Self {
+        Converter { families, gen }
+    }
+
+    /// Converts a surface sort to a base sort plus a guard on `v`.
+    pub fn convert_sort(
+        &mut self,
+        s: &sast::Sort,
+        v: &Var,
+        scope: &Scope,
+    ) -> Result<(Sort, Prop), ConvertError> {
+        match s {
+            sast::Sort::Int => Ok((Sort::Int, Prop::True)),
+            sast::Sort::Bool => Ok((Sort::Bool, Prop::True)),
+            sast::Sort::Nat => Ok((Sort::Int, Prop::le(IExp::lit(0), IExp::var(v.clone())))),
+            sast::Sort::Subset(elem, inner, prop) => {
+                let (base, inner_guard) = self.convert_sort(inner, v, scope)?;
+                let mut inner_scope = scope.clone();
+                inner_scope.bind(&elem.name, v.clone(), base);
+                let guard = self.convert_prop(prop, &inner_scope)?;
+                Ok((base, inner_guard.and(guard)))
+            }
+        }
+    }
+
+    /// Converts a quantifier group, extending the scope.
+    pub fn convert_quants(
+        &mut self,
+        quants: &[sast::Quant],
+        scope: &mut Scope,
+    ) -> Result<Binder, ConvertError> {
+        let mut vars = Vec::with_capacity(quants.len());
+        let mut guard = Prop::True;
+        for q in quants {
+            let v = self.gen.fresh(&q.var.name);
+            let (base, sort_guard) = self.convert_sort(&q.sort, &v, scope)?;
+            scope.bind(&q.var.name, v.clone(), base);
+            guard = guard.and(sort_guard);
+            if let Some(g) = &q.guard {
+                guard = guard.and(self.convert_prop(g, scope)?);
+            }
+            vars.push((v, base));
+        }
+        Ok(Binder::guarded(vars, guard))
+    }
+
+    /// Converts a surface index expression.
+    pub fn convert_iexpr(
+        &mut self,
+        e: &sast::IExpr,
+        scope: &Scope,
+    ) -> Result<IExp, ConvertError> {
+        Ok(match e {
+            sast::IExpr::Var(id) => match scope.lookup(&id.name) {
+                Some((v, Sort::Int)) => IExp::var(v.clone()),
+                Some((_, Sort::Bool)) => {
+                    return Err(ConvertError::new(
+                        format!("index variable `{}` is boolean, expected integer", id.name),
+                        id.span,
+                    ))
+                }
+                None => {
+                    return Err(ConvertError::new(
+                        format!("unbound index variable `{}`", id.name),
+                        id.span,
+                    ))
+                }
+            },
+            sast::IExpr::Lit(n, _) => IExp::lit(*n),
+            sast::IExpr::Add(a, b) => {
+                self.convert_iexpr(a, scope)? + self.convert_iexpr(b, scope)?
+            }
+            sast::IExpr::Sub(a, b) => {
+                self.convert_iexpr(a, scope)? - self.convert_iexpr(b, scope)?
+            }
+            sast::IExpr::Mul(a, b) => {
+                self.convert_iexpr(a, scope)? * self.convert_iexpr(b, scope)?
+            }
+            sast::IExpr::Div(a, b) => {
+                self.convert_iexpr(a, scope)?.div(self.convert_iexpr(b, scope)?)
+            }
+            sast::IExpr::Mod(a, b) => {
+                self.convert_iexpr(a, scope)?.modulo(self.convert_iexpr(b, scope)?)
+            }
+            sast::IExpr::Min(a, b) => {
+                self.convert_iexpr(a, scope)?.min(self.convert_iexpr(b, scope)?)
+            }
+            sast::IExpr::Max(a, b) => {
+                self.convert_iexpr(a, scope)?.max(self.convert_iexpr(b, scope)?)
+            }
+            sast::IExpr::Abs(a) => self.convert_iexpr(a, scope)?.abs(),
+            sast::IExpr::Sgn(a) => self.convert_iexpr(a, scope)?.sgn(),
+            sast::IExpr::Neg(a) => -self.convert_iexpr(a, scope)?,
+        })
+    }
+
+    /// Converts a surface index proposition.
+    pub fn convert_prop(&mut self, p: &sast::IProp, scope: &Scope) -> Result<Prop, ConvertError> {
+        Ok(match p {
+            sast::IProp::Var(id) => match scope.lookup(&id.name) {
+                Some((v, Sort::Bool)) => Prop::BVar(v.clone()),
+                Some((_, Sort::Int)) => {
+                    return Err(ConvertError::new(
+                        format!("index variable `{}` is integer, expected boolean", id.name),
+                        id.span,
+                    ))
+                }
+                None => {
+                    return Err(ConvertError::new(
+                        format!("unbound index variable `{}`", id.name),
+                        id.span,
+                    ))
+                }
+            },
+            sast::IProp::Lit(true, _) => Prop::True,
+            sast::IProp::Lit(false, _) => Prop::False,
+            sast::IProp::Cmp(op, a, b) => {
+                let a = self.convert_iexpr(a, scope)?;
+                let b = self.convert_iexpr(b, scope)?;
+                let c = match op {
+                    sast::CmpOp::Lt => dml_index::Cmp::Lt,
+                    sast::CmpOp::Le => dml_index::Cmp::Le,
+                    sast::CmpOp::Gt => dml_index::Cmp::Gt,
+                    sast::CmpOp::Ge => dml_index::Cmp::Ge,
+                    sast::CmpOp::Eq => dml_index::Cmp::Eq,
+                    sast::CmpOp::Neq => dml_index::Cmp::Ne,
+                };
+                Prop::cmp(c, a, b)
+            }
+            sast::IProp::Not(q) => self.convert_prop(q, scope)?.negate(),
+            sast::IProp::And(a, b) => {
+                self.convert_prop(a, scope)?.and(self.convert_prop(b, scope)?)
+            }
+            sast::IProp::Or(a, b) => {
+                self.convert_prop(a, scope)?.or(self.convert_prop(b, scope)?)
+            }
+        })
+    }
+
+    /// Converts a surface index argument against an expected sort.
+    fn convert_index(
+        &mut self,
+        ix: &sast::Index,
+        expected: Sort,
+        scope: &Scope,
+        span: Span,
+    ) -> Result<Ix, ConvertError> {
+        match (ix, expected) {
+            (sast::Index::Int(e), Sort::Int) => Ok(Ix::Int(self.convert_iexpr(e, scope)?)),
+            (sast::Index::Prop(p), Sort::Bool) => Ok(Ix::Bool(self.convert_prop(p, scope)?)),
+            // A bare variable parsed as an integer expression may really be
+            // a boolean index variable.
+            (sast::Index::Int(sast::IExpr::Var(id)), Sort::Bool) => {
+                match scope.lookup(&id.name) {
+                    Some((v, Sort::Bool)) => Ok(Ix::Bool(Prop::BVar(v.clone()))),
+                    _ => Err(ConvertError::new(
+                        format!("expected a boolean index, found `{}`", id.name),
+                        id.span,
+                    )),
+                }
+            }
+            (sast::Index::Int(_), Sort::Bool) => {
+                Err(ConvertError::new("expected a boolean index", span))
+            }
+            (sast::Index::Prop(_), Sort::Int) => {
+                Err(ConvertError::new("expected an integer index", span))
+            }
+        }
+    }
+
+    /// Converts a surface dependent type.
+    pub fn convert_dtype(&mut self, t: &sast::DType, scope: &Scope) -> Result<Ty, ConvertError> {
+        match t {
+            sast::DType::Var(id) => Ok(Ty::Rigid(id.name.clone())),
+            sast::DType::App { name, ty_args, ix_args } => {
+                let sig = self.families.get(&name.name).ok_or_else(|| {
+                    ConvertError::new(format!("unknown type `{}`", name.name), name.span)
+                })?;
+                if ty_args.len() != sig.ty_arity {
+                    return Err(ConvertError::new(
+                        format!(
+                            "type `{}` expects {} type argument(s), got {}",
+                            name.name,
+                            sig.ty_arity,
+                            ty_args.len()
+                        ),
+                        name.span,
+                    ));
+                }
+                if !ix_args.is_empty() && ix_args.len() != sig.ix_sorts.len() {
+                    return Err(ConvertError::new(
+                        format!(
+                            "type `{}` expects {} index argument(s), got {}",
+                            name.name,
+                            sig.ix_sorts.len(),
+                            ix_args.len()
+                        ),
+                        name.span,
+                    ));
+                }
+                let tys = ty_args
+                    .iter()
+                    .map(|a| self.convert_dtype(a, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut ixs = Vec::with_capacity(ix_args.len());
+                for (ix, sort) in ix_args.iter().zip(&sig.ix_sorts) {
+                    let expected = match sort {
+                        sast::Sort::Bool => Sort::Bool,
+                        _ => Sort::Int,
+                    };
+                    ixs.push(self.convert_index(ix, expected, scope, name.span)?);
+                }
+                Ok(Ty::App(name.name.clone(), tys, ixs))
+            }
+            sast::DType::Product(parts) => {
+                let ts = parts
+                    .iter()
+                    .map(|p| self.convert_dtype(p, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Ty::Tuple(ts))
+            }
+            sast::DType::Arrow(a, b) => Ok(Ty::Arrow(
+                Box::new(self.convert_dtype(a, scope)?),
+                Box::new(self.convert_dtype(b, scope)?),
+            )),
+            sast::DType::Pi(quants, body) => {
+                let mut inner = scope.clone();
+                let binder = self.convert_quants(quants, &mut inner)?;
+                Ok(Ty::Pi(binder, Box::new(self.convert_dtype(body, &inner)?)))
+            }
+            sast::DType::Sigma(quants, body) => {
+                let mut inner = scope.clone();
+                let binder = self.convert_quants(quants, &mut inner)?;
+                Ok(Ty::Sigma(binder, Box::new(self.convert_dtype(body, &inner)?)))
+            }
+        }
+    }
+}
+
+/// The built-in family signatures (`int`, `bool`, `unit`, `array`, `list`).
+pub fn builtin_families() -> HashMap<String, FamilySig> {
+    let mut m = HashMap::new();
+    m.insert("int".into(), FamilySig { ty_arity: 0, ix_sorts: vec![sast::Sort::Int] });
+    m.insert("bool".into(), FamilySig { ty_arity: 0, ix_sorts: vec![sast::Sort::Bool] });
+    m.insert("unit".into(), FamilySig { ty_arity: 0, ix_sorts: vec![] });
+    m.insert("array".into(), FamilySig { ty_arity: 1, ix_sorts: vec![sast::Sort::Nat] });
+    // `list` is *not* built in here: the prelude declares it as an ordinary
+    // datatype refined by a `typeref` (exactly as in Figure 2 of the paper).
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_syntax::parse_dtype;
+
+    fn convert(src: &str) -> Result<Ty, ConvertError> {
+        let t = parse_dtype(src).unwrap();
+        let fams = builtin_families();
+        let mut gen = VarGen::new();
+        let mut conv = Converter::new(&fams, &mut gen);
+        conv.convert_dtype(&t, &Scope::new())
+    }
+
+    #[test]
+    fn convert_sub_signature() {
+        let t = convert("{n:nat} {i:nat | i < n} 'a array(n) * int(i) -> 'a").unwrap();
+        let s = t.to_string();
+        assert!(s.contains("array(n)"), "{s}");
+        assert!(s.contains("0 <= n"), "nat guard, {s}");
+        assert!(s.contains("i < n"), "{s}");
+    }
+
+    #[test]
+    fn convert_existential() {
+        let t = convert("{m:nat} [n:nat | n <= m] 'a array(n)").unwrap();
+        match t {
+            Ty::Pi(_, body) => assert!(matches!(*body, Ty::Sigma(_, _))),
+            other => panic!("expected Pi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn convert_bool_singleton() {
+        let t = convert("{m:int} {n:int} int(m) * int(n) -> bool(m <= n)").unwrap();
+        let s = t.to_string();
+        assert!(s.contains("bool(m <= n)"), "{s}");
+    }
+
+    #[test]
+    fn convert_bool_var_index() {
+        let t = convert("{b:bool} bool(b) -> bool(not b)").unwrap();
+        let s = t.to_string();
+        assert!(s.contains("bool(b)"), "{s}");
+        assert!(s.contains("not(b)"), "{s}");
+    }
+
+    #[test]
+    fn unbound_index_var_rejected() {
+        assert!(convert("int(n)").is_err());
+    }
+
+    #[test]
+    fn unknown_family_rejected() {
+        assert!(convert("widget(3)").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(convert("{n:nat} array(n)").is_err(), "array needs an element type");
+        assert!(convert("{n:nat} int array(n, n)").is_err(), "too many indices");
+    }
+
+    #[test]
+    fn bool_int_sort_confusion_rejected() {
+        assert!(convert("{b:bool} int(b)").is_err());
+        assert!(convert("{n:int} bool(n)").is_err());
+    }
+
+    #[test]
+    fn subset_sort_guard_collected() {
+        let t = convert("{i: {a:int | a >= 0} | i < 10} int(i)").unwrap();
+        match t {
+            Ty::Pi(b, _) => {
+                let s = b.guard.to_string();
+                assert!(s.contains(">= 0") || s.contains("0 <="), "{s}");
+                assert!(s.contains("< 10"), "{s}");
+            }
+            other => panic!("expected Pi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_guard_scopes_over_group() {
+        let t = convert("{size:int, i:int | 0 <= i < size} 'a array(size) * int(i) -> 'a")
+            .unwrap();
+        match t {
+            Ty::Pi(b, _) => {
+                assert_eq!(b.vars.len(), 2);
+                assert!(b.guard.to_string().contains("i < size"), "{}", b.guard);
+            }
+            other => panic!("expected Pi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn div_in_index_converted() {
+        let t = convert("{l:int, h:int} int(l + (h - l) div 2)").unwrap();
+        assert!(t.to_string().contains("div 2"), "{t}");
+    }
+}

@@ -1,0 +1,452 @@
+//! Program environments: type families, datatypes, constructors, and value
+//! signatures, built from `datatype`, `typeref`, and `assert` declarations.
+
+use crate::convert::{builtin_families, ConvertError, Converter, FamilySig, Scope};
+use crate::ml::{erase, MlScheme, MlTy};
+use crate::ty::{Binder, Ix, Scheme, Ty};
+use dml_syntax::ast as sast;
+use dml_index::{IExp, Prop, Sort, VarGen};
+use std::collections::{BTreeSet, HashMap};
+
+/// What kind of run-time check a primitive's guard corresponds to. Guard
+/// obligations on primitives with [`CheckKind::ArrayBound`] or
+/// [`CheckKind::ListTag`] are the paper's eliminable checks; proving them
+/// lets the compiler use the unchecked primitive at that call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// No run-time check attached (ordinary function).
+    None,
+    /// Array bound check (`sub`, `update`, and user-asserted variants).
+    ArrayBound,
+    /// List tag check (`nth` and friends).
+    ListTag,
+    /// Division-by-zero guard (`div`, `mod`).
+    DivZero,
+}
+
+/// A value (function or primitive) signature in the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValInfo {
+    /// The dependent type scheme.
+    pub scheme: Scheme,
+    /// The check kind of this primitive's guard obligations.
+    pub check: CheckKind,
+}
+
+/// A datatype's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatatypeInfo {
+    /// Declared type variables.
+    pub tyvars: Vec<String>,
+    /// Constructor names in declaration order.
+    pub cons: Vec<String>,
+}
+
+/// A constructor's signature: `Π binder. arg → δ(α⃗)(i⃗)` (or just the
+/// result type for nullary constructors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConInfo {
+    /// The datatype this constructor belongs to.
+    pub datatype: String,
+    /// The datatype's type variables (scheme variables of the signature).
+    pub tyvars: Vec<String>,
+    /// Index binder of the refined signature (empty for unrefined).
+    pub binder: Binder,
+    /// Argument type, if the constructor takes one.
+    pub arg: Option<Ty>,
+    /// Result type (the datatype applied to its parameters and indices).
+    pub result: Ty,
+}
+
+impl ConInfo {
+    /// The erased ML argument type.
+    pub fn arg_ml(&self) -> Option<MlTy> {
+        self.arg.as_ref().map(erase)
+    }
+
+    /// The erased ML result type.
+    pub fn result_ml(&self) -> MlTy {
+        erase(&self.result)
+    }
+}
+
+/// Typeref metadata for a refined datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TyperefInfo {
+    /// Surface sorts of the indices.
+    pub sorts: Vec<sast::Sort>,
+}
+
+/// The program environment shared by both elaboration phases.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    /// Type families and their arities.
+    pub families: HashMap<String, FamilySig>,
+    /// Datatypes.
+    pub datatypes: HashMap<String, DatatypeInfo>,
+    /// Constructors.
+    pub cons: HashMap<String, ConInfo>,
+    /// Values (primitives from `assert`, plus top-level bindings added
+    /// during elaboration).
+    pub values: HashMap<String, ValInfo>,
+}
+
+impl Env {
+    /// An environment with the built-in families only (no primitives).
+    pub fn new() -> Env {
+        Env { families: builtin_families(), ..Env::default() }
+    }
+
+    /// `true` if `name` is a registered constructor.
+    pub fn is_constructor(&self, name: &str) -> bool {
+        self.cons.contains_key(name)
+    }
+
+    /// Processes a `datatype` declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] for duplicate names or malformed
+    /// constructor argument types.
+    pub fn add_datatype(
+        &mut self,
+        d: &sast::DatatypeDecl,
+        gen: &mut VarGen,
+    ) -> Result<(), ConvertError> {
+        if self.families.contains_key(&d.name.name) {
+            return Err(ConvertError {
+                message: format!("type `{}` is already defined", d.name.name),
+                span: d.name.span,
+            });
+        }
+        let tyvars: Vec<String> = d.tyvars.iter().map(|t| t.name.clone()).collect();
+        self.families.insert(
+            d.name.name.clone(),
+            FamilySig { ty_arity: tyvars.len(), ix_sorts: Vec::new() },
+        );
+        let result = Ty::App(
+            d.name.name.clone(),
+            tyvars.iter().map(|t| Ty::Rigid(t.clone())).collect(),
+            Vec::new(),
+        );
+        let mut con_names = Vec::new();
+        for con in &d.cons {
+            let arg = match &con.arg {
+                None => None,
+                Some(t) => {
+                    let mut conv = Converter::new(&self.families, gen);
+                    Some(conv.convert_dtype(t, &Scope::new())?)
+                }
+            };
+            con_names.push(con.name.name.clone());
+            self.cons.insert(
+                con.name.name.clone(),
+                ConInfo {
+                    datatype: d.name.name.clone(),
+                    tyvars: tyvars.clone(),
+                    binder: Binder::default(),
+                    arg,
+                    result: result.clone(),
+                },
+            );
+        }
+        self.datatypes
+            .insert(d.name.name.clone(), DatatypeInfo { tyvars, cons: con_names });
+        Ok(())
+    }
+
+    /// Processes a `typeref` declaration, refining an existing datatype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if the datatype is unknown, a constructor is
+    /// missing, or a refined signature does not erase to the constructor's
+    /// ML type (the paper requires the structures to match).
+    pub fn add_typeref(
+        &mut self,
+        t: &sast::TyperefDecl,
+        gen: &mut VarGen,
+    ) -> Result<(), ConvertError> {
+        let info = self.datatypes.get(&t.name.name).cloned().ok_or_else(|| ConvertError {
+            message: format!("typeref of unknown datatype `{}`", t.name.name),
+            span: t.name.span,
+        })?;
+        // Record the index sorts on the family.
+        let fam = self.families.get_mut(&t.name.name).expect("datatype implies family");
+        fam.ix_sorts = t.sorts.clone();
+        for (cname, dtype) in &t.cons {
+            if !info.cons.contains(&cname.name) {
+                return Err(ConvertError {
+                    message: format!(
+                        "`{}` is not a constructor of `{}`",
+                        cname.name, t.name.name
+                    ),
+                    span: cname.span,
+                });
+            }
+            let refined = {
+                let mut conv = Converter::new(&self.families, gen);
+                conv.convert_dtype(dtype, &Scope::new())?
+            };
+            let old = self.cons.get(&cname.name).expect("constructor registered");
+            let new_info = con_info_from_signature(
+                &t.name.name,
+                &info.tyvars,
+                refined.clone(),
+                cname.span,
+            )?;
+            // Structural check: the refined signature must erase to the ML
+            // signature of the constructor.
+            let old_ml = (old.arg_ml(), old.result_ml());
+            let new_ml = (new_info.arg_ml(), new_info.result_ml());
+            if old_ml != new_ml {
+                return Err(ConvertError {
+                    message: format!(
+                        "refined type of `{}` does not match its ML type \
+                         (expected {:?} -> {}, found {:?} -> {})",
+                        cname.name, old_ml.0, old_ml.1, new_ml.0, new_ml.1
+                    ),
+                    span: cname.span,
+                });
+            }
+            self.cons.insert(cname.name.clone(), new_info);
+        }
+        Ok(())
+    }
+
+    /// Processes an `assert` declaration, registering primitive signatures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] for malformed types.
+    pub fn add_assert(
+        &mut self,
+        sigs: &[(sast::Ident, sast::DType)],
+        check_of: &dyn Fn(&str) -> CheckKind,
+        gen: &mut VarGen,
+    ) -> Result<(), ConvertError> {
+        for (name, dtype) in sigs {
+            let ty = {
+                let mut conv = Converter::new(&self.families, gen);
+                conv.convert_dtype(dtype, &Scope::new())?
+            };
+            let mut rigids = BTreeSet::new();
+            erase(&ty).rigids_into(&mut rigids);
+            let scheme = Scheme { tyvars: rigids.into_iter().collect(), ty };
+            self.values
+                .insert(name.name.clone(), ValInfo { scheme, check: check_of(&name.name) });
+        }
+        Ok(())
+    }
+
+    /// The erased ML scheme of a value.
+    pub fn ml_scheme(&self, name: &str) -> Option<MlScheme> {
+        self.values
+            .get(name)
+            .map(|v| MlScheme { vars: v.scheme.tyvars.clone(), ty: erase(&v.scheme.ty) })
+    }
+
+    /// Lifts an erased ML type into a dependent type by quantifying every
+    /// index position existentially (§2.3: "Indices may be omitted in
+    /// types, in which case they are interpreted existentially").
+    pub fn lift(&self, t: &MlTy, gen: &mut VarGen) -> Ty {
+        match t {
+            MlTy::UVar(u) => Ty::Rigid(format!("_u{u}")),
+            MlTy::Rigid(n) => Ty::Rigid(n.clone()),
+            MlTy::Tuple(ts) => Ty::Tuple(ts.iter().map(|x| self.lift(x, gen)).collect()),
+            MlTy::Arrow(a, b) => {
+                Ty::Arrow(Box::new(self.lift(a, gen)), Box::new(self.lift(b, gen)))
+            }
+            MlTy::Con(name, args) => {
+                let lifted_args: Vec<Ty> = args.iter().map(|a| self.lift(a, gen)).collect();
+                let sorts = self
+                    .families
+                    .get(name)
+                    .map(|f| f.ix_sorts.clone())
+                    .unwrap_or_default();
+                if sorts.is_empty() {
+                    return Ty::App(name.clone(), lifted_args, Vec::new());
+                }
+                let mut vars = Vec::new();
+                let mut guard = Prop::True;
+                let mut ixs = Vec::new();
+                for s in &sorts {
+                    let v = gen.fresh_tagged("x");
+                    let (base, g) = match s {
+                        sast::Sort::Bool => (Sort::Bool, Prop::True),
+                        sast::Sort::Nat => {
+                            (Sort::Int, Prop::le(IExp::lit(0), IExp::var(v.clone())))
+                        }
+                        sast::Sort::Int => (Sort::Int, Prop::True),
+                        sast::Sort::Subset(_, _, _) => {
+                            // Conservative: treat as unguarded int.
+                            (Sort::Int, Prop::True)
+                        }
+                    };
+                    guard = guard.and(g);
+                    ixs.push(match base {
+                        Sort::Int => Ix::Int(IExp::var(v.clone())),
+                        Sort::Bool => Ix::Bool(Prop::BVar(v.clone())),
+                    });
+                    vars.push((v, base));
+                }
+                Ty::Sigma(
+                    Binder::guarded(vars, guard),
+                    Box::new(Ty::App(name.clone(), lifted_args, ixs)),
+                )
+            }
+        }
+    }
+}
+
+/// Normalises a refined constructor signature `Π b. arg → result` (or a
+/// bare result type) into a [`ConInfo`].
+fn con_info_from_signature(
+    datatype: &str,
+    tyvars: &[String],
+    ty: Ty,
+    span: dml_syntax::Span,
+) -> Result<ConInfo, ConvertError> {
+    let mut binder = Binder::default();
+    let mut body = ty;
+    while let Ty::Pi(b, inner) = body {
+        binder.vars.extend(b.vars);
+        binder.guard = std::mem::replace(&mut binder.guard, Prop::True).and(b.guard);
+        body = *inner;
+    }
+    let (arg, result) = match body {
+        Ty::Arrow(a, r) => (Some(*a), *r),
+        other => (None, other),
+    };
+    match &result {
+        Ty::App(name, _, _) if name == datatype => {}
+        other => {
+            return Err(ConvertError {
+                message: format!(
+                    "constructor result type must be `{datatype}`, found `{other}`"
+                ),
+                span,
+            })
+        }
+    }
+    Ok(ConInfo {
+        datatype: datatype.to_string(),
+        tyvars: tyvars.to_vec(),
+        binder,
+        arg,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_syntax::parse_program;
+
+    fn env_from(src: &str) -> Result<(Env, VarGen), ConvertError> {
+        let p = parse_program(src).unwrap();
+        let mut env = Env::new();
+        let mut gen = VarGen::new();
+        for d in &p.decls {
+            match d {
+                sast::Decl::Datatype(dd) => env.add_datatype(dd, &mut gen)?,
+                sast::Decl::Typeref(tr) => env.add_typeref(tr, &mut gen)?,
+                sast::Decl::Assert(sigs) => {
+                    env.add_assert(sigs, &|_| CheckKind::None, &mut gen)?
+                }
+                _ => {}
+            }
+        }
+        Ok((env, gen))
+    }
+
+    const LIST_DECL: &str = r#"
+datatype 'a seq = snil | scons of 'a * 'a seq
+typeref 'a seq of nat with
+  snil <| 'a seq(0)
+| scons <| {n:nat} 'a * 'a seq(n) -> 'a seq(n+1)
+"#;
+
+    #[test]
+    fn datatype_and_typeref_roundtrip() {
+        let (env, _) = env_from(LIST_DECL).unwrap();
+        assert!(env.is_constructor("snil"));
+        assert!(env.is_constructor("scons"));
+        let scons = &env.cons["scons"];
+        assert_eq!(scons.binder.vars.len(), 1);
+        assert!(scons.arg.is_some());
+        assert_eq!(env.families["seq"].ix_sorts.len(), 1);
+        let snil = &env.cons["snil"];
+        assert!(snil.arg.is_none());
+        assert!(matches!(&snil.result, Ty::App(n, _, ixs) if n == "seq" && ixs.len() == 1));
+    }
+
+    #[test]
+    fn typeref_shape_mismatch_rejected() {
+        let src = r#"
+datatype 'a seq = snil | scons of 'a * 'a seq
+typeref 'a seq of nat with
+  snil <| 'a seq(0)
+| scons <| {n:nat} 'a seq(n) -> 'a seq(n+1)
+"#;
+        assert!(env_from(src).is_err(), "scons argument shape differs");
+    }
+
+    #[test]
+    fn typeref_unknown_datatype_rejected() {
+        let src = "typeref 'a ghost of nat with gnil <| 'a ghost(0)";
+        assert!(env_from(src).is_err());
+    }
+
+    #[test]
+    fn duplicate_datatype_rejected() {
+        let src = "datatype t = A datatype t = B";
+        assert!(env_from(src).is_err());
+    }
+
+    #[test]
+    fn assert_registers_polymorphic_scheme() {
+        let src = "assert pick <| {n:nat} {i:nat | i < n} 'a array(n) * int(i) -> 'a";
+        let (env, _) = env_from(src).unwrap();
+        let v = &env.values["pick"];
+        assert_eq!(v.scheme.tyvars, vec!["a".to_string()]);
+        let ml = env.ml_scheme("pick").unwrap();
+        assert_eq!(ml.ty.to_string(), "'a array * int -> 'a");
+    }
+
+    #[test]
+    fn lift_existentializes_indices() {
+        let (env, mut gen) = env_from(LIST_DECL).unwrap();
+        let lifted = env.lift(&MlTy::Con("seq".into(), vec![MlTy::int()]), &mut gen);
+        match lifted {
+            Ty::Sigma(b, body) => {
+                assert_eq!(b.vars.len(), 1);
+                assert!(b.guard.to_string().contains("0 <="), "nat guard: {}", b.guard);
+                assert!(matches!(*body, Ty::App(ref n, _, ref ixs) if n == "seq" && ixs.len() == 1));
+            }
+            other => panic!("expected Sigma, got {other:?}"),
+        }
+        // int lifts to a singleton under Sigma.
+        let li = env.lift(&MlTy::int(), &mut gen);
+        assert!(matches!(li, Ty::Sigma(_, _)));
+        // unit has no indices.
+        assert_eq!(env.lift(&MlTy::unit(), &mut gen), Ty::unit());
+    }
+
+    #[test]
+    fn lift_preserves_structure() {
+        let (env, mut gen) = env_from("").unwrap();
+        let t = MlTy::Arrow(
+            Box::new(MlTy::Tuple(vec![MlTy::int(), MlTy::bool()])),
+            Box::new(MlTy::unit()),
+        );
+        let l = env.lift(&t, &mut gen);
+        match l {
+            Ty::Arrow(dom, cod) => {
+                assert!(matches!(*dom, Ty::Tuple(_)));
+                assert_eq!(*cod, Ty::unit());
+            }
+            other => panic!("expected Arrow, got {other:?}"),
+        }
+    }
+}

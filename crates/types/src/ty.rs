@@ -1,0 +1,530 @@
+//! The internal dependent type language.
+//!
+//! ```text
+//! τ ::= 'a | (τ₁,...,τₙ) δ (i₁,...,iₖ) | τ₁ * ... * τₙ | τ₁ → τ₂
+//!     | Π{a⃗:γ⃗ | g}. τ | Σ{a⃗:γ⃗ | g}. τ
+//! ```
+//!
+//! Subset sorts are normalised away: a binder carries base-sorted variables
+//! plus one guard proposition (`nat` becomes `int` with guard `0 <= a`).
+
+use dml_index::{IExp, Prop, Sort, Var, VarGen};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An index argument of a type family: integer expression or boolean
+/// proposition (for `bool(b)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ix {
+    /// Integer index.
+    Int(IExp),
+    /// Boolean index.
+    Bool(Prop),
+}
+
+impl Ix {
+    /// Substitutes an integer expression for an index variable.
+    pub fn subst(&self, v: &Var, e: &IExp) -> Ix {
+        match self {
+            Ix::Int(i) => Ix::Int(i.subst(v, e)),
+            Ix::Bool(p) => Ix::Bool(p.subst(v, e)),
+        }
+    }
+
+    /// Free index variables.
+    pub fn free_vars_into(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Ix::Int(i) => i.free_vars_into(out),
+            Ix::Bool(p) => p.free_vars_into(out),
+        }
+    }
+}
+
+impl fmt::Display for Ix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ix::Int(i) => write!(f, "{i}"),
+            Ix::Bool(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A quantifier binder: variables with base sorts plus a guard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binder {
+    /// Bound index variables with their base sorts.
+    pub vars: Vec<(Var, Sort)>,
+    /// Guard proposition (conjunction of subset-sort guards and the
+    /// explicit `| b` guard); `Prop::True` when absent.
+    pub guard: Prop,
+}
+
+impl Default for Binder {
+    fn default() -> Self {
+        Binder { vars: Vec::new(), guard: Prop::True }
+    }
+}
+
+impl Binder {
+    /// A binder with no guard.
+    pub fn new(vars: Vec<(Var, Sort)>) -> Binder {
+        Binder { vars, guard: Prop::True }
+    }
+
+    /// A binder with a guard.
+    pub fn guarded(vars: Vec<(Var, Sort)>, guard: Prop) -> Binder {
+        Binder { vars, guard }
+    }
+}
+
+/// An internal dependent type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// A rigid (universally bound) ML type variable `'a`.
+    Rigid(String),
+    /// A phase-2 instantiation metavariable for a polymorphic application,
+    /// resolved by the elaborator's [`MetaStore`](crate::unify) analogue.
+    Meta(u32),
+    /// A type family applied to type and index arguments: `int(n)`,
+    /// `bool(b)`, `'a array(n)`, `'a list(n)`, user datatypes, `unit`
+    /// (`App("unit", [], [])`).
+    App(String, Vec<Ty>, Vec<Ix>),
+    /// Product type (n ≥ 2).
+    Tuple(Vec<Ty>),
+    /// Function type.
+    Arrow(Box<Ty>, Box<Ty>),
+    /// Universal quantification `Π binder. τ`.
+    Pi(Binder, Box<Ty>),
+    /// Existential quantification `Σ binder. τ`.
+    Sigma(Binder, Box<Ty>),
+}
+
+impl Ty {
+    /// The `unit` type.
+    pub fn unit() -> Ty {
+        Ty::App("unit".into(), Vec::new(), Vec::new())
+    }
+
+    /// Unindexed `int` (elaboration interprets it existentially on demand).
+    pub fn int() -> Ty {
+        Ty::App("int".into(), Vec::new(), Vec::new())
+    }
+
+    /// The singleton type `int(e)`.
+    pub fn int_singleton(e: IExp) -> Ty {
+        Ty::App("int".into(), Vec::new(), vec![Ix::Int(e)])
+    }
+
+    /// Unindexed `bool`.
+    pub fn bool() -> Ty {
+        Ty::App("bool".into(), Vec::new(), Vec::new())
+    }
+
+    /// The singleton type `bool(p)`.
+    pub fn bool_singleton(p: Prop) -> Ty {
+        Ty::App("bool".into(), Vec::new(), vec![Ix::Bool(p)])
+    }
+
+    /// `'a array(n)`.
+    pub fn array(elem: Ty, len: IExp) -> Ty {
+        Ty::App("array".into(), vec![elem], vec![Ix::Int(len)])
+    }
+
+    /// `'a list(n)`.
+    pub fn list(elem: Ty, len: IExp) -> Ty {
+        Ty::App("list".into(), vec![elem], vec![Ix::Int(len)])
+    }
+
+    /// Substitutes an index expression for an index variable throughout.
+    pub fn subst(&self, v: &Var, e: &IExp) -> Ty {
+        match self {
+            Ty::Rigid(_) | Ty::Meta(_) => self.clone(),
+            Ty::App(name, tys, ixs) => Ty::App(
+                name.clone(),
+                tys.iter().map(|t| t.subst(v, e)).collect(),
+                ixs.iter().map(|i| i.subst(v, e)).collect(),
+            ),
+            Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| t.subst(v, e)).collect()),
+            Ty::Arrow(a, b) => Ty::Arrow(Box::new(a.subst(v, e)), Box::new(b.subst(v, e))),
+            Ty::Pi(b, t) => {
+                debug_assert!(b.vars.iter().all(|(w, _)| w != v), "unique binder ids");
+                Ty::Pi(
+                    Binder { vars: b.vars.clone(), guard: b.guard.subst(v, e) },
+                    Box::new(t.subst(v, e)),
+                )
+            }
+            Ty::Sigma(b, t) => {
+                debug_assert!(b.vars.iter().all(|(w, _)| w != v), "unique binder ids");
+                Ty::Sigma(
+                    Binder { vars: b.vars.clone(), guard: b.guard.subst(v, e) },
+                    Box::new(t.subst(v, e)),
+                )
+            }
+        }
+    }
+
+    /// Substitutes a type for a rigid type variable.
+    pub fn subst_rigid(&self, name: &str, replacement: &Ty) -> Ty {
+        match self {
+            Ty::Rigid(n) if n == name => replacement.clone(),
+            Ty::Rigid(_) | Ty::Meta(_) => self.clone(),
+            Ty::App(fname, tys, ixs) => Ty::App(
+                fname.clone(),
+                tys.iter().map(|t| t.subst_rigid(name, replacement)).collect(),
+                ixs.clone(),
+            ),
+            Ty::Tuple(ts) => {
+                Ty::Tuple(ts.iter().map(|t| t.subst_rigid(name, replacement)).collect())
+            }
+            Ty::Arrow(a, b) => Ty::Arrow(
+                Box::new(a.subst_rigid(name, replacement)),
+                Box::new(b.subst_rigid(name, replacement)),
+            ),
+            Ty::Pi(b, t) => Ty::Pi(b.clone(), Box::new(t.subst_rigid(name, replacement))),
+            Ty::Sigma(b, t) => Ty::Sigma(b.clone(), Box::new(t.subst_rigid(name, replacement))),
+        }
+    }
+
+    /// Renames all index binders to fresh variables (alpha-conversion), so
+    /// a signature can be instantiated several times without id collisions.
+    pub fn refresh(&self, gen: &mut VarGen) -> Ty {
+        match self {
+            Ty::Rigid(_) | Ty::Meta(_) => self.clone(),
+            Ty::App(name, tys, ixs) => Ty::App(
+                name.clone(),
+                tys.iter().map(|t| t.refresh(gen)).collect(),
+                ixs.clone(),
+            ),
+            Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| t.refresh(gen)).collect()),
+            Ty::Arrow(a, b) => Ty::Arrow(Box::new(a.refresh(gen)), Box::new(b.refresh(gen))),
+            Ty::Pi(b, t) | Ty::Sigma(b, t) => {
+                let mut vars = Vec::with_capacity(b.vars.len());
+                let mut guard = b.guard.clone();
+                let mut body = t.as_ref().clone();
+                for (v, s) in &b.vars {
+                    let fresh = gen.fresh(v.name());
+                    guard = guard.subst(v, &IExp::var(fresh.clone()));
+                    body = body.subst(v, &IExp::var(fresh.clone()));
+                    // Boolean binders: also substitute at the prop level.
+                    if s.is_bool() {
+                        guard = guard.subst_bool(v, &Prop::BVar(fresh.clone()));
+                        body = body.subst_bvar(v, &fresh);
+                    }
+                    vars.push((fresh, *s));
+                }
+                let body = body.refresh(gen);
+                let binder = Binder { vars, guard };
+                if matches!(self, Ty::Pi(_, _)) {
+                    Ty::Pi(binder, Box::new(body))
+                } else {
+                    Ty::Sigma(binder, Box::new(body))
+                }
+            }
+        }
+    }
+
+    /// Substitutes a boolean variable for a boolean variable (helper for
+    /// [`Ty::refresh`]).
+    pub fn subst_bvar(&self, v: &Var, fresh: &Var) -> Ty {
+        let p = Prop::BVar(fresh.clone());
+        match self {
+            Ty::Rigid(_) | Ty::Meta(_) => self.clone(),
+            Ty::App(name, tys, ixs) => Ty::App(
+                name.clone(),
+                tys.iter().map(|t| t.subst_bvar(v, fresh)).collect(),
+                ixs.iter()
+                    .map(|i| match i {
+                        Ix::Int(e) => Ix::Int(e.clone()),
+                        Ix::Bool(q) => Ix::Bool(q.subst_bool(v, &p)),
+                    })
+                    .collect(),
+            ),
+            Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| t.subst_bvar(v, fresh)).collect()),
+            Ty::Arrow(a, b) => {
+                Ty::Arrow(Box::new(a.subst_bvar(v, fresh)), Box::new(b.subst_bvar(v, fresh)))
+            }
+            Ty::Pi(b, t) => Ty::Pi(
+                Binder { vars: b.vars.clone(), guard: b.guard.subst_bool(v, &p) },
+                Box::new(t.subst_bvar(v, fresh)),
+            ),
+            Ty::Sigma(b, t) => Ty::Sigma(
+                Binder { vars: b.vars.clone(), guard: b.guard.subst_bool(v, &p) },
+                Box::new(t.subst_bvar(v, fresh)),
+            ),
+        }
+    }
+
+    /// Free index variables of the type.
+    pub fn free_index_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.free_index_vars_into(&mut out);
+        out
+    }
+
+    fn free_index_vars_into(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Ty::Rigid(_) | Ty::Meta(_) => {}
+            Ty::App(_, tys, ixs) => {
+                for t in tys {
+                    t.free_index_vars_into(out);
+                }
+                for i in ixs {
+                    i.free_vars_into(out);
+                }
+            }
+            Ty::Tuple(ts) => {
+                for t in ts {
+                    t.free_index_vars_into(out);
+                }
+            }
+            Ty::Arrow(a, b) => {
+                a.free_index_vars_into(out);
+                b.free_index_vars_into(out);
+            }
+            Ty::Pi(b, t) | Ty::Sigma(b, t) => {
+                let mut inner = BTreeSet::new();
+                b.guard.free_vars_into(&mut inner);
+                t.free_index_vars_into(&mut inner);
+                for (v, _) in &b.vars {
+                    inner.remove(v);
+                }
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// Strips leading Π binders, returning them and the body.
+    pub fn strip_pis(&self) -> (Vec<&Binder>, &Ty) {
+        let mut binders = Vec::new();
+        let mut t = self;
+        while let Ty::Pi(b, body) = t {
+            binders.push(b);
+            t = body;
+        }
+        (binders, t)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn binder(b: &Binder, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let mut first = true;
+            for (v, s) in &b.vars {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{v}:{s}")?;
+            }
+            if b.guard != Prop::True {
+                write!(f, " | {}", b.guard)?;
+            }
+            Ok(())
+        }
+        fn go(t: &Ty, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match t {
+                Ty::Rigid(n) => write!(f, "'{n}"),
+                Ty::Meta(k) => write!(f, "?{k}"),
+                Ty::App(name, tys, ixs) => {
+                    match tys.len() {
+                        0 => {}
+                        1 => {
+                            go(&tys[0], f, 2)?;
+                            write!(f, " ")?;
+                        }
+                        _ => {
+                            write!(f, "(")?;
+                            for (k, a) in tys.iter().enumerate() {
+                                if k > 0 {
+                                    write!(f, ", ")?;
+                                }
+                                go(a, f, 0)?;
+                            }
+                            write!(f, ") ")?;
+                        }
+                    }
+                    write!(f, "{name}")?;
+                    if !ixs.is_empty() {
+                        write!(f, "(")?;
+                        for (k, i) in ixs.iter().enumerate() {
+                            if k > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{i}")?;
+                        }
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Ty::Tuple(ts) => {
+                    if prec > 1 {
+                        write!(f, "(")?;
+                    }
+                    for (k, x) in ts.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, " * ")?;
+                        }
+                        go(x, f, 2)?;
+                    }
+                    if prec > 1 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Ty::Arrow(a, b) => {
+                    if prec > 0 {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 1)?;
+                    write!(f, " -> ")?;
+                    go(b, f, 0)?;
+                    if prec > 0 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Ty::Pi(b, body) => {
+                    write!(f, "{{")?;
+                    binder(b, f)?;
+                    write!(f, "}} ")?;
+                    go(body, f, prec)
+                }
+                Ty::Sigma(b, body) => {
+                    write!(f, "[")?;
+                    binder(b, f)?;
+                    write!(f, "] ")?;
+                    go(body, f, prec)
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+/// An ML-polymorphic dependent type scheme `∀'a⃗. τ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheme {
+    /// Universally quantified ML type variables.
+    pub tyvars: Vec<String>,
+    /// The body, with [`Ty::Rigid`] occurrences of the bound variables.
+    pub ty: Ty,
+}
+
+impl Scheme {
+    /// A monomorphic scheme.
+    pub fn mono(ty: Ty) -> Scheme {
+        Scheme { tyvars: Vec::new(), ty }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_paper_types() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let i = g.fresh("i");
+        // {n:int | 0 <= n} {i:int | 0 <= i && i < n} 'a array(n) * int(i) -> 'a
+        let t = Ty::Pi(
+            Binder::guarded(
+                vec![(n.clone(), Sort::Int)],
+                Prop::le(IExp::lit(0), IExp::var(n.clone())),
+            ),
+            Box::new(Ty::Pi(
+                Binder::guarded(
+                    vec![(i.clone(), Sort::Int)],
+                    Prop::le(IExp::lit(0), IExp::var(i.clone()))
+                        .and(Prop::lt(IExp::var(i.clone()), IExp::var(n.clone()))),
+                ),
+                Box::new(Ty::Arrow(
+                    Box::new(Ty::Tuple(vec![
+                        Ty::array(Ty::Rigid("a".into()), IExp::var(n)),
+                        Ty::int_singleton(IExp::var(i)),
+                    ])),
+                    Box::new(Ty::Rigid("a".into())),
+                )),
+            )),
+        );
+        let s = t.to_string();
+        assert!(s.contains("'a array(n) * int(i) -> 'a"), "{s}");
+        assert!(s.contains("{n:int | 0 <= n}"), "{s}");
+    }
+
+    #[test]
+    fn subst_into_indices() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let t = Ty::array(Ty::int(), IExp::var(n.clone()));
+        let t2 = t.subst(&n, &IExp::lit(5));
+        assert_eq!(t2, Ty::array(Ty::int(), IExp::lit(5)));
+    }
+
+    #[test]
+    fn refresh_renames_binders() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let t = Ty::Pi(
+            Binder::guarded(
+                vec![(n.clone(), Sort::Int)],
+                Prop::le(IExp::lit(0), IExp::var(n.clone())),
+            ),
+            Box::new(Ty::array(Ty::int(), IExp::var(n.clone()))),
+        );
+        let t2 = t.refresh(&mut g);
+        match &t2 {
+            Ty::Pi(b, body) => {
+                let (v2, _) = &b.vars[0];
+                assert_ne!(*v2, n, "binder renamed");
+                assert!(body.free_index_vars().contains(v2));
+                assert!(!body.free_index_vars().contains(&n));
+            }
+            other => panic!("expected Pi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_index_vars_respect_binders() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let m = g.fresh("m");
+        let t = Ty::Pi(
+            Binder::new(vec![(n.clone(), Sort::Int)]),
+            Box::new(Ty::Tuple(vec![
+                Ty::int_singleton(IExp::var(n.clone())),
+                Ty::int_singleton(IExp::var(m.clone())),
+            ])),
+        );
+        let fv = t.free_index_vars();
+        assert!(fv.contains(&m));
+        assert!(!fv.contains(&n));
+    }
+
+    #[test]
+    fn subst_rigid_replaces_type_var() {
+        let t = Ty::Arrow(Box::new(Ty::Rigid("a".into())), Box::new(Ty::Rigid("a".into())));
+        let t2 = t.subst_rigid("a", &Ty::int());
+        assert_eq!(t2, Ty::Arrow(Box::new(Ty::int()), Box::new(Ty::int())));
+    }
+
+    #[test]
+    fn strip_pis_returns_binders() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let m = g.fresh("m");
+        let t = Ty::Pi(
+            Binder::new(vec![(n, Sort::Int)]),
+            Box::new(Ty::Pi(Binder::new(vec![(m, Sort::Int)]), Box::new(Ty::int()))),
+        );
+        let (bs, body) = t.strip_pis();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(*body, Ty::int());
+    }
+}

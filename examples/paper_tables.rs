@@ -1,0 +1,28 @@
+//! Regenerates the paper's evaluation tables on scaled-down workloads.
+//!
+//! ```text
+//! cargo run --release --example paper_tables [factor]
+//! ```
+//!
+//! The optional factor (default 1) scales the workloads toward the paper's
+//! sizes; see `EXPERIMENTS.md` for the mapping.
+
+use dml::experiments;
+
+fn main() {
+    let factor: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    println!("== Table 1: constraint generation and solving ==");
+    print!("{}", experiments::table1_rendered());
+
+    println!("\n== Table 2: check elimination, low per-check cost model (factor {factor}) ==");
+    let t2 = experiments::table2(factor);
+    print!("{}", experiments::table_rendered(&t2));
+
+    println!("\n== Table 3: check elimination, high per-check cost model (factor {factor}) ==");
+    let t3 = experiments::table3(factor);
+    print!("{}", experiments::table_rendered(&t3));
+
+    assert!(t2.iter().all(|r| r.outputs_match), "modes must agree");
+    assert!(t3.iter().all(|r| r.outputs_match), "modes must agree");
+}

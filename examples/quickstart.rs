@@ -1,0 +1,42 @@
+//! Quickstart: compile Figure 1's `dotprod`, watch its bound checks get
+//! proven away, and run it in both modes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dml::{compile, Mode};
+use dml_programs::dotprod;
+
+fn main() {
+    println!("== source (Figure 1 of the paper) ==\n{}", dotprod::SOURCE.trim());
+
+    let compiled = compile(dotprod::SOURCE).expect("dotprod compiles");
+    println!("\n== constraints ==");
+    for (ob, r) in compiled.obligations() {
+        println!("{ob}  [{}]", if r.is_valid() { "valid" } else { "NOT PROVEN" });
+    }
+    println!(
+        "\nfully verified: {}; proven check sites: {}",
+        compiled.fully_verified(),
+        compiled.proven_sites().len()
+    );
+
+    let (v1, v2) = dotprod::workload(100_000, 42);
+    let expected = dotprod::reference(&v1, &v2);
+
+    for mode in [Mode::Checked, Mode::Eliminated] {
+        let mut machine = compiled.machine(mode);
+        let start = std::time::Instant::now();
+        let r = machine.call("dotprod", vec![dotprod::args(&v1, &v2)]).expect("runs");
+        let elapsed = start.elapsed();
+        assert_eq!(r.as_int(), Some(expected), "both modes agree with the reference");
+        println!(
+            "\nmode {mode:?}: result {} in {:.1} ms — checks executed {}, eliminated {}",
+            r,
+            elapsed.as_secs_f64() * 1e3,
+            machine.counters.executed(),
+            machine.counters.eliminated(),
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Conservativity: the dependent extension must not change the meaning of
+//! programs (§1: "without the use of dependent types, programs will
+//! elaborate and evaluate exactly as in ML").
+//!
+//! We strip the `where` annotations from each benchmark and check that the
+//! stripped program (a) still passes the pipeline, (b) computes the same
+//! results, and (c) keeps all of its run-time checks.
+
+use dml::experiments::{bench_source, benchmarks};
+use dml::Mode;
+
+/// Removes `where <name> <| ...` clauses from a program source. The
+/// annotation grammar is line-oriented in our sources: a `where` clause
+/// runs until the first line that does not continue a type (this mirrors
+/// `BenchProgram::annotation_lines`).
+fn strip_annotations(src: &str) -> String {
+    let mut out = String::new();
+    let mut in_anno = false;
+    for line in src.lines() {
+        let t = line.trim_start();
+        if t.starts_with("where ") {
+            in_anno = true;
+        }
+        if in_anno {
+            let end = line.trim_end();
+            if !(end.ends_with("->") || end.ends_with("&&") || end.ends_with('*')
+                || end.ends_with('|') || end.ends_with('}'))
+            {
+                in_anno = false;
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn stripped_programs_still_compile_and_run_identically() {
+    for b in benchmarks() {
+        // `val` type ascriptions (kmp) are not strippable line-wise; the
+        // eight table benchmarks only use `where` clauses.
+        let annotated_src = bench_source(&b.program);
+        let stripped_src = strip_annotations(&annotated_src);
+        assert!(
+            !stripped_src.contains("where "),
+            "{}: annotations remain:\n{stripped_src}",
+            b.program.name
+        );
+
+        let annotated = dml::compile(&annotated_src)
+            .unwrap_or_else(|e| panic!("{} annotated: {e}", b.program.name));
+        let stripped = dml::compile(&stripped_src)
+            .unwrap_or_else(|e| panic!("{} stripped: {e}", b.program.name));
+
+        // The stripped program cannot prove checks whose safety rests on
+        // `where` annotations. Hanoi is the exception: its pole accesses
+        // are guarded by boolean-singleton conditionals (`if 0 < ft andalso
+        // ft - 1 < length pf then ...`), which refine the branch hypotheses
+        // with no annotation at all — so its checks stay eliminable.
+        let guard_based = b.program.name == "hanoi towers";
+        if !guard_based {
+            assert!(
+                stripped.proven_sites().is_empty(),
+                "{}: annotation-free code must keep its checks",
+                b.program.name
+            );
+        }
+
+        // Either way it behaves identically.
+        let mut m1 = annotated.machine(Mode::Checked);
+        let sum1 = (b.run)(&mut m1, 1);
+        let mut m2 = stripped.machine(Mode::Eliminated);
+        let sum2 = (b.run)(&mut m2, 1);
+        assert_eq!(sum1, sum2, "{}: stripping annotations changed behaviour", b.program.name);
+        if !guard_based {
+            assert_eq!(
+                m2.counters.eliminated(),
+                0,
+                "{}: nothing may be eliminated without annotations",
+                b.program.name
+            );
+        }
+        assert_eq!(
+            m1.counters.executed(),
+            m2.counters.executed() + m2.counters.eliminated(),
+            "{}: same dynamic check total",
+            b.program.name
+        );
+    }
+}
+
+#[test]
+fn annotations_do_not_change_check_mode_results() {
+    // The same machine-level execution with and without dependent types:
+    // checked-mode runs of the annotated program equal eliminated-mode runs.
+    for b in benchmarks() {
+        let compiled = dml::experiments::compile_bench(&b);
+        let mut c = compiled.machine(Mode::Checked);
+        let mut e = compiled.machine(Mode::Eliminated);
+        assert_eq!((b.run)(&mut c, 1), (b.run)(&mut e, 1), "{}", b.program.name);
+    }
+}
+
+#[test]
+fn plain_ml_program_unaffected_by_pipeline() {
+    // A program using no dependent feature at all.
+    let src = r#"
+datatype 'a tree = LEAF | NODE of 'a tree * 'a * 'a tree
+fun insert(t, x) = case t of
+    LEAF => NODE(LEAF, x, LEAF)
+  | NODE(l, y, r) => if x < y then NODE(insert(l, x), y, r)
+                     else if x > y then NODE(l, y, insert(r, x))
+                     else t
+fun size(t) = case t of LEAF => 0 | NODE(l, _, r) => 1 + size(l) + size(r)
+fun build(i, n, t) = if i < n then build(i + 1, n, insert(t, i * 7919 mod 101)) else t
+fun main(n) = size(build(0, n, LEAF))
+"#;
+    let compiled = dml::compile(src).unwrap();
+    // The `mod` guards are provable (constant 101); tree code generates no
+    // bound checks at all.
+    let mut m = compiled.machine(Mode::Eliminated);
+    let r = m.call("main", vec![dml::Value::Int(300)]).unwrap();
+    assert_eq!(r.as_int(), Some(101), "all residues mod 101 appear");
+    assert_eq!(m.counters.executed() + m.counters.eliminated(), 0, "no array checks at all");
+}

@@ -1,0 +1,164 @@
+//! Adversarial soundness tests for check elimination.
+//!
+//! Template programs with randomized offsets are pushed through the
+//! pipeline. The contract under test:
+//!
+//! * **Soundness** (must always hold): if the pipeline verifies a program
+//!   and eliminates its checks, running it in eliminated mode with
+//!   validation enabled never observes an out-of-bounds access.
+//! * **Precision** (should hold for this fragment): the solver verifies a
+//!   template instance *iff* it is actually safe — linear off-by-N facts
+//!   are exactly what Fourier–Motzkin decides.
+
+use proptest::prelude::*;
+
+/// `loop` reads `v[i + off]` while `i <= n - bound`; safe iff `off < bound`
+/// ... precisely: accesses i+off for 0 ≤ i ≤ n−bound need i+off < n, i.e.
+/// off ≤ bound−1 (given the loop also requires n ≥ bound to iterate).
+fn offset_walk(off: i64, bound: i64) -> String {
+    format!(
+        r#"
+fun f(v) = let
+  val n = length v
+  fun loop(i, acc) =
+    if i <= n - {bound} then loop(i+1, acc + sub(v, i + {off})) else acc
+  where loop <| {{i:nat}} int(i) * int -> int
+in
+  loop(0, 0)
+end
+where f <| {{m:nat}} int array(m) -> int
+"#
+    )
+}
+
+/// Reads `v[n div d + off]` guarded by `n > guard`; safe iff
+/// `m/d + off < m` for all `m > guard` — for d ≥ 2 this is
+/// `off < guard − guard div d` territory; we let the solver and brute
+/// force fight it out.
+fn div_probe(d: i64, off: i64, guard: i64) -> String {
+    // SML negative literals use `~`.
+    let off_lit = if off < 0 { format!("(~{})", -off) } else { off.to_string() };
+    format!(
+        r#"
+fun g(v) = let
+  val n = length v
+in
+  if n > {guard} then sub(v, n div {d} + {off_lit}) else 0
+end
+where g <| {{m:nat}} int array(m) -> int
+"#
+    )
+}
+
+/// Ground truth for `offset_walk`: is every dynamic access in bounds, for
+/// every array length?
+fn offset_walk_safe(off: i64, bound: i64) -> bool {
+    // The loop runs i = 0 .. n−bound (inclusive) whenever n ≥ bound;
+    // accesses i+off must satisfy 0 ≤ i+off < n. Worst case i = n−bound:
+    // need n−bound+off < n ⇔ off < bound, and i=0: off ≥ 0.
+    off >= 0 && off < bound
+}
+
+/// Ground truth for `div_probe` by brute force over lengths.
+fn div_probe_safe(d: i64, off: i64, guard: i64) -> bool {
+    (0..=200i64).filter(|m| *m > guard).all(|m| {
+        let idx = m.div_euclid(d) + off;
+        (0..m).contains(&idx)
+    })
+}
+
+fn run_validated(src: &str, compiled: &dml::Compiled, len: usize, fun: &str) {
+    let mut m = compiled.machine_with(
+        dml::CheckConfig::eliminated(Default::default()).with_validation(),
+    );
+    let v = dml::Value::int_array(0..len as i64);
+    match m.call(fun, vec![v]) {
+        Ok(_) => {}
+        Err(dml_eval::EvalError::UnsoundElimination { .. }) => {
+            panic!("UNSOUND ELIMINATION on:\n{src}\nlen = {len}")
+        }
+        // Checked-trap or other runtime errors are fine for unverified
+        // programs, but a verified one must not trap either.
+        Err(e) => {
+            if compiled.fully_verified() {
+                panic!("verified program trapped: {e}\n{src}\nlen = {len}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn offset_walk_verification_is_exact(off in 0i64..5, bound in 1i64..6) {
+        let src = offset_walk(off, bound);
+        let compiled = dml::compile(&src).unwrap();
+        let safe = offset_walk_safe(off, bound);
+        prop_assert_eq!(
+            compiled.fully_verified(),
+            safe,
+            "off={} bound={} src:\n{}",
+            off,
+            bound,
+            src
+        );
+        // Soundness net regardless of the verdict.
+        for len in [0usize, 1, 2, 3, 5, 9] {
+            run_validated(&src, &compiled, len, "f");
+        }
+    }
+
+    #[test]
+    fn div_probe_soundness(d in 2i64..5, off in -2i64..4, guard in 0i64..6) {
+        let src = div_probe(d, off, guard);
+        let compiled = dml::compile(&src).unwrap();
+        let safe = div_probe_safe(d, off, guard);
+        // Precision may be lost on div-heavy goals; soundness may not:
+        // a verified program must actually be safe.
+        if compiled.fully_verified() {
+            prop_assert!(safe, "verified an unsafe probe: d={} off={} guard={}\n{}",
+                d, off, guard, src);
+        }
+        for len in [0usize, 1, 2, 4, 7, 12, 33] {
+            run_validated(&src, &compiled, len, "g");
+        }
+    }
+}
+
+#[test]
+fn division_probe_spot_checks() {
+    // n div 2 is always < n for n ≥ 1: verified and safe.
+    let src = div_probe(2, 0, 0);
+    let c = dml::compile(&src).unwrap();
+    assert!(c.fully_verified(), "{}", c.explain_failures(&src));
+
+    // n div 2 + 1 can equal n (n = 1, 2): must NOT verify.
+    let src = div_probe(2, 1, 0);
+    let c = dml::compile(&src).unwrap();
+    assert!(!c.fully_verified());
+
+    // ...but guarding n > 2 makes it safe again (n/2 + 1 < n for n ≥ 3).
+    let src = div_probe(2, 1, 2);
+    let c = dml::compile(&src).unwrap();
+    assert!(c.fully_verified(), "{}", c.explain_failures(&src));
+}
+
+/// Thread-safety expectations per crate (API guideline C-SEND-SYNC): the
+/// front-end types are `Send + Sync`; the interpreter is deliberately
+/// single-threaded (`Rc`-based values).
+#[test]
+fn front_end_types_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<dml_index::Var>();
+    assert_send_sync::<dml_index::IExp>();
+    assert_send_sync::<dml_index::Prop>();
+    assert_send_sync::<dml_index::Constraint>();
+    assert_send_sync::<dml_index::Linear>();
+    assert_send_sync::<dml_solver::Goal>();
+    assert_send_sync::<dml_solver::System>();
+    assert_send_sync::<dml_types::Ty>();
+    assert_send_sync::<dml_types::MlTy>();
+    assert_send_sync::<dml_elab::Obligation>();
+    assert_send_sync::<dml_syntax::ast::Program>();
+}

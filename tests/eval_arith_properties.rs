@@ -1,0 +1,179 @@
+//! Differential property test: randomly generated arithmetic programs are
+//! rendered as DML source, pushed through the **entire pipeline**
+//! (parse → infer → elaborate → solve → interpret), and compared against a
+//! Rust reference evaluator with the same SML semantics (wrapping
+//! arithmetic, flooring `div`/`mod`).
+//!
+//! This exercises conservativity from yet another angle: the programs are
+//! annotation-free and must mean exactly what ML says they mean.
+
+use proptest::prelude::*;
+
+/// A little arithmetic AST we can both render to DML and evaluate in Rust.
+#[derive(Debug, Clone)]
+enum E {
+    X,
+    Y,
+    Z,
+    Lit(i64),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    /// Division with a never-zero divisor: `a div (iabs(b) + 1)`.
+    DivP(Box<E>, Box<E>),
+    /// Modulus with a never-zero divisor.
+    ModP(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+    Abs(Box<E>),
+    /// `if a <= b then c else d` — exercises boolean flow too.
+    IfLe(Box<E>, Box<E>, Box<E>, Box<E>),
+}
+
+fn arb_e() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::X),
+        Just(E::Y),
+        Just(E::Z),
+        (-30i64..30).prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::DivP(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::ModP(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Abs(Box::new(a))),
+            (inner.clone(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c, d)| E::IfLe(Box::new(a), Box::new(b), Box::new(c), Box::new(d))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::X => "x".into(),
+        E::Y => "y".into(),
+        E::Z => "z".into(),
+        E::Lit(n) => {
+            if *n < 0 {
+                format!("~{}", -n)
+            } else {
+                n.to_string()
+            }
+        }
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::DivP(a, b) => format!("({} div (iabs({}) + 1))", render(a), render(b)),
+        E::ModP(a, b) => format!("({} mod (iabs({}) + 1))", render(a), render(b)),
+        E::Min(a, b) => format!("imin({}, {})", render(a), render(b)),
+        E::Max(a, b) => format!("imax({}, {})", render(a), render(b)),
+        E::Abs(a) => format!("iabs({})", render(a)),
+        E::IfLe(a, b, c, d) => format!(
+            "(if {} <= {} then {} else {})",
+            render(a),
+            render(b),
+            render(c),
+            render(d)
+        ),
+    }
+}
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    let q = a.wrapping_div(b);
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn reference(e: &E, x: i64, y: i64, z: i64) -> i64 {
+    match e {
+        E::X => x,
+        E::Y => y,
+        E::Z => z,
+        E::Lit(n) => *n,
+        E::Add(a, b) => reference(a, x, y, z).wrapping_add(reference(b, x, y, z)),
+        E::Sub(a, b) => reference(a, x, y, z).wrapping_sub(reference(b, x, y, z)),
+        E::Mul(a, b) => reference(a, x, y, z).wrapping_mul(reference(b, x, y, z)),
+        E::DivP(a, b) => {
+            let d = reference(b, x, y, z).wrapping_abs().wrapping_add(1);
+            let n = reference(a, x, y, z);
+            if d == 0 {
+                // |i64::MIN| + 1 wraps to i64::MIN + 1 ... never zero for
+                // our value ranges, but stay total.
+                0
+            } else {
+                floor_div(n, d)
+            }
+        }
+        E::ModP(a, b) => {
+            let d = reference(b, x, y, z).wrapping_abs().wrapping_add(1);
+            let n = reference(a, x, y, z);
+            if d == 0 {
+                0
+            } else {
+                n.wrapping_sub(d.wrapping_mul(floor_div(n, d)))
+            }
+        }
+        E::Min(a, b) => reference(a, x, y, z).min(reference(b, x, y, z)),
+        E::Max(a, b) => reference(a, x, y, z).max(reference(b, x, y, z)),
+        E::Abs(a) => reference(a, x, y, z).wrapping_abs(),
+        E::IfLe(a, b, c, d) => {
+            if reference(a, x, y, z) <= reference(b, x, y, z) {
+                reference(c, x, y, z)
+            } else {
+                reference(d, x, y, z)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn interpreter_matches_reference(
+        e in arb_e(),
+        x in -100i64..100,
+        y in -100i64..100,
+        z in -100i64..100,
+    ) {
+        let src = format!("fun f(x, y, z) = {}", render(&e));
+        let compiled = dml::compile(&src)
+            .unwrap_or_else(|err| panic!("pipeline failed on:\n{src}\n{err}"));
+        let mut m = compiled.machine(dml::Mode::Checked);
+        let args = dml::Value::Tuple(std::rc::Rc::new(vec![
+            dml::Value::Int(x),
+            dml::Value::Int(y),
+            dml::Value::Int(z),
+        ]));
+        let got = m.call("f", vec![args]).unwrap().as_int().unwrap();
+        let want = reference(&e, x, y, z);
+        prop_assert_eq!(got, want, "program:\n{}", src);
+    }
+
+    /// The same programs under *eliminated* mode behave identically (there
+    /// are no array accesses, so this pins the conservativity of mode
+    /// switching itself).
+    #[test]
+    fn modes_agree_on_pure_arithmetic(e in arb_e()) {
+        let src = format!("fun f(x, y, z) = {}", render(&e));
+        let compiled = dml::compile(&src).unwrap();
+        let args = || dml::Value::Tuple(std::rc::Rc::new(vec![
+            dml::Value::Int(3),
+            dml::Value::Int(-7),
+            dml::Value::Int(11),
+        ]));
+        let mut a = compiled.machine(dml::Mode::Checked);
+        let mut b = compiled.machine(dml::Mode::Eliminated);
+        let ra = a.call("f", vec![args()]).unwrap().as_int();
+        let rb = b.call("f", vec![args()]).unwrap().as_int();
+        prop_assert_eq!(ra, rb);
+    }
+}

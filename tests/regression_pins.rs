@@ -1,0 +1,89 @@
+//! Regression pins: exact obligation counts and elimination results per
+//! benchmark program. These are intentionally brittle — any change to the
+//! elaborator's constraint generation shows up here first and must be
+//! reviewed against EXPERIMENTS.md (Table 1's "constraints" column).
+
+use dml::experiments::{bench_source, benchmarks};
+
+#[test]
+fn obligation_counts_are_stable() {
+    let expected: &[(&str, usize)] = &[
+        ("bcopy", 26),
+        ("binary search", 11),
+        ("bubble sort", 19),
+        ("matrix mult", 25),
+        ("queen", 17),
+        ("quick sort", 39),
+        ("hanoi towers", 33),
+        ("list access", 6),
+    ];
+    for ((name, want), b) in expected.iter().zip(benchmarks()) {
+        assert_eq!(*name, b.program.name, "table order changed");
+        let compiled = dml::compile(&bench_source(&b.program)).unwrap();
+        assert_eq!(
+            compiled.stats().constraints,
+            *want,
+            "{name}: obligation count drifted — update EXPERIMENTS.md Table 1 if intended"
+        );
+        assert!(compiled.fully_verified(), "{name}");
+    }
+}
+
+#[test]
+fn proven_site_counts_are_stable() {
+    // (program, proven sub/update/nth sites)
+    let expected: &[(&str, usize)] = &[
+        ("bcopy", 10), // 4 sub + 4 update in copy4, 1 + 1 in copy1
+        ("binary search", 1),
+        ("bubble sort", 6),
+        ("matrix mult", 6),
+        ("queen", 2),
+        ("quick sort", 6),
+        ("hanoi towers", 8),
+        ("list access", 1),
+    ];
+    for ((name, want), b) in expected.iter().zip(benchmarks()) {
+        let compiled = dml::compile(&bench_source(&b.program)).unwrap();
+        assert_eq!(
+            compiled.proven_sites().len(),
+            *want,
+            "{name}: proven-site count drifted"
+        );
+    }
+}
+
+/// The pipeline is total on arbitrary parseable token soup: it may reject,
+/// but it must never panic. (The elaborator's `unwrap`s are all justified
+/// by phase-1 invariants; this test patrols that claim.)
+#[test]
+fn pipeline_is_total_on_vocabulary_soup() {
+    use proptest::prelude::*;
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+
+    let words = prop_oneof![
+        Just("fun"), Just("val"), Just("let"), Just("in"), Just("end"),
+        Just("if"), Just("then"), Just("else"), Just("case"), Just("of"),
+        Just("where"), Just("<|"), Just("{"), Just("}"), Just("("), Just(")"),
+        Just("["), Just("]"), Just("->"), Just("=>"), Just("="), Just("|"),
+        Just("::"), Just("nat"), Just("int"), Just("x"), Just("f"), Just("n"),
+        Just("0"), Just("1"), Just("+"), Just("*"), Just("sub"), Just("array"),
+        Just(","), Just(":"), Just("'a"), Just("&&"), Just("~"), Just("nil"),
+        Just("raise"), Just("handle"), Just("exception"), Just("Subscript"),
+        Just("length"), Just("list"), Just("div"),
+    ];
+    let strat = proptest::collection::vec(words, 0..30);
+    let mut runner = TestRunner::deterministic();
+    let mut compiled_ok = 0u32;
+    for _ in 0..1500 {
+        let sample = strat.new_tree(&mut runner).unwrap().current();
+        let src = sample.join(" ");
+        if let Ok(result) = dml::compile(&src) {
+            compiled_ok += 1;
+            let _ = result.fully_verified();
+        }
+    }
+    // Sanity that the generator produces at least some valid programs
+    // (e.g. single-token declarations are rare; the empty program counts).
+    assert!(compiled_ok > 0);
+}
