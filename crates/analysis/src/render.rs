@@ -1,0 +1,244 @@
+//! Output formats for lint findings: human diagnostics, plain JSON, and
+//! SARIF 2.1.0 (the static-analysis interchange format GitHub code
+//! scanning ingests).
+//!
+//! JSON is emitted by hand — the workspace builds offline with no
+//! serialization dependency, and the subset needed here (objects, arrays,
+//! strings, integers) is small.
+
+use dml_syntax::span::line_col;
+use dml_syntax::Severity;
+
+use crate::{Finding, LINTS};
+
+/// Renders findings as compiler-style diagnostics against the source,
+/// ending with a one-line summary.
+pub fn human(findings: &[Finding], src: &str) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.diagnostic().render(src));
+        out.push('\n');
+    }
+    let (e, w) = count(findings);
+    out.push_str(&format!("{} finding(s): {} error(s), {} warning(s)\n", findings.len(), e, w));
+    out
+}
+
+fn count(findings: &[Finding]) -> (usize, usize) {
+    let e = findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let w = findings.iter().filter(|f| f.severity == Severity::Warning).count();
+    (e, w)
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    }
+}
+
+/// Renders findings as a JSON array with 1-based line/column positions.
+pub fn json(findings: &[Finding], src: &str) -> String {
+    let mut items = Vec::with_capacity(findings.len());
+    for f in findings {
+        let start = line_col(src, f.span.start);
+        let end = line_col(src, f.span.end);
+        let notes: Vec<String> =
+            f.notes.iter().map(|n| format!("\"{}\"", json_escape(n))).collect();
+        items.push(format!(
+            concat!(
+                "  {{\n",
+                "    \"code\": \"{code}\",\n",
+                "    \"name\": \"{name}\",\n",
+                "    \"severity\": \"{sev}\",\n",
+                "    \"message\": \"{msg}\",\n",
+                "    \"span\": {{ \"start\": {s}, \"end\": {e} }},\n",
+                "    \"start\": {{ \"line\": {sl}, \"column\": {sc} }},\n",
+                "    \"end\": {{ \"line\": {el}, \"column\": {ec} }},\n",
+                "    \"notes\": [{notes}]\n",
+                "  }}"
+            ),
+            code = f.code,
+            name = f.name,
+            sev = severity_str(f.severity),
+            msg = json_escape(&f.message),
+            s = f.span.start,
+            e = f.span.end,
+            sl = start.line,
+            sc = start.col,
+            el = end.line,
+            ec = end.col,
+            notes = notes.join(", "),
+        ));
+    }
+    format!("[\n{}\n]\n", items.join(",\n"))
+}
+
+/// Renders findings as a SARIF 2.1.0 log with one run. Every registered
+/// lint appears as a rule; results reference rules by id and index.
+pub fn sarif(findings: &[Finding], src: &str, artifact_uri: &str) -> String {
+    let rules: Vec<String> = LINTS
+        .iter()
+        .map(|l| {
+            format!(
+                concat!(
+                    "          {{\n",
+                    "            \"id\": \"{id}\",\n",
+                    "            \"name\": \"{name}\",\n",
+                    "            \"shortDescription\": {{ \"text\": \"{desc}\" }},\n",
+                    "            \"defaultConfiguration\": {{ \"level\": \"{level}\" }}\n",
+                    "          }}"
+                ),
+                id = l.code,
+                name = l.name,
+                desc = json_escape(l.summary),
+                level = severity_str(l.default_severity),
+            )
+        })
+        .collect();
+    let results: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            let start = line_col(src, f.span.start);
+            let end = line_col(src, f.span.end);
+            let rule_index =
+                LINTS.iter().position(|l| l.code == f.code).expect("registered lint");
+            let mut text = f.message.clone();
+            for n in &f.notes {
+                text.push_str("; ");
+                text.push_str(n);
+            }
+            format!(
+                concat!(
+                    "        {{\n",
+                    "          \"ruleId\": \"{id}\",\n",
+                    "          \"ruleIndex\": {idx},\n",
+                    "          \"level\": \"{level}\",\n",
+                    "          \"message\": {{ \"text\": \"{msg}\" }},\n",
+                    "          \"locations\": [\n",
+                    "            {{\n",
+                    "              \"physicalLocation\": {{\n",
+                    "                \"artifactLocation\": {{ \"uri\": \"{uri}\" }},\n",
+                    "                \"region\": {{ \"startLine\": {sl}, \"startColumn\": {sc}, \"endLine\": {el}, \"endColumn\": {ec} }}\n",
+                    "              }}\n",
+                    "            }}\n",
+                    "          ]\n",
+                    "        }}"
+                ),
+                id = f.code,
+                idx = rule_index,
+                level = severity_str(f.severity),
+                msg = json_escape(&text),
+                uri = json_escape(artifact_uri),
+                sl = start.line,
+                sc = start.col,
+                el = end.line,
+                ec = end.col,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+            "  \"version\": \"2.1.0\",\n",
+            "  \"runs\": [\n",
+            "    {{\n",
+            "      \"tool\": {{\n",
+            "        \"driver\": {{\n",
+            "          \"name\": \"dmlc\",\n",
+            "          \"informationUri\": \"https://doi.org/10.1145/277650.277732\",\n",
+            "          \"rules\": [\n{rules}\n          ]\n",
+            "        }}\n",
+            "      }},\n",
+            "      \"results\": [\n{results}\n      ]\n",
+            "    }}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        rules = rules.join(",\n"),
+        results = results.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_syntax::Span;
+
+    fn sample() -> (Vec<Finding>, &'static str) {
+        let src = "fun f(x) = x\nwhere f <| {n:nat} int -> int\n";
+        let findings = vec![Finding {
+            code: "DML003",
+            name: "unused-index-variable",
+            severity: Severity::Warning,
+            message: "index variable `n` is never used \"here\"".into(),
+            span: Span::new(24, 25),
+            notes: vec!["remove the binder".into()],
+        }];
+        (findings, src)
+    }
+
+    #[test]
+    fn human_has_summary_line() {
+        let (f, src) = sample();
+        let out = human(&f, src);
+        assert!(out.contains("warning[DML003]"), "{out}");
+        assert!(out.contains("1 finding(s): 0 error(s), 1 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn json_positions_are_one_based_and_escaped() {
+        let (f, src) = sample();
+        let out = json(&f, src);
+        assert!(out.contains("\"code\": \"DML003\""), "{out}");
+        assert!(out.contains("\"line\": 2"), "{out}");
+        assert!(out.contains("never used \\\"here\\\""), "escaped quotes: {out}");
+    }
+
+    #[test]
+    fn sarif_declares_all_rules_and_references_by_index() {
+        let (f, src) = sample();
+        let out = sarif(&f, src, "test.dml");
+        assert!(out.contains("\"version\": \"2.1.0\""), "{out}");
+        for l in LINTS {
+            assert!(out.contains(&format!("\"id\": \"{}\"", l.code)), "{out}");
+        }
+        assert!(out.contains("\"ruleId\": \"DML003\""), "{out}");
+        assert!(out.contains("\"ruleIndex\": 2"), "{out}");
+        assert!(out.contains("\"startLine\": 2"), "{out}");
+        assert!(out.contains("\"uri\": \"test.dml\""), "{out}");
+    }
+
+    #[test]
+    fn empty_findings_render_in_every_format() {
+        let out = human(&[], "x");
+        assert!(out.contains("0 finding(s)"), "{out}");
+        assert_eq!(json(&[], "x"), "[\n\n]\n");
+        let s = sarif(&[], "x", "a.dml");
+        assert!(s.contains("\"results\": ["), "{s}");
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

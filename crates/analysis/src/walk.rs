@@ -1,0 +1,634 @@
+//! Surface-syntax walker: collects every quantifier group and every index
+//! expression in a program, together with enough context (enclosing
+//! binders, owner, names used in scope) for the lints to judge them.
+//!
+//! The walker is purely syntactic — no conversion to the semantic index
+//! language happens here. `lints.rs` converts the collected groups on
+//! demand.
+
+use std::collections::BTreeSet;
+
+use dml_syntax::ast::{self as sast, DType, Decl, Expr, IExpr, IProp, Index, Pat, Quant, Sort};
+use dml_syntax::Span;
+
+/// What kind of binder a quantifier group came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// A `{...}` universal binder in a type.
+    Pi,
+    /// A `[...]` existential binder in a type.
+    Sigma,
+    /// Explicit `fun{...} f` index parameters.
+    FunParams,
+}
+
+/// One quantifier group, with the chain of enclosing binders and the set of
+/// index-variable names referenced in its scope.
+#[derive(Debug, Clone)]
+pub struct QuantGroup {
+    /// Where the group came from.
+    pub kind: GroupKind,
+    /// The group's own binders, in source order.
+    pub quants: Vec<Quant>,
+    /// Enclosing binders, outermost first (their guards are hypotheses for
+    /// this group).
+    pub outer: Vec<Quant>,
+    /// The declaration the group belongs to (function, constructor, ...).
+    pub owner: String,
+    /// Anchor span (the first binder).
+    pub span: Span,
+    /// Index-variable names referenced in the body the group scopes over
+    /// (shadowing-aware), *excluding* the group's own guards.
+    pub body_names: BTreeSet<String>,
+    /// Per-binder: names referenced by that binder's guard and subset sort,
+    /// parallel to `quants`.
+    pub guard_names: Vec<BTreeSet<String>>,
+}
+
+impl QuantGroup {
+    /// Is binder `k` referenced anywhere other than its own guard?
+    pub fn binder_is_used(&self, k: usize) -> bool {
+        let name = &self.quants[k].var.name;
+        if self.body_names.contains(name) {
+            return true;
+        }
+        self.guard_names.iter().enumerate().any(|(j, names)| j != k && names.contains(name))
+    }
+}
+
+/// An index expression as written in a type position.
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    /// The expression, verbatim.
+    pub expr: IExpr,
+    /// The declaration it appears under.
+    pub owner: String,
+}
+
+/// Everything the syntactic lints need, in one pass.
+#[derive(Debug, Clone, Default)]
+pub struct SurfaceFacts {
+    /// All quantifier groups.
+    pub groups: Vec<QuantGroup>,
+    /// All index expressions in type positions.
+    pub index_exprs: Vec<IndexSite>,
+}
+
+/// Collects [`SurfaceFacts`] from a whole program.
+pub fn collect(program: &sast::Program) -> SurfaceFacts {
+    let mut facts = SurfaceFacts::default();
+    for d in &program.decls {
+        decl(d, &mut facts);
+    }
+    facts
+}
+
+fn decl(d: &Decl, facts: &mut SurfaceFacts) {
+    match d {
+        Decl::Assert(sigs) => {
+            for (name, t) in sigs {
+                dtype(t, &mut Vec::new(), &name.name, facts);
+            }
+        }
+        Decl::Datatype(dt) => {
+            for c in &dt.cons {
+                if let Some(t) = &c.arg {
+                    dtype(t, &mut Vec::new(), &c.name.name, facts);
+                }
+            }
+        }
+        Decl::Typeref(tr) => {
+            for (name, t) in &tr.cons {
+                dtype(t, &mut Vec::new(), &name.name, facts);
+            }
+        }
+        Decl::Fun(fs) => {
+            for f in fs {
+                fun(f, facts);
+            }
+        }
+        Decl::Val(v) => {
+            if let Some(t) = &v.anno {
+                dtype(t, &mut Vec::new(), "val binding", facts);
+            }
+            pat(&v.pat, &mut Vec::new(), "val binding", facts);
+            expr(&v.expr, &mut Vec::new(), "val binding", facts);
+        }
+        Decl::Exception(_) => {}
+    }
+}
+
+fn fun(f: &sast::FunDecl, facts: &mut SurfaceFacts) {
+    let owner = f.name.name.clone();
+    // Explicit index parameters form a group whose scope is the `where`
+    // annotation plus every annotation inside the clause bodies.
+    if !f.index_params.is_empty() {
+        let mut body_names = BTreeSet::new();
+        let mut shadow = Vec::new();
+        if let Some(t) = &f.anno {
+            dtype_names(t, &mut shadow, &mut body_names);
+        }
+        for c in &f.clauses {
+            for p in &c.params {
+                pat_names(p, &mut shadow, &mut body_names);
+            }
+            expr_names(&c.body, &mut shadow, &mut body_names);
+        }
+        push_group(GroupKind::FunParams, &f.index_params, &[], &owner, body_names, facts);
+        collect_quant_iexprs(&f.index_params, &owner, facts);
+    }
+    let mut outer: Vec<Quant> = f.index_params.clone();
+    if let Some(t) = &f.anno {
+        dtype(t, &mut outer, &owner, facts);
+    }
+    // The annotation's outermost Pi binders scope over annotations inside
+    // the clause bodies too.
+    if let Some(DType::Pi(quants, _)) = &f.anno {
+        outer.extend(quants.iter().cloned());
+    }
+    for c in &f.clauses {
+        for p in &c.params {
+            pat(p, &mut outer, &owner, facts);
+        }
+        expr(&c.body, &mut outer, &owner, facts);
+    }
+}
+
+fn push_group(
+    kind: GroupKind,
+    quants: &[Quant],
+    outer: &[Quant],
+    owner: &str,
+    body_names: BTreeSet<String>,
+    facts: &mut SurfaceFacts,
+) {
+    let guard_names = quants
+        .iter()
+        .map(|q| {
+            let mut names = BTreeSet::new();
+            let mut shadow = Vec::new();
+            sort_names(&q.sort, &mut shadow, &mut names);
+            if let Some(g) = &q.guard {
+                iprop_names(g, &mut shadow, &mut names);
+            }
+            names
+        })
+        .collect();
+    facts.groups.push(QuantGroup {
+        kind,
+        quants: quants.to_vec(),
+        outer: outer.to_vec(),
+        owner: owner.to_string(),
+        span: quants.first().map(|q| q.var.span).unwrap_or_default(),
+        body_names,
+        guard_names,
+    });
+}
+
+/// Records the index expressions occurring in a binder list's guards and
+/// subset sorts.
+fn collect_quant_iexprs(quants: &[Quant], owner: &str, facts: &mut SurfaceFacts) {
+    for q in quants {
+        sort_iexprs(&q.sort, owner, facts);
+        if let Some(g) = &q.guard {
+            iprop_iexprs(g, owner, facts);
+        }
+    }
+}
+
+fn sort_iexprs(s: &Sort, owner: &str, facts: &mut SurfaceFacts) {
+    if let Sort::Subset(_, inner, p) = s {
+        sort_iexprs(inner, owner, facts);
+        iprop_iexprs(p, owner, facts);
+    }
+}
+
+fn iprop_iexprs(p: &IProp, owner: &str, facts: &mut SurfaceFacts) {
+    match p {
+        IProp::Var(_) | IProp::Lit(_, _) => {}
+        IProp::Cmp(_, a, b) => {
+            facts.index_exprs.push(IndexSite { expr: (**a).clone(), owner: owner.to_string() });
+            facts.index_exprs.push(IndexSite { expr: (**b).clone(), owner: owner.to_string() });
+        }
+        IProp::Not(q) => iprop_iexprs(q, owner, facts),
+        IProp::And(a, b) | IProp::Or(a, b) => {
+            iprop_iexprs(a, owner, facts);
+            iprop_iexprs(b, owner, facts);
+        }
+    }
+}
+
+fn dtype(t: &DType, outer: &mut Vec<Quant>, owner: &str, facts: &mut SurfaceFacts) {
+    match t {
+        DType::Var(_) => {}
+        DType::App { ty_args, ix_args, .. } => {
+            for a in ty_args {
+                dtype(a, outer, owner, facts);
+            }
+            for ix in ix_args {
+                match ix {
+                    Index::Int(e) => facts
+                        .index_exprs
+                        .push(IndexSite { expr: e.clone(), owner: owner.to_string() }),
+                    Index::Prop(p) => iprop_iexprs(p, owner, facts),
+                }
+            }
+        }
+        DType::Product(ts) => {
+            for a in ts {
+                dtype(a, outer, owner, facts);
+            }
+        }
+        DType::Arrow(a, b) => {
+            dtype(a, outer, owner, facts);
+            dtype(b, outer, owner, facts);
+        }
+        DType::Pi(quants, body) | DType::Sigma(quants, body) => {
+            let kind = if matches!(t, DType::Pi(..)) { GroupKind::Pi } else { GroupKind::Sigma };
+            let mut body_names = BTreeSet::new();
+            dtype_names(body, &mut Vec::new(), &mut body_names);
+            push_group(kind, quants, outer, owner, body_names, facts);
+            collect_quant_iexprs(quants, owner, facts);
+            let depth = outer.len();
+            outer.extend(quants.iter().cloned());
+            dtype(body, outer, owner, facts);
+            outer.truncate(depth);
+        }
+    }
+}
+
+fn expr(e: &Expr, outer: &mut Vec<Quant>, owner: &str, facts: &mut SurfaceFacts) {
+    match e {
+        Expr::Var(_) | Expr::Int(_, _) | Expr::Bool(_, _) | Expr::Raise(_, _) => {}
+        Expr::App(a, b, _) | Expr::Andalso(a, b, _) | Expr::Orelse(a, b, _) => {
+            expr(a, outer, owner, facts);
+            expr(b, outer, owner, facts);
+        }
+        Expr::Tuple(es, _) | Expr::Seq(es, _) => {
+            for x in es {
+                expr(x, outer, owner, facts);
+            }
+        }
+        Expr::If(c, t, f, _) => {
+            expr(c, outer, owner, facts);
+            expr(t, outer, owner, facts);
+            expr(f, outer, owner, facts);
+        }
+        Expr::Case(scrut, arms, _) => {
+            expr(scrut, outer, owner, facts);
+            for (p, a) in arms {
+                pat(p, outer, owner, facts);
+                expr(a, outer, owner, facts);
+            }
+        }
+        Expr::Let(decls, body, _) => {
+            for d in decls {
+                decl_in(d, outer, owner, facts);
+            }
+            expr(body, outer, owner, facts);
+        }
+        Expr::Fn(arms, _) => {
+            for (p, a) in arms {
+                pat(p, outer, owner, facts);
+                expr(a, outer, owner, facts);
+            }
+        }
+        Expr::Anno(inner, t, _) => {
+            expr(inner, outer, owner, facts);
+            dtype(t, outer, owner, facts);
+        }
+        Expr::Handle(body, arms, _) => {
+            expr(body, outer, owner, facts);
+            for (_, a) in arms {
+                expr(a, outer, owner, facts);
+            }
+        }
+    }
+}
+
+/// Local declarations inside `let` keep the enclosing binders in scope.
+fn decl_in(d: &Decl, outer: &mut Vec<Quant>, owner: &str, facts: &mut SurfaceFacts) {
+    match d {
+        Decl::Fun(fs) => {
+            for f in fs {
+                // Local functions restart the binder chain with their own
+                // explicit parameters on top of the enclosing ones.
+                let depth = outer.len();
+                outer.extend(f.index_params.iter().cloned());
+                if !f.index_params.is_empty() {
+                    let mut body_names = BTreeSet::new();
+                    let mut shadow = Vec::new();
+                    if let Some(t) = &f.anno {
+                        dtype_names(t, &mut shadow, &mut body_names);
+                    }
+                    for c in &f.clauses {
+                        for p in &c.params {
+                            pat_names(p, &mut shadow, &mut body_names);
+                        }
+                        expr_names(&c.body, &mut shadow, &mut body_names);
+                    }
+                    push_group(
+                        GroupKind::FunParams,
+                        &f.index_params,
+                        &outer[..depth],
+                        &f.name.name,
+                        body_names,
+                        facts,
+                    );
+                    collect_quant_iexprs(&f.index_params, &f.name.name, facts);
+                }
+                if let Some(t) = &f.anno {
+                    dtype(t, outer, &f.name.name, facts);
+                }
+                if let Some(DType::Pi(quants, _)) = &f.anno {
+                    outer.extend(quants.iter().cloned());
+                }
+                for c in &f.clauses {
+                    for p in &c.params {
+                        pat(p, outer, &f.name.name, facts);
+                    }
+                    expr(&c.body, outer, &f.name.name, facts);
+                }
+                outer.truncate(depth);
+            }
+        }
+        Decl::Val(v) => {
+            if let Some(t) = &v.anno {
+                dtype(t, outer, owner, facts);
+            }
+            pat(&v.pat, outer, owner, facts);
+            expr(&v.expr, outer, owner, facts);
+        }
+        _ => decl(d, facts),
+    }
+}
+
+fn pat(p: &Pat, outer: &mut Vec<Quant>, owner: &str, facts: &mut SurfaceFacts) {
+    match p {
+        Pat::Wild(_) | Pat::Var(_) | Pat::Int(_, _) | Pat::Bool(_, _) => {}
+        Pat::Tuple(ps, _) => {
+            for q in ps {
+                pat(q, outer, owner, facts);
+            }
+        }
+        Pat::Con(_, arg, _) => {
+            if let Some(q) = arg {
+                pat(q, outer, owner, facts);
+            }
+        }
+        Pat::Anno(inner, t, _) => {
+            pat(inner, outer, owner, facts);
+            dtype(t, outer, owner, facts);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name collection (shadowing-aware).
+// ---------------------------------------------------------------------------
+
+fn dtype_names(t: &DType, shadow: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match t {
+        DType::Var(_) => {}
+        DType::App { ty_args, ix_args, .. } => {
+            for a in ty_args {
+                dtype_names(a, shadow, out);
+            }
+            for ix in ix_args {
+                match ix {
+                    Index::Int(e) => iexpr_names(e, shadow, out),
+                    Index::Prop(p) => iprop_names(p, shadow, out),
+                }
+            }
+        }
+        DType::Product(ts) => {
+            for a in ts {
+                dtype_names(a, shadow, out);
+            }
+        }
+        DType::Arrow(a, b) => {
+            dtype_names(a, shadow, out);
+            dtype_names(b, shadow, out);
+        }
+        DType::Pi(quants, body) | DType::Sigma(quants, body) => {
+            let depth = shadow.len();
+            for q in quants {
+                sort_names(&q.sort, shadow, out);
+                if let Some(g) = &q.guard {
+                    iprop_names(g, shadow, out);
+                }
+                shadow.push(q.var.name.clone());
+            }
+            dtype_names(body, shadow, out);
+            shadow.truncate(depth);
+        }
+    }
+}
+
+fn sort_names(s: &Sort, shadow: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    if let Sort::Subset(binder, inner, p) = s {
+        sort_names(inner, shadow, out);
+        shadow.push(binder.name.clone());
+        iprop_names(p, shadow, out);
+        shadow.pop();
+    }
+}
+
+fn iprop_names(p: &IProp, shadow: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match p {
+        IProp::Var(i) => {
+            if !shadow.contains(&i.name) {
+                out.insert(i.name.clone());
+            }
+        }
+        IProp::Lit(_, _) => {}
+        IProp::Cmp(_, a, b) => {
+            iexpr_names(a, shadow, out);
+            iexpr_names(b, shadow, out);
+        }
+        IProp::Not(q) => iprop_names(q, shadow, out),
+        IProp::And(a, b) | IProp::Or(a, b) => {
+            iprop_names(a, shadow, out);
+            iprop_names(b, shadow, out);
+        }
+    }
+}
+
+fn iexpr_names(e: &IExpr, shadow: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match e {
+        IExpr::Var(i) => {
+            if !shadow.contains(&i.name) {
+                out.insert(i.name.clone());
+            }
+        }
+        IExpr::Lit(_, _) => {}
+        IExpr::Add(a, b)
+        | IExpr::Sub(a, b)
+        | IExpr::Mul(a, b)
+        | IExpr::Div(a, b)
+        | IExpr::Mod(a, b)
+        | IExpr::Min(a, b)
+        | IExpr::Max(a, b) => {
+            iexpr_names(a, shadow, out);
+            iexpr_names(b, shadow, out);
+        }
+        IExpr::Abs(a) | IExpr::Sgn(a) | IExpr::Neg(a) => iexpr_names(a, shadow, out),
+    }
+}
+
+fn pat_names(p: &Pat, shadow: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match p {
+        Pat::Wild(_) | Pat::Var(_) | Pat::Int(_, _) | Pat::Bool(_, _) => {}
+        Pat::Tuple(ps, _) => {
+            for q in ps {
+                pat_names(q, shadow, out);
+            }
+        }
+        Pat::Con(_, arg, _) => {
+            if let Some(q) = arg {
+                pat_names(q, shadow, out);
+            }
+        }
+        Pat::Anno(inner, t, _) => {
+            pat_names(inner, shadow, out);
+            dtype_names(t, shadow, out);
+        }
+    }
+}
+
+fn expr_names(e: &Expr, shadow: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Var(_) | Expr::Int(_, _) | Expr::Bool(_, _) | Expr::Raise(_, _) => {}
+        Expr::App(a, b, _) | Expr::Andalso(a, b, _) | Expr::Orelse(a, b, _) => {
+            expr_names(a, shadow, out);
+            expr_names(b, shadow, out);
+        }
+        Expr::Tuple(es, _) | Expr::Seq(es, _) => {
+            for x in es {
+                expr_names(x, shadow, out);
+            }
+        }
+        Expr::If(c, t, f, _) => {
+            expr_names(c, shadow, out);
+            expr_names(t, shadow, out);
+            expr_names(f, shadow, out);
+        }
+        Expr::Case(scrut, arms, _) => {
+            expr_names(scrut, shadow, out);
+            for (p, a) in arms {
+                pat_names(p, shadow, out);
+                expr_names(a, shadow, out);
+            }
+        }
+        Expr::Let(decls, body, _) => {
+            for d in decls {
+                match d {
+                    Decl::Fun(fs) => {
+                        for f in fs {
+                            let depth = shadow.len();
+                            shadow.extend(f.index_params.iter().map(|q| q.var.name.clone()));
+                            if let Some(t) = &f.anno {
+                                dtype_names(t, shadow, out);
+                            }
+                            for c in &f.clauses {
+                                for p in &c.params {
+                                    pat_names(p, shadow, out);
+                                }
+                                expr_names(&c.body, shadow, out);
+                            }
+                            shadow.truncate(depth);
+                        }
+                    }
+                    Decl::Val(v) => {
+                        if let Some(t) = &v.anno {
+                            dtype_names(t, shadow, out);
+                        }
+                        pat_names(&v.pat, shadow, out);
+                        expr_names(&v.expr, shadow, out);
+                    }
+                    _ => {}
+                }
+            }
+            expr_names(body, shadow, out);
+        }
+        Expr::Fn(arms, _) => {
+            for (p, a) in arms {
+                pat_names(p, shadow, out);
+                expr_names(a, shadow, out);
+            }
+        }
+        Expr::Anno(inner, t, _) => {
+            expr_names(inner, shadow, out);
+            dtype_names(t, shadow, out);
+        }
+        Expr::Handle(body, arms, _) => {
+            expr_names(body, shadow, out);
+            for (_, a) in arms {
+                expr_names(a, shadow, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_syntax::parse_program;
+
+    #[test]
+    fn collects_pi_groups_with_outer_chain() {
+        let src = "fun f(x) = x\nwhere f <| {n:nat} int(n) -> {i:nat | i < n} int(i) -> int\n";
+        let p = parse_program(src).expect("parses");
+        let facts = collect(&p);
+        assert_eq!(facts.groups.len(), 2);
+        assert_eq!(facts.groups[0].quants[0].var.name, "n");
+        assert!(facts.groups[0].outer.is_empty());
+        assert_eq!(facts.groups[1].quants[0].var.name, "i");
+        assert_eq!(facts.groups[1].outer.len(), 1, "inner group sees the outer binder");
+        assert_eq!(facts.groups[1].outer[0].var.name, "n");
+    }
+
+    #[test]
+    fn body_names_respect_shadowing() {
+        // The inner `{n:nat}` re-binds `n`, so the outer group's body does
+        // not use the *outer* n beyond `int(n)`... here it does via int(n).
+        let src = "fun f(x) = x\nwhere f <| {n:nat} int(n) -> int\n";
+        let p = parse_program(src).expect("parses");
+        let facts = collect(&p);
+        assert!(facts.groups[0].body_names.contains("n"));
+
+        let src2 = "fun g(x) = x\nwhere g <| {n:nat} int -> {n:nat} int(n) -> int\n";
+        let p2 = parse_program(src2).expect("parses");
+        let facts2 = collect(&p2);
+        // Outer group's body mentions only the *inner* n, which shadows.
+        assert!(!facts2.groups[0].body_names.contains("n"));
+        assert!(!facts2.groups[0].binder_is_used(0));
+    }
+
+    #[test]
+    fn binder_used_via_sibling_guard_counts() {
+        let src = "fun f(x) = x\nwhere f <| {n:nat, i:nat | i < n} int(i) -> int\n";
+        let p = parse_program(src).expect("parses");
+        let facts = collect(&p);
+        let g = &facts.groups[0];
+        assert!(g.binder_is_used(0), "n is used in i's guard");
+        assert!(g.binder_is_used(1), "i is used in the body");
+    }
+
+    #[test]
+    fn collects_index_exprs_from_ix_args_and_guards() {
+        let src = "fun f(x) = x\nwhere f <| {n:nat | n * n > 0} int(n + 1) -> int\n";
+        let p = parse_program(src).expect("parses");
+        let facts = collect(&p);
+        let rendered: Vec<String> =
+            facts.index_exprs.iter().map(|s| format!("{:?}", s.expr)).collect();
+        assert!(
+            facts.index_exprs.iter().any(|s| matches!(s.expr, IExpr::Mul(..))),
+            "guard product collected: {rendered:?}"
+        );
+        assert!(
+            facts.index_exprs.iter().any(|s| matches!(s.expr, IExpr::Add(..))),
+            "ix-arg sum collected: {rendered:?}"
+        );
+    }
+}

@@ -7,9 +7,9 @@
 //! that the tightening transformation "is used in type-checking an
 //! optimized byte copy function".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dml::experiments::{bench_source, benchmarks};
 use dml::pipeline::compile_with_options;
+use dml_bench::bench;
 use dml_solver::system::FourierOptions;
 use dml_solver::SolverOptions;
 use std::hint::black_box;
@@ -37,29 +37,16 @@ fn print_summary() {
     }
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     print_summary();
-    let mut group = c.benchmark_group("ablation_tightening");
-    group.sample_size(10);
     for b in benchmarks() {
         let src = bench_source(&b.program);
         for (label, tighten) in [("with", true), ("without", false)] {
-            group.bench_with_input(
-                BenchmarkId::new(b.program.name, label),
-                &tighten,
-                |bencher, &tighten| {
-                    bencher.iter(|| {
-                        let compiled =
-                            compile_with_options(black_box(&src), options(tighten))
-                                .expect("compiles");
-                        black_box(compiled.stats().solver.fm_combinations)
-                    });
-                },
-            );
+            bench("ablation_tightening", &format!("{}/{label}", b.program.name), 1, 10, || {
+                let compiled =
+                    compile_with_options(black_box(&src), options(tighten)).expect("compiles");
+                compiled.stats().solver.fm_combinations
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Solver micro-benchmarks: Fourier–Motzkin refutation on the paper's
 //! Figure-4-style constraints and on synthetic systems of varying size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dml_bench::bench;
 use dml_index::{Constraint, IExp, Prop, Sort, VarGen};
 use dml_solver::{Solver, SolverOptions};
 use std::hint::black_box;
@@ -52,35 +52,26 @@ fn chain_constraint(gen: &mut VarGen, n: usize) -> Constraint {
     c
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
-
-    group.bench_function("bsearch_midpoint", |b| {
+fn main() {
+    {
         let mut gen = VarGen::new();
         let constraint = bsearch_constraint(&mut gen);
         let mut solver = Solver::new(SolverOptions::default());
-        b.iter(|| {
+        bench("solver", "bsearch_midpoint", 5, 50, || {
             let outcome = solver.prove(black_box(&constraint), &mut gen);
             assert!(outcome.all_valid());
-            black_box(outcome.stats.fm_combinations)
-        });
-    });
-
-    for n in [4usize, 8, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("transitivity_chain", n), &n, |b, &n| {
-            let mut gen = VarGen::new();
-            let constraint = chain_constraint(&mut gen, n);
-            let mut solver = Solver::new(SolverOptions::default());
-            b.iter(|| {
-                let outcome = solver.prove(black_box(&constraint), &mut gen);
-                assert!(outcome.all_valid());
-                black_box(outcome.stats.fm_combinations)
-            });
+            outcome.stats.fm_combinations
         });
     }
 
-    group.finish();
+    for n in [4usize, 8, 16, 32] {
+        let mut gen = VarGen::new();
+        let constraint = chain_constraint(&mut gen, n);
+        let mut solver = Solver::new(SolverOptions::default());
+        bench("solver", &format!("transitivity_chain/{n}"), 3, 20, || {
+            let outcome = solver.prove(black_box(&constraint), &mut gen);
+            assert!(outcome.all_valid());
+            outcome.stats.fm_combinations
+        });
+    }
 }
-
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);

@@ -4,32 +4,20 @@
 //! inference, dependent elaboration, constraint solving), the quantities in
 //! the paper's Table 1. The rendered table is printed once at startup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dml::experiments::{bench_source, benchmarks, table1_rendered};
+use dml_bench::bench;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     println!("\n=== Table 1 (paper: constraints / gen+solve time / annotations / size) ===");
     print!("{}", table1_rendered());
 
-    let mut group = c.benchmark_group("table1_typecheck");
-    group.sample_size(10);
     for b in benchmarks() {
         let src = bench_source(&b.program);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(b.program.name),
-            &src,
-            |bencher, src| {
-                bencher.iter(|| {
-                    let compiled = dml::compile(black_box(src)).expect("compiles");
-                    assert!(compiled.fully_verified());
-                    black_box(compiled.stats().constraints)
-                });
-            },
-        );
+        bench("table1_typecheck", b.program.name, 2, 10, || {
+            let compiled = dml::compile(black_box(&src)).expect("compiles");
+            assert!(compiled.fully_verified());
+            compiled.stats().constraints
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

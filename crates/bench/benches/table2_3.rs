@@ -1,14 +1,13 @@
 //! Tables 2 and 3 — run time with checks vs. without, per benchmark.
 //!
-//! Each benchmark runs under Criterion twice: in `Checked` mode (every
-//! bound/tag check executes) and in `Eliminated` mode (checks at proven
-//! sites are skipped). Two per-check cost models reproduce the two
-//! platforms of the paper; the summary rows (gain %, checks eliminated) are
-//! printed once at startup.
+//! Each benchmark runs twice: in `Checked` mode (every bound/tag check
+//! executes) and in `Eliminated` mode (checks at proven sites are skipped).
+//! Two per-check cost models reproduce the two platforms of the paper; the
+//! summary rows (gain %, checks eliminated) are printed once at startup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dml::experiments::{benchmarks, compile_bench, table2, table3, table_rendered};
 use dml::{CheckConfig, Mode};
+use dml_bench::bench;
 use std::hint::black_box;
 
 const FACTOR: u32 = 1;
@@ -20,35 +19,21 @@ fn print_summaries() {
     print!("{}", table_rendered(&table3(FACTOR)));
 }
 
-fn bench_modes(c: &mut Criterion) {
+fn main() {
     print_summaries();
-    let mut group = c.benchmark_group("table2_3_runtime");
-    group.sample_size(10);
     for b in benchmarks() {
         let compiled = compile_bench(&b);
         for (label, mode) in [("checked", Mode::Checked), ("eliminated", Mode::Eliminated)] {
-            group.bench_with_input(
-                BenchmarkId::new(b.program.name, label),
-                &mode,
-                |bencher, mode| {
-                    bencher.iter(|| {
-                        let mut machine = compiled.machine_with(
-                            match mode {
-                                Mode::Checked => CheckConfig::checked(),
-                                Mode::Eliminated => {
-                                    CheckConfig::eliminated(Default::default())
-                                }
-                            }
-                            .with_check_cost(4),
-                        );
-                        black_box((b.run)(&mut machine, FACTOR))
-                    });
-                },
-            );
+            bench("table2_3_runtime", &format!("{}/{label}", b.program.name), 1, 10, || {
+                let mut machine = compiled.machine_with(
+                    match mode {
+                        Mode::Checked => CheckConfig::checked(),
+                        Mode::Eliminated => CheckConfig::eliminated(Default::default()),
+                    }
+                    .with_check_cost(4),
+                );
+                black_box((b.run)(&mut machine, FACTOR))
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

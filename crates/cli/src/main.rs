@@ -3,13 +3,14 @@
 //! ```text
 //! dmlc check <file.dml>        type-check; report proven/unproven checks
 //! dmlc constraints <file.dml>  print every generated constraint
+//! dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]
 //! dmlc run <file.dml> <fun> [ints...]   run a function on integer args
 //! dmlc figure4                 print the paper's Figure 4 constraints
 //! dmlc table <1|2|3> [factor]  regenerate a table of the evaluation
 //! ```
 
 use dml::experiments;
-use dml::{compile, Mode, Value};
+use dml::{compile, Mode, Severity, Value};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -17,6 +18,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => with_file(&args, check),
         Some("constraints") => with_file(&args, constraints),
+        Some("lint") => lint(&args),
         Some("run") => run(&args),
         Some("figure4") => {
             for line in experiments::figure4() {
@@ -27,10 +29,11 @@ fn main() -> ExitCode {
         Some("table") => table(&args),
         _ => {
             eprintln!(
-                "usage: dmlc <check|constraints|run|figure4|table> ...\n\
+                "usage: dmlc <check|constraints|lint|run|figure4|table> ...\n\
                  \n\
                  dmlc check <file.dml>\n\
                  dmlc constraints <file.dml>\n\
+                 dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]\n\
                  dmlc run <file.dml> <fun> [ints...]\n\
                  dmlc figure4\n\
                  dmlc table <1|2|3> [factor]"
@@ -95,15 +98,95 @@ fn check(src: &str) -> ExitCode {
 fn constraints(src: &str) -> ExitCode {
     match compile(src) {
         Ok(compiled) => {
+            let mut unproven = 0usize;
             for (o, r) in compiled.obligations() {
+                if !r.is_valid() {
+                    unproven += 1;
+                }
                 println!("{o}  [{}]", if r.is_valid() { "valid" } else { "NOT PROVEN" });
             }
-            ExitCode::SUCCESS
+            if unproven > 0 {
+                eprintln!("{unproven} obligation(s) not proven");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `dmlc lint <file> [--format human|json|sarif] [--deny CODE]`
+///
+/// Exit code contract: FAILURE on compile errors, on unknown flags, and
+/// whenever any finding has error severity (a `--deny`'d code promotes its
+/// findings to errors); SUCCESS otherwise, warnings included.
+fn lint(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]");
+        return ExitCode::FAILURE;
+    };
+    let mut format = "human".to_string();
+    let mut deny: Vec<&'static str> = Vec::new();
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--format" => match rest.next().map(String::as_str) {
+                Some(f @ ("human" | "json" | "sarif")) => format = f.to_string(),
+                other => {
+                    eprintln!(
+                        "--format expects human|json|sarif, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--deny" => match rest.next().and_then(|c| dml::lint_by_code(c)) {
+                Some(l) => deny.push(l.code),
+                None => {
+                    eprintln!("--deny expects a known lint code (DML001..DML005) or name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compile(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut findings = compiled.lints();
+    for f in &mut findings {
+        if deny.contains(&f.code) {
+            f.severity = Severity::Error;
+        }
+    }
+    match format.as_str() {
+        "human" => print!("{}", dml::render::human(&findings, &src)),
+        "json" => print!("{}", dml::render::json(&findings, &src)),
+        "sarif" => print!("{}", dml::render::sarif(&findings, &src, path)),
+        _ => unreachable!("validated above"),
+    }
+    if findings.iter().any(|f| f.severity == Severity::Error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -71,6 +71,102 @@ fn constraints_lists_obligations() {
 }
 
 #[test]
+fn constraints_fails_when_obligations_unproven() {
+    let path = write_temp("cons-bad.dml", BAD);
+    let out = dmlc().arg("constraints").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "unproven obligations must fail the exit code");
+    assert!(stdout.contains("NOT PROVEN"), "{stdout}");
+    assert!(stderr.contains("not proven"), "{stderr}");
+}
+
+/// A deliberately redundant guard (`i < n` hypothesis makes the condition
+/// entailed) for the lint tests.
+const LINTY: &str = r#"
+fun get(v, i) = if i < length(v) then sub(v, i) else 0
+where get <| {n:nat, i:nat | i < n} int array(n) * int(i) -> int
+"#;
+
+#[test]
+fn lint_reports_dead_branch_but_exits_zero_on_warnings() {
+    let path = write_temp("linty.dml", LINTY);
+    let out = dmlc().arg("lint").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "warnings alone keep exit code 0: {stdout}");
+    assert!(stdout.contains("warning[DML001]"), "{stdout}");
+    assert!(stdout.contains("always true"), "{stdout}");
+}
+
+#[test]
+fn lint_deny_promotes_to_error_exit() {
+    let path = write_temp("linty-deny.dml", LINTY);
+    let out = dmlc().args(["lint"]).arg(&path).args(["--deny", "DML001"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "--deny DML001 must fail: {stdout}");
+    assert!(stdout.contains("error[DML001]"), "{stdout}");
+    // Denying a lint that does not fire keeps success.
+    let out = dmlc().args(["lint"]).arg(&path).args(["--deny", "DML005"]).output().unwrap();
+    assert!(out.status.success());
+    // Unknown codes are rejected.
+    let out = dmlc().args(["lint"]).arg(&path).args(["--deny", "DML999"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn lint_clean_program_has_no_findings() {
+    let path = write_temp("lint-clean.dml", GOOD);
+    let out = dmlc().arg("lint").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_json_and_sarif_formats() {
+    let path = write_temp("lint-fmt.dml", LINTY);
+    let out = dmlc().args(["lint"]).arg(&path).args(["--format", "json"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"code\": \"DML001\""), "{stdout}");
+    assert!(stdout.contains("\"line\": 2"), "{stdout}");
+
+    let out = dmlc().args(["lint"]).arg(&path).args(["--format", "sarif"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert!(stdout.contains("\"ruleId\": \"DML001\""), "{stdout}");
+    assert!(stdout.contains("lint-fmt.dml"), "artifact uri present: {stdout}");
+
+    let out = dmlc().args(["lint"]).arg(&path).args(["--format", "yaml"]).output().unwrap();
+    assert!(!out.status.success(), "unknown format rejected");
+}
+
+/// Drives the binary over the repository's showcase example — the same
+/// invocation CI uses for its SARIF artifact.
+#[test]
+fn lint_golden_over_showcase_example() {
+    let example = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lints.dml");
+    let out = dmlc().arg("lint").arg(&example).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "warnings only: {stdout}");
+    for code in ["DML001", "DML002", "DML003", "DML004", "DML005"] {
+        assert!(stdout.contains(&format!("warning[{code}]")), "{code} fires: {stdout}");
+    }
+    assert!(stdout.contains("6 finding(s): 0 error(s), 6 warning(s)"), "{stdout}");
+
+    let out = dmlc().arg("lint").arg(&example).args(["--format", "sarif"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    for code in ["DML001", "DML002", "DML003", "DML004", "DML005"] {
+        assert!(stdout.contains(&format!("\"ruleId\": \"{code}\"")), "{code}: {stdout}");
+    }
+
+    let out = dmlc().arg("lint").arg(&example).args(["--deny", "dead-branch"]).output().unwrap();
+    assert!(!out.status.success(), "--deny by lint name promotes to error exit");
+}
+
+#[test]
 fn figure4_prints_constraints() {
     let out = dmlc().arg("figure4").output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);

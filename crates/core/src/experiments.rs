@@ -242,13 +242,13 @@ pub fn run_benchmark_with(b: &Bench, factor: u32, check_cost: u32, repeats: u32)
         let mut counters = dml_eval::Counters::new();
         let mut ops = 0u64;
         for _ in 0..repeats.max(1) {
-            let mut machine = compiled
-                .machine_with(match mode {
+            let mut machine = compiled.machine_with(
+                match mode {
                     Mode::Checked => dml_eval::CheckConfig::checked(),
-                    Mode::Eliminated => {
-                        dml_eval::CheckConfig::eliminated(Default::default())
-                    }
-                }.with_check_cost(check_cost));
+                    Mode::Eliminated => dml_eval::CheckConfig::eliminated(Default::default()),
+                }
+                .with_check_cost(check_cost),
+            );
             let start = Instant::now();
             checksum = (b.run)(&mut machine, factor);
             best = best.min(start.elapsed());
@@ -303,9 +303,7 @@ fn run_bsearch(m: &mut Machine, factor: u32) -> i64 {
     let arr_v = Value::int_array(arr.iter().copied());
     let mut found = 0i64;
     for key in keys {
-        let r = m
-            .call("isearch", vec![progs::bsearch::args(key, &arr_v)])
-            .expect("isearch runs");
+        let r = m.call("isearch", vec![progs::bsearch::args(key, &arr_v)]).expect("isearch runs");
         if matches!(&r, Value::Con(n, Some(_)) if &**n == "FOUND") {
             found += 1;
         }
@@ -320,9 +318,7 @@ fn run_bubblesort(m: &mut Machine, factor: u32) -> i64 {
     let arr = progs::bubblesort::args(&data);
     m.call("bubblesort", vec![arr.clone()]).expect("bubblesort runs");
     let out = arr.int_array_to_vec().expect("int array");
-    out.iter()
-        .enumerate()
-        .fold(0i64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as i64 + 1)))
+    out.iter().enumerate().fold(0i64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as i64 + 1)))
 }
 
 fn run_matmult(m: &mut Machine, factor: u32) -> i64 {
@@ -332,11 +328,7 @@ fn run_matmult(m: &mut Machine, factor: u32) -> i64 {
     let b = progs::matmult::workload(n, 2);
     let (args, c) = progs::matmult::args(&a, &b);
     m.call("matmult", vec![args]).expect("matmult runs");
-    progs::matmult::matrix_back(&c)
-        .expect("matrix")
-        .iter()
-        .flatten()
-        .sum()
+    progs::matmult::matrix_back(&c).expect("matrix").iter().flatten().sum()
 }
 
 fn run_queens(m: &mut Machine, factor: u32) -> i64 {
@@ -352,9 +344,7 @@ fn run_quicksort(m: &mut Machine, factor: u32) -> i64 {
     let arr = progs::quicksort::args(&data);
     m.call("isort", vec![arr.clone()]).expect("isort runs");
     let out = arr.int_array_to_vec().expect("int array");
-    out.iter()
-        .enumerate()
-        .fold(0i64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as i64 + 1)))
+    out.iter().enumerate().fold(0i64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as i64 + 1)))
 }
 
 fn run_hanoi(m: &mut Machine, factor: u32) -> i64 {
@@ -391,16 +381,9 @@ mod tests {
                 c.fully_verified(),
                 "{} not fully verified:\n{}",
                 b.program.name,
-                c.failures()
-                    .map(|(o, r)| format!("{o} -- {r:?}"))
-                    .collect::<Vec<_>>()
-                    .join("\n")
+                c.failures().map(|(o, r)| format!("{o} -- {r:?}")).collect::<Vec<_>>().join("\n")
             );
-            assert!(
-                !c.proven_sites().is_empty(),
-                "{} eliminated no checks",
-                b.program.name
-            );
+            assert!(!c.proven_sites().is_empty(), "{} eliminated no checks", b.program.name);
         }
     }
 

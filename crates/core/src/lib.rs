@@ -38,5 +38,7 @@ pub mod experiments;
 pub mod pipeline;
 pub mod table;
 
+pub use dml_analysis::{lint_by_code, render, Finding, Lint, LINTS};
 pub use dml_eval::{CheckConfig, Counters, Machine, Mode, Value};
-pub use pipeline::{compile, compile_with_options, Compiled, CompileStats, PipelineError};
+pub use dml_syntax::Severity;
+pub use pipeline::{compile, compile_with_options, CompileStats, Compiled, PipelineError};

@@ -1,15 +1,16 @@
 //! The compilation pipeline: parse → phase-1 ML inference → phase-2
 //! dependent elaboration → constraint solving → check elimination.
 
-use dml_elab::{elaborate, ElabOutput, Obligation};
+use dml_analysis::Finding;
+use dml_elab::{elaborate, ElabOutput, Obligation, SiteContext};
 use dml_eval::{CheckConfig, Machine, Mode};
+use dml_index::VarGen;
 use dml_solver::{GoalResult, Solver, SolverOptions};
 use dml_syntax::ast as sast;
 use dml_syntax::Span;
 use dml_types::builtins::{base_env, check_kind};
 use dml_types::env::Env;
 use dml_types::infer::infer_program;
-use dml_index::VarGen;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -63,10 +64,13 @@ pub struct Compiled {
     program: sast::Program,
     env: Env,
     obligations: Vec<(Obligation, GoalResult)>,
+    contexts: Vec<SiteContext>,
     proven_sites: HashSet<Span>,
     fully_verified: bool,
     stats: CompileStats,
     top_level: HashMap<String, dml_types::ty::Scheme>,
+    options: SolverOptions,
+    gen: VarGen,
 }
 
 impl Compiled {
@@ -83,6 +87,27 @@ impl Compiled {
     /// Every obligation with its proof result.
     pub fn obligations(&self) -> &[(Obligation, GoalResult)] {
         &self.obligations
+    }
+
+    /// Per-site hypothesis snapshots recorded during elaboration (`if`
+    /// conditions and `case` arms), consumed by the lint pass.
+    pub fn contexts(&self) -> &[SiteContext] {
+        &self.contexts
+    }
+
+    /// Runs the semantic lint pass (`dml-analysis`) over the compiled
+    /// program: solver-backed dead-branch / redundant-refinement /
+    /// unprovable-annotation lints plus the syntactic ones. Findings are
+    /// sorted by source position.
+    pub fn lints(&self) -> Vec<Finding> {
+        let mut gen = self.gen.clone();
+        dml_analysis::run_lints(
+            &self.program,
+            &self.contexts,
+            &self.env.families,
+            self.options,
+            &mut gen,
+        )
     }
 
     /// Obligations that were not proven (including exhaustiveness
@@ -190,22 +215,19 @@ pub fn compile(src: &str) -> Result<Compiled, PipelineError> {
 /// # Errors
 ///
 /// Returns a [`PipelineError`] for parse/type/elaboration failures.
-pub fn compile_with_options(
-    src: &str,
-    options: SolverOptions,
-) -> Result<Compiled, PipelineError> {
+pub fn compile_with_options(src: &str, options: SolverOptions) -> Result<Compiled, PipelineError> {
     let gen_start = Instant::now();
     let program = dml_syntax::parse_program(src).map_err(PipelineError::Parse)?;
     let mut gen = VarGen::new();
     let mut env = base_env(&mut gen);
     for d in &program.decls {
         match d {
-            sast::Decl::Datatype(dd) => env
-                .add_datatype(dd, &mut gen)
-                .map_err(|e| PipelineError::Env(e.message, e.span))?,
-            sast::Decl::Typeref(tr) => env
-                .add_typeref(tr, &mut gen)
-                .map_err(|e| PipelineError::Env(e.message, e.span))?,
+            sast::Decl::Datatype(dd) => {
+                env.add_datatype(dd, &mut gen).map_err(|e| PipelineError::Env(e.message, e.span))?
+            }
+            sast::Decl::Typeref(tr) => {
+                env.add_typeref(tr, &mut gen).map_err(|e| PipelineError::Env(e.message, e.span))?
+            }
             sast::Decl::Assert(sigs) => env
                 .add_assert(sigs, &check_kind, &mut gen)
                 .map_err(|e| PipelineError::Env(e.message, e.span))?,
@@ -214,10 +236,9 @@ pub fn compile_with_options(
     }
     let phase1 =
         infer_program(&program, &env).map_err(|e| PipelineError::Infer(e.message, e.span))?;
-    let ElabOutput { obligations, top_level, gen } =
-        elaborate(&program, &env, &phase1, gen).map_err(|e| {
-            PipelineError::Elab(e.message, e.span)
-        })?;
+    let ElabOutput { obligations, top_level, gen, contexts } =
+        elaborate(&program, &env, &phase1, gen)
+            .map_err(|e| PipelineError::Elab(e.message, e.span))?;
     let generation_time = gen_start.elapsed();
 
     // Solve every obligation.
@@ -250,9 +271,7 @@ pub fn compile_with_options(
     // type-check and nothing is eliminated (fail-safe). Exhaustiveness
     // obligations are warnings (potential match failures), never blockers.
     let non_check_ok = results.iter().all(|(o, r)| {
-        o.kind.is_check()
-            || matches!(o.kind, dml_elab::ObKind::Unreachable { .. })
-            || r.is_valid()
+        o.kind.is_check() || matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_valid()
     });
     let mut site_ok: HashMap<Span, bool> = HashMap::new();
     for (o, r) in &results {
@@ -267,9 +286,9 @@ pub fn compile_with_options(
         HashSet::new()
     };
     let fully_verified = non_check_ok
-        && results.iter().all(|(o, r)| {
-            matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_valid()
-        });
+        && results
+            .iter()
+            .all(|(o, r)| matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_valid());
 
     let stats = CompileStats {
         constraints: results.len(),
@@ -282,10 +301,13 @@ pub fn compile_with_options(
         program,
         env,
         obligations: results,
+        contexts,
         proven_sites,
         fully_verified,
         stats,
         top_level,
+        options,
+        gen,
     })
 }
 
@@ -329,9 +351,7 @@ where total <| {n:nat} int array(n) -> int
         let c = compile(src).unwrap();
         assert!(c.fully_verified(), "{:?}", c.failures().collect::<Vec<_>>());
         let mut m = c.machine(Mode::Eliminated);
-        let r = m
-            .call("total", vec![dml_eval::Value::int_array([1, 2, 3, 4])])
-            .unwrap();
+        let r = m.call("total", vec![dml_eval::Value::int_array([1, 2, 3, 4])]).unwrap();
         assert_eq!(r.as_int(), Some(10));
         assert_eq!(m.counters.array_checks_eliminated, 4);
         assert_eq!(m.counters.array_checks_executed, 0);
@@ -354,6 +374,52 @@ where broken <| {n:nat | n > 0} int array(n) -> int(n+1)
         assert!(c.proven_sites().is_empty(), "type error must block elimination");
     }
 
+    /// The dead-branch lint is genuinely solver-backed: with the guard
+    /// `i < n` in scope the `if` condition is entailed and DML001 fires;
+    /// dropping that one hypothesis from the annotation flips the verdict.
+    #[test]
+    fn lints_flag_dead_branch_and_hypothesis_removal_flips_it() {
+        let guarded = r#"
+fun get(v, i) = if i < length(v) then sub(v, i) else 0
+where get <| {n:nat, i:nat | i < n} int array(n) * int(i) -> int
+"#;
+        let c = compile(guarded).unwrap();
+        let lints = c.lints();
+        assert!(
+            lints.iter().any(|f| f.code == "DML001" && f.message.contains("always true")),
+            "{lints:?}"
+        );
+
+        let unguarded = r#"
+fun get(v, i) = if i < length(v) then sub(v, i) else 0
+where get <| {n:nat, i:nat} int array(n) * int(i) -> int
+"#;
+        let c = compile(unguarded).unwrap();
+        let lints = c.lints();
+        assert!(
+            !lints.iter().any(|f| f.code == "DML001"),
+            "without `i < n` the condition is contingent: {lints:?}"
+        );
+    }
+
+    #[test]
+    fn lints_are_quiet_on_a_clean_program() {
+        let src = r#"
+fun total(v) = let
+  fun loop(i, n, sum) =
+    if i = n then sum else loop(i+1, n, sum + sub(v, i))
+  where loop <| {k:nat | k <= n} {i:nat | i <= k} int(i) * int(k) * int -> int
+in
+  loop(0, length v, 0)
+end
+where total <| {n:nat} int array(n) -> int
+"#;
+        let c = compile(src).unwrap();
+        assert!(c.fully_verified());
+        let lints = c.lints();
+        assert!(lints.is_empty(), "{lints:?}");
+    }
+
     #[test]
     fn parse_errors_reported() {
         assert!(matches!(compile("fun = 3"), Err(PipelineError::Parse(_))));
@@ -361,9 +427,6 @@ where broken <| {n:nat | n > 0} int array(n) -> int(n+1)
 
     #[test]
     fn infer_errors_reported() {
-        assert!(matches!(
-            compile("fun f(x) = x + true"),
-            Err(PipelineError::Infer(_, _))
-        ));
+        assert!(matches!(compile("fun f(x) = x + true"), Err(PipelineError::Infer(_, _))));
     }
 }

@@ -20,9 +20,10 @@
 //!   obligation (closed without itself among its hypotheses).
 
 use crate::obligation::{ObKind, Obligation};
+use crate::site::{SiteContext, SiteRole};
+use dml_index::{Constraint, IExp, Prop, Sort, Var, VarGen};
 use dml_syntax::ast as sast;
 use dml_syntax::Span;
-use dml_index::{Constraint, IExp, Prop, Sort, Var, VarGen};
 use dml_types::convert::{Converter, Scope};
 use dml_types::env::{CheckKind, Env};
 use dml_types::infer::InferResult;
@@ -64,6 +65,10 @@ pub struct ElabOutput {
     pub top_level: HashMap<String, Scheme>,
     /// The variable supply, for the solver to continue from.
     pub gen: VarGen,
+    /// Context snapshots at branching points, for the semantic lints.
+    /// Purely observational — recording them does not affect obligation
+    /// generation.
+    pub contexts: Vec<SiteContext>,
 }
 
 impl ElabOutput {
@@ -99,7 +104,7 @@ pub fn elaborate(
     for (name, scheme) in &vals {
         top_level.insert(name.clone(), el.zonk_scheme(scheme));
     }
-    Ok(ElabOutput { obligations: el.obligations, top_level, gen: el.gen })
+    Ok(ElabOutput { obligations: el.obligations, top_level, gen: el.gen, contexts: el.contexts })
 }
 
 type Vals = HashMap<String, Scheme>;
@@ -131,6 +136,8 @@ pub struct Elaborator<'e> {
     /// arguments (curried applications) are available as hypotheses.
     pending: Vec<(ObKind, Span, Prop, Option<usize>)>,
     fun_stack: Vec<String>,
+    /// Context snapshots at branching points (see [`SiteContext`]).
+    contexts: Vec<SiteContext>,
     /// All instantiation (existential) variables ever created.
     exi_vars: std::collections::HashSet<Var>,
     /// Instantiation variables already pinned down by a defining equation.
@@ -150,6 +157,7 @@ impl<'e> Elaborator<'e> {
             obligations: Vec::new(),
             pending: Vec::new(),
             fun_stack: Vec::new(),
+            contexts: Vec::new(),
             exi_vars: std::collections::HashSet::new(),
             determined: std::collections::HashSet::new(),
         }
@@ -218,6 +226,36 @@ impl<'e> Elaborator<'e> {
             return;
         }
         self.pending.push((kind, site, concl, None));
+    }
+
+    /// Snapshots the current logical context for the semantic lints.
+    /// Read-only with respect to elaboration: nothing here feeds back into
+    /// obligation generation. Existentials are strengthened to universals
+    /// (see [`SiteContext`]).
+    fn record_site(&mut self, role: SiteRole, span: Span, cond: Option<Prop>) {
+        let mut vars = Vec::new();
+        let mut hyps = Vec::new();
+        for e in &self.ctx {
+            match e {
+                Entry::Uni(v, s) | Entry::Exi(v, s) => vars.push((v.clone(), *s)),
+                Entry::Hyp(p) => {
+                    if *p != Prop::True {
+                        hyps.push(p.clone());
+                    }
+                }
+            }
+        }
+        let in_fun = self.fun_stack.last().cloned().unwrap_or_else(|| "<top>".to_string());
+        self.contexts.push(SiteContext { role, span, in_fun, vars, hyps, cond });
+    }
+
+    /// The constructor a `case` arm pattern names, if any.
+    fn arm_con(&self, p: &sast::Pat) -> Option<String> {
+        match p {
+            sast::Pat::Con(c, _, _) => Some(c.name.clone()),
+            sast::Pat::Var(c) if self.env.is_constructor(&c.name) => Some(c.name.clone()),
+            _ => None,
+        }
     }
 
     /// Emits the integer index equation `x = y` arising from a coercion.
@@ -316,9 +354,7 @@ impl<'e> Elaborator<'e> {
         match self.resolve_shallow(ty) {
             Ty::Meta(m) => Ty::Meta(m),
             Ty::Rigid(n) => Ty::Rigid(n),
-            Ty::App(n, tys, ixs) => {
-                Ty::App(n, tys.iter().map(|t| self.zonk(t)).collect(), ixs)
-            }
+            Ty::App(n, tys, ixs) => Ty::App(n, tys.iter().map(|t| self.zonk(t)).collect(), ixs),
             Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| self.zonk(t)).collect()),
             Ty::Arrow(a, b) => Ty::Arrow(Box::new(self.zonk(&a)), Box::new(self.zonk(&b))),
             Ty::Pi(b, t) => Ty::Pi(b, Box::new(self.zonk(&t))),
@@ -336,7 +372,12 @@ impl<'e> Elaborator<'e> {
 
     /// Opens a binder with fresh variables, returning the instantiated
     /// guard, body, and fresh variables. Does not push context entries.
-    fn open_binder(&mut self, b: &Binder, body: &Ty, tag: Option<&str>) -> (Prop, Ty, Vec<(Var, Sort)>) {
+    fn open_binder(
+        &mut self,
+        b: &Binder,
+        body: &Ty,
+        tag: Option<&str>,
+    ) -> (Prop, Ty, Vec<(Var, Sort)>) {
         let mut guard = b.guard.clone();
         let mut bd = body.clone();
         let mut fresh = Vec::with_capacity(b.vars.len());
@@ -461,11 +502,8 @@ impl<'e> Elaborator<'e> {
                 let ty = conv
                     .convert_dtype(anno, &scope2)
                     .map_err(|e| ElabError::new(e.message, e.span))?;
-                let ty = if ip_binder.vars.is_empty() {
-                    ty
-                } else {
-                    Ty::Pi(ip_binder, Box::new(ty))
-                };
+                let ty =
+                    if ip_binder.vars.is_empty() { ty } else { Ty::Pi(ip_binder, Box::new(ty)) };
                 let mut rigids = BTreeSet::new();
                 erase(&ty).rigids_into(&mut rigids);
                 Ok(Scheme { tyvars: rigids.into_iter().collect(), ty })
@@ -516,8 +554,7 @@ impl<'e> Elaborator<'e> {
                 loop {
                     match ty {
                         Ty::Pi(b, body) => {
-                            let (guard, bd) =
-                                self.open_existential(&b, &body, Some(&mut cscope));
+                            let (guard, bd) = self.open_existential(&b, &body, Some(&mut cscope));
                             // The caller guarantees the guard; assume it.
                             self.push_hyp(guard);
                             ty = self.resolve_shallow(&bd);
@@ -613,9 +650,7 @@ impl<'e> Elaborator<'e> {
                 let mut t = self.unpack_sigmas(*dom);
                 for &k in &path.1 {
                     t = match self.resolve_shallow(&t) {
-                        Ty::Tuple(ts) if k < ts.len() => {
-                            self.unpack_sigmas(ts[k].clone())
-                        }
+                        Ty::Tuple(ts) if k < ts.len() => self.unpack_sigmas(ts[k].clone()),
                         _ => {
                             self.ctx.truncate(mark.0);
                             self.pending.truncate(mark.1);
@@ -761,9 +796,7 @@ impl<'e> Elaborator<'e> {
                     )),
                 }
             }
-            sast::Pat::Con(id, arg, _) => {
-                self.bind_con_pattern(id, arg.as_deref(), &ty, vals)
-            }
+            sast::Pat::Con(id, arg, _) => self.bind_con_pattern(id, arg.as_deref(), &ty, vals),
             sast::Pat::Anno(inner, _anno, _) => {
                 // The ML-level consistency of the annotation was verified by
                 // phase 1; bind the structure.
@@ -780,12 +813,8 @@ impl<'e> Elaborator<'e> {
     fn generalize_indices(&mut self, ty: &Ty, base: &str) -> Ty {
         match ty {
             Ty::App(name, tys, ixs) => {
-                let sorts = self
-                    .env
-                    .families
-                    .get(name)
-                    .map(|f| f.ix_sorts.clone())
-                    .unwrap_or_default();
+                let sorts =
+                    self.env.families.get(name).map(|f| f.ix_sorts.clone()).unwrap_or_default();
                 if ixs.is_empty() && sorts.is_empty() {
                     return ty.clone();
                 }
@@ -803,10 +832,7 @@ impl<'e> Elaborator<'e> {
                                 other => {
                                     self.push_uni(v.clone(), Sort::Int);
                                     if matches!(other, sast::Sort::Nat) {
-                                        self.push_hyp(Prop::le(
-                                            IExp::lit(0),
-                                            IExp::var(v.clone()),
-                                        ));
+                                        self.push_hyp(Prop::le(IExp::lit(0), IExp::var(v.clone())));
                                     }
                                     Ix::Int(IExp::var(v))
                                 }
@@ -888,11 +914,8 @@ impl<'e> Elaborator<'e> {
             }
             let mark = self.scope_begin();
             let id = sast::Ident::synth(con);
-            let arg = if self.env.cons[con].arg.is_some() {
-                Some(sast::Pat::Wild(span))
-            } else {
-                None
-            };
+            let arg =
+                if self.env.cons[con].arg.is_some() { Some(sast::Pat::Wild(span)) } else { None };
             // Assume the scrutinee *is* this constructor; its index
             // equations become hypotheses under which `false` must hold.
             let mut scratch = Vals::new();
@@ -910,9 +933,10 @@ impl<'e> Elaborator<'e> {
         scrut_ty: &Ty,
         vals: &mut Vals,
     ) -> Result<(), ElabError> {
-        let con = self.env.cons.get(&id.name).ok_or_else(|| {
-            ElabError::new(format!("unknown constructor `{}`", id.name), id.span)
-        })?;
+        let con =
+            self.env.cons.get(&id.name).ok_or_else(|| {
+                ElabError::new(format!("unknown constructor `{}`", id.name), id.span)
+            })?;
         let con = con.clone();
         let (dt_tyargs, dt_ixs) = match &self.resolve_shallow(scrut_ty) {
             Ty::App(name, tys, ixs) if *name == con.datatype => (tys.clone(), ixs.clone()),
@@ -980,10 +1004,9 @@ impl<'e> Elaborator<'e> {
         match (arg, arg_ty) {
             (Some(p), Some(at)) => self.bind_pattern(p, &at, vals),
             (None, None) => Ok(()),
-            (Some(_), None) => Err(ElabError::new(
-                format!("constructor `{}` takes no argument", id.name),
-                id.span,
-            )),
+            (Some(_), None) => {
+                Err(ElabError::new(format!("constructor `{}` takes no argument", id.name), id.span))
+            }
             (None, Some(_)) => Err(ElabError::new(
                 format!("constructor `{}` expects an argument", id.name),
                 id.span,
@@ -1035,6 +1058,7 @@ impl<'e> Elaborator<'e> {
         match e {
             sast::Expr::If(c, t, f, _) => {
                 let cond = self.synth_cond(c, vals, scope)?;
+                self.record_site(SiteRole::IfCond, c.span(), cond.clone());
                 let mark = self.scope_begin();
                 if let Some(p) = &cond {
                     self.push_hyp(p.clone());
@@ -1055,6 +1079,7 @@ impl<'e> Elaborator<'e> {
                     let mark = self.scope_begin();
                     let mut avals = vals.clone();
                     self.bind_pattern(p, &st, &mut avals)?;
+                    self.record_site(SiteRole::CaseArm { con: self.arm_con(p) }, p.span(), None);
                     self.check(body, &want, &avals, scope)?;
                     self.scope_end(mark);
                 }
@@ -1162,14 +1187,13 @@ impl<'e> Elaborator<'e> {
                 if es.is_empty() {
                     return Ok(Ty::unit());
                 }
-                let ts = es
-                    .iter()
-                    .map(|x| self.synth(x, vals, scope))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let ts =
+                    es.iter().map(|x| self.synth(x, vals, scope)).collect::<Result<Vec<_>, _>>()?;
                 Ok(Ty::Tuple(ts))
             }
             sast::Expr::If(c, t, f, _) => {
                 let cond = self.synth_cond(c, vals, scope)?;
+                self.record_site(SiteRole::IfCond, c.span(), cond.clone());
                 let mark = self.scope_begin();
                 if let Some(p) = &cond {
                     self.push_hyp(p.clone());
@@ -1202,6 +1226,7 @@ impl<'e> Elaborator<'e> {
                     let mark = self.scope_begin();
                     let mut avals = vals.clone();
                     self.bind_pattern(p, &st, &mut avals)?;
+                    self.record_site(SiteRole::CaseArm { con: self.arm_con(p) }, p.span(), None);
                     let bt = self.synth(body, &avals, scope)?;
                     let bt = self.zonk(&bt);
                     self.scope_end(mark);
@@ -1391,10 +1416,7 @@ impl<'e> Elaborator<'e> {
             }
         }
         let Ty::Arrow(dom, cod) = ty else {
-            return Err(ElabError::new(
-                format!("applied a non-function of type `{ty}`"),
-                span,
-            ));
+            return Err(ElabError::new(format!("applied a non-function of type `{ty}`"), span));
         };
         self.check(arg, &dom, vals, scope)?;
         let kind = self.guard_kind(callee);
@@ -1484,10 +1506,7 @@ impl<'e> Elaborator<'e> {
                 self.coerce(a2, a1, site)?;
                 self.coerce(b1, b2, site)
             }
-            (f, t) => Err(ElabError::new(
-                format!("cannot coerce `{f}` to `{t}`"),
-                site,
-            )),
+            (f, t) => Err(ElabError::new(format!("cannot coerce `{f}` to `{t}`"), site)),
         }
     }
 
@@ -1528,12 +1547,7 @@ impl<'e> Elaborator<'e> {
         }
         if from.is_empty() {
             // Source index unknown: introduce it universally.
-            let sorts = self
-                .env
-                .families
-                .get(fam)
-                .map(|f| f.ix_sorts.clone())
-                .unwrap_or_default();
+            let sorts = self.env.families.get(fam).map(|f| f.ix_sorts.clone()).unwrap_or_default();
             let mut fresh_from = Vec::with_capacity(to.len());
             for (k, ix) in to.iter().enumerate() {
                 match ix {
@@ -1613,10 +1627,7 @@ fn single_scrutinee_path(clauses: &[sast::Clause]) -> Option<PatPath> {
     // Every clause must scrutinise the same single path.
     candidates.retain(|path| {
         clauses.iter().all(|c| {
-            c.params
-                .iter()
-                .enumerate()
-                .all(|(k, p)| pattern_ok_for_path(p, k, path))
+            c.params.iter().enumerate().all(|(k, p)| pattern_ok_for_path(p, k, path))
                 && matches!(
                     pattern_at_path(&c.params, path),
                     Some(sast::Pat::Con(_, _, _) | sast::Pat::Var(_))

@@ -49,11 +49,7 @@ fn all_valid(results: &[(Obligation, GoalResult)]) -> bool {
 }
 
 fn failures(results: &[(Obligation, GoalResult)]) -> Vec<String> {
-    results
-        .iter()
-        .filter(|(_, r)| !r.is_valid())
-        .map(|(o, r)| format!("{o} -- {r:?}"))
-        .collect()
+    results.iter().filter(|(_, r)| !r.is_valid()).map(|(o, r)| format!("{o} -- {r:?}")).collect()
 }
 
 const DOTPROD: &str = r#"
@@ -83,10 +79,7 @@ fn dotprod_constraints_look_like_the_paper() {
     let text: Vec<String> = out.obligations.iter().map(|o| o.constraint.to_string()).collect();
     // At least one constraint universally quantifies and implies, as in
     // Figure 4 / §3.1.
-    assert!(
-        text.iter().any(|t| t.starts_with("forall") && t.contains("==>")),
-        "{text:#?}"
-    );
+    assert!(text.iter().any(|t| t.starts_with("forall") && t.contains("==>")), "{text:#?}");
 }
 
 const REVERSE: &str = r#"
@@ -157,10 +150,7 @@ fn bsearch_fully_verified() {
     let (out, results) = run(BSEARCH);
     assert!(all_valid(&results), "failures:\n{}", failures(&results).join("\n"));
     // Exactly one `sub` call site.
-    let sites: BTreeSet<Span> = out
-        .check_obligations()
-        .map(|o| o.site)
-        .collect();
+    let sites: BTreeSet<Span> = out.check_obligations().map(|o| o.site).collect();
     assert_eq!(sites.len(), 1, "one sub call in bsearch");
 }
 
@@ -171,10 +161,8 @@ fun bad(v) = sub(v, length v)
 where bad <| {n:nat} int array(n) -> int
 "#;
     let (_, results) = run(src);
-    let bound_failures: Vec<_> = results
-        .iter()
-        .filter(|(o, r)| o.kind.is_check() && !r.is_valid())
-        .collect();
+    let bound_failures: Vec<_> =
+        results.iter().filter(|(o, r)| o.kind.is_check() && !r.is_valid()).collect();
     assert!(!bound_failures.is_empty(), "sub(v, length v) must not be proven safe");
 }
 
@@ -320,9 +308,7 @@ fn div_guard_emitted_and_proven_for_constant() {
 fn div_guard_unproven_for_unknown() {
     let src = "fun ratio(x, y) = x div y";
     let (_, results) = run(src);
-    let div_failed = results
-        .iter()
-        .any(|(o, r)| o.kind == ObKind::DivGuard && !r.is_valid());
+    let div_failed = results.iter().any(|(o, r)| o.kind == ObKind::DivGuard && !r.is_valid());
     assert!(div_failed, "dividing by an unknown integer cannot be proven safe");
 }
 
@@ -343,4 +329,3 @@ fn top_level_schemes_recorded() {
     let s = out.top_level["dotprod"].to_string();
     assert!(s.contains("array"), "{s}");
 }
-

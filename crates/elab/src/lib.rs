@@ -33,7 +33,9 @@
 pub mod elab;
 pub mod obligation;
 pub mod report;
+pub mod site;
 
 pub use elab::{elaborate, ElabError, ElabOutput, Elaborator};
 pub use obligation::{ObKind, Obligation};
 pub use report::{explain, sequent_view, SequentView};
+pub use site::{SiteContext, SiteRole};

@@ -1,7 +1,7 @@
 //! Proof obligations produced by elaboration.
 
-use dml_syntax::Span;
 use dml_index::Constraint;
+use dml_syntax::Span;
 use dml_types::env::CheckKind;
 use std::fmt;
 

@@ -7,8 +7,8 @@
 //! available, and why the solver gave up.
 
 use crate::obligation::{ObKind, Obligation};
-use dml_syntax::Diagnostic;
 use dml_index::{Constraint, Prop};
+use dml_syntax::{Diagnostic, Severity};
 
 /// A sequent-like view of a constraint: the innermost conclusions with the
 /// hypotheses in scope (quantifier structure flattened for display).
@@ -63,20 +63,35 @@ pub fn sequent_view(c: &Constraint) -> SequentView {
 
 /// Renders one unproven obligation against its source, with a caret
 /// snippet, the proof goal, and the available hypotheses.
+///
+/// Severity tracks the consequence of the failure: an unproven `TypeEq` or
+/// `DivGuard` is a genuine dependent type error (`error`); an unproven
+/// bound check merely stays at run time, and an unproven exhaustiveness
+/// obligation is a potential match failure — both `warning`s.
 pub fn explain(ob: &Obligation, reason: &str, src: &str) -> String {
     let view = sequent_view(&ob.constraint);
-    let headline = match &ob.kind {
-        ObKind::Bound { prim, .. } => format!(
-            "cannot prove this `{prim}` in bounds — the check stays at run time"
+    let (severity, headline) = match &ob.kind {
+        ObKind::Bound { prim, .. } => (
+            Severity::Warning,
+            format!("cannot prove this `{prim}` in bounds — the check stays at run time"),
         ),
-        ObKind::DivGuard => "cannot prove the divisor non-zero".to_string(),
-        ObKind::Guard => "cannot prove this guard".to_string(),
-        ObKind::TypeEq => "cannot prove this index equation (dependent type error)".to_string(),
-        ObKind::Unreachable { con } => format!(
-            "match may not be exhaustive: cannot prove constructor `{con}` impossible here"
+        ObKind::DivGuard => (Severity::Error, "cannot prove the divisor non-zero".to_string()),
+        ObKind::Guard => (Severity::Warning, "cannot prove this guard".to_string()),
+        ObKind::TypeEq => {
+            (Severity::Error, "cannot prove this index equation (dependent type error)".to_string())
+        }
+        ObKind::Unreachable { con } => (
+            Severity::Warning,
+            format!(
+                "match may not be exhaustive: cannot prove constructor `{con}` impossible here"
+            ),
         ),
     };
-    let mut out = Diagnostic::warning(headline, ob.site)
+    let diag = match severity {
+        Severity::Error => Diagnostic::error(headline, ob.site),
+        _ => Diagnostic::warning(headline, ob.site),
+    };
+    let mut out = diag
         .with_note(format!("in function `{}`", ob.in_fun))
         .with_note(format!("must prove: {}", view.conclusions.join("  and  ")))
         .render(src);
@@ -151,12 +166,33 @@ mod tests {
     }
 
     #[test]
+    fn explain_severity_tracks_kind() {
+        let src = "fun f(v) = sub(v, 9)";
+        let mut gen = VarGen::new();
+        let (c, _) = sample_constraint(&mut gen);
+        let ob = |kind: ObKind| Obligation {
+            kind,
+            site: Span::new(11, 20),
+            constraint: c.clone(),
+            in_fun: "f".into(),
+        };
+        // Type errors are errors...
+        assert!(explain(&ob(ObKind::TypeEq), "r", src).starts_with("error:"));
+        assert!(explain(&ob(ObKind::DivGuard), "r", src).starts_with("error:"));
+        // ...but an unproven check or exhaustiveness obligation only keeps
+        // its run-time behaviour.
+        let bound = ObKind::Bound { prim: "sub".into(), check: CheckKind::ArrayBound };
+        assert!(explain(&ob(bound), "r", src).starts_with("warning:"));
+        let unre = ObKind::Unreachable { con: "nil".into() };
+        assert!(explain(&ob(unre), "r", src).starts_with("warning:"));
+    }
+
+    #[test]
     fn explain_truncates_long_hypothesis_lists() {
         let src = "x";
         let _gen = VarGen::new();
-        let hyps = (0..20).fold(Prop::True, |acc, k| {
-            acc.and(Prop::le(IExp::lit(k), IExp::lit(k + 1)))
-        });
+        let hyps =
+            (0..20).fold(Prop::True, |acc, k| acc.and(Prop::le(IExp::lit(k), IExp::lit(k + 1))));
         let c = Constraint::Implies(hyps, Box::new(Constraint::Prop(Prop::False)));
         let ob = Obligation {
             kind: ObKind::Guard,

@@ -1,0 +1,54 @@
+//! Per-site context snapshots for downstream semantic analysis.
+//!
+//! While elaborating, the elaborator records the logical context it had in
+//! scope at every branching point (`if` conditions and `case` arms). The
+//! snapshots do not participate in constraint generation at all — they are
+//! a read-only trace consumed by the `dml-analysis` lints, which re-play
+//! the hypotheses through the solver's entailment entry point to ask
+//! questions the type checker never needs to (e.g. "is this condition
+//! forced true?").
+
+use dml_index::{Prop, Sort, Var};
+use dml_syntax::Span;
+
+/// What program point a [`SiteContext`] describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteRole {
+    /// The condition of an `if` (or a branch of `andalso`/`orelse`
+    /// elaborated as one).
+    IfCond,
+    /// A `case` arm, snapshotted after its pattern's index equations were
+    /// assumed.
+    CaseArm {
+        /// The arm's constructor, when the pattern names one.
+        con: Option<String>,
+    },
+}
+
+/// A snapshot of the elaborator's logical context at a program point.
+///
+/// Existential (instantiation) variables are *strengthened to universals*
+/// in `vars`, exactly as the solver's goal splitting does for residual
+/// existentials: an entailment query under the strengthened context proves
+/// the original. The conservativity goes the right way for lints — a lint
+/// fires only on `Valid` verdicts, so strengthening can suppress a finding
+/// but never fabricate one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteContext {
+    /// What kind of program point this is.
+    pub role: SiteRole,
+    /// The source span of the condition / arm pattern.
+    pub span: Span,
+    /// The enclosing function, for reporting.
+    pub in_fun: String,
+    /// Index variables in scope, with their sorts.
+    pub vars: Vec<(Var, Sort)>,
+    /// Hypotheses in scope (conjunctively). Sort guards (e.g. `0 ≤ n` for
+    /// `n:nat`) are included — the solver treats every variable as an
+    /// unconstrained integer/boolean otherwise.
+    pub hyps: Vec<Prop>,
+    /// For [`SiteRole::IfCond`]: the condition's singleton-boolean
+    /// refinement `p` when the condition has type `bool(p)`; `None` for
+    /// unrefined conditions (nothing to analyse).
+    pub cond: Option<Prop>,
+}

@@ -57,9 +57,7 @@ impl EvalError {
     /// test harness guard).
     pub fn exception_name(&self) -> Option<&str> {
         match self {
-            EvalError::BoundsViolation { .. } | EvalError::TagViolation { .. } => {
-                Some("Subscript")
-            }
+            EvalError::BoundsViolation { .. } | EvalError::TagViolation { .. } => Some("Subscript"),
             EvalError::DivisionByZero(_) => Some("Div"),
             EvalError::NegativeArraySize(_, _) => Some("Size"),
             EvalError::MatchFailure(_) => Some("Match"),

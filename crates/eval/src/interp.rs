@@ -253,7 +253,12 @@ impl Machine {
         self.clause_cache.entry(key).or_insert_with(|| Rc::new(build())).clone()
     }
 
-    fn alloc_closure(&mut self, name: String, clauses: Rc<Vec<sast::Clause>>, env: Env) -> ClosureId {
+    fn alloc_closure(
+        &mut self,
+        name: String,
+        clauses: Rc<Vec<sast::Clause>>,
+        env: Env,
+    ) -> ClosureId {
         let id = self.closures.len() as ClosureId;
         self.closures.push(ClosureData { name, clauses, env });
         id
@@ -335,16 +340,13 @@ impl Machine {
                 let vs = es.iter().map(|x| self.eval(x, env)).collect::<Result<Vec<_>, _>>()?;
                 Ok(Value::Tuple(Rc::new(vs)))
             }
-            sast::Expr::If(c, t, f, span) => {
-                match self.eval(c, env)? {
-                    Value::Bool(true) => self.eval(t, env),
-                    Value::Bool(false) => self.eval(f, env),
-                    other => Err(EvalError::Type(
-                        format!("if condition evaluated to `{other}`"),
-                        *span,
-                    )),
+            sast::Expr::If(c, t, f, span) => match self.eval(c, env)? {
+                Value::Bool(true) => self.eval(t, env),
+                Value::Bool(false) => self.eval(f, env),
+                other => {
+                    Err(EvalError::Type(format!("if condition evaluated to `{other}`"), *span))
                 }
-            }
+            },
             sast::Expr::Case(scrut, arms, span) => {
                 let v = self.eval(scrut, env)?;
                 let cons = self.cons.clone();
@@ -393,9 +395,7 @@ impl Machine {
                 Value::Bool(false) => self.eval(b, env),
                 other => Err(EvalError::Type(format!("orelse on `{other}`"), *span)),
             },
-            sast::Expr::Raise(name, span) => {
-                Err(EvalError::Raised(name.name.clone(), *span))
-            }
+            sast::Expr::Raise(name, span) => Err(EvalError::Raised(name.name.clone(), *span)),
             sast::Expr::Handle(body, arms, _) => match self.eval(body, env) {
                 Ok(v) => Ok(v),
                 Err(e) => {

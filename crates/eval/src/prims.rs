@@ -11,12 +11,34 @@ use crate::interp::{Machine, Mode};
 use crate::value::Value;
 use dml_syntax::Span;
 
-
 /// All primitive names.
 pub const PRIM_NAMES: &[&str] = &[
-    "+", "-", "*", "div", "mod", "neg", "iabs", "imin", "imax", "=", "<>", "<", "<=", ">",
-    ">=", "not", "length", "sub", "update", "array", "subCK", "updateCK", "llength", "nth",
-    "nthCK", "print_int",
+    "+",
+    "-",
+    "*",
+    "div",
+    "mod",
+    "neg",
+    "iabs",
+    "imin",
+    "imax",
+    "=",
+    "<>",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "not",
+    "length",
+    "sub",
+    "update",
+    "array",
+    "subCK",
+    "updateCK",
+    "llength",
+    "nth",
+    "nthCK",
+    "print_int",
 ];
 
 /// `true` if `name` names a primitive.
@@ -68,9 +90,8 @@ fn run_check(
     always_check: bool,
     is_array: bool,
 ) -> Result<(), EvalError> {
-    let skip = !always_check
-        && m.config.mode == Mode::Eliminated
-        && m.config.proven.contains(&site);
+    let skip =
+        !always_check && m.config.mode == Mode::Eliminated && m.config.proven.contains(&site);
     if skip {
         if is_array {
             m.counters.array_checks_eliminated += 1;
@@ -262,13 +283,11 @@ pub fn apply(m: &mut Machine, name: &str, arg: Value, span: Span) -> Result<Valu
                 // One tag check per access, as in the paper's list-access
                 // benchmark; the length is only computed when checking.
                 let always = name == "nthCK";
-                let checking = always
-                    || m.config.mode == Mode::Checked
-                    || !m.config.proven.contains(&span);
+                let checking =
+                    always || m.config.mode == Mode::Checked || !m.config.proven.contains(&span);
                 let len = if checking || m.config.validate {
-                    list_len(&vs[0]).ok_or_else(|| {
-                        EvalError::Type("nth on a non-list".into(), span)
-                    })?
+                    list_len(&vs[0])
+                        .ok_or_else(|| EvalError::Type("nth on a non-list".into(), span))?
                 } else {
                     usize::MAX
                 };
@@ -371,12 +390,14 @@ mod tests {
         let mut m = empty_machine();
         let s = Span::new(1, 5);
         let arr = apply(&mut m, "array", pair(Value::Int(4), Value::Int(0)), s).unwrap();
-        assert_eq!(
-            apply(&mut m, "length", arr.clone(), s).unwrap().as_int(),
-            Some(4)
-        );
-        apply(&mut m, "update", Value::Tuple(Rc::new(vec![arr.clone(), Value::Int(2), Value::Int(9)])), s)
-            .unwrap();
+        assert_eq!(apply(&mut m, "length", arr.clone(), s).unwrap().as_int(), Some(4));
+        apply(
+            &mut m,
+            "update",
+            Value::Tuple(Rc::new(vec![arr.clone(), Value::Int(2), Value::Int(9)])),
+            s,
+        )
+        .unwrap();
         let v = apply(&mut m, "sub", pair(arr.clone(), Value::Int(2)), s).unwrap();
         assert_eq!(v.as_int(), Some(9));
         assert_eq!(m.counters.array_checks_executed, 2);

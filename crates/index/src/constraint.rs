@@ -219,10 +219,8 @@ mod tests {
         let mut g = VarGen::new();
         let n = g.fresh("n");
         let m = g.fresh("m");
-        let body = Constraint::Prop(Prop::eq(
-            IExp::var(n.clone()) + IExp::var(m.clone()),
-            IExp::lit(0),
-        ));
+        let body =
+            Constraint::Prop(Prop::eq(IExp::var(n.clone()) + IExp::var(m.clone()), IExp::lit(0)));
         let c = Constraint::Forall(n.clone(), Sort::Int, Box::new(body));
         let fv = c.free_vars();
         assert!(fv.contains(&m));

@@ -223,11 +223,8 @@ impl Linear {
             None
         };
         for (v, c) in self.terms() {
-            let term = if c == 1 {
-                IExp::Var(v.clone())
-            } else {
-                IExp::Lit(c) * IExp::Var(v.clone())
-            };
+            let term =
+                if c == 1 { IExp::Var(v.clone()) } else { IExp::Lit(c) * IExp::Var(v.clone()) };
             acc = Some(match acc {
                 None => term,
                 Some(a) => a + term,

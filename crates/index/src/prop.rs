@@ -368,9 +368,8 @@ mod tests {
         let a = IExp::var(g.fresh("a"));
         let b = IExp::var(g.fresh("b"));
         // not (a < b && a = b)  →  a >= b || a <> b
-        let p = Prop::Not(Box::new(
-            Prop::lt(a.clone(), b.clone()).and(Prop::eq(a.clone(), b.clone())),
-        ));
+        let p =
+            Prop::Not(Box::new(Prop::lt(a.clone(), b.clone()).and(Prop::eq(a.clone(), b.clone()))));
         let n = p.nnf();
         match n {
             Prop::Or(l, r) => {

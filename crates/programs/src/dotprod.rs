@@ -18,11 +18,8 @@ where dotprod <| {p:nat} {q:nat | p <= q} int array(p) * int array(q) -> int
 "#;
 
 /// Program metadata.
-pub const PROGRAM: BenchProgram = BenchProgram {
-    name: "dotprod",
-    source: SOURCE,
-    workload: "dot product of two random vectors",
-};
+pub const PROGRAM: BenchProgram =
+    BenchProgram { name: "dotprod", source: SOURCE, workload: "dot product of two random vectors" };
 
 /// Builds the two input vectors.
 pub fn workload(n: usize, seed: u64) -> (Vec<i64>, Vec<i64>) {

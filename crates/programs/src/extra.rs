@@ -147,10 +147,26 @@ pub fn all() -> Vec<BenchProgram> {
             source: INSERTION_SORT,
             workload: "sort a list, preserving length",
         },
-        BenchProgram { name: "array max", source: ARRAY_MAX, workload: "maximum of a non-empty array" },
-        BenchProgram { name: "array reverse", source: ARRAY_REVERSE, workload: "in-place array reversal" },
-        BenchProgram { name: "row sums", source: ROW_SUMS, workload: "row sums of a square matrix" },
-        BenchProgram { name: "lower bound", source: LOWER_BOUND, workload: "insertion-point search" },
+        BenchProgram {
+            name: "array max",
+            source: ARRAY_MAX,
+            workload: "maximum of a non-empty array",
+        },
+        BenchProgram {
+            name: "array reverse",
+            source: ARRAY_REVERSE,
+            workload: "in-place array reversal",
+        },
+        BenchProgram {
+            name: "row sums",
+            source: ROW_SUMS,
+            workload: "row sums of a square matrix",
+        },
+        BenchProgram {
+            name: "lower bound",
+            source: LOWER_BOUND,
+            workload: "insertion-point search",
+        },
         BenchProgram { name: "heap sort", source: HEAPSORT, workload: "in-place heap sort" },
     ]
 }
@@ -196,8 +212,7 @@ mod tests {
         let mut m = machine(INSERTION_SORT);
         let l = Value::list([5, 3, 9, 1, 3].map(Value::Int));
         let r = m.call("isort", vec![l]).unwrap();
-        let out: Vec<i64> =
-            r.list_to_vec().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
+        let out: Vec<i64> = r.list_to_vec().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
         assert_eq!(out, vec![1, 3, 3, 5, 9]);
     }
 

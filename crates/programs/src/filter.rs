@@ -13,11 +13,8 @@ where filter <| {m:nat} ('a -> bool) -> 'a list(m) -> [n:nat | n <= m] 'a list(n
 "#;
 
 /// Program metadata.
-pub const PROGRAM: BenchProgram = BenchProgram {
-    name: "filter",
-    source: SOURCE,
-    workload: "filtering a list with a predicate",
-};
+pub const PROGRAM: BenchProgram =
+    BenchProgram { name: "filter", source: SOURCE, workload: "filtering a list with a predicate" };
 
 /// Builds the input list `[0..n)`.
 pub fn workload(n: usize) -> Value {
@@ -35,8 +32,7 @@ mod tests {
         let ast = dml_syntax::parse_program(&src).unwrap();
         let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
         let r = m.call("evens", vec![workload(10)]).unwrap();
-        let out: Vec<i64> =
-            r.list_to_vec().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
+        let out: Vec<i64> = r.list_to_vec().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
         assert_eq!(out, vec![0, 2, 4, 6, 8]);
     }
 }

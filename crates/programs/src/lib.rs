@@ -18,9 +18,9 @@
 
 pub mod bcopy;
 pub mod bsearch;
-pub mod extra;
 pub mod bubblesort;
 pub mod dotprod;
+pub mod extra;
 pub mod filter;
 pub mod hanoi;
 pub mod kmp;
@@ -51,7 +51,8 @@ impl BenchProgram {
     /// paper's "type annotations" column analogue).
     pub fn annotation_count(&self) -> usize {
         let src = self.source;
-        src.matches("where ").count() + src.matches("assert ").count()
+        src.matches("where ").count()
+            + src.matches("assert ").count()
             + src.matches("typeref ").count()
     }
 
@@ -69,8 +70,11 @@ impl BenchProgram {
                 count += 1;
                 // An annotation continues while lines end in a connective.
                 let end = line.trim_end();
-                if !(end.ends_with("->") || end.ends_with("&&") || end.ends_with('*')
-                    || end.ends_with('|') || end.ends_with('}'))
+                if !(end.ends_with("->")
+                    || end.ends_with("&&")
+                    || end.ends_with('*')
+                    || end.ends_with('|')
+                    || end.ends_with('}'))
                 {
                     in_anno = false;
                 }

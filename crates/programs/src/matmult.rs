@@ -52,10 +52,7 @@ pub fn matrix_value(m: &[Vec<i64>]) -> Value {
 pub fn args(a: &[Vec<i64>], b: &[Vec<i64>]) -> (Value, Value) {
     let n = a.len();
     let c = matrix_value(&vec![vec![0; n]; n]);
-    (
-        Value::Tuple(Rc::new(vec![matrix_value(a), matrix_value(b), c.clone()])),
-        c,
-    )
+    (Value::Tuple(Rc::new(vec![matrix_value(a), matrix_value(b), c.clone()])), c)
 }
 
 /// Extracts a matrix value back to vectors.

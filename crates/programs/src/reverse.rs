@@ -34,8 +34,7 @@ mod tests {
         let ast = dml_syntax::parse_program(SOURCE).unwrap();
         let mut m = Machine::load(&ast, CheckConfig::checked()).unwrap();
         let r = m.call("reverse", vec![workload(5)]).unwrap();
-        let out: Vec<i64> =
-            r.list_to_vec().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
+        let out: Vec<i64> = r.list_to_vec().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
         assert_eq!(out, vec![4, 3, 2, 1, 0]);
     }
 

@@ -107,8 +107,9 @@ fn push_cmp(sys: &mut System, op: Cmp, la: Linear, lb: Linear) {
 /// must be in NNF; output is NNF without `Ne` atoms.
 pub fn expand_ne(p: &Prop) -> Prop {
     match p {
-        Prop::Cmp(Cmp::Ne, a, b) => Prop::lt(a.clone(), b.clone())
-            .or(Prop::cmp(Cmp::Gt, a.clone(), b.clone())),
+        Prop::Cmp(Cmp::Ne, a, b) => {
+            Prop::lt(a.clone(), b.clone()).or(Prop::cmp(Cmp::Gt, a.clone(), b.clone()))
+        }
         Prop::True | Prop::False | Prop::BVar(_) | Prop::Cmp(_, _, _) => p.clone(),
         Prop::Not(q) => match q.as_ref() {
             // NNF guarantees negation only wraps boolean variables.

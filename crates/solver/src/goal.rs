@@ -167,6 +167,50 @@ impl Solver {
         Outcome { results, stats }
     }
 
+    /// Decides an entailment `ctx; hyps ⊢ concl` directly, without going
+    /// through constraint extraction.
+    ///
+    /// This is the entry point used by the semantic lints (`dml-analysis`):
+    /// they re-play the hypotheses the elaborator had in scope at a program
+    /// point and ask whether a candidate proposition is forced by them. Any
+    /// sort guards (e.g. `0 ≤ n` for `n:nat`) must already be present in
+    /// `hyps` — the context only names the universally quantified
+    /// variables.
+    ///
+    /// ```
+    /// use dml_index::{IExp, Prop, Sort, VarGen};
+    /// use dml_solver::{Solver, SolverOptions};
+    ///
+    /// let mut gen = VarGen::new();
+    /// let n = gen.fresh("n");
+    /// let solver = Solver::new(SolverOptions::default());
+    /// // n:int; 0 <= n, n < 5 ⊢ n <= 10
+    /// let r = solver.entails(
+    ///     &[(n.clone(), Sort::Int)],
+    ///     &[Prop::le(IExp::lit(0), IExp::var(n.clone())),
+    ///       Prop::lt(IExp::var(n.clone()), IExp::lit(5))],
+    ///     &Prop::le(IExp::var(n), IExp::lit(10)),
+    ///     &mut gen,
+    /// );
+    /// assert!(r.is_valid());
+    /// ```
+    pub fn entails(
+        &self,
+        ctx: &[(Var, Sort)],
+        hyps: &[Prop],
+        concl: &Prop,
+        gen: &mut VarGen,
+    ) -> GoalResult {
+        let goal = Goal {
+            ctx: ctx.to_vec(),
+            hyps: hyps.to_vec(),
+            concl: concl.clone(),
+            residual_existential: false,
+        };
+        let mut stats = SolverStats::default();
+        self.decide(&goal, gen, &mut stats)
+    }
+
     /// Decides a single goal.
     pub fn decide(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> GoalResult {
         if goal.concl == Prop::True {
@@ -211,9 +255,7 @@ impl Solver {
         let formula = expand_ne(&lowered.and(sides).nnf());
         let systems = match to_systems(&formula, self.opts.max_disjuncts) {
             Ok(s) => s,
-            Err(DnfError::Overflow(_)) => {
-                return GoalResult::NotProven(NotProvenReason::Blowup)
-            }
+            Err(DnfError::Overflow(_)) => return GoalResult::NotProven(NotProvenReason::Blowup),
             Err(DnfError::NonLinear(nl)) => {
                 return GoalResult::NotProven(NotProvenReason::NonLinear(nl.expr))
             }
@@ -234,11 +276,9 @@ impl Solver {
                         stats.disjuncts_refuted += 1;
                         continue;
                     }
-                    return GoalResult::NotProven(NotProvenReason::PossiblyFalsifiable)
+                    return GoalResult::NotProven(NotProvenReason::PossiblyFalsifiable);
                 }
-                RefuteResult::Overflow => {
-                    return GoalResult::NotProven(NotProvenReason::Blowup)
-                }
+                RefuteResult::Overflow => return GoalResult::NotProven(NotProvenReason::Blowup),
             }
         }
         GoalResult::Valid
@@ -516,8 +556,8 @@ mod tests {
             .and(Prop::le(IExp::lit(0), IExp::var(l.clone())))
             .and(Prop::le(IExp::var(l.clone()), IExp::var(size.clone())))
             .and(Prop::cmp(Cmp::Ge, IExp::var(h.clone()), IExp::var(l.clone())));
-        let mid = IExp::var(l.clone())
-            + (IExp::var(h.clone()) - IExp::var(l.clone())).div(IExp::lit(2));
+        let mid =
+            IExp::var(l.clone()) + (IExp::var(h.clone()) - IExp::var(l.clone())).div(IExp::lit(2));
         let concl = Prop::le(mid.clone() + IExp::lit(1), IExp::var(size.clone()));
         let c = Constraint::Forall(
             h,
@@ -547,8 +587,8 @@ mod tests {
             .and(Prop::le(IExp::var(h.clone()) + IExp::lit(1), IExp::var(size.clone())))
             .and(Prop::le(IExp::lit(0), IExp::var(l.clone())))
             .and(Prop::cmp(Cmp::Ge, IExp::var(h.clone()), IExp::var(l.clone())));
-        let mid = IExp::var(l.clone())
-            + (IExp::var(h.clone()) - IExp::var(l.clone())).div(IExp::lit(2));
+        let mid =
+            IExp::var(l.clone()) + (IExp::var(h.clone()) - IExp::var(l.clone())).div(IExp::lit(2));
         let c = Constraint::Forall(
             h,
             Sort::Int,
@@ -645,9 +685,8 @@ mod tests {
                 e.clone(),
                 Sort::Int,
                 Box::new(Constraint::Prop(
-                    Prop::eq(IExp::var(e.clone()), IExp::var(m.clone()) + IExp::lit(1)).and(
-                        Prop::le(IExp::var(e), IExp::var(m) + IExp::lit(2)),
-                    ),
+                    Prop::eq(IExp::var(e.clone()), IExp::var(m.clone()) + IExp::lit(1))
+                        .and(Prop::le(IExp::var(e), IExp::var(m) + IExp::lit(2))),
                 )),
             )),
         );
@@ -778,7 +817,7 @@ mod tests {
     /// The gray-region goal from Pugh's paper is only provable with the
     /// Omega fallback: ∀x,y. ¬(27 ≤ 11x+13y ≤ 45 ∧ −10 ≤ 7x−9y ≤ 4).
     #[test]
-    fn omega_fallback_proves_gray_region_goals(){
+    fn omega_fallback_proves_gray_region_goals() {
         let mut g = VarGen::new();
         let x = g.fresh("x");
         let y = g.fresh("y");
@@ -802,6 +841,42 @@ mod tests {
         let mut with_omega =
             Solver::new(SolverOptions { omega_fallback: true, ..SolverOptions::default() });
         assert!(with_omega.prove(&c, &mut g).all_valid(), "the Omega fallback decides it");
+    }
+
+    /// `entails` is hypothesis-sensitive: dropping the guard that makes the
+    /// conclusion valid flips the verdict. (This is the contract the
+    /// dead-branch lint relies on.)
+    #[test]
+    fn entailment_depends_on_hypotheses() {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let n = g.fresh("n");
+        let ctx = [(i.clone(), Sort::Int), (n.clone(), Sort::Int)];
+        let hyps = [
+            Prop::le(IExp::lit(0), IExp::var(i.clone())),
+            Prop::lt(IExp::var(i.clone()), IExp::var(n.clone())),
+        ];
+        let concl = Prop::lt(IExp::var(i.clone()), IExp::var(n.clone()) + IExp::lit(1));
+        let s = solver();
+        assert!(s.entails(&ctx, &hyps, &concl, &mut g).is_valid());
+        // Without `i < n` the conclusion is falsifiable.
+        assert!(!s.entails(&ctx, &hyps[..1], &concl, &mut g).is_valid());
+    }
+
+    /// `entails` can prove `⊢ false` from contradictory hypotheses — the
+    /// unprovable-annotation lint's query.
+    #[test]
+    fn entailment_refutes_contradictory_hypotheses() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let ctx = [(n.clone(), Sort::Int)];
+        let hyps = [
+            Prop::lt(IExp::var(n.clone()), IExp::lit(0)),
+            Prop::le(IExp::lit(0), IExp::var(n.clone())),
+        ];
+        let s = solver();
+        assert!(s.entails(&ctx, &hyps, &Prop::False, &mut g).is_valid());
+        assert!(!s.entails(&ctx, &hyps[..1], &Prop::False, &mut g).is_valid());
     }
 
     /// The paper's modular-arithmetic example: tightening is required to

@@ -129,11 +129,12 @@ impl<'g> Lowering<'g> {
                 let la = self.lower(a)?;
                 let s = Linear::var(self.fresh("sgn"));
                 // (a ≥ 1 ∧ s = 1) ∨ (a = 0 ∧ s = 0) ∨ (a ≤ −1 ∧ s = −1)
-                let pos = Prop::le(IExp::lit(1), la.to_iexp()).and(Prop::eq(s.to_iexp(), IExp::lit(1)));
+                let pos =
+                    Prop::le(IExp::lit(1), la.to_iexp()).and(Prop::eq(s.to_iexp(), IExp::lit(1)));
                 let zero =
                     Prop::eq(la.to_iexp(), IExp::lit(0)).and(Prop::eq(s.to_iexp(), IExp::lit(0)));
-                let neg = Prop::le(la.to_iexp(), IExp::lit(-1))
-                    .and(Prop::eq(s.to_iexp(), IExp::lit(-1)));
+                let neg =
+                    Prop::le(la.to_iexp(), IExp::lit(-1)).and(Prop::eq(s.to_iexp(), IExp::lit(-1)));
                 self.sides.push(pos.or(zero).or(neg));
                 s
             }

@@ -218,17 +218,12 @@ fn solve(
             .cloned()
             .expect("non-empty");
 
-        let uppers: Vec<Linear> =
-            work.iter().filter(|l| l.coeff(&target) > 0).cloned().collect();
-        let lowers: Vec<Linear> =
-            work.iter().filter(|l| l.coeff(&target) < 0).cloned().collect();
-        let rest: Vec<Linear> =
-            work.iter().filter(|l| l.coeff(&target) == 0).cloned().collect();
+        let uppers: Vec<Linear> = work.iter().filter(|l| l.coeff(&target) > 0).cloned().collect();
+        let lowers: Vec<Linear> = work.iter().filter(|l| l.coeff(&target) < 0).cloned().collect();
+        let rest: Vec<Linear> = work.iter().filter(|l| l.coeff(&target) == 0).cloned().collect();
 
         // Exact elimination when every pairing has a unit coefficient.
-        let all_unit = uppers
-            .iter()
-            .all(|u| u.coeff(&target) == 1)
+        let all_unit = uppers.iter().all(|u| u.coeff(&target) == 1)
             || lowers.iter().all(|l| l.coeff(&target) == -1);
         if all_unit {
             let mut next = rest;

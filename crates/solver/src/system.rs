@@ -12,7 +12,6 @@
 //! lets the solver discharge the `div`-heavy constraints of `bcopy` and
 //! `bsearch`.
 
-
 use dml_index::{Linear, Var};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -231,7 +230,7 @@ impl System {
                     }
                     let a = up.linear().coeff(&target); // a > 0
                     let b = -lo.linear().coeff(&target); // b > 0
-                    // b·up + a·lo eliminates `target`.
+                                                         // b·up + a·lo eliminates `target`.
                     let combined = up.linear().scale(b).add(&lo.linear().scale(a));
                     debug_assert_eq!(combined.coeff(&target), 0);
                     let mut ineq = Ineq::le_zero(combined);
@@ -388,8 +387,7 @@ mod tests {
         s.push(Ineq::le(lv(&x).scale(2), k(1)));
         let with = s.refute(&FourierOptions::default()).0;
         assert_eq!(with, RefuteResult::Refuted);
-        let without =
-            s.refute(&FourierOptions { tighten: false, ..FourierOptions::default() }).0;
+        let without = s.refute(&FourierOptions { tighten: false, ..FourierOptions::default() }).0;
         assert_eq!(without, RefuteResult::PossiblySat);
     }
 

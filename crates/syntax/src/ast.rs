@@ -481,7 +481,11 @@ mod tests {
 
     #[test]
     fn expr_call_builds_tuple_application() {
-        let e = Expr::call("sub", vec![Expr::Int(1, Span::default()), Expr::Int(2, Span::default())], Span::default());
+        let e = Expr::call(
+            "sub",
+            vec![Expr::Int(1, Span::default()), Expr::Int(2, Span::default())],
+            Span::default(),
+        );
         match e {
             Expr::App(f, arg, _) => {
                 assert!(matches!(*f, Expr::Var(ref i) if i.name == "sub"));

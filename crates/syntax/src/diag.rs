@@ -67,6 +67,9 @@ impl fmt::Display for Severity {
 pub struct Diagnostic {
     /// How severe the diagnostic is.
     pub severity: Severity,
+    /// Stable machine-readable code (e.g. a lint code like `DML001`), if
+    /// the producer assigns one.
+    pub code: Option<String>,
     /// The main message.
     pub message: String,
     /// The primary span.
@@ -76,19 +79,29 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
+    fn new(severity: Severity, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity, code: None, message: message.into(), span, notes: Vec::new() }
+    }
+
     /// An error-severity diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+        Diagnostic::new(Severity::Error, message, span)
     }
 
     /// A warning-severity diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span, notes: Vec::new() }
+        Diagnostic::new(Severity::Warning, message, span)
     }
 
     /// A note-severity diagnostic.
     pub fn note(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Note, message: message.into(), span, notes: Vec::new() }
+        Diagnostic::new(Severity::Note, message, span)
+    }
+
+    /// Attaches a stable code; rendered as `severity[CODE]: ...`.
+    pub fn with_code(mut self, code: impl Into<String>) -> Self {
+        self.code = Some(code.into());
+        self
     }
 
     /// Appends an auxiliary note line.
@@ -100,7 +113,8 @@ impl Diagnostic {
     /// Renders the diagnostic against `src` with a single-line caret snippet.
     pub fn render(&self, src: &str) -> String {
         let lc = line_col(src, self.span.start);
-        let mut out = format!("{}: {} (at {})\n", self.severity, self.message, lc);
+        let code = self.code.as_ref().map(|c| format!("[{c}]")).unwrap_or_default();
+        let mut out = format!("{}{}: {} (at {})\n", self.severity, code, self.message, lc);
         // Find the line containing the span start.
         let line_start = src[..(self.span.start as usize).min(src.len())]
             .rfind('\n')
@@ -159,5 +173,13 @@ mod tests {
     fn notes_are_rendered() {
         let d = Diagnostic::note("n", Span::point(0)).with_note("extra context");
         assert!(d.render("x").contains("extra context"));
+    }
+
+    #[test]
+    fn codes_are_rendered() {
+        let d = Diagnostic::warning("dead branch", Span::point(0)).with_code("DML001");
+        let r = d.render("if x then a else b");
+        assert!(r.starts_with("warning[DML001]: dead branch"), "{r}");
+        assert!(Diagnostic::warning("w", Span::point(0)).render("x").starts_with("warning: "));
     }
 }

@@ -221,9 +221,9 @@ impl<'s> Lexer<'s> {
                 }
                 b'0'..=b'9' => {
                     let text = self.take_while(start, |c| c.is_ascii_digit());
-                    let n: i64 = text
-                        .parse()
-                        .map_err(|_| self.error(format!("integer literal `{text}` out of range"), start))?;
+                    let n: i64 = text.parse().map_err(|_| {
+                        self.error(format!("integer literal `{text}` out of range"), start)
+                    })?;
                     self.emit(Token::Int(n), start);
                 }
                 c if c.is_ascii_alphabetic() => {
@@ -404,10 +404,7 @@ mod tests {
 
     #[test]
     fn underscore_variants() {
-        assert_eq!(
-            toks("_ _x"),
-            vec![Token::Underscore, Token::Ident("_x".into()), Token::Eof]
-        );
+        assert_eq!(toks("_ _x"), vec![Token::Underscore, Token::Ident("_x".into()), Token::Eof]);
     }
 
     #[test]

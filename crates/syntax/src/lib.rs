@@ -35,6 +35,6 @@ pub mod span;
 pub mod token;
 
 pub use ast::*;
-pub use diag::{Diagnostic, ParseError};
+pub use diag::{Diagnostic, ParseError, Severity};
 pub use parser::{parse_dtype, parse_expr, parse_program};
 pub use span::Span;

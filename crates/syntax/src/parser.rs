@@ -487,9 +487,9 @@ impl Parser {
                 Token::Div => "div",
                 Token::Mod => "mod",
                 Token::Slash => {
-                    return Err(self.err(
-                        "`/` is real division; use `div` for integer division".into(),
-                    ))
+                    return Err(
+                        self.err("`/` is real division; use `div` for integer division".into())
+                    )
                 }
                 _ => break,
             };
@@ -1050,7 +1050,6 @@ impl Parser {
                     let a = self.iexpr()?;
                     let result = match name.as_str() {
                         "abs" | "sgn" => {
-                            
                             if name == "abs" {
                                 IExpr::Abs(Box::new(a))
                             } else {
@@ -1133,11 +1132,7 @@ impl Parser {
                         && !self.peek_is_cmp()
                         && !matches!(
                             self.peek(),
-                            Token::Plus
-                                | Token::Minus
-                                | Token::Star
-                                | Token::Div
-                                | Token::Mod
+                            Token::Plus | Token::Minus | Token::Star | Token::Div | Token::Mod
                         )
                     {
                         return Ok(p);
@@ -1169,10 +1164,8 @@ impl Parser {
                 }
                 return Ok(p);
             }
-            return Err(self.err(format!(
-                "expected a comparison operator, found {}",
-                self.peek().describe()
-            )));
+            return Err(self
+                .err(format!("expected a comparison operator, found {}", self.peek().describe())));
         }
         let mut lhs = first;
         let mut props: Vec<IProp> = Vec::new();
@@ -1378,8 +1371,8 @@ where bsearch <| ('a * 'a -> order) -> 'a * 'a array(size) -> 'a answer
 
     #[test]
     fn parse_chained_comparison_guard() {
-        let t = parse_dtype("{size:int, i:int | 0 <= i < size} 'a array(size) * int(i) -> 'a")
-            .unwrap();
+        let t =
+            parse_dtype("{size:int, i:int | 0 <= i < size} 'a array(size) * int(i) -> 'a").unwrap();
         match t {
             DType::Pi(qs, _) => {
                 assert_eq!(qs.len(), 2);
@@ -1529,7 +1522,9 @@ where bsearch <| ('a * 'a -> order) -> 'a * 'a array(size) -> 'a answer
     #[test]
     fn parse_unit_and_tuple() {
         assert!(matches!(parse_expr("()").unwrap(), Expr::Tuple(ref es, _) if es.is_empty()));
-        assert!(matches!(parse_expr("(1, 2, 3)").unwrap(), Expr::Tuple(ref es, _) if es.len() == 3));
+        assert!(
+            matches!(parse_expr("(1, 2, 3)").unwrap(), Expr::Tuple(ref es, _) if es.len() == 3)
+        );
     }
 
     #[test]

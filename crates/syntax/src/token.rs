@@ -246,12 +246,7 @@ mod tests {
 
     #[test]
     fn describe_is_never_empty() {
-        for t in [
-            Token::Ident("x".into()),
-            Token::Int(3),
-            Token::Eof,
-            Token::Plus,
-        ] {
+        for t in [Token::Ident("x".into()), Token::Int(3), Token::Eof, Token::Plus] {
             assert!(!t.describe().is_empty());
         }
     }

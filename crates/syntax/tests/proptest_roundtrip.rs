@@ -2,102 +2,123 @@
 //! `parse ∘ pretty` is the identity up to printing (printing is a fixed
 //! point), for randomly generated types, index expressions, and
 //! propositions.
+//!
+//! Inputs come from the local fixed-seed generator below (the workspace
+//! builds offline, so no external property-testing framework), making every
+//! run reproducible.
 
 use dml_syntax::ast::{CmpOp, DType, IExpr, IProp, Ident, Index, Quant, Sort};
-use dml_syntax::{parse_dtype, pretty};
 use dml_syntax::Span;
-use proptest::prelude::*;
+use dml_syntax::{parse_dtype, pretty};
+
+/// SplitMix64 — deterministic input supply for the roundtrip tests.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
 
 fn ident(name: &str) -> Ident {
     Ident::new(name, Span::default())
 }
 
-fn arb_iexpr() -> impl Strategy<Value = IExpr> {
-    let leaf = prop_oneof![
-        (0i64..50).prop_map(|n| IExpr::Lit(n, Span::default())),
-        prop_oneof![Just("n"), Just("m"), Just("i")].prop_map(|s| IExpr::Var(ident(s))),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::Max(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| IExpr::Abs(Box::new(a))),
-        ]
-    })
+fn random_iexpr(rng: &mut Rng, depth: usize) -> IExpr {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(4) {
+            0 => IExpr::Lit(rng.below(50) as i64, Span::default()),
+            1 => IExpr::Var(ident("n")),
+            2 => IExpr::Var(ident("m")),
+            _ => IExpr::Var(ident("i")),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(7) {
+        0 => IExpr::Add(Box::new(random_iexpr(rng, d)), Box::new(random_iexpr(rng, d))),
+        1 => IExpr::Sub(Box::new(random_iexpr(rng, d)), Box::new(random_iexpr(rng, d))),
+        2 => IExpr::Mul(Box::new(random_iexpr(rng, d)), Box::new(random_iexpr(rng, d))),
+        3 => IExpr::Div(Box::new(random_iexpr(rng, d)), Box::new(random_iexpr(rng, d))),
+        4 => IExpr::Min(Box::new(random_iexpr(rng, d)), Box::new(random_iexpr(rng, d))),
+        5 => IExpr::Max(Box::new(random_iexpr(rng, d)), Box::new(random_iexpr(rng, d))),
+        _ => IExpr::Abs(Box::new(random_iexpr(rng, d))),
+    }
 }
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Eq),
-        Just(CmpOp::Neq),
-    ]
+fn random_cmp(rng: &mut Rng) -> CmpOp {
+    match rng.below(6) {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        _ => CmpOp::Neq,
+    }
 }
 
-fn arb_iprop() -> impl Strategy<Value = IProp> {
-    let atom = (arb_cmp(), arb_iexpr(), arb_iexpr())
-        .prop_map(|(op, a, b)| IProp::Cmp(op, Box::new(a), Box::new(b)));
-    atom.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IProp::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IProp::Or(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| IProp::Not(Box::new(a))),
-        ]
-    })
+fn random_iprop(rng: &mut Rng, depth: usize) -> IProp {
+    if depth == 0 || rng.below(3) == 0 {
+        let op = random_cmp(rng);
+        return IProp::Cmp(op, Box::new(random_iexpr(rng, 2)), Box::new(random_iexpr(rng, 2)));
+    }
+    let d = depth - 1;
+    match rng.below(3) {
+        0 => IProp::And(Box::new(random_iprop(rng, d)), Box::new(random_iprop(rng, d))),
+        1 => IProp::Or(Box::new(random_iprop(rng, d)), Box::new(random_iprop(rng, d))),
+        _ => IProp::Not(Box::new(random_iprop(rng, d))),
+    }
 }
 
-fn arb_dtype() -> impl Strategy<Value = DType> {
-    let leaf = prop_oneof![
-        Just(DType::base("int")),
-        Just(DType::base("bool")),
-        Just(DType::unit()),
-        Just(DType::Var(ident("a"))),
-        arb_iexpr().prop_map(|e| DType::App {
-            name: ident("int"),
-            ty_args: vec![],
-            ix_args: vec![Index::Int(e)],
-        }),
-    ];
-    leaf.prop_recursive(3, 20, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), arb_iexpr()).prop_map(|(t, e)| DType::App {
-                name: ident("array"),
-                ty_args: vec![t],
-                ix_args: vec![Index::Int(e)],
-            }),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(DType::Product),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| DType::Arrow(Box::new(a), Box::new(b))),
-            (arb_iprop(), inner.clone()).prop_map(|(g, t)| DType::Pi(
-                vec![
-                    Quant { var: ident("n"), sort: Sort::Nat, guard: None },
-                    Quant { var: ident("m"), sort: Sort::Int, guard: None },
-                    Quant { var: ident("i"), sort: Sort::Int, guard: Some(g) },
-                ],
-                Box::new(t),
-            )),
-            (arb_iprop(), inner).prop_map(|(g, t)| DType::Sigma(
-                vec![Quant { var: ident("n"), sort: Sort::Nat, guard: Some(g) },
-                     Quant { var: ident("m"), sort: Sort::Int, guard: None }],
-                Box::new(t),
-            )),
-        ]
-    })
+fn random_dtype(rng: &mut Rng, depth: usize) -> DType {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(5) {
+            0 => DType::base("int"),
+            1 => DType::base("bool"),
+            2 => DType::unit(),
+            3 => DType::Var(ident("a")),
+            _ => DType::App {
+                name: ident("int"),
+                ty_args: vec![],
+                ix_args: vec![Index::Int(random_iexpr(rng, 2))],
+            },
+        };
+    }
+    let d = depth - 1;
+    match rng.below(5) {
+        0 => DType::App {
+            name: ident("array"),
+            ty_args: vec![random_dtype(rng, d)],
+            ix_args: vec![Index::Int(random_iexpr(rng, 2))],
+        },
+        1 => {
+            let n = 2 + rng.below(2);
+            DType::Product((0..n).map(|_| random_dtype(rng, d)).collect())
+        }
+        2 => DType::Arrow(Box::new(random_dtype(rng, d)), Box::new(random_dtype(rng, d))),
+        3 => DType::Pi(
+            vec![
+                Quant { var: ident("n"), sort: Sort::Nat, guard: None },
+                Quant { var: ident("m"), sort: Sort::Int, guard: None },
+                Quant { var: ident("i"), sort: Sort::Int, guard: Some(random_iprop(rng, 2)) },
+            ],
+            Box::new(random_dtype(rng, d)),
+        ),
+        _ => DType::Sigma(
+            vec![
+                Quant { var: ident("n"), sort: Sort::Nat, guard: Some(random_iprop(rng, 2)) },
+                Quant { var: ident("m"), sort: Sort::Int, guard: None },
+            ],
+            Box::new(random_dtype(rng, d)),
+        ),
+    }
 }
 
 /// Strips spans so ASTs can be compared structurally after a reparse.
@@ -109,66 +130,95 @@ fn print_twice_fixed_point(t: &DType) {
     assert_eq!(once, twice, "printing is a fixed point");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn dtype_print_parse_fixed_point(t in arb_dtype()) {
-        print_twice_fixed_point(&t);
+#[test]
+fn dtype_print_parse_fixed_point() {
+    let mut rng = Rng(0xD7E9);
+    for _ in 0..512 {
+        print_twice_fixed_point(&random_dtype(&mut rng, 3));
     }
+}
 
-    #[test]
-    fn iexpr_print_parse_fixed_point(e in arb_iexpr()) {
+#[test]
+fn iexpr_print_parse_fixed_point() {
+    let mut rng = Rng(0x1E87);
+    for _ in 0..512 {
         let t = DType::App {
             name: ident("int"),
             ty_args: vec![],
-            ix_args: vec![Index::Int(e)],
+            ix_args: vec![Index::Int(random_iexpr(&mut rng, 3))],
         };
         print_twice_fixed_point(&t);
     }
+}
 
-    #[test]
-    fn iprop_print_parse_fixed_point(p in arb_iprop()) {
+#[test]
+fn iprop_print_parse_fixed_point() {
+    let mut rng = Rng(0x1B0B);
+    for _ in 0..512 {
         let t = DType::Pi(
-            vec![Quant { var: ident("n"), sort: Sort::Int, guard: Some(p) }],
+            vec![Quant {
+                var: ident("n"),
+                sort: Sort::Int,
+                guard: Some(random_iprop(&mut rng, 3)),
+            }],
             Box::new(DType::base("int")),
         );
         print_twice_fixed_point(&t);
     }
+}
 
-    /// The lexer never panics on arbitrary input.
-    #[test]
-    fn lexer_total(src in "\\PC{0,120}") {
+/// A printable-character soup (ASCII plus some multibyte) for totality
+/// tests.
+fn random_text(rng: &mut Rng, max_len: usize) -> String {
+    const EXTRA: &[char] = &['λ', 'π', '→', '≤', '∀', '€', '“', '\t'];
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| {
+            if rng.below(8) == 0 {
+                EXTRA[rng.below(EXTRA.len())]
+            } else {
+                (0x20 + rng.below(0x5f) as u8) as char
+            }
+        })
+        .collect()
+}
+
+/// The lexer never panics on arbitrary input.
+#[test]
+fn lexer_total() {
+    let mut rng = Rng(0x7E07);
+    for _ in 0..512 {
+        let src = random_text(&mut rng, 120);
         let _ = dml_syntax::lexer::lex(&src);
     }
+}
 
-    /// The parser never panics on arbitrary input.
-    #[test]
-    fn parser_total(src in "\\PC{0,120}") {
+/// The parser never panics on arbitrary input.
+#[test]
+fn parser_total() {
+    let mut rng = Rng(0x9A55);
+    for _ in 0..512 {
+        let src = random_text(&mut rng, 120);
         let _ = dml_syntax::parse_program(&src);
         let _ = dml_syntax::parse_expr(&src);
         let _ = dml_syntax::parse_dtype(&src);
     }
+}
 
-    /// Token-soup built from the language's own vocabulary parses or fails
-    /// gracefully (a much denser source of near-miss programs than \\PC).
-    #[test]
-    fn parser_total_on_vocabulary_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("fun"), Just("val"), Just("let"), Just("in"), Just("end"),
-                Just("if"), Just("then"), Just("else"), Just("case"), Just("of"),
-                Just("where"), Just("<|"), Just("{"), Just("}"), Just("("),
-                Just(")"), Just("["), Just("]"), Just("->"), Just("=>"),
-                Just("="), Just("|"), Just("::"), Just("nat"), Just("int"),
-                Just("x"), Just("f"), Just("n"), Just("0"), Just("1"),
-                Just("+"), Just("*"), Just("sub"), Just("array"), Just(","),
-                Just(":"), Just("'a"), Just("&&"), Just("~"),
-            ],
-            0..40,
-        )
-    ) {
-        let src = words.join(" ");
+/// Token-soup built from the language's own vocabulary parses or fails
+/// gracefully (a much denser source of near-miss programs than random
+/// characters).
+#[test]
+fn parser_total_on_vocabulary_soup() {
+    const WORDS: &[&str] = &[
+        "fun", "val", "let", "in", "end", "if", "then", "else", "case", "of", "where", "<|", "{",
+        "}", "(", ")", "[", "]", "->", "=>", "=", "|", "::", "nat", "int", "x", "f", "n", "0", "1",
+        "+", "*", "sub", "array", ",", ":", "'a", "&&", "~",
+    ];
+    let mut rng = Rng(0x50FA);
+    for _ in 0..1024 {
+        let len = rng.below(40);
+        let src = (0..len).map(|_| WORDS[rng.below(WORDS.len())]).collect::<Vec<_>>().join(" ");
         let _ = dml_syntax::parse_program(&src);
     }
 }

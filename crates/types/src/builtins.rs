@@ -13,9 +13,9 @@
 //! * `nth` / `nthCK` — the list analogues eliminating tag checks.
 
 use crate::env::{CheckKind, Env};
-use dml_syntax::parse_program;
-use dml_syntax::ast as sast;
 use dml_index::VarGen;
+use dml_syntax::ast as sast;
+use dml_syntax::parse_program;
 
 /// The prelude: list datatype + typeref (Figure 2), the `order` datatype,
 /// and the refined standard basis.
@@ -109,9 +109,9 @@ mod tests {
         let mut gen = VarGen::new();
         let env = base_env(&mut gen);
         for name in [
-            "+", "-", "*", "div", "mod", "neg", "=", "<>", "<", "<=", ">", ">=", "not",
-            "length", "sub", "update", "array", "subCK", "updateCK", "llength", "nth",
-            "nthCK", "iabs", "imin", "imax",
+            "+", "-", "*", "div", "mod", "neg", "=", "<>", "<", "<=", ">", ">=", "not", "length",
+            "sub", "update", "array", "subCK", "updateCK", "llength", "nth", "nthCK", "iabs",
+            "imin", "imax",
         ] {
             assert!(env.values.contains_key(name), "missing prelude primitive `{name}`");
         }

@@ -6,9 +6,9 @@
 //! downstream substitution is capture-free.
 
 use crate::ty::{Binder, Ix, Ty};
+use dml_index::{IExp, Prop, Sort, Var, VarGen};
 use dml_syntax::ast as sast;
 use dml_syntax::Span;
-use dml_index::{IExp, Prop, Sort, Var, VarGen};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -128,11 +128,7 @@ impl<'a> Converter<'a> {
     }
 
     /// Converts a surface index expression.
-    pub fn convert_iexpr(
-        &mut self,
-        e: &sast::IExpr,
-        scope: &Scope,
-    ) -> Result<IExp, ConvertError> {
+    pub fn convert_iexpr(&mut self, e: &sast::IExpr, scope: &Scope) -> Result<IExp, ConvertError> {
         Ok(match e {
             sast::IExpr::Var(id) => match scope.lookup(&id.name) {
                 Some((v, Sort::Int)) => IExp::var(v.clone()),
@@ -214,9 +210,7 @@ impl<'a> Converter<'a> {
             sast::IProp::And(a, b) => {
                 self.convert_prop(a, scope)?.and(self.convert_prop(b, scope)?)
             }
-            sast::IProp::Or(a, b) => {
-                self.convert_prop(a, scope)?.or(self.convert_prop(b, scope)?)
-            }
+            sast::IProp::Or(a, b) => self.convert_prop(a, scope)?.or(self.convert_prop(b, scope)?),
         })
     }
 
@@ -233,15 +227,13 @@ impl<'a> Converter<'a> {
             (sast::Index::Prop(p), Sort::Bool) => Ok(Ix::Bool(self.convert_prop(p, scope)?)),
             // A bare variable parsed as an integer expression may really be
             // a boolean index variable.
-            (sast::Index::Int(sast::IExpr::Var(id)), Sort::Bool) => {
-                match scope.lookup(&id.name) {
-                    Some((v, Sort::Bool)) => Ok(Ix::Bool(Prop::BVar(v.clone()))),
-                    _ => Err(ConvertError::new(
-                        format!("expected a boolean index, found `{}`", id.name),
-                        id.span,
-                    )),
-                }
-            }
+            (sast::Index::Int(sast::IExpr::Var(id)), Sort::Bool) => match scope.lookup(&id.name) {
+                Some((v, Sort::Bool)) => Ok(Ix::Bool(Prop::BVar(v.clone()))),
+                _ => Err(ConvertError::new(
+                    format!("expected a boolean index, found `{}`", id.name),
+                    id.span,
+                )),
+            },
             (sast::Index::Int(_), Sort::Bool) => {
                 Err(ConvertError::new("expected a boolean index", span))
             }
@@ -415,8 +407,7 @@ mod tests {
 
     #[test]
     fn shared_guard_scopes_over_group() {
-        let t = convert("{size:int, i:int | 0 <= i < size} 'a array(size) * int(i) -> 'a")
-            .unwrap();
+        let t = convert("{size:int, i:int | 0 <= i < size} 'a array(size) * int(i) -> 'a").unwrap();
         match t {
             Ty::Pi(b, _) => {
                 assert_eq!(b.vars.len(), 2);

@@ -4,8 +4,8 @@
 use crate::convert::{builtin_families, ConvertError, Converter, FamilySig, Scope};
 use crate::ml::{erase, MlScheme, MlTy};
 use crate::ty::{Binder, Ix, Scheme, Ty};
-use dml_syntax::ast as sast;
 use dml_index::{IExp, Prop, Sort, VarGen};
+use dml_syntax::ast as sast;
 use std::collections::{BTreeSet, HashMap};
 
 /// What kind of run-time check a primitive's guard corresponds to. Guard
@@ -150,8 +150,7 @@ impl Env {
                 },
             );
         }
-        self.datatypes
-            .insert(d.name.name.clone(), DatatypeInfo { tyvars, cons: con_names });
+        self.datatypes.insert(d.name.name.clone(), DatatypeInfo { tyvars, cons: con_names });
         Ok(())
     }
 
@@ -177,10 +176,7 @@ impl Env {
         for (cname, dtype) in &t.cons {
             if !info.cons.contains(&cname.name) {
                 return Err(ConvertError {
-                    message: format!(
-                        "`{}` is not a constructor of `{}`",
-                        cname.name, t.name.name
-                    ),
+                    message: format!("`{}` is not a constructor of `{}`", cname.name, t.name.name),
                     span: cname.span,
                 });
             }
@@ -189,12 +185,8 @@ impl Env {
                 conv.convert_dtype(dtype, &Scope::new())?
             };
             let old = self.cons.get(&cname.name).expect("constructor registered");
-            let new_info = con_info_from_signature(
-                &t.name.name,
-                &info.tyvars,
-                refined.clone(),
-                cname.span,
-            )?;
+            let new_info =
+                con_info_from_signature(&t.name.name, &info.tyvars, refined.clone(), cname.span)?;
             // Structural check: the refined signature must erase to the ML
             // signature of the constructor.
             let old_ml = (old.arg_ml(), old.result_ml());
@@ -233,8 +225,7 @@ impl Env {
             let mut rigids = BTreeSet::new();
             erase(&ty).rigids_into(&mut rigids);
             let scheme = Scheme { tyvars: rigids.into_iter().collect(), ty };
-            self.values
-                .insert(name.name.clone(), ValInfo { scheme, check: check_of(&name.name) });
+            self.values.insert(name.name.clone(), ValInfo { scheme, check: check_of(&name.name) });
         }
         Ok(())
     }
@@ -259,11 +250,7 @@ impl Env {
             }
             MlTy::Con(name, args) => {
                 let lifted_args: Vec<Ty> = args.iter().map(|a| self.lift(a, gen)).collect();
-                let sorts = self
-                    .families
-                    .get(name)
-                    .map(|f| f.ix_sorts.clone())
-                    .unwrap_or_default();
+                let sorts = self.families.get(name).map(|f| f.ix_sorts.clone()).unwrap_or_default();
                 if sorts.is_empty() {
                     return Ty::App(name.clone(), lifted_args, Vec::new());
                 }
@@ -322,20 +309,12 @@ fn con_info_from_signature(
         Ty::App(name, _, _) if name == datatype => {}
         other => {
             return Err(ConvertError {
-                message: format!(
-                    "constructor result type must be `{datatype}`, found `{other}`"
-                ),
+                message: format!("constructor result type must be `{datatype}`, found `{other}`"),
                 span,
             })
         }
     }
-    Ok(ConInfo {
-        datatype: datatype.to_string(),
-        tyvars: tyvars.to_vec(),
-        binder,
-        arg,
-        result,
-    })
+    Ok(ConInfo { datatype: datatype.to_string(), tyvars: tyvars.to_vec(), binder, arg, result })
 }
 
 #[cfg(test)]
@@ -351,9 +330,7 @@ mod tests {
             match d {
                 sast::Decl::Datatype(dd) => env.add_datatype(dd, &mut gen)?,
                 sast::Decl::Typeref(tr) => env.add_typeref(tr, &mut gen)?,
-                sast::Decl::Assert(sigs) => {
-                    env.add_assert(sigs, &|_| CheckKind::None, &mut gen)?
-                }
+                sast::Decl::Assert(sigs) => env.add_assert(sigs, &|_| CheckKind::None, &mut gen)?,
                 _ => {}
             }
         }
@@ -422,7 +399,9 @@ typeref 'a seq of nat with
             Ty::Sigma(b, body) => {
                 assert_eq!(b.vars.len(), 1);
                 assert!(b.guard.to_string().contains("0 <="), "nat guard: {}", b.guard);
-                assert!(matches!(*body, Ty::App(ref n, _, ref ixs) if n == "seq" && ixs.len() == 1));
+                assert!(
+                    matches!(*body, Ty::App(ref n, _, ref ixs) if n == "seq" && ixs.len() == 1)
+                );
             }
             other => panic!("expected Sigma, got {other:?}"),
         }

@@ -56,10 +56,7 @@ pub struct InferResult {
 /// unification failure, malformed annotation, arity mismatch).
 pub fn infer_program(program: &sast::Program, env: &Env) -> Result<InferResult, InferError> {
     let exceptions: std::collections::HashSet<String> =
-        ["Subscript", "Div", "Size", "Match", "Overflow"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        ["Subscript", "Div", "Size", "Match", "Overflow"].iter().map(|s| s.to_string()).collect();
     let mut inf =
         Inferencer { env, uni: Unifier::new(), result: InferResult::default(), exceptions };
     let mut vals: HashMap<String, MlScheme> = HashMap::new();
@@ -290,10 +287,7 @@ impl<'e> Inferencer<'e> {
                 if ps.is_empty() {
                     return Ok(MlTy::unit());
                 }
-                let ts = ps
-                    .iter()
-                    .map(|p| self.pat(p, scope))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let ts = ps.iter().map(|p| self.pat(p, scope)).collect::<Result<Vec<_>, _>>()?;
                 Ok(MlTy::Tuple(ts))
             }
             sast::Pat::Con(id, arg, span) => {
@@ -385,10 +379,7 @@ impl<'e> Inferencer<'e> {
                 if es.is_empty() {
                     return Ok(MlTy::unit());
                 }
-                let ts = es
-                    .iter()
-                    .map(|x| self.expr(x, vals))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let ts = es.iter().map(|x| self.expr(x, vals)).collect::<Result<Vec<_>, _>>()?;
                 Ok(MlTy::Tuple(ts))
             }
             sast::Expr::If(c, t, f, span) => {
@@ -505,23 +496,17 @@ impl<'e> Inferencer<'e> {
                         name.span,
                     ));
                 }
-                let args = ty_args
-                    .iter()
-                    .map(|a| self.ml_of_dtype(a))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let args =
+                    ty_args.iter().map(|a| self.ml_of_dtype(a)).collect::<Result<Vec<_>, _>>()?;
                 Ok(MlTy::Con(name.name.clone(), args))
             }
             sast::DType::Product(ps) => {
-                let ts = ps
-                    .iter()
-                    .map(|p| self.ml_of_dtype(p))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let ts = ps.iter().map(|p| self.ml_of_dtype(p)).collect::<Result<Vec<_>, _>>()?;
                 Ok(MlTy::Tuple(ts))
             }
-            sast::DType::Arrow(a, b) => Ok(MlTy::Arrow(
-                Box::new(self.ml_of_dtype(a)?),
-                Box::new(self.ml_of_dtype(b)?),
-            )),
+            sast::DType::Arrow(a, b) => {
+                Ok(MlTy::Arrow(Box::new(self.ml_of_dtype(a)?), Box::new(self.ml_of_dtype(b)?)))
+            }
             sast::DType::Pi(_, body) | sast::DType::Sigma(_, body) => self.ml_of_dtype(body),
         }
     }
@@ -538,19 +523,19 @@ fn rename_uvars(t: &MlTy, renaming: &HashMap<u32, String>) -> MlTy {
             MlTy::Con(n.clone(), args.iter().map(|a| rename_uvars(a, renaming)).collect())
         }
         MlTy::Tuple(ts) => MlTy::Tuple(ts.iter().map(|t| rename_uvars(t, renaming)).collect()),
-        MlTy::Arrow(a, b) => MlTy::Arrow(
-            Box::new(rename_uvars(a, renaming)),
-            Box::new(rename_uvars(b, renaming)),
-        ),
+        MlTy::Arrow(a, b) => {
+            MlTy::Arrow(Box::new(rename_uvars(a, renaming)), Box::new(rename_uvars(b, renaming)))
+        }
     }
 }
 
 /// Syntactic values for the value restriction.
 fn is_syntactic_value(e: &sast::Expr) -> bool {
     match e {
-        sast::Expr::Var(_) | sast::Expr::Int(_, _) | sast::Expr::Bool(_, _) | sast::Expr::Fn(_, _) => {
-            true
-        }
+        sast::Expr::Var(_)
+        | sast::Expr::Int(_, _)
+        | sast::Expr::Bool(_, _)
+        | sast::Expr::Fn(_, _) => true,
         sast::Expr::Tuple(es, _) => es.iter().all(is_syntactic_value),
         sast::Expr::Anno(inner, _, _) => is_syntactic_value(inner),
         // Constructor applications to values are values; we approximate by
@@ -567,8 +552,8 @@ fn is_syntactic_value(e: &sast::Expr) -> bool {
 mod tests {
     use super::*;
     use crate::builtins::base_env;
-    use dml_syntax::parse_program;
     use dml_index::VarGen;
+    use dml_syntax::parse_program;
 
     fn infer(src: &str) -> Result<(InferResult, Env), InferError> {
         let p = parse_program(src).unwrap();
@@ -579,9 +564,9 @@ mod tests {
                 sast::Decl::Datatype(dd) => env
                     .add_datatype(dd, &mut gen)
                     .map_err(|e| InferError::new(e.message, e.span))?,
-                sast::Decl::Typeref(tr) => env
-                    .add_typeref(tr, &mut gen)
-                    .map_err(|e| InferError::new(e.message, e.span))?,
+                sast::Decl::Typeref(tr) => {
+                    env.add_typeref(tr, &mut gen).map_err(|e| InferError::new(e.message, e.span))?
+                }
                 sast::Decl::Assert(sigs) => env
                     .add_assert(sigs, &crate::builtins::check_kind, &mut gen)
                     .map_err(|e| InferError::new(e.message, e.span))?,

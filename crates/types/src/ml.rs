@@ -228,10 +228,7 @@ mod tests {
         let e = erase(&t);
         assert_eq!(
             e,
-            MlTy::Arrow(
-                Box::new(MlTy::array(MlTy::Rigid("a".into()))),
-                Box::new(MlTy::int())
-            )
+            MlTy::Arrow(Box::new(MlTy::array(MlTy::Rigid("a".into()))), Box::new(MlTy::int()))
         );
     }
 

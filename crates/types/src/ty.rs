@@ -190,11 +190,9 @@ impl Ty {
     pub fn refresh(&self, gen: &mut VarGen) -> Ty {
         match self {
             Ty::Rigid(_) | Ty::Meta(_) => self.clone(),
-            Ty::App(name, tys, ixs) => Ty::App(
-                name.clone(),
-                tys.iter().map(|t| t.refresh(gen)).collect(),
-                ixs.clone(),
-            ),
+            Ty::App(name, tys, ixs) => {
+                Ty::App(name.clone(), tys.iter().map(|t| t.refresh(gen)).collect(), ixs.clone())
+            }
             Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| t.refresh(gen)).collect()),
             Ty::Arrow(a, b) => Ty::Arrow(Box::new(a.refresh(gen)), Box::new(b.refresh(gen))),
             Ty::Pi(b, t) | Ty::Sigma(b, t) => {

@@ -67,9 +67,7 @@ impl Unifier {
         match self.shallow_resolve(t) {
             MlTy::UVar(u) => MlTy::UVar(u),
             MlTy::Rigid(n) => MlTy::Rigid(n),
-            MlTy::Con(n, args) => {
-                MlTy::Con(n, args.iter().map(|a| self.resolve(a)).collect())
-            }
+            MlTy::Con(n, args) => MlTy::Con(n, args.iter().map(|a| self.resolve(a)).collect()),
             MlTy::Tuple(ts) => MlTy::Tuple(ts.iter().map(|t| self.resolve(t)).collect()),
             MlTy::Arrow(a, b) => {
                 MlTy::Arrow(Box::new(self.resolve(&a)), Box::new(self.resolve(&b)))
@@ -154,10 +152,7 @@ mod tests {
     #[test]
     fn mismatch_reported() {
         let mut u = Unifier::new();
-        assert!(matches!(
-            u.unify(&MlTy::int(), &MlTy::bool()),
-            Err(UnifyError::Mismatch(_, _))
-        ));
+        assert!(matches!(u.unify(&MlTy::int(), &MlTy::bool()), Err(UnifyError::Mismatch(_, _))));
     }
 
     #[test]

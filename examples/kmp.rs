@@ -30,13 +30,7 @@ fn main() {
     assert_eq!(found, kmp::reference(&text, &pat), "agrees with the Rust reference");
 
     println!("\npattern {:?} first occurs at index {found}", pat);
-    println!(
-        "checks executed (subCK residue): {}",
-        machine.counters.array_checks_executed
-    );
-    println!(
-        "checks eliminated (proven sub/update): {}",
-        machine.counters.array_checks_eliminated
-    );
+    println!("checks executed (subCK residue): {}", machine.counters.array_checks_executed);
+    println!("checks eliminated (proven sub/update): {}", machine.counters.array_checks_eliminated);
     assert!(machine.counters.array_checks_eliminated > machine.counters.array_checks_executed);
 }

@@ -48,9 +48,7 @@ fn main() {
     // Insertion point.
     let (compiled, mut m) = validated_machine(extra::LOWER_BOUND);
     let v = Value::int_array([2, 4, 6, 8, 10]);
-    let r = m
-        .call("lower_bound", vec![Value::Tuple(Rc::new(vec![v, Value::Int(7)]))])
-        .unwrap();
+    let r = m.call("lower_bound", vec![Value::Tuple(Rc::new(vec![v, Value::Int(7)]))]).unwrap();
     println!("lower bound    {:>12}  insertion point for 7 = {r}", compiled.proven_sites().len());
     assert_eq!(r.as_int(), Some(3));
 

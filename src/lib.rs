@@ -9,6 +9,8 @@
 //! * `examples/` — runnable binaries demonstrating the public API;
 //! * `tests/` — integration and property tests spanning all crates.
 
+pub mod qc;
+
 pub use dml;
 pub use dml_elab;
 pub use dml_eval;

@@ -23,8 +23,11 @@ fn strip_annotations(src: &str) -> String {
         }
         if in_anno {
             let end = line.trim_end();
-            if !(end.ends_with("->") || end.ends_with("&&") || end.ends_with('*')
-                || end.ends_with('|') || end.ends_with('}'))
+            if !(end.ends_with("->")
+                || end.ends_with("&&")
+                || end.ends_with('*')
+                || end.ends_with('|')
+                || end.ends_with('}'))
             {
                 in_anno = false;
             }

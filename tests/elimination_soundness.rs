@@ -1,7 +1,7 @@
 //! Adversarial soundness tests for check elimination.
 //!
-//! Template programs with randomized offsets are pushed through the
-//! pipeline. The contract under test:
+//! Template programs with exhaustively enumerated offsets are pushed
+//! through the pipeline. The contract under test:
 //!
 //! * **Soundness** (must always hold): if the pipeline verifies a program
 //!   and eliminates its checks, running it in eliminated mode with
@@ -9,8 +9,6 @@
 //! * **Precision** (should hold for this fragment): the solver verifies a
 //!   template instance *iff* it is actually safe — linear off-by-N facts
 //!   are exactly what Fourier–Motzkin decides.
-
-use proptest::prelude::*;
 
 /// `loop` reads `v[i + off]` while `i <= n - bound`; safe iff `off < bound`
 /// ... precisely: accesses i+off for 0 ≤ i ≤ n−bound need i+off < n, i.e.
@@ -68,9 +66,8 @@ fn div_probe_safe(d: i64, off: i64, guard: i64) -> bool {
 }
 
 fn run_validated(src: &str, compiled: &dml::Compiled, len: usize, fun: &str) {
-    let mut m = compiled.machine_with(
-        dml::CheckConfig::eliminated(Default::default()).with_validation(),
-    );
+    let mut m =
+        compiled.machine_with(dml::CheckConfig::eliminated(Default::default()).with_validation());
     let v = dml::Value::int_array(0..len as i64);
     match m.call(fun, vec![v]) {
         Ok(_) => {}
@@ -87,41 +84,42 @@ fn run_validated(src: &str, compiled: &dml::Compiled, len: usize, fun: &str) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn offset_walk_verification_is_exact(off in 0i64..5, bound in 1i64..6) {
-        let src = offset_walk(off, bound);
-        let compiled = dml::compile(&src).unwrap();
-        let safe = offset_walk_safe(off, bound);
-        prop_assert_eq!(
-            compiled.fully_verified(),
-            safe,
-            "off={} bound={} src:\n{}",
-            off,
-            bound,
-            src
-        );
-        // Soundness net regardless of the verdict.
-        for len in [0usize, 1, 2, 3, 5, 9] {
-            run_validated(&src, &compiled, len, "f");
+/// Exhaustive over the full parameter grid (25 instances) — no sampling
+/// needed at this size.
+#[test]
+fn offset_walk_verification_is_exact() {
+    for off in 0i64..5 {
+        for bound in 1i64..6 {
+            let src = offset_walk(off, bound);
+            let compiled = dml::compile(&src).unwrap();
+            let safe = offset_walk_safe(off, bound);
+            assert_eq!(compiled.fully_verified(), safe, "off={off} bound={bound} src:\n{src}");
+            // Soundness net regardless of the verdict.
+            for len in [0usize, 1, 2, 3, 5, 9] {
+                run_validated(&src, &compiled, len, "f");
+            }
         }
     }
+}
 
-    #[test]
-    fn div_probe_soundness(d in 2i64..5, off in -2i64..4, guard in 0i64..6) {
-        let src = div_probe(d, off, guard);
-        let compiled = dml::compile(&src).unwrap();
-        let safe = div_probe_safe(d, off, guard);
-        // Precision may be lost on div-heavy goals; soundness may not:
-        // a verified program must actually be safe.
-        if compiled.fully_verified() {
-            prop_assert!(safe, "verified an unsafe probe: d={} off={} guard={}\n{}",
-                d, off, guard, src);
-        }
-        for len in [0usize, 1, 2, 4, 7, 12, 33] {
-            run_validated(&src, &compiled, len, "g");
+/// Exhaustive over d × off × guard (108 instances).
+#[test]
+fn div_probe_soundness() {
+    for d in 2i64..5 {
+        for off in -2i64..4 {
+            for guard in 0i64..6 {
+                let src = div_probe(d, off, guard);
+                let compiled = dml::compile(&src).unwrap();
+                let safe = div_probe_safe(d, off, guard);
+                // Precision may be lost on div-heavy goals; soundness may
+                // not: a verified program must actually be safe.
+                if compiled.fully_verified() {
+                    assert!(safe, "verified an unsafe probe: d={d} off={off} guard={guard}\n{src}");
+                }
+                for len in [0usize, 1, 2, 4, 7, 12, 33] {
+                    run_validated(&src, &compiled, len, "g");
+                }
+            }
         }
     }
 }

@@ -5,9 +5,10 @@
 //! arithmetic, flooring `div`/`mod`).
 //!
 //! This exercises conservativity from yet another angle: the programs are
-//! annotation-free and must mean exactly what ML says they mean.
+//! annotation-free and must mean exactly what ML says they mean. Expression
+//! shapes come from the deterministic in-repo generator (`dml_repro::qc`).
 
-use proptest::prelude::*;
+use dml_repro::qc::Rng;
 
 /// A little arithmetic AST we can both render to DML and evaluate in Rust.
 #[derive(Debug, Clone)]
@@ -30,27 +31,34 @@ enum E {
     IfLe(Box<E>, Box<E>, Box<E>, Box<E>),
 }
 
-fn arb_e() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::X),
-        Just(E::Y),
-        Just(E::Z),
-        (-30i64..30).prop_map(E::Lit),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::DivP(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::ModP(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| E::Abs(Box::new(a))),
-            (inner.clone(), inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c, d)| E::IfLe(Box::new(a), Box::new(b), Box::new(c), Box::new(d))),
-        ]
-    })
+/// Depth-limited random expression: at depth 0 (or with ¼ probability)
+/// emits a leaf, otherwise one of the nine compound forms.
+fn random_e(rng: &mut Rng, depth: usize) -> E {
+    if depth == 0 || rng.usize_in(0, 3) == 0 {
+        return match rng.usize_in(0, 3) {
+            0 => E::X,
+            1 => E::Y,
+            2 => E::Z,
+            _ => E::Lit(rng.i64_in(-30, 29)),
+        };
+    }
+    let d = depth - 1;
+    match rng.usize_in(0, 8) {
+        0 => E::Add(Box::new(random_e(rng, d)), Box::new(random_e(rng, d))),
+        1 => E::Sub(Box::new(random_e(rng, d)), Box::new(random_e(rng, d))),
+        2 => E::Mul(Box::new(random_e(rng, d)), Box::new(random_e(rng, d))),
+        3 => E::DivP(Box::new(random_e(rng, d)), Box::new(random_e(rng, d))),
+        4 => E::ModP(Box::new(random_e(rng, d)), Box::new(random_e(rng, d))),
+        5 => E::Min(Box::new(random_e(rng, d)), Box::new(random_e(rng, d))),
+        6 => E::Max(Box::new(random_e(rng, d)), Box::new(random_e(rng, d))),
+        7 => E::Abs(Box::new(random_e(rng, d))),
+        _ => E::IfLe(
+            Box::new(random_e(rng, d)),
+            Box::new(random_e(rng, d)),
+            Box::new(random_e(rng, d)),
+            Box::new(random_e(rng, d)),
+        ),
+    }
 }
 
 fn render(e: &E) -> String {
@@ -73,13 +81,9 @@ fn render(e: &E) -> String {
         E::Min(a, b) => format!("imin({}, {})", render(a), render(b)),
         E::Max(a, b) => format!("imax({}, {})", render(a), render(b)),
         E::Abs(a) => format!("iabs({})", render(a)),
-        E::IfLe(a, b, c, d) => format!(
-            "(if {} <= {} then {} else {})",
-            render(a),
-            render(b),
-            render(c),
-            render(d)
-        ),
+        E::IfLe(a, b, c, d) => {
+            format!("(if {} <= {} then {} else {})", render(a), render(b), render(c), render(d))
+        }
     }
 }
 
@@ -134,19 +138,17 @@ fn reference(e: &E, x: i64, y: i64, z: i64) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn interpreter_matches_reference(
-        e in arb_e(),
-        x in -100i64..100,
-        y in -100i64..100,
-        z in -100i64..100,
-    ) {
+#[test]
+fn interpreter_matches_reference() {
+    let mut rng = Rng::new(0xD1FF);
+    for _ in 0..192 {
+        let e = random_e(&mut rng, 4);
+        let x = rng.i64_in(-100, 99);
+        let y = rng.i64_in(-100, 99);
+        let z = rng.i64_in(-100, 99);
         let src = format!("fun f(x, y, z) = {}", render(&e));
-        let compiled = dml::compile(&src)
-            .unwrap_or_else(|err| panic!("pipeline failed on:\n{src}\n{err}"));
+        let compiled =
+            dml::compile(&src).unwrap_or_else(|err| panic!("pipeline failed on:\n{src}\n{err}"));
         let mut m = compiled.machine(dml::Mode::Checked);
         let args = dml::Value::Tuple(std::rc::Rc::new(vec![
             dml::Value::Int(x),
@@ -155,25 +157,31 @@ proptest! {
         ]));
         let got = m.call("f", vec![args]).unwrap().as_int().unwrap();
         let want = reference(&e, x, y, z);
-        prop_assert_eq!(got, want, "program:\n{}", src);
+        assert_eq!(got, want, "program:\n{src}");
     }
+}
 
-    /// The same programs under *eliminated* mode behave identically (there
-    /// are no array accesses, so this pins the conservativity of mode
-    /// switching itself).
-    #[test]
-    fn modes_agree_on_pure_arithmetic(e in arb_e()) {
+/// The same programs under *eliminated* mode behave identically (there are
+/// no array accesses, so this pins the conservativity of mode switching
+/// itself).
+#[test]
+fn modes_agree_on_pure_arithmetic() {
+    let mut rng = Rng::new(0x50DE);
+    for _ in 0..64 {
+        let e = random_e(&mut rng, 4);
         let src = format!("fun f(x, y, z) = {}", render(&e));
         let compiled = dml::compile(&src).unwrap();
-        let args = || dml::Value::Tuple(std::rc::Rc::new(vec![
-            dml::Value::Int(3),
-            dml::Value::Int(-7),
-            dml::Value::Int(11),
-        ]));
+        let args = || {
+            dml::Value::Tuple(std::rc::Rc::new(vec![
+                dml::Value::Int(3),
+                dml::Value::Int(-7),
+                dml::Value::Int(11),
+            ]))
+        };
         let mut a = compiled.machine(dml::Mode::Checked);
         let mut b = compiled.machine(dml::Mode::Eliminated);
         let ra = a.call("f", vec![args()]).unwrap().as_int();
         let rb = b.call("f", vec![args()]).unwrap().as_int();
-        prop_assert_eq!(ra, rb);
+        assert_eq!(ra, rb, "program:\n{src}");
     }
 }

@@ -124,9 +124,7 @@ end
 fn wrapping_arithmetic_matches_machine_ints() {
     let src = "fun mul(a, b) = a * b";
     let mut m = machine(src);
-    let r = m
-        .call("mul", vec![pair(Value::Int(i64::MAX), Value::Int(2))])
-        .unwrap();
+    let r = m.call("mul", vec![pair(Value::Int(i64::MAX), Value::Int(2))]).unwrap();
     assert_eq!(r.as_int(), Some(i64::MAX.wrapping_mul(2)));
 }
 

@@ -51,13 +51,20 @@ where pop2 <| {n:nat | n >= 2} 'a stack(n) -> 'a stack(n-2)
     // `n >= 2` guarantees the scrutinee matches at run time — exactly the
     // paper's list-tag-check elimination story.
     let c = compile(src).unwrap();
-    assert!(c.fully_verified(), "{:?}", c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
+    assert!(
+        c.fully_verified(),
+        "{:?}",
+        c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
+    );
     let mut m = c.machine(Mode::Eliminated);
     let s = Value::Con(
         "PUSH".into(),
         Some(Rc::new(pair(
             Value::Int(1),
-            Value::Con("PUSH".into(), Some(Rc::new(pair(Value::Int(2), Value::Con("EMPTY".into(), None))))),
+            Value::Con(
+                "PUSH".into(),
+                Some(Rc::new(pair(Value::Int(2), Value::Con("EMPTY".into(), None)))),
+            ),
         ))),
     );
     let d = m.call("depth", vec![s]).unwrap();
@@ -88,7 +95,11 @@ fun clamp(v, i) =
 where clamp <| int array * int -> int
 "#;
     let c = compile(src).unwrap();
-    assert!(c.fully_verified(), "{:?}", c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
+    assert!(
+        c.fully_verified(),
+        "{:?}",
+        c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
+    );
     let mut m = c.machine(Mode::Eliminated);
     let v = Value::int_array([10, 20, 30]);
     assert_eq!(m.call("clamp", vec![pair(v.clone(), Value::Int(1))]).unwrap().as_int(), Some(20));
@@ -107,7 +118,11 @@ fun take2(l) = case l of
 where take2 <| {n:nat} 'a list(n) -> [m:nat | m <= 2] 'a list(m)
 "#;
     let c = compile(src).unwrap();
-    assert!(c.fully_verified(), "{:?}", c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
+    assert!(
+        c.fully_verified(),
+        "{:?}",
+        c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -134,7 +149,11 @@ fun go(v) = apply first v
 where go <| {n:nat | n > 0} int array(n) -> int
 "#;
     let c = compile(src).unwrap();
-    assert!(c.fully_verified(), "{:?}", c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
+    assert!(
+        c.fully_verified(),
+        "{:?}",
+        c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
+    );
     let mut m = c.machine(Mode::Eliminated);
     let r = m.call("go", vec![Value::int_array([7, 8])]).unwrap();
     assert_eq!(r.as_int(), Some(7));
@@ -147,10 +166,17 @@ fun clampidx(v, i) = sub(v, imin(imax(i, 0), length v - 1))
 where clampidx <| {n:nat | n > 0} int array(n) * int -> int
 "#;
     let c = compile(src).unwrap();
-    assert!(c.fully_verified(), "{:?}", c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
+    assert!(
+        c.fully_verified(),
+        "{:?}",
+        c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
+    );
     let mut m = c.machine(Mode::Eliminated);
     let v = Value::int_array([1, 2, 3]);
-    assert_eq!(m.call("clampidx", vec![pair(v.clone(), Value::Int(-9))]).unwrap().as_int(), Some(1));
+    assert_eq!(
+        m.call("clampidx", vec![pair(v.clone(), Value::Int(-9))]).unwrap().as_int(),
+        Some(1)
+    );
     assert_eq!(m.call("clampidx", vec![pair(v, Value::Int(9))]).unwrap().as_int(), Some(3));
 }
 
@@ -163,7 +189,11 @@ and odd(n) = if n = 0 then false else even(n - 1)
 where odd <| {k:nat} int(k) -> bool
 "#;
     let c = compile(src).unwrap();
-    assert!(c.fully_verified(), "{:?}", c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
+    assert!(
+        c.fully_verified(),
+        "{:?}",
+        c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
+    );
     let mut m = c.machine(Mode::Checked);
     assert_eq!(m.call("even", vec![Value::Int(42)]).unwrap().as_bool(), Some(true));
 }
@@ -176,7 +206,11 @@ fun safe_nth(l, i) =
 where safe_nth <| int list * int -> int
 "#;
     let c = compile(src).unwrap();
-    assert!(c.fully_verified(), "{:?}", c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
+    assert!(
+        c.fully_verified(),
+        "{:?}",
+        c.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
+    );
     let mut m = c.machine(Mode::Eliminated);
     let l = Value::list([Value::Int(5), Value::Int(6)]);
     assert_eq!(m.call("safe_nth", vec![pair(l.clone(), Value::Int(1))]).unwrap().as_int(), Some(6));
@@ -417,10 +451,7 @@ fn div_exception_catchable() {
 
 #[test]
 fn unknown_exception_rejected_in_phase1() {
-    assert!(matches!(
-        dml::compile("fun f(x) = raise Nope"),
-        Err(dml::PipelineError::Infer(_, _))
-    ));
+    assert!(matches!(dml::compile("fun f(x) = raise Nope"), Err(dml::PipelineError::Infer(_, _))));
     assert!(matches!(
         dml::compile("fun f(x) = x handle Nope => 0"),
         Err(dml::PipelineError::Infer(_, _))

@@ -40,17 +40,12 @@ fn eliminated_runs_validate_and_agree_with_checked_runs() {
 
         // Validation mode: even "eliminated" accesses verify their bounds
         // and abort with `UnsoundElimination` on violation.
-        let mut validated = compiled.machine_with(
-            CheckConfig::eliminated(Default::default()).with_validation(),
-        );
+        let mut validated =
+            compiled.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
         let eliminated_sum = (b.run)(&mut validated, 1);
 
         assert_eq!(checked_sum, eliminated_sum, "{} results differ", b.program.name);
-        assert!(
-            validated.counters.eliminated() > 0,
-            "{} eliminated no checks",
-            b.program.name
-        );
+        assert!(validated.counters.eliminated() > 0, "{} eliminated no checks", b.program.name);
         assert_eq!(
             checked.counters.executed(),
             validated.counters.eliminated() + validated.counters.executed(),
@@ -79,14 +74,9 @@ fn kmp_eliminates_scan_but_not_prefix_residue() {
     let pat = [0, 1, 0, 1, 1];
     let text = progs::kmp::workload(2000, &pat, Some(1500), 9);
 
-    let mut m = compiled.machine_with(
-        CheckConfig::eliminated(Default::default()).with_validation(),
-    );
-    let got = m
-        .call("kmpMatch", vec![progs::kmp::args(&text, &pat)])
-        .unwrap()
-        .as_int()
-        .unwrap();
+    let mut m =
+        compiled.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
+    let got = m.call("kmpMatch", vec![progs::kmp::args(&text, &pat)]).unwrap().as_int().unwrap();
     assert_eq!(got, progs::kmp::reference(&text, &pat));
     assert!(m.counters.array_checks_eliminated > 0, "scan loop eliminated");
     assert!(m.counters.array_checks_executed > 0, "subCK residue still checked");
@@ -106,14 +96,8 @@ fn tampered_program_is_caught_not_eliminated() {
         .replace("{i:nat | i <= n}", "{i:nat | i <= n+1}")
         .replace("if i = n then sum", "if i = n+1 then sum");
     let compiled = dml::compile(&src).unwrap();
-    assert!(
-        !compiled.fully_verified(),
-        "the solver must reject the out-of-bounds variant"
-    );
-    assert!(
-        compiled.proven_sites().is_empty(),
-        "no elimination when verification fails"
-    );
+    assert!(!compiled.fully_verified(), "the solver must reject the out-of-bounds variant");
+    assert!(compiled.proven_sites().is_empty(), "no elimination when verification fails");
     // In checked mode the faulty program traps instead of reading OOB.
     let mut m = compiled.machine(Mode::Checked);
     let (v1, v2) = progs::dotprod::workload(8, 1);
@@ -184,12 +168,7 @@ fn values_round_trip_through_machine() {
 fn extra_library_programs_fully_verify() {
     for p in dml_programs::extra::all() {
         let c = dml::compile(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
-        assert!(
-            c.fully_verified(),
-            "{}:\n{}",
-            p.name,
-            c.explain_failures(p.source)
-        );
+        assert!(c.fully_verified(), "{}:\n{}", p.name, c.explain_failures(p.source));
     }
 }
 
@@ -198,8 +177,7 @@ fn extra_programs_run_eliminated_with_validation() {
     use dml_programs::extra;
     // array reverse, validated elimination
     let c = dml::compile(extra::ARRAY_REVERSE).unwrap();
-    let mut m =
-        c.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
+    let mut m = c.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
     let v = Value::int_array([1, 2, 3, 4]);
     m.call("arev", vec![v.clone()]).unwrap();
     assert_eq!(v.int_array_to_vec().unwrap(), vec![4, 3, 2, 1]);
@@ -208,8 +186,7 @@ fn extra_programs_run_eliminated_with_validation() {
 
     // lower_bound, validated elimination
     let c = dml::compile(extra::LOWER_BOUND).unwrap();
-    let mut m =
-        c.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
+    let mut m = c.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
     let v = Value::int_array([2, 4, 6, 8]);
     let arg = Value::Tuple(std::rc::Rc::new(vec![v, Value::Int(5)]));
     let r = m.call("lower_bound", vec![arg]).unwrap();

@@ -44,11 +44,7 @@ fn proven_site_counts_are_stable() {
     ];
     for ((name, want), b) in expected.iter().zip(benchmarks()) {
         let compiled = dml::compile(&bench_source(&b.program)).unwrap();
-        assert_eq!(
-            compiled.proven_sites().len(),
-            *want,
-            "{name}: proven-site count drifted"
-        );
+        assert_eq!(compiled.proven_sites().len(), *want, "{name}: proven-site count drifted");
     }
 }
 
@@ -57,27 +53,62 @@ fn proven_site_counts_are_stable() {
 /// by phase-1 invariants; this test patrols that claim.)
 #[test]
 fn pipeline_is_total_on_vocabulary_soup() {
-    use proptest::prelude::*;
-    use proptest::strategy::ValueTree;
-    use proptest::test_runner::TestRunner;
+    use dml_repro::qc::Rng;
 
-    let words = prop_oneof![
-        Just("fun"), Just("val"), Just("let"), Just("in"), Just("end"),
-        Just("if"), Just("then"), Just("else"), Just("case"), Just("of"),
-        Just("where"), Just("<|"), Just("{"), Just("}"), Just("("), Just(")"),
-        Just("["), Just("]"), Just("->"), Just("=>"), Just("="), Just("|"),
-        Just("::"), Just("nat"), Just("int"), Just("x"), Just("f"), Just("n"),
-        Just("0"), Just("1"), Just("+"), Just("*"), Just("sub"), Just("array"),
-        Just(","), Just(":"), Just("'a"), Just("&&"), Just("~"), Just("nil"),
-        Just("raise"), Just("handle"), Just("exception"), Just("Subscript"),
-        Just("length"), Just("list"), Just("div"),
+    const WORDS: &[&str] = &[
+        "fun",
+        "val",
+        "let",
+        "in",
+        "end",
+        "if",
+        "then",
+        "else",
+        "case",
+        "of",
+        "where",
+        "<|",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        "->",
+        "=>",
+        "=",
+        "|",
+        "::",
+        "nat",
+        "int",
+        "x",
+        "f",
+        "n",
+        "0",
+        "1",
+        "+",
+        "*",
+        "sub",
+        "array",
+        ",",
+        ":",
+        "'a",
+        "&&",
+        "~",
+        "nil",
+        "raise",
+        "handle",
+        "exception",
+        "Subscript",
+        "length",
+        "list",
+        "div",
     ];
-    let strat = proptest::collection::vec(words, 0..30);
-    let mut runner = TestRunner::deterministic();
+    let mut rng = Rng::new(0x5009);
     let mut compiled_ok = 0u32;
     for _ in 0..1500 {
-        let sample = strat.new_tree(&mut runner).unwrap().current();
-        let src = sample.join(" ");
+        let len = rng.usize_in(0, 29);
+        let src = (0..len).map(|_| *rng.pick(WORDS)).collect::<Vec<_>>().join(" ");
         if let Ok(result) = dml::compile(&src) {
             compiled_ok += 1;
             let _ = result.fully_verified();

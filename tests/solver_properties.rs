@@ -1,100 +1,99 @@
 //! Property tests for the constraint solver: Fourier–Motzkin refutation
 //! (with tightening) must agree with brute-force integer search on small
 //! random systems, and tightening must preserve integer solutions exactly.
+//!
+//! Inputs come from the deterministic in-repo generator (`dml_repro::qc`),
+//! so every run explores the same systems.
 
 use dml_index::{Linear, Var, VarGen};
+use dml_repro::qc::Rng;
 use dml_solver::exhaustive;
 use dml_solver::system::{FourierOptions, Ineq, RefuteResult, System};
-use proptest::prelude::*;
 
 /// A small random system over `nvars` variables with coefficients and
 /// constants in [-4, 4].
-fn arb_system(nvars: usize, max_ineqs: usize) -> impl Strategy<Value = System> {
-    let ineq = proptest::collection::vec(-4i64..=4, nvars + 1);
-    proptest::collection::vec(ineq, 1..=max_ineqs).prop_map(move |rows| {
-        let mut gen = VarGen::new();
-        let vars: Vec<Var> = (0..nvars).map(|i| gen.fresh(&format!("x{i}"))).collect();
-        let mut sys = System::new();
-        for row in rows {
-            let mut lin = Linear::constant(row[nvars]);
-            for (v, c) in vars.iter().zip(&row) {
-                lin.add_term(v.clone(), *c);
-            }
-            sys.push(Ineq::le_zero(lin));
+fn random_system(rng: &mut Rng, nvars: usize, max_ineqs: usize) -> System {
+    let mut gen = VarGen::new();
+    let vars: Vec<Var> = (0..nvars).map(|i| gen.fresh(&format!("x{i}"))).collect();
+    let mut sys = System::new();
+    for _ in 0..rng.usize_in(1, max_ineqs) {
+        let mut lin = Linear::constant(rng.i64_in(-4, 4));
+        for v in &vars {
+            lin.add_term(v.clone(), rng.i64_in(-4, 4));
         }
-        sys
-    })
+        sys.push(Ineq::le_zero(lin));
+    }
+    sys
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Soundness: if FM (with tightening) refutes a system, brute force
-    /// must find no solution in a box large enough to contain one if any
-    /// exists for these coefficient ranges.
-    #[test]
-    fn refutation_implies_no_small_solution(sys in arb_system(3, 5)) {
+/// Soundness: if FM (with tightening) refutes a system, brute force must
+/// find no solution in a box large enough to contain one if any exists for
+/// these coefficient ranges.
+#[test]
+fn refutation_implies_no_small_solution() {
+    let mut rng = Rng::new(0xF00D);
+    for _ in 0..256 {
+        let sys = random_system(&mut rng, 3, 5);
         let (result, _) = sys.refute(&FourierOptions::default());
         if result == RefuteResult::Refuted {
-            prop_assert!(
+            assert!(
                 exhaustive::find_solution(&sys, 8).is_none(),
                 "FM refuted a satisfiable system: {sys}"
             );
         }
     }
+}
 
-    /// If brute force finds a solution, FM must never refute.
-    #[test]
-    fn satisfiable_systems_never_refuted(sys in arb_system(3, 5)) {
+/// If brute force finds a solution, FM must never refute.
+#[test]
+fn satisfiable_systems_never_refuted() {
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..256 {
+        let sys = random_system(&mut rng, 3, 5);
         if let Some(solution) = exhaustive::find_solution(&sys, 4) {
             let (result, _) = sys.refute(&FourierOptions::default());
-            prop_assert_ne!(
-                result,
-                RefuteResult::Refuted,
-                "system {} has solution {:?}",
-                sys,
-                solution
-            );
+            assert_ne!(result, RefuteResult::Refuted, "system {sys} has solution {solution:?}");
         }
     }
+}
 
-    /// Tightening preserves integer solutions pointwise.
-    #[test]
-    fn tightening_preserves_integer_points(
-        coeffs in proptest::collection::vec(-6i64..=6, 3),
-        konst in -12i64..=12,
-        point in proptest::collection::vec(-6i64..=6, 3),
-    ) {
+/// Tightening preserves integer solutions pointwise.
+#[test]
+fn tightening_preserves_integer_points() {
+    let mut rng = Rng::new(0xCAFE);
+    for _ in 0..256 {
         let mut gen = VarGen::new();
         let vars: Vec<Var> = (0..3).map(|i| gen.fresh(&format!("v{i}"))).collect();
-        let mut lin = Linear::constant(konst);
-        for (v, c) in vars.iter().zip(&coeffs) {
-            lin.add_term(v.clone(), *c);
+        let mut lin = Linear::constant(rng.i64_in(-12, 12));
+        for v in &vars {
+            lin.add_term(v.clone(), rng.i64_in(-6, 6));
         }
         let ineq = Ineq::le_zero(lin);
         let tightened = ineq.tighten();
+        let point: Vec<i64> = (0..3).map(|_| rng.i64_in(-6, 6)).collect();
         let assignment: std::collections::HashMap<Var, i64> =
             vars.iter().cloned().zip(point.iter().copied()).collect();
         let env = |v: &Var| assignment.get(v).copied();
-        prop_assert_eq!(
+        assert_eq!(
             ineq.holds(&env),
             tightened.holds(&env),
-            "tightening changed membership of an integer point: {} vs {}",
-            ineq,
-            tightened
+            "tightening changed membership of an integer point: {ineq} vs {tightened}"
         );
     }
+}
 
-    /// Tightening never *weakens*: anything violating the original also
-    /// violates the tightened form (it only cuts away non-integer space).
-    #[test]
-    fn tightening_is_monotone(sys in arb_system(2, 4)) {
+/// Tightening never *weakens*: anything plain FM refutes (rational
+/// infeasibility), tightened FM must refute too (it only cuts away
+/// non-integer space).
+#[test]
+fn tightening_is_monotone() {
+    let mut rng = Rng::new(0xACE5);
+    for _ in 0..256 {
+        let sys = random_system(&mut rng, 2, 4);
         let with = sys.refute(&FourierOptions::default()).0;
         let without = sys.refute(&FourierOptions { tighten: false, ..Default::default() }).0;
-        // If plain FM refutes (rational infeasibility), tightened FM must
-        // refute too.
         if without == RefuteResult::Refuted {
-            prop_assert_eq!(with, RefuteResult::Refuted);
+            assert_eq!(with, RefuteResult::Refuted, "system: {sys}");
         }
     }
 }
@@ -119,29 +118,33 @@ fn strict_vs_nonstrict_encoding() {
     assert_eq!(gt.refute(&FourierOptions::default()).0, RefuteResult::Refuted);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Full-pipeline property: a guarded random access always verifies, and
-    /// the proof is honest — running with validation never traps.
-    #[test]
-    fn guarded_random_access_verifies_and_runs(len in 1usize..20, divisor in 1i64..6) {
+/// Full-pipeline property: a guarded random access always verifies, and the
+/// proof is honest — running with validation never traps. Exhaustive over
+/// the divisor (the only parameter the source depends on); the array length
+/// only affects the run.
+#[test]
+fn guarded_random_access_verifies_and_runs() {
+    for divisor in 1i64..6 {
         let src = format!(
             "fun pick(v, i) = let val j = i mod {divisor} in \
                if 0 <= j andalso j < length v then sub(v, j) else 0 end\n\
              where pick <| int array * int -> int"
         );
         let compiled = dml::compile(&src).unwrap();
-        prop_assert!(compiled.fully_verified(), "{:?}",
-            compiled.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>());
-        let mut m = compiled.machine_with(
-            dml::CheckConfig::eliminated(Default::default()).with_validation(),
+        assert!(
+            compiled.fully_verified(),
+            "{:?}",
+            compiled.failures().map(|(o, r)| format!("{o} {r:?}")).collect::<Vec<_>>()
         );
-        let v = dml::Value::int_array((0..len as i64).map(|x| x * 3));
-        for i in -3i64..6 {
-            let arg = dml::Value::Tuple(std::rc::Rc::new(vec![v.clone(), dml::Value::Int(i)]));
-            let r = m.call("pick", vec![arg]).unwrap();
-            prop_assert!(r.as_int().is_some());
+        for len in [1usize, 2, 5, 19] {
+            let mut m = compiled
+                .machine_with(dml::CheckConfig::eliminated(Default::default()).with_validation());
+            let v = dml::Value::int_array((0..len as i64).map(|x| x * 3));
+            for i in -3i64..6 {
+                let arg = dml::Value::Tuple(std::rc::Rc::new(vec![v.clone(), dml::Value::Int(i)]));
+                let r = m.call("pick", vec![arg]).unwrap();
+                assert!(r.as_int().is_some());
+            }
         }
     }
 }
