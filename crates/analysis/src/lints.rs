@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use dml_elab::{SiteContext, SiteRole};
 use dml_index::{Prop, Sort, Var, VarGen};
-use dml_solver::{GoalResult, Solver, SolverOptions};
+use dml_solver::{GoalResult, Solver};
 use dml_syntax::ast::{self as sast, IExpr};
 use dml_syntax::Span;
 use dml_types::convert::{Converter, FamilySig, Scope};
@@ -25,18 +25,21 @@ use crate::{lint_by_code, Finding};
 ///   dead-branch lint). Pass `&[]` to skip DML001.
 /// * `families` — the type-family signatures in scope (builtins plus the
 ///   program's `typeref`/`datatype` declarations).
+/// * `solver` — the solver answering entailment queries. Passing the
+///   solver a program was compiled with shares its verdict cache, so
+///   entailments the compile already decided are answered without
+///   re-running the decision procedure.
 pub fn run_lints(
     program: &sast::Program,
     contexts: &[SiteContext],
     families: &HashMap<String, FamilySig>,
-    opts: SolverOptions,
+    solver: &Solver,
     gen: &mut VarGen,
 ) -> Vec<Finding> {
-    let solver = Solver::new(opts);
     let facts = walk::collect(program);
     let mut findings = Vec::new();
-    dead_branch(contexts, &solver, gen, &mut findings);
-    refinement_lints(&facts.groups, families, &solver, gen, &mut findings);
+    dead_branch(contexts, solver, gen, &mut findings);
+    refinement_lints(&facts.groups, families, solver, gen, &mut findings);
     unused_index_variable(&facts.groups, &mut findings);
     nonlinear_index(&facts.index_exprs, &mut findings);
     findings.sort_by_key(|f| (f.span.start, f.span.end, f.code));
@@ -401,7 +404,7 @@ mod tests {
     fn lint_src(src: &str) -> Vec<Finding> {
         let program = parse_program(src).expect("parses");
         let mut gen = VarGen::new();
-        run_lints(&program, &[], &builtin_families(), SolverOptions::default(), &mut gen)
+        run_lints(&program, &[], &builtin_families(), &Solver::default(), &mut gen)
     }
 
     fn codes(findings: &[Finding]) -> Vec<&'static str> {

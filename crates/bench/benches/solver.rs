@@ -56,7 +56,7 @@ fn main() {
     {
         let mut gen = VarGen::new();
         let constraint = bsearch_constraint(&mut gen);
-        let mut solver = Solver::new(SolverOptions::default());
+        let solver = Solver::new(SolverOptions::default());
         bench("solver", "bsearch_midpoint", 5, 50, || {
             let outcome = solver.prove(black_box(&constraint), &mut gen);
             assert!(outcome.all_valid());
@@ -67,7 +67,7 @@ fn main() {
     for n in [4usize, 8, 16, 32] {
         let mut gen = VarGen::new();
         let constraint = chain_constraint(&mut gen, n);
-        let mut solver = Solver::new(SolverOptions::default());
+        let solver = Solver::new(SolverOptions::default());
         bench("solver", &format!("transitivity_chain/{n}"), 3, 20, || {
             let outcome = solver.prove(black_box(&constraint), &mut gen);
             assert!(outcome.all_valid());

@@ -1,0 +1,170 @@
+//! Cold- vs warm-cache solve times over the paper benchmarks, a
+//! {workers} × {cache} ablation, and a machine-readable `BENCH_solver.json`
+//! report.
+//!
+//! Flags (after `--`):
+//! * `--smoke` — one iteration per measurement (CI smoke mode);
+//! * `--json`  — additionally write `BENCH_solver.json` at the repo root.
+//!
+//! "Cold" compiles each benchmark with a fresh solver (empty verdict
+//! cache); "warm" compiles against a solver that already solved the same
+//! program, so every cacheable goal is answered from the cache. The lint
+//! section runs the lint pass twice on the compile's own solver and reports
+//! the second pass's hit rate (its entailment queries repeat exactly).
+
+use dml::experiments::{bench_source, benchmarks};
+use dml::pipeline::{compile_with_options, compile_with_solver};
+use dml_bench::bench_timed;
+use dml_bench::json::Json;
+use dml_solver::{Solver, SolverOptions};
+use std::time::Duration;
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let write_json = args.iter().any(|a| a == "--json");
+    let (warmup, iters) = if smoke { (0, 1) } else { (1, 5) };
+
+    let mut rows = Vec::new();
+    let mut total_cold = Duration::ZERO;
+    let mut total_warm = Duration::ZERO;
+
+    for b in benchmarks() {
+        let name = b.program.name;
+        let src = bench_source(&b.program);
+
+        // Cold: fresh solver (and empty cache) every compile.
+        let mut cold = None::<dml::CompileStats>;
+        bench_timed("solver_cache", &format!("{name}/cold"), warmup, iters, || {
+            let c = compile_with_options(&src, SolverOptions::default()).expect("compiles");
+            let s = c.stats().clone();
+            if cold.as_ref().is_none_or(|best| s.solve_time < best.solve_time) {
+                cold = Some(s);
+            }
+        });
+        let cold = cold.expect("at least one cold run");
+
+        // Warm: a shared solver primed by one untimed compile.
+        let shared = Solver::new(SolverOptions::default());
+        compile_with_solver(&src, &shared).expect("compiles");
+        let mut warm = None::<dml::CompileStats>;
+        bench_timed("solver_cache", &format!("{name}/warm"), warmup, iters, || {
+            let c = compile_with_solver(&src, &shared).expect("compiles");
+            let s = c.stats().clone();
+            if warm.as_ref().is_none_or(|best| s.solve_time < best.solve_time) {
+                warm = Some(s);
+            }
+        });
+        let warm = warm.expect("at least one warm run");
+
+        total_cold += cold.solve_time;
+        total_warm += warm.solve_time;
+        let looked_up = warm.solver.cache_hits + warm.solver.cache_misses;
+        let warm_rate =
+            if looked_up == 0 { 0.0 } else { warm.solver.cache_hits as f64 / looked_up as f64 };
+        rows.push(Json::obj([
+            ("name", Json::Str(name.to_string())),
+            ("constraints", Json::Int(cold.constraints as i64)),
+            ("goals", Json::Int(cold.goals as i64)),
+            ("gen_ms", Json::Num(ms(cold.generation_time))),
+            ("solve_cold_ms", Json::Num(ms(cold.solve_time))),
+            ("solve_warm_ms", Json::Num(ms(warm.solve_time))),
+            ("fm_combinations", Json::Int(cold.solver.fm_combinations as i64)),
+            ("warm_cache_hit_rate", Json::Num(warm_rate)),
+        ]));
+    }
+
+    // Ablation: {workers 1 / auto} × {cache on / off}, total solve time
+    // across the whole suite with one fresh solver per config+benchmark.
+    let mut ablation = Vec::new();
+    for (workers, label) in [(Some(1), "1"), (None, "auto")] {
+        for cache in [true, false] {
+            let opts = SolverOptions { workers, cache, ..SolverOptions::default() };
+            let mut total = Duration::ZERO;
+            bench_timed(
+                "solver_cache",
+                &format!("ablation/workers={label},cache={cache}"),
+                warmup,
+                iters,
+                || {
+                    total = Duration::ZERO;
+                    for b in benchmarks() {
+                        let src = bench_source(&b.program);
+                        let c = compile_with_options(&src, opts).expect("compiles");
+                        total += c.stats().solve_time;
+                    }
+                },
+            );
+            ablation.push(Json::obj([
+                ("workers", Json::Str(label.to_string())),
+                ("cache", Json::Bool(cache)),
+                ("solve_ms", Json::Num(ms(total))),
+            ]));
+        }
+    }
+
+    // Lint pass: the second run's entailment queries repeat the first's,
+    // so with the compile's own solver they hit the shared cache.
+    let (mut lint_hits, mut lint_misses) = (0u64, 0u64);
+    for b in benchmarks() {
+        let src = bench_source(&b.program);
+        let c = compile_with_options(&src, SolverOptions::default()).expect("compiles");
+        let _ = c.lints(); // first pass warms lint-only entries
+        let (h0, m0) = (c.solver().cache().hits(), c.solver().cache().misses());
+        let _ = c.lints();
+        lint_hits += c.solver().cache().hits() - h0;
+        lint_misses += c.solver().cache().misses() - m0;
+    }
+    let lint_rate = if lint_hits + lint_misses == 0 {
+        0.0
+    } else {
+        lint_hits as f64 / (lint_hits + lint_misses) as f64
+    };
+    println!(
+        "solver_cache/lint: {} hits, {} misses ({:.0}% hit rate) on the repeated lint pass",
+        lint_hits,
+        lint_misses,
+        lint_rate * 100.0
+    );
+
+    let warm_strictly_faster = total_warm < total_cold;
+    println!(
+        "solver_cache/totals: cold {:.3} ms, warm {:.3} ms ({})",
+        ms(total_cold),
+        ms(total_warm),
+        if warm_strictly_faster { "warm < cold" } else { "WARM NOT FASTER" }
+    );
+
+    if write_json {
+        let report = Json::obj([
+            ("suite", Json::Str("solver_cache".to_string())),
+            ("smoke", Json::Bool(smoke)),
+            ("benchmarks", Json::Array(rows)),
+            (
+                "totals",
+                Json::obj([
+                    ("solve_cold_ms", Json::Num(ms(total_cold))),
+                    ("solve_warm_ms", Json::Num(ms(total_warm))),
+                    ("warm_strictly_faster", Json::Bool(warm_strictly_faster)),
+                ]),
+            ),
+            ("ablation", Json::Array(ablation)),
+            (
+                "lint",
+                Json::obj([
+                    ("hits", Json::Int(lint_hits as i64)),
+                    ("misses", Json::Int(lint_misses as i64)),
+                    ("hit_rate", Json::Num(lint_rate)),
+                ]),
+            ),
+        ]);
+        std::fs::write(REPORT_PATH, report.render() + "\n").expect("write BENCH_solver.json");
+        println!("wrote {REPORT_PATH}");
+    }
+}

@@ -1,0 +1,128 @@
+//! A minimal JSON value builder for machine-readable bench reports.
+//!
+//! The workspace takes no third-party dependencies, so `BENCH_solver.json`
+//! is assembled with this hand-rolled builder instead of serde. It covers
+//! exactly what bench reports need: objects (insertion-ordered), arrays,
+//! strings, numbers, and booleans.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+    /// An array.
+    Array(Vec<Json>),
+    /// A string (escaped on render).
+    Str(String),
+    /// A float rendered with enough precision for millisecond timings.
+    Num(f64),
+    /// An integer (kept separate so counters render without a decimal).
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Enough digits for sub-microsecond timings in ms.
+                    let _ = write!(out, "{n:.6}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj([
+            ("name", Json::Str("bcopy".into())),
+            ("solve_ms", Json::Num(0.25)),
+            ("goals", Json::Int(26)),
+            ("ok", Json::Bool(true)),
+            ("runs", Json::Array(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"bcopy","solve_ms":0.250000,"goals":26,"ok":true,"runs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+}

@@ -6,14 +6,42 @@
 //! benchmark runs a warm-up pass, then a fixed number of timed iterations,
 //! and reports min/mean/max wall-clock time per iteration.
 
+pub mod json;
+
 use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark: per-iteration wall-clock statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Timed iterations measured.
+    pub iters: usize,
+}
 
 /// Measures `f` and prints a one-line summary under `group/name`.
 ///
 /// Runs `warmup` untimed iterations followed by `iters` timed ones. The
 /// closure's return value is consumed with [`std::hint::black_box`] so the
 /// optimiser cannot elide the work.
-pub fn bench<T>(group: &str, name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
+pub fn bench<T>(group: &str, name: &str, warmup: usize, iters: usize, f: impl FnMut() -> T) {
+    bench_timed(group, name, warmup, iters, f);
+}
+
+/// Like [`bench`], but also returns the [`Summary`] so machine-readable
+/// reports (e.g. `BENCH_solver.json`) can be assembled from the same run
+/// that produced the human-readable line.
+pub fn bench_timed<T>(
+    group: &str,
+    name: &str,
+    warmup: usize,
+    iters: usize,
+    mut f: impl FnMut() -> T,
+) -> Summary {
     for _ in 0..warmup {
         std::hint::black_box(f());
     }
@@ -34,6 +62,7 @@ pub fn bench<T>(group: &str, name: &str, warmup: usize, iters: usize, mut f: imp
         fmt_duration(max),
         samples.len()
     );
+    Summary { mean, min, max, iters: samples.len() }
 }
 
 /// Renders a duration with an adaptive unit.
@@ -62,6 +91,13 @@ mod tests {
             count
         });
         assert_eq!(count, 4, "1 warmup + 3 timed iterations");
+    }
+
+    #[test]
+    fn bench_timed_reports_samples() {
+        let s = bench_timed("test", "timed", 0, 5, || std::hint::black_box(2 + 2));
+        assert_eq!(s.iters, 5);
+        assert!(s.min <= s.mean && s.mean <= s.max);
     }
 
     #[test]

@@ -69,6 +69,10 @@ fn check(src: &str) -> ExitCode {
                 stats.solve_time.as_secs_f64() * 1e3,
             );
             println!(
+                "solver cache: {} hits, {} misses",
+                stats.solver.cache_hits, stats.solver.cache_misses
+            );
+            println!(
                 "proven check sites: {}; unproven: {}",
                 compiled.proven_sites().len(),
                 compiled.unproven_sites().len()
@@ -105,6 +109,14 @@ fn constraints(src: &str) -> ExitCode {
                 }
                 println!("{o}  [{}]", if r.is_valid() { "valid" } else { "NOT PROVEN" });
             }
+            // To stderr: cache counters vary with solver configuration,
+            // while stdout stays byte-identical across workers/cache
+            // settings (the determinism contract of the solve phase).
+            let stats = compiled.stats();
+            eprintln!(
+                "solver cache: {} hits, {} misses",
+                stats.solver.cache_hits, stats.solver.cache_misses
+            );
             if unproven > 0 {
                 eprintln!("{unproven} obligation(s) not proven");
                 ExitCode::FAILURE

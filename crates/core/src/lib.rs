@@ -41,4 +41,6 @@ pub mod table;
 pub use dml_analysis::{lint_by_code, render, Finding, Lint, LINTS};
 pub use dml_eval::{CheckConfig, Counters, Machine, Mode, Value};
 pub use dml_syntax::Severity;
-pub use pipeline::{compile, compile_with_options, CompileStats, Compiled, PipelineError};
+pub use pipeline::{
+    compile, compile_with_options, compile_with_solver, CompileStats, Compiled, PipelineError,
+};

@@ -5,7 +5,7 @@ use dml_analysis::Finding;
 use dml_elab::{elaborate, ElabOutput, Obligation, SiteContext};
 use dml_eval::{CheckConfig, Machine, Mode};
 use dml_index::VarGen;
-use dml_solver::{GoalResult, Solver, SolverOptions};
+use dml_solver::{prove_all, GoalResult, Outcome, Solver, SolverOptions};
 use dml_syntax::ast as sast;
 use dml_syntax::Span;
 use dml_types::builtins::{base_env, check_kind};
@@ -69,7 +69,7 @@ pub struct Compiled {
     fully_verified: bool,
     stats: CompileStats,
     top_level: HashMap<String, dml_types::ty::Scheme>,
-    options: SolverOptions,
+    solver: Solver,
     gen: VarGen,
 }
 
@@ -105,9 +105,16 @@ impl Compiled {
             &self.program,
             &self.contexts,
             &self.env.families,
-            self.options,
+            &self.solver,
             &mut gen,
         )
+    }
+
+    /// The solver this program was compiled with. Its verdict cache is
+    /// shared with [`Compiled::lints`] and with any later
+    /// [`compile_with_solver`] call that reuses the same solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
     }
 
     /// Obligations that were not proven (including exhaustiveness
@@ -216,6 +223,27 @@ pub fn compile(src: &str) -> Result<Compiled, PipelineError> {
 ///
 /// Returns a [`PipelineError`] for parse/type/elaboration failures.
 pub fn compile_with_options(src: &str, options: SolverOptions) -> Result<Compiled, PipelineError> {
+    compile_with_solver(src, &Solver::new(options))
+}
+
+/// Collapses an outcome into the single result recorded per obligation:
+/// [`GoalResult::Valid`] when every goal was proven (in particular when the
+/// constraint split into no goals at all), otherwise the first failure.
+fn first_failure(outcome: Outcome) -> GoalResult {
+    outcome.results.into_iter().map(|(_, r)| r).find(|r| !r.is_valid()).unwrap_or(GoalResult::Valid)
+}
+
+/// Compiles against a caller-supplied solver.
+///
+/// Cloning a [`Solver`] shares its verdict cache, so passing the same
+/// solver to several compiles (or reading [`Compiled::solver`] afterwards)
+/// reuses verdicts across them — this is how the warm-cache benches and the
+/// lint pass avoid re-deciding goals the compile already proved.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] for parse/type/elaboration failures.
+pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
     let gen_start = Instant::now();
     let program = dml_syntax::parse_program(src).map_err(PipelineError::Parse)?;
     let mut gen = VarGen::new();
@@ -241,27 +269,22 @@ pub fn compile_with_options(src: &str, options: SolverOptions) -> Result<Compile
             .map_err(|e| PipelineError::Elab(e.message, e.span))?;
     let generation_time = gen_start.elapsed();
 
-    // Solve every obligation.
+    // Solve every obligation (in parallel when the options ask for it;
+    // results come back in obligation order either way).
     let solve_start = Instant::now();
-    let mut solver = Solver::new(options);
+    let solver = solver.clone();
     let mut gen = gen;
+    let outcomes = {
+        let constraints: Vec<_> = obligations.iter().map(|ob| &ob.constraint).collect();
+        prove_all(&solver, &constraints, &mut gen)
+    };
     let mut results = Vec::with_capacity(obligations.len());
     let mut solver_stats = dml_solver::SolverStats::default();
     let mut goals = 0usize;
-    for ob in obligations {
-        let outcome = solver.prove(&ob.constraint, &mut gen);
+    for (ob, outcome) in obligations.into_iter().zip(outcomes) {
         goals += outcome.results.len();
         solver_stats.merge(&outcome.stats);
-        let result = if outcome.all_valid() {
-            GoalResult::Valid
-        } else {
-            outcome
-                .results
-                .into_iter()
-                .find_map(|(_, r)| if r.is_valid() { None } else { Some(r) })
-                .expect("a goal failed")
-        };
-        results.push((ob, result));
+        results.push((ob, first_failure(outcome)));
     }
     let solve_time = solve_start.elapsed();
 
@@ -306,7 +329,7 @@ pub fn compile_with_options(src: &str, options: SolverOptions) -> Result<Compile
         fully_verified,
         stats,
         top_level,
-        options,
+        solver,
         gen,
     })
 }
@@ -418,6 +441,89 @@ where total <| {n:nat} int array(n) -> int
         assert!(c.fully_verified());
         let lints = c.lints();
         assert!(lints.is_empty(), "{lints:?}");
+    }
+
+    /// `first_failure` is total: an outcome with no goals (or all-valid
+    /// goals) collapses to `Valid` instead of panicking, and the *first*
+    /// failure wins when several goals fail.
+    #[test]
+    fn first_failure_is_total() {
+        use dml_solver::{NotProvenReason, SolverStats};
+        let empty = Outcome { results: vec![], stats: SolverStats::default() };
+        assert_eq!(first_failure(empty), GoalResult::Valid);
+
+        let goal = dml_solver::Goal {
+            ctx: vec![],
+            hyps: vec![],
+            concl: dml_index::Prop::True,
+            residual_existential: false,
+        };
+        let all_valid = Outcome {
+            results: vec![(goal.clone(), GoalResult::Valid)],
+            stats: SolverStats::default(),
+        };
+        assert_eq!(first_failure(all_valid), GoalResult::Valid);
+
+        let mixed = Outcome {
+            results: vec![
+                (goal.clone(), GoalResult::Valid),
+                (goal.clone(), GoalResult::NotProven(NotProvenReason::Blowup)),
+                (goal, GoalResult::NotProven(NotProvenReason::PossiblyFalsifiable)),
+            ],
+            stats: SolverStats::default(),
+        };
+        assert_eq!(first_failure(mixed), GoalResult::NotProven(NotProvenReason::Blowup));
+    }
+
+    /// Compiling twice against one solver shares the verdict cache: the
+    /// second compile answers every cacheable goal from it, with identical
+    /// verdicts.
+    #[test]
+    fn compile_with_solver_shares_cache_across_compiles() {
+        let src = r#"
+fun first(v) = sub(v, 0)
+where first <| {n:nat | n > 0} int array(n) -> int
+"#;
+        let solver = Solver::new(SolverOptions::default());
+        let cold = compile_with_solver(src, &solver).unwrap();
+        assert!(cold.stats().solver.cache_misses > 0);
+        let warm = compile_with_solver(src, &solver).unwrap();
+        assert_eq!(warm.stats().solver.cache_misses, 0, "second compile is all hits");
+        assert!(warm.stats().solver.cache_hits > 0);
+        assert!(warm.fully_verified());
+        assert_eq!(cold.proven_sites(), warm.proven_sites());
+    }
+
+    /// Worker count and cache do not change verdicts or proven sites.
+    #[test]
+    fn parallel_and_cache_configs_agree() {
+        let src = r#"
+fun total(v) = let
+  fun loop(i, n, sum) =
+    if i = n then sum else loop(i+1, n, sum + sub(v, i))
+  where loop <| {k:nat | k <= n} {i:nat | i <= k} int(i) * int(k) * int -> int
+in
+  loop(0, length v, 0)
+end
+where total <| {n:nat} int array(n) -> int
+"#;
+        let base = compile_with_options(
+            src,
+            SolverOptions { workers: Some(1), ..SolverOptions::default() },
+        )
+        .unwrap();
+        for opts in [
+            SolverOptions { workers: Some(4), ..SolverOptions::default() },
+            SolverOptions { workers: Some(1), cache: false, ..SolverOptions::default() },
+            SolverOptions { workers: Some(4), cache: false, ..SolverOptions::default() },
+        ] {
+            let c = compile_with_options(src, opts).unwrap();
+            let verdicts =
+                |c: &Compiled| c.obligations().iter().map(|(_, r)| r.clone()).collect::<Vec<_>>();
+            assert_eq!(verdicts(&base), verdicts(&c), "{opts:?}");
+            assert_eq!(base.proven_sites(), c.proven_sites(), "{opts:?}");
+            assert_eq!(base.stats().goals, c.stats().goals, "{opts:?}");
+        }
     }
 
     #[test]

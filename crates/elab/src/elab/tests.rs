@@ -22,7 +22,7 @@ fn run(src: &str) -> (ElabOutput, Vec<(Obligation, GoalResult)>) {
     let phase1 = infer_program(&program, &env).unwrap_or_else(|e| panic!("phase 1: {e}"));
     let out = elaborate(&program, &env, &phase1, gen).unwrap_or_else(|e| panic!("phase 2: {e}"));
     let mut gen = out.gen.clone();
-    let mut solver = Solver::new(SolverOptions::default());
+    let solver = Solver::new(SolverOptions::default());
     let mut results = Vec::new();
     for ob in &out.obligations {
         let outcome = solver.prove(&ob.constraint, &mut gen);

@@ -10,7 +10,11 @@ use std::ops;
 /// `Div` and `Mod` follow SML semantics (flooring division); the constraint
 /// solver only accepts them with a positive constant divisor, which is all
 /// the paper's programs need (`(hi - lo) div 2` and friends).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The `Ord` instance is purely structural (variables compare by id); it
+/// exists so the solver can sort hypotheses into a canonical order for its
+/// verdict cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IExp {
     /// Index variable.
     Var(Var),

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Comparison operators between integer index expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Cmp {
     /// `<`
     Lt,
@@ -75,7 +75,10 @@ impl fmt::Display for Cmp {
 }
 
 /// A boolean index proposition.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` is structural (variables by id), used by the solver to sort
+/// hypothesis sets into canonical order for verdict caching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Prop {
     /// Constant truth.
     True,

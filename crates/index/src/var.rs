@@ -63,10 +63,29 @@ impl fmt::Display for Var {
 }
 
 /// A supply of fresh [`Var`]s.
-#[derive(Debug, Default, Clone)]
+///
+/// A supply owns a half-open id range `next..limit` (the default supply
+/// owns everything up to `u32::MAX`). [`VarGen::split`] carves disjoint
+/// sub-ranges out of a supply so parallel solver workers can generate
+/// fresh variables without any synchronisation and still never collide
+/// with each other or with the parent supply.
+#[derive(Debug, Clone)]
 pub struct VarGen {
     next: u32,
+    limit: u32,
 }
+
+impl Default for VarGen {
+    fn default() -> Self {
+        VarGen { next: 0, limit: u32::MAX }
+    }
+}
+
+/// Ids reserved for one worker by [`VarGen::split`]. A single `prove` run
+/// introduces at most a few fresh variables per goal, so a million ids per
+/// worker is beyond any realistic solve while leaving thousands of splits
+/// available in the 32-bit id space.
+const SPLIT_STRIDE: u32 = 1 << 20;
 
 impl VarGen {
     /// Creates a fresh supply starting at id 0.
@@ -74,9 +93,17 @@ impl VarGen {
         VarGen::default()
     }
 
+    /// Creates a supply that starts at `start` (and owns ids up to
+    /// `u32::MAX`). Used to hand out disjoint ranges explicitly; prefer
+    /// [`VarGen::split`] when carving from an existing supply.
+    pub fn starting_at(start: u32) -> Self {
+        VarGen { next: start, limit: u32::MAX }
+    }
+
     /// Returns a fresh variable with the given display name.
     pub fn fresh(&mut self, name: &str) -> Var {
         let id = self.next;
+        assert!(id < self.limit, "VarGen id range exhausted");
         self.next += 1;
         Var::new(id, name)
     }
@@ -86,6 +113,7 @@ impl VarGen {
     /// existential variables so Figure-4-style output stays readable.
     pub fn fresh_tagged(&mut self, base: &str) -> Var {
         let id = self.next;
+        assert!(id < self.limit, "VarGen id range exhausted");
         self.next += 1;
         Var::new(id, format!("{base}#{id}"))
     }
@@ -101,6 +129,28 @@ impl VarGen {
         if self.next <= id {
             self.next = id + 1;
         }
+    }
+
+    /// Carves `n` disjoint sub-supplies out of this supply, each owning a
+    /// contiguous range of fresh ids. The parent advances past the whole
+    /// carved region, so no variable it generates later can collide with a
+    /// worker's, and no two workers can collide with each other.
+    ///
+    /// Panics if the remaining id space cannot fit `n` stride-sized
+    /// ranges (practically unreachable: >4000 sixteen-way splits fit).
+    pub fn split(&mut self, n: usize) -> Vec<VarGen> {
+        let n = n.max(1);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = self.next;
+            let end = start
+                .checked_add(SPLIT_STRIDE)
+                .filter(|e| *e <= self.limit)
+                .expect("VarGen id space exhausted by split");
+            out.push(VarGen { next: start, limit: end });
+            self.next = end;
+        }
+        out
     }
 }
 
@@ -149,5 +199,39 @@ mod tests {
         let a = g.fresh("z");
         let b = g.fresh("a");
         assert!(a < b);
+    }
+
+    #[test]
+    fn split_ranges_are_disjoint_from_each_other_and_parent() {
+        let mut g = VarGen::new();
+        g.fresh("before");
+        let mut subs = g.split(3);
+        let after = g.fresh("after");
+        let mut seen = HashSet::new();
+        for sub in &mut subs {
+            for _ in 0..10 {
+                assert!(seen.insert(sub.fresh("w").id()), "worker ids collided");
+            }
+        }
+        assert!(!seen.contains(&after.id()), "parent id fell inside a worker range");
+        assert!(after.id() > seen.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn starting_at_offsets_ids() {
+        let mut g = VarGen::starting_at(500);
+        assert_eq!(g.fresh("x").id(), 500);
+        assert_eq!(g.fresh("y").id(), 501);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhausted_sub_supply_panics() {
+        let mut g = VarGen::new();
+        let mut sub = g.split(1).remove(0);
+        // Drain the whole stride plus one.
+        for _ in 0..=(1u32 << 20) {
+            sub.fresh("x");
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! Goal canonicalization for the verdict cache.
+//!
+//! Two goals that differ only in variable identities, hypothesis order, or
+//! duplicated hypotheses are decided identically by [`crate::Solver`], so
+//! the cache keys them on a *canonical form*:
+//!
+//! 1. every variable occurring in the conclusion or a hypothesis is
+//!    alpha-renamed to a dense de Bruijn-style id (`0, 1, 2, …`) in order
+//!    of first occurrence (conclusion first, then hypotheses in given
+//!    order) — context variables that occur nowhere are dropped, since
+//!    they cannot affect validity;
+//! 2. the renamed hypotheses are sorted structurally and deduplicated.
+//!
+//! The renaming is assigned before sorting, so goals whose hypothesis
+//! *sets* are equal but were first seen in permuted order can still key
+//! differently — the cache is an optimization, never an oracle, and the
+//! dominant reuse patterns (the lint walker re-asking an identical
+//! entailment, monomorphic call sites producing textually identical
+//! obligations, alpha-variants of one annotation) all normalise to the
+//! same key.
+
+use crate::goal::Goal;
+use dml_index::{IExp, Prop, Sort, Var};
+use std::collections::HashMap;
+
+/// The canonical form of a goal — the cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonGoal {
+    /// Sort of each canonical variable, indexed by its dense id.
+    pub sorts: Vec<Sort>,
+    /// Hypotheses, renamed, sorted, deduplicated.
+    pub hyps: Vec<Prop>,
+    /// The conclusion, renamed.
+    pub concl: Prop,
+}
+
+/// Canonicalizes a goal. See the module docs for the normal form.
+pub fn canonicalize(goal: &Goal) -> CanonGoal {
+    let mut ren = Renamer::new(&goal.ctx);
+    let concl = ren.prop(&goal.concl);
+    let mut hyps: Vec<Prop> = goal.hyps.iter().map(|h| ren.prop(h)).collect();
+    hyps.sort_unstable();
+    hyps.dedup();
+    CanonGoal { sorts: ren.sorts, hyps, concl }
+}
+
+/// Alpha-renamer assigning dense ids in order of first occurrence.
+struct Renamer<'a> {
+    ctx: &'a [(Var, Sort)],
+    map: HashMap<Var, Var>,
+    sorts: Vec<Sort>,
+}
+
+impl<'a> Renamer<'a> {
+    fn new(ctx: &'a [(Var, Sort)]) -> Self {
+        Renamer { ctx, map: HashMap::new(), sorts: Vec::new() }
+    }
+
+    fn var(&mut self, v: &Var) -> Var {
+        if let Some(c) = self.map.get(v) {
+            return c.clone();
+        }
+        let id = self.sorts.len() as u32;
+        // Display names never participate in equality or hashing; a fixed
+        // name keeps canonical goals readable in debug output.
+        let canon = Var::new(id, "c");
+        let sort = self.ctx.iter().find(|(w, _)| w == v).map(|(_, s)| *s).unwrap_or(Sort::Int);
+        self.sorts.push(sort);
+        self.map.insert(v.clone(), canon.clone());
+        canon
+    }
+
+    fn iexp(&mut self, e: &IExp) -> IExp {
+        match e {
+            IExp::Var(v) => IExp::Var(self.var(v)),
+            IExp::Lit(n) => IExp::Lit(*n),
+            IExp::Add(a, b) => IExp::Add(Box::new(self.iexp(a)), Box::new(self.iexp(b))),
+            IExp::Sub(a, b) => IExp::Sub(Box::new(self.iexp(a)), Box::new(self.iexp(b))),
+            IExp::Mul(a, b) => IExp::Mul(Box::new(self.iexp(a)), Box::new(self.iexp(b))),
+            IExp::Div(a, b) => IExp::Div(Box::new(self.iexp(a)), Box::new(self.iexp(b))),
+            IExp::Mod(a, b) => IExp::Mod(Box::new(self.iexp(a)), Box::new(self.iexp(b))),
+            IExp::Min(a, b) => IExp::Min(Box::new(self.iexp(a)), Box::new(self.iexp(b))),
+            IExp::Max(a, b) => IExp::Max(Box::new(self.iexp(a)), Box::new(self.iexp(b))),
+            IExp::Abs(a) => IExp::Abs(Box::new(self.iexp(a))),
+            IExp::Sgn(a) => IExp::Sgn(Box::new(self.iexp(a))),
+        }
+    }
+
+    fn prop(&mut self, p: &Prop) -> Prop {
+        match p {
+            Prop::True => Prop::True,
+            Prop::False => Prop::False,
+            Prop::BVar(v) => Prop::BVar(self.var(v)),
+            Prop::Cmp(op, a, b) => Prop::Cmp(*op, self.iexp(a), self.iexp(b)),
+            Prop::Not(q) => Prop::Not(Box::new(self.prop(q))),
+            Prop::And(a, b) => Prop::And(Box::new(self.prop(a)), Box::new(self.prop(b))),
+            Prop::Or(a, b) => Prop::Or(Box::new(self.prop(a)), Box::new(self.prop(b))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::VarGen;
+
+    fn goal(ctx: Vec<(Var, Sort)>, hyps: Vec<Prop>, concl: Prop) -> Goal {
+        Goal { ctx, hyps, concl, residual_existential: false }
+    }
+
+    /// Alpha-variants (fresh ids, different display names) share one key.
+    #[test]
+    fn alpha_variants_share_a_key() {
+        let mut g = VarGen::new();
+        let mk = |g: &mut VarGen, name_a: &str, name_b: &str| {
+            let a = g.fresh(name_a);
+            let b = g.fresh(name_b);
+            goal(
+                vec![(a.clone(), Sort::Int), (b.clone(), Sort::Int)],
+                vec![
+                    Prop::le(IExp::lit(0), IExp::var(a.clone())),
+                    Prop::lt(IExp::var(a.clone()), IExp::var(b.clone())),
+                ],
+                Prop::le(IExp::var(a), IExp::var(b)),
+            )
+        };
+        let g1 = mk(&mut g, "i", "n");
+        let g2 = mk(&mut g, "j", "m");
+        assert_ne!(g1.ctx[0].0, g2.ctx[0].0, "distinct source variables");
+        assert_eq!(canonicalize(&g1), canonicalize(&g2));
+    }
+
+    /// Duplicated hypotheses collapse; unused context variables drop out.
+    #[test]
+    fn dedup_and_unused_ctx_drop() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let unused = g.fresh("zz");
+        let h = Prop::le(IExp::lit(0), IExp::var(a.clone()));
+        let lean = goal(
+            vec![(a.clone(), Sort::Int)],
+            vec![h.clone()],
+            Prop::le(IExp::lit(0), IExp::var(a.clone()) + IExp::lit(1)),
+        );
+        let fat = goal(
+            vec![(a.clone(), Sort::Int), (unused, Sort::Bool)],
+            vec![h.clone(), h.clone()],
+            Prop::le(IExp::lit(0), IExp::var(a) + IExp::lit(1)),
+        );
+        let (ck_lean, ck_fat) = (canonicalize(&lean), canonicalize(&fat));
+        assert_eq!(ck_lean, ck_fat);
+        assert_eq!(ck_lean.hyps.len(), 1);
+        assert_eq!(ck_lean.sorts, vec![Sort::Int]);
+    }
+
+    /// Different conclusions (or hypothesis sets) never collide.
+    #[test]
+    fn semantic_differences_key_differently() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let base = goal(
+            vec![(a.clone(), Sort::Int)],
+            vec![Prop::le(IExp::lit(0), IExp::var(a.clone()))],
+            Prop::le(IExp::lit(0), IExp::var(a.clone())),
+        );
+        let mut other = base.clone();
+        other.concl = Prop::lt(IExp::lit(0), IExp::var(a.clone()));
+        assert_ne!(canonicalize(&base), canonicalize(&other));
+        let mut weaker = base.clone();
+        weaker.hyps.clear();
+        assert_ne!(canonicalize(&base), canonicalize(&weaker));
+        // Sorts are part of the key too.
+        let mut bool_ctx = base;
+        bool_ctx.ctx[0].1 = Sort::Bool;
+        assert_ne!(canonicalize(&bool_ctx).sorts, vec![Sort::Int]);
+    }
+
+    /// Hypothesis order is normalised away when renaming is unaffected.
+    #[test]
+    fn literal_hypothesis_order_is_canonical() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let h1 = Prop::le(IExp::lit(0), IExp::var(a.clone()));
+        let h2 = Prop::le(IExp::var(a.clone()), IExp::lit(10));
+        let concl = Prop::le(IExp::lit(-1), IExp::var(a.clone()));
+        let fwd = goal(vec![(a.clone(), Sort::Int)], vec![h1.clone(), h2.clone()], concl.clone());
+        let rev = goal(vec![(a, Sort::Int)], vec![h2, h1], concl);
+        assert_eq!(canonicalize(&fwd), canonicalize(&rev));
+    }
+}

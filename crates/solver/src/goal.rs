@@ -7,12 +7,15 @@
 //! `∀ctx. hyps ⊃ concl`, each decided by refuting `hyps ∧ ¬concl` over the
 //! integers.
 
+use crate::cache::GoalCache;
+use crate::canon::canonicalize;
 use crate::dnf::{expand_ne, to_systems, DnfError};
 use crate::lower::Lowering;
 use crate::stats::SolverStats;
 use crate::system::{FourierOptions, RefuteResult};
 use dml_index::{Constraint, IExp, Linear, Prop, Sort, Var, VarGen};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A proof goal `∀ctx. hyps ⊃ concl`.
@@ -96,6 +99,13 @@ pub struct SolverOptions {
     /// [`crate::omega`]). Off by default — none of the paper's programs
     /// need it — but the ablation bench exercises it.
     pub omega_fallback: bool,
+    /// Number of solve workers for [`crate::parallel::prove_all`]. `None`
+    /// uses the machine's available parallelism; `Some(1)` reproduces the
+    /// sequential pipeline exactly (same `VarGen` consumption, same order).
+    pub workers: Option<usize>,
+    /// Memoize goal verdicts keyed on canonical form (see [`crate::canon`]).
+    /// On by default; the ablation bench turns it off.
+    pub cache: bool,
 }
 
 impl Default for SolverOptions {
@@ -104,6 +114,8 @@ impl Default for SolverOptions {
             fourier: FourierOptions::default(),
             max_disjuncts: 256,
             omega_fallback: false,
+            workers: None,
+            cache: true,
         }
     }
 }
@@ -131,15 +143,20 @@ impl Outcome {
 
 /// The constraint solver: existential elimination → goal splitting →
 /// Fourier–Motzkin refutation.
+///
+/// Cloning a solver *shares* its verdict cache (the cache sits behind an
+/// [`Arc`]), so the compile pipeline, parallel workers, and the lint walker
+/// all reuse each other's memoized verdicts.
 #[derive(Debug, Clone, Default)]
 pub struct Solver {
     opts: SolverOptions,
+    cache: Arc<GoalCache>,
 }
 
 impl Solver {
-    /// Creates a solver with the given options.
+    /// Creates a solver with the given options and a fresh cache.
     pub fn new(opts: SolverOptions) -> Self {
-        Solver { opts }
+        Solver { opts, cache: Arc::new(GoalCache::new()) }
     }
 
     /// The solver options.
@@ -147,8 +164,13 @@ impl Solver {
         &self.opts
     }
 
+    /// The shared verdict cache.
+    pub fn cache(&self) -> &GoalCache {
+        &self.cache
+    }
+
     /// Proves a constraint, returning per-goal results and statistics.
-    pub fn prove(&mut self, c: &Constraint, gen: &mut VarGen) -> Outcome {
+    pub fn prove(&self, c: &Constraint, gen: &mut VarGen) -> Outcome {
         let start = Instant::now();
         let mut stats = SolverStats::default();
         let reduced = eliminate_existentials(c, &mut stats);
@@ -211,7 +233,9 @@ impl Solver {
         self.decide(&goal, gen, &mut stats)
     }
 
-    /// Decides a single goal.
+    /// Decides a single goal, consulting the shared verdict cache after the
+    /// cheap syntactic fast paths (fast-path goals never enter the cache —
+    /// deciding them again is cheaper than hashing them).
     pub fn decide(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> GoalResult {
         if goal.concl == Prop::True {
             return GoalResult::Valid;
@@ -231,6 +255,28 @@ impl Solver {
         if goal.hyps.contains(&goal.concl) {
             return GoalResult::Valid;
         }
+        if !self.opts.cache {
+            return self.decide_uncached(goal, gen, stats);
+        }
+        let key = canonicalize(goal);
+        if let Some(r) = self.cache.get(&key) {
+            stats.cache_hits += 1;
+            return r;
+        }
+        stats.cache_misses += 1;
+        let r = self.decide_uncached(goal, gen, stats);
+        self.cache.insert(key, r.clone());
+        r
+    }
+
+    /// The expensive part of [`Solver::decide`]: lowering, DNF expansion,
+    /// and Fourier–Motzkin refutation, with no cache consultation.
+    fn decide_uncached(
+        &self,
+        goal: &Goal,
+        gen: &mut VarGen,
+        stats: &mut SolverStats,
+    ) -> GoalResult {
         // Negate: hyps ∧ ¬concl must be integer-unsatisfiable. Non-linear
         // *hypotheses* are dropped (weakening — sound); a non-linear
         // conclusion is rejected per §3.2.
@@ -836,11 +882,57 @@ mod tests {
                 Box::new(Constraint::Implies(hyp, Box::new(Constraint::Prop(Prop::False)))),
             )),
         );
-        let mut plain = Solver::new(SolverOptions::default());
+        let plain = Solver::new(SolverOptions::default());
         assert!(!plain.prove(&c, &mut g).all_valid(), "FM+tightening alone cannot prove this");
-        let mut with_omega =
+        let with_omega =
             Solver::new(SolverOptions { omega_fallback: true, ..SolverOptions::default() });
         assert!(with_omega.prove(&c, &mut g).all_valid(), "the Omega fallback decides it");
+    }
+
+    /// Re-proving a constraint (or an alpha-variant of it) hits the verdict
+    /// cache and returns identical results.
+    #[test]
+    fn verdict_cache_hits_on_repeat_and_alpha_variants() {
+        let mut g = VarGen::new();
+        let mk = |g: &mut VarGen| {
+            let n = g.fresh("n");
+            Constraint::Forall(
+                n.clone(),
+                Sort::Int,
+                Box::new(Constraint::Implies(
+                    Prop::le(IExp::lit(0), IExp::var(n.clone())),
+                    Box::new(Constraint::Prop(Prop::le(IExp::var(n), IExp::lit(5)))),
+                )),
+            )
+        };
+        let s = solver();
+        let c1 = mk(&mut g);
+        let first = s.prove(&c1, &mut g);
+        assert_eq!(first.stats.cache_misses, 1);
+        assert_eq!(first.stats.cache_hits, 0);
+        // Same constraint again: pure hit.
+        let second = s.prove(&c1, &mut g);
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(second.stats.cache_misses, 0);
+        // Alpha-variant (fresh variable ids): still a hit.
+        let c2 = mk(&mut g);
+        let third = s.prove(&c2, &mut g);
+        assert_eq!(third.stats.cache_hits, 1);
+        for outcome in [&second, &third] {
+            assert_eq!(
+                outcome.results.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+                first.results.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            );
+        }
+        // A clone shares the cache; a fresh solver does not.
+        let cloned = s.clone();
+        assert_eq!(cloned.prove(&c1, &mut g).stats.cache_hits, 1);
+        assert_eq!(solver().prove(&c1, &mut g).stats.cache_misses, 1);
+        // Cache off: the same solve records neither hits nor misses.
+        let uncached = Solver::new(SolverOptions { cache: false, ..SolverOptions::default() });
+        let cold = uncached.prove(&c1, &mut g);
+        assert_eq!((cold.stats.cache_hits, cold.stats.cache_misses), (0, 0));
+        assert!(uncached.cache().is_empty());
     }
 
     /// `entails` is hypothesis-sensitive: dropping the guard that makes the
@@ -889,9 +981,9 @@ mod tests {
         let x = g.fresh("x");
         let concl = Prop::cmp(Cmp::Ne, IExp::lit(2) * IExp::var(x.clone()), IExp::lit(1));
         let c = Constraint::Forall(x, Sort::Int, Box::new(Constraint::Prop(concl)));
-        let mut with = Solver::new(SolverOptions::default());
+        let with = Solver::new(SolverOptions::default());
         assert!(with.prove(&c, &mut g).all_valid());
-        let mut without = Solver::new(SolverOptions {
+        let without = Solver::new(SolverOptions {
             fourier: FourierOptions { tighten: false, ..FourierOptions::default() },
             ..SolverOptions::default()
         });

@@ -55,6 +55,11 @@ impl<'g> Lowering<'g> {
         self.introduced.len()
     }
 
+    /// Number of memoized composite subterms (leaves are never memoized).
+    pub fn memo_count(&self) -> usize {
+        self.memo.len()
+    }
+
     fn fresh(&mut self, tag: &str) -> Var {
         let v = self.gen.fresh_tagged(tag);
         self.introduced.push(v.clone());
@@ -69,12 +74,19 @@ impl<'g> Lowering<'g> {
     /// Returns [`NonLinear`] for products of non-constants and for
     /// `div`/`mod` with a divisor that is not a positive constant.
     pub fn lower(&mut self, e: &IExp) -> Result<Linear, NonLinear> {
+        // Leaves are cheaper to rebuild than to hash: memoizing them would
+        // clone every `Var`/`Lit` key into the table on the hot path for no
+        // sharing benefit (they introduce no fresh variables).
+        match e {
+            IExp::Var(v) => return Ok(Linear::var(v.clone())),
+            IExp::Lit(n) => return Ok(Linear::constant(*n)),
+            _ => {}
+        }
         if let Some(l) = self.memo.get(e) {
             return Ok(l.clone());
         }
         let result = match e {
-            IExp::Var(v) => Linear::var(v.clone()),
-            IExp::Lit(n) => Linear::constant(*n),
+            IExp::Var(_) | IExp::Lit(_) => unreachable!("leaves handled above"),
             IExp::Add(a, b) => self.lower(a)?.add(&self.lower(b)?),
             IExp::Sub(a, b) => self.lower(a)?.sub(&self.lower(b)?),
             IExp::Mul(a, b) => {
@@ -250,6 +262,9 @@ mod tests {
         let l = lo.lower(&e).unwrap();
         assert_eq!(lo.fresh_count(), 2, "q and r shared between occurrences");
         assert_eq!(l.terms().map(|(_, c)| c).collect::<Vec<_>>(), vec![2]);
+        // Exactly the composite subterms are memoized — the shared `div`
+        // and the enclosing `+`; the `a`/`2` leaves stay out of the table.
+        assert_eq!(lo.memo_count(), 2);
     }
 
     #[test]

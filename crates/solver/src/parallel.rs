@@ -1,0 +1,144 @@
+//! Multi-worker constraint solving over `std::thread::scope`.
+//!
+//! Obligations are independent verification conditions, so they can be
+//! solved concurrently. The design keeps the solve phase *deterministic*:
+//!
+//! - results come back in obligation order regardless of worker count or
+//!   scheduling (each worker tags results with the obligation index);
+//! - each worker gets a disjoint [`VarGen`] id range via [`VarGen::split`],
+//!   so fresh-variable generation needs no lock and ids never collide —
+//!   worker-fresh variables are internal to lowering/Omega and never escape
+//!   into reported results;
+//! - with `workers <= 1` the parent `gen` is threaded through directly,
+//!   reproducing the sequential pipeline's variable consumption exactly.
+//!
+//! Work distribution is a shared atomic index (cheap work stealing): a
+//! worker claims the next unsolved obligation until none remain, so one
+//! slow goal cannot serialise the rest of the batch behind it.
+
+use crate::goal::{Outcome, Solver};
+use dml_index::{Constraint, VarGen};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves an optional worker-count request against the batch size.
+///
+/// `None` means "use available parallelism". The result is clamped to
+/// `1..=n` (never more workers than obligations, never zero).
+pub fn effective_workers(requested: Option<usize>, n: usize) -> usize {
+    let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    requested.unwrap_or(avail).clamp(1, n.max(1))
+}
+
+/// Proves every constraint, returning one [`Outcome`] per constraint in
+/// input order.
+///
+/// The solver's verdict cache is shared across all workers (it is behind an
+/// `Arc`), so a goal proven on one worker is a cache hit on every other.
+pub fn prove_all(solver: &Solver, constraints: &[&Constraint], gen: &mut VarGen) -> Vec<Outcome> {
+    let workers = effective_workers(solver.options().workers, constraints.len());
+    if workers <= 1 {
+        return constraints.iter().map(|c| solver.prove(c, gen)).collect();
+    }
+    let supplies = gen.split(workers);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Outcome>> = vec![None; constraints.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = supplies
+            .into_iter()
+            .map(|mut sub| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, Outcome)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(c) = constraints.get(i) else { break };
+                        done.push((i, solver.prove(c, &mut sub)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, outcome) in h.join().expect("solver worker panicked") {
+                slots[i] = Some(outcome);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every obligation solved exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::SolverOptions;
+    use dml_index::{IExp, Prop, Sort};
+
+    /// `∀n. 0 ≤ n ⊃ 0 ≤ n + k` — valid for k ≥ 0, falsifiable for k < 0.
+    fn shifted(gen: &mut VarGen, k: i64) -> Constraint {
+        let n = gen.fresh("n");
+        Constraint::Forall(
+            n.clone(),
+            Sort::Int,
+            Box::new(Constraint::Implies(
+                Prop::le(IExp::lit(0), IExp::var(n.clone())),
+                Box::new(Constraint::Prop(Prop::le(IExp::lit(0), IExp::var(n) + IExp::lit(k)))),
+            )),
+        )
+    }
+
+    fn verdicts(outcomes: &[Outcome]) -> Vec<Vec<bool>> {
+        outcomes.iter().map(|o| o.results.iter().map(|(_, r)| r.is_valid()).collect()).collect()
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(Some(4), 100), 4);
+        assert_eq!(effective_workers(Some(0), 100), 1);
+        assert_eq!(effective_workers(Some(64), 3), 3, "never more workers than work");
+        assert_eq!(effective_workers(Some(8), 0), 1, "empty batch still one worker");
+        assert!(effective_workers(None, 100) >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_in_order_and_verdict() {
+        let mut gen = VarGen::new();
+        let cs: Vec<Constraint> = (-4..28).map(|k| shifted(&mut gen, k)).collect();
+        let refs: Vec<&Constraint> = cs.iter().collect();
+
+        let mut gen_seq = gen.clone();
+        let seq = Solver::new(SolverOptions { workers: Some(1), ..SolverOptions::default() });
+        let sequential = prove_all(&seq, &refs, &mut gen_seq);
+
+        let mut gen_par = gen.clone();
+        let par = Solver::new(SolverOptions { workers: Some(4), ..SolverOptions::default() });
+        let parallel = prove_all(&par, &refs, &mut gen_par);
+
+        assert_eq!(sequential.len(), refs.len());
+        assert_eq!(verdicts(&sequential), verdicts(&parallel));
+        // The first four (k = -4..0) are falsifiable, the rest valid —
+        // confirming order is preserved, not just multiset equality.
+        for (i, row) in verdicts(&parallel).iter().enumerate() {
+            assert_eq!(row, &vec![i >= 4], "obligation {i}");
+        }
+    }
+
+    #[test]
+    fn workers_share_the_verdict_cache() {
+        let mut gen = VarGen::new();
+        // 32 alpha-variants of one goal: one miss, the rest hits.
+        let cs: Vec<Constraint> = (0..32).map(|_| shifted(&mut gen, 1)).collect();
+        let refs: Vec<&Constraint> = cs.iter().collect();
+        let solver = Solver::new(SolverOptions { workers: Some(4), ..SolverOptions::default() });
+        let outcomes = prove_all(&solver, &refs, &mut gen);
+        assert!(outcomes.iter().all(|o| o.all_valid()));
+        assert_eq!(solver.cache().len(), 1, "all variants share one canonical entry");
+        assert!(solver.cache().hits() > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut gen = VarGen::new();
+        let solver = Solver::default();
+        assert!(prove_all(&solver, &[], &mut gen).is_empty());
+    }
+}

@@ -24,6 +24,14 @@ pub struct SolverStats {
     pub fm_combinations: usize,
     /// Fresh variables introduced by non-linear lowering.
     pub lowered_vars: usize,
+    /// Goals answered from the verdict cache.
+    ///
+    /// Hit/miss counts depend on what earlier solves warmed the shared
+    /// cache (and, under parallel solving, on scheduling), so they are
+    /// reported alongside timing — never compared byte-for-byte.
+    pub cache_hits: usize,
+    /// Goals that missed the verdict cache and were decided from scratch.
+    pub cache_misses: usize,
     /// Wall-clock time spent solving.
     pub solve_time: Duration,
 }
@@ -39,6 +47,8 @@ impl SolverStats {
         self.disjuncts_refuted += other.disjuncts_refuted;
         self.fm_combinations += other.fm_combinations;
         self.lowered_vars += other.lowered_vars;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.solve_time += other.solve_time;
     }
 }
@@ -47,8 +57,14 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} goals ({} proven, {} not proven), {} FM combinations, {:?}",
-            self.goals, self.proven, self.not_proven, self.fm_combinations, self.solve_time
+            "{} goals ({} proven, {} not proven), {} FM combinations, {} cache hits / {} misses, {:?}",
+            self.goals,
+            self.proven,
+            self.not_proven,
+            self.fm_combinations,
+            self.cache_hits,
+            self.cache_misses,
+            self.solve_time
         )
     }
 }
