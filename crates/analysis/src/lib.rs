@@ -21,6 +21,7 @@
 //! | DML003 | unused-index-variable  | syntax     |
 //! | DML004 | nonlinear-index        | syntax     |
 //! | DML005 | unprovable-annotation  | entailment |
+//! | DML006 | residual-bound-check   | pipeline verdicts |
 
 pub mod lints;
 pub mod render;
@@ -73,6 +74,12 @@ pub const LINTS: &[Lint] = &[
         code: "DML005",
         name: "unprovable-annotation",
         summary: "annotation guard is unsatisfiable — the function can never be called",
+        default_severity: Severity::Warning,
+    },
+    Lint {
+        code: "DML006",
+        name: "residual-bound-check",
+        summary: "bound/tag check could not be proven and stays in the compiled program",
         default_severity: Severity::Warning,
     },
 ];

@@ -7,12 +7,13 @@
 
 use std::collections::HashMap;
 
-use dml_elab::{SiteContext, SiteRole};
+use dml_elab::{ResidualCheck, SiteContext, SiteRole};
 use dml_index::{Prop, Sort, Var, VarGen};
-use dml_solver::{GoalResult, Solver};
+use dml_solver::{Solver, Verdict};
 use dml_syntax::ast::{self as sast, IExpr};
 use dml_syntax::Span;
 use dml_types::convert::{Converter, FamilySig, Scope};
+use dml_types::env::CheckKind;
 
 use crate::walk::{self, GroupKind, QuantGroup};
 use crate::{lint_by_code, Finding};
@@ -29,12 +30,16 @@ use crate::{lint_by_code, Finding};
 ///   solver a program was compiled with shares its verdict cache, so
 ///   entailments the compile already decided are answered without
 ///   re-running the decision procedure.
+/// * `residuals` — the pipeline's residual checks
+///   ([`dml_elab::residual_checks`]) for the DML006 lint. Pass `&[]` to
+///   skip it (e.g. when linting without solving).
 pub fn run_lints(
     program: &sast::Program,
     contexts: &[SiteContext],
     families: &HashMap<String, FamilySig>,
     solver: &Solver,
     gen: &mut VarGen,
+    residuals: &[ResidualCheck],
 ) -> Vec<Finding> {
     let facts = walk::collect(program);
     let mut findings = Vec::new();
@@ -42,6 +47,7 @@ pub fn run_lints(
     refinement_lints(&facts.groups, families, solver, gen, &mut findings);
     unused_index_variable(&facts.groups, &mut findings);
     nonlinear_index(&facts.index_exprs, &mut findings);
+    residual_bound_check(residuals, &mut findings);
     findings.sort_by_key(|f| (f.span.start, f.span.end, f.code));
     findings.dedup_by(|a, b| a.code == b.code && a.span == b.span && a.message == b.message);
     findings
@@ -59,8 +65,8 @@ fn finding(code: &str, message: String, span: Span, notes: Vec<String>) -> Findi
     }
 }
 
-fn valid(r: GoalResult) -> bool {
-    matches!(r, GoalResult::Valid)
+fn valid(r: Verdict) -> bool {
+    r.is_proven()
 }
 
 /// Renders at most `limit` hypotheses as notes.
@@ -395,16 +401,43 @@ fn scan_nonlinear(e: &IExpr, owner: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// DML006: residual-bound-check.
+// ---------------------------------------------------------------------------
+
+/// One finding per residual check site, carrying the solver's reason
+/// (nonlinear constraint, fuel exhausted, deadline, possibly falsifiable).
+/// The pipeline computes the residual set; this lint only reports it, so
+/// like the other semantic lints it cannot fire on a proven site.
+fn residual_bound_check(residuals: &[ResidualCheck], findings: &mut Vec<Finding>) {
+    for r in residuals {
+        let what = match r.check {
+            CheckKind::ListTag => "list tag check",
+            _ => "array bound check",
+        };
+        findings.push(finding(
+            "DML006",
+            format!("{what} for `{}` in `{}` stays at run time: {}", r.prim, r.in_fun, r.reason),
+            r.site,
+            vec![
+                "the solver could not prove this access safe; the check is residual".to_string(),
+                "strengthen the annotation, or compile strictly to make this an error".to_string(),
+            ],
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dml_index::UnknownReason;
     use dml_syntax::parse_program;
     use dml_types::convert::builtin_families;
 
     fn lint_src(src: &str) -> Vec<Finding> {
         let program = parse_program(src).expect("parses");
         let mut gen = VarGen::new();
-        run_lints(&program, &[], &builtin_families(), &Solver::default(), &mut gen)
+        run_lints(&program, &[], &builtin_families(), &Solver::default(), &mut gen, &[])
     }
 
     fn codes(findings: &[Finding]) -> Vec<&'static str> {
@@ -488,6 +521,26 @@ mod tests {
             "fun f(x) = x\nwhere f <| {n:nat, i:int | 0 <= i && i < n} int(2 * n + i - 1) -> int(n div 2)\n",
         );
         assert!(!codes(&f).contains(&"DML004"), "{f:?}");
+    }
+
+    #[test]
+    fn residual_checks_surface_as_dml006() {
+        let program = parse_program("fun f(x) = x").expect("parses");
+        let mut gen = VarGen::new();
+        let residuals = vec![ResidualCheck {
+            site: Span::new(4, 9),
+            prim: "sub".into(),
+            check: CheckKind::ArrayBound,
+            in_fun: "f".into(),
+            reason: UnknownReason::Nonlinear("i * i".into()),
+        }];
+        let f =
+            run_lints(&program, &[], &builtin_families(), &Solver::default(), &mut gen, &residuals);
+        let dml6: Vec<_> = f.iter().filter(|x| x.code == "DML006").collect();
+        assert_eq!(dml6.len(), 1, "{f:?}");
+        assert!(dml6[0].message.contains("sub"), "{dml6:?}");
+        assert!(dml6[0].message.contains("non-linear"), "{dml6:?}");
+        assert_eq!(dml6[0].span, Span::new(4, 9));
     }
 
     #[test]

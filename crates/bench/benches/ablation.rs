@@ -8,17 +8,14 @@
 //! optimized byte copy function".
 
 use dml::experiments::{bench_source, benchmarks};
-use dml::pipeline::compile_with_options;
+use dml::Compiler;
 use dml_bench::bench;
 use dml_solver::system::FourierOptions;
 use dml_solver::SolverOptions;
 use std::hint::black_box;
 
 fn options(tighten: bool) -> SolverOptions {
-    SolverOptions {
-        fourier: FourierOptions { tighten, ..FourierOptions::default() },
-        ..SolverOptions::default()
-    }
+    SolverOptions::default().with_fourier(FourierOptions { tighten, ..FourierOptions::default() })
 }
 
 fn print_summary() {
@@ -26,8 +23,9 @@ fn print_summary() {
     println!("{:<14} {:>14} {:>14}", "program", "verified+T", "verified-T");
     for b in benchmarks() {
         let src = bench_source(&b.program);
-        let with = compile_with_options(&src, options(true)).expect("compiles");
-        let without = compile_with_options(&src, options(false)).expect("compiles");
+        let with = Compiler::new().solver_options(options(true)).compile(&src).expect("compiles");
+        let without =
+            Compiler::new().solver_options(options(false)).compile(&src).expect("compiles");
         println!(
             "{:<14} {:>14} {:>14}",
             b.program.name,
@@ -43,8 +41,10 @@ fn main() {
         let src = bench_source(&b.program);
         for (label, tighten) in [("with", true), ("without", false)] {
             bench("ablation_tightening", &format!("{}/{label}", b.program.name), 1, 10, || {
-                let compiled =
-                    compile_with_options(black_box(&src), options(tighten)).expect("compiles");
+                let compiled = Compiler::new()
+                    .solver_options(options(tighten))
+                    .compile(black_box(&src))
+                    .expect("compiles");
                 compiled.stats().solver.fm_combinations
             });
         }

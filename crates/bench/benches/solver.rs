@@ -59,7 +59,7 @@ fn main() {
         let solver = Solver::new(SolverOptions::default());
         bench("solver", "bsearch_midpoint", 5, 50, || {
             let outcome = solver.prove(black_box(&constraint), &mut gen);
-            assert!(outcome.all_valid());
+            assert!(outcome.all_proven());
             outcome.stats.fm_combinations
         });
     }
@@ -70,7 +70,7 @@ fn main() {
         let solver = Solver::new(SolverOptions::default());
         bench("solver", &format!("transitivity_chain/{n}"), 3, 20, || {
             let outcome = solver.prove(black_box(&constraint), &mut gen);
-            assert!(outcome.all_valid());
+            assert!(outcome.all_proven());
             outcome.stats.fm_combinations
         });
     }

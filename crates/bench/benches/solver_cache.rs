@@ -13,7 +13,7 @@
 //! the second pass's hit rate (its entailment queries repeat exactly).
 
 use dml::experiments::{bench_source, benchmarks};
-use dml::pipeline::{compile_with_options, compile_with_solver};
+use dml::Compiler;
 use dml_bench::bench_timed;
 use dml_bench::json::Json;
 use dml_solver::{Solver, SolverOptions};
@@ -42,7 +42,7 @@ fn main() {
         // Cold: fresh solver (and empty cache) every compile.
         let mut cold = None::<dml::CompileStats>;
         bench_timed("solver_cache", &format!("{name}/cold"), warmup, iters, || {
-            let c = compile_with_options(&src, SolverOptions::default()).expect("compiles");
+            let c = Compiler::new().compile(&src).expect("compiles");
             let s = c.stats().clone();
             if cold.as_ref().is_none_or(|best| s.solve_time < best.solve_time) {
                 cold = Some(s);
@@ -52,10 +52,10 @@ fn main() {
 
         // Warm: a shared solver primed by one untimed compile.
         let shared = Solver::new(SolverOptions::default());
-        compile_with_solver(&src, &shared).expect("compiles");
+        Compiler::new().with_solver(&shared).compile(&src).expect("compiles");
         let mut warm = None::<dml::CompileStats>;
         bench_timed("solver_cache", &format!("{name}/warm"), warmup, iters, || {
-            let c = compile_with_solver(&src, &shared).expect("compiles");
+            let c = Compiler::new().with_solver(&shared).compile(&src).expect("compiles");
             let s = c.stats().clone();
             if warm.as_ref().is_none_or(|best| s.solve_time < best.solve_time) {
                 warm = Some(s);
@@ -85,7 +85,7 @@ fn main() {
     let mut ablation = Vec::new();
     for (workers, label) in [(Some(1), "1"), (None, "auto")] {
         for cache in [true, false] {
-            let opts = SolverOptions { workers, cache, ..SolverOptions::default() };
+            let opts = SolverOptions::default().with_workers(workers).with_cache(cache);
             let mut total = Duration::ZERO;
             bench_timed(
                 "solver_cache",
@@ -96,7 +96,8 @@ fn main() {
                     total = Duration::ZERO;
                     for b in benchmarks() {
                         let src = bench_source(&b.program);
-                        let c = compile_with_options(&src, opts).expect("compiles");
+                        let c =
+                            Compiler::new().solver_options(opts).compile(&src).expect("compiles");
                         total += c.stats().solve_time;
                     }
                 },
@@ -114,7 +115,7 @@ fn main() {
     let (mut lint_hits, mut lint_misses) = (0u64, 0u64);
     for b in benchmarks() {
         let src = bench_source(&b.program);
-        let c = compile_with_options(&src, SolverOptions::default()).expect("compiles");
+        let c = Compiler::new().compile(&src).expect("compiles");
         let _ = c.lints(); // first pass warms lint-only entries
         let (h0, m0) = (c.solver().cache().hits(), c.solver().cache().misses());
         let _ = c.lints();

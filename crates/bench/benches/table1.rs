@@ -15,7 +15,7 @@ fn main() {
     for b in benchmarks() {
         let src = bench_source(&b.program);
         bench("table1_typecheck", b.program.name, 2, 10, || {
-            let compiled = dml::compile(black_box(&src)).expect("compiles");
+            let compiled = dml::Compiler::new().compile(black_box(&src)).expect("compiles");
             assert!(compiled.fully_verified());
             compiled.stats().constraints
         });

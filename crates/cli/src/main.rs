@@ -5,21 +5,38 @@
 //! dmlc constraints <file.dml>  print every generated constraint
 //! dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]
 //! dmlc run <file.dml> <fun> [ints...]   run a function on integer args
+//! dmlc eval <file.dml> <fun> [ints...]  alias for `run`
 //! dmlc figure4                 print the paper's Figure 4 constraints
 //! dmlc table <1|2|3> [factor]  regenerate a table of the evaluation
 //! ```
+//!
+//! Session flags (accepted by `check`, `constraints`, `lint`, `run`/`eval`):
+//!
+//! * `--fuel N` — per-goal Fourier–Motzkin budget; exhausted goals come
+//!   back unknown and their checks stay at run time.
+//! * `--deadline-ms N` — per-goal wall-clock budget.
+//! * `--strict` — unproven obligations abort compilation (the permissive
+//!   default lets them degrade to residual runtime checks).
 
 use dml::experiments;
-use dml::{compile, Mode, Severity, Value};
+use dml::{Compiler, Mode, ObKind, Severity, Value};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (compiler, args) = match parse_session_flags(&args) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match args.first().map(String::as_str) {
-        Some("check") => with_file(&args, check),
-        Some("constraints") => with_file(&args, constraints),
-        Some("lint") => lint(&args),
-        Some("run") => run(&args),
+        Some("check") => with_file(&args, |src| check(&compiler, src)),
+        Some("constraints") => with_file(&args, |src| constraints(&compiler, src)),
+        Some("lint") => lint(&compiler, &args),
+        Some("run" | "eval") => run(&compiler, &args),
         Some("figure4") => {
             for line in experiments::figure4() {
                 println!("{line}");
@@ -29,18 +46,47 @@ fn main() -> ExitCode {
         Some("table") => table(&args),
         _ => {
             eprintln!(
-                "usage: dmlc <check|constraints|lint|run|figure4|table> ...\n\
+                "usage: dmlc <check|constraints|lint|run|eval|figure4|table> ...\n\
                  \n\
-                 dmlc check <file.dml>\n\
-                 dmlc constraints <file.dml>\n\
-                 dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]\n\
-                 dmlc run <file.dml> <fun> [ints...]\n\
+                 dmlc check <file.dml> [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc constraints <file.dml> [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE] [--fuel N] [--strict]\n\
+                 dmlc run <file.dml> <fun> [ints...] [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc eval <file.dml> <fun> [ints...]   (alias for run)\n\
                  dmlc figure4\n\
                  dmlc table <1|2|3> [factor]"
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Extracts the `--fuel` / `--deadline-ms` / `--strict` session flags from
+/// anywhere on the command line, returning the configured [`Compiler`] and
+/// the remaining arguments.
+fn parse_session_flags(args: &[String]) -> Result<(Compiler, Vec<String>), String> {
+    let mut compiler = Compiler::new();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fuel" => {
+                let v = it.next().ok_or("--fuel expects a number")?;
+                let n: u64 =
+                    v.parse().map_err(|_| format!("--fuel expects a number, got `{v}`"))?;
+                compiler = compiler.fuel(n);
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms expects a number")?;
+                let n: u64 =
+                    v.parse().map_err(|_| format!("--deadline-ms expects a number, got `{v}`"))?;
+                compiler = compiler.deadline(Duration::from_millis(n));
+            }
+            "--strict" => compiler = compiler.strict(true),
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((compiler, rest))
 }
 
 fn with_file(args: &[String], f: impl Fn(&str) -> ExitCode) -> ExitCode {
@@ -57,8 +103,8 @@ fn with_file(args: &[String], f: impl Fn(&str) -> ExitCode) -> ExitCode {
     }
 }
 
-fn check(src: &str) -> ExitCode {
-    match compile(src) {
+fn check(compiler: &Compiler, src: &str) -> ExitCode {
+    match compiler.compile(src) {
         Ok(compiled) => {
             let stats = compiled.stats();
             println!(
@@ -85,11 +131,29 @@ fn check(src: &str) -> ExitCode {
             }
             if compiled.fully_verified() {
                 println!("fully verified: all run-time checks at proven sites are eliminated");
-                ExitCode::SUCCESS
-            } else {
+                return ExitCode::SUCCESS;
+            }
+            // Not fully verified. In permissive mode, unproven *check*
+            // obligations degrade gracefully to residual runtime checks;
+            // only failed non-check obligations (type equations, guards)
+            // make the program ill-typed.
+            let ill_typed = compiled
+                .failures()
+                .any(|(o, _)| !o.kind.is_check() && !matches!(o.kind, ObKind::Unreachable { .. }));
+            for rc in compiled.residual_checks() {
+                println!("{rc}");
+            }
+            if ill_typed {
                 println!("NOT fully verified; unproven obligations:\n");
                 print!("{}", compiled.explain_failures(src));
                 ExitCode::FAILURE
+            } else {
+                println!(
+                    "{} residual runtime check(s) remain (permissive mode; \
+                     use --strict to make this an error)",
+                    compiled.residual_checks().len()
+                );
+                ExitCode::SUCCESS
             }
         }
         Err(e) => {
@@ -99,15 +163,15 @@ fn check(src: &str) -> ExitCode {
     }
 }
 
-fn constraints(src: &str) -> ExitCode {
-    match compile(src) {
+fn constraints(compiler: &Compiler, src: &str) -> ExitCode {
+    match compiler.compile(src) {
         Ok(compiled) => {
             let mut unproven = 0usize;
             for (o, r) in compiled.obligations() {
-                if !r.is_valid() {
+                if !r.is_proven() {
                     unproven += 1;
                 }
-                println!("{o}  [{}]", if r.is_valid() { "valid" } else { "NOT PROVEN" });
+                println!("{o}  [{}]", if r.is_proven() { "valid" } else { "NOT PROVEN" });
             }
             // To stderr: cache counters vary with solver configuration,
             // while stdout stays byte-identical across workers/cache
@@ -136,7 +200,7 @@ fn constraints(src: &str) -> ExitCode {
 /// Exit code contract: FAILURE on compile errors, on unknown flags, and
 /// whenever any finding has error severity (a `--deny`'d code promotes its
 /// findings to errors); SUCCESS otherwise, warnings included.
-fn lint(args: &[String]) -> ExitCode {
+fn lint(compiler: &Compiler, args: &[String]) -> ExitCode {
     let Some(path) = args.get(1) else {
         eprintln!("usage: dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]");
         return ExitCode::FAILURE;
@@ -159,7 +223,7 @@ fn lint(args: &[String]) -> ExitCode {
             "--deny" => match rest.next().and_then(|c| dml::lint_by_code(c)) {
                 Some(l) => deny.push(l.code),
                 None => {
-                    eprintln!("--deny expects a known lint code (DML001..DML005) or name");
+                    eprintln!("--deny expects a known lint code (DML001..DML006) or name");
                     return ExitCode::FAILURE;
                 }
             },
@@ -176,7 +240,7 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match compile(&src) {
+    let compiled = match compiler.compile(&src) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -202,7 +266,7 @@ fn lint(args: &[String]) -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> ExitCode {
+fn run(compiler: &Compiler, args: &[String]) -> ExitCode {
     let (Some(path), Some(fun)) = (args.get(1), args.get(2)) else {
         eprintln!("usage: dmlc run <file.dml> <fun> [ints...]");
         return ExitCode::FAILURE;
@@ -214,7 +278,7 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match compile(&src) {
+    let compiled = match compiler.compile(&src) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -241,8 +305,9 @@ fn run(args: &[String]) -> ExitCode {
         Ok(v) => {
             println!("{v}");
             println!(
-                "checks: {} executed, {} eliminated",
+                "checks: {} executed ({} residual), {} eliminated",
                 machine.counters.executed(),
+                machine.counters.residual(),
                 machine.counters.eliminated()
             );
             ExitCode::SUCCESS

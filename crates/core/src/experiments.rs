@@ -11,7 +11,7 @@
 //! Workloads follow the paper's shapes with sizes scaled by a factor so
 //! the interpreter finishes in bench-friendly time; see `EXPERIMENTS.md`.
 
-use crate::pipeline::{compile, Compiled};
+use crate::pipeline::{Compiled, Compiler};
 use crate::table::Table;
 use dml_eval::{Machine, Mode, Value};
 use dml_programs as progs;
@@ -43,6 +43,10 @@ pub struct Table1Row {
     pub total_lines: usize,
     /// Whether every constraint was proven.
     pub fully_verified: bool,
+    /// Check sites whose bound/tag checks stay in the compiled program
+    /// (unproven obligations — graceful degradation). Zero for fully
+    /// verified programs.
+    pub residual_sites: usize,
 }
 
 /// Compiles every benchmark program and reports Table 1's columns.
@@ -64,6 +68,7 @@ pub fn table1() -> Vec<Table1Row> {
                 annotation_lines: b.program.annotation_lines(),
                 total_lines: b.program.line_count(),
                 fully_verified: compiled.fully_verified(),
+                residual_sites: compiled.residual_checks().len(),
             }
         })
         .collect()
@@ -97,7 +102,15 @@ pub fn table1_rendered() -> Table {
             r.annotations.to_string(),
             r.annotation_lines.to_string(),
             format!("{} lines", r.total_lines),
-            if r.fully_verified { "yes" } else { "PARTIAL" }.to_string(),
+            // Fully verified rows render exactly as before; partially
+            // verified ones name their residual-check count.
+            if r.fully_verified {
+                "yes".to_string()
+            } else if r.residual_sites > 0 {
+                format!("PARTIAL ({} residual)", r.residual_sites)
+            } else {
+                "PARTIAL".to_string()
+            },
         ]);
     }
     t
@@ -119,8 +132,13 @@ pub struct RunRow {
     pub ops_gain_percent: f64,
     /// Dynamic checks eliminated during the run.
     pub checks_eliminated: u64,
-    /// Checks still executed in eliminated mode (unproven or `*CK` sites).
+    /// Residual checks executed in eliminated mode: dynamic checks at
+    /// unproven sites (graceful degradation). Explicitly-checked `*CK`
+    /// sites are counted in [`RunRow::checks_executed`] but not here —
+    /// they were never candidates for elimination.
     pub residual_checks: u64,
+    /// All checks executed in eliminated mode (residual plus `*CK` sites).
+    pub checks_executed: u64,
     /// Whether both modes computed identical results (must always hold).
     pub outputs_match: bool,
 }
@@ -178,7 +196,7 @@ pub fn table_rendered(rows: &[RunRow]) -> Table {
 /// As in the paper, constraints are shown *after* existential-variable
 /// elimination (the published figure contains only universal quantifiers).
 pub fn figure4() -> Vec<String> {
-    let compiled = compile(progs::bsearch::SOURCE).expect("bsearch compiles");
+    let compiled = Compiler::new().compile(progs::bsearch::SOURCE).expect("bsearch compiles");
     let mut out = Vec::new();
     for (o, r) in compiled
         .obligations()
@@ -192,7 +210,7 @@ pub fn figure4() -> Vec<String> {
                 "[{}] {}  ({})",
                 o.kind,
                 goal,
-                if r.is_valid() { "valid" } else { "NOT PROVEN" }
+                if r.is_proven() { "valid" } else { "NOT PROVEN" }
             ));
         }
     }
@@ -229,7 +247,9 @@ pub fn benchmarks() -> Vec<Bench> {
 /// Compiles a benchmark (quicksort needs its integer driver appended).
 pub fn compile_bench(b: &Bench) -> Compiled {
     let src = bench_source(&b.program);
-    compile(&src).unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.program.name))
+    Compiler::new()
+        .compile(&src)
+        .unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.program.name))
 }
 
 /// The source actually compiled for a benchmark program.
@@ -291,7 +311,8 @@ pub fn run_benchmark_with(b: &Bench, factor: u32, check_cost: u32, repeats: u32)
         gain_percent: gain,
         ops_gain_percent: ops_gain,
         checks_eliminated: counters.eliminated(),
-        residual_checks: counters.executed(),
+        residual_checks: counters.residual(),
+        checks_executed: counters.executed(),
         outputs_match: with_sum == without_sum,
     }
 }
@@ -404,7 +425,7 @@ mod tests {
 
     #[test]
     fn kmp_verifies_with_residual_checked_sites() {
-        let c = compile(progs::kmp::SOURCE).unwrap();
+        let c = Compiler::new().compile(progs::kmp::SOURCE).unwrap();
         assert!(
             c.fully_verified(),
             "kmp failures:\n{}",
@@ -419,12 +440,16 @@ mod tests {
         m.call("kmpMatch", vec![progs::kmp::args(&text, &pat)]).unwrap();
         assert!(m.counters.array_checks_eliminated > 0, "most checks eliminated");
         assert!(m.counters.array_checks_executed > 0, "subCK residue stays checked");
+        assert_eq!(
+            m.counters.array_checks_residual, 0,
+            "`subCK` checks are explicit, not residual — kmp is fully verified"
+        );
     }
 
     #[test]
     fn expository_programs_fully_verified() {
         for p in [progs::dotprod::PROGRAM, progs::reverse::PROGRAM, progs::filter::PROGRAM] {
-            let c = compile(p.source).unwrap();
+            let c = Compiler::new().compile(p.source).unwrap();
             assert!(
                 c.fully_verified(),
                 "{} failures:\n{}",
@@ -441,6 +466,7 @@ mod tests {
         for r in &rows {
             assert!(r.constraints > 0, "{}", r.program);
             assert!(r.fully_verified, "{}", r.program);
+            assert_eq!(r.residual_sites, 0, "{} has residual checks", r.program);
             assert!(r.annotations >= 1);
         }
         let rendered = table1_rendered().to_string();

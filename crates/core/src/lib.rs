@@ -12,14 +12,14 @@
 //! # Quick start
 //!
 //! ```
-//! use dml::{compile, Mode};
+//! use dml::{Compiler, Mode};
 //! use dml_eval::Value;
 //!
 //! let src = r#"
 //! fun first(v) = sub(v, 0)
 //! where first <| {n:nat | n > 0} int array(n) -> int
 //! "#;
-//! let compiled = compile(src).expect("pipeline runs");
+//! let compiled = Compiler::new().compile(src).expect("pipeline runs");
 //! assert!(compiled.fully_verified());
 //! assert_eq!(compiled.proven_sites().len(), 1);
 //!
@@ -30,6 +30,10 @@
 //! assert_eq!(machine.counters.array_checks_eliminated, 1);
 //! ```
 //!
+//! The [`Compiler`] builder also exposes solver budgets for graceful
+//! degradation — `fuel`, `deadline` — and a `strict` switch that turns
+//! unproven obligations into errors; see [`pipeline::Compiler`].
+//!
 //! The [`experiments`] module regenerates every table and figure of the
 //! paper's §4 evaluation; see `EXPERIMENTS.md` at the repository root for
 //! the comparison against the published numbers.
@@ -39,8 +43,11 @@ pub mod pipeline;
 pub mod table;
 
 pub use dml_analysis::{lint_by_code, render, Finding, Lint, LINTS};
+pub use dml_elab::{residual_checks, ObKind, Obligation, ResidualCheck};
 pub use dml_eval::{CheckConfig, Counters, Machine, Mode, Value};
+pub use dml_index::{UnknownReason, Verdict};
+pub use dml_solver::{Solver, SolverOptions};
 pub use dml_syntax::Severity;
-pub use pipeline::{
-    compile, compile_with_options, compile_with_solver, CompileStats, Compiled, PipelineError,
-};
+#[allow(deprecated)]
+pub use pipeline::{compile, compile_with_options, compile_with_solver};
+pub use pipeline::{CompileStats, Compiled, Compiler, PipelineError};

@@ -1,11 +1,32 @@
 //! The compilation pipeline: parse → phase-1 ML inference → phase-2
 //! dependent elaboration → constraint solving → check elimination.
+//!
+//! The entry point is the [`Compiler`] session builder:
+//!
+//! ```
+//! use dml::Compiler;
+//!
+//! let c = Compiler::new()
+//!     .fuel(10_000)
+//!     .workers(1)
+//!     .compile("fun first(v) = sub(v, 0)\nwhere first <| {n:nat | n > 0} int array(n) -> int")
+//!     .expect("compiles");
+//! assert!(c.fully_verified());
+//! ```
+//!
+//! By default compilation is *permissive*: obligations the solver cannot
+//! prove (nonlinear bounds, fuel exhausted, deadline passed) do not abort
+//! compilation — their checks stay in the program as *residual* runtime
+//! checks ([`Compiled::residual_checks`]), and the interpreter counts them
+//! separately. [`Compiler::strict`] turns every unproven obligation into a
+//! [`PipelineError::Unproven`] listing *all* failures sorted by source
+//! site.
 
 use dml_analysis::Finding;
-use dml_elab::{elaborate, ElabOutput, Obligation, SiteContext};
+use dml_elab::{elaborate, ElabOutput, Obligation, ResidualCheck, SiteContext};
 use dml_eval::{CheckConfig, Machine, Mode};
 use dml_index::VarGen;
-use dml_solver::{prove_all, GoalResult, Outcome, Solver, SolverOptions};
+use dml_solver::{prove_all, Outcome, Solver, SolverOptions, Verdict};
 use dml_syntax::ast as sast;
 use dml_syntax::Span;
 use dml_types::builtins::{base_env, check_kind};
@@ -15,9 +36,11 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// A hard front-end failure (parse, environment, phase-1, phase-2).
-/// Unproven constraints are *not* errors — they appear in
+/// A hard front-end failure (parse, environment, phase-1, phase-2), or —
+/// in [`Compiler::strict`] mode only — unproven obligations. In permissive
+/// mode unproven constraints are *not* errors: they appear in
 /// [`Compiled::failures`] and simply keep their checks at run time.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
     /// Lexical or syntactic error.
@@ -28,6 +51,10 @@ pub enum PipelineError {
     Infer(String, Span),
     /// Phase-2 elaboration error.
     Elab(String, Span),
+    /// Strict mode only: the program compiled but not every obligation was
+    /// proven. Carries **all** unproven non-exhaustiveness obligations with
+    /// their verdicts, sorted by source site — not just the first failure.
+    Unproven(Vec<(Obligation, Verdict)>),
 }
 
 impl fmt::Display for PipelineError {
@@ -37,6 +64,13 @@ impl fmt::Display for PipelineError {
             PipelineError::Env(m, s) => write!(f, "environment error at {s}: {m}"),
             PipelineError::Infer(m, s) => write!(f, "type error at {s}: {m}"),
             PipelineError::Elab(m, s) => write!(f, "elaboration error at {s}: {m}"),
+            PipelineError::Unproven(obs) => {
+                write!(f, "{} unproven obligation(s) in strict mode:", obs.len())?;
+                for (o, r) in obs {
+                    write!(f, "\n  {} in {} at {}: {}", o.kind, o.in_fun, o.site, r)?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -63,7 +97,7 @@ pub struct CompileStats {
 pub struct Compiled {
     program: sast::Program,
     env: Env,
-    obligations: Vec<(Obligation, GoalResult)>,
+    obligations: Vec<(Obligation, Verdict)>,
     contexts: Vec<SiteContext>,
     proven_sites: HashSet<Span>,
     fully_verified: bool,
@@ -84,8 +118,9 @@ impl Compiled {
         &self.env
     }
 
-    /// Every obligation with its proof result.
-    pub fn obligations(&self) -> &[(Obligation, GoalResult)] {
+    /// Every obligation with its collapsed verdict (see
+    /// [`collapse_verdicts`] for the collapse order).
+    pub fn obligations(&self) -> &[(Obligation, Verdict)] {
         &self.obligations
     }
 
@@ -97,8 +132,9 @@ impl Compiled {
 
     /// Runs the semantic lint pass (`dml-analysis`) over the compiled
     /// program: solver-backed dead-branch / redundant-refinement /
-    /// unprovable-annotation lints plus the syntactic ones. Findings are
-    /// sorted by source position.
+    /// unprovable-annotation lints plus the syntactic ones and the
+    /// residual-check lint (DML006). Findings are sorted by source
+    /// position.
     pub fn lints(&self) -> Vec<Finding> {
         let mut gen = self.gen.clone();
         dml_analysis::run_lints(
@@ -107,20 +143,29 @@ impl Compiled {
             &self.env.families,
             &self.solver,
             &mut gen,
+            &self.residual_checks(),
         )
     }
 
     /// The solver this program was compiled with. Its verdict cache is
     /// shared with [`Compiled::lints`] and with any later
-    /// [`compile_with_solver`] call that reuses the same solver.
+    /// [`Compiler::with_solver`] compile that reuses the same solver.
     pub fn solver(&self) -> &Solver {
         &self.solver
     }
 
     /// Obligations that were not proven (including exhaustiveness
     /// warnings; see [`Compiled::match_warnings`] for just those).
-    pub fn failures(&self) -> impl Iterator<Item = &(Obligation, GoalResult)> {
-        self.obligations.iter().filter(|(_, r)| !r.is_valid())
+    pub fn failures(&self) -> impl Iterator<Item = &(Obligation, Verdict)> {
+        self.obligations.iter().filter(|(_, r)| !r.is_proven())
+    }
+
+    /// The check sites whose bound/tag checks stay in the compiled program
+    /// (graceful degradation): every unproven *check* obligation,
+    /// deduplicated by site and sorted by source position, with the
+    /// solver's reason. Empty for fully verified programs.
+    pub fn residual_checks(&self) -> Vec<ResidualCheck> {
+        dml_elab::residual_checks(&self.obligations)
     }
 
     /// Non-exhaustive `case` expressions whose missing constructors could
@@ -131,7 +176,7 @@ impl Compiled {
         self.obligations
             .iter()
             .filter_map(|(o, r)| match (&o.kind, r) {
-                (dml_elab::ObKind::Unreachable { con }, r) if !r.is_valid() => {
+                (dml_elab::ObKind::Unreachable { con }, r) if !r.is_proven() => {
                     Some((o.site, con.clone()))
                 }
                 _ => None,
@@ -179,8 +224,11 @@ impl Compiled {
         let mut out = String::new();
         for (ob, r) in self.failures() {
             let reason = match r {
-                GoalResult::Valid => unreachable!("failures() filters valid results"),
-                GoalResult::NotProven(why) => why.to_string(),
+                Verdict::Refuted => "refuted: a counterexample satisfies the hypotheses".into(),
+                Verdict::Unknown(why) => why.to_string(),
+                // `failures()` filters proven verdicts; any future verdict
+                // is reported verbatim.
+                other => other.to_string(),
             };
             out.push_str(&dml_elab::explain(ob, &reason, src));
             out.push('\n');
@@ -208,42 +256,191 @@ impl Compiled {
     }
 }
 
+/// A compilation session: solver budgets, strictness, and solver sharing
+/// behind one builder. This is the crate's public compile surface; the
+/// free functions [`compile`], [`compile_with_options`] and
+/// [`compile_with_solver`] are deprecated shims over it.
+///
+/// ```
+/// use dml::Compiler;
+/// use std::time::Duration;
+///
+/// let compiler = Compiler::new()
+///     .fuel(50_000)                       // FM pair-combination budget per goal
+///     .deadline(Duration::from_secs(5))   // wall-clock budget per goal
+///     .workers(4)
+///     .strict(false);                     // permissive: unknowns stay as residual checks
+/// let compiled = compiler.compile("fun id(x) = x").expect("compiles");
+/// assert!(compiled.fully_verified());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    options: SolverOptions,
+    strict: bool,
+    solver: Option<Solver>,
+}
+
+impl Compiler {
+    /// A permissive compiler with default solver options (unlimited fuel,
+    /// no deadline, cache on, automatic worker count).
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// Sets the per-goal fuel budget in Fourier–Motzkin pair combinations.
+    /// Goals that run out come back `Unknown(FuelExhausted)` and keep
+    /// their runtime checks.
+    pub fn fuel(mut self, fuel: u64) -> Compiler {
+        self.options = self.options.with_fuel(Some(fuel));
+        self
+    }
+
+    /// Removes the fuel budget (the default).
+    pub fn unlimited_fuel(mut self) -> Compiler {
+        self.options = self.options.with_fuel(None);
+        self
+    }
+
+    /// Sets the per-goal wall-clock deadline. Goals that pass it come back
+    /// `Unknown(Deadline)` (never cached — wall-clock verdicts are
+    /// machine-dependent).
+    pub fn deadline(mut self, deadline: Duration) -> Compiler {
+        self.options = self.options.with_deadline(Some(deadline));
+        self
+    }
+
+    /// Strict mode: any unproven obligation aborts compilation with
+    /// [`PipelineError::Unproven`] listing *every* failure sorted by
+    /// source site. Off by default (permissive graceful degradation).
+    pub fn strict(mut self, strict: bool) -> Compiler {
+        self.strict = strict;
+        self
+    }
+
+    /// Requests an explicit solve worker count (`1` reproduces the
+    /// sequential pipeline exactly).
+    pub fn workers(mut self, workers: usize) -> Compiler {
+        self.options = self.options.with_workers(Some(workers));
+        self
+    }
+
+    /// Enables or disables the verdict cache.
+    pub fn cache(mut self, on: bool) -> Compiler {
+        self.options = self.options.with_cache(on);
+        self
+    }
+
+    /// Replaces the full solver options (budgets set earlier are
+    /// overwritten; setters called later still apply).
+    pub fn solver_options(mut self, options: SolverOptions) -> Compiler {
+        self.options = options;
+        self
+    }
+
+    /// Compiles against a caller-supplied solver, *sharing its verdict
+    /// cache*. The solver's options become the session baseline (budget
+    /// setters called afterwards still apply — verdicts computed under
+    /// different fuel budgets never collide in the shared cache).
+    pub fn with_solver(mut self, solver: &Solver) -> Compiler {
+        self.options = *solver.options();
+        self.solver = Some(solver.clone());
+        self
+    }
+
+    /// The solver options this session will compile with.
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
+    /// Whether this session is strict.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Runs the pipeline on `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for parse/type/elaboration failures —
+    /// and, in strict mode, [`PipelineError::Unproven`] when any
+    /// obligation is left unproven.
+    pub fn compile(&self, src: &str) -> Result<Compiled, PipelineError> {
+        let solver = match &self.solver {
+            Some(s) => s.with_options(self.options),
+            None => Solver::new(self.options),
+        };
+        let compiled = run_pipeline(src, &solver)?;
+        if self.strict && !compiled.fully_verified() {
+            let mut unproven: Vec<(Obligation, Verdict)> = compiled
+                .obligations
+                .iter()
+                .filter(|(o, r)| {
+                    !matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) && !r.is_proven()
+                })
+                .cloned()
+                .collect();
+            unproven.sort_by_key(|(o, _)| (o.site.start, o.site.end));
+            return Err(PipelineError::Unproven(unproven));
+        }
+        Ok(compiled)
+    }
+}
+
 /// Compiles with default solver options.
 ///
 /// # Errors
 ///
 /// Returns a [`PipelineError`] for parse/type/elaboration failures.
+#[deprecated(note = "use `Compiler::new().compile(src)`")]
 pub fn compile(src: &str) -> Result<Compiled, PipelineError> {
-    compile_with_options(src, SolverOptions::default())
+    Compiler::new().compile(src)
 }
 
-/// Compiles with explicit solver options (used by the ablation bench).
+/// Compiles with explicit solver options.
 ///
 /// # Errors
 ///
 /// Returns a [`PipelineError`] for parse/type/elaboration failures.
+#[deprecated(note = "use `Compiler::new().solver_options(options).compile(src)`")]
 pub fn compile_with_options(src: &str, options: SolverOptions) -> Result<Compiled, PipelineError> {
-    compile_with_solver(src, &Solver::new(options))
+    Compiler::new().solver_options(options).compile(src)
 }
 
-/// Collapses an outcome into the single result recorded per obligation:
-/// [`GoalResult::Valid`] when every goal was proven (in particular when the
-/// constraint split into no goals at all), otherwise the first failure.
-fn first_failure(outcome: Outcome) -> GoalResult {
-    outcome.results.into_iter().map(|(_, r)| r).find(|r| !r.is_valid()).unwrap_or(GoalResult::Valid)
-}
-
-/// Compiles against a caller-supplied solver.
-///
-/// Cloning a [`Solver`] shares its verdict cache, so passing the same
-/// solver to several compiles (or reading [`Compiled::solver`] afterwards)
-/// reuses verdicts across them — this is how the warm-cache benches and the
-/// lint pass avoid re-deciding goals the compile already proved.
+/// Compiles against a caller-supplied solver (shares its verdict cache).
 ///
 /// # Errors
 ///
 /// Returns a [`PipelineError`] for parse/type/elaboration failures.
+#[deprecated(note = "use `Compiler::new().with_solver(solver).compile(src)`")]
 pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
+    Compiler::new().with_solver(solver).compile(src)
+}
+
+/// Collapses an outcome into the single verdict recorded per obligation:
+/// `Proven` when every goal was proven (in particular when the constraint
+/// split into no goals at all); otherwise `Refuted` if *any* goal was
+/// refuted (a counterexample trumps mere uncertainty), else the first
+/// `Unknown`.
+fn collapse_verdicts(outcome: Outcome) -> Verdict {
+    let mut collapsed = Verdict::Proven;
+    for (_, r) in outcome.results {
+        match r {
+            Verdict::Proven => {}
+            Verdict::Refuted => return Verdict::Refuted,
+            other => {
+                if collapsed.is_proven() {
+                    collapsed = other;
+                }
+            }
+        }
+    }
+    collapsed
+}
+
+/// The pipeline proper: parse → env → phase 1 → phase 2 → solve →
+/// check elimination. Strictness is layered on top by
+/// [`Compiler::compile`].
+fn run_pipeline(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
     let gen_start = Instant::now();
     let program = dml_syntax::parse_program(src).map_err(PipelineError::Parse)?;
     let mut gen = VarGen::new();
@@ -284,7 +481,7 @@ pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, Pipel
     for (ob, outcome) in obligations.into_iter().zip(outcomes) {
         goals += outcome.results.len();
         solver_stats.merge(&outcome.stats);
-        results.push((ob, first_failure(outcome)));
+        results.push((ob, collapse_verdicts(outcome)));
     }
     let solve_time = solve_start.elapsed();
 
@@ -294,13 +491,13 @@ pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, Pipel
     // type-check and nothing is eliminated (fail-safe). Exhaustiveness
     // obligations are warnings (potential match failures), never blockers.
     let non_check_ok = results.iter().all(|(o, r)| {
-        o.kind.is_check() || matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_valid()
+        o.kind.is_check() || matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_proven()
     });
     let mut site_ok: HashMap<Span, bool> = HashMap::new();
     for (o, r) in &results {
         if o.kind.is_check() {
             let e = site_ok.entry(o.site).or_insert(true);
-            *e &= r.is_valid();
+            *e &= r.is_proven();
         }
     }
     let proven_sites: HashSet<Span> = if non_check_ok {
@@ -311,7 +508,7 @@ pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, Pipel
     let fully_verified = non_check_ok
         && results
             .iter()
-            .all(|(o, r)| matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_valid());
+            .all(|(o, r)| matches!(o.kind, dml_elab::ObKind::Unreachable { .. }) || r.is_proven());
 
     let stats = CompileStats {
         constraints: results.len(),
@@ -338,6 +535,10 @@ pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, Pipel
 mod tests {
     use super::*;
 
+    fn compile(src: &str) -> Result<Compiled, PipelineError> {
+        Compiler::new().compile(src)
+    }
+
     #[test]
     fn verified_program_eliminates_checks() {
         let src = r#"
@@ -348,6 +549,7 @@ where first <| {n:nat | n > 0} int array(n) -> int
         assert!(c.fully_verified());
         assert_eq!(c.proven_sites().len(), 1);
         assert!(c.unproven_sites().is_empty());
+        assert!(c.residual_checks().is_empty());
         assert!(c.stats().constraints > 0);
     }
 
@@ -357,6 +559,9 @@ where first <| {n:nat | n > 0} int array(n) -> int
         assert!(!c.fully_verified());
         assert!(c.proven_sites().is_empty());
         assert_eq!(c.unproven_sites().len(), 1);
+        let residual = c.residual_checks();
+        assert_eq!(residual.len(), 1);
+        assert_eq!(residual[0].prim, "sub");
     }
 
     #[test]
@@ -395,6 +600,94 @@ where broken <| {n:nat | n > 0} int array(n) -> int(n+1)
         let c = compile(src).unwrap();
         assert!(!c.fully_verified());
         assert!(c.proven_sites().is_empty(), "type error must block elimination");
+    }
+
+    /// The false result equation of `broken` is *refuted*, not merely
+    /// unknown: the solver exhibits a witness for `n+1 ≠ n` under `n > 0`.
+    #[test]
+    fn false_equation_is_refuted() {
+        let src = r#"
+fun broken(v) = sub(v, 0)
+where broken <| {n:nat | n > 0} int array(n) -> int(n+1)
+"#;
+        let c = compile(src).unwrap();
+        assert!(
+            c.failures().any(|(_, r)| r.is_refuted()),
+            "{:?}",
+            c.failures().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn strict_mode_reports_all_unproven_obligations_sorted() {
+        // Two independent unproven sites; strict mode must report both,
+        // in source order.
+        let src = r#"
+fun get(v, i) = sub(v, i)
+fun put(v, i, x) = update(v, i, x)
+"#;
+        let err = Compiler::new().strict(true).compile(src).unwrap_err();
+        let PipelineError::Unproven(obs) = &err else { panic!("{err}") };
+        assert!(obs.len() >= 2, "both sites reported: {obs:?}");
+        let sites: Vec<_> = obs.iter().map(|(o, _)| o.site.start).collect();
+        let mut sorted = sites.clone();
+        sorted.sort_unstable();
+        assert_eq!(sites, sorted, "sorted by source site");
+        let text = err.to_string();
+        assert!(text.contains("sub") && text.contains("update"), "{text}");
+
+        // The same program compiles fine permissively.
+        let c = Compiler::new().compile(src).unwrap();
+        assert_eq!(c.residual_checks().len(), 2);
+    }
+
+    #[test]
+    fn strict_mode_passes_verified_programs() {
+        let src = r#"
+fun first(v) = sub(v, 0)
+where first <| {n:nat | n > 0} int array(n) -> int
+"#;
+        let c = Compiler::new().strict(true).compile(src).unwrap();
+        assert!(c.fully_verified());
+    }
+
+    #[test]
+    fn zero_fuel_degrades_gracefully_and_residuals_count_at_runtime() {
+        // With no fuel the loop invariant goals exhaust immediately; the
+        // program still compiles permissively and runs with its checks.
+        let src = r#"
+fun total(v) = let
+  fun loop(i, n, sum) =
+    if i = n then sum else loop(i+1, n, sum + sub(v, i))
+  where loop <| {k:nat | k <= n} {i:nat | i <= k} int(i) * int(k) * int -> int
+in
+  loop(0, length v, 0)
+end
+where total <| {n:nat} int array(n) -> int
+"#;
+        let starved = Compiler::new().fuel(0).compile(src).unwrap();
+        assert!(!starved.fully_verified(), "zero fuel cannot prove the loop bounds");
+        assert!(
+            starved.failures().any(|(_, r)| matches!(
+                r,
+                Verdict::Unknown(dml_index::UnknownReason::FuelExhausted)
+            )),
+            "{:?}",
+            starved.failures().collect::<Vec<_>>()
+        );
+        assert!(!starved.residual_checks().is_empty());
+
+        // The residual checks execute — and are *counted* as residual.
+        let mut m = starved.machine(Mode::Eliminated);
+        let r = m.call("total", vec![dml_eval::Value::int_array([1, 2, 3, 4])]).unwrap();
+        assert_eq!(r.as_int(), Some(10));
+        assert!(m.counters.array_checks_residual > 0);
+        assert_eq!(m.counters.array_checks_residual, m.counters.array_checks_executed);
+
+        // Unlimited fuel proves everything — same program, same session API.
+        let full = Compiler::new().compile(src).unwrap();
+        assert!(full.fully_verified());
+        assert!(full.residual_checks().is_empty());
     }
 
     /// The dead-branch lint is genuinely solver-backed: with the guard
@@ -443,14 +736,15 @@ where total <| {n:nat} int array(n) -> int
         assert!(lints.is_empty(), "{lints:?}");
     }
 
-    /// `first_failure` is total: an outcome with no goals (or all-valid
-    /// goals) collapses to `Valid` instead of panicking, and the *first*
-    /// failure wins when several goals fail.
+    /// `collapse_verdicts` is total: an outcome with no goals (or
+    /// all-proven goals) collapses to `Proven` instead of panicking;
+    /// `Refuted` trumps `Unknown`; otherwise the first `Unknown` wins.
     #[test]
-    fn first_failure_is_total() {
-        use dml_solver::{NotProvenReason, SolverStats};
+    fn collapse_verdicts_is_total_and_orders_refuted_first() {
+        use dml_index::UnknownReason;
+        use dml_solver::SolverStats;
         let empty = Outcome { results: vec![], stats: SolverStats::default() };
-        assert_eq!(first_failure(empty), GoalResult::Valid);
+        assert_eq!(collapse_verdicts(empty), Verdict::Proven);
 
         let goal = dml_solver::Goal {
             ctx: vec![],
@@ -458,40 +752,64 @@ where total <| {n:nat} int array(n) -> int
             concl: dml_index::Prop::True,
             residual_existential: false,
         };
-        let all_valid = Outcome {
-            results: vec![(goal.clone(), GoalResult::Valid)],
+        let all_proven = Outcome {
+            results: vec![(goal.clone(), Verdict::Proven)],
             stats: SolverStats::default(),
         };
-        assert_eq!(first_failure(all_valid), GoalResult::Valid);
+        assert_eq!(collapse_verdicts(all_proven), Verdict::Proven);
 
         let mixed = Outcome {
             results: vec![
-                (goal.clone(), GoalResult::Valid),
-                (goal.clone(), GoalResult::NotProven(NotProvenReason::Blowup)),
-                (goal, GoalResult::NotProven(NotProvenReason::PossiblyFalsifiable)),
+                (goal.clone(), Verdict::Proven),
+                (goal.clone(), Verdict::Unknown(UnknownReason::Blowup)),
+                (goal.clone(), Verdict::Unknown(UnknownReason::PossiblyFalsifiable)),
             ],
             stats: SolverStats::default(),
         };
-        assert_eq!(first_failure(mixed), GoalResult::NotProven(NotProvenReason::Blowup));
+        assert_eq!(collapse_verdicts(mixed), Verdict::Unknown(UnknownReason::Blowup));
+
+        let refuted_late = Outcome {
+            results: vec![
+                (goal.clone(), Verdict::Unknown(UnknownReason::Blowup)),
+                (goal, Verdict::Refuted),
+            ],
+            stats: SolverStats::default(),
+        };
+        assert_eq!(collapse_verdicts(refuted_late), Verdict::Refuted);
     }
 
     /// Compiling twice against one solver shares the verdict cache: the
     /// second compile answers every cacheable goal from it, with identical
     /// verdicts.
     #[test]
-    fn compile_with_solver_shares_cache_across_compiles() {
+    fn with_solver_shares_cache_across_compiles() {
         let src = r#"
 fun first(v) = sub(v, 0)
 where first <| {n:nat | n > 0} int array(n) -> int
 "#;
         let solver = Solver::new(SolverOptions::default());
-        let cold = compile_with_solver(src, &solver).unwrap();
+        let cold = Compiler::new().with_solver(&solver).compile(src).unwrap();
         assert!(cold.stats().solver.cache_misses > 0);
-        let warm = compile_with_solver(src, &solver).unwrap();
+        let warm = Compiler::new().with_solver(&solver).compile(src).unwrap();
         assert_eq!(warm.stats().solver.cache_misses, 0, "second compile is all hits");
         assert!(warm.stats().solver.cache_hits > 0);
         assert!(warm.fully_verified());
         assert_eq!(cold.proven_sites(), warm.proven_sites());
+    }
+
+    /// The deprecated free functions still work (they are thin shims over
+    /// [`Compiler`]).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_compile_programs() {
+        let src = r#"
+fun first(v) = sub(v, 0)
+where first <| {n:nat | n > 0} int array(n) -> int
+"#;
+        assert!(super::compile(src).unwrap().fully_verified());
+        assert!(compile_with_options(src, SolverOptions::default()).unwrap().fully_verified());
+        let solver = Solver::new(SolverOptions::default());
+        assert!(compile_with_solver(src, &solver).unwrap().fully_verified());
     }
 
     /// Worker count and cache do not change verdicts or proven sites.
@@ -507,22 +825,14 @@ in
 end
 where total <| {n:nat} int array(n) -> int
 "#;
-        let base = compile_with_options(
-            src,
-            SolverOptions { workers: Some(1), ..SolverOptions::default() },
-        )
-        .unwrap();
-        for opts in [
-            SolverOptions { workers: Some(4), ..SolverOptions::default() },
-            SolverOptions { workers: Some(1), cache: false, ..SolverOptions::default() },
-            SolverOptions { workers: Some(4), cache: false, ..SolverOptions::default() },
-        ] {
-            let c = compile_with_options(src, opts).unwrap();
+        let base = Compiler::new().workers(1).compile(src).unwrap();
+        for (workers, cache) in [(4, true), (1, false), (4, false)] {
+            let c = Compiler::new().workers(workers).cache(cache).compile(src).unwrap();
             let verdicts =
                 |c: &Compiled| c.obligations().iter().map(|(_, r)| r.clone()).collect::<Vec<_>>();
-            assert_eq!(verdicts(&base), verdicts(&c), "{opts:?}");
-            assert_eq!(base.proven_sites(), c.proven_sites(), "{opts:?}");
-            assert_eq!(base.stats().goals, c.stats().goals, "{opts:?}");
+            assert_eq!(verdicts(&base), verdicts(&c), "workers={workers} cache={cache}");
+            assert_eq!(base.proven_sites(), c.proven_sites(), "workers={workers} cache={cache}");
+            assert_eq!(base.stats().goals, c.stats().goals, "workers={workers} cache={cache}");
         }
     }
 

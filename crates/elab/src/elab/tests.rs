@@ -1,13 +1,13 @@
 //! End-to-end elaboration tests: parse → env → phase 1 → phase 2 → solve.
 
 use super::*;
-use dml_solver::{GoalResult, Solver, SolverOptions};
+use dml_solver::{Solver, SolverOptions, Verdict};
 use dml_types::builtins::{base_env, check_kind};
 use dml_types::infer::infer_program;
 
 /// Runs the full front-end on `src`, returning the elaboration output and
 /// the per-obligation validity results.
-fn run(src: &str) -> (ElabOutput, Vec<(Obligation, GoalResult)>) {
+fn run(src: &str) -> (ElabOutput, Vec<(Obligation, Verdict)>) {
     let program = dml_syntax::parse_program(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
     let mut gen = VarGen::new();
     let mut env = base_env(&mut gen);
@@ -26,16 +26,16 @@ fn run(src: &str) -> (ElabOutput, Vec<(Obligation, GoalResult)>) {
     let mut results = Vec::new();
     for ob in &out.obligations {
         let outcome = solver.prove(&ob.constraint, &mut gen);
-        let ok = outcome.all_valid();
+        let ok = outcome.all_proven();
         results.push((
             ob.clone(),
             if ok {
-                GoalResult::Valid
+                Verdict::Proven
             } else {
                 outcome
                     .results
                     .into_iter()
-                    .find(|(_, r)| !r.is_valid())
+                    .find(|(_, r)| !r.is_proven())
                     .map(|(_, r)| r)
                     .expect("some goal failed")
             },
@@ -44,12 +44,12 @@ fn run(src: &str) -> (ElabOutput, Vec<(Obligation, GoalResult)>) {
     (out, results)
 }
 
-fn all_valid(results: &[(Obligation, GoalResult)]) -> bool {
-    results.iter().all(|(_, r)| r.is_valid())
+fn all_valid(results: &[(Obligation, Verdict)]) -> bool {
+    results.iter().all(|(_, r)| r.is_proven())
 }
 
-fn failures(results: &[(Obligation, GoalResult)]) -> Vec<String> {
-    results.iter().filter(|(_, r)| !r.is_valid()).map(|(o, r)| format!("{o} -- {r:?}")).collect()
+fn failures(results: &[(Obligation, Verdict)]) -> Vec<String> {
+    results.iter().filter(|(_, r)| !r.is_proven()).map(|(o, r)| format!("{o} -- {r:?}")).collect()
 }
 
 const DOTPROD: &str = r#"
@@ -162,7 +162,7 @@ where bad <| {n:nat} int array(n) -> int
 "#;
     let (_, results) = run(src);
     let bound_failures: Vec<_> =
-        results.iter().filter(|(o, r)| o.kind.is_check() && !r.is_valid()).collect();
+        results.iter().filter(|(o, r)| o.kind.is_check() && !r.is_proven()).collect();
     assert!(!bound_failures.is_empty(), "sub(v, length v) must not be proven safe");
 }
 
@@ -194,7 +194,7 @@ fn unannotated_code_elaborates_conservatively() {
     assert!(!out.obligations.is_empty());
     let bound: Vec<_> = results.iter().filter(|(o, _)| o.kind.is_check()).collect();
     assert!(!bound.is_empty());
-    assert!(bound.iter().any(|(_, r)| !r.is_valid()), "unannotated access stays checked");
+    assert!(bound.iter().any(|(_, r)| !r.is_proven()), "unannotated access stays checked");
 }
 
 #[test]
@@ -308,7 +308,7 @@ fn div_guard_emitted_and_proven_for_constant() {
 fn div_guard_unproven_for_unknown() {
     let src = "fun ratio(x, y) = x div y";
     let (_, results) = run(src);
-    let div_failed = results.iter().any(|(o, r)| o.kind == ObKind::DivGuard && !r.is_valid());
+    let div_failed = results.iter().any(|(o, r)| o.kind == ObKind::DivGuard && !r.is_proven());
     assert!(div_failed, "dividing by an unknown integer cannot be proven safe");
 }
 

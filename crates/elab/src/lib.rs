@@ -33,9 +33,11 @@
 pub mod elab;
 pub mod obligation;
 pub mod report;
+pub mod residual;
 pub mod site;
 
 pub use elab::{elaborate, ElabError, ElabOutput, Elaborator};
 pub use obligation::{ObKind, Obligation};
 pub use report::{explain, sequent_view, SequentView};
+pub use residual::{residual_checks, ResidualCheck};
 pub use site::{SiteContext, SiteRole};

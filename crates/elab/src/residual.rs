@@ -1,0 +1,148 @@
+//! Residual runtime checks: the obligation → source-site mapping for
+//! graceful degradation.
+//!
+//! The paper's contract is that bound checks the elaborator *cannot* prove
+//! stay in the program as ordinary runtime checks — elimination is an
+//! optimization, never a soundness gamble (§1, §6). When the solver comes
+//! back `Unknown` (nonlinear bound, fuel exhausted, deadline) or `Refuted`
+//! for a check obligation, the site keeps its check and the pipeline
+//! records it here so that
+//!
+//! * the interpreter counts the check as *residual* when it executes
+//!   (`dml-eval`'s counters, feeding the "checks eliminated vs. residual"
+//!   table columns), and
+//! * the `DML006` lint can point at the exact source span with the
+//!   solver's reason.
+
+use crate::obligation::{ObKind, Obligation};
+use dml_index::{UnknownReason, Verdict};
+use dml_syntax::Span;
+use dml_types::env::CheckKind;
+use std::fmt;
+
+/// One source site whose bound/tag check stays in the compiled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidualCheck {
+    /// The span of the primitive application that keeps its check.
+    pub site: Span,
+    /// The checking primitive (`sub`, `update`, `nth`, ...).
+    pub prim: String,
+    /// Array bound or list tag.
+    pub check: CheckKind,
+    /// The enclosing function, for reporting.
+    pub in_fun: String,
+    /// Why the solver left the check in place.
+    pub reason: UnknownReason,
+}
+
+impl fmt::Display for ResidualCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.check {
+            CheckKind::ListTag => "list tag check",
+            _ => "array bound check",
+        };
+        write!(
+            f,
+            "residual {what} for `{}` in {} at {}: {}",
+            self.prim, self.in_fun, self.site, self.reason
+        )
+    }
+}
+
+/// Collects the residual checks of a solved obligation set: every *check*
+/// obligation (`ObKind::Bound`) whose verdict is not `Proven`, deduplicated
+/// by site and sorted by source position.
+///
+/// A site with several unproven goals appears once, carrying the first
+/// unproven goal's reason. Refuted checks (the solver exhibited a
+/// counterexample, so the check is *definitely* needed) are folded in as
+/// [`UnknownReason::PossiblyFalsifiable`]; callers that want to
+/// distinguish them still have the per-obligation verdicts.
+pub fn residual_checks(results: &[(Obligation, Verdict)]) -> Vec<ResidualCheck> {
+    let mut out: Vec<ResidualCheck> = Vec::new();
+    for (ob, verdict) in results {
+        let ObKind::Bound { prim, check } = &ob.kind else { continue };
+        if verdict.is_proven() {
+            continue;
+        }
+        if out.iter().any(|r| r.site == ob.site) {
+            continue;
+        }
+        let reason = match verdict {
+            Verdict::Unknown(r) => r.clone(),
+            // A refuted bound is certainly needed at runtime; the closest
+            // structured reason is "possibly falsifiable" (the lint layer
+            // distinguishes the two via the verdict it also receives).
+            _ => UnknownReason::PossiblyFalsifiable,
+        };
+        out.push(ResidualCheck {
+            site: ob.site,
+            prim: prim.clone(),
+            check: *check,
+            in_fun: ob.in_fun.clone(),
+            reason,
+        });
+    }
+    out.sort_by_key(|r| (r.site.start, r.site.end));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::{Constraint, Prop};
+
+    fn ob(kind: ObKind, start: u32, end: u32) -> Obligation {
+        Obligation {
+            kind,
+            site: Span { start, end },
+            constraint: Constraint::Prop(Prop::True),
+            in_fun: "f".into(),
+        }
+    }
+
+    fn bound(prim: &str, start: u32, end: u32) -> Obligation {
+        ob(ObKind::Bound { prim: prim.into(), check: CheckKind::ArrayBound }, start, end)
+    }
+
+    #[test]
+    fn only_unproven_check_obligations_are_residual() {
+        let results = vec![
+            (bound("sub", 10, 14), Verdict::Proven),
+            (bound("update", 20, 26), Verdict::Unknown(UnknownReason::Nonlinear("i * i".into()))),
+            (ob(ObKind::TypeEq, 30, 34), Verdict::Unknown(UnknownReason::FuelExhausted)),
+            (bound("sub", 40, 44), Verdict::Refuted),
+        ];
+        let residual = residual_checks(&results);
+        assert_eq!(residual.len(), 2, "proven and non-check obligations drop out");
+        assert_eq!(residual[0].site, Span { start: 20, end: 26 });
+        assert_eq!(residual[0].reason, UnknownReason::Nonlinear("i * i".into()));
+        assert_eq!(residual[1].site, Span { start: 40, end: 44 });
+    }
+
+    #[test]
+    fn sites_dedup_and_sort() {
+        let results = vec![
+            (bound("sub", 50, 54), Verdict::Unknown(UnknownReason::FuelExhausted)),
+            (bound("sub", 50, 54), Verdict::Unknown(UnknownReason::PossiblyFalsifiable)),
+            (bound("nth", 5, 9), Verdict::Unknown(UnknownReason::Deadline)),
+        ];
+        let residual = residual_checks(&results);
+        assert_eq!(residual.len(), 2);
+        assert_eq!(residual[0].site, Span { start: 5, end: 9 });
+        assert_eq!(residual[1].site, Span { start: 50, end: 54 });
+        assert_eq!(
+            residual[1].reason,
+            UnknownReason::FuelExhausted,
+            "first unproven goal's reason wins"
+        );
+    }
+
+    #[test]
+    fn display_names_prim_and_reason() {
+        let results =
+            vec![(bound("sub", 1, 3), Verdict::Unknown(UnknownReason::Nonlinear("i * i".into())))];
+        let text = residual_checks(&results)[0].to_string();
+        assert!(text.contains("sub") && text.contains("non-linear"), "{text}");
+    }
+}

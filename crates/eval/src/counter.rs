@@ -11,10 +11,19 @@ pub struct Counters {
     pub array_checks_executed: u64,
     /// Array bound checks skipped because the site was proven safe.
     pub array_checks_eliminated: u64,
+    /// The subset of executed array checks that are *residual*: the solver
+    /// could not prove the site in eliminated mode, so its check stayed in
+    /// the compiled program (graceful degradation). Explicitly-checked
+    /// `*CK` primitives are not residual — they were never candidates for
+    /// elimination.
+    pub array_checks_residual: u64,
     /// List tag checks executed.
     pub tag_checks_executed: u64,
     /// List tag checks eliminated.
     pub tag_checks_eliminated: u64,
+    /// The subset of executed tag checks that are residual (see
+    /// [`Counters::array_checks_residual`]).
+    pub tag_checks_residual: u64,
 }
 
 impl Counters {
@@ -31,6 +40,11 @@ impl Counters {
     /// Total checks eliminated (array + tag).
     pub fn eliminated(&self) -> u64 {
         self.array_checks_eliminated + self.tag_checks_eliminated
+    }
+
+    /// Total residual checks executed (array + tag).
+    pub fn residual(&self) -> u64 {
+        self.array_checks_residual + self.tag_checks_residual
     }
 
     /// Resets all counters to zero.
@@ -61,11 +75,14 @@ mod tests {
         let mut c = Counters {
             array_checks_executed: 3,
             array_checks_eliminated: 5,
+            array_checks_residual: 2,
             tag_checks_executed: 1,
             tag_checks_eliminated: 2,
+            tag_checks_residual: 1,
         };
         assert_eq!(c.executed(), 4);
         assert_eq!(c.eliminated(), 7);
+        assert_eq!(c.residual(), 3);
         c.reset();
         assert_eq!(c, Counters::new());
     }

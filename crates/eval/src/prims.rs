@@ -108,6 +108,15 @@ fn run_check(
     } else {
         m.counters.tag_checks_executed += 1;
     }
+    // In eliminated mode an executed non-`*CK` check is a *residual* check:
+    // the solver left it in the program instead of proving it away.
+    if !always_check && m.config.mode == Mode::Eliminated {
+        if is_array {
+            m.counters.array_checks_residual += 1;
+        } else {
+            m.counters.tag_checks_residual += 1;
+        }
+    }
     // The abstract cost model charges a fixed 4 ops per executed check
     // (compare, compare, branch, branch) regardless of the wall-clock
     // `check_cost` knob, so the deterministic op-gain metric reflects a

@@ -33,6 +33,7 @@ pub mod linear;
 pub mod prop;
 pub mod sort;
 pub mod var;
+pub mod verdict;
 
 pub use constraint::Constraint;
 pub use iexp::IExp;
@@ -40,3 +41,4 @@ pub use linear::{Linear, NonLinear};
 pub use prop::{Cmp, Prop};
 pub use sort::Sort;
 pub use var::{Var, VarGen};
+pub use verdict::{UnknownReason, Verdict};

@@ -1,0 +1,132 @@
+//! Three-way solver verdicts.
+//!
+//! The verdict lattice replaces the old two-way `Valid` / `NotProven`
+//! split. A budgeted solver is *total*: every goal gets exactly one of
+//!
+//! - [`Verdict::Proven`] — valid over the integers; the corresponding
+//!   check can be eliminated;
+//! - [`Verdict::Refuted`] — an integer counterexample was found; the
+//!   annotation is wrong and the check is genuinely needed;
+//! - [`Verdict::Unknown`] — the solver ran out of fuel, hit its deadline,
+//!   or stepped outside the linear fragment. The access keeps its check as
+//!   a *residual* runtime check (the paper's contract: elimination is an
+//!   optimization, never a soundness gamble).
+//!
+//! As the fuel budget grows, a verdict may move `Unknown → Proven` or
+//! `Unknown → Refuted`, but `Proven` and `Refuted` never flip into each
+//! other or back to `Unknown` — both are certificates, not heuristics.
+
+use std::fmt;
+
+/// Result of deciding one proof goal `∀ctx. hyps ⊃ concl`.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The goal is valid over the integers.
+    Proven,
+    /// The goal is falsifiable: an integer counterexample exists.
+    Refuted,
+    /// The solver could not decide the goal within its budget or fragment;
+    /// the access keeps its run-time check.
+    Unknown(UnknownReason),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Proven`].
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Verdict::Proven)
+    }
+
+    /// `true` for [`Verdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted)
+    }
+
+    /// `true` for any [`Verdict::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown(_))
+    }
+}
+
+impl Default for Verdict {
+    /// The conservative verdict: nothing is known, keep the check.
+    fn default() -> Self {
+        Verdict::Unknown(UnknownReason::PossiblyFalsifiable)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proven => write!(f, "proven"),
+            Verdict::Refuted => write!(f, "refuted"),
+            Verdict::Unknown(r) => write!(f, "unknown ({r})"),
+        }
+    }
+}
+
+/// Why a goal came out [`Verdict::Unknown`].
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum UnknownReason {
+    /// Elimination completed without contradiction, but no integer
+    /// counterexample was exhibited either — the goal may be falsifiable.
+    #[default]
+    PossiblyFalsifiable,
+    /// A non-linear conclusion was encountered (rejected per §3.2).
+    Nonlinear(String),
+    /// A structural resource limit (DNF size, FM working-set size) was
+    /// exceeded.
+    Blowup,
+    /// The per-goal fuel budget (Fourier–Motzkin pair combinations) ran
+    /// out before elimination finished.
+    FuelExhausted,
+    /// The per-goal wall-clock deadline passed before elimination
+    /// finished.
+    Deadline,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::PossiblyFalsifiable => write!(f, "possibly falsifiable"),
+            UnknownReason::Nonlinear(e) => write!(f, "non-linear constraint: {e}"),
+            UnknownReason::Blowup => write!(f, "resource limit exceeded"),
+            UnknownReason::FuelExhausted => write!(f, "fuel exhausted"),
+            UnknownReason::Deadline => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_partition() {
+        let vs =
+            [Verdict::Proven, Verdict::Refuted, Verdict::Unknown(UnknownReason::FuelExhausted)];
+        for v in &vs {
+            let flags =
+                [v.is_proven(), v.is_refuted(), v.is_unknown()].iter().filter(|b| **b).count();
+            assert_eq!(flags, 1, "{v:?} satisfies exactly one predicate");
+        }
+    }
+
+    #[test]
+    fn default_is_conservative() {
+        assert!(Verdict::default().is_unknown());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Verdict::Proven.to_string(), "proven");
+        assert_eq!(Verdict::Refuted.to_string(), "refuted");
+        assert_eq!(
+            Verdict::Unknown(UnknownReason::Nonlinear("i * i".into())).to_string(),
+            "unknown (non-linear constraint: i * i)"
+        );
+        assert_eq!(UnknownReason::Deadline.to_string(), "deadline exceeded");
+        assert_eq!(UnknownReason::Blowup.to_string(), "resource limit exceeded");
+    }
+}

@@ -1,6 +1,6 @@
 //! Shared verdict cache keyed on canonical goals.
 //!
-//! A [`GoalCache`] memoizes [`GoalResult`]s across every obligation of a
+//! A [`GoalCache`] memoizes [`Verdict`]s across every obligation of a
 //! compile and every `entails` query the lint walker issues. It is sharded
 //! (16 mutex-guarded maps, shard picked by key hash) so parallel solve
 //! workers rarely contend, and hit/miss counters are plain atomics so
@@ -12,7 +12,7 @@
 //! work, never an inconsistency.
 
 use crate::canon::CanonGoal;
-use crate::goal::GoalResult;
+use dml_index::Verdict;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,7 +23,7 @@ const SHARDS: usize = 16;
 /// A sharded, thread-safe memo table from canonical goal to verdict.
 #[derive(Debug)]
 pub struct GoalCache {
-    shards: [Mutex<HashMap<CanonGoal, GoalResult>>; SHARDS],
+    shards: [Mutex<HashMap<CanonGoal, Verdict>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -44,14 +44,14 @@ impl GoalCache {
         GoalCache::default()
     }
 
-    fn shard(&self, key: &CanonGoal) -> &Mutex<HashMap<CanonGoal, GoalResult>> {
+    fn shard(&self, key: &CanonGoal) -> &Mutex<HashMap<CanonGoal, Verdict>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
     /// Looks up a verdict, recording a hit or miss.
-    pub fn get(&self, key: &CanonGoal) -> Option<GoalResult> {
+    pub fn get(&self, key: &CanonGoal) -> Option<Verdict> {
         let found = self.shard(key).lock().unwrap().get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -62,7 +62,7 @@ impl GoalCache {
 
     /// Stores a verdict. Last writer wins on a racy double-compute; both
     /// writers derived the verdict from the same canonical goal.
-    pub fn insert(&self, key: CanonGoal, result: GoalResult) {
+    pub fn insert(&self, key: CanonGoal, result: Verdict) {
         self.shard(&key).lock().unwrap().insert(key, result);
     }
 
@@ -111,8 +111,8 @@ mod tests {
         let k = key("a");
         assert!(cache.get(&k).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
-        cache.insert(k.clone(), GoalResult::Valid);
-        assert_eq!(cache.get(&k), Some(GoalResult::Valid));
+        cache.insert(k.clone(), Verdict::Proven);
+        assert_eq!(cache.get(&k), Some(Verdict::Proven));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
@@ -127,7 +127,7 @@ mod tests {
                     for _ in 0..50 {
                         let k = key("x");
                         if cache.get(&k).is_none() {
-                            cache.insert(k, GoalResult::Valid);
+                            cache.insert(k, Verdict::Proven);
                         }
                     }
                 });

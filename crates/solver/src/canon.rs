@@ -23,6 +23,23 @@ use crate::goal::Goal;
 use dml_index::{IExp, Prop, Sort, Var};
 use std::collections::HashMap;
 
+/// The resource-budget class a verdict was computed under.
+///
+/// Fuel changes what the solver can conclude (`Unknown(FuelExhausted)`
+/// under a small budget, `Proven`/`Refuted` under a large one), so cached
+/// verdicts are keyed by budget class: solvers with different fuel limits
+/// sharing one cache never observe each other's budget-truncated answers.
+/// Deadlines do *not* enter the key — deadline verdicts are wall-clock
+/// dependent and are never cached at all, and any verdict that completed
+/// under a deadline is identical to the verdict without one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetClass {
+    /// No fuel limit (the default pipeline).
+    Unlimited,
+    /// A per-goal fuel budget of this many FM pair combinations.
+    Fuel(u64),
+}
+
 /// The canonical form of a goal — the cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CanonGoal {
@@ -32,16 +49,24 @@ pub struct CanonGoal {
     pub hyps: Vec<Prop>,
     /// The conclusion, renamed.
     pub concl: Prop,
+    /// Budget class the verdict is valid for.
+    pub budget: BudgetClass,
 }
 
-/// Canonicalizes a goal. See the module docs for the normal form.
+/// Canonicalizes a goal under the unlimited budget class. See the module
+/// docs for the normal form.
 pub fn canonicalize(goal: &Goal) -> CanonGoal {
+    canonicalize_budgeted(goal, BudgetClass::Unlimited)
+}
+
+/// Canonicalizes a goal, keying the result on `budget`.
+pub fn canonicalize_budgeted(goal: &Goal, budget: BudgetClass) -> CanonGoal {
     let mut ren = Renamer::new(&goal.ctx);
     let concl = ren.prop(&goal.concl);
     let mut hyps: Vec<Prop> = goal.hyps.iter().map(|h| ren.prop(h)).collect();
     hyps.sort_unstable();
     hyps.dedup();
-    CanonGoal { sorts: ren.sorts, hyps, concl }
+    CanonGoal { sorts: ren.sorts, hyps, concl, budget }
 }
 
 /// Alpha-renamer assigning dense ids in order of first occurrence.
@@ -186,5 +211,25 @@ mod tests {
         let fwd = goal(vec![(a.clone(), Sort::Int)], vec![h1.clone(), h2.clone()], concl.clone());
         let rev = goal(vec![(a, Sort::Int)], vec![h2, h1], concl);
         assert_eq!(canonicalize(&fwd), canonicalize(&rev));
+    }
+
+    /// Budget classes partition the cache: the same goal keys differently
+    /// under different fuel limits, and `canonicalize` is the unlimited
+    /// class.
+    #[test]
+    fn budget_class_is_part_of_the_key() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let base = goal(
+            vec![(a.clone(), Sort::Int)],
+            vec![Prop::le(IExp::lit(0), IExp::var(a.clone()))],
+            Prop::le(IExp::lit(-1), IExp::var(a)),
+        );
+        let unlimited = canonicalize(&base);
+        assert_eq!(unlimited, canonicalize_budgeted(&base, BudgetClass::Unlimited));
+        let low = canonicalize_budgeted(&base, BudgetClass::Fuel(8));
+        let high = canonicalize_budgeted(&base, BudgetClass::Fuel(1024));
+        assert_ne!(unlimited, low);
+        assert_ne!(low, high);
     }
 }

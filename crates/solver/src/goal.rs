@@ -8,15 +8,15 @@
 //! integers.
 
 use crate::cache::GoalCache;
-use crate::canon::canonicalize;
+use crate::canon::{canonicalize_budgeted, BudgetClass};
 use crate::dnf::{expand_ne, to_systems, DnfError};
 use crate::lower::Lowering;
 use crate::stats::SolverStats;
-use crate::system::{FourierOptions, RefuteResult};
-use dml_index::{Constraint, IExp, Linear, Prop, Sort, Var, VarGen};
+use crate::system::{FourierOptions, FuelMeter, RefuteResult};
+use dml_index::{Constraint, IExp, Linear, Prop, Sort, UnknownReason, Var, VarGen, Verdict};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A proof goal `∀ctx. hyps ⊃ concl`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,47 +47,12 @@ impl fmt::Display for Goal {
     }
 }
 
-/// Why a goal was not proven.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NotProvenReason {
-    /// The negation could not be refuted — the goal may be falsifiable.
-    PossiblyFalsifiable,
-    /// A non-linear constraint was encountered (rejected per §3.2).
-    NonLinear(String),
-    /// An existential variable survived elimination.
-    ExistentialResidue,
-    /// A resource limit (DNF size, FM combinations) was exceeded.
-    Blowup,
-}
-
-impl fmt::Display for NotProvenReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            NotProvenReason::PossiblyFalsifiable => write!(f, "possibly falsifiable"),
-            NotProvenReason::NonLinear(e) => write!(f, "non-linear constraint: {e}"),
-            NotProvenReason::ExistentialResidue => write!(f, "unresolved existential variable"),
-            NotProvenReason::Blowup => write!(f, "resource limit exceeded"),
-        }
-    }
-}
-
-/// Result of deciding one goal.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum GoalResult {
-    /// The goal is valid over the integers.
-    Valid,
-    /// The goal was not proven; the access keeps its run-time check.
-    NotProven(NotProvenReason),
-}
-
-impl GoalResult {
-    /// `true` for [`GoalResult::Valid`].
-    pub fn is_valid(&self) -> bool {
-        matches!(self, GoalResult::Valid)
-    }
-}
-
 /// Options for the full solver.
+///
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`SolverOptions::default`] and the `with_*` setters so new knobs are
+/// not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy)]
 pub struct SolverOptions {
     /// Fourier–Motzkin options (tightening on/off, limits).
@@ -106,6 +71,14 @@ pub struct SolverOptions {
     /// Memoize goal verdicts keyed on canonical form (see [`crate::canon`]).
     /// On by default; the ablation bench turns it off.
     pub cache: bool,
+    /// Per-goal fuel budget in Fourier–Motzkin pair combinations; `None`
+    /// is unlimited. Running out yields `Unknown(FuelExhausted)` — the
+    /// goal's check stays in the program as a residual runtime check.
+    pub fuel: Option<u64>,
+    /// Per-goal wall-clock deadline; `None` is unlimited. Passing it
+    /// yields `Unknown(Deadline)` (never cached — wall-clock verdicts are
+    /// machine-dependent).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SolverOptions {
@@ -116,28 +89,82 @@ impl Default for SolverOptions {
             omega_fallback: false,
             workers: None,
             cache: true,
+            fuel: None,
+            deadline: None,
         }
     }
 }
 
-/// The outcome of proving a constraint: per-goal results plus statistics.
+impl SolverOptions {
+    /// Replaces the Fourier–Motzkin options.
+    pub fn with_fourier(mut self, fourier: FourierOptions) -> Self {
+        self.fourier = fourier;
+        self
+    }
+
+    /// Sets the maximum DNF disjuncts per goal.
+    pub fn with_max_disjuncts(mut self, max_disjuncts: usize) -> Self {
+        self.max_disjuncts = max_disjuncts;
+        self
+    }
+
+    /// Enables or disables the Omega-test fallback.
+    pub fn with_omega_fallback(mut self, on: bool) -> Self {
+        self.omega_fallback = on;
+        self
+    }
+
+    /// Requests an explicit worker count (`None` = available parallelism).
+    pub fn with_workers(mut self, workers: Option<usize>) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables the verdict cache.
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.cache = on;
+        self
+    }
+
+    /// Sets the per-goal fuel budget (`None` = unlimited).
+    pub fn with_fuel(mut self, fuel: Option<u64>) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Sets the per-goal wall-clock deadline (`None` = unlimited).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The budget class verdicts computed under these options belong to.
+    pub fn budget_class(&self) -> BudgetClass {
+        match self.fuel {
+            None => BudgetClass::Unlimited,
+            Some(f) => BudgetClass::Fuel(f),
+        }
+    }
+}
+
+/// The outcome of proving a constraint: per-goal verdicts plus statistics.
 #[derive(Debug, Clone)]
 pub struct Outcome {
-    /// Each goal with its result, in generation order.
-    pub results: Vec<(Goal, GoalResult)>,
+    /// Each goal with its verdict, in generation order.
+    pub results: Vec<(Goal, Verdict)>,
     /// Accumulated statistics.
     pub stats: SolverStats,
 }
 
 impl Outcome {
     /// `true` if every goal was proven valid.
-    pub fn all_valid(&self) -> bool {
-        self.results.iter().all(|(_, r)| r.is_valid())
+    pub fn all_proven(&self) -> bool {
+        self.results.iter().all(|(_, r)| r.is_proven())
     }
 
-    /// The goals that were not proven.
-    pub fn failures(&self) -> impl Iterator<Item = &(Goal, GoalResult)> {
-        self.results.iter().filter(|(_, r)| !r.is_valid())
+    /// The goals that were not proven (refuted or unknown).
+    pub fn failures(&self) -> impl Iterator<Item = &(Goal, Verdict)> {
+        self.results.iter().filter(|(_, r)| !r.is_proven())
     }
 }
 
@@ -164,6 +191,13 @@ impl Solver {
         &self.opts
     }
 
+    /// A solver with different options but the *same* shared verdict
+    /// cache. Budget classes keep entries computed under different fuel
+    /// limits apart (see [`crate::canon::BudgetClass`]).
+    pub fn with_options(&self, opts: SolverOptions) -> Solver {
+        Solver { opts, cache: Arc::clone(&self.cache) }
+    }
+
     /// The shared verdict cache.
     pub fn cache(&self) -> &GoalCache {
         &self.cache
@@ -180,8 +214,14 @@ impl Solver {
             let r = self.decide(&goal, gen, &mut stats);
             stats.goals += 1;
             match &r {
-                GoalResult::Valid => stats.proven += 1,
-                GoalResult::NotProven(_) => stats.not_proven += 1,
+                Verdict::Proven => stats.proven += 1,
+                Verdict::Refuted => {
+                    stats.refuted += 1;
+                    stats.not_proven += 1;
+                }
+                // `Unknown` and any future verdict count as not proven —
+                // the conservative direction.
+                _ => stats.not_proven += 1,
             }
             results.push((goal, r));
         }
@@ -214,7 +254,7 @@ impl Solver {
     ///     &Prop::le(IExp::var(n), IExp::lit(10)),
     ///     &mut gen,
     /// );
-    /// assert!(r.is_valid());
+    /// assert!(r.is_proven());
     /// ```
     pub fn entails(
         &self,
@@ -222,7 +262,7 @@ impl Solver {
         hyps: &[Prop],
         concl: &Prop,
         gen: &mut VarGen,
-    ) -> GoalResult {
+    ) -> Verdict {
         let goal = Goal {
             ctx: ctx.to_vec(),
             hyps: hyps.to_vec(),
@@ -236,78 +276,87 @@ impl Solver {
     /// Decides a single goal, consulting the shared verdict cache after the
     /// cheap syntactic fast paths (fast-path goals never enter the cache —
     /// deciding them again is cheaper than hashing them).
-    pub fn decide(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> GoalResult {
+    pub fn decide(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> Verdict {
         if goal.concl == Prop::True {
-            return GoalResult::Valid;
+            return Verdict::Proven;
         }
         if goal.hyps.contains(&Prop::False) {
-            return GoalResult::Valid;
+            return Verdict::Proven;
         }
         // Reflexive conclusions hold regardless of hypotheses (and may be
         // non-linear, e.g. `a*b = a*b` after witness substitution).
         if let Prop::Cmp(op, a, b) = &goal.concl {
             if a == b && matches!(op, dml_index::Cmp::Eq | dml_index::Cmp::Le | dml_index::Cmp::Ge)
             {
-                return GoalResult::Valid;
+                return Verdict::Proven;
             }
         }
         // A hypothesis syntactically identical to the conclusion suffices.
         if goal.hyps.contains(&goal.concl) {
-            return GoalResult::Valid;
+            return Verdict::Proven;
         }
         if !self.opts.cache {
             return self.decide_uncached(goal, gen, stats);
         }
-        let key = canonicalize(goal);
+        // Verdicts are keyed by budget class: a fuel-truncated Unknown must
+        // never masquerade as the unlimited answer (or vice versa).
+        let key = canonicalize_budgeted(goal, self.opts.budget_class());
         if let Some(r) = self.cache.get(&key) {
             stats.cache_hits += 1;
             return r;
         }
         stats.cache_misses += 1;
         let r = self.decide_uncached(goal, gen, stats);
-        self.cache.insert(key, r.clone());
+        // Deadline verdicts depend on wall-clock scheduling, so they are
+        // recomputed every time rather than poisoning the shared cache.
+        if r != Verdict::Unknown(UnknownReason::Deadline) {
+            self.cache.insert(key, r.clone());
+        }
         r
     }
 
     /// The expensive part of [`Solver::decide`]: lowering, DNF expansion,
     /// and Fourier–Motzkin refutation, with no cache consultation.
-    fn decide_uncached(
-        &self,
-        goal: &Goal,
-        gen: &mut VarGen,
-        stats: &mut SolverStats,
-    ) -> GoalResult {
+    fn decide_uncached(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> Verdict {
         // Negate: hyps ∧ ¬concl must be integer-unsatisfiable. Non-linear
-        // *hypotheses* are dropped (weakening — sound); a non-linear
-        // conclusion is rejected per §3.2.
+        // *hypotheses* are dropped (weakening — sound for proving, but it
+        // forfeits refutation: a countermodel of the weakened system need
+        // not satisfy the dropped hypothesis); a non-linear conclusion is
+        // rejected per §3.2.
         let mut lowering = Lowering::new(gen);
         let mut lowered = Prop::True;
+        let mut weakened = false;
         for h in &goal.hyps {
             let h = expand_ne(&h.clone().nnf());
-            if let Ok(p) = lowering.lower_prop(&h) {
-                lowered = lowered.and(p);
+            match lowering.lower_prop(&h) {
+                Ok(p) => lowered = lowered.and(p),
+                Err(_) => weakened = true,
             }
         }
         let neg_concl = expand_ne(&goal.concl.clone().negate().nnf());
         match lowering.lower_prop(&neg_concl) {
             Ok(p) => lowered = lowered.and(p),
-            Err(nl) => return GoalResult::NotProven(NotProvenReason::NonLinear(nl.expr)),
+            Err(nl) => return Verdict::Unknown(UnknownReason::Nonlinear(nl.expr)),
         }
         let mut sides = Prop::True;
         for s in lowering.side_constraints() {
             sides = sides.and(s.clone());
         }
-        stats.lowered_vars += lowering.fresh_count();
+        let lowered_vars = lowering.fresh_count();
+        stats.lowered_vars += lowered_vars;
         let formula = expand_ne(&lowered.and(sides).nnf());
         let systems = match to_systems(&formula, self.opts.max_disjuncts) {
             Ok(s) => s,
-            Err(DnfError::Overflow(_)) => return GoalResult::NotProven(NotProvenReason::Blowup),
+            Err(DnfError::Overflow(_)) => return Verdict::Unknown(UnknownReason::Blowup),
             Err(DnfError::NonLinear(nl)) => {
-                return GoalResult::NotProven(NotProvenReason::NonLinear(nl.expr))
+                return Verdict::Unknown(UnknownReason::Nonlinear(nl.expr))
             }
         };
+        // One meter per goal, shared across its disjunct systems: the fuel
+        // budget bounds the goal's total elimination work.
+        let mut meter = FuelMeter::new(self.opts.fuel, self.opts.deadline);
         for sys in &systems {
-            let (r, combos) = sys.refute(&self.opts.fourier);
+            let (r, combos) = sys.refute_budgeted(&self.opts.fourier, &mut meter);
             stats.fm_combinations += combos;
             match r {
                 RefuteResult::Refuted => stats.disjuncts_refuted += 1,
@@ -322,14 +371,40 @@ impl Solver {
                         stats.disjuncts_refuted += 1;
                         continue;
                     }
-                    return GoalResult::NotProven(NotProvenReason::PossiblyFalsifiable);
+                    // A satisfiable disjunct of `hyps ∧ ¬concl` is a
+                    // counterexample to the goal — but only when the
+                    // system is *exactly* the goal's negation: no
+                    // hypothesis was weakened away, no existential was
+                    // strengthened to a universal, and no lowering
+                    // variable relaxed the semantics. Within those guards
+                    // a bounded exhaustive search is a sound (and
+                    // deterministic) refutation certificate.
+                    let exact = !weakened && !goal.residual_existential && lowered_vars == 0;
+                    if exact
+                        && sys.vars().len() <= REFUTE_SEARCH_MAX_VARS
+                        && crate::exhaustive::find_solution(sys, REFUTE_SEARCH_BOUND).is_some()
+                    {
+                        return Verdict::Refuted;
+                    }
+                    return Verdict::Unknown(UnknownReason::PossiblyFalsifiable);
                 }
-                RefuteResult::Overflow => return GoalResult::NotProven(NotProvenReason::Blowup),
+                RefuteResult::Overflow => return Verdict::Unknown(UnknownReason::Blowup),
+                RefuteResult::FuelExhausted => {
+                    return Verdict::Unknown(UnknownReason::FuelExhausted)
+                }
+                RefuteResult::DeadlineExceeded => return Verdict::Unknown(UnknownReason::Deadline),
             }
         }
-        GoalResult::Valid
+        Verdict::Proven
     }
 }
+
+/// Counterexample search is capped at this many variables (the box search
+/// is exponential) …
+const REFUTE_SEARCH_MAX_VARS: usize = 4;
+/// … and scans the box `[-8, 8]^n` (array-bound counterexamples are
+/// overwhelmingly small).
+const REFUTE_SEARCH_BOUND: i64 = 8;
 
 /// Eliminates existential variables by equality substitution.
 ///
@@ -563,7 +638,7 @@ mod tests {
             )),
         );
         let outcome = solver().prove(&c, &mut g);
-        assert!(outcome.all_valid(), "{:?}", outcome.results);
+        assert!(outcome.all_proven(), "{:?}", outcome.results);
         assert_eq!(outcome.stats.existentials_eliminated, 2);
     }
 
@@ -585,7 +660,7 @@ mod tests {
                 ))),
             )),
         );
-        assert!(solver().prove(&c, &mut g).all_valid());
+        assert!(solver().prove(&c, &mut g).all_proven());
     }
 
     /// A Figure-4-style constraint: the binary-search midpoint stays in
@@ -619,7 +694,7 @@ mod tests {
             )),
         );
         let outcome = solver().prove(&c, &mut g);
-        assert!(outcome.all_valid(), "{:?}", outcome.results);
+        assert!(outcome.all_proven(), "{:?}", outcome.results);
     }
 
     /// Midpoint non-negativity: same hypotheses ⊃ 0 ≤ l + (h−l) div 2.
@@ -651,7 +726,7 @@ mod tests {
                 )),
             )),
         );
-        assert!(solver().prove(&c, &mut g).all_valid());
+        assert!(solver().prove(&c, &mut g).all_proven());
     }
 
     /// An invalid goal is not proven.
@@ -669,8 +744,12 @@ mod tests {
             )),
         );
         let outcome = solver().prove(&c, &mut g);
-        assert!(!outcome.all_valid());
+        assert!(!outcome.all_proven());
         assert_eq!(outcome.stats.not_proven, 1);
+        // The counterexample (e.g. n = 6) is inside the search box, the
+        // goal needed no weakening or lowering, so it is outright refuted.
+        assert_eq!(outcome.results[0].1, Verdict::Refuted);
+        assert_eq!(outcome.stats.refuted, 1);
     }
 
     #[test]
@@ -693,7 +772,7 @@ mod tests {
         );
         let outcome = solver().prove(&c, &mut g);
         let (_, r) = &outcome.results[0];
-        assert!(matches!(r, GoalResult::NotProven(NotProvenReason::NonLinear(_))));
+        assert!(matches!(r, Verdict::Unknown(UnknownReason::Nonlinear(_))));
     }
 
     #[test]
@@ -713,7 +792,7 @@ mod tests {
         // which `n <= 3` is falsifiable.
         assert!(matches!(
             outcome.results[0].1,
-            GoalResult::NotProven(NotProvenReason::PossiblyFalsifiable)
+            Verdict::Unknown(UnknownReason::PossiblyFalsifiable)
         ));
         assert_eq!(outcome.stats.existentials_residual, 1);
     }
@@ -737,7 +816,7 @@ mod tests {
             )),
         );
         let outcome = solver().prove(&c, &mut g);
-        assert!(outcome.all_valid(), "{:?}", outcome.results);
+        assert!(outcome.all_proven(), "{:?}", outcome.results);
     }
 
     #[test]
@@ -762,7 +841,7 @@ mod tests {
             )),
         );
         let outcome = solver().prove(&c, &mut g);
-        assert!(outcome.all_valid(), "{:?}", outcome.results);
+        assert!(outcome.all_proven(), "{:?}", outcome.results);
     }
 
     #[test]
@@ -808,7 +887,7 @@ mod tests {
             )),
         );
         let outcome = solver().prove(&c, &mut g);
-        assert!(outcome.all_valid(), "{:?}", outcome.results);
+        assert!(outcome.all_proven(), "{:?}", outcome.results);
     }
 
     #[test]
@@ -829,7 +908,7 @@ mod tests {
                 ))),
             )),
         );
-        assert!(solver().prove(&c, &mut g).all_valid());
+        assert!(solver().prove(&c, &mut g).all_proven());
     }
 
     #[test]
@@ -841,7 +920,7 @@ mod tests {
             Sort::Int,
             Box::new(Constraint::Prop(Prop::le(IExp::lit(0), IExp::var(a).abs()))),
         );
-        assert!(solver().prove(&c, &mut g).all_valid());
+        assert!(solver().prove(&c, &mut g).all_proven());
     }
 
     #[test]
@@ -857,7 +936,7 @@ mod tests {
                 Prop::le(IExp::lit(0), m.clone()).and(Prop::lt(m, IExp::lit(8))),
             )),
         );
-        assert!(solver().prove(&c, &mut g).all_valid());
+        assert!(solver().prove(&c, &mut g).all_proven());
     }
 
     /// The gray-region goal from Pugh's paper is only provable with the
@@ -883,10 +962,10 @@ mod tests {
             )),
         );
         let plain = Solver::new(SolverOptions::default());
-        assert!(!plain.prove(&c, &mut g).all_valid(), "FM+tightening alone cannot prove this");
+        assert!(!plain.prove(&c, &mut g).all_proven(), "FM+tightening alone cannot prove this");
         let with_omega =
             Solver::new(SolverOptions { omega_fallback: true, ..SolverOptions::default() });
-        assert!(with_omega.prove(&c, &mut g).all_valid(), "the Omega fallback decides it");
+        assert!(with_omega.prove(&c, &mut g).all_proven(), "the Omega fallback decides it");
     }
 
     /// Re-proving a constraint (or an alpha-variant of it) hits the verdict
@@ -950,9 +1029,9 @@ mod tests {
         ];
         let concl = Prop::lt(IExp::var(i.clone()), IExp::var(n.clone()) + IExp::lit(1));
         let s = solver();
-        assert!(s.entails(&ctx, &hyps, &concl, &mut g).is_valid());
+        assert!(s.entails(&ctx, &hyps, &concl, &mut g).is_proven());
         // Without `i < n` the conclusion is falsifiable.
-        assert!(!s.entails(&ctx, &hyps[..1], &concl, &mut g).is_valid());
+        assert!(!s.entails(&ctx, &hyps[..1], &concl, &mut g).is_proven());
     }
 
     /// `entails` can prove `⊢ false` from contradictory hypotheses — the
@@ -967,8 +1046,129 @@ mod tests {
             Prop::le(IExp::lit(0), IExp::var(n.clone())),
         ];
         let s = solver();
-        assert!(s.entails(&ctx, &hyps, &Prop::False, &mut g).is_valid());
-        assert!(!s.entails(&ctx, &hyps[..1], &Prop::False, &mut g).is_valid());
+        assert!(s.entails(&ctx, &hyps, &Prop::False, &mut g).is_proven());
+        assert!(!s.entails(&ctx, &hyps[..1], &Prop::False, &mut g).is_proven());
+    }
+
+    /// A valid chain goal that needs real elimination work:
+    /// ∀v0..v5. (v0 ≤ v1 ∧ … ∧ v4 ≤ v5) ⊃ v0 ≤ v5.
+    fn chain_goal(g: &mut VarGen) -> Constraint {
+        let vars: Vec<Var> = (0..6).map(|i| g.fresh(&format!("v{i}"))).collect();
+        let mut hyp = Prop::True;
+        for w in vars.windows(2) {
+            hyp = hyp.and(Prop::le(IExp::var(w[0].clone()), IExp::var(w[1].clone())));
+        }
+        let mut c = Constraint::Implies(
+            hyp,
+            Box::new(Constraint::Prop(Prop::le(
+                IExp::var(vars[0].clone()),
+                IExp::var(vars[5].clone()),
+            ))),
+        );
+        for v in vars.into_iter().rev() {
+            c = Constraint::Forall(v, Sort::Int, Box::new(c));
+        }
+        c
+    }
+
+    /// Verdicts move monotonically along `Unknown(FuelExhausted) → Proven`
+    /// as fuel grows, and the unlimited budget reproduces today's verdict.
+    #[test]
+    fn fuel_ladder_is_monotone_to_proven() {
+        let mut g = VarGen::new();
+        let c = chain_goal(&mut g);
+        let full = solver().prove(&c, &mut g);
+        assert!(full.all_proven());
+        let needed = full.stats.fm_combinations as u64;
+        assert!(needed > 0, "the chain goal must need elimination work");
+        let mut seen_exhausted = false;
+        let mut seen_proven = false;
+        for fuel in 0..=needed + 2 {
+            let s = Solver::new(SolverOptions::default().with_fuel(Some(fuel)));
+            let outcome = s.prove(&c, &mut g);
+            match &outcome.results[0].1 {
+                Verdict::Unknown(UnknownReason::FuelExhausted) => {
+                    assert!(!seen_proven, "verdicts never regress as fuel grows");
+                    seen_exhausted = true;
+                }
+                Verdict::Proven => seen_proven = true,
+                other => panic!("unexpected verdict at fuel {fuel}: {other:?}"),
+            }
+        }
+        assert!(seen_exhausted && seen_proven);
+    }
+
+    /// A falsifiable goal that needs combinations first becomes
+    /// `Unknown(FuelExhausted)`, then `Refuted`, never `Proven`.
+    #[test]
+    fn fuel_ladder_is_monotone_to_refuted() {
+        let mut g = VarGen::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        // ∀a,b. (0 ≤ a ∧ a ≤ b ∧ b ≤ a+1) ⊃ b ≤ 3 — falsifiable
+        // (a = b = 4), and every variable of the negation has both upper
+        // and lower bounds, so refutation must pay for combinations.
+        let hyp = Prop::le(IExp::lit(0), IExp::var(a.clone()))
+            .and(Prop::le(IExp::var(a.clone()), IExp::var(b.clone())))
+            .and(Prop::le(IExp::var(b.clone()), IExp::var(a.clone()) + IExp::lit(1)));
+        let c = Constraint::Forall(
+            a,
+            Sort::Int,
+            Box::new(Constraint::Forall(
+                b.clone(),
+                Sort::Int,
+                Box::new(Constraint::Implies(
+                    hyp,
+                    Box::new(Constraint::Prop(Prop::le(IExp::var(b), IExp::lit(3)))),
+                )),
+            )),
+        );
+        let dry = Solver::new(SolverOptions::default().with_fuel(Some(0)));
+        assert_eq!(
+            dry.prove(&c, &mut g).results[0].1,
+            Verdict::Unknown(UnknownReason::FuelExhausted)
+        );
+        let full = solver().prove(&c, &mut g);
+        assert_eq!(full.results[0].1, Verdict::Refuted);
+        assert_eq!(full.stats.refuted, 1);
+    }
+
+    /// Solvers with different fuel budgets can share one cache without
+    /// observing each other's truncated verdicts.
+    #[test]
+    fn budget_classes_partition_a_shared_cache() {
+        let mut g = VarGen::new();
+        let c = chain_goal(&mut g);
+        let dry = Solver::new(SolverOptions::default().with_fuel(Some(0)));
+        let full = dry.with_options(SolverOptions::default());
+        assert_eq!(
+            dry.prove(&c, &mut g).results[0].1,
+            Verdict::Unknown(UnknownReason::FuelExhausted)
+        );
+        assert!(full.prove(&c, &mut g).all_proven(), "no stale truncated verdict");
+        assert_eq!(dry.cache().len(), 2, "one entry per budget class");
+        // Both classes hit on re-query.
+        assert_eq!(
+            dry.prove(&c, &mut g).results[0].1,
+            Verdict::Unknown(UnknownReason::FuelExhausted)
+        );
+        assert!(full.prove(&c, &mut g).all_proven());
+    }
+
+    /// An already-passed deadline turns work-requiring goals Unknown, and
+    /// deadline verdicts never enter the cache.
+    #[test]
+    fn expired_deadline_is_unknown_and_uncached() {
+        let mut g = VarGen::new();
+        let c = chain_goal(&mut g);
+        let s = Solver::new(SolverOptions::default().with_deadline(Some(Duration::ZERO)));
+        let outcome = s.prove(&c, &mut g);
+        assert_eq!(outcome.results[0].1, Verdict::Unknown(UnknownReason::Deadline));
+        assert!(s.cache().is_empty(), "deadline verdicts are not cached");
+        // A generous deadline changes nothing relative to no deadline.
+        let lax =
+            Solver::new(SolverOptions::default().with_deadline(Some(Duration::from_secs(3600))));
+        assert!(lax.prove(&c, &mut g).all_proven());
     }
 
     /// The paper's modular-arithmetic example: tightening is required to
@@ -982,11 +1182,11 @@ mod tests {
         let concl = Prop::cmp(Cmp::Ne, IExp::lit(2) * IExp::var(x.clone()), IExp::lit(1));
         let c = Constraint::Forall(x, Sort::Int, Box::new(Constraint::Prop(concl)));
         let with = Solver::new(SolverOptions::default());
-        assert!(with.prove(&c, &mut g).all_valid());
+        assert!(with.prove(&c, &mut g).all_proven());
         let without = Solver::new(SolverOptions {
             fourier: FourierOptions { tighten: false, ..FourierOptions::default() },
             ..SolverOptions::default()
         });
-        assert!(!without.prove(&c, &mut g).all_valid());
+        assert!(!without.prove(&c, &mut g).all_proven());
     }
 }

@@ -87,7 +87,7 @@ mod tests {
     }
 
     fn verdicts(outcomes: &[Outcome]) -> Vec<Vec<bool>> {
-        outcomes.iter().map(|o| o.results.iter().map(|(_, r)| r.is_valid()).collect()).collect()
+        outcomes.iter().map(|o| o.results.iter().map(|(_, r)| r.is_proven()).collect()).collect()
     }
 
     #[test]
@@ -130,7 +130,7 @@ mod tests {
         let refs: Vec<&Constraint> = cs.iter().collect();
         let solver = Solver::new(SolverOptions { workers: Some(4), ..SolverOptions::default() });
         let outcomes = prove_all(&solver, &refs, &mut gen);
-        assert!(outcomes.iter().all(|o| o.all_valid()));
+        assert!(outcomes.iter().all(|o| o.all_proven()));
         assert_eq!(solver.cache().len(), 1, "all variants share one canonical entry");
         assert!(solver.cache().hits() > 0);
     }

@@ -11,9 +11,12 @@ pub struct SolverStats {
     pub goals: usize,
     /// Goals proven valid.
     pub proven: usize,
-    /// Goals not proven (counterexample possible, non-linear, residual
-    /// existential, or resource overflow).
+    /// Goals not proven (refuted, counterexample possible, non-linear, or
+    /// out of budget). Always `refuted + unknown`, kept for reporting.
     pub not_proven: usize,
+    /// Goals refuted by an explicit integer counterexample (a subset of
+    /// `not_proven`).
+    pub refuted: usize,
     /// Existential variables eliminated by equality substitution.
     pub existentials_eliminated: usize,
     /// Existential variables that could not be eliminated.
@@ -42,6 +45,7 @@ impl SolverStats {
         self.goals += other.goals;
         self.proven += other.proven;
         self.not_proven += other.not_proven;
+        self.refuted += other.refuted;
         self.existentials_eliminated += other.existentials_eliminated;
         self.existentials_residual += other.existentials_residual;
         self.disjuncts_refuted += other.disjuncts_refuted;

@@ -15,6 +15,7 @@
 use dml_index::{Linear, Var};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// A single inequality `lin ≤ 0`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -97,8 +98,62 @@ pub enum RefuteResult {
     /// (after tightening) is satisfiable, so the system *may* have integer
     /// solutions. Fail-safe: the goal is not proven.
     PossiblySat,
-    /// Resource limits hit; treated like [`RefuteResult::PossiblySat`].
+    /// Structural resource limits (working-set size, `max_combinations`)
+    /// hit; treated like [`RefuteResult::PossiblySat`].
     Overflow,
+    /// The caller-supplied fuel budget ran out (see [`FuelMeter`]).
+    FuelExhausted,
+    /// The caller-supplied wall-clock deadline passed (see [`FuelMeter`]).
+    DeadlineExceeded,
+}
+
+/// A per-goal resource budget threaded through refutation.
+///
+/// Fuel is counted in Fourier–Motzkin *pair combinations* — the unit of
+/// work the elimination loop performs — so a fuel verdict is deterministic
+/// across worker counts and cache configurations. The wall-clock deadline
+/// is checked on the first combination and every 64 thereafter, keeping
+/// `Instant::now` off the hot path; deadline verdicts are inherently
+/// machine-dependent and are never cached.
+#[derive(Debug)]
+pub struct FuelMeter {
+    fuel: Option<u64>,
+    deadline: Option<Instant>,
+    ticks: u32,
+}
+
+impl FuelMeter {
+    /// A meter that never runs out.
+    pub fn unlimited() -> FuelMeter {
+        FuelMeter { fuel: None, deadline: None, ticks: 0 }
+    }
+
+    /// A meter with `fuel` combinations and a deadline `budget` from now.
+    /// `None` leaves the corresponding dimension unbounded.
+    pub fn new(fuel: Option<u64>, budget: Option<Duration>) -> FuelMeter {
+        FuelMeter { fuel, deadline: budget.map(|d| Instant::now() + d), ticks: 0 }
+    }
+
+    /// Charges one combination. Returns the exhausted dimension, if any
+    /// (fuel is checked first, so fuel verdicts stay deterministic even
+    /// when a deadline is also set).
+    fn charge(&mut self) -> Option<RefuteResult> {
+        if let Some(fuel) = &mut self.fuel {
+            if *fuel == 0 {
+                return Some(RefuteResult::FuelExhausted);
+            }
+            *fuel -= 1;
+        }
+        if let Some(deadline) = self.deadline {
+            // Checked on the first combination and every 64 thereafter,
+            // keeping `Instant::now` off the hot path.
+            self.ticks = self.ticks.wrapping_add(1);
+            if self.ticks % 64 == 1 && Instant::now() >= deadline {
+                return Some(RefuteResult::DeadlineExceeded);
+            }
+        }
+        None
+    }
 }
 
 /// Tuning knobs for Fourier–Motzkin elimination.
@@ -182,8 +237,25 @@ impl System {
     /// Fourier–Motzkin elimination with optional integer tightening.
     ///
     /// Returns the result together with the number of pair combinations
-    /// performed (for solver statistics).
+    /// performed (for solver statistics). Equivalent to
+    /// [`System::refute_budgeted`] with an unlimited [`FuelMeter`].
     pub fn refute(&self, opts: &FourierOptions) -> (RefuteResult, usize) {
+        self.refute_budgeted(opts, &mut FuelMeter::unlimited())
+    }
+
+    /// [`System::refute`] under a caller-supplied resource budget.
+    ///
+    /// The meter is charged once per pair combination *before* the
+    /// combination is performed, so a meter with `fuel = 0` cannot do any
+    /// elimination work (contradictions already present in the input are
+    /// still detected — they cost nothing). The same meter can be shared
+    /// across the disjunct systems of one goal to give the goal a single
+    /// overall budget.
+    pub fn refute_budgeted(
+        &self,
+        opts: &FourierOptions,
+        meter: &mut FuelMeter,
+    ) -> (RefuteResult, usize) {
         let mut work: Vec<Ineq> = Vec::with_capacity(self.ineqs.len());
         for i in &self.ineqs {
             let i = if opts.tighten { i.tighten() } else { i.clone() };
@@ -224,6 +296,9 @@ impl System {
 
             for up in &uppers {
                 for lo in &lowers {
+                    if let Some(spent) = meter.charge() {
+                        return (spent, combinations);
+                    }
                     combinations += 1;
                     if combinations > opts.max_combinations {
                         return (RefuteResult::Overflow, combinations);
@@ -464,5 +539,75 @@ mod tests {
         let x = g.fresh("x");
         let i = Ineq::le(lv(&x), k(3));
         assert_eq!(i.to_string(), "x - 3 <= 0");
+    }
+
+    /// With zero fuel no combination can be performed, but contradictions
+    /// already present in the input are still free.
+    #[test]
+    fn zero_fuel_blocks_elimination_but_not_input_contradictions() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let mut s = System::new();
+        s.push(Ineq::le(lv(&x), k(0)));
+        s.push(Ineq::le(k(1), lv(&x)));
+        let opts = FourierOptions::default();
+        let mut dry = FuelMeter::new(Some(0), None);
+        assert_eq!(s.refute_budgeted(&opts, &mut dry).0, RefuteResult::FuelExhausted);
+
+        let mut contradiction = System::new();
+        contradiction.push(Ineq::le(k(1), k(0)));
+        let mut dry = FuelMeter::new(Some(0), None);
+        assert_eq!(
+            contradiction.refute_budgeted(&opts, &mut dry).0,
+            RefuteResult::Refuted,
+            "input contradictions cost nothing"
+        );
+    }
+
+    /// Fuel is monotone: once a refutation completes under some budget, a
+    /// larger budget returns the identical result and combination count.
+    #[test]
+    fn fuel_is_monotone_on_chain_refutation() {
+        let mut g = VarGen::new();
+        let vars: Vec<Var> = (0..6).map(|i| g.fresh(&format!("v{i}"))).collect();
+        let mut s = System::new();
+        for w in vars.windows(2) {
+            s.push(Ineq::le(lv(&w[0]), lv(&w[1])));
+        }
+        s.push(Ineq::le(lv(&vars[5]).add(&k(1)), lv(&vars[0])));
+        let opts = FourierOptions::default();
+        let (full, combos) = s.refute(&opts);
+        assert_eq!(full, RefuteResult::Refuted);
+        assert!(combos > 0);
+        let mut results = Vec::new();
+        for fuel in 0..=combos as u64 + 2 {
+            let mut m = FuelMeter::new(Some(fuel), None);
+            results.push(s.refute_budgeted(&opts, &mut m).0);
+        }
+        for (fuel, r) in results.iter().enumerate() {
+            if fuel < combos {
+                assert_eq!(*r, RefuteResult::FuelExhausted, "fuel {fuel}");
+            } else {
+                assert_eq!(*r, RefuteResult::Refuted, "fuel {fuel}");
+            }
+        }
+    }
+
+    /// A shared meter spans several systems: work done on the first leaves
+    /// less for the second.
+    #[test]
+    fn shared_meter_spans_systems() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let mut s = System::new();
+        s.push(Ineq::le(k(1), lv(&x)));
+        s.push(Ineq::le(lv(&x), k(0)));
+        let opts = FourierOptions::default();
+        let (_, one) = s.refute(&opts);
+        assert!(one > 0);
+        // Enough fuel for exactly one refutation, shared across two.
+        let mut m = FuelMeter::new(Some(one as u64), None);
+        assert_eq!(s.refute_budgeted(&opts, &mut m).0, RefuteResult::Refuted);
+        assert_eq!(s.refute_budgeted(&opts, &mut m).0, RefuteResult::FuelExhausted);
     }
 }

@@ -7,7 +7,11 @@
 //! ```
 
 use dml::experiments::figure4;
-use dml::{compile, Mode, Value};
+use dml::{Mode, Value};
+fn compile(src: &str) -> Result<dml::Compiled, dml::PipelineError> {
+    dml::Compiler::new().compile(src)
+}
+
 use dml_programs::bsearch;
 
 fn main() {

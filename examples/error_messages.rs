@@ -6,7 +6,9 @@
 //! cargo run --example error_messages
 //! ```
 
-use dml::compile;
+fn compile(src: &str) -> Result<dml::Compiled, dml::PipelineError> {
+    dml::Compiler::new().compile(src)
+}
 
 const BROKEN: &str = r#"
 fun sumto(v, k) = let

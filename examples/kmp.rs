@@ -6,7 +6,11 @@
 //! cargo run --example kmp
 //! ```
 
-use dml::{compile, Mode};
+use dml::Mode;
+fn compile(src: &str) -> Result<dml::Compiled, dml::PipelineError> {
+    dml::Compiler::new().compile(src)
+}
+
 use dml_programs::kmp;
 
 fn main() {

@@ -5,7 +5,11 @@
 //! cargo run --example quickstart
 //! ```
 
-use dml::{compile, Mode};
+use dml::Mode;
+fn compile(src: &str) -> Result<dml::Compiled, dml::PipelineError> {
+    dml::Compiler::new().compile(src)
+}
+
 use dml_programs::dotprod;
 
 fn main() {
@@ -14,7 +18,7 @@ fn main() {
     let compiled = compile(dotprod::SOURCE).expect("dotprod compiles");
     println!("\n== constraints ==");
     for (ob, r) in compiled.obligations() {
-        println!("{ob}  [{}]", if r.is_valid() { "valid" } else { "NOT PROVEN" });
+        println!("{ob}  [{}]", if r.is_proven() { "valid" } else { "NOT PROVEN" });
     }
     println!(
         "\nfully verified: {}; proven check sites: {}",

@@ -11,7 +11,7 @@ use dml_programs::extra;
 use std::rc::Rc;
 
 fn validated_machine(src: &str) -> (dml::Compiled, dml::Machine) {
-    let compiled = dml::compile(src).expect("compiles");
+    let compiled = dml::Compiler::new().compile(src).expect("compiles");
     assert!(compiled.fully_verified(), "{}", compiled.explain_failures(src));
     let machine =
         compiled.machine_with(CheckConfig::eliminated(Default::default()).with_validation());

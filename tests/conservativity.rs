@@ -52,9 +52,11 @@ fn stripped_programs_still_compile_and_run_identically() {
             b.program.name
         );
 
-        let annotated = dml::compile(&annotated_src)
+        let annotated = dml::Compiler::new()
+            .compile(&annotated_src)
             .unwrap_or_else(|e| panic!("{} annotated: {e}", b.program.name));
-        let stripped = dml::compile(&stripped_src)
+        let stripped = dml::Compiler::new()
+            .compile(&stripped_src)
             .unwrap_or_else(|e| panic!("{} stripped: {e}", b.program.name));
 
         // The stripped program cannot prove checks whose safety rests on
@@ -120,7 +122,7 @@ fun size(t) = case t of LEAF => 0 | NODE(l, _, r) => 1 + size(l) + size(r)
 fun build(i, n, t) = if i < n then build(i + 1, n, insert(t, i * 7919 mod 101)) else t
 fun main(n) = size(build(0, n, LEAF))
 "#;
-    let compiled = dml::compile(src).unwrap();
+    let compiled = dml::Compiler::new().compile(src).unwrap();
     // The `mod` guards are provable (constant 101); tree code generates no
     // bound checks at all.
     let mut m = compiled.machine(Mode::Eliminated);

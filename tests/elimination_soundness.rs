@@ -91,7 +91,7 @@ fn offset_walk_verification_is_exact() {
     for off in 0i64..5 {
         for bound in 1i64..6 {
             let src = offset_walk(off, bound);
-            let compiled = dml::compile(&src).unwrap();
+            let compiled = dml::Compiler::new().compile(&src).unwrap();
             let safe = offset_walk_safe(off, bound);
             assert_eq!(compiled.fully_verified(), safe, "off={off} bound={bound} src:\n{src}");
             // Soundness net regardless of the verdict.
@@ -109,7 +109,7 @@ fn div_probe_soundness() {
         for off in -2i64..4 {
             for guard in 0i64..6 {
                 let src = div_probe(d, off, guard);
-                let compiled = dml::compile(&src).unwrap();
+                let compiled = dml::Compiler::new().compile(&src).unwrap();
                 let safe = div_probe_safe(d, off, guard);
                 // Precision may be lost on div-heavy goals; soundness may
                 // not: a verified program must actually be safe.
@@ -128,17 +128,17 @@ fn div_probe_soundness() {
 fn division_probe_spot_checks() {
     // n div 2 is always < n for n ≥ 1: verified and safe.
     let src = div_probe(2, 0, 0);
-    let c = dml::compile(&src).unwrap();
+    let c = dml::Compiler::new().compile(&src).unwrap();
     assert!(c.fully_verified(), "{}", c.explain_failures(&src));
 
     // n div 2 + 1 can equal n (n = 1, 2): must NOT verify.
     let src = div_probe(2, 1, 0);
-    let c = dml::compile(&src).unwrap();
+    let c = dml::Compiler::new().compile(&src).unwrap();
     assert!(!c.fully_verified());
 
     // ...but guarding n > 2 makes it safe again (n/2 + 1 < n for n ≥ 3).
     let src = div_probe(2, 1, 2);
-    let c = dml::compile(&src).unwrap();
+    let c = dml::Compiler::new().compile(&src).unwrap();
     assert!(c.fully_verified(), "{}", c.explain_failures(&src));
 }
 

@@ -147,8 +147,9 @@ fn interpreter_matches_reference() {
         let y = rng.i64_in(-100, 99);
         let z = rng.i64_in(-100, 99);
         let src = format!("fun f(x, y, z) = {}", render(&e));
-        let compiled =
-            dml::compile(&src).unwrap_or_else(|err| panic!("pipeline failed on:\n{src}\n{err}"));
+        let compiled = dml::Compiler::new()
+            .compile(&src)
+            .unwrap_or_else(|err| panic!("pipeline failed on:\n{src}\n{err}"));
         let mut m = compiled.machine(dml::Mode::Checked);
         let args = dml::Value::Tuple(std::rc::Rc::new(vec![
             dml::Value::Int(x),
@@ -170,7 +171,7 @@ fn modes_agree_on_pure_arithmetic() {
     for _ in 0..64 {
         let e = random_e(&mut rng, 4);
         let src = format!("fun f(x, y, z) = {}", render(&e));
-        let compiled = dml::compile(&src).unwrap();
+        let compiled = dml::Compiler::new().compile(&src).unwrap();
         let args = || {
             dml::Value::Tuple(std::rc::Rc::new(vec![
                 dml::Value::Int(3),

@@ -43,7 +43,7 @@ fn figure1_annotation_overhead_is_small() {
 /// as an obligation whose constraint text carries the hypothesis equations.
 #[test]
 fn reverse_first_clause_constraint_shape() {
-    let c = dml::compile(progs::reverse::SOURCE).unwrap();
+    let c = dml::Compiler::new().compile(progs::reverse::SOURCE).unwrap();
     assert!(c.fully_verified());
     let texts: Vec<String> =
         c.obligations().iter().map(|(o, _)| o.constraint.to_string()).collect();
@@ -66,7 +66,7 @@ fn experiment_index_is_complete() {
         progs::bsearch::PROGRAM,
         progs::kmp::PROGRAM,
     ] {
-        assert!(dml::compile(p.source).unwrap().fully_verified(), "{}", p.name);
+        assert!(dml::Compiler::new().compile(p.source).unwrap().fully_verified(), "{}", p.name);
     }
     // Figure 4.
     assert!(!figure4().is_empty());

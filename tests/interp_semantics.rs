@@ -2,7 +2,11 @@
 //! evaluation order, first-match clause selection, and exception
 //! propagation through the tail-call machinery.
 
-use dml::{compile, Mode, Value};
+use dml::{Mode, Value};
+fn compile(src: &str) -> Result<dml::Compiled, dml::PipelineError> {
+    dml::Compiler::new().compile(src)
+}
+
 use std::rc::Rc;
 
 fn machine(src: &str) -> dml::Machine {

@@ -2,7 +2,11 @@
 //! existential packages, boolean-indexed refinement, user typerefs,
 //! higher-order functions, and polymorphism.
 
-use dml::{compile, Mode, Value};
+use dml::{Mode, Value};
+fn compile(src: &str) -> Result<dml::Compiled, dml::PipelineError> {
+    dml::Compiler::new().compile(src)
+}
+
 use std::rc::Rc;
 
 fn pair(a: Value, b: Value) -> Value {
@@ -451,9 +455,12 @@ fn div_exception_catchable() {
 
 #[test]
 fn unknown_exception_rejected_in_phase1() {
-    assert!(matches!(dml::compile("fun f(x) = raise Nope"), Err(dml::PipelineError::Infer(_, _))));
     assert!(matches!(
-        dml::compile("fun f(x) = x handle Nope => 0"),
+        dml::Compiler::new().compile("fun f(x) = raise Nope"),
+        Err(dml::PipelineError::Infer(_, _))
+    ));
+    assert!(matches!(
+        dml::Compiler::new().compile("fun f(x) = x handle Nope => 0"),
         Err(dml::PipelineError::Infer(_, _))
     ));
 }

@@ -69,7 +69,7 @@ fn check_counts_scale_with_workload() {
 
 #[test]
 fn kmp_eliminates_scan_but_not_prefix_residue() {
-    let compiled = dml::compile(progs::kmp::SOURCE).unwrap();
+    let compiled = dml::Compiler::new().compile(progs::kmp::SOURCE).unwrap();
     assert!(compiled.fully_verified());
     let pat = [0, 1, 0, 1, 1];
     let text = progs::kmp::workload(2000, &pat, Some(1500), 9);
@@ -95,7 +95,7 @@ fn tampered_program_is_caught_not_eliminated() {
     let src = progs::dotprod::SOURCE
         .replace("{i:nat | i <= n}", "{i:nat | i <= n+1}")
         .replace("if i = n then sum", "if i = n+1 then sum");
-    let compiled = dml::compile(&src).unwrap();
+    let compiled = dml::Compiler::new().compile(&src).unwrap();
     assert!(!compiled.fully_verified(), "the solver must reject the out-of-bounds variant");
     assert!(compiled.proven_sites().is_empty(), "no elimination when verification fails");
     // In checked mode the faulty program traps instead of reading OOB.
@@ -108,7 +108,7 @@ fn tampered_program_is_caught_not_eliminated() {
 #[test]
 fn expository_programs_verify_and_run() {
     // dotprod
-    let c = dml::compile(progs::dotprod::SOURCE).unwrap();
+    let c = dml::Compiler::new().compile(progs::dotprod::SOURCE).unwrap();
     assert!(c.fully_verified());
     let (v1, v2) = progs::dotprod::workload(64, 5);
     let mut m = c.machine(Mode::Eliminated);
@@ -116,7 +116,7 @@ fn expository_programs_verify_and_run() {
     assert_eq!(r.as_int(), Some(progs::dotprod::reference(&v1, &v2)));
 
     // reverse
-    let c = dml::compile(progs::reverse::SOURCE).unwrap();
+    let c = dml::Compiler::new().compile(progs::reverse::SOURCE).unwrap();
     assert!(c.fully_verified());
     let mut m = c.machine(Mode::Eliminated);
     let r = m.call("reverse", vec![progs::reverse::workload(10)]).unwrap();
@@ -124,7 +124,7 @@ fn expository_programs_verify_and_run() {
     assert_eq!(out, (0..10).rev().collect::<Vec<i64>>());
 
     // filter (existential result length)
-    let c = dml::compile(progs::filter::SOURCE).unwrap();
+    let c = dml::Compiler::new().compile(progs::filter::SOURCE).unwrap();
     assert!(c.fully_verified());
 }
 
@@ -132,13 +132,13 @@ fn expository_programs_verify_and_run() {
 fn table_source_compiles_via_bench_source() {
     for b in benchmarks() {
         let src = bench_source(&b.program);
-        assert!(dml::compile(&src).is_ok(), "{}", b.program.name);
+        assert!(dml::Compiler::new().compile(&src).is_ok(), "{}", b.program.name);
     }
 }
 
 #[test]
 fn proven_site_spans_match_actual_prim_applications() {
-    let compiled = dml::compile(progs::bsearch::SOURCE).unwrap();
+    let compiled = dml::Compiler::new().compile(progs::bsearch::SOURCE).unwrap();
     // The single proven site must be inside the program text and cover a
     // `sub` application.
     for span in compiled.proven_sites() {
@@ -150,7 +150,7 @@ fn proven_site_spans_match_actual_prim_applications() {
 #[test]
 fn values_round_trip_through_machine() {
     let src = "fun id(x) = x";
-    let compiled = dml::compile(src).unwrap();
+    let compiled = dml::Compiler::new().compile(src).unwrap();
     let mut m = compiled.machine(Mode::Checked);
     for v in [
         Value::Int(42),
@@ -167,7 +167,8 @@ fn values_round_trip_through_machine() {
 #[test]
 fn extra_library_programs_fully_verify() {
     for p in dml_programs::extra::all() {
-        let c = dml::compile(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let c =
+            dml::Compiler::new().compile(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
         assert!(c.fully_verified(), "{}:\n{}", p.name, c.explain_failures(p.source));
     }
 }
@@ -176,7 +177,7 @@ fn extra_library_programs_fully_verify() {
 fn extra_programs_run_eliminated_with_validation() {
     use dml_programs::extra;
     // array reverse, validated elimination
-    let c = dml::compile(extra::ARRAY_REVERSE).unwrap();
+    let c = dml::Compiler::new().compile(extra::ARRAY_REVERSE).unwrap();
     let mut m = c.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
     let v = Value::int_array([1, 2, 3, 4]);
     m.call("arev", vec![v.clone()]).unwrap();
@@ -185,7 +186,7 @@ fn extra_programs_run_eliminated_with_validation() {
     assert_eq!(m.counters.array_checks_executed, 0);
 
     // lower_bound, validated elimination
-    let c = dml::compile(extra::LOWER_BOUND).unwrap();
+    let c = dml::Compiler::new().compile(extra::LOWER_BOUND).unwrap();
     let mut m = c.machine_with(CheckConfig::eliminated(Default::default()).with_validation());
     let v = Value::int_array([2, 4, 6, 8]);
     let arg = Value::Tuple(std::rc::Rc::new(vec![v, Value::Int(5)]));

@@ -19,7 +19,7 @@ fn obligation_counts_are_stable() {
     ];
     for ((name, want), b) in expected.iter().zip(benchmarks()) {
         assert_eq!(*name, b.program.name, "table order changed");
-        let compiled = dml::compile(&bench_source(&b.program)).unwrap();
+        let compiled = dml::Compiler::new().compile(&bench_source(&b.program)).unwrap();
         assert_eq!(
             compiled.stats().constraints,
             *want,
@@ -43,7 +43,7 @@ fn proven_site_counts_are_stable() {
         ("list access", 1),
     ];
     for ((name, want), b) in expected.iter().zip(benchmarks()) {
-        let compiled = dml::compile(&bench_source(&b.program)).unwrap();
+        let compiled = dml::Compiler::new().compile(&bench_source(&b.program)).unwrap();
         assert_eq!(compiled.proven_sites().len(), *want, "{name}: proven-site count drifted");
     }
 }
@@ -109,7 +109,7 @@ fn pipeline_is_total_on_vocabulary_soup() {
     for _ in 0..1500 {
         let len = rng.usize_in(0, 29);
         let src = (0..len).map(|_| *rng.pick(WORDS)).collect::<Vec<_>>().join(" ");
-        if let Ok(result) = dml::compile(&src) {
+        if let Ok(result) = dml::Compiler::new().compile(&src) {
             compiled_ok += 1;
             let _ = result.fully_verified();
         }

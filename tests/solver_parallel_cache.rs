@@ -1,6 +1,6 @@
 //! Property test: the solve phase is configuration-independent. For
 //! randomized goal sets, every combination of {workers = 1, N} ×
-//! {cache on, off} must produce identical `GoalResult`s in identical
+//! {cache on, off} must produce identical `Verdict`s in identical
 //! order, with identical proven/not-proven counts.
 //!
 //! The generator stays inside the solver's total fragment (linear atoms
@@ -12,7 +12,7 @@
 
 use dml_index::{Cmp, Constraint, IExp, Prop, Sort, Var, VarGen};
 use dml_repro::qc::Rng;
-use dml_solver::{prove_all, GoalResult, Outcome, Solver, SolverOptions};
+use dml_solver::{prove_all, Outcome, Solver, SolverOptions, Verdict};
 
 fn random_iexp(rng: &mut Rng, vars: &[Var], depth: usize) -> IExp {
     if depth == 0 || rng.usize_in(0, 2) == 0 {
@@ -59,9 +59,9 @@ fn random_constraint(rng: &mut Rng, gen: &mut VarGen) -> Constraint {
     body
 }
 
-type Observation = (Vec<Vec<GoalResult>>, Vec<(usize, usize)>);
+type Observation = (Vec<Vec<Verdict>>, Vec<(usize, usize)>);
 
-fn verdict_matrix(outcomes: &[Outcome]) -> Vec<Vec<GoalResult>> {
+fn verdict_matrix(outcomes: &[Outcome]) -> Vec<Vec<Verdict>> {
     outcomes.iter().map(|o| o.results.iter().map(|(_, r)| r.clone()).collect()).collect()
 }
 
@@ -85,10 +85,10 @@ fn solve_phase_is_configuration_independent() {
         let refs: Vec<&Constraint> = constraints.iter().collect();
 
         let configs = [
-            SolverOptions { workers: Some(1), cache: true, ..SolverOptions::default() },
-            SolverOptions { workers: Some(1), cache: false, ..SolverOptions::default() },
-            SolverOptions { workers: Some(4), cache: true, ..SolverOptions::default() },
-            SolverOptions { workers: Some(4), cache: false, ..SolverOptions::default() },
+            SolverOptions::default().with_workers(Some(1)).with_cache(true),
+            SolverOptions::default().with_workers(Some(1)).with_cache(false),
+            SolverOptions::default().with_workers(Some(4)).with_cache(true),
+            SolverOptions::default().with_workers(Some(4)).with_cache(false),
         ];
         let mut baseline: Option<Observation> = None;
         for opts in configs {
@@ -111,8 +111,8 @@ fn solve_phase_is_configuration_independent() {
             }
         }
         let (matrix, _) = baseline.unwrap();
-        let flat: Vec<&GoalResult> = matrix.iter().flatten().collect();
-        assert!(flat.iter().any(|r| r.is_valid()), "round {round}: no valid goal generated");
-        assert!(flat.iter().any(|r| !r.is_valid()), "round {round}: no unproven goal generated");
+        let flat: Vec<&Verdict> = matrix.iter().flatten().collect();
+        assert!(flat.iter().any(|r| r.is_proven()), "round {round}: no proven goal generated");
+        assert!(flat.iter().any(|r| !r.is_proven()), "round {round}: no unproven goal generated");
     }
 }

@@ -130,7 +130,7 @@ fn guarded_random_access_verifies_and_runs() {
                if 0 <= j andalso j < length v then sub(v, j) else 0 end\n\
              where pick <| int array * int -> int"
         );
-        let compiled = dml::compile(&src).unwrap();
+        let compiled = dml::Compiler::new().compile(&src).unwrap();
         assert!(
             compiled.fully_verified(),
             "{:?}",

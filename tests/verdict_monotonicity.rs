@@ -1,0 +1,109 @@
+//! Fuel-monotonicity of the three-way verdict lattice.
+//!
+//! The budgeted solver must be *monotone in fuel*: granting a goal more
+//! fuel may upgrade `Unknown` to `Proven` or `Refuted`, but can never
+//! flip a decided verdict (`Proven` ↔ `Refuted`) or downgrade one back
+//! to `Unknown`. The property must hold identically across worker
+//! counts and with the verdict cache on or off — budgets partition the
+//! cache key, so a cached low-fuel `Unknown` may never impersonate an
+//! unlimited-fuel verdict.
+
+use dml::{Compiler, Verdict};
+
+/// Sources covering all three verdicts: fully-verified benchmarks
+/// (Proven), an out-of-bounds access (Refuted), and a nonlinear index
+/// (Unknown at every finite or infinite budget).
+fn sources() -> Vec<(&'static str, String)> {
+    let residual =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/residual.dml"))
+            .expect("examples/residual.dml exists");
+    vec![
+        ("dotprod", dml_programs::dotprod::SOURCE.to_string()),
+        ("bsearch", dml_programs::bsearch::SOURCE.to_string()),
+        (
+            "oob",
+            "fun oops(v) = sub(v, length v)\nwhere oops <| {n:nat} int array(n) -> int\n"
+                .to_string(),
+        ),
+        ("residual", residual),
+    ]
+}
+
+fn configs() -> Vec<(usize, bool)> {
+    vec![(1, true), (1, false), (4, true), (4, false)]
+}
+
+/// Per-obligation verdicts at a given fuel level, in pipeline order.
+fn verdicts(src: &str, fuel: Option<u64>, workers: usize, cache: bool) -> Vec<Verdict> {
+    let mut c = Compiler::new().workers(workers).cache(cache);
+    if let Some(f) = fuel {
+        c = c.fuel(f);
+    }
+    let compiled = c.compile(src).expect("permissive mode always compiles");
+    compiled.obligations().iter().map(|(_, v)| v.clone()).collect()
+}
+
+fn decided(v: &Verdict) -> bool {
+    matches!(v, Verdict::Proven | Verdict::Refuted)
+}
+
+const FUELS: [u64; 6] = [0, 1, 2, 4, 16, 128];
+
+#[test]
+fn verdicts_move_only_from_unknown_toward_decided_as_fuel_grows() {
+    for (name, src) in sources() {
+        for (workers, cache) in configs() {
+            let ladder: Vec<Vec<Verdict>> = FUELS
+                .iter()
+                .map(|&f| verdicts(&src, Some(f), workers, cache))
+                .chain(std::iter::once(verdicts(&src, None, workers, cache)))
+                .collect();
+            for pair in ladder.windows(2) {
+                let (lo, hi) = (&pair[0], &pair[1]);
+                assert_eq!(lo.len(), hi.len(), "{name}: obligation count is fuel-independent");
+                for (a, b) in lo.iter().zip(hi) {
+                    if decided(a) {
+                        assert_eq!(
+                            a, b,
+                            "{name} (workers={workers}, cache={cache}): decided verdict \
+                             changed under more fuel"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn verdicts_agree_across_workers_and_cache_at_every_fuel_level() {
+    for (name, src) in sources() {
+        for fuel in FUELS.iter().map(|&f| Some(f)).chain(std::iter::once(None)) {
+            let reference = verdicts(&src, fuel, 1, true);
+            for (workers, cache) in configs() {
+                let got = verdicts(&src, fuel, workers, cache);
+                assert_eq!(
+                    got, reference,
+                    "{name} at fuel {fuel:?}: workers={workers}, cache={cache} must agree \
+                     with the sequential cached run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unlimited_fuel_never_reports_a_budget_reason() {
+    // With no budget, any remaining Unknown must blame the goal itself
+    // (nonlinearity, possible falsifiability) — never a resource limit.
+    for (name, src) in sources() {
+        for v in verdicts(&src, None, 1, true) {
+            if let Verdict::Unknown(r) = &v {
+                assert!(
+                    !matches!(r, dml::UnknownReason::FuelExhausted | dml::UnknownReason::Deadline),
+                    "{name}: budget reason at unlimited fuel: {v:?}"
+                );
+            }
+        }
+    }
+}
