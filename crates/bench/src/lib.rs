@@ -32,7 +32,7 @@ pub fn bench<T>(group: &str, name: &str, warmup: usize, iters: usize, f: impl Fn
     bench_timed(group, name, warmup, iters, f);
 }
 
-/// Like [`bench`], but also returns the [`Summary`] so machine-readable
+/// Like [`bench()`], but also returns the [`Summary`] so machine-readable
 /// reports (e.g. `BENCH_solver.json`) can be assembled from the same run
 /// that produced the human-readable line.
 pub fn bench_timed<T>(

@@ -1,14 +1,25 @@
 //! `dmlc` — command-line driver for the dml-rs pipeline.
 //!
 //! ```text
-//! dmlc check <file.dml>        type-check; report proven/unproven checks
+//! dmlc check <file.dml> [--trace-out FILE]   type-check; report checks
+//! dmlc explain <file.dml> [--goal N]  render per-obligation proof traces
 //! dmlc constraints <file.dml>  print every generated constraint
 //! dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]
 //! dmlc run <file.dml> <fun> [ints...]   run a function on integer args
 //! dmlc eval <file.dml> <fun> [ints...]  alias for `run`
 //! dmlc figure4                 print the paper's Figure 4 constraints
-//! dmlc table <1|2|3> [factor]  regenerate a table of the evaluation
+//! dmlc table <1|2|3> [factor] [--timings]  regenerate an evaluation table
 //! ```
+//!
+//! Observability (see `docs/ARCHITECTURE.md` for the trace schema):
+//!
+//! * `dmlc explain` compiles with tracing on and renders each goal's proof
+//!   story — hypothesis set, elimination order, fuel, witness — in a
+//!   deterministic format (byte-identical across workers/cache settings).
+//! * `dmlc check --trace-out trace.json` writes a Chrome trace-event file
+//!   (loadable in `chrome://tracing` / Perfetto) with pipeline phase spans,
+//!   per-goal solver spans, fuel, and verdict-cache shard occupancy.
+//! * `dmlc table 1 --timings` appends per-phase solver latency histograms.
 //!
 //! Session flags (accepted by `check`, `constraints`, `lint`, `run`/`eval`):
 //!
@@ -33,7 +44,8 @@ fn main() -> ExitCode {
         }
     };
     match args.first().map(String::as_str) {
-        Some("check") => with_file(&args, |src| check(&compiler, src)),
+        Some("check") => check_cmd(&compiler, &args),
+        Some("explain") => explain_cmd(&compiler, &args),
         Some("constraints") => with_file(&args, |src| constraints(&compiler, src)),
         Some("lint") => lint(&compiler, &args),
         Some("run" | "eval") => run(&compiler, &args),
@@ -46,15 +58,16 @@ fn main() -> ExitCode {
         Some("table") => table(&args),
         _ => {
             eprintln!(
-                "usage: dmlc <check|constraints|lint|run|eval|figure4|table> ...\n\
+                "usage: dmlc <check|explain|constraints|lint|run|eval|figure4|table> ...\n\
                  \n\
-                 dmlc check <file.dml> [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc check <file.dml> [--trace-out FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc explain <file.dml> [--goal N] [--fuel N] [--deadline-ms N]\n\
                  dmlc constraints <file.dml> [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE] [--fuel N] [--strict]\n\
                  dmlc run <file.dml> <fun> [ints...] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc eval <file.dml> <fun> [ints...]   (alias for run)\n\
                  dmlc figure4\n\
-                 dmlc table <1|2|3> [factor]"
+                 dmlc table <1|2|3> [factor] [--timings]"
             );
             ExitCode::FAILURE
         }
@@ -103,63 +116,150 @@ fn with_file(args: &[String], f: impl Fn(&str) -> ExitCode) -> ExitCode {
     }
 }
 
-fn check(compiler: &Compiler, src: &str) -> ExitCode {
-    match compiler.compile(src) {
+/// `dmlc check <file> [--trace-out FILE]` — with `--trace-out`, compiles
+/// with tracing on and writes a Chrome trace-event file alongside the
+/// normal report (which stays byte-identical in the default mode).
+fn check_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("missing file argument");
+        return ExitCode::FAILURE;
+    };
+    let mut trace_out: Option<String> = None;
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--trace-out" => match rest.next() {
+                Some(f) => trace_out = Some(f.clone()),
+                None => {
+                    eprintln!("--trace-out expects a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = if trace_out.is_some() { compiler.clone().trace(true) } else { compiler.clone() };
+    match session.compile(&src) {
         Ok(compiled) => {
-            let stats = compiled.stats();
-            println!(
-                "{} constraints generated ({} goals), {:.1} ms generation, {:.1} ms solving",
-                stats.constraints,
-                stats.goals,
-                stats.generation_time.as_secs_f64() * 1e3,
-                stats.solve_time.as_secs_f64() * 1e3,
-            );
-            println!(
-                "solver cache: {} hits, {} misses",
-                stats.solver.cache_hits, stats.solver.cache_misses
-            );
-            println!(
-                "proven check sites: {}; unproven: {}",
-                compiled.proven_sites().len(),
-                compiled.unproven_sites().len()
-            );
-            for (site, con) in compiled.match_warnings() {
-                println!(
-                    "warning: match at {site} may not be exhaustive (constructor `{con}` \
-                     not provably impossible)"
-                );
+            if let Some(out_path) = &trace_out {
+                let trace = dml::chrome_trace(&compiled, &src, path);
+                if let Err(e) = std::fs::write(out_path, trace.render()) {
+                    eprintln!("cannot write {out_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("trace written to {out_path} ({} events)", trace.len());
             }
-            if compiled.fully_verified() {
-                println!("fully verified: all run-time checks at proven sites are eliminated");
-                return ExitCode::SUCCESS;
-            }
-            // Not fully verified. In permissive mode, unproven *check*
-            // obligations degrade gracefully to residual runtime checks;
-            // only failed non-check obligations (type equations, guards)
-            // make the program ill-typed.
-            let ill_typed = compiled
-                .failures()
-                .any(|(o, _)| !o.kind.is_check() && !matches!(o.kind, ObKind::Unreachable { .. }));
-            for rc in compiled.residual_checks() {
-                println!("{rc}");
-            }
-            if ill_typed {
-                println!("NOT fully verified; unproven obligations:\n");
-                print!("{}", compiled.explain_failures(src));
-                ExitCode::FAILURE
-            } else {
-                println!(
-                    "{} residual runtime check(s) remain (permissive mode; \
-                     use --strict to make this an error)",
-                    compiled.residual_checks().len()
-                );
-                ExitCode::SUCCESS
-            }
+            report_check(&compiled, &src)
         }
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `dmlc explain <file> [--goal N]` — renders the deterministic per-goal
+/// proof traces of a traced compile.
+fn explain_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: dmlc explain <file.dml> [--goal N]");
+        return ExitCode::FAILURE;
+    };
+    let mut goal: Option<usize> = None;
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--goal" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) => goal = Some(n),
+                None => {
+                    eprintln!("--goal expects a goal number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compiler.clone().trace(true).compile(&src) {
+        Ok(compiled) => {
+            print!("{}", dml::render_explain(&compiled, &src, goal));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report_check(compiled: &dml::Compiled, src: &str) -> ExitCode {
+    let stats = compiled.stats();
+    println!(
+        "{} constraints generated ({} goals), {:.1} ms generation, {:.1} ms solving",
+        stats.constraints,
+        stats.goals,
+        stats.generation_time.as_secs_f64() * 1e3,
+        stats.solve_time.as_secs_f64() * 1e3,
+    );
+    println!(
+        "solver cache: {} hits, {} misses",
+        stats.solver.cache_hits, stats.solver.cache_misses
+    );
+    println!(
+        "proven check sites: {}; unproven: {}",
+        compiled.proven_sites().len(),
+        compiled.unproven_sites().len()
+    );
+    for (site, con) in compiled.match_warnings() {
+        println!(
+            "warning: match at {site} may not be exhaustive (constructor `{con}` \
+             not provably impossible)"
+        );
+    }
+    if compiled.fully_verified() {
+        println!("fully verified: all run-time checks at proven sites are eliminated");
+        return ExitCode::SUCCESS;
+    }
+    // Not fully verified. In permissive mode, unproven *check*
+    // obligations degrade gracefully to residual runtime checks;
+    // only failed non-check obligations (type equations, guards)
+    // make the program ill-typed.
+    let ill_typed = compiled
+        .failures()
+        .any(|(o, _)| !o.kind.is_check() && !matches!(o.kind, ObKind::Unreachable { .. }));
+    for rc in compiled.residual_checks() {
+        println!("{rc}");
+    }
+    if ill_typed {
+        println!("NOT fully verified; unproven obligations:\n");
+        print!("{}", compiled.explain_failures(src));
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "{} residual runtime check(s) remain (permissive mode; \
+             use --strict to make this an error)",
+            compiled.residual_checks().len()
+        );
+        ExitCode::SUCCESS
     }
 }
 
@@ -320,10 +420,18 @@ fn run(compiler: &Compiler, args: &[String]) -> ExitCode {
 }
 
 fn table(args: &[String]) -> ExitCode {
-    let which = args.get(1).map(String::as_str).unwrap_or("1");
-    let factor: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let timings = args.iter().any(|a| a == "--timings");
+    let rest: Vec<&String> = args.iter().filter(|a| *a != "--timings").collect();
+    let which = rest.get(1).map(|s| s.as_str()).unwrap_or("1");
+    let factor: u32 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     match which {
-        "1" => print!("{}", experiments::table1_rendered()),
+        "1" => {
+            let rows = experiments::table1();
+            print!("{}", experiments::table1_rows_rendered(&rows));
+            if timings {
+                print!("{}", experiments::table1_timings(&rows));
+            }
+        }
         "2" => print!("{}", experiments::table_rendered(&experiments::table2(factor))),
         "3" => print!("{}", experiments::table_rendered(&experiments::table3(factor))),
         other => {

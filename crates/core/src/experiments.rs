@@ -47,6 +47,9 @@ pub struct Table1Row {
     /// (unproven obligations — graceful degradation). Zero for fully
     /// verified programs.
     pub residual_sites: usize,
+    /// Per-phase solver latency histograms (always recorded, only rendered
+    /// by `dmlc table 1 --timings`; see [`table1_timings`]).
+    pub phase_times: dml_solver::PhaseTimes,
 }
 
 /// Compiles every benchmark program and reports Table 1's columns.
@@ -69,6 +72,7 @@ pub fn table1() -> Vec<Table1Row> {
                 total_lines: b.program.line_count(),
                 fully_verified: compiled.fully_verified(),
                 residual_sites: compiled.residual_checks().len(),
+                phase_times: stats.solver.phase_times.clone(),
             }
         })
         .collect()
@@ -76,6 +80,26 @@ pub fn table1() -> Vec<Table1Row> {
 
 /// Renders Table 1 in the paper's layout.
 pub fn table1_rendered() -> Table {
+    table1_rows_rendered(&table1())
+}
+
+/// Renders the per-phase solver timing histograms aggregated over every
+/// Table 1 row (`dmlc table 1 --timings`). Timing buckets vary run to run,
+/// so this never enters golden comparisons.
+pub fn table1_timings(rows: &[Table1Row]) -> String {
+    let mut total = dml_solver::PhaseTimes::default();
+    for r in rows {
+        total.merge(&r.phase_times);
+    }
+    let mut out = String::from("\nsolver phase timings (all programs):\n");
+    for (label, hist) in total.phases() {
+        out.push_str(&format!("  {label:<16} {hist}\n"));
+    }
+    out
+}
+
+/// Renders already-computed Table 1 rows in the paper's layout.
+pub fn table1_rows_rendered(rows: &[Table1Row]) -> Table {
     let mut t = Table::new(&[
         "program",
         "constraints",
@@ -85,7 +109,7 @@ pub fn table1_rendered() -> Table {
         "code size",
         "verified",
     ]);
-    for r in table1() {
+    for r in rows {
         // The cache rate rides in the timing column: like the times it
         // varies with solver configuration (cache on/off, warm vs cold),
         // while every other column is configuration-independent.

@@ -38,9 +38,12 @@
 //! paper's §4 evaluation; see `EXPERIMENTS.md` at the repository root for
 //! the comparison against the published numbers.
 
+#![deny(missing_docs)]
+
 pub mod experiments;
 pub mod pipeline;
 pub mod table;
+pub mod trace;
 
 pub use dml_analysis::{lint_by_code, render, Finding, Lint, LINTS};
 pub use dml_elab::{residual_checks, ObKind, Obligation, ResidualCheck};
@@ -51,3 +54,4 @@ pub use dml_syntax::Severity;
 #[allow(deprecated)]
 pub use pipeline::{compile, compile_with_options, compile_with_solver};
 pub use pipeline::{CompileStats, Compiled, Compiler, PipelineError};
+pub use trace::{chrome_trace, render_explain, GoalRecord, ObligationTrace};

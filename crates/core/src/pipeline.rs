@@ -22,6 +22,7 @@
 //! [`PipelineError::Unproven`] listing *all* failures sorted by source
 //! site.
 
+use crate::trace::{GoalRecord, ObligationTrace};
 use dml_analysis::Finding;
 use dml_elab::{elaborate, ElabOutput, Obligation, ResidualCheck, SiteContext};
 use dml_eval::{CheckConfig, Machine, Mode};
@@ -98,6 +99,7 @@ pub struct Compiled {
     program: sast::Program,
     env: Env,
     obligations: Vec<(Obligation, Verdict)>,
+    traces: Vec<ObligationTrace>,
     contexts: Vec<SiteContext>,
     proven_sites: HashSet<Span>,
     fully_verified: bool,
@@ -118,10 +120,20 @@ impl Compiled {
         &self.env
     }
 
-    /// Every obligation with its collapsed verdict (see
-    /// [`collapse_verdicts`] for the collapse order).
+    /// Every obligation with its collapsed verdict: `Proven` when every
+    /// goal was proven, `Refuted` if any goal was refuted, else the first
+    /// `Unknown`.
     pub fn obligations(&self) -> &[(Obligation, Verdict)] {
         &self.obligations
+    }
+
+    /// Per-obligation proof traces, recorded only when the session was
+    /// built with [`Compiler::trace`]; empty otherwise. Each entry pairs an
+    /// obligation with the event story of every goal it split into — the
+    /// input of [`crate::trace::render_explain`] and
+    /// [`crate::trace::chrome_trace`].
+    pub fn traces(&self) -> &[ObligationTrace] {
+        &self.traces
     }
 
     /// Per-site hypothesis snapshots recorded during elaboration (`if`
@@ -261,6 +273,8 @@ impl Compiled {
 /// free functions [`compile`], [`compile_with_options`] and
 /// [`compile_with_solver`] are deprecated shims over it.
 ///
+/// # Examples
+///
 /// ```
 /// use dml::Compiler;
 /// use std::time::Duration;
@@ -327,6 +341,15 @@ impl Compiler {
     /// Enables or disables the verdict cache.
     pub fn cache(mut self, on: bool) -> Compiler {
         self.options = self.options.with_cache(on);
+        self
+    }
+
+    /// Enables proof-trace recording: every goal carries its event story
+    /// ([`Compiled::traces`]) for `dmlc explain` and `--trace-out`. Off by
+    /// default — tracing re-decides cache hits so each trace is complete,
+    /// making it strictly a diagnostic mode.
+    pub fn trace(mut self, on: bool) -> Compiler {
+        self.options = self.options.with_trace(on);
         self
     }
 
@@ -421,15 +444,15 @@ pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, Pipel
 /// split into no goals at all); otherwise `Refuted` if *any* goal was
 /// refuted (a counterexample trumps mere uncertainty), else the first
 /// `Unknown`.
-fn collapse_verdicts(outcome: Outcome) -> Verdict {
+fn collapse_verdicts(outcome: &Outcome) -> Verdict {
     let mut collapsed = Verdict::Proven;
-    for (_, r) in outcome.results {
+    for (_, r) in &outcome.results {
         match r {
             Verdict::Proven => {}
             Verdict::Refuted => return Verdict::Refuted,
             other => {
                 if collapsed.is_proven() {
-                    collapsed = other;
+                    collapsed = other.clone();
                 }
             }
         }
@@ -475,13 +498,25 @@ fn run_pipeline(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
         let constraints: Vec<_> = obligations.iter().map(|ob| &ob.constraint).collect();
         prove_all(&solver, &constraints, &mut gen)
     };
+    let tracing = solver.options().trace;
     let mut results = Vec::with_capacity(obligations.len());
+    let mut traces = Vec::new();
     let mut solver_stats = dml_solver::SolverStats::default();
     let mut goals = 0usize;
     for (ob, outcome) in obligations.into_iter().zip(outcomes) {
         goals += outcome.results.len();
         solver_stats.merge(&outcome.stats);
-        results.push((ob, collapse_verdicts(outcome)));
+        let verdict = collapse_verdicts(&outcome);
+        if tracing {
+            let records = outcome
+                .results
+                .into_iter()
+                .zip(outcome.traces)
+                .map(|((goal, verdict), trace)| GoalRecord { goal, verdict, trace })
+                .collect();
+            traces.push(ObligationTrace { obligation: ob.clone(), goals: records });
+        }
+        results.push((ob, verdict));
     }
     let solve_time = solve_start.elapsed();
 
@@ -521,6 +556,7 @@ fn run_pipeline(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
         program,
         env,
         obligations: results,
+        traces,
         contexts,
         proven_sites,
         fully_verified,
@@ -743,8 +779,8 @@ where total <| {n:nat} int array(n) -> int
     fn collapse_verdicts_is_total_and_orders_refuted_first() {
         use dml_index::UnknownReason;
         use dml_solver::SolverStats;
-        let empty = Outcome { results: vec![], stats: SolverStats::default() };
-        assert_eq!(collapse_verdicts(empty), Verdict::Proven);
+        let empty = Outcome { results: vec![], traces: vec![], stats: SolverStats::default() };
+        assert_eq!(collapse_verdicts(&empty), Verdict::Proven);
 
         let goal = dml_solver::Goal {
             ctx: vec![],
@@ -754,9 +790,10 @@ where total <| {n:nat} int array(n) -> int
         };
         let all_proven = Outcome {
             results: vec![(goal.clone(), Verdict::Proven)],
+            traces: vec![],
             stats: SolverStats::default(),
         };
-        assert_eq!(collapse_verdicts(all_proven), Verdict::Proven);
+        assert_eq!(collapse_verdicts(&all_proven), Verdict::Proven);
 
         let mixed = Outcome {
             results: vec![
@@ -764,18 +801,20 @@ where total <| {n:nat} int array(n) -> int
                 (goal.clone(), Verdict::Unknown(UnknownReason::Blowup)),
                 (goal.clone(), Verdict::Unknown(UnknownReason::PossiblyFalsifiable)),
             ],
+            traces: vec![],
             stats: SolverStats::default(),
         };
-        assert_eq!(collapse_verdicts(mixed), Verdict::Unknown(UnknownReason::Blowup));
+        assert_eq!(collapse_verdicts(&mixed), Verdict::Unknown(UnknownReason::Blowup));
 
         let refuted_late = Outcome {
             results: vec![
                 (goal.clone(), Verdict::Unknown(UnknownReason::Blowup)),
                 (goal, Verdict::Refuted),
             ],
+            traces: vec![],
             stats: SolverStats::default(),
         };
-        assert_eq!(collapse_verdicts(refuted_late), Verdict::Refuted);
+        assert_eq!(collapse_verdicts(&refuted_late), Verdict::Refuted);
     }
 
     /// Compiling twice against one solver shares the verdict cache: the
@@ -834,6 +873,33 @@ where total <| {n:nat} int array(n) -> int
             assert_eq!(base.proven_sites(), c.proven_sites(), "workers={workers} cache={cache}");
             assert_eq!(base.stats().goals, c.stats().goals, "workers={workers} cache={cache}");
         }
+    }
+
+    /// A traced session records one [`ObligationTrace`] per obligation
+    /// with goal records matching the solver's goal count; untraced
+    /// sessions carry none (zero-cost default).
+    #[test]
+    fn trace_mode_records_goal_traces() {
+        let src = r#"
+fun first(v) = sub(v, 0)
+where first <| {n:nat | n > 0} int array(n) -> int
+"#;
+        let traced = Compiler::new().trace(true).compile(src).unwrap();
+        assert_eq!(traced.traces().len(), traced.obligations().len());
+        let goals: usize = traced.traces().iter().map(|t| t.goals.len()).sum();
+        assert_eq!(goals, traced.stats().goals);
+        for ot in traced.traces() {
+            for rec in &ot.goals {
+                assert_eq!(rec.trace.verdict(), Some(rec.verdict.to_string().as_str()));
+            }
+        }
+
+        let untraced = Compiler::new().compile(src).unwrap();
+        assert!(untraced.traces().is_empty());
+        // Tracing does not change verdicts.
+        let verdicts =
+            |c: &Compiled| c.obligations().iter().map(|(_, r)| r.clone()).collect::<Vec<_>>();
+        assert_eq!(verdicts(&traced), verdicts(&untraced));
     }
 
     #[test]

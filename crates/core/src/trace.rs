@@ -1,0 +1,257 @@
+//! Proof-trace rendering: `dmlc explain` and `dmlc check --trace-out`.
+//!
+//! When a session is compiled with [`crate::Compiler::trace`], every proof
+//! goal carries a [`dml_obs::GoalTrace`] — the ordered event story of how
+//! the solver decided it (canonicalization, DNF split, each Fourier–Motzkin
+//! elimination round, fuel charges, witness search, verdict). This module
+//! turns those buffers into the two user-facing artifacts:
+//!
+//! * [`render_explain`] — a deterministic, human-readable per-goal proof
+//!   trace. Configuration-dependent events (cache probes) are skipped and
+//!   wall times are never shown, so the output is byte-identical across
+//!   worker counts and cache settings.
+//! * [`chrome_trace`] — a Chrome trace-event-format timeline (pipeline
+//!   phases on one row, per-goal solver spans on another) carrying per-goal
+//!   wall time, fuel spent, the full event stream, and cache shard
+//!   occupancy. Wall-clock numbers vary run to run by nature; the *shape*
+//!   (event names, tags, metadata keys) is the stable contract documented
+//!   in `docs/ARCHITECTURE.md`.
+
+use crate::pipeline::Compiled;
+use dml_elab::Obligation;
+use dml_index::Verdict;
+use dml_obs::json::{obj, Json};
+use dml_obs::{ChromeTrace, GoalTrace};
+use dml_solver::Goal;
+use std::fmt::Write as _;
+
+/// The recorded proof trace of one obligation: the obligation itself plus
+/// one [`GoalRecord`] per solver goal it split into, in generation order.
+#[derive(Debug, Clone)]
+pub struct ObligationTrace {
+    /// The elaboration-generated obligation.
+    pub obligation: Obligation,
+    /// Per-goal records, index-aligned with the solver's goal order.
+    pub goals: Vec<GoalRecord>,
+}
+
+/// One solver goal with its verdict and event trace.
+#[derive(Debug, Clone)]
+pub struct GoalRecord {
+    /// The goal sequent `∀ctx. hyps ⊃ concl`.
+    pub goal: Goal,
+    /// The verdict the solver reached.
+    pub verdict: Verdict,
+    /// The ordered event buffer recorded while deciding the goal.
+    pub trace: GoalTrace,
+}
+
+/// Renders the per-obligation proof traces of a traced compile.
+///
+/// Goals are numbered globally (1-based, generation order); `goal_filter`
+/// restricts the output to a single goal. The rendering is deterministic:
+/// cache-probe events are skipped and wall times never appear, so the same
+/// program produces byte-identical output for every `workers`/`cache`
+/// configuration.
+pub fn render_explain(compiled: &Compiled, src: &str, goal_filter: Option<usize>) -> String {
+    let traces = compiled.traces();
+    let mut out = String::new();
+    if traces.is_empty() {
+        out.push_str("no proof trace recorded (compile with tracing enabled)\n");
+        return out;
+    }
+    let total: usize = traces.iter().map(|t| t.goals.len()).sum();
+    if let Some(want) = goal_filter {
+        if want == 0 || want > total {
+            let _ = writeln!(out, "goal {want} not found ({total} goal(s) recorded)");
+            return out;
+        }
+    } else {
+        let _ = writeln!(out, "proof trace: {} obligation(s), {total} goal(s)", traces.len());
+    }
+    let mut n = 0usize;
+    for ot in traces {
+        for rec in &ot.goals {
+            n += 1;
+            if goal_filter.is_some_and(|want| want != n) {
+                continue;
+            }
+            let _ = writeln!(out);
+            let _ = writeln!(out, "goal {n} of {total}: {}", ot.obligation.trace_event(src));
+            if !rec.goal.ctx.is_empty() {
+                let ctx: Vec<String> =
+                    rec.goal.ctx.iter().map(|(v, s)| format!("{v} : {s}")).collect();
+                let _ = writeln!(out, "  forall {}", ctx.join(", "));
+            }
+            for h in &rec.goal.hyps {
+                let _ = writeln!(out, "  hyp    {h}");
+            }
+            let _ = writeln!(out, "  |-     {}", rec.goal.concl);
+            for ev in rec.trace.events.iter().filter(|e| !e.is_config_dependent()) {
+                let _ = writeln!(out, "    {ev}");
+            }
+        }
+    }
+    if goal_filter.is_none() {
+        let residual = compiled.residual_checks();
+        if !residual.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "residual runtime checks:");
+            for rc in &residual {
+                let _ = writeln!(out, "  {}", rc.trace_event(src));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the Chrome trace-event timeline of a traced compile.
+///
+/// Layout: row 0 (`pipeline`) carries the generation and solve phase spans
+/// plus obligation/residual instants; row 1 (`goals`) lays the per-goal
+/// solver spans out *sequentially* from their measured durations — a
+/// synthetic timeline reflecting cost per goal, not concurrent scheduling.
+/// `otherData` carries program metadata, total fuel, and per-shard verdict
+/// cache occupancy.
+pub fn chrome_trace(compiled: &Compiled, src: &str, program: &str) -> ChromeTrace {
+    let mut t = ChromeTrace::new();
+    t.name_thread(0, "pipeline");
+    t.name_thread(1, "goals");
+    let stats = compiled.stats();
+    let gen_us = stats.generation_time.as_micros() as u64;
+    let solve_us = stats.solve_time.as_micros() as u64;
+    t.span(
+        "generation",
+        "pipeline",
+        0,
+        0,
+        gen_us,
+        obj(vec![("constraints", Json::Int(stats.constraints as i64))]),
+    );
+    t.span(
+        "solve",
+        "pipeline",
+        0,
+        gen_us,
+        solve_us,
+        obj(vec![("goals", Json::Int(stats.goals as i64))]),
+    );
+    let mut ts = gen_us;
+    let mut n = 0usize;
+    let mut fuel_total = 0u64;
+    for ot in compiled.traces() {
+        t.instant(
+            &format!("obligation: {}", ot.obligation.kind),
+            "elab",
+            0,
+            gen_us,
+            ot.obligation.trace_event(src).args(),
+        );
+        for rec in &ot.goals {
+            n += 1;
+            fuel_total += rec.trace.fuel_spent;
+            let dur = (rec.trace.wall_ns / 1_000).max(1);
+            let events: Vec<Json> = rec
+                .trace
+                .events
+                .iter()
+                .map(|e| obj(vec![("tag", Json::Str(e.tag().into())), ("args", e.args())]))
+                .collect();
+            t.span(
+                &format!("goal {n}"),
+                "solver",
+                1,
+                ts,
+                dur,
+                obj(vec![
+                    ("verdict", Json::Str(rec.verdict.to_string())),
+                    ("fuel", Json::Int(rec.trace.fuel_spent as i64)),
+                    ("wall_ns", Json::Int(rec.trace.wall_ns as i64)),
+                    ("events", Json::Array(events)),
+                ]),
+            );
+            ts += dur;
+        }
+    }
+    for rc in compiled.residual_checks() {
+        t.instant(
+            &format!("residual: {}", rc.prim),
+            "residual",
+            0,
+            gen_us + solve_us,
+            rc.trace_event(src).args(),
+        );
+    }
+    let shards: Vec<Json> =
+        compiled.solver().cache().shard_sizes().iter().map(|&s| Json::Int(s as i64)).collect();
+    t.meta("program", Json::Str(program.into()));
+    t.meta("constraints", Json::Int(stats.constraints as i64));
+    t.meta("goals", Json::Int(stats.goals as i64));
+    t.meta("fuelSpent", Json::Int(fuel_total as i64));
+    t.meta("cacheHits", Json::Int(stats.solver.cache_hits as i64));
+    t.meta("cacheMisses", Json::Int(stats.solver.cache_misses as i64));
+    t.meta("cacheShardSizes", Json::Array(shards));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Compiler;
+
+    const VERIFIED: &str = "\
+fun first(v) = sub(v, 0)
+where first <| {n:nat | n > 0} int array(n) -> int
+";
+
+    #[test]
+    fn explain_renders_goals_and_verdicts() {
+        let c = Compiler::new().trace(true).compile(VERIFIED).unwrap();
+        let text = render_explain(&c, VERIFIED, None);
+        assert!(text.contains("proof trace:"), "{text}");
+        assert!(text.contains("goal 1 of"), "{text}");
+        assert!(text.contains("verdict: proven"), "{text}");
+        assert!(!text.contains("cache "), "cache events are config-dependent: {text}");
+    }
+
+    #[test]
+    fn explain_goal_filter_selects_one_goal() {
+        let c = Compiler::new().trace(true).compile(VERIFIED).unwrap();
+        let all = render_explain(&c, VERIFIED, None);
+        let one = render_explain(&c, VERIFIED, Some(1));
+        assert!(one.contains("goal 1 of"), "{one}");
+        assert!(one.len() < all.len(), "filtered output is a subset");
+        let missing = render_explain(&c, VERIFIED, Some(999));
+        assert!(missing.contains("not found"), "{missing}");
+    }
+
+    #[test]
+    fn explain_without_tracing_degrades_gracefully() {
+        let c = Compiler::new().compile(VERIFIED).unwrap();
+        let text = render_explain(&c, VERIFIED, None);
+        assert!(text.contains("no proof trace recorded"), "{text}");
+    }
+
+    #[test]
+    fn explain_shows_unknown_reason_and_residual_for_nonlinear_goals() {
+        let src = "fun get(m, i, j) = sub(m, i * j)\n\
+                   where get <| {n:nat, i:nat, j:nat} int array(n) * int(i) * int(j) -> int\n";
+        let c = Compiler::new().trace(true).compile(src).unwrap();
+        let text = render_explain(&c, src, None);
+        assert!(text.contains("non-linear"), "{text}");
+        assert!(text.contains("fuel:"), "{text}");
+        assert!(text.contains("residual runtime checks:"), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_has_phases_goals_and_metadata() {
+        let c = Compiler::new().trace(true).compile(VERIFIED).unwrap();
+        let rendered = chrome_trace(&c, VERIFIED, "first").render();
+        assert!(rendered.contains(r#""name":"generation""#), "{rendered}");
+        assert!(rendered.contains(r#""name":"solve""#), "{rendered}");
+        assert!(rendered.contains(r#""name":"goal 1""#), "{rendered}");
+        assert!(rendered.contains(r#""cacheShardSizes":["#), "{rendered}");
+        assert!(rendered.contains(r#""schemaVersion":1"#), "{rendered}");
+        assert!(rendered.contains(r#""program":"first""#), "{rendered}");
+    }
+}

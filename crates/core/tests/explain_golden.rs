@@ -1,0 +1,64 @@
+//! Golden determinism tests for `dmlc explain` rendering: the proof-trace
+//! output must be byte-identical across worker counts and cache
+//! configurations (the observability determinism contract — see
+//! `docs/ARCHITECTURE.md`).
+
+use dml::{render_explain, Compiler, Solver, SolverOptions};
+
+fn explain(src: &str, workers: usize, cache: bool) -> String {
+    let c = Compiler::new()
+        .trace(true)
+        .workers(workers)
+        .cache(cache)
+        .compile(src)
+        .expect("program compiles");
+    render_explain(&c, src, None)
+}
+
+fn assert_config_independent(name: &str, src: &str) -> String {
+    let base = explain(src, 1, true);
+    assert!(base.contains("proof trace:"), "{name}: {base}");
+    for (workers, cache) in [(1, false), (4, true), (4, false)] {
+        let other = explain(src, workers, cache);
+        assert_eq!(
+            base, other,
+            "{name}: explain output differs for workers={workers} cache={cache}"
+        );
+    }
+    base
+}
+
+#[test]
+fn bsearch_explain_is_byte_identical_across_configs() {
+    let text = assert_config_independent("bsearch", dml_programs::bsearch::SOURCE);
+    // The midpoint-division goals show real elimination work.
+    assert!(text.contains("eliminate "), "{text}");
+    assert!(text.contains("verdict: proven"), "{text}");
+}
+
+#[test]
+fn residual_example_explain_is_byte_identical_across_configs() {
+    let src = include_str!("../../../examples/residual.dml");
+    let text = assert_config_independent("residual.dml", src);
+    // Acceptance: the nonlinear `i*j` goal reports its Unknown reason and
+    // the fuel spent on it.
+    assert!(text.contains("non-linear constraint: i * j"), "{text}");
+    assert!(text.contains("fuel: "), "{text}");
+    assert!(text.contains("residual runtime checks:"), "{text}");
+}
+
+/// A warm shared cache must not change the rendering either: tracing
+/// re-decides cache hits so every trace carries the full elimination story.
+#[test]
+fn warm_cache_explain_matches_cold() {
+    let src = dml_programs::bsearch::SOURCE;
+    let solver = Solver::new(SolverOptions::default().with_trace(true));
+    let cold = Compiler::new().with_solver(&solver).compile(src).unwrap();
+    let warm = Compiler::new().with_solver(&solver).compile(src).unwrap();
+    assert!(warm.stats().solver.cache_hits > 0, "second compile hits the shared cache");
+    assert_eq!(
+        render_explain(&cold, src, None),
+        render_explain(&warm, src, None),
+        "warm-cache rendering is byte-identical to cold"
+    );
+}

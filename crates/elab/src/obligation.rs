@@ -74,6 +74,19 @@ pub struct Obligation {
     pub in_fun: String,
 }
 
+impl Obligation {
+    /// The trace event announcing this obligation, with the site resolved
+    /// to a human-readable `line:col` position in `src`. Feeds the
+    /// observability layer (`dmlc explain`, `--trace-out`).
+    pub fn trace_event(&self, src: &str) -> dml_obs::TraceEvent {
+        dml_obs::TraceEvent::Obligation {
+            kind: self.kind.to_string(),
+            site: dml_syntax::line_col(src, self.site.start).to_string(),
+            in_fun: self.in_fun.clone(),
+        }
+    }
+}
+
 impl fmt::Display for Obligation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{} in {} at {}] {}", self.kind, self.in_fun, self.site, self.constraint)

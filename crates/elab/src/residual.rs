@@ -35,6 +35,18 @@ pub struct ResidualCheck {
     pub reason: UnknownReason,
 }
 
+impl ResidualCheck {
+    /// The trace event recording that this check was lowered to a residual
+    /// runtime check, with the site resolved to `line:col` in `src`.
+    pub fn trace_event(&self, src: &str) -> dml_obs::TraceEvent {
+        dml_obs::TraceEvent::Residual {
+            site: dml_syntax::line_col(src, self.site.start).to_string(),
+            prim: self.prim.clone(),
+            reason: self.reason.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for ResidualCheck {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let what = match self.check {

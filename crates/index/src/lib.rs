@@ -27,6 +27,8 @@
 //! assert!(matches!(p, Prop::Cmp(Cmp::Eq, _, _)));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod constraint;
 pub mod iexp;
 pub mod linear;

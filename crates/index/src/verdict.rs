@@ -19,6 +19,25 @@
 use std::fmt;
 
 /// Result of deciding one proof goal `∀ctx. hyps ⊃ concl`.
+///
+/// # Examples
+///
+/// ```
+/// use dml_index::{UnknownReason, Verdict};
+///
+/// let proven = Verdict::Proven;
+/// assert!(proven.is_proven());
+/// assert_eq!(proven.to_string(), "proven");
+///
+/// // Out-of-budget goals are Unknown, never silently dropped: the access
+/// // keeps its run-time check.
+/// let unknown = Verdict::Unknown(UnknownReason::FuelExhausted);
+/// assert!(unknown.is_unknown());
+/// assert_eq!(unknown.to_string(), "unknown (fuel exhausted)");
+///
+/// // The default verdict is the conservative one.
+/// assert!(Verdict::default().is_unknown());
+/// ```
 #[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Verdict {

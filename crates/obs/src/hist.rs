@@ -1,0 +1,123 @@
+//! Fixed-bucket, log-scale latency histograms.
+//!
+//! `SolverStats` records one histogram per solver phase (lowering, DNF
+//! expansion, elimination, witness search) plus one for whole-goal decide
+//! time. Recording is two comparisons and an increment — cheap enough to
+//! stay on unconditionally — and the histogram is only *rendered* on
+//! request (`dmlc table 1 --timings`), so default output is unchanged.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Bucket upper bounds in nanoseconds; the last bucket is unbounded.
+const BOUNDS_NS: [u64; 6] = [
+    10_000,        // < 10µs
+    100_000,       // < 100µs
+    1_000_000,     // < 1ms
+    10_000_000,    // < 10ms
+    100_000_000,   // < 100ms
+    1_000_000_000, // < 1s
+];
+
+/// Human-readable labels, index-aligned with the histogram buckets.
+pub const BUCKET_LABELS: [&str; 7] = ["<10us", "<100us", "<1ms", "<10ms", "<100ms", "<1s", ">=1s"];
+
+/// A latency histogram with seven logarithmic buckets from 10µs to 1s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingHistogram {
+    buckets: [u64; 7],
+}
+
+impl TimingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = BOUNDS_NS.iter().position(|&b| ns < b).unwrap_or(BOUNDS_NS.len());
+        self.buckets[idx] += 1;
+    }
+
+    /// Add another histogram's counts into this one.
+    pub fn merge(&mut self, other: &TimingHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Raw bucket counts, index-aligned with [`BUCKET_LABELS`].
+    pub fn buckets(&self) -> &[u64; 7] {
+        &self.buckets
+    }
+}
+
+impl fmt::Display for TimingHistogram {
+    /// Renders only non-empty buckets: `"<10us: 12  <1ms: 3"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(no samples)");
+        }
+        let mut first = true;
+        for (label, n) in BUCKET_LABELS.iter().zip(self.buckets.iter()) {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, "  ")?;
+            }
+            write!(f, "{label}: {n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_magnitude() {
+        let mut h = TimingHistogram::new();
+        h.record(Duration::from_nanos(5_000)); // <10us
+        h.record(Duration::from_micros(50)); // <100us
+        h.record(Duration::from_millis(5)); // <10ms
+        h.record(Duration::from_secs(2)); // >=1s
+        assert_eq!(h.buckets(), &[1, 1, 0, 1, 0, 0, 1]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TimingHistogram::new();
+        a.record(Duration::from_nanos(1));
+        let mut b = TimingHistogram::new();
+        b.record(Duration::from_nanos(2));
+        b.record(Duration::from_secs(3));
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[2, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn display_skips_empty_buckets() {
+        let mut h = TimingHistogram::new();
+        assert_eq!(h.to_string(), "(no samples)");
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_millis(500));
+        assert_eq!(h.to_string(), "<10us: 2  <1s: 1");
+    }
+}

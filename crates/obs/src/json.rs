@@ -1,0 +1,123 @@
+//! Minimal hand-rolled JSON builder (same approach as
+//! `crates/bench/src/json.rs`): the workspace takes zero third-party
+//! dependencies, and trace output only needs construction + rendering,
+//! never parsing.
+//!
+//! Objects preserve insertion order so rendered traces are reproducible.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+    /// Array.
+    Array(Vec<Json>),
+    /// String (escaped on render).
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Float, rendered with six decimal places.
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Build an object from `(&str, Json)` pairs, preserving order.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+impl Json {
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(n) => {
+                let _ = write!(out, "{n:.6}");
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact() {
+        let j = obj(vec![
+            ("name", Json::Str("fm".into())),
+            ("pairs", Json::Int(12)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::Array(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(j.render(), r#"{"name":"fm","pairs":12,"ok":true,"none":null,"xs":[1,2]}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::Str("a\"b\\c\n".into()).render(), r#""a\"b\\c\n""#);
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_fixed_precision() {
+        assert_eq!(Json::Num(1.5).render(), "1.500000");
+    }
+}

@@ -1,0 +1,39 @@
+//! Structured observability for the dml-rs pipeline.
+//!
+//! This crate is deliberately dependency-free (it mirrors the hand-rolled
+//! JSON approach of `crates/bench/src/json.rs`): events carry plain strings
+//! and integers so that every layer of the pipeline — elaboration, the
+//! solver, residual lowering — can emit them without pulling the index
+//! language into scope.
+//!
+//! Three pieces:
+//!
+//! - [`TraceEvent`] / [`GoalTrace`]: typed per-goal event buffers. The
+//!   solver fills one buffer per proof goal; buffers are merged in
+//!   obligation order by the parallel driver, so traces are deterministic
+//!   under `workers > 1`.
+//! - [`TimingHistogram`]: fixed-bucket log-scale latency histograms used by
+//!   `SolverStats` for per-phase timing.
+//! - [`ChromeTrace`]: a writer for the Chrome trace-event format
+//!   (loadable in `chrome://tracing` / Perfetto), used by
+//!   `dmlc check --trace-out`.
+//!
+//! The stable JSON schema for `--trace-out` files is documented in
+//! `docs/ARCHITECTURE.md` ("Trace-event schema"); [`SCHEMA_VERSION`] is
+//! bumped whenever that contract changes.
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod json;
+
+pub use chrome::ChromeTrace;
+pub use event::{GoalTrace, TraceEvent};
+pub use hist::TimingHistogram;
+pub use json::Json;
+
+/// Version of the `--trace-out` JSON contract documented in
+/// `docs/ARCHITECTURE.md`. Bumped on any breaking schema change.
+pub const SCHEMA_VERSION: u32 = 1;

@@ -81,6 +81,12 @@ impl GoalCache {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
+    /// Entry count per shard, in shard order — shows how evenly the key
+    /// hash spreads goals (surfaced in `dmlc check --trace-out` metadata).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).collect()
+    }
+
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

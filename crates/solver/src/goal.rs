@@ -12,8 +12,10 @@ use crate::canon::{canonicalize_budgeted, BudgetClass};
 use crate::dnf::{expand_ne, to_systems, DnfError};
 use crate::lower::Lowering;
 use crate::stats::SolverStats;
-use crate::system::{FourierOptions, FuelMeter, RefuteResult};
+use crate::system::{FourierOptions, FuelMeter, RefuteResult, RefuteTrace, System};
 use dml_index::{Constraint, IExp, Linear, Prop, Sort, UnknownReason, Var, VarGen, Verdict};
+use dml_obs::{GoalTrace, TraceEvent};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +54,21 @@ impl fmt::Display for Goal {
 /// The struct is `#[non_exhaustive]`: build it with
 /// [`SolverOptions::default`] and the `with_*` setters so new knobs are
 /// not breaking changes.
+///
+/// # Examples
+///
+/// ```
+/// use dml_solver::SolverOptions;
+/// use std::time::Duration;
+///
+/// let opts = SolverOptions::default()
+///     .with_fuel(Some(10_000))                     // FM pair-combination budget
+///     .with_deadline(Some(Duration::from_secs(1))) // wall-clock budget
+///     .with_workers(Some(1))                       // sequential solving
+///     .with_trace(true);                           // record per-goal event traces
+/// assert_eq!(opts.fuel, Some(10_000));
+/// assert!(opts.trace);
+/// ```
 #[non_exhaustive]
 #[derive(Debug, Clone, Copy)]
 pub struct SolverOptions {
@@ -79,6 +96,11 @@ pub struct SolverOptions {
     /// yields `Unknown(Deadline)` (never cached — wall-clock verdicts are
     /// machine-dependent).
     pub deadline: Option<Duration>,
+    /// Record a per-goal [`GoalTrace`] (obligation → canonicalization →
+    /// elimination rounds → verdict) in [`Outcome::traces`]. Off by
+    /// default; tracing re-decides cache hits so every trace carries the
+    /// full elimination story, which makes it strictly a diagnostic mode.
+    pub trace: bool,
 }
 
 impl Default for SolverOptions {
@@ -91,6 +113,7 @@ impl Default for SolverOptions {
             cache: true,
             fuel: None,
             deadline: None,
+            trace: false,
         }
     }
 }
@@ -138,6 +161,12 @@ impl SolverOptions {
         self
     }
 
+    /// Enables or disables per-goal trace recording.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// The budget class verdicts computed under these options belong to.
     pub fn budget_class(&self) -> BudgetClass {
         match self.fuel {
@@ -152,6 +181,11 @@ impl SolverOptions {
 pub struct Outcome {
     /// Each goal with its verdict, in generation order.
     pub results: Vec<(Goal, Verdict)>,
+    /// Per-goal traces, index-aligned with `results` when
+    /// [`SolverOptions::trace`] is on; empty otherwise. Each goal's buffer
+    /// is filled by whichever worker decided it and merged back in goal
+    /// order, so traces are deterministic under parallel solving.
+    pub traces: Vec<GoalTrace>,
     /// Accumulated statistics.
     pub stats: SolverStats,
 }
@@ -210,8 +244,9 @@ impl Solver {
         let reduced = eliminate_existentials(c, &mut stats);
         let goals = split_goals(&reduced);
         let mut results = Vec::with_capacity(goals.len());
+        let mut traces = Vec::new();
         for goal in goals {
-            let r = self.decide(&goal, gen, &mut stats);
+            let (r, tr) = self.decide_traced(&goal, gen, &mut stats);
             stats.goals += 1;
             match &r {
                 Verdict::Proven => stats.proven += 1,
@@ -223,10 +258,13 @@ impl Solver {
                 // the conservative direction.
                 _ => stats.not_proven += 1,
             }
+            if let Some(tr) = tr {
+                traces.push(tr);
+            }
             results.push((goal, r));
         }
         stats.solve_time = start.elapsed();
-        Outcome { results, stats }
+        Outcome { results, traces, stats }
     }
 
     /// Decides an entailment `ctx; hyps ⊢ concl` directly, without going
@@ -277,26 +315,72 @@ impl Solver {
     /// cheap syntactic fast paths (fast-path goals never enter the cache —
     /// deciding them again is cheaper than hashing them).
     pub fn decide(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> Verdict {
+        self.decide_traced(goal, gen, stats).0
+    }
+
+    /// [`Solver::decide`] returning the goal's [`GoalTrace`] as well.
+    ///
+    /// The trace is `Some` exactly when [`SolverOptions::trace`] is on. In
+    /// trace mode the cache is still probed (so the trace records the
+    /// hit/miss) but the goal is always re-decided, so every trace carries
+    /// the full elimination story regardless of what earlier solves warmed
+    /// the cache — this is what makes `dmlc explain` output independent of
+    /// the cache configuration.
+    pub fn decide_traced(
+        &self,
+        goal: &Goal,
+        gen: &mut VarGen,
+        stats: &mut SolverStats,
+    ) -> (Verdict, Option<GoalTrace>) {
+        let start = Instant::now();
+        if !self.opts.trace {
+            let v = self.decide_plain(goal, gen, stats);
+            stats.phase_times.goal.record(start.elapsed());
+            return (v, None);
+        }
+        let mut tr = GoalTrace::default();
+        let combos_before = stats.fm_combinations;
+        let v = self.decide_recording(goal, gen, stats, &mut tr);
+        tr.fuel_spent = (stats.fm_combinations - combos_before) as u64;
+        tr.push(TraceEvent::Verdict { verdict: v.to_string() });
+        let elapsed = start.elapsed();
+        tr.wall_ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        stats.phase_times.goal.record(elapsed);
+        (v, Some(tr))
+    }
+
+    /// The cheap syntactic fast paths shared by both decide modes. Returns
+    /// the verdict and the rule name (for [`TraceEvent::FastPath`]).
+    fn fast_path(&self, goal: &Goal) -> Option<(Verdict, &'static str)> {
         if goal.concl == Prop::True {
-            return Verdict::Proven;
+            return Some((Verdict::Proven, "trivial-conclusion"));
         }
         if goal.hyps.contains(&Prop::False) {
-            return Verdict::Proven;
+            return Some((Verdict::Proven, "false-hypothesis"));
         }
         // Reflexive conclusions hold regardless of hypotheses (and may be
         // non-linear, e.g. `a*b = a*b` after witness substitution).
         if let Prop::Cmp(op, a, b) = &goal.concl {
             if a == b && matches!(op, dml_index::Cmp::Eq | dml_index::Cmp::Le | dml_index::Cmp::Ge)
             {
-                return Verdict::Proven;
+                return Some((Verdict::Proven, "reflexive"));
             }
         }
         // A hypothesis syntactically identical to the conclusion suffices.
         if goal.hyps.contains(&goal.concl) {
-            return Verdict::Proven;
+            return Some((Verdict::Proven, "assumption"));
+        }
+        None
+    }
+
+    /// The default (untraced) decide path: fast paths, then the cache, then
+    /// the full decision procedure.
+    fn decide_plain(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> Verdict {
+        if let Some((v, _rule)) = self.fast_path(goal) {
+            return v;
         }
         if !self.opts.cache {
-            return self.decide_uncached(goal, gen, stats);
+            return self.decide_uncached(goal, gen, stats, None);
         }
         // Verdicts are keyed by budget class: a fuel-truncated Unknown must
         // never masquerade as the unlimited answer (or vice versa).
@@ -306,7 +390,7 @@ impl Solver {
             return r;
         }
         stats.cache_misses += 1;
-        let r = self.decide_uncached(goal, gen, stats);
+        let r = self.decide_uncached(goal, gen, stats, None);
         // Deadline verdicts depend on wall-clock scheduling, so they are
         // recomputed every time rather than poisoning the shared cache.
         if r != Verdict::Unknown(UnknownReason::Deadline) {
@@ -315,28 +399,82 @@ impl Solver {
         r
     }
 
+    /// The trace-mode decide path: identical decisions to
+    /// [`Solver::decide_plain`], but every step is recorded and cache hits
+    /// are re-decided (see [`Solver::decide_traced`]).
+    fn decide_recording(
+        &self,
+        goal: &Goal,
+        gen: &mut VarGen,
+        stats: &mut SolverStats,
+        tr: &mut GoalTrace,
+    ) -> Verdict {
+        if let Some((v, rule)) = self.fast_path(goal) {
+            tr.push(TraceEvent::FastPath { rule });
+            return v;
+        }
+        let key = canonicalize_budgeted(goal, self.opts.budget_class());
+        tr.push(TraceEvent::Canonicalized { vars: key.sorts.len(), hyps: key.hyps.len() });
+        if self.opts.cache {
+            let hit = self.cache.get(&key).is_some();
+            tr.push(TraceEvent::Cache { hit });
+            if hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+            }
+        }
+        let r = self.decide_uncached(goal, gen, stats, Some(tr));
+        if self.opts.cache && r != Verdict::Unknown(UnknownReason::Deadline) {
+            self.cache.insert(key, r.clone());
+        }
+        r
+    }
+
     /// The expensive part of [`Solver::decide`]: lowering, DNF expansion,
-    /// and Fourier–Motzkin refutation, with no cache consultation.
-    fn decide_uncached(&self, goal: &Goal, gen: &mut VarGen, stats: &mut SolverStats) -> Verdict {
+    /// and Fourier–Motzkin refutation, with no cache consultation. `tr`
+    /// receives the per-step events in trace mode; the decision itself is
+    /// identical either way.
+    fn decide_uncached(
+        &self,
+        goal: &Goal,
+        gen: &mut VarGen,
+        stats: &mut SolverStats,
+        mut tr: Option<&mut GoalTrace>,
+    ) -> Verdict {
         // Negate: hyps ∧ ¬concl must be integer-unsatisfiable. Non-linear
         // *hypotheses* are dropped (weakening — sound for proving, but it
         // forfeits refutation: a countermodel of the weakened system need
         // not satisfy the dropped hypothesis); a non-linear conclusion is
         // rejected per §3.2.
+        let t_lower = Instant::now();
         let mut lowering = Lowering::new(gen);
         let mut lowered = Prop::True;
         let mut weakened = false;
         for h in &goal.hyps {
-            let h = expand_ne(&h.clone().nnf());
-            match lowering.lower_prop(&h) {
+            let hx = expand_ne(&h.clone().nnf());
+            match lowering.lower_prop(&hx) {
                 Ok(p) => lowered = lowered.and(p),
-                Err(_) => weakened = true,
+                Err(_) => {
+                    weakened = true;
+                    if let Some(t) = tr.as_deref_mut() {
+                        t.push(TraceEvent::HypothesisDropped { expr: h.to_string() });
+                    }
+                }
             }
         }
         let neg_concl = expand_ne(&goal.concl.clone().negate().nnf());
         match lowering.lower_prop(&neg_concl) {
             Ok(p) => lowered = lowered.and(p),
-            Err(nl) => return Verdict::Unknown(UnknownReason::Nonlinear(nl.expr)),
+            Err(nl) => {
+                stats.phase_times.lowering.record(t_lower.elapsed());
+                // No elimination happened; still snapshot the (zero) fuel
+                // charge so every trace carries a fuel line.
+                if let Some(t) = tr.as_deref_mut() {
+                    t.push(TraceEvent::Fuel { spent: 0, remaining: self.opts.fuel });
+                }
+                return Verdict::Unknown(UnknownReason::Nonlinear(nl.expr));
+            }
         }
         let mut sides = Prop::True;
         for s in lowering.side_constraints() {
@@ -344,59 +482,162 @@ impl Solver {
         }
         let lowered_vars = lowering.fresh_count();
         stats.lowered_vars += lowered_vars;
+        if lowered_vars > 0 {
+            if let Some(t) = tr.as_deref_mut() {
+                t.push(TraceEvent::Lowered { fresh_vars: lowered_vars });
+            }
+        }
+        stats.phase_times.lowering.record(t_lower.elapsed());
+        let t_dnf = Instant::now();
         let formula = expand_ne(&lowered.and(sides).nnf());
         let systems = match to_systems(&formula, self.opts.max_disjuncts) {
-            Ok(s) => s,
-            Err(DnfError::Overflow(_)) => return Verdict::Unknown(UnknownReason::Blowup),
-            Err(DnfError::NonLinear(nl)) => {
-                return Verdict::Unknown(UnknownReason::Nonlinear(nl.expr))
+            Ok(s) => {
+                stats.phase_times.dnf.record(t_dnf.elapsed());
+                s
+            }
+            Err(e) => {
+                stats.phase_times.dnf.record(t_dnf.elapsed());
+                if let Some(t) = tr.as_deref_mut() {
+                    t.push(TraceEvent::Fuel { spent: 0, remaining: self.opts.fuel });
+                }
+                match e {
+                    DnfError::Overflow(_) => return Verdict::Unknown(UnknownReason::Blowup),
+                    DnfError::NonLinear(nl) => {
+                        return Verdict::Unknown(UnknownReason::Nonlinear(nl.expr))
+                    }
+                }
             }
         };
+        if let Some(t) = tr.as_deref_mut() {
+            t.push(TraceEvent::Dnf { disjuncts: systems.len() });
+        }
+        // Stable per-goal variable names for trace events: context
+        // variables keep their display names, lowering-introduced ones get
+        // positional names independent of worker id ranges.
+        let names = tr.as_ref().map(|_| stable_names(goal, &systems));
         // One meter per goal, shared across its disjunct systems: the fuel
         // budget bounds the goal's total elimination work.
         let mut meter = FuelMeter::new(self.opts.fuel, self.opts.deadline);
-        for sys in &systems {
-            let (r, combos) = sys.refute_budgeted(&self.opts.fourier, &mut meter);
-            stats.fm_combinations += combos;
-            match r {
-                RefuteResult::Refuted => stats.disjuncts_refuted += 1,
-                RefuteResult::PossiblySat => {
-                    if self.opts.omega_fallback
-                        && crate::omega::omega_refutes(
-                            sys,
-                            gen,
-                            &crate::omega::OmegaOptions::default(),
-                        )
-                    {
-                        stats.disjuncts_refuted += 1;
-                        continue;
-                    }
-                    // A satisfiable disjunct of `hyps ∧ ¬concl` is a
-                    // counterexample to the goal — but only when the
-                    // system is *exactly* the goal's negation: no
-                    // hypothesis was weakened away, no existential was
-                    // strengthened to a universal, and no lowering
-                    // variable relaxed the semantics. Within those guards
-                    // a bounded exhaustive search is a sound (and
-                    // deterministic) refutation certificate.
-                    let exact = !weakened && !goal.residual_existential && lowered_vars == 0;
-                    if exact
-                        && sys.vars().len() <= REFUTE_SEARCH_MAX_VARS
-                        && crate::exhaustive::find_solution(sys, REFUTE_SEARCH_BOUND).is_some()
-                    {
-                        return Verdict::Refuted;
-                    }
-                    return Verdict::Unknown(UnknownReason::PossiblyFalsifiable);
+        let t_elim = Instant::now();
+        let verdict = 'solve: {
+            for (index, sys) in systems.iter().enumerate() {
+                if let Some(t) = tr.as_deref_mut() {
+                    t.push(TraceEvent::SystemStart { index, ineqs: sys.len() });
                 }
-                RefuteResult::Overflow => return Verdict::Unknown(UnknownReason::Blowup),
-                RefuteResult::FuelExhausted => {
-                    return Verdict::Unknown(UnknownReason::FuelExhausted)
+                let (r, combos) = match (tr.as_deref_mut(), names.as_ref()) {
+                    (Some(t), Some(names)) => {
+                        let mut sink = RefuteTrace { events: &mut t.events, names };
+                        sys.refute_traced(&self.opts.fourier, &mut meter, Some(&mut sink))
+                    }
+                    _ => sys.refute_budgeted(&self.opts.fourier, &mut meter),
+                };
+                stats.fm_combinations += combos;
+                if let Some(t) = tr.as_deref_mut() {
+                    t.push(TraceEvent::Fuel { spent: meter.spent(), remaining: meter.remaining() });
                 }
-                RefuteResult::DeadlineExceeded => return Verdict::Unknown(UnknownReason::Deadline),
+                match r {
+                    RefuteResult::Refuted => stats.disjuncts_refuted += 1,
+                    RefuteResult::PossiblySat => {
+                        if self.opts.omega_fallback
+                            && crate::omega::omega_refutes(
+                                sys,
+                                gen,
+                                &crate::omega::OmegaOptions::default(),
+                            )
+                        {
+                            stats.disjuncts_refuted += 1;
+                            continue;
+                        }
+                        // A satisfiable disjunct of `hyps ∧ ¬concl` is a
+                        // counterexample to the goal — but only when the
+                        // system is *exactly* the goal's negation: no
+                        // hypothesis was weakened away, no existential was
+                        // strengthened to a universal, and no lowering
+                        // variable relaxed the semantics. Within those guards
+                        // a bounded exhaustive search is a sound (and
+                        // deterministic) refutation certificate.
+                        let exact = !weakened && !goal.residual_existential && lowered_vars == 0;
+                        if exact && sys.vars().len() <= REFUTE_SEARCH_MAX_VARS {
+                            let t_wit = Instant::now();
+                            let sol = crate::exhaustive::find_solution(sys, REFUTE_SEARCH_BOUND);
+                            stats.phase_times.witness_search.record(t_wit.elapsed());
+                            if let Some(sol) = sol {
+                                if let Some(t) = tr.as_deref_mut() {
+                                    let empty = HashMap::new();
+                                    let names = names.as_ref().unwrap_or(&empty);
+                                    let mut assignment: Vec<(String, i64)> = sol
+                                        .iter()
+                                        .map(|(v, n)| {
+                                            let name = names
+                                                .get(v)
+                                                .cloned()
+                                                .unwrap_or_else(|| v.to_string());
+                                            (name, *n)
+                                        })
+                                        .collect();
+                                    assignment.sort();
+                                    t.push(TraceEvent::Witness { assignment });
+                                }
+                                break 'solve Verdict::Refuted;
+                            }
+                        }
+                        break 'solve Verdict::Unknown(UnknownReason::PossiblyFalsifiable);
+                    }
+                    RefuteResult::Overflow => break 'solve Verdict::Unknown(UnknownReason::Blowup),
+                    RefuteResult::FuelExhausted => {
+                        break 'solve Verdict::Unknown(UnknownReason::FuelExhausted)
+                    }
+                    RefuteResult::DeadlineExceeded => {
+                        break 'solve Verdict::Unknown(UnknownReason::Deadline)
+                    }
+                }
+            }
+            Verdict::Proven
+        };
+        stats.phase_times.elimination.record(t_elim.elapsed());
+        verdict
+    }
+}
+
+/// Builds the stable per-goal variable-name map used in trace events.
+///
+/// Context variables keep their display names (elaboration assigns those
+/// deterministically before any parallel solving starts); duplicate display
+/// names are disambiguated by an `@k` suffix in id order. Variables the
+/// systems mention beyond the context are lowering-introduced: their raw
+/// names embed worker-dependent ids, so they are renamed positionally
+/// (`$1`, `$2`, …) in id order, which within one goal is creation order on
+/// every worker.
+fn stable_names(goal: &Goal, systems: &[System]) -> HashMap<Var, String> {
+    let mut names: HashMap<Var, String> = HashMap::new();
+    let mut used: HashSet<String> = HashSet::new();
+    for (v, _) in &goal.ctx {
+        let mut name = v.to_string();
+        if !used.insert(name.clone()) {
+            let mut k = 2;
+            loop {
+                let candidate = format!("{name}@{k}");
+                if used.insert(candidate.clone()) {
+                    name = candidate;
+                    break;
+                }
+                k += 1;
             }
         }
-        Verdict::Proven
+        names.insert(v.clone(), name);
     }
+    let mut all: BTreeSet<Var> = BTreeSet::new();
+    for sys in systems {
+        all.extend(sys.vars());
+    }
+    let mut fresh = 0usize;
+    for v in all {
+        if let std::collections::hash_map::Entry::Vacant(e) = names.entry(v) {
+            fresh += 1;
+            e.insert(format!("${fresh}"));
+        }
+    }
+    names
 }
 
 /// Counterexample search is capped at this many variables (the box search
@@ -1169,6 +1410,101 @@ mod tests {
         let lax =
             Solver::new(SolverOptions::default().with_deadline(Some(Duration::from_secs(3600))));
         assert!(lax.prove(&c, &mut g).all_proven());
+    }
+
+    /// Trace mode returns one trace per goal, ending in a verdict event
+    /// that matches the returned verdict, and never changes verdicts.
+    #[test]
+    fn trace_mode_aligns_with_results_and_verdicts() {
+        let mut g = VarGen::new();
+        let c = chain_goal(&mut g);
+        let plain = solver().prove(&c, &mut g);
+        assert!(plain.traces.is_empty(), "tracing is off by default");
+        let traced = Solver::new(SolverOptions::default().with_trace(true));
+        let outcome = traced.prove(&c, &mut g);
+        assert_eq!(outcome.traces.len(), outcome.results.len());
+        for ((_, verdict), tr) in outcome.results.iter().zip(&outcome.traces) {
+            assert_eq!(tr.verdict(), Some(verdict.to_string().as_str()));
+        }
+        assert_eq!(
+            plain.results.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            outcome.results.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+        );
+        // The chain goal needs real elimination: its trace must show it.
+        let tr = &outcome.traces[0];
+        assert!(tr.events.iter().any(|e| matches!(e, TraceEvent::Eliminate { .. })));
+        assert!(tr.events.iter().any(|e| matches!(e, TraceEvent::Contradiction { .. })));
+        assert_eq!(tr.fuel_spent, plain.stats.fm_combinations as u64);
+    }
+
+    /// The deterministic (non-config-dependent) trace events are
+    /// byte-identical across cache on/off — cache hits are re-decided in
+    /// trace mode, so every configuration sees the full elimination story.
+    #[test]
+    fn trace_events_deterministic_across_cache_configs() {
+        let mut g = VarGen::new();
+        let c = chain_goal(&mut g);
+        let stable = |opts: SolverOptions| {
+            let s = Solver::new(opts.with_trace(true));
+            // Prove twice: the second run hits the warm cache.
+            s.prove(&c, &mut g.clone());
+            let outcome = s.prove(&c, &mut g.clone());
+            outcome
+                .traces
+                .iter()
+                .flat_map(|t| t.events.clone())
+                .filter(|e| !e.is_config_dependent())
+                .collect::<Vec<_>>()
+        };
+        let cached = stable(SolverOptions::default());
+        let uncached = stable(SolverOptions::default().with_cache(false));
+        assert_eq!(cached, uncached);
+        assert!(!cached.is_empty());
+    }
+
+    /// A Refuted goal's extracted witness really falsifies the original
+    /// constraint: every hypothesis evaluates true and the conclusion
+    /// false under the recorded assignment.
+    #[test]
+    fn refuted_witness_falsifies_the_goal() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        // ∀n. 0 ≤ n ⊃ n ≤ 5 — false, e.g. at n = 6.
+        let c = Constraint::Forall(
+            n.clone(),
+            Sort::Int,
+            Box::new(Constraint::Implies(
+                Prop::le(IExp::lit(0), IExp::var(n.clone())),
+                Box::new(Constraint::Prop(Prop::le(IExp::var(n), IExp::lit(5)))),
+            )),
+        );
+        let s = Solver::new(SolverOptions::default().with_trace(true));
+        let outcome = s.prove(&c, &mut g);
+        assert_eq!(outcome.results[0].1, Verdict::Refuted);
+        let witness = outcome.traces[0].witness().expect("refuted goal records a witness");
+        let goal = &outcome.results[0].0;
+        let env: std::collections::HashMap<Var, i64> = goal
+            .ctx
+            .iter()
+            .filter_map(|(v, _)| {
+                witness
+                    .iter()
+                    .find(|(name, _)| *name == v.to_string())
+                    .map(|(_, value)| (v.clone(), *value))
+            })
+            .collect();
+        assert_eq!(env.len(), witness.len(), "every witness variable maps to a context var");
+        let ienv = |v: &Var| env.get(v).copied();
+        let benv = |_: &Var| None;
+        for h in &goal.hyps {
+            assert_eq!(h.eval(&ienv, &benv), Some(true), "hypothesis {h} holds at the witness");
+        }
+        assert_eq!(
+            goal.concl.eval(&ienv, &benv),
+            Some(false),
+            "conclusion {} is violated at the witness",
+            goal.concl
+        );
     }
 
     /// The paper's modular-arithmetic example: tightening is required to

@@ -4,7 +4,11 @@
 //! solved concurrently. The design keeps the solve phase *deterministic*:
 //!
 //! - results come back in obligation order regardless of worker count or
-//!   scheduling (each worker tags results with the obligation index);
+//!   scheduling (each worker tags results with the obligation index) —
+//!   this includes per-goal [`dml_obs::GoalTrace`] buffers when tracing is
+//!   on: each goal's events are buffered by whichever worker decided it
+//!   and ride inside its [`Outcome`], so the merged trace stream is
+//!   identical for every worker count;
 //! - each worker gets a disjoint [`VarGen`] id range via [`VarGen::split`],
 //!   so fresh-variable generation needs no lock and ids never collide —
 //!   worker-fresh variables are internal to lowering/Omega and never escape

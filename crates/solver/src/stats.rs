@@ -1,8 +1,60 @@
 //! Solver statistics, feeding Table 1's "constraints generated / solved"
 //! columns and the ablation benches.
 
+use dml_obs::TimingHistogram;
 use std::fmt;
 use std::time::Duration;
+
+/// Per-phase latency histograms for goal solving.
+///
+/// Recording is always on (two comparisons and an increment per phase), but
+/// histograms are only *rendered* on request (`dmlc table 1 --timings`), so
+/// default output stays byte-identical whether or not anyone looks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Whole-goal decide latency, fast paths and cache hits included.
+    pub goal: TimingHistogram,
+    /// Non-linear lowering (per goal reaching that phase).
+    pub lowering: TimingHistogram,
+    /// NNF + DNF expansion into disjunct systems.
+    pub dnf: TimingHistogram,
+    /// Fourier–Motzkin elimination across a goal's disjunct systems
+    /// (includes any witness search, which is also recorded separately).
+    pub elimination: TimingHistogram,
+    /// Bounded exhaustive counterexample search on refutation candidates.
+    pub witness_search: TimingHistogram,
+}
+
+impl PhaseTimes {
+    /// Merges another record's histograms into this one.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.goal.merge(&other.goal);
+        self.lowering.merge(&other.lowering);
+        self.dnf.merge(&other.dnf);
+        self.elimination.merge(&other.elimination);
+        self.witness_search.merge(&other.witness_search);
+    }
+
+    /// `true` if no phase recorded any sample.
+    pub fn is_empty(&self) -> bool {
+        self.goal.is_empty()
+            && self.lowering.is_empty()
+            && self.dnf.is_empty()
+            && self.elimination.is_empty()
+            && self.witness_search.is_empty()
+    }
+
+    /// `(label, histogram)` pairs in rendering order.
+    pub fn phases(&self) -> [(&'static str, &TimingHistogram); 5] {
+        [
+            ("goal decide", &self.goal),
+            ("lowering", &self.lowering),
+            ("dnf expansion", &self.dnf),
+            ("fm elimination", &self.elimination),
+            ("witness search", &self.witness_search),
+        ]
+    }
+}
 
 /// Counters accumulated across one [`crate::Solver::prove`] run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -37,6 +89,10 @@ pub struct SolverStats {
     pub cache_misses: usize,
     /// Wall-clock time spent solving.
     pub solve_time: Duration,
+    /// Per-phase latency histograms (see [`PhaseTimes`]). Timing buckets
+    /// vary run to run, so they are surfaced only by explicit request and
+    /// never enter golden comparisons.
+    pub phase_times: PhaseTimes,
 }
 
 impl SolverStats {
@@ -54,6 +110,7 @@ impl SolverStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.solve_time += other.solve_time;
+        self.phase_times.merge(&other.phase_times);
     }
 }
 

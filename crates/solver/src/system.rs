@@ -12,8 +12,10 @@
 //! lets the solver discharge the `div`-heavy constraints of `bcopy` and
 //! `bsearch`.
 
+use dml_obs::TraceEvent;
+
 use dml_index::{Linear, Var};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -120,18 +122,29 @@ pub struct FuelMeter {
     fuel: Option<u64>,
     deadline: Option<Instant>,
     ticks: u32,
+    spent: u64,
 }
 
 impl FuelMeter {
     /// A meter that never runs out.
     pub fn unlimited() -> FuelMeter {
-        FuelMeter { fuel: None, deadline: None, ticks: 0 }
+        FuelMeter { fuel: None, deadline: None, ticks: 0, spent: 0 }
     }
 
     /// A meter with `fuel` combinations and a deadline `budget` from now.
     /// `None` leaves the corresponding dimension unbounded.
     pub fn new(fuel: Option<u64>, budget: Option<Duration>) -> FuelMeter {
-        FuelMeter { fuel, deadline: budget.map(|d| Instant::now() + d), ticks: 0 }
+        FuelMeter { fuel, deadline: budget.map(|d| Instant::now() + d), ticks: 0, spent: 0 }
+    }
+
+    /// Combinations charged so far (counted even on an unlimited meter).
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Fuel left, or `None` on an unlimited meter.
+    pub fn remaining(&self) -> Option<u64> {
+        self.fuel
     }
 
     /// Charges one combination. Returns the exhausted dimension, if any
@@ -152,6 +165,7 @@ impl FuelMeter {
                 return Some(RefuteResult::DeadlineExceeded);
             }
         }
+        self.spent += 1;
         None
     }
 }
@@ -171,6 +185,27 @@ pub struct FourierOptions {
 impl Default for FourierOptions {
     fn default() -> Self {
         FourierOptions { tighten: true, max_ineqs: 50_000, max_combinations: 2_000_000 }
+    }
+}
+
+/// Trace sink handed to [`System::refute_traced`]: a per-goal event buffer
+/// plus the stable variable-name map used in emitted events.
+///
+/// The map translates worker-generated lowering variables (whose raw
+/// display names embed worker-dependent ids) into positional names
+/// (`$1`, `$2`, …) assigned in id order within the goal, so emitted events
+/// are byte-identical across worker counts.
+#[derive(Debug)]
+pub struct RefuteTrace<'a> {
+    /// Buffer receiving this system's events, in emission order.
+    pub events: &'a mut Vec<TraceEvent>,
+    /// Stable display name for every variable the system mentions.
+    pub names: &'a HashMap<Var, String>,
+}
+
+impl RefuteTrace<'_> {
+    fn name(&self, v: &Var) -> String {
+        self.names.get(v).cloned().unwrap_or_else(|| v.to_string())
     }
 }
 
@@ -256,14 +291,50 @@ impl System {
         opts: &FourierOptions,
         meter: &mut FuelMeter,
     ) -> (RefuteResult, usize) {
+        self.refute_traced(opts, meter, None)
+    }
+
+    /// [`System::refute_budgeted`] with an optional trace sink.
+    ///
+    /// When `trace` is supplied, every tightening pass, elimination round
+    /// (with its combined-pair count), and derived contradiction is pushed
+    /// onto the sink's event buffer, with variables named through the
+    /// sink's stable name map. The traced and untraced paths perform the
+    /// identical elimination — tracing only observes.
+    pub fn refute_traced(
+        &self,
+        opts: &FourierOptions,
+        meter: &mut FuelMeter,
+        mut trace: Option<&mut RefuteTrace<'_>>,
+    ) -> (RefuteResult, usize) {
         let mut work: Vec<Ineq> = Vec::with_capacity(self.ineqs.len());
+        let mut input_tightened = 0u64;
         for i in &self.ineqs {
-            let i = if opts.tighten { i.tighten() } else { i.clone() };
+            let i = if opts.tighten {
+                let t = i.tighten();
+                if t != *i {
+                    input_tightened += 1;
+                }
+                t
+            } else {
+                i.clone()
+            };
             if i.is_contradiction() {
+                if let Some(t) = trace.as_mut() {
+                    if input_tightened > 0 {
+                        t.events.push(TraceEvent::Tightened { count: input_tightened });
+                    }
+                    t.events.push(TraceEvent::Contradiction { ineq: i.to_string() });
+                }
                 return (RefuteResult::Refuted, 0);
             }
             if !i.is_trivial() {
                 work.push(i);
+            }
+        }
+        if let Some(t) = trace.as_mut() {
+            if input_tightened > 0 {
+                t.events.push(TraceEvent::Tightened { count: input_tightened });
             }
         }
         let mut combinations = 0usize;
@@ -294,13 +365,35 @@ impl System {
                 }
             }
 
+            // Per-round counters for the `Eliminate` event; the round can
+            // end early (contradiction, fuel, overflow), in which case the
+            // event records the pairs actually combined.
+            let mut round_pairs = 0u64;
+            let mut round_tightened = 0u64;
+            let emit_round =
+                |trace: &mut Option<&mut RefuteTrace<'_>>, pairs: u64, tightened: u64| {
+                    if let Some(t) = trace.as_mut() {
+                        let var = t.name(&target);
+                        t.events.push(TraceEvent::Eliminate {
+                            var,
+                            uppers: uppers.len(),
+                            lowers: lowers.len(),
+                            pairs,
+                            tightened,
+                        });
+                    }
+                };
+
             for up in &uppers {
                 for lo in &lowers {
                     if let Some(spent) = meter.charge() {
+                        emit_round(&mut trace, round_pairs, round_tightened);
                         return (spent, combinations);
                     }
                     combinations += 1;
+                    round_pairs += 1;
                     if combinations > opts.max_combinations {
+                        emit_round(&mut trace, round_pairs, round_tightened);
                         return (RefuteResult::Overflow, combinations);
                     }
                     let a = up.linear().coeff(&target); // a > 0
@@ -310,9 +403,17 @@ impl System {
                     debug_assert_eq!(combined.coeff(&target), 0);
                     let mut ineq = Ineq::le_zero(combined);
                     if opts.tighten {
-                        ineq = ineq.tighten();
+                        let t = ineq.tighten();
+                        if t != ineq {
+                            round_tightened += 1;
+                        }
+                        ineq = t;
                     }
                     if ineq.is_contradiction() {
+                        emit_round(&mut trace, round_pairs, round_tightened);
+                        if let Some(t) = trace.as_mut() {
+                            t.events.push(TraceEvent::Contradiction { ineq: ineq.to_string() });
+                        }
                         return (RefuteResult::Refuted, combinations);
                     }
                     if !ineq.is_trivial() {
@@ -320,6 +421,7 @@ impl System {
                     }
                 }
             }
+            emit_round(&mut trace, round_pairs, round_tightened);
             if rest.len() > opts.max_ineqs {
                 return (RefuteResult::Overflow, combinations);
             }

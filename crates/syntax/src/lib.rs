@@ -37,4 +37,4 @@ pub mod token;
 pub use ast::*;
 pub use diag::{Diagnostic, ParseError, Severity};
 pub use parser::{parse_dtype, parse_expr, parse_program};
-pub use span::Span;
+pub use span::{line_col, LineCol, Span};
