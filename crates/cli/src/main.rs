@@ -7,6 +7,7 @@
 //! dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]
 //! dmlc run <file.dml> <fun> [ints...]   run a function on integer args
 //! dmlc eval <file.dml> <fun> [ints...]  alias for `run`
+//! dmlc fuzz [--seed S] [--iters N] [--json]  differential solver fuzzer
 //! dmlc figure4                 print the paper's Figure 4 constraints
 //! dmlc table <1|2|3> [factor] [--timings]  regenerate an evaluation table
 //! ```
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
         Some("constraints") => with_file(&args, |src| constraints(&compiler, src)),
         Some("lint") => lint(&compiler, &args),
         Some("run" | "eval") => run(&compiler, &args),
+        Some("fuzz") => fuzz(&args),
         Some("figure4") => {
             for line in experiments::figure4() {
                 println!("{line}");
@@ -58,7 +60,7 @@ fn main() -> ExitCode {
         Some("table") => table(&args),
         _ => {
             eprintln!(
-                "usage: dmlc <check|explain|constraints|lint|run|eval|figure4|table> ...\n\
+                "usage: dmlc <check|explain|constraints|lint|run|eval|fuzz|figure4|table> ...\n\
                  \n\
                  dmlc check <file.dml> [--trace-out FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc explain <file.dml> [--goal N] [--fuel N] [--deadline-ms N]\n\
@@ -66,6 +68,7 @@ fn main() -> ExitCode {
                  dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE] [--fuel N] [--strict]\n\
                  dmlc run <file.dml> <fun> [ints...] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc eval <file.dml> <fun> [ints...]   (alias for run)\n\
+                 dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--repro-dir D] [--no-programs]\n\
                  dmlc figure4\n\
                  dmlc table <1|2|3> [factor] [--timings]"
             );
@@ -201,6 +204,17 @@ fn explain_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
     };
     match compiler.clone().trace(true).compile(&src) {
         Ok(compiled) => {
+            if let Some(n) = goal {
+                let total = compiled.goal_count();
+                if n == 0 || n > total {
+                    match total {
+                        0 => eprintln!("goal {n} does not exist: the program has no solver goals"),
+                        1 => eprintln!("goal {n} does not exist: the only valid goal is 1"),
+                        _ => eprintln!("goal {n} does not exist: valid goals are 1..={total}"),
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
             print!("{}", dml::render_explain(&compiled, &src, goal));
             ExitCode::SUCCESS
         }
@@ -208,6 +222,67 @@ fn explain_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--repro-dir D]
+/// [--no-programs]` — runs the differential solver fuzzer (`dml-oracle`):
+/// random goals are decided by the production solver under a configuration
+/// matrix and cross-checked against two independent reference deciders,
+/// with metamorphic and end-to-end program properties alongside. Exits
+/// FAILURE if any divergence is found; repro files land in `--repro-dir`.
+fn fuzz(args: &[String]) -> ExitCode {
+    let mut cfg = dml_oracle::FuzzConfig::default();
+    let mut json = false;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--seed" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => {
+                    eprintln!("--seed expects a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--iters" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.iters = n,
+                None => {
+                    eprintln!("--iters expects a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bound" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(b) if b > 0 => cfg.bound = b,
+                _ => {
+                    eprintln!("--bound expects a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--repro-dir" => match rest.next() {
+                Some(d) => cfg.repro_dir = Some(std::path::PathBuf::from(d)),
+                None => {
+                    eprintln!("--repro-dir expects a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => json = true,
+            "--no-programs" => cfg.programs = false,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = dml_oracle::run_fuzz(&cfg);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -214,3 +214,62 @@ fn missing_file_reported() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("cannot read"), "{stderr}");
 }
+
+#[test]
+fn explain_valid_goal_renders() {
+    let path = write_temp("explain-good.dml", GOOD);
+    let out = dmlc().arg("explain").arg(&path).args(["--goal", "1"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("goal 1"), "{stdout}");
+}
+
+#[test]
+fn explain_out_of_range_goal_fails_with_valid_range() {
+    let path = write_temp("explain-range.dml", GOOD);
+    let out = dmlc().arg("explain").arg(&path).args(["--goal", "999"]).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "out-of-range goal exits nonzero");
+    assert!(stderr.contains("goal 999 does not exist"), "{stderr}");
+    assert!(stderr.contains("valid goals are 1..="), "{stderr}");
+
+    let out = dmlc().arg("explain").arg(&path).args(["--goal", "0"]).output().unwrap();
+    assert!(!out.status.success(), "goal numbering starts at 1");
+}
+
+#[test]
+fn fuzz_fixed_seed_is_clean_and_deterministic() {
+    let run = || {
+        let out = dmlc()
+            .args(["fuzz", "--seed", "42", "--iters", "40", "--no-programs"])
+            .output()
+            .unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(out.status.success(), "{stdout}");
+        assert!(stdout.contains("no divergences"), "{stdout}");
+        stdout
+    };
+    assert_eq!(run(), run(), "same seed, same report");
+}
+
+#[test]
+fn fuzz_json_report() {
+    let out = dmlc()
+        .args(["fuzz", "--seed", "7", "--iters", "10", "--no-programs", "--json"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains(r#""seed":7"#), "{stdout}");
+    assert!(stdout.contains(r#""divergences":[]"#), "{stdout}");
+}
+
+#[test]
+fn fuzz_rejects_bad_flags() {
+    let out = dmlc().args(["fuzz", "--seed"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = dmlc().args(["fuzz", "--frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}

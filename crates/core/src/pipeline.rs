@@ -136,6 +136,13 @@ impl Compiled {
         &self.traces
     }
 
+    /// Total number of traced solver goals across all obligations — the
+    /// valid range of `dmlc explain --goal` is `1..=goal_count()`. Zero
+    /// unless the session was built with [`Compiler::trace`].
+    pub fn goal_count(&self) -> usize {
+        self.traces.iter().map(|t| t.goals.len()).sum()
+    }
+
     /// Per-site hypothesis snapshots recorded during elaboration (`if`
     /// conditions and `case` arms), consumed by the lint pass.
     pub fn contexts(&self) -> &[SiteContext] {

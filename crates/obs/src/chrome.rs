@@ -116,4 +116,28 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
     }
+
+    #[test]
+    fn non_ascii_goal_labels_survive_escaping() {
+        // Goal labels come from user source (variable names, notes) and
+        // may carry non-ASCII. JSON only *requires* escaping quotes,
+        // backslashes, and control characters; multi-byte UTF-8 passes
+        // through raw and must not be mangled or double-escaped.
+        let mut t = ChromeTrace::new();
+        t.span("0 ≤ ν∧ν < länge", "solver", 0, 0, 5, Json::Object(vec![]));
+        t.name_thread(0, "goals — φ");
+        let out = t.render();
+        assert!(out.contains(r#""name":"0 ≤ ν∧ν < länge""#), "raw UTF-8 must pass through: {out}");
+        assert!(out.contains(r#""name":"goals — φ""#));
+        assert!(!out.contains("\\u00"), "no spurious unicode escapes: {out}");
+    }
+
+    #[test]
+    fn control_chars_and_quotes_in_labels_are_escaped() {
+        let mut t = ChromeTrace::new();
+        t.instant("a\"b\\c\nd\te\u{1}f", "cat", 0, 0, Json::Object(vec![]));
+        let out = t.render();
+        let expected = concat!(r#""name":"a\"b\\c\nd\te"#, "\\u0001", r#"f""#);
+        assert!(out.contains(expected), "{out}");
+    }
 }

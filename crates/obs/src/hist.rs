@@ -112,6 +112,59 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = TimingHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.buckets(), &[0; 7]);
+        assert_eq!(h.to_string(), "(no samples)");
+        // Merging an empty histogram in either direction is a no-op.
+        let mut a = TimingHistogram::new();
+        a.record(Duration::from_micros(3));
+        let before = a;
+        a.merge(&h);
+        assert_eq!(a, before);
+        let mut e = TimingHistogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn single_sample_lands_in_exactly_one_bucket() {
+        // One sample per bucket boundary region, including both edges of
+        // the bounds array: 0ns goes to the first bucket, an exact bound
+        // value goes to the *next* bucket (bounds are exclusive upper).
+        let cases: [(Duration, usize); 4] = [
+            (Duration::ZERO, 0),
+            (Duration::from_nanos(9_999), 0),
+            (Duration::from_nanos(10_000), 1),
+            (Duration::from_nanos(999_999_999), 5),
+        ];
+        for (d, want) in cases {
+            let mut h = TimingHistogram::new();
+            h.record(d);
+            assert_eq!(h.count(), 1, "{d:?}");
+            assert!(!h.is_empty());
+            let hit: Vec<usize> =
+                h.buckets().iter().enumerate().filter(|(_, n)| **n > 0).map(|(i, _)| i).collect();
+            assert_eq!(hit, vec![want], "{d:?} landed in the wrong bucket");
+        }
+    }
+
+    #[test]
+    fn max_bucket_absorbs_overflow_durations() {
+        // Everything >= 1s — including durations whose nanosecond count
+        // exceeds u64 — saturates into the last (unbounded) bucket rather
+        // than panicking or wrapping.
+        let mut h = TimingHistogram::new();
+        h.record(Duration::from_secs(1));
+        h.record(Duration::from_secs(86_400));
+        h.record(Duration::MAX); // as_nanos() > u64::MAX, exercises the clamp
+        assert_eq!(h.buckets(), &[0, 0, 0, 0, 0, 0, 3]);
+        assert_eq!(h.to_string(), ">=1s: 3");
+    }
+
+    #[test]
     fn display_skips_empty_buckets() {
         let mut h = TimingHistogram::new();
         assert_eq!(h.to_string(), "(no samples)");

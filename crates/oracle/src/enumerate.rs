@@ -1,0 +1,143 @@
+//! Reference decider (a): brute-force bounded-domain model enumeration.
+//!
+//! Walks every integer assignment in `[-bound, bound]^n` (booleans get
+//! `{false, true}`) and evaluates the propositions with the *surface*
+//! semantics of `dml_index::Prop::eval` — checked `i64` arithmetic, SML
+//! flooring `div`/`mod` — not the solver's linearized view. A found model
+//! of `hyps ∧ ¬concl` is a concrete counterexample certificate: the goal
+//! is definitely not valid, whatever the solver claims.
+//!
+//! Finding *no* model proves nothing globally (a countermodel may live
+//! outside the box); the exact-rational eliminator covers the validity
+//! direction.
+
+use dml_index::{Prop, Sort, Var};
+use std::collections::BTreeMap;
+
+/// Hard cap on enumerated points so a miscalled bound cannot hang a test.
+const MAX_POINTS: u64 = 2_000_000;
+
+/// Searches `[-bound, bound]` per integer variable for an assignment
+/// satisfying every proposition. Variables free in `props` but missing
+/// from `vars` are enumerated as integers too. Returns the first model in
+/// lexicographic order (deterministic), or `None`.
+pub fn find_model(vars: &[(Var, Sort)], props: &[Prop], bound: i64) -> Option<BTreeMap<Var, i64>> {
+    let mut domain: Vec<(Var, Sort)> = vars.to_vec();
+    for p in props {
+        for v in p.free_vars() {
+            if !domain.iter().any(|(w, _)| *w == v) {
+                domain.push((v, Sort::Int));
+            }
+        }
+    }
+    let width = 2 * bound as u64 + 1;
+    let mut points: u64 = 1;
+    for (_, s) in &domain {
+        points = points.saturating_mul(if s.is_int() { width } else { 2 });
+        if points > MAX_POINTS {
+            return None;
+        }
+    }
+    let mut assignment: Vec<i64> =
+        domain.iter().map(|(_, s)| if s.is_int() { -bound } else { 0 }).collect();
+    loop {
+        if satisfies(&domain, &assignment, props) {
+            return Some(
+                domain.iter().map(|(v, _)| v.clone()).zip(assignment.iter().copied()).collect(),
+            );
+        }
+        // Odometer increment in lexicographic order.
+        let mut i = domain.len();
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            let hi = if domain[i].1.is_int() { bound } else { 1 };
+            let lo = if domain[i].1.is_int() { -bound } else { 0 };
+            if assignment[i] < hi {
+                assignment[i] += 1;
+                break;
+            }
+            assignment[i] = lo;
+        }
+    }
+}
+
+fn satisfies(domain: &[(Var, Sort)], assignment: &[i64], props: &[Prop]) -> bool {
+    let ienv = |v: &Var| -> Option<i64> {
+        domain.iter().position(|(w, s)| w == v && s.is_int()).map(|i| assignment[i])
+    };
+    let benv = |v: &Var| -> Option<bool> {
+        domain.iter().position(|(w, s)| w == v && !s.is_int()).map(|i| assignment[i] != 0)
+    };
+    // A proposition that fails to evaluate (overflow, div by zero) does not
+    // certify a model — skip the point.
+    props.iter().all(|p| p.eval(&ienv, &benv) == Some(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::{IExp, VarGen};
+
+    #[test]
+    fn finds_a_model_in_the_box() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let props = [
+            Prop::le(IExp::lit(2), IExp::var(x.clone())),
+            Prop::lt(IExp::var(x.clone()), IExp::lit(4)),
+        ];
+        let m = find_model(&[(x.clone(), Sort::Int)], &props, 5).unwrap();
+        assert_eq!(m[&x], 2, "first model in lexicographic order");
+    }
+
+    #[test]
+    fn reports_no_model_when_unsat() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let props = [
+            Prop::lt(IExp::var(x.clone()), IExp::lit(0)),
+            Prop::lt(IExp::lit(0), IExp::var(x.clone())),
+        ];
+        assert!(find_model(&[(x, Sort::Int)], &props, 5).is_none());
+    }
+
+    #[test]
+    fn integer_gap_has_no_model() {
+        // 2x = 1 has no integer solution anywhere, a fortiori in the box.
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let props = [Prop::eq(IExp::lit(2) * IExp::var(x.clone()), IExp::lit(1))];
+        assert!(find_model(&[(x, Sort::Int)], &props, 8).is_none());
+    }
+
+    #[test]
+    fn booleans_enumerate_both_values() {
+        let mut g = VarGen::new();
+        let b = g.fresh("b");
+        let props = [Prop::Not(Box::new(Prop::BVar(b.clone())))];
+        let m = find_model(&[(b.clone(), Sort::Bool)], &props, 1).unwrap();
+        assert_eq!(m[&b], 0);
+    }
+
+    #[test]
+    fn free_vars_outside_ctx_are_enumerated() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let props = [Prop::eq(IExp::var(x.clone()), IExp::lit(3))];
+        let m = find_model(&[], &props, 5).unwrap();
+        assert_eq!(m[&x], 3);
+    }
+
+    #[test]
+    fn nonlinear_props_use_surface_semantics() {
+        // x * x = 4 with x in [-5, 5]: first model is x = -2.
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let props = [Prop::eq(IExp::var(x.clone()) * IExp::var(x.clone()), IExp::lit(4))];
+        let m = find_model(&[(x.clone(), Sort::Int)], &props, 5).unwrap();
+        assert_eq!(m[&x], -2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Reference decider (b): exact-rational Fourier–Motzkin elimination.
+//!
+//! This is an independent reimplementation — it shares no code with
+//! `crates/solver`: its own constraint representation (exact [`Rat`]
+//! coefficients instead of `i64`, explicit strict/non-strict bounds
+//! instead of the integer `a < b ⇒ a + 1 ≤ b` rewrite), no integer
+//! tightening, no fuel metering, no parallelism, no caching. Over the
+//! rationals FM is a complete decision procedure, so the verdict is exact:
+//!
+//! * `Unsat` — the system has **no rational solution**, hence no integer
+//!   solution either. If the system is the negation `hyps ∧ ¬concl` of a
+//!   goal, the goal is definitely valid over the integers.
+//! * `Sat` — a rational solution exists. The *integers* may still be
+//!   unsatisfiable (`2x = 1` is the canonical example — exactly the gap
+//!   the production solver's tightening step closes), so `Sat` alone says
+//!   nothing about the goal; the bounded enumerator covers that side.
+//!
+//! Elimination can square the constraint count each round, so a hard cap
+//! guards against pathological inputs; hitting it (or `i128` overflow)
+//! yields [`RatSat::Unknown`] — the oracle declines rather than guesses.
+
+use crate::rat::Rat;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One rational constraint `Σ cᵢ·xᵢ + k ≤ 0` (or `< 0` when `strict`).
+/// Variables are plain `u32` ids; the caller keeps the name map.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RatConstraint {
+    /// Variable coefficients (zero coefficients are never stored).
+    pub coeffs: BTreeMap<u32, Rat>,
+    /// The constant term `k`.
+    pub constant: Rat,
+    /// `true` for a strict bound (`< 0`), `false` for `≤ 0`.
+    pub strict: bool,
+}
+
+impl RatConstraint {
+    /// A constraint with no variables.
+    pub fn constant(k: Rat, strict: bool) -> RatConstraint {
+        RatConstraint { coeffs: BTreeMap::new(), constant: k, strict }
+    }
+
+    /// Adds `c·x` to the constraint (dropping the term if it cancels).
+    pub fn add_term(&mut self, x: u32, c: Rat) -> Option<()> {
+        let cur = self.coeffs.remove(&x).unwrap_or_else(Rat::zero);
+        let next = cur.add(&c)?;
+        if !next.is_zero() {
+            self.coeffs.insert(x, next);
+        }
+        Some(())
+    }
+
+    /// `true` if the constraint mentions no variables.
+    pub fn is_ground(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// A ground constraint that can never hold (`k ≤ 0` with `k > 0`, or
+    /// `k < 0` with `k ≥ 0`).
+    fn is_contradiction(&self) -> bool {
+        debug_assert!(self.is_ground());
+        if self.strict {
+            !self.constant.is_negative()
+        } else {
+            self.constant.is_positive()
+        }
+    }
+}
+
+/// The three-way satisfiability answer of the rational eliminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatSat {
+    /// A rational solution exists.
+    Sat,
+    /// No rational solution exists (a proof of integer unsatisfiability).
+    Unsat,
+    /// The eliminator declined (constraint-count cap or `i128` overflow).
+    Unknown,
+}
+
+/// Hard cap on live constraints during elimination; pathological systems
+/// decline with [`RatSat::Unknown`] instead of running away.
+const MAX_CONSTRAINTS: usize = 100_000;
+
+/// Decides rational satisfiability of a conjunction of constraints by
+/// eliminating variables one at a time.
+pub fn rational_sat(constraints: &[RatConstraint]) -> RatSat {
+    let mut live: BTreeSet<RatConstraint> = constraints.iter().cloned().collect();
+    loop {
+        // Ground constraints either contradict (UNSAT) or are discharged.
+        for c in &live {
+            if c.is_ground() && c.is_contradiction() {
+                return RatSat::Unsat;
+            }
+        }
+        live.retain(|c| !c.is_ground());
+        // Pick the variable appearing in the fewest constraints — a greedy
+        // heuristic keeping the cross-product small.
+        let Some(&x) = live
+            .iter()
+            .flat_map(|c| c.coeffs.keys())
+            .fold(BTreeMap::<u32, usize>::new(), |mut m, &v| {
+                *m.entry(v).or_default() += 1;
+                m
+            })
+            .iter()
+            .min_by_key(|&(_, n)| *n)
+            .map(|(v, _)| v)
+        else {
+            // No variables left and no contradiction: satisfiable.
+            return RatSat::Sat;
+        };
+        let (with_x, rest): (Vec<_>, Vec<_>) =
+            live.into_iter().partition(|c| c.coeffs.contains_key(&x));
+        let mut next: BTreeSet<RatConstraint> = rest.into_iter().collect();
+        // Normalize each x-constraint to a bound on x: coeff > 0 gives an
+        // upper bound, coeff < 0 a lower bound.
+        let mut uppers = Vec::new();
+        let mut lowers = Vec::new();
+        for c in with_x {
+            let coeff = c.coeffs[&x];
+            if coeff.is_positive() {
+                uppers.push(c);
+            } else {
+                lowers.push(c);
+            }
+        }
+        for up in &uppers {
+            for lo in &lowers {
+                let Some(combined) = combine(up, lo, x) else {
+                    return RatSat::Unknown;
+                };
+                if combined.is_ground() {
+                    if combined.is_contradiction() {
+                        return RatSat::Unsat;
+                    }
+                } else {
+                    next.insert(combined);
+                }
+                if next.len() > MAX_CONSTRAINTS {
+                    return RatSat::Unknown;
+                }
+            }
+        }
+        live = next;
+    }
+}
+
+/// Combines an upper bound (`a·x + p ≤ 0`, `a > 0`) with a lower bound
+/// (`b·x + q ≤ 0`, `b < 0`): `(-b)·p + a·q {≤,<} 0`, strict if either side
+/// was. `None` on overflow.
+fn combine(up: &RatConstraint, lo: &RatConstraint, x: u32) -> Option<RatConstraint> {
+    let a = up.coeffs[&x];
+    let b = lo.coeffs[&x];
+    debug_assert!(a.is_positive() && b.is_negative());
+    let k = b.neg().mul(&up.constant)?.add(&a.mul(&lo.constant)?)?;
+    let mut out = RatConstraint::constant(k, up.strict || lo.strict);
+    for (&v, c) in &up.coeffs {
+        if v != x {
+            out.add_term(v, b.neg().mul(c)?)?;
+        }
+    }
+    for (&v, c) in &lo.coeffs {
+        if v != x {
+            out.add_term(v, a.mul(c)?)?;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(terms: &[(u32, i64)], k: i64, strict: bool) -> RatConstraint {
+        let mut out = RatConstraint::constant(Rat::int(k), strict);
+        for &(v, n) in terms {
+            out.add_term(v, Rat::int(n)).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        assert_eq!(rational_sat(&[]), RatSat::Sat);
+    }
+
+    #[test]
+    fn ground_contradiction_is_unsat() {
+        // 1 ≤ 0
+        assert_eq!(rational_sat(&[c(&[], 1, false)]), RatSat::Unsat);
+        // 0 < 0
+        assert_eq!(rational_sat(&[c(&[], 0, true)]), RatSat::Unsat);
+        // 0 ≤ 0 holds
+        assert_eq!(rational_sat(&[c(&[], 0, false)]), RatSat::Sat);
+    }
+
+    #[test]
+    fn box_constraints_sat() {
+        // 0 ≤ x ≤ 5  ⟺  -x ≤ 0, x - 5 ≤ 0
+        assert_eq!(rational_sat(&[c(&[(0, -1)], 0, false), c(&[(0, 1)], -5, false)]), RatSat::Sat);
+    }
+
+    #[test]
+    fn contradictory_bounds_unsat() {
+        // x ≤ 0 and x ≥ 1: x ≤ 0, 1 - x ≤ 0
+        assert_eq!(rational_sat(&[c(&[(0, 1)], 0, false), c(&[(0, -1)], 1, false)]), RatSat::Unsat);
+    }
+
+    #[test]
+    fn strictness_matters_over_rationals() {
+        // x ≤ 0 ∧ x ≥ 0 is SAT (x = 0) but x < 0 ∧ x ≥ 0 is UNSAT.
+        assert_eq!(rational_sat(&[c(&[(0, 1)], 0, false), c(&[(0, -1)], 0, false)]), RatSat::Sat);
+        assert_eq!(rational_sat(&[c(&[(0, 1)], 0, true), c(&[(0, -1)], 0, false)]), RatSat::Unsat);
+    }
+
+    #[test]
+    fn integer_gap_is_rationally_sat() {
+        // 2x = 1: 2x - 1 ≤ 0 ∧ 1 - 2x ≤ 0. Rationally SAT at x = 1/2 —
+        // the enumerator, not this eliminator, rules out integer models.
+        assert_eq!(rational_sat(&[c(&[(0, 2)], -1, false), c(&[(0, -2)], 1, false)]), RatSat::Sat);
+    }
+
+    #[test]
+    fn transitive_chain_unsat() {
+        // x ≤ y ∧ y ≤ z ∧ z ≤ x - 1 is UNSAT:
+        // x - y ≤ 0, y - z ≤ 0, z - x + 1 ≤ 0.
+        let sys = [
+            c(&[(0, 1), (1, -1)], 0, false),
+            c(&[(1, 1), (2, -1)], 0, false),
+            c(&[(2, 1), (0, -1)], 1, false),
+        ];
+        assert_eq!(rational_sat(&sys), RatSat::Unsat);
+    }
+
+    #[test]
+    fn multi_var_sat() {
+        // x + y ≤ 3 ∧ x ≥ 1 ∧ y ≥ 1.
+        let sys =
+            [c(&[(0, 1), (1, 1)], -3, false), c(&[(0, -1)], 1, false), c(&[(1, -1)], 1, false)];
+        assert_eq!(rational_sat(&sys), RatSat::Sat);
+    }
+}

@@ -1,0 +1,136 @@
+//! Seeded random generation of solver goals.
+//!
+//! Goals stay inside the fragment where the oracle is meaningful: small
+//! integer contexts (≤ 3 variables), linear atoms with coefficients in
+//! `[-3, 3]` and constants in `[-6, 6]`, occasional disjunctive
+//! hypotheses and conjunctive conclusions, every comparison operator
+//! including `=` and `<>`. Constants stay well inside the enumerator's
+//! default `[-5, 5]` box and the solver's witness-search box (`[-8, 8]`,
+//! ≤ 4 variables), so most falsifiable goals get concrete refutations
+//! from both sides. Combined atoms can still push the first satisfiable
+//! disjunct's witnesses outside the box (`x = 8` negates to `x > 8`
+//! first), which is why the harness treats solver `Unknown` on an
+//! oracle-*refuted* goal as in-contract and only flags `Unknown` on an
+//! oracle-*proven* one.
+
+use crate::rng::OracleRng;
+use dml_index::{Cmp, IExp, Prop, Sort, Var, VarGen};
+use dml_solver::Goal;
+
+/// Tunables for the goal generator (defaults match the oracle's domain).
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum context variables (all integer-sorted).
+    pub max_vars: usize,
+    /// Maximum hypotheses (before optional nat-guards).
+    pub max_hyps: usize,
+    /// Coefficient magnitude bound.
+    pub coeff_bound: i64,
+    /// Constant magnitude bound.
+    pub const_bound: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_vars: 3, max_hyps: 4, coeff_bound: 3, const_bound: 6 }
+    }
+}
+
+/// Generates one random goal. Variable names are `x0`, `x1`, … with ids
+/// drawn from `gen`, so callers control id disjointness.
+pub fn gen_goal(rng: &mut OracleRng, gen: &mut VarGen, cfg: &GenConfig) -> Goal {
+    let nvars = 1 + rng.below(cfg.max_vars as u64) as usize;
+    let vars: Vec<Var> = (0..nvars).map(|i| gen.fresh(&format!("x{i}"))).collect();
+    let mut hyps = Vec::new();
+    // Nat-style sort guards, like the elaborator emits for `{n:nat}`.
+    for v in &vars {
+        if rng.chance(1, 2) {
+            hyps.push(Prop::le(IExp::lit(0), IExp::var(v.clone())));
+        }
+    }
+    let nhyps = rng.below(cfg.max_hyps as u64 + 1) as usize;
+    for _ in 0..nhyps {
+        let atom = gen_atom(rng, &vars, cfg);
+        // Occasional disjunctive hypothesis exercises the DNF path.
+        if rng.chance(1, 4) {
+            hyps.push(atom.or(gen_atom(rng, &vars, cfg)));
+        } else {
+            hyps.push(atom);
+        }
+    }
+    let concl = if rng.chance(1, 5) {
+        gen_atom(rng, &vars, cfg).and(gen_atom(rng, &vars, cfg))
+    } else {
+        gen_atom(rng, &vars, cfg)
+    };
+    let ctx = vars.into_iter().map(|v| (v, Sort::Int)).collect();
+    Goal { ctx, hyps, concl, residual_existential: false }
+}
+
+/// One random linear comparison atom over the context variables.
+fn gen_atom(rng: &mut OracleRng, vars: &[Var], cfg: &GenConfig) -> Prop {
+    const OPS: [Cmp; 6] = [Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge, Cmp::Eq, Cmp::Ne];
+    let op = *rng.pick(&OPS);
+    Prop::cmp(op, gen_expr(rng, vars, cfg), gen_expr(rng, vars, cfg))
+}
+
+/// A random linear expression: up to two coefficient·variable terms plus
+/// an optional constant.
+fn gen_expr(rng: &mut OracleRng, vars: &[Var], cfg: &GenConfig) -> IExp {
+    let mut e: Option<IExp> = None;
+    let nterms = rng.below(3);
+    for _ in 0..nterms {
+        let v = rng.pick(vars).clone();
+        let c = rng.int_in(-cfg.coeff_bound, cfg.coeff_bound);
+        let term = match c {
+            0 => continue,
+            1 => IExp::var(v),
+            c => IExp::lit(c) * IExp::var(v),
+        };
+        e = Some(match e {
+            None => term,
+            Some(prev) => prev + term,
+        });
+    }
+    let k = rng.int_in(-cfg.const_bound, cfg.const_bound);
+    match e {
+        None => IExp::lit(k),
+        Some(prev) if k == 0 => prev,
+        Some(prev) => prev + IExp::lit(k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = GenConfig::default();
+        let mut r1 = OracleRng::new(42);
+        let mut g1 = VarGen::new();
+        let mut r2 = OracleRng::new(42);
+        let mut g2 = VarGen::new();
+        for _ in 0..50 {
+            assert_eq!(gen_goal(&mut r1, &mut g1, &cfg), gen_goal(&mut r2, &mut g2, &cfg));
+        }
+    }
+
+    #[test]
+    fn stays_in_the_linear_small_fragment() {
+        let cfg = GenConfig::default();
+        let mut rng = OracleRng::new(7);
+        let mut gen = VarGen::new();
+        for _ in 0..200 {
+            let g = gen_goal(&mut rng, &mut gen, &cfg);
+            assert!(!g.ctx.is_empty() && g.ctx.len() <= cfg.max_vars);
+            assert!(g.ctx.iter().all(|(_, s)| s.is_int()));
+            // Every free variable is bound by the context.
+            for p in g.hyps.iter().chain(std::iter::once(&g.concl)) {
+                for v in p.free_vars() {
+                    assert!(g.ctx.iter().any(|(w, _)| *w == v), "{v} escapes the context");
+                }
+            }
+        }
+    }
+}

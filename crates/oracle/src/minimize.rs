@@ -1,0 +1,165 @@
+//! Greedy shrinking of diverging goals.
+//!
+//! Given a goal and a predicate ("this goal still reproduces the
+//! divergence"), repeatedly applies reductions — drop a hypothesis,
+//! replace a disjunctive hypothesis with one branch, drop an unused
+//! context variable, pull every literal halfway toward zero — keeping any
+//! reduction under which the predicate still holds, until a fixpoint. The
+//! result is the goal written to the repro file, so reports stay small and
+//! readable.
+
+use dml_index::{IExp, Prop};
+use dml_solver::Goal;
+
+/// Upper bound on accepted reductions, a safety valve against predicates
+/// that oscillate.
+const MAX_STEPS: usize = 200;
+
+/// Shrinks `goal` while `still_diverges` holds. The returned goal always
+/// satisfies the predicate (it is the input if nothing shrinks).
+pub fn minimize(goal: &Goal, mut still_diverges: impl FnMut(&Goal) -> bool) -> Goal {
+    let mut cur = goal.clone();
+    let mut steps = 0;
+    loop {
+        let mut shrunk = false;
+        for candidate in candidates(&cur) {
+            if still_diverges(&candidate) {
+                cur = candidate;
+                shrunk = true;
+                steps += 1;
+                break;
+            }
+        }
+        if !shrunk || steps >= MAX_STEPS {
+            return cur;
+        }
+    }
+}
+
+/// Candidate one-step reductions, smallest-effect first.
+fn candidates(goal: &Goal) -> Vec<Goal> {
+    let mut out = Vec::new();
+    // Drop each hypothesis.
+    for i in 0..goal.hyps.len() {
+        let mut g = goal.clone();
+        g.hyps.remove(i);
+        out.push(g);
+    }
+    // Replace each Or-hypothesis with a single branch.
+    for (i, h) in goal.hyps.iter().enumerate() {
+        if let Prop::Or(a, b) = h {
+            for branch in [a, b] {
+                let mut g = goal.clone();
+                g.hyps[i] = (**branch).clone();
+                out.push(g);
+            }
+        }
+    }
+    // Drop context variables no proposition mentions.
+    for i in 0..goal.ctx.len() {
+        let v = &goal.ctx[i].0;
+        let used =
+            goal.hyps.iter().chain(std::iter::once(&goal.concl)).any(|p| p.free_vars().contains(v));
+        if !used {
+            let mut g = goal.clone();
+            g.ctx.remove(i);
+            out.push(g);
+        }
+    }
+    // Halve every literal toward zero (a coarse global shrink).
+    let halved = Goal {
+        ctx: goal.ctx.clone(),
+        hyps: goal.hyps.iter().map(shrink_prop).collect(),
+        concl: shrink_prop(&goal.concl),
+        residual_existential: goal.residual_existential,
+    };
+    if halved != *goal {
+        out.push(halved);
+    }
+    out
+}
+
+fn shrink_prop(p: &Prop) -> Prop {
+    match p {
+        Prop::True | Prop::False | Prop::BVar(_) => p.clone(),
+        Prop::Not(q) => Prop::Not(Box::new(shrink_prop(q))),
+        Prop::And(a, b) => Prop::And(Box::new(shrink_prop(a)), Box::new(shrink_prop(b))),
+        Prop::Or(a, b) => Prop::Or(Box::new(shrink_prop(a)), Box::new(shrink_prop(b))),
+        Prop::Cmp(op, a, b) => Prop::Cmp(*op, shrink_iexp(a), shrink_iexp(b)),
+    }
+}
+
+fn shrink_iexp(e: &IExp) -> IExp {
+    match e {
+        IExp::Var(_) => e.clone(),
+        IExp::Lit(n) => IExp::lit(n / 2),
+        IExp::Add(a, b) => IExp::Add(Box::new(shrink_iexp(a)), Box::new(shrink_iexp(b))),
+        IExp::Sub(a, b) => IExp::Sub(Box::new(shrink_iexp(a)), Box::new(shrink_iexp(b))),
+        IExp::Mul(a, b) => IExp::Mul(Box::new(shrink_iexp(a)), Box::new(shrink_iexp(b))),
+        IExp::Div(a, b) => shrink_iexp(a).div(shrink_iexp(b)),
+        IExp::Mod(a, b) => shrink_iexp(a).modulo(shrink_iexp(b)),
+        IExp::Min(a, b) => shrink_iexp(a).min(shrink_iexp(b)),
+        IExp::Max(a, b) => shrink_iexp(a).max(shrink_iexp(b)),
+        IExp::Abs(a) => shrink_iexp(a).abs(),
+        IExp::Sgn(a) => shrink_iexp(a).sgn(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::{Sort, VarGen};
+
+    #[test]
+    fn drops_irrelevant_hypotheses() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let y = g.fresh("y");
+        let goal = Goal {
+            ctx: vec![(x.clone(), Sort::Int), (y.clone(), Sort::Int)],
+            hyps: vec![
+                Prop::le(IExp::var(y.clone()), IExp::lit(6)),
+                Prop::le(IExp::lit(1), IExp::var(x.clone())),
+                Prop::le(IExp::var(y), IExp::lit(4)),
+            ],
+            concl: Prop::le(IExp::lit(0), IExp::var(x.clone())),
+            residual_existential: false,
+        };
+        // Predicate: the goal still mentions x in a hypothesis (a stand-in
+        // for "still diverges").
+        let min = minimize(&goal, |g| g.hyps.iter().any(|h| h.free_vars().contains(&x)));
+        assert_eq!(min.hyps.len(), 1, "irrelevant hyps dropped: {min}");
+        assert_eq!(min.ctx.len(), 1, "unused ctx var dropped");
+    }
+
+    #[test]
+    fn keeps_the_input_when_nothing_shrinks() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let goal = Goal {
+            ctx: vec![(x.clone(), Sort::Int)],
+            hyps: vec![],
+            concl: Prop::le(IExp::lit(0), IExp::var(x)),
+            residual_existential: false,
+        };
+        let min = minimize(&goal, |g| g == &goal);
+        assert_eq!(min, goal);
+    }
+
+    #[test]
+    fn shrinks_literals_toward_zero() {
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let goal = Goal {
+            ctx: vec![(x.clone(), Sort::Int)],
+            hyps: vec![],
+            concl: Prop::le(IExp::lit(100), IExp::var(x.clone())),
+            residual_existential: false,
+        };
+        let min = minimize(&goal, |g| matches!(&g.concl, Prop::Cmp(_, IExp::Lit(n), _) if *n > 3));
+        match &min.concl {
+            Prop::Cmp(_, IExp::Lit(n), _) => assert!(*n > 3 && *n <= 6, "halved down: {n}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

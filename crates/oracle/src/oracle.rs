@@ -1,0 +1,347 @@
+//! The combined reference oracle: bounded enumeration + exact-rational FM.
+//!
+//! A goal `∀ctx. hyps ⊃ concl` is valid over the integers iff its negation
+//! `hyps ∧ ¬concl` has no integer model. The oracle attacks the negation
+//! from both sides with the two independent deciders:
+//!
+//! * the [bounded enumerator](crate::enumerate) finds concrete integer
+//!   countermodels — a hit means the goal is **definitely invalid**;
+//! * the [exact-rational eliminator](crate::fm) proves rational (hence
+//!   integer) unsatisfiability — a refutation means the goal is
+//!   **definitely valid**.
+//!
+//! When the negation is rationally satisfiable but has no small integer
+//! model the oracle answers [`OracleVerdict::Unknown`] (this is where
+//! integer tightening lives, e.g. `2x = 1`); the differential harness only
+//! flags solver verdicts that contradict a *definite* oracle answer.
+//!
+//! The DNF expansion and linearization here are written against
+//! `dml_index` types directly and share no code with `crates/solver`.
+//! `div`/`mod`/`min`/`max`/`abs`/`sgn` atoms make the rational side
+//! decline (the enumerator still handles them with surface semantics).
+
+use crate::enumerate::find_model;
+use crate::fm::{rational_sat, RatConstraint, RatSat};
+use crate::rat::Rat;
+use dml_index::{Cmp, IExp, Prop, Var};
+use dml_solver::Goal;
+use std::collections::BTreeMap;
+
+/// The oracle's answer about a goal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// The negation is rationally unsatisfiable: the goal is valid over
+    /// the integers. Certified by the exact-rational eliminator.
+    Proven,
+    /// A concrete integer countermodel of `hyps ∧ ¬concl`, found by the
+    /// bounded enumerator. Pairs are `(variable name, value)`.
+    Refuted(Vec<(String, i64)>),
+    /// Neither decider reached a definite answer within its domain.
+    Unknown,
+}
+
+/// Default half-width of the enumeration box.
+pub const DEFAULT_BOUND: i64 = 5;
+
+/// Cap on oracle-side DNF disjuncts; beyond it the rational side declines.
+const MAX_DISJUNCTS: usize = 512;
+
+/// Decides a goal with both reference deciders (see module docs).
+/// `bound` is the enumeration half-width; [`DEFAULT_BOUND`] suits the
+/// fuzz generator's constant range.
+pub fn decide(goal: &Goal, bound: i64) -> OracleVerdict {
+    // The negation: hyps ∧ ¬concl, in surface Prop form.
+    let mut negation: Vec<Prop> = goal.hyps.clone();
+    negation.push(goal.concl.clone().negate());
+
+    if let Some(model) = find_model(&goal.ctx, &negation, bound) {
+        let mut named: Vec<(String, i64)> =
+            model.iter().map(|(v, n)| (v.name().to_string(), *n)).collect();
+        named.sort();
+        return OracleVerdict::Refuted(named);
+    }
+
+    // Rational side: expand the conjunction of NNF'd props into DNF and
+    // refute every disjunct exactly.
+    let conj = negation.into_iter().fold(Prop::True, |acc, p| acc.and(p)).nnf();
+    let Some(disjuncts) = dnf(&conj) else {
+        return OracleVerdict::Unknown;
+    };
+    for clause in &disjuncts {
+        match clause_sat(clause) {
+            RatSat::Unsat => continue,
+            RatSat::Sat | RatSat::Unknown => return OracleVerdict::Unknown,
+        }
+    }
+    OracleVerdict::Proven
+}
+
+/// A DNF literal: a comparison atom or a (possibly negated) boolean
+/// variable. `Ne` atoms are split into `<`/`>` disjuncts during expansion.
+#[derive(Debug, Clone)]
+enum Lit {
+    Cmp(Cmp, IExp, IExp),
+    Bool(Var, bool),
+    Never,
+}
+
+/// Expands an NNF proposition into DNF clauses; `None` past the cap.
+fn dnf(p: &Prop) -> Option<Vec<Vec<Lit>>> {
+    let clauses = match p {
+        Prop::True => vec![Vec::new()],
+        Prop::False => vec![vec![Lit::Never]],
+        Prop::BVar(v) => vec![vec![Lit::Bool(v.clone(), true)]],
+        Prop::Not(q) => match q.as_ref() {
+            Prop::BVar(v) => vec![vec![Lit::Bool(v.clone(), false)]],
+            other => dnf(&other.clone().negate().nnf())?,
+        },
+        Prop::Cmp(Cmp::Ne, a, b) => vec![
+            vec![Lit::Cmp(Cmp::Lt, a.clone(), b.clone())],
+            vec![Lit::Cmp(Cmp::Gt, a.clone(), b.clone())],
+        ],
+        Prop::Cmp(op, a, b) => vec![vec![Lit::Cmp(*op, a.clone(), b.clone())]],
+        Prop::Or(a, b) => {
+            let mut l = dnf(a)?;
+            l.extend(dnf(b)?);
+            l
+        }
+        Prop::And(a, b) => {
+            let l = dnf(a)?;
+            let r = dnf(b)?;
+            let mut out = Vec::with_capacity(l.len().checked_mul(r.len())?);
+            for x in &l {
+                for y in &r {
+                    let mut clause = x.clone();
+                    clause.extend(y.iter().cloned());
+                    out.push(clause);
+                }
+            }
+            out
+        }
+    };
+    if clauses.len() > MAX_DISJUNCTS {
+        None
+    } else {
+        Some(clauses)
+    }
+}
+
+/// Decides one DNF clause with the rational eliminator.
+fn clause_sat(clause: &[Lit]) -> RatSat {
+    let mut sys: Vec<RatConstraint> = Vec::new();
+    for lit in clause {
+        match lit {
+            Lit::Never => return RatSat::Unsat,
+            Lit::Bool(v, val) => {
+                // β = 0 or β = 1 as two inequalities over the rationals.
+                let target = Rat::int(i64::from(*val));
+                for sign in [1, -1] {
+                    let mut c = RatConstraint::constant(
+                        if sign == 1 { target.neg() } else { target },
+                        false,
+                    );
+                    if c.add_term(v.id(), Rat::int(sign)).is_none() {
+                        return RatSat::Unknown;
+                    }
+                    sys.push(c);
+                }
+            }
+            Lit::Cmp(op, a, b) => {
+                let (Some(la), Some(lb)) = (rat_linear(a), rat_linear(b)) else {
+                    return RatSat::Unknown;
+                };
+                let Some(diff) = lin_sub(&la, &lb) else {
+                    return RatSat::Unknown;
+                };
+                // diff = a - b; encode op as constraints on diff.
+                let push = |sys: &mut Vec<RatConstraint>, lin: RatLinear, strict: bool| {
+                    sys.push(RatConstraint { coeffs: lin.0, constant: lin.1, strict });
+                };
+                match op {
+                    Cmp::Le => push(&mut sys, diff, false),
+                    Cmp::Lt => push(&mut sys, diff, true),
+                    Cmp::Ge => match lin_neg(&diff) {
+                        Some(n) => push(&mut sys, n, false),
+                        None => return RatSat::Unknown,
+                    },
+                    Cmp::Gt => match lin_neg(&diff) {
+                        Some(n) => push(&mut sys, n, true),
+                        None => return RatSat::Unknown,
+                    },
+                    Cmp::Eq => match lin_neg(&diff) {
+                        Some(n) => {
+                            push(&mut sys, diff, false);
+                            push(&mut sys, n, false);
+                        }
+                        None => return RatSat::Unknown,
+                    },
+                    Cmp::Ne => unreachable!("Ne split during DNF expansion"),
+                }
+            }
+        }
+    }
+    rational_sat(&sys)
+}
+
+/// A rational linear form: coefficients by variable id plus a constant.
+type RatLinear = (BTreeMap<u32, Rat>, Rat);
+
+/// Linearizes an index expression over the rationals, or `None` if it
+/// contains `div`/`mod`/`min`/`max`/`abs`/`sgn`, a product of two
+/// non-constants, or overflows.
+fn rat_linear(e: &IExp) -> Option<RatLinear> {
+    match e {
+        IExp::Var(v) => {
+            let mut m = BTreeMap::new();
+            m.insert(v.id(), Rat::int(1));
+            Some((m, Rat::zero()))
+        }
+        IExp::Lit(n) => Some((BTreeMap::new(), Rat::int(*n))),
+        IExp::Add(a, b) => lin_add(&rat_linear(a)?, &rat_linear(b)?),
+        IExp::Sub(a, b) => lin_sub(&rat_linear(a)?, &rat_linear(b)?),
+        IExp::Mul(a, b) => {
+            let la = rat_linear(a)?;
+            let lb = rat_linear(b)?;
+            if la.0.is_empty() {
+                lin_scale(&lb, &la.1)
+            } else if lb.0.is_empty() {
+                lin_scale(&la, &lb.1)
+            } else {
+                None
+            }
+        }
+        // Integer division/remainder and the piecewise operators have no
+        // exact rational linearization; the rational side declines.
+        IExp::Div(..)
+        | IExp::Mod(..)
+        | IExp::Min(..)
+        | IExp::Max(..)
+        | IExp::Abs(_)
+        | IExp::Sgn(_) => None,
+    }
+}
+
+fn lin_add(a: &RatLinear, b: &RatLinear) -> Option<RatLinear> {
+    let mut coeffs = a.0.clone();
+    for (&v, c) in &b.0 {
+        let cur = coeffs.remove(&v).unwrap_or_else(Rat::zero);
+        let next = cur.add(c)?;
+        if !next.is_zero() {
+            coeffs.insert(v, next);
+        }
+    }
+    Some((coeffs, a.1.add(&b.1)?))
+}
+
+fn lin_neg(a: &RatLinear) -> Option<RatLinear> {
+    lin_scale(a, &Rat::int(-1))
+}
+
+fn lin_sub(a: &RatLinear, b: &RatLinear) -> Option<RatLinear> {
+    lin_add(a, &lin_neg(b)?)
+}
+
+fn lin_scale(a: &RatLinear, k: &Rat) -> Option<RatLinear> {
+    let mut coeffs = BTreeMap::new();
+    for (&v, c) in &a.0 {
+        let next = c.mul(k)?;
+        if !next.is_zero() {
+            coeffs.insert(v, next);
+        }
+    }
+    Some((coeffs, a.1.mul(k)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::{Sort, VarGen};
+
+    fn goal(ctx: Vec<(Var, Sort)>, hyps: Vec<Prop>, concl: Prop) -> Goal {
+        Goal { ctx, hyps, concl, residual_existential: false }
+    }
+
+    #[test]
+    fn proves_a_valid_entailment() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let hyps = vec![
+            Prop::le(IExp::lit(0), IExp::var(n.clone())),
+            Prop::lt(IExp::var(n.clone()), IExp::lit(5)),
+        ];
+        let concl = Prop::le(IExp::var(n.clone()), IExp::lit(10));
+        assert_eq!(
+            decide(&goal(vec![(n, Sort::Int)], hyps, concl), DEFAULT_BOUND),
+            OracleVerdict::Proven
+        );
+    }
+
+    #[test]
+    fn refutes_with_a_concrete_model() {
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let hyps = vec![Prop::le(IExp::lit(0), IExp::var(n.clone()))];
+        let concl = Prop::lt(IExp::var(n.clone()), IExp::lit(3));
+        match decide(&goal(vec![(n, Sort::Int)], hyps, concl), DEFAULT_BOUND) {
+            OracleVerdict::Refuted(model) => assert_eq!(model, vec![("n".to_string(), 3)]),
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightening_gap_is_unknown() {
+        // hyps: 2x = 1 (integer-unsat but rationally sat), concl: false.
+        // The goal is vacuously valid over the integers, but neither
+        // decider can certify that: no integer model of the negation
+        // exists (enumerator silent) and the rational relaxation is
+        // satisfiable. This is precisely the integer-tightening gap.
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let hyps = vec![Prop::eq(IExp::lit(2) * IExp::var(x.clone()), IExp::lit(1))];
+        assert_eq!(
+            decide(&goal(vec![(x, Sort::Int)], hyps, Prop::False), DEFAULT_BOUND),
+            OracleVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn disjunctive_hypotheses_expand() {
+        // (n = 1 ∨ n = 2) ⊢ n ≤ 2 is valid.
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let hyps = vec![Prop::eq(IExp::var(n.clone()), IExp::lit(1))
+            .or(Prop::eq(IExp::var(n.clone()), IExp::lit(2)))];
+        let concl = Prop::le(IExp::var(n.clone()), IExp::lit(2));
+        assert_eq!(
+            decide(&goal(vec![(n, Sort::Int)], hyps, concl), DEFAULT_BOUND),
+            OracleVerdict::Proven
+        );
+    }
+
+    #[test]
+    fn ne_conclusion_splits() {
+        // 1 ≤ n ⊢ n ≠ 0 is valid (¬concl is n = 0, contradicting 1 ≤ n).
+        let mut g = VarGen::new();
+        let n = g.fresh("n");
+        let hyps = vec![Prop::le(IExp::lit(1), IExp::var(n.clone()))];
+        let concl = Prop::cmp(Cmp::Ne, IExp::var(n.clone()), IExp::lit(0));
+        assert_eq!(
+            decide(&goal(vec![(n, Sort::Int)], hyps, concl), DEFAULT_BOUND),
+            OracleVerdict::Proven
+        );
+    }
+
+    #[test]
+    fn nonlinear_negation_declines_to_unknown_or_refutes() {
+        // x * x = 4 ⊢ x = 2 has countermodel x = -2: the enumerator finds
+        // it even though the rational side cannot linearize the square.
+        let mut g = VarGen::new();
+        let x = g.fresh("x");
+        let hyps = vec![Prop::eq(IExp::var(x.clone()) * IExp::var(x.clone()), IExp::lit(4))];
+        let concl = Prop::eq(IExp::var(x.clone()), IExp::lit(2));
+        match decide(&goal(vec![(x, Sort::Int)], hyps, concl), DEFAULT_BOUND) {
+            OracleVerdict::Refuted(model) => assert_eq!(model, vec![("x".to_string(), -2)]),
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end property cases over generated DML programs.
+//!
+//! Each case instantiates a tiny array-indexing program template, compiles
+//! it permissively (residual checks stay in) and strictly (compile fails
+//! unless fully verified), and runs it under two interpreter
+//! configurations:
+//!
+//! * `Mode::Checked` — every bound check executes;
+//! * `Mode::Eliminated` with validation — proven checks are skipped, and
+//!   any out-of-bounds access through a "proven" site aborts with
+//!   `UnsoundElimination`.
+//!
+//! Properties asserted per case:
+//!
+//! 1. both runs produce the same result (value-equal, or both errors);
+//! 2. eliminated + executed checks in eliminated mode equals executed
+//!    checks in checked mode — no access is silently dropped;
+//! 3. every check executed in eliminated mode is counted as residual —
+//!    the residual counter never undercounts actual array accesses;
+//! 4. if the strict compile succeeds, the permissive compile has zero
+//!    residual checks and eliminated mode executes zero array checks;
+//! 5. validation never fires (`UnsoundElimination` would mean the solver
+//!    proved a falsifiable bound).
+//!
+//! Call arguments always satisfy the `where`-clause refinement — the
+//! dependent type is a caller-side contract, so out-of-contract calls
+//! prove nothing about the solver. Templates with unprovable guards get
+//! occasionally out-of-*bounds* (but in-contract) indices to exercise the
+//! residual-error path in both modes.
+
+use crate::rng::OracleRng;
+use dml::{CheckConfig, Compiler, Mode, PipelineError};
+use dml_eval::value::{value_eq, Value};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// One array-indexing template: index expression, refinement guard (empty
+/// string = no guard), and whether the solver is expected to prove it.
+struct Template {
+    idx: &'static str,
+    guard: &'static str,
+    provable: bool,
+}
+
+const TEMPLATES: [Template; 7] = [
+    Template { idx: "i", guard: "i < n", provable: true },
+    Template { idx: "i + 1", guard: "i + 1 < n", provable: true },
+    Template { idx: "0", guard: "n > 0", provable: true },
+    Template { idx: "length(v) - 1", guard: "n > 0", provable: true },
+    // i <= n admits i = n: out of bounds, so not provable.
+    Template { idx: "i", guard: "i <= n", provable: false },
+    // i - 1 >= 0 holds, but i - 1 < n needs i <= n which the guard lacks.
+    Template { idx: "i - 1", guard: "i > 0", provable: false },
+    Template { idx: "i", guard: "", provable: false },
+];
+
+/// A generated case: the program source and a contract-respecting call.
+pub struct ProgramCase {
+    /// DML source of the program.
+    pub source: String,
+    /// Array length `n`.
+    pub len: i64,
+    /// Index argument `i` (always satisfies the guard; may be out of
+    /// bounds when the template is unprovable).
+    pub arg: i64,
+    /// Whether the bound obligation should be proven.
+    pub provable: bool,
+}
+
+/// Generates one program case from the template pool.
+pub fn gen_program(rng: &mut OracleRng) -> ProgramCase {
+    let t = rng.pick(&TEMPLATES);
+    let len = rng.int_in(2, 6);
+    // Pick `i` satisfying the guard; for unprovable templates let it
+    // wander out of bounds sometimes.
+    let arg = match t.guard {
+        "i < n" => rng.int_in(0, len - 1),
+        "i + 1 < n" => rng.int_in(0, len - 2),
+        "i <= n" => rng.int_in(0, len),
+        "i > 0" => rng.int_in(1, len + 1),
+        _ => rng.int_in(0, len),
+    };
+    let refinement = if t.guard.is_empty() {
+        "{n:nat, i:nat}".to_string()
+    } else {
+        format!("{{n:nat, i:nat | {}}}", t.guard)
+    };
+    let source = format!(
+        "fun f(v, i) = sub(v, {})\nwhere f <| {} int array(n) * int(i) -> int\n",
+        t.idx, refinement
+    );
+    ProgramCase { source, len, arg, provable: t.provable }
+}
+
+/// Runs one end-to-end case; `Err` carries a deterministic description of
+/// the violated property (with the program source inline).
+pub fn check_program_case(rng: &mut OracleRng) -> Result<(), String> {
+    let case = gen_program(rng);
+    let fail = |what: &str| {
+        Err(format!(
+            "{what} (len={}, i={}, provable={})\n--- source ---\n{}",
+            case.len, case.arg, case.provable, case.source
+        ))
+    };
+
+    let permissive = match Compiler::new().workers(1).compile(&case.source) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("permissive compile failed: {e}")),
+    };
+    let strict = Compiler::new().workers(1).strict(true).compile(&case.source);
+    match (&strict, case.provable) {
+        (Ok(_), false) => return fail("strict compile succeeded on an unprovable template"),
+        (Err(PipelineError::Unproven(_)), true) => {
+            return fail("strict compile rejected a provable template")
+        }
+        (Err(e), true) => return fail(&format!("strict compile failed unexpectedly: {e}")),
+        _ => {}
+    }
+    if strict.is_ok() && !permissive.residual_checks().is_empty() {
+        return fail("strict compile succeeded but permissive left residual checks");
+    }
+
+    let args = |case: &ProgramCase| {
+        vec![Value::Tuple(Rc::new(vec![
+            Value::int_array((0..case.len).map(|k| k * 10)),
+            Value::Int(case.arg),
+        ]))]
+    };
+    let mut checked = permissive.machine(Mode::Checked);
+    let mut elim =
+        permissive.machine_with(CheckConfig::eliminated(HashSet::new()).with_validation());
+    let r_checked = checked.call("f", args(&case));
+    let r_elim = elim.call("f", args(&case));
+
+    match (&r_checked, &r_elim) {
+        (Ok(a), Ok(b)) if !value_eq(a, b) => {
+            return fail(&format!("result mismatch: checked={a} eliminated={b}"))
+        }
+        (Ok(a), Err(e)) => {
+            return fail(&format!("checked succeeded ({a}) but eliminated failed: {e}"))
+        }
+        (Err(e), Ok(b)) => {
+            return fail(&format!("checked failed ({e}) but eliminated succeeded ({b})"))
+        }
+        _ => {}
+    }
+
+    let c = &checked.counters;
+    let e = &elim.counters;
+    if e.array_checks_eliminated + e.array_checks_executed != c.array_checks_executed {
+        return fail(&format!(
+            "check accounting broken: eliminated {} + executed {} != checked-mode executed {}",
+            e.array_checks_eliminated, e.array_checks_executed, c.array_checks_executed
+        ));
+    }
+    if e.array_checks_residual != e.array_checks_executed {
+        return fail(&format!(
+            "residual counter undercounts: residual {} != executed {} in eliminated mode",
+            e.array_checks_residual, e.array_checks_executed
+        ));
+    }
+    if strict.is_ok() && e.array_checks_executed != 0 {
+        return fail("fully verified program still executed array checks in eliminated mode");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_hold_across_many_cases() {
+        let mut rng = OracleRng::new(3);
+        for _ in 0..40 {
+            if let Err(e) = check_program_case(&mut rng) {
+                panic!("program case diverged:\n{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = OracleRng::new(9);
+        let mut b = OracleRng::new(9);
+        for _ in 0..20 {
+            let ca = gen_program(&mut a);
+            let cb = gen_program(&mut b);
+            assert_eq!(ca.source, cb.source);
+            assert_eq!((ca.len, ca.arg), (cb.len, cb.arg));
+        }
+    }
+
+    #[test]
+    fn arguments_respect_the_contract() {
+        let mut rng = OracleRng::new(11);
+        for _ in 0..200 {
+            let c = gen_program(&mut rng);
+            assert!(c.arg >= 0, "i is a nat");
+            assert!((2..=6).contains(&c.len));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Exact rational arithmetic for the reference Fourier–Motzkin eliminator.
+//!
+//! `Rat` is a normalized `i128` fraction (positive denominator, reduced by
+//! the GCD). Every operation is overflow-checked and returns `None` on
+//! overflow, so the oracle either answers exactly or declines — it never
+//! silently wraps. For the small-coefficient goals the fuzz generator
+//! produces, overflow does not occur in practice.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A normalized exact rational number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// The rational `n/1`.
+    pub fn int(n: i64) -> Rat {
+        Rat { num: i128::from(n), den: 1 }
+    }
+
+    /// Zero.
+    pub fn zero() -> Rat {
+        Rat::int(0)
+    }
+
+    /// Builds `num/den`, normalizing sign and common factors. `None` if
+    /// `den == 0`.
+    pub fn new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd128(num, den).max(1);
+        Some(Rat { num: sign * (num / g), den: (den / g).abs() })
+    }
+
+    /// The numerator (denominator is always positive).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The (positive) denominator.
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` if this is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Checked addition.
+    pub fn add(&self, o: &Rat) -> Option<Rat> {
+        let num = self.num.checked_mul(o.den)?.checked_add(o.num.checked_mul(self.den)?)?;
+        Rat::new(num, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, o: &Rat) -> Option<Rat> {
+        self.add(&o.neg())
+    }
+
+    /// Checked multiplication.
+    pub fn mul(&self, o: &Rat) -> Option<Rat> {
+        Rat::new(self.num.checked_mul(o.num)?, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked division. `None` when dividing by zero (or on overflow).
+    pub fn div(&self, o: &Rat) -> Option<Rat> {
+        if o.is_zero() {
+            return None;
+        }
+        Rat::new(self.num.checked_mul(o.den)?, self.den.checked_mul(o.num)?)
+    }
+
+    /// Negation (never overflows for normalized values produced from
+    /// `i64` inputs).
+    pub fn neg(&self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves
+        // order. i128 headroom makes this safe for values built from i64.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_sign_and_gcd() {
+        let r = Rat::new(4, -6).unwrap();
+        assert_eq!((r.numer(), r.denom()), (-2, 3));
+        assert_eq!(r.to_string(), "-2/3");
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 6).unwrap();
+        assert_eq!(a.add(&b).unwrap(), Rat::new(1, 2).unwrap());
+        assert_eq!(a.sub(&b).unwrap(), b);
+        assert_eq!(a.mul(&b).unwrap(), Rat::new(1, 18).unwrap());
+        assert_eq!(a.div(&b).unwrap(), Rat::int(2));
+    }
+
+    #[test]
+    fn ordering_by_cross_multiplication() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(Rat::int(-1) < Rat::zero());
+    }
+
+    #[test]
+    fn division_by_zero_declines() {
+        assert!(Rat::int(1).div(&Rat::zero()).is_none());
+        assert!(Rat::new(1, 0).is_none());
+    }
+}

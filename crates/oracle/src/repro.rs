@@ -1,0 +1,296 @@
+//! Replayable repro files for divergences and corpus regression cases.
+//!
+//! A repro file is a line-oriented text format (`# dml-oracle repro v1`)
+//! holding one goal in prefix s-expression syntax plus optional metadata:
+//!
+//! ```text
+//! # dml-oracle repro v1
+//! note seed=42 iter=17 solver=proven oracle=refuted
+//! var x0 int
+//! var x1 int
+//! hyp (<= 0 x0)
+//! hyp (or (< x0 x1) (= x0 0))
+//! concl (< (+ x0 1) x1)
+//! expect unknown
+//! ```
+//!
+//! * `var NAME int|bool` — a context variable, in order.
+//! * `hyp SEXPR` / `concl SEXPR` — propositions in prefix syntax:
+//!   `true`, `false`, bare names (boolean variables), `(not p)`,
+//!   `(and p q)`, `(or p q)`, `(< e e)` and the other comparisons
+//!   (`<= > >= = <>`); expressions are integers, names, `(+ e e)`,
+//!   `(- e e)`, `(* e e)`, `(div e e)`, `(mod e e)`, `(min e e)`,
+//!   `(max e e)`, `(abs e)`, `(sgn e)`.
+//! * `expect WORD` — the expected collapsed verdict (`proven`, `refuted`
+//!   or `unknown`), replayed by the corpus test.
+//! * `note …` — free-form metadata, preserved by the parser.
+//! * `#` lines are comments.
+//!
+//! Round-tripping is exact: `parse(write(goal))` reproduces the goal up
+//! to variable identity (fresh ids are drawn from the caller's `VarGen`).
+
+use dml_index::{Cmp, IExp, Prop, Sort, Var, VarGen};
+use dml_solver::Goal;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed repro file.
+#[derive(Debug, Clone)]
+pub struct ReproCase {
+    /// The goal to replay.
+    pub goal: Goal,
+    /// The `expect` line, if present (`proven` / `refuted` / `unknown`).
+    pub expect: Option<String>,
+    /// All `note` lines, verbatim.
+    pub notes: Vec<String>,
+}
+
+/// Serializes a goal (plus free-form notes) to the repro format.
+pub fn write_goal(goal: &Goal, expect: Option<&str>, notes: &[String]) -> String {
+    let mut out = String::from("# dml-oracle repro v1\n");
+    for n in notes {
+        let _ = writeln!(out, "note {n}");
+    }
+    for (v, s) in &goal.ctx {
+        let _ = writeln!(out, "var {} {}", v.name(), if s.is_int() { "int" } else { "bool" });
+    }
+    for h in &goal.hyps {
+        let _ = writeln!(out, "hyp {}", prop_sexpr(h));
+    }
+    let _ = writeln!(out, "concl {}", prop_sexpr(&goal.concl));
+    if let Some(e) = expect {
+        let _ = writeln!(out, "expect {e}");
+    }
+    out
+}
+
+/// Renders a proposition in prefix syntax.
+pub fn prop_sexpr(p: &Prop) -> String {
+    match p {
+        Prop::True => "true".into(),
+        Prop::False => "false".into(),
+        Prop::BVar(v) => v.name().to_string(),
+        Prop::Not(q) => format!("(not {})", prop_sexpr(q)),
+        Prop::And(a, b) => format!("(and {} {})", prop_sexpr(a), prop_sexpr(b)),
+        Prop::Or(a, b) => format!("(or {} {})", prop_sexpr(a), prop_sexpr(b)),
+        Prop::Cmp(op, a, b) => format!("({} {} {})", cmp_token(*op), iexp_sexpr(a), iexp_sexpr(b)),
+    }
+}
+
+/// Renders an index expression in prefix syntax.
+pub fn iexp_sexpr(e: &IExp) -> String {
+    match e {
+        IExp::Var(v) => v.name().to_string(),
+        IExp::Lit(n) => n.to_string(),
+        IExp::Add(a, b) => format!("(+ {} {})", iexp_sexpr(a), iexp_sexpr(b)),
+        IExp::Sub(a, b) => format!("(- {} {})", iexp_sexpr(a), iexp_sexpr(b)),
+        IExp::Mul(a, b) => format!("(* {} {})", iexp_sexpr(a), iexp_sexpr(b)),
+        IExp::Div(a, b) => format!("(div {} {})", iexp_sexpr(a), iexp_sexpr(b)),
+        IExp::Mod(a, b) => format!("(mod {} {})", iexp_sexpr(a), iexp_sexpr(b)),
+        IExp::Min(a, b) => format!("(min {} {})", iexp_sexpr(a), iexp_sexpr(b)),
+        IExp::Max(a, b) => format!("(max {} {})", iexp_sexpr(a), iexp_sexpr(b)),
+        IExp::Abs(a) => format!("(abs {})", iexp_sexpr(a)),
+        IExp::Sgn(a) => format!("(sgn {})", iexp_sexpr(a)),
+    }
+}
+
+fn cmp_token(op: Cmp) -> &'static str {
+    match op {
+        Cmp::Lt => "<",
+        Cmp::Le => "<=",
+        Cmp::Gt => ">",
+        Cmp::Ge => ">=",
+        Cmp::Eq => "=",
+        Cmp::Ne => "<>",
+    }
+}
+
+/// Parses a repro file. Fresh variable ids come from `gen`, so replayed
+/// goals never collide with ids the caller already handed out.
+///
+/// # Errors
+///
+/// Returns a line-anchored message on malformed input.
+pub fn parse_goal(text: &str, gen: &mut VarGen) -> Result<ReproCase, String> {
+    let mut ctx: Vec<(Var, Sort)> = Vec::new();
+    let mut names: HashMap<String, Var> = HashMap::new();
+    let mut hyps = Vec::new();
+    let mut concl: Option<Prop> = None;
+    let mut expect = None;
+    let mut notes = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |m: String| format!("line {}: {m}", lineno + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "note" => notes.push(rest.to_string()),
+            "expect" => expect = Some(rest.trim().to_string()),
+            "var" => {
+                let mut it = rest.split_whitespace();
+                let (Some(name), Some(sort)) = (it.next(), it.next()) else {
+                    return Err(err("expected `var NAME int|bool`".into()));
+                };
+                let s = match sort {
+                    "int" => Sort::Int,
+                    "bool" => Sort::Bool,
+                    other => return Err(err(format!("unknown sort `{other}`"))),
+                };
+                let v = gen.fresh(name);
+                names.insert(name.to_string(), v.clone());
+                ctx.push((v, s));
+            }
+            "hyp" | "concl" => {
+                let mut toks = tokenize(rest);
+                let p = parse_prop(&mut toks, &names).map_err(&err)?;
+                if let Some(extra) = toks.first() {
+                    return Err(err(format!("trailing token `{extra}`")));
+                }
+                if cmd == "hyp" {
+                    hyps.push(p);
+                } else {
+                    concl = Some(p);
+                }
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    let concl = concl.ok_or("missing `concl` line")?;
+    Ok(ReproCase { goal: Goal { ctx, hyps, concl, residual_existential: false }, expect, notes })
+}
+
+fn tokenize(s: &str) -> Vec<String> {
+    s.replace('(', " ( ").replace(')', " ) ").split_whitespace().map(String::from).collect()
+}
+
+fn parse_prop(toks: &mut Vec<String>, names: &HashMap<String, Var>) -> Result<Prop, String> {
+    if toks.is_empty() {
+        return Err("unexpected end of proposition".into());
+    }
+    let head = toks.remove(0);
+    if head != "(" {
+        return match head.as_str() {
+            "true" => Ok(Prop::True),
+            "false" => Ok(Prop::False),
+            name => names
+                .get(name)
+                .map(|v| Prop::BVar(v.clone()))
+                .ok_or_else(|| format!("unknown boolean variable `{name}`")),
+        };
+    }
+    let op = if toks.is_empty() { return Err("empty form".into()) } else { toks.remove(0) };
+    let p = match op.as_str() {
+        "not" => Prop::Not(Box::new(parse_prop(toks, names)?)),
+        "and" => parse_prop(toks, names)?.and(parse_prop(toks, names)?),
+        "or" => parse_prop(toks, names)?.or(parse_prop(toks, names)?),
+        "<" | "<=" | ">" | ">=" | "=" | "<>" => {
+            let cmp = match op.as_str() {
+                "<" => Cmp::Lt,
+                "<=" => Cmp::Le,
+                ">" => Cmp::Gt,
+                ">=" => Cmp::Ge,
+                "=" => Cmp::Eq,
+                _ => Cmp::Ne,
+            };
+            Prop::cmp(cmp, parse_iexp(toks, names)?, parse_iexp(toks, names)?)
+        }
+        other => return Err(format!("unknown proposition form `{other}`")),
+    };
+    expect_close(toks)?;
+    Ok(p)
+}
+
+fn parse_iexp(toks: &mut Vec<String>, names: &HashMap<String, Var>) -> Result<IExp, String> {
+    if toks.is_empty() {
+        return Err("unexpected end of expression".into());
+    }
+    let head = toks.remove(0);
+    if head != "(" {
+        if let Ok(n) = head.parse::<i64>() {
+            return Ok(IExp::lit(n));
+        }
+        return names
+            .get(&head)
+            .map(|v| IExp::var(v.clone()))
+            .ok_or_else(|| format!("unknown variable `{head}`"));
+    }
+    let op = if toks.is_empty() { return Err("empty form".into()) } else { toks.remove(0) };
+    let e = match op.as_str() {
+        "abs" => parse_iexp(toks, names)?.abs(),
+        "sgn" => parse_iexp(toks, names)?.sgn(),
+        "+" => parse_iexp(toks, names)? + parse_iexp(toks, names)?,
+        "-" => parse_iexp(toks, names)? - parse_iexp(toks, names)?,
+        "*" => parse_iexp(toks, names)? * parse_iexp(toks, names)?,
+        "div" => parse_iexp(toks, names)?.div(parse_iexp(toks, names)?),
+        "mod" => parse_iexp(toks, names)?.modulo(parse_iexp(toks, names)?),
+        "min" => parse_iexp(toks, names)?.min(parse_iexp(toks, names)?),
+        "max" => parse_iexp(toks, names)?.max(parse_iexp(toks, names)?),
+        other => return Err(format!("unknown expression form `{other}`")),
+    };
+    expect_close(toks)?;
+    Ok(e)
+}
+
+fn expect_close(toks: &mut Vec<String>) -> Result<(), String> {
+    if toks.first().map(String::as_str) == Some(")") {
+        toks.remove(0);
+        Ok(())
+    } else {
+        Err("expected `)`".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_goal, GenConfig};
+    use crate::rng::OracleRng;
+
+    #[test]
+    fn round_trips_generated_goals() {
+        let cfg = GenConfig::default();
+        let mut rng = OracleRng::new(11);
+        let mut gen = VarGen::new();
+        for _ in 0..100 {
+            let goal = gen_goal(&mut rng, &mut gen, &cfg);
+            let text = write_goal(&goal, Some("unknown"), &["seed=11".into()]);
+            let mut gen2 = VarGen::new();
+            let case = parse_goal(&text, &mut gen2).expect(&text);
+            // Structural equality up to variable identity: compare the
+            // re-serialized form.
+            assert_eq!(text, write_goal(&case.goal, Some("unknown"), &["seed=11".into()]));
+            assert_eq!(case.expect.as_deref(), Some("unknown"));
+            assert_eq!(case.notes, vec!["seed=11".to_string()]);
+        }
+    }
+
+    #[test]
+    fn parses_every_operator() {
+        let text = "\
+# dml-oracle repro v1
+var n int
+var b bool
+hyp (<= (min n 3) (max n (- 0 3)))
+hyp (or b (not b))
+hyp (= (mod (abs n) 4) (sgn n))
+concl (<> (div (* 2 n) 2) (+ n 1))
+";
+        let mut gen = VarGen::new();
+        let case = parse_goal(text, &mut gen).unwrap();
+        assert_eq!(case.goal.ctx.len(), 2);
+        assert_eq!(case.goal.hyps.len(), 3);
+        assert_eq!(text, write_goal(&case.goal, None, &[]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut gen = VarGen::new();
+        assert!(parse_goal("concl (< 1", &mut gen).is_err(), "unclosed form");
+        assert!(parse_goal("concl (< 1 y)", &mut gen).is_err(), "unknown variable");
+        assert!(parse_goal("var n rat\nconcl true", &mut gen).is_err(), "unknown sort");
+        assert!(parse_goal("hyp true", &mut gen).is_err(), "missing conclusion");
+        assert!(parse_goal("frob x\nconcl true", &mut gen).is_err(), "unknown directive");
+    }
+}

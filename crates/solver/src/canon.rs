@@ -1,8 +1,15 @@
 //! Goal canonicalization for the verdict cache.
 //!
 //! Two goals that differ only in variable identities, hypothesis order, or
-//! duplicated hypotheses are decided identically by [`crate::Solver`], so
-//! the cache keys them on a *canonical form*:
+//! duplicated hypotheses are logically equivalent, and [`crate::Solver`]
+//! decides them to the same *proven status* — though not always to the
+//! same verdict: the refuted/unknown split can follow hypothesis order,
+//! because the witness search only certifies the first satisfiable DNF
+//! disjunct and disjunct order tracks hypothesis order (the `dml-oracle`
+//! differential fuzzer exhibits such pairs). Serving a cached verdict for
+//! a canonically-equal goal is therefore sound — it never moves a goal
+//! into or out of `Proven` — but may exchange refuted for unknown. The
+//! cache keys on a *canonical form*:
 //!
 //! 1. every variable occurring in the conclusion or a hypothesis is
 //!    alpha-renamed to a dense de Bruijn-style id (`0, 1, 2, …`) in order

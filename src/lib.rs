@@ -15,6 +15,7 @@ pub use dml;
 pub use dml_elab;
 pub use dml_eval;
 pub use dml_index;
+pub use dml_oracle;
 pub use dml_programs;
 pub use dml_solver;
 pub use dml_syntax;

@@ -1,0 +1,77 @@
+//! Replays every checked-in regression constraint system in
+//! `tests/corpus/*.goal` — divergences found while building the
+//! differential oracle plus the tricky tightening cases from PAPER.md §5.
+//!
+//! Each file pins the solver's collapsed verdict via its `expect` line,
+//! and the oracle must never *contradict* the solver: an enumerated
+//! countermodel forbids `proven`, a rational unsatisfiability proof
+//! forbids `refuted`.
+
+use dml_index::VarGen;
+use dml_oracle::{decide, parse_goal, OracleVerdict, DEFAULT_BOUND};
+use dml_solver::{Solver, SolverOptions, SolverStats};
+
+#[test]
+fn corpus_cases_replay_to_their_pinned_verdicts() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "goal"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus must not be empty");
+
+    let solver = Solver::new(SolverOptions::default().with_workers(Some(1)));
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut gen = VarGen::new();
+        let case = parse_goal(&text, &mut gen).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expect = case.expect.as_deref().unwrap_or_else(|| panic!("{name}: missing expect"));
+
+        let mut stats = SolverStats::default();
+        let verdict = solver.decide(&case.goal, &mut gen, &mut stats);
+        let collapsed = if verdict.is_proven() {
+            "proven"
+        } else if verdict.is_refuted() {
+            "refuted"
+        } else {
+            "unknown"
+        };
+        assert_eq!(collapsed, expect, "{name}: solver said `{verdict}`\n{text}");
+
+        match decide(&case.goal, DEFAULT_BOUND) {
+            OracleVerdict::Refuted(model) => assert_ne!(
+                collapsed, "proven",
+                "{name}: oracle countermodel {model:?} contradicts proven"
+            ),
+            OracleVerdict::Proven => assert_ne!(
+                collapsed, "refuted",
+                "{name}: rational unsatisfiability contradicts refuted"
+            ),
+            OracleVerdict::Unknown => {}
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_all_three_verdicts() {
+    // The corpus is only a regression net if it exercises every verdict.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut seen = std::collections::BTreeSet::new();
+    for e in std::fs::read_dir(dir).unwrap() {
+        let p = e.unwrap().path();
+        if p.extension().is_some_and(|x| x == "goal") {
+            let text = std::fs::read_to_string(&p).unwrap();
+            for line in text.lines() {
+                if let Some(v) = line.strip_prefix("expect ") {
+                    seen.insert(v.trim().to_string());
+                }
+            }
+        }
+    }
+    for v in ["proven", "refuted", "unknown"] {
+        assert!(seen.contains(v), "corpus lacks an `expect {v}` case");
+    }
+}

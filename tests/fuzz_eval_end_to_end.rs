@@ -1,0 +1,28 @@
+//! End-to-end properties over generated DML programs: every case
+//! compiles permissively and strictly, runs under checked and
+//! eliminated-with-validation interpreters, and must produce identical
+//! results with coherent check counters (residual checks never
+//! undercount actual array accesses). See `dml_oracle::program` for the
+//! exact property list.
+
+use dml_oracle::program::check_program_case;
+use dml_oracle::{run_fuzz, FuzzConfig, OracleRng};
+
+#[test]
+fn generated_programs_agree_across_modes() {
+    for seed in [5, 17, 29] {
+        let mut rng = OracleRng::new(seed);
+        for case in 0..40 {
+            if let Err(e) = check_program_case(&mut rng) {
+                panic!("seed {seed} case {case} diverged:\n{e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn harness_runs_program_cases_inline() {
+    let report = run_fuzz(&FuzzConfig { seed: 8, iters: 64, ..FuzzConfig::default() });
+    assert!(report.ok(), "{}", report.render_human());
+    assert_eq!(report.program_cases, 8, "one program case per 8 goal iterations");
+}

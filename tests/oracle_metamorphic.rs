@@ -1,0 +1,114 @@
+//! Metamorphic invariances the canonical verdict cache relies on,
+//! asserted directly (independently of the fuzz harness):
+//!
+//! * α-renaming every context variable must preserve the *full* verdict —
+//!   the canonical renamer assigns dense ids in first-occurrence order,
+//!   so α-variants share one cache key;
+//! * permuting or duplicating hypotheses must preserve the *Proven*
+//!   status — a proof may never depend on hypothesis order, though the
+//!   refuted/unknown split legitimately may (the witness search only
+//!   certifies the first satisfiable DNF disjunct, whose identity
+//!   follows hypothesis order);
+//! * a warm shared cache must give the same answers as a cold solver on
+//!   every transformed goal (a canonicalization bug would surface as a
+//!   stale cache hit).
+
+use dml_index::{IExp, VarGen, Verdict};
+use dml_oracle::{gen_goal, GenConfig, OracleRng};
+use dml_solver::{Goal, Solver, SolverOptions, SolverStats};
+
+fn decide(solver: &Solver, goal: &Goal, gen: &mut VarGen) -> Verdict {
+    let mut stats = SolverStats::default();
+    solver.decide(goal, gen, &mut stats)
+}
+
+fn alpha_rename(goal: &Goal, gen: &mut VarGen) -> Goal {
+    let mut renamed = goal.clone();
+    for i in 0..renamed.ctx.len() {
+        let (old, sort) = renamed.ctx[i].clone();
+        let fresh = gen.fresh(&format!("{}r", old.name()));
+        let replacement = IExp::var(fresh.clone());
+        renamed.ctx[i] = (fresh, sort);
+        renamed.hyps = renamed.hyps.iter().map(|h| h.subst(&old, &replacement)).collect();
+        renamed.concl = renamed.concl.subst(&old, &replacement);
+    }
+    renamed
+}
+
+#[test]
+fn verdicts_survive_hypothesis_permutation_duplication_and_renaming() {
+    let cfg = GenConfig::default();
+    let mut rng = OracleRng::new(23);
+    let mut gen = VarGen::new();
+    let warm = Solver::new(SolverOptions::default().with_workers(Some(1)));
+    for i in 0..200 {
+        let goal = gen_goal(&mut rng, &mut gen, &cfg);
+        let base = decide(&warm, &goal, &mut gen);
+
+        let mut variants: Vec<(&str, Goal)> = Vec::new();
+        let mut reversed = goal.clone();
+        reversed.hyps.reverse();
+        variants.push(("reversed hyps", reversed));
+        if goal.hyps.len() > 1 {
+            let mut rotated = goal.clone();
+            rotated.hyps.rotate_left(1);
+            variants.push(("rotated hyps", rotated));
+        }
+        if let Some(h) = goal.hyps.first().cloned() {
+            let mut duped = goal.clone();
+            duped.hyps.push(h);
+            variants.push(("duplicated hyp", duped));
+        }
+        variants.push(("alpha-renamed", alpha_rename(&goal, &mut gen)));
+
+        for (name, variant) in variants {
+            let warm_v = decide(&warm, &variant, &mut gen);
+            let cold = Solver::new(SolverOptions::default().with_workers(Some(1)));
+            let cold_v = decide(&cold, &variant, &mut gen);
+            if name == "alpha-renamed" {
+                assert_eq!(
+                    warm_v, base,
+                    "iteration {i}: {name} flipped the verdict on a warm cache\n{goal}\n-- became --\n{variant}"
+                );
+                assert_eq!(
+                    cold_v, base,
+                    "iteration {i}: {name} flipped the verdict on a cold solver\n{goal}\n-- became --\n{variant}"
+                );
+            } else {
+                assert_eq!(
+                    warm_v.is_proven(),
+                    base.is_proven(),
+                    "iteration {i}: {name} flipped the proven status on a warm cache \
+                     (base {base}, variant {warm_v})\n{goal}\n-- became --\n{variant}"
+                );
+                assert_eq!(
+                    cold_v.is_proven(),
+                    base.is_proven(),
+                    "iteration {i}: {name} flipped the proven status on a cold solver \
+                     (base {base}, variant {cold_v})\n{goal}\n-- became --\n{variant}"
+                );
+                // Warm and cold must still agree with each other: the
+                // variant is one fixed goal, and caching must be invisible.
+                assert_eq!(warm_v, cold_v, "iteration {i}: {name} warm/cold disagreement");
+            }
+        }
+    }
+}
+
+#[test]
+fn renaming_hits_the_cache() {
+    // α-equivalent goals should share one cache entry: the canonical
+    // renamer assigns dense ids in first-occurrence order, so the fresh
+    // ids of the renamed copy must canonicalize away.
+    let cfg = GenConfig::default();
+    let mut rng = OracleRng::new(31);
+    let mut gen = VarGen::new();
+    let solver = Solver::new(SolverOptions::default().with_workers(Some(1)));
+    let goal = gen_goal(&mut rng, &mut gen, &cfg);
+    let mut s1 = SolverStats::default();
+    solver.decide(&goal, &mut gen, &mut s1);
+    let renamed = alpha_rename(&goal, &mut gen);
+    let mut s2 = SolverStats::default();
+    solver.decide(&renamed, &mut gen, &mut s2);
+    assert_eq!(s2.cache_hits, s1.cache_hits + 1, "renamed goal missed the cache:\n{renamed}");
+}
