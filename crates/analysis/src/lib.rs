@@ -22,6 +22,12 @@
 //! | DML004 | nonlinear-index        | syntax     |
 //! | DML005 | unprovable-annotation  | entailment |
 //! | DML006 | residual-bound-check   | pipeline verdicts |
+//! | DML007 | inferable-annotation   | interval inference + solver |
+//!
+//! DML007 closes the loop with `dmlc infer`: when the pipeline's interval
+//! abstract interpreter synthesizes an annotation the solver verifies, the
+//! lint reports it as a machine-applicable fix ([`Fix`], rendered as a
+//! SARIF `fixes` object) on the unannotated function.
 
 pub mod lints;
 pub mod render;
@@ -82,11 +88,48 @@ pub const LINTS: &[Lint] = &[
         summary: "bound/tag check could not be proven and stays in the compiled program",
         default_severity: Severity::Warning,
     },
+    Lint {
+        code: "DML007",
+        name: "inferable-annotation",
+        summary: "a solver-verified `where`-annotation is inferable for this unannotated \
+                  function and would eliminate residual bound checks",
+        default_severity: Severity::Note,
+    },
 ];
 
 /// Looks up a lint by its code (`DML001`) or name (`dead-branch`).
 pub fn lint_by_code(code: &str) -> Option<&'static Lint> {
     LINTS.iter().find(|l| l.code.eq_ignore_ascii_case(code) || l.name == code)
+}
+
+/// A machine-applicable fix: insert `text` at byte offset `insert_at`.
+/// Carried by DML007 findings and rendered as a SARIF `fixes` object, so
+/// code-scanning UIs can offer the annotation one click away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// One-line description of what applying the fix does.
+    pub description: String,
+    /// Byte offset in the source at which `text` is inserted.
+    pub insert_at: u32,
+    /// The exact text to insert (starts with a newline for `where`-clauses).
+    pub text: String,
+}
+
+/// One solver-verified inferred annotation, handed to the DML007 lint by
+/// the pipeline — which owns running inference, so linting a fully
+/// annotated (or residual-free) program costs nothing extra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferSuggestion {
+    /// Function the annotation refines.
+    pub fun: String,
+    /// Pretty-printed annotation type.
+    pub rendered: String,
+    /// Full fix-it text (`\nwhere f <| ...`).
+    pub fixit: String,
+    /// Byte offset where the fix-it is inserted.
+    pub insert_at: u32,
+    /// Span of the function's name identifier (the finding anchor).
+    pub name_span: Span,
 }
 
 /// One lint finding, anchored to a source span.
@@ -104,6 +147,8 @@ pub struct Finding {
     pub span: Span,
     /// Supporting notes (hypotheses used, suggested rewrite, ...).
     pub notes: Vec<String>,
+    /// Machine-applicable fix, when the lint can synthesize one.
+    pub fix: Option<Fix>,
 }
 
 impl Finding {
@@ -152,6 +197,7 @@ mod tests {
             message: "always true".into(),
             span: Span::new(0, 4),
             notes: vec!["note".into()],
+            fix: None,
         };
         let r = f.diagnostic().render("cond");
         assert!(r.starts_with("warning[DML001]: always true"), "{r}");

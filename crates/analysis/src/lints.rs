@@ -16,7 +16,7 @@ use dml_types::convert::{Converter, FamilySig, Scope};
 use dml_types::env::CheckKind;
 
 use crate::walk::{self, GroupKind, QuantGroup};
-use crate::{lint_by_code, Finding};
+use crate::{lint_by_code, Finding, Fix, InferSuggestion};
 
 /// Runs every registered lint over a program.
 ///
@@ -33,6 +33,9 @@ use crate::{lint_by_code, Finding};
 /// * `residuals` — the pipeline's residual checks
 ///   ([`dml_elab::residual_checks`]) for the DML006 lint. Pass `&[]` to
 ///   skip it (e.g. when linting without solving).
+/// * `suggestions` — solver-verified inferred annotations for the DML007
+///   lint. The *pipeline* runs inference (and only when residual checks
+///   exist); pass `&[]` to skip it.
 pub fn run_lints(
     program: &sast::Program,
     contexts: &[SiteContext],
@@ -40,6 +43,7 @@ pub fn run_lints(
     solver: &Solver,
     gen: &mut VarGen,
     residuals: &[ResidualCheck],
+    suggestions: &[InferSuggestion],
 ) -> Vec<Finding> {
     let facts = walk::collect(program);
     let mut findings = Vec::new();
@@ -48,6 +52,7 @@ pub fn run_lints(
     unused_index_variable(&facts.groups, &mut findings);
     nonlinear_index(&facts.index_exprs, &mut findings);
     residual_bound_check(residuals, &mut findings);
+    inferable_annotation(suggestions, &mut findings);
     findings.sort_by_key(|f| (f.span.start, f.span.end, f.code));
     findings.dedup_by(|a, b| a.code == b.code && a.span == b.span && a.message == b.message);
     findings
@@ -62,6 +67,7 @@ fn finding(code: &str, message: String, span: Span, notes: Vec<String>) -> Findi
         message,
         span,
         notes,
+        fix: None,
     }
 }
 
@@ -427,6 +433,39 @@ fn residual_bound_check(residuals: &[ResidualCheck], findings: &mut Vec<Finding>
     }
 }
 
+// ---------------------------------------------------------------------------
+// DML007: inferable-annotation.
+// ---------------------------------------------------------------------------
+
+/// One finding per solver-verified inferred annotation, anchored at the
+/// function's name and carrying the machine-applicable [`Fix`]. Inference
+/// already re-proved every obligation of the refined program, so — like
+/// every other semantic lint — this cannot suggest anything the solver
+/// would reject.
+fn inferable_annotation(suggestions: &[InferSuggestion], findings: &mut Vec<Finding>) {
+    for s in suggestions {
+        let mut f = finding(
+            "DML007",
+            format!(
+                "`{}` has no annotation, but a solver-verified one is inferable: `{}`",
+                s.fun, s.rendered
+            ),
+            s.name_span,
+            vec![
+                format!("apply: insert `{}` after the function body", s.fixit.trim_start()),
+                "interval analysis proposed it; the solver re-proved every eliminated check"
+                    .to_string(),
+            ],
+        );
+        f.fix = Some(Fix {
+            description: format!("insert `where {} <| {}`", s.fun, s.rendered),
+            insert_at: s.insert_at,
+            text: s.fixit.clone(),
+        });
+        findings.push(f);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,7 +476,7 @@ mod tests {
     fn lint_src(src: &str) -> Vec<Finding> {
         let program = parse_program(src).expect("parses");
         let mut gen = VarGen::new();
-        run_lints(&program, &[], &builtin_families(), &Solver::default(), &mut gen, &[])
+        run_lints(&program, &[], &builtin_families(), &Solver::default(), &mut gen, &[], &[])
     }
 
     fn codes(findings: &[Finding]) -> Vec<&'static str> {
@@ -534,8 +573,15 @@ mod tests {
             in_fun: "f".into(),
             reason: UnknownReason::Nonlinear("i * i".into()),
         }];
-        let f =
-            run_lints(&program, &[], &builtin_families(), &Solver::default(), &mut gen, &residuals);
+        let f = run_lints(
+            &program,
+            &[],
+            &builtin_families(),
+            &Solver::default(),
+            &mut gen,
+            &residuals,
+            &[],
+        );
         let dml6: Vec<_> = f.iter().filter(|x| x.code == "DML006").collect();
         assert_eq!(dml6.len(), 1, "{f:?}");
         assert!(dml6[0].message.contains("sub"), "{dml6:?}");

@@ -63,6 +63,15 @@ pub fn json(findings: &[Finding], src: &str) -> String {
         let end = line_col(src, f.span.end);
         let notes: Vec<String> =
             f.notes.iter().map(|n| format!("\"{}\"", json_escape(n))).collect();
+        let fix = match &f.fix {
+            None => "null".to_string(),
+            Some(fix) => format!(
+                "{{ \"description\": \"{}\", \"insertAt\": {}, \"text\": \"{}\" }}",
+                json_escape(&fix.description),
+                fix.insert_at,
+                json_escape(&fix.text),
+            ),
+        };
         items.push(format!(
             concat!(
                 "  {{\n",
@@ -73,7 +82,8 @@ pub fn json(findings: &[Finding], src: &str) -> String {
                 "    \"span\": {{ \"start\": {s}, \"end\": {e} }},\n",
                 "    \"start\": {{ \"line\": {sl}, \"column\": {sc} }},\n",
                 "    \"end\": {{ \"line\": {el}, \"column\": {ec} }},\n",
-                "    \"notes\": [{notes}]\n",
+                "    \"notes\": [{notes}],\n",
+                "    \"fix\": {fix}\n",
                 "  }}"
             ),
             code = f.code,
@@ -87,6 +97,7 @@ pub fn json(findings: &[Finding], src: &str) -> String {
             el = end.line,
             ec = end.col,
             notes = notes.join(", "),
+            fix = fix,
         ));
     }
     format!("[\n{}\n]\n", items.join(",\n"))
@@ -126,6 +137,38 @@ pub fn sarif(findings: &[Finding], src: &str, artifact_uri: &str) -> String {
                 text.push_str("; ");
                 text.push_str(n);
             }
+            // A machine-applicable fix becomes a SARIF `fixes` object: one
+            // artifact change whose single replacement deletes a
+            // zero-length region at the insertion offset — the SARIF
+            // encoding of a pure insertion.
+            let fixes = match &f.fix {
+                None => String::new(),
+                Some(fix) => format!(
+                    concat!(
+                        ",\n",
+                        "          \"fixes\": [\n",
+                        "            {{\n",
+                        "              \"description\": {{ \"text\": \"{desc}\" }},\n",
+                        "              \"artifactChanges\": [\n",
+                        "                {{\n",
+                        "                  \"artifactLocation\": {{ \"uri\": \"{uri}\" }},\n",
+                        "                  \"replacements\": [\n",
+                        "                    {{\n",
+                        "                      \"deletedRegion\": {{ \"charOffset\": {at}, \"charLength\": 0 }},\n",
+                        "                      \"insertedContent\": {{ \"text\": \"{ins}\" }}\n",
+                        "                    }}\n",
+                        "                  ]\n",
+                        "                }}\n",
+                        "              ]\n",
+                        "            }}\n",
+                        "          ]"
+                    ),
+                    desc = json_escape(&fix.description),
+                    uri = json_escape(artifact_uri),
+                    at = fix.insert_at,
+                    ins = json_escape(&fix.text),
+                ),
+            };
             format!(
                 concat!(
                     "        {{\n",
@@ -140,7 +183,7 @@ pub fn sarif(findings: &[Finding], src: &str, artifact_uri: &str) -> String {
                     "                \"region\": {{ \"startLine\": {sl}, \"startColumn\": {sc}, \"endLine\": {el}, \"endColumn\": {ec} }}\n",
                     "              }}\n",
                     "            }}\n",
-                    "          ]\n",
+                    "          ]{fixes}\n",
                     "        }}"
                 ),
                 id = f.code,
@@ -152,6 +195,7 @@ pub fn sarif(findings: &[Finding], src: &str, artifact_uri: &str) -> String {
                 sc = start.col,
                 el = end.line,
                 ec = end.col,
+                fixes = fixes,
             )
         })
         .collect();
@@ -193,6 +237,25 @@ mod tests {
             message: "index variable `n` is never used \"here\"".into(),
             span: Span::new(24, 25),
             notes: vec!["remove the binder".into()],
+            fix: None,
+        }];
+        (findings, src)
+    }
+
+    fn fix_sample() -> (Vec<Finding>, &'static str) {
+        let src = "fun f(v) = sub(v, 0)\n";
+        let findings = vec![Finding {
+            code: "DML007",
+            name: "inferable-annotation",
+            severity: Severity::Note,
+            message: "`f` has no annotation, but a solver-verified one is inferable".into(),
+            span: Span::new(4, 5),
+            notes: vec![],
+            fix: Some(crate::Fix {
+                description: "insert `where f <| {n:nat | n > 0} int array(n) -> int`".into(),
+                insert_at: 20,
+                text: "\nwhere f <| {n:nat | n > 0} int array(n) -> int".into(),
+            }),
         }];
         (findings, src)
     }
@@ -226,6 +289,32 @@ mod tests {
         assert!(out.contains("\"ruleIndex\": 2"), "{out}");
         assert!(out.contains("\"startLine\": 2"), "{out}");
         assert!(out.contains("\"uri\": \"test.dml\""), "{out}");
+    }
+
+    #[test]
+    fn json_renders_fix_object_and_null() {
+        let (f, src) = sample();
+        assert!(json(&f, src).contains("\"fix\": null"), "{}", json(&f, src));
+        let (f, src) = fix_sample();
+        let out = json(&f, src);
+        assert!(out.contains("\"insertAt\": 20"), "{out}");
+        assert!(out.contains("\\nwhere f <| {n:nat | n > 0}"), "{out}");
+    }
+
+    #[test]
+    fn sarif_renders_fix_as_insertion_replacement() {
+        let (f, src) = fix_sample();
+        let out = sarif(&f, src, "f.dml");
+        assert!(out.contains("\"fixes\": ["), "{out}");
+        assert!(out.contains("\"artifactChanges\": ["), "{out}");
+        assert!(
+            out.contains("\"deletedRegion\": { \"charOffset\": 20, \"charLength\": 0 }"),
+            "{out}"
+        );
+        assert!(out.contains("\"insertedContent\""), "{out}");
+        // Findings without a fix stay fix-free.
+        let (plain, src2) = sample();
+        assert!(!sarif(&plain, src2, "f.dml").contains("\"fixes\""));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! dmlc check <file.dml> [--trace-out FILE]   type-check; report checks
+//! dmlc infer <file.dml> [--json]  synthesize + verify range refinements
+//! dmlc strip <file.dml>        print the source with annotations removed
 //! dmlc explain <file.dml> [--goal N]  render per-obligation proof traces
 //! dmlc constraints <file.dml>  print every generated constraint
 //! dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]
@@ -10,7 +12,15 @@
 //! dmlc fuzz [--seed S] [--iters N] [--json]  differential solver fuzzer
 //! dmlc figure4                 print the paper's Figure 4 constraints
 //! dmlc table <1|2|3> [factor] [--timings]  regenerate an evaluation table
+//! dmlc table 1 --infer         Table 1 with annotations stripped + inferred
 //! ```
+//!
+//! `dmlc infer` runs the interval abstract interpreter over every
+//! unannotated function, turns the fixpoint into candidate `where`-clauses,
+//! and keeps only those the solver verifies — reporting residual bound
+//! checks before and after, plus the exact fix-it text for each accepted
+//! annotation. `dmlc strip` is its test harness companion: it removes every
+//! `where`-clause so a corpus can be round-tripped through inference.
 //!
 //! Observability (see `docs/ARCHITECTURE.md` for the trace schema):
 //!
@@ -46,6 +56,8 @@ fn main() -> ExitCode {
     };
     match args.first().map(String::as_str) {
         Some("check") => check_cmd(&compiler, &args),
+        Some("infer") => infer_cmd(&compiler, &args),
+        Some("strip") => with_file(&args, strip),
         Some("explain") => explain_cmd(&compiler, &args),
         Some("constraints") => with_file(&args, |src| constraints(&compiler, src)),
         Some("lint") => lint(&compiler, &args),
@@ -60,17 +72,19 @@ fn main() -> ExitCode {
         Some("table") => table(&args),
         _ => {
             eprintln!(
-                "usage: dmlc <check|explain|constraints|lint|run|eval|fuzz|figure4|table> ...\n\
+                "usage: dmlc <check|infer|strip|explain|constraints|lint|run|eval|fuzz|figure4|table> ...\n\
                  \n\
                  dmlc check <file.dml> [--trace-out FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc infer <file.dml> [--json] [--fuel N] [--deadline-ms N]\n\
+                 dmlc strip <file.dml>\n\
                  dmlc explain <file.dml> [--goal N] [--fuel N] [--deadline-ms N]\n\
                  dmlc constraints <file.dml> [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE] [--fuel N] [--strict]\n\
                  dmlc run <file.dml> <fun> [ints...] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc eval <file.dml> <fun> [ints...]   (alias for run)\n\
-                 dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--repro-dir D] [--no-programs]\n\
+                 dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--infer] [--repro-dir D] [--no-programs]\n\
                  dmlc figure4\n\
-                 dmlc table <1|2|3> [factor] [--timings]"
+                 dmlc table <1|2|3> [factor] [--timings] [--infer]"
             );
             ExitCode::FAILURE
         }
@@ -171,6 +185,66 @@ fn check_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
     }
 }
 
+/// `dmlc infer <file> [--json]` — compiles with inference enabled and
+/// prints the before/after residual-check report: accepted annotations
+/// (with fix-it text), rejected candidates (with the solver's reason), and
+/// the honestly-residual sites.
+fn infer_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: dmlc infer <file.dml> [--json]");
+        return ExitCode::FAILURE;
+    };
+    let mut json = false;
+    for flag in &args[2..] {
+        match flag.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compiler.clone().infer(true).compile(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(report) = compiled.infer_report() else {
+        eprintln!("inference produced no report (internal error)");
+        return ExitCode::FAILURE;
+    };
+    if json {
+        println!("{}", report.render_json(&src));
+    } else {
+        print!("{}", report.render_human(&src));
+    }
+    ExitCode::SUCCESS
+}
+
+/// `dmlc strip <file>` — prints the source with every `where`-annotation
+/// removed (the inference test harness's corpus generator).
+fn strip(src: &str) -> ExitCode {
+    match dml::strip_annotations(src) {
+        Ok(stripped) => {
+            print!("{stripped}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `dmlc explain <file> [--goal N]` — renders the deterministic per-goal
 /// proof traces of a traced compile.
 fn explain_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
@@ -225,12 +299,15 @@ fn explain_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
     }
 }
 
-/// `dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--repro-dir D]
-/// [--no-programs]` — runs the differential solver fuzzer (`dml-oracle`):
-/// random goals are decided by the production solver under a configuration
-/// matrix and cross-checked against two independent reference deciders,
-/// with metamorphic and end-to-end program properties alongside. Exits
-/// FAILURE if any divergence is found; repro files land in `--repro-dir`.
+/// `dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--infer]
+/// [--repro-dir D] [--no-programs]` — runs the differential solver fuzzer
+/// (`dml-oracle`): random goals are decided by the production solver under
+/// a configuration matrix and cross-checked against two independent
+/// reference deciders, with metamorphic and end-to-end program properties
+/// alongside. `--infer` additionally strips each corpus program, re-infers
+/// its annotations, and cross-checks every solver-proven obligation of the
+/// refined program against the exact-rational oracle. Exits FAILURE if any
+/// divergence is found; repro files land in `--repro-dir`.
 fn fuzz(args: &[String]) -> ExitCode {
     let mut cfg = dml_oracle::FuzzConfig::default();
     let mut json = false;
@@ -266,6 +343,7 @@ fn fuzz(args: &[String]) -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--infer" => cfg.infer = true,
             "--no-programs" => cfg.programs = false,
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -398,7 +476,7 @@ fn lint(compiler: &Compiler, args: &[String]) -> ExitCode {
             "--deny" => match rest.next().and_then(|c| dml::lint_by_code(c)) {
                 Some(l) => deny.push(l.code),
                 None => {
-                    eprintln!("--deny expects a known lint code (DML001..DML006) or name");
+                    eprintln!("--deny expects a known lint code (DML001..DML007) or name");
                     return ExitCode::FAILURE;
                 }
             },
@@ -496,10 +574,14 @@ fn run(compiler: &Compiler, args: &[String]) -> ExitCode {
 
 fn table(args: &[String]) -> ExitCode {
     let timings = args.iter().any(|a| a == "--timings");
-    let rest: Vec<&String> = args.iter().filter(|a| *a != "--timings").collect();
+    let infer = args.iter().any(|a| a == "--infer");
+    let rest: Vec<&String> = args.iter().filter(|a| *a != "--timings" && *a != "--infer").collect();
     let which = rest.get(1).map(|s| s.as_str()).unwrap_or("1");
     let factor: u32 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     match which {
+        "1" if infer => {
+            print!("{}", experiments::table1_infer_rendered(&experiments::table1_infer()));
+        }
         "1" => {
             let rows = experiments::table1();
             print!("{}", experiments::table1_rows_rendered(&rows));

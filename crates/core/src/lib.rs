@@ -45,10 +45,11 @@ pub mod pipeline;
 pub mod table;
 pub mod trace;
 
-pub use dml_analysis::{lint_by_code, render, Finding, Lint, LINTS};
+pub use dml_analysis::{lint_by_code, render, Finding, Fix, InferSuggestion, Lint, LINTS};
 pub use dml_elab::{residual_checks, ObKind, Obligation, ResidualCheck};
 pub use dml_eval::{CheckConfig, Counters, Machine, Mode, Value};
 pub use dml_index::{UnknownReason, Verdict};
+pub use dml_infer::{infer_refinements, strip_annotations, InferOutcome, InferReport};
 pub use dml_solver::{Solver, SolverOptions};
 pub use dml_syntax::Severity;
 #[allow(deprecated)]

@@ -107,6 +107,7 @@ pub struct Compiled {
     top_level: HashMap<String, dml_types::ty::Scheme>,
     solver: Solver,
     gen: VarGen,
+    infer_report: Option<dml_infer::InferReport>,
 }
 
 impl Compiled {
@@ -151,19 +152,50 @@ impl Compiled {
 
     /// Runs the semantic lint pass (`dml-analysis`) over the compiled
     /// program: solver-backed dead-branch / redundant-refinement /
-    /// unprovable-annotation lints plus the syntactic ones and the
-    /// residual-check lint (DML006). Findings are sorted by source
-    /// position.
+    /// unprovable-annotation lints plus the syntactic ones, the
+    /// residual-check lint (DML006), and the inferable-annotation lint
+    /// (DML007, with machine-applicable fix-its). Findings are sorted by
+    /// source position.
     pub fn lints(&self) -> Vec<Finding> {
         let mut gen = self.gen.clone();
+        let residuals = self.residual_checks();
+        let suggestions = self.infer_suggestions(&residuals);
         dml_analysis::run_lints(
             &self.program,
             &self.contexts,
             &self.env.families,
             &self.solver,
             &mut gen,
-            &self.residual_checks(),
+            &residuals,
+            &suggestions,
         )
+    }
+
+    /// DML007 input: the accepted annotations of this compile's inference
+    /// report when inference ran, otherwise a fresh inference pass. The
+    /// fresh pass runs only when residual checks exist — a fully verified
+    /// (or fully annotated) program pays nothing at lint time.
+    fn infer_suggestions(&self, residuals: &[ResidualCheck]) -> Vec<dml_analysis::InferSuggestion> {
+        let accepted = match &self.infer_report {
+            Some(r) => r.accepted.clone(),
+            None if residuals.is_empty() => return Vec::new(),
+            None => match dml_infer::infer_refinements(&self.program, &self.solver) {
+                Ok(out) => out.report.accepted,
+                // Inference is advisory at lint time: a program it cannot
+                // handle simply gets no DML007 findings.
+                Err(_) => return Vec::new(),
+            },
+        };
+        accepted
+            .into_iter()
+            .map(|a| dml_analysis::InferSuggestion {
+                fun: a.fun,
+                rendered: a.rendered,
+                fixit: a.fixit,
+                insert_at: a.insert_at,
+                name_span: a.name_span,
+            })
+            .collect()
     }
 
     /// The solver this program was compiled with. Its verdict cache is
@@ -232,6 +264,14 @@ impl Compiled {
         &self.stats
     }
 
+    /// The annotation-inference report, present only when the session was
+    /// built with [`Compiler::infer`]. Records accepted (solver-verified)
+    /// annotations, rejections with reasons, and before/after residual
+    /// check counts.
+    pub fn infer_report(&self) -> Option<&dml_infer::InferReport> {
+        self.infer_report.as_ref()
+    }
+
     /// Dependent schemes of the top-level bindings.
     pub fn top_level(&self) -> &HashMap<String, dml_types::ty::Scheme> {
         &self.top_level
@@ -298,6 +338,7 @@ impl Compiled {
 pub struct Compiler {
     options: SolverOptions,
     strict: bool,
+    infer: bool,
     solver: Option<Solver>,
 }
 
@@ -387,6 +428,22 @@ impl Compiler {
         self.strict
     }
 
+    /// Enables annotation inference (`dml-infer`): before solving, an
+    /// interval abstract interpretation proposes `where`-clauses for
+    /// unannotated functions, every candidate is verified through this
+    /// session's solver, and the accepted ones are attached to the AST
+    /// (spans unchanged). The compiled program then eliminates the checks
+    /// the inferred refinements prove. Off by default.
+    pub fn infer(mut self, on: bool) -> Compiler {
+        self.infer = on;
+        self
+    }
+
+    /// Whether annotation inference is enabled.
+    pub fn is_infer(&self) -> bool {
+        self.infer
+    }
+
     /// Runs the pipeline on `src`.
     ///
     /// # Errors
@@ -399,7 +456,21 @@ impl Compiler {
             Some(s) => s.with_options(self.options),
             None => Solver::new(self.options),
         };
-        let compiled = run_pipeline(src, &solver)?;
+        let program = dml_syntax::parse_program(src).map_err(PipelineError::Parse)?;
+        let (program, infer_report) = if self.infer {
+            match dml_infer::infer_refinements(&program, &solver) {
+                Ok(out) => (out.refined, Some(out.report)),
+                // A baseline that fails phase 1 or elaboration falls
+                // through to the pipeline proper, which reports the
+                // real error with its span.
+                Err(_) => (program, None),
+            }
+        } else {
+            (program, None)
+        };
+        let mut compiled = run_pipeline_ast(program, &solver)?;
+        compiled.infer_report = infer_report;
+        let compiled = compiled;
         if self.strict && !compiled.fully_verified() {
             let mut unproven: Vec<(Obligation, Verdict)> = compiled
                 .obligations
@@ -467,12 +538,15 @@ fn collapse_verdicts(outcome: &Outcome) -> Verdict {
     collapsed
 }
 
-/// The pipeline proper: parse → env → phase 1 → phase 2 → solve →
-/// check elimination. Strictness is layered on top by
-/// [`Compiler::compile`].
-fn run_pipeline(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
+/// The pipeline proper: env → phase 1 → phase 2 → solve → check
+/// elimination, from an already-parsed (possibly refined) AST.
+/// Strictness is layered on top by [`Compiler::compile`]. Running
+/// from the AST rather than re-rendered source keeps every expression
+/// span identical to the original program, so check sites, proven-site
+/// sets and the evaluator's span-keyed check elimination stay consistent
+/// when `dml-infer` attaches annotations.
+fn run_pipeline_ast(program: sast::Program, solver: &Solver) -> Result<Compiled, PipelineError> {
     let gen_start = Instant::now();
-    let program = dml_syntax::parse_program(src).map_err(PipelineError::Parse)?;
     let mut gen = VarGen::new();
     let mut env = base_env(&mut gen);
     for d in &program.decls {
@@ -571,6 +645,7 @@ fn run_pipeline(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
         top_level,
         solver,
         gen,
+        infer_report: None,
     })
 }
 

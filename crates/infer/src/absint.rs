@@ -1,0 +1,925 @@
+//! Flow-sensitive interval abstract interpretation over the surface AST.
+//!
+//! One top-level `fun` declaration is analyzed at a time. Its parameters
+//! are seeded with fresh *symbols* (array sizes, integer parameter
+//! values); `let`-local functions are analyzed call-site-driven: every
+//! call joins its argument abstraction into the callee's entry state, and
+//! the whole declaration iterates to a fixpoint with threshold widening
+//! (thresholds are harvested from comparison operands, so a loop counter
+//! tested against `n` is widened to `n` rather than to +∞).
+//!
+//! Branch conditions narrow occurrence-style: `if i = n then … else …`
+//! shaves `n` off `i`'s interval in the else branch when `i`'s upper
+//! bound is exactly `n` — the paper's canonical loop-exit shape.
+//!
+//! The result — entry intervals per local function parameter — is *not*
+//! trusted anywhere: `synth` turns it into candidate `where`-clauses and
+//! `verify` keeps only what the production solver re-proves.
+
+use crate::interval::{Bound, Interval};
+use crate::lin::{Lin, SymTable};
+use dml_syntax::ast::{self as sast, CmpOp, Expr, Pat};
+use dml_syntax::Span;
+use dml_types::ml::{MlScheme, MlTy};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum fixpoint rounds per top-level declaration before bailing.
+const MAX_ROUNDS: usize = 40;
+/// Precise join steps per interval end before threshold widening starts.
+const GROW_LIMIT: u32 = 2;
+
+/// An abstract value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsVal {
+    /// An integer with a symbolic interval.
+    Int(Interval),
+    /// An array whose *length* has the given interval.
+    Arr(Interval),
+    /// A tuple, element-wise.
+    Tup(Vec<AbsVal>),
+    /// A reference to a registered local function (index into the
+    /// analyzer's table).
+    LocalFun(usize),
+    /// Anything else (booleans, lists, closures, unknown ints…).
+    Other,
+}
+
+impl AbsVal {
+    fn int(&self) -> Option<&Interval> {
+        match self {
+            AbsVal::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Pointwise join; mismatched shapes collapse to `Other`.
+    fn join(&self, o: &AbsVal, syms: &SymTable) -> AbsVal {
+        match (self, o) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.join(b, syms)),
+            (AbsVal::Arr(a), AbsVal::Arr(b)) => AbsVal::Arr(a.join(b, syms)),
+            (AbsVal::Tup(a), AbsVal::Tup(b)) if a.len() == b.len() => {
+                AbsVal::Tup(a.iter().zip(b).map(|(x, y)| x.join(y, syms)).collect())
+            }
+            (AbsVal::LocalFun(a), AbsVal::LocalFun(b)) if a == b => AbsVal::LocalFun(*a),
+            _ => AbsVal::Other,
+        }
+    }
+}
+
+/// Per-interval-end widening memory.
+#[derive(Debug, Clone, Default)]
+struct WidenState {
+    grows: u32,
+    tried_hi: BTreeSet<Lin>,
+    tried_lo: BTreeSet<Lin>,
+}
+
+/// A `let`-local function registered for call-site-driven analysis.
+#[derive(Debug)]
+pub struct LocalFun<'p> {
+    /// The (unannotated, single-clause) declaration.
+    pub decl: &'p sast::FunDecl,
+    /// Environment captured at the declaration site (refreshed every
+    /// round; includes the self-binding).
+    captured: AEnv,
+    /// Entry abstraction per curried parameter; `None` until the first
+    /// call is seen.
+    pub entry: Option<Vec<AbsVal>>,
+}
+
+type AEnv = BTreeMap<String, AbsVal>;
+
+/// The outcome of analyzing one top-level declaration.
+#[derive(Debug)]
+pub struct DeclAnalysis<'p> {
+    /// The top-level function.
+    pub outer: &'p sast::FunDecl,
+    /// Its phase-1 ML scheme.
+    pub outer_scheme: MlScheme,
+    /// Symbol-seeded abstraction per curried parameter (shape mirrors the
+    /// first clause's patterns).
+    pub outer_seed: Vec<AbsVal>,
+    /// Local functions that were reached, with their fixpoint entries.
+    pub locals: Vec<(&'p sast::FunDecl, MlScheme, Vec<AbsVal>)>,
+    /// The symbol table the intervals speak about.
+    pub syms: SymTable,
+    /// Whether the fixpoint converged within the round budget.
+    pub converged: bool,
+}
+
+/// Deterministic fresh-name source that avoids every identifier already
+/// appearing in the program.
+pub struct Namer {
+    used: BTreeSet<String>,
+    next: BTreeMap<&'static str, u32>,
+}
+
+impl Namer {
+    /// Harvests all identifiers of `program` as reserved names.
+    pub fn new(program: &sast::Program) -> Namer {
+        let mut used = BTreeSet::new();
+        collect_idents(program, &mut used);
+        Namer { used, next: BTreeMap::new() }
+    }
+
+    /// Next unused `<prefix><k>` name.
+    pub fn fresh(&mut self, prefix: &'static str) -> String {
+        let counter = self.next.entry(prefix).or_insert(1);
+        loop {
+            let name = format!("{prefix}{counter}");
+            *counter += 1;
+            if self.used.insert(name.clone()) {
+                return name;
+            }
+        }
+    }
+}
+
+fn collect_idents(program: &sast::Program, out: &mut BTreeSet<String>) {
+    fn expr(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::Var(i) => {
+                out.insert(i.name.clone());
+            }
+            Expr::Int(..) | Expr::Bool(..) | Expr::Raise(..) => {}
+            Expr::App(f, a, _) => {
+                expr(f, out);
+                expr(a, out);
+            }
+            Expr::Tuple(es, _) | Expr::Seq(es, _) => es.iter().for_each(|e| expr(e, out)),
+            Expr::If(c, t, f, _) => {
+                expr(c, out);
+                expr(t, out);
+                expr(f, out);
+            }
+            Expr::Case(s, arms, _) => {
+                expr(s, out);
+                for (p, e) in arms {
+                    pat(p, out);
+                    expr(e, out);
+                }
+            }
+            Expr::Let(ds, b, _) => {
+                ds.iter().for_each(|d| decl(d, out));
+                expr(b, out);
+            }
+            Expr::Fn(arms, _) => {
+                for (p, e) in arms {
+                    pat(p, out);
+                    expr(e, out);
+                }
+            }
+            Expr::Anno(e, _, _) => expr(e, out),
+            Expr::Andalso(a, b, _) | Expr::Orelse(a, b, _) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            Expr::Handle(e, arms, _) => {
+                expr(e, out);
+                arms.iter().for_each(|(_, h)| expr(h, out));
+            }
+        }
+    }
+    fn pat(p: &Pat, out: &mut BTreeSet<String>) {
+        for v in p.bound_vars() {
+            out.insert(v.name.clone());
+        }
+    }
+    fn decl(d: &sast::Decl, out: &mut BTreeSet<String>) {
+        match d {
+            sast::Decl::Fun(fs) => {
+                for f in fs {
+                    out.insert(f.name.name.clone());
+                    for q in &f.index_params {
+                        out.insert(q.var.name.clone());
+                    }
+                    if let Some(a) = &f.anno {
+                        dtype_idents(a, out);
+                    }
+                    for c in &f.clauses {
+                        c.params.iter().for_each(|p| pat(p, out));
+                        expr(&c.body, out);
+                    }
+                }
+            }
+            sast::Decl::Val(v) => {
+                pat(&v.pat, out);
+                expr(&v.expr, out);
+            }
+            _ => {}
+        }
+    }
+    fn dtype_idents(t: &sast::DType, out: &mut BTreeSet<String>) {
+        match t {
+            sast::DType::Var(_) => {}
+            sast::DType::App { ty_args, .. } => ty_args.iter().for_each(|t| dtype_idents(t, out)),
+            sast::DType::Product(ts) => ts.iter().for_each(|t| dtype_idents(t, out)),
+            sast::DType::Arrow(a, b) => {
+                dtype_idents(a, out);
+                dtype_idents(b, out);
+            }
+            sast::DType::Pi(qs, b) | sast::DType::Sigma(qs, b) => {
+                for q in qs {
+                    out.insert(q.var.name.clone());
+                }
+                dtype_idents(b, out);
+            }
+        }
+    }
+    program.decls.iter().for_each(|d| decl(d, out));
+}
+
+/// The analyzer for one top-level declaration.
+pub struct Analyzer<'p> {
+    syms: SymTable,
+    funs: Vec<LocalFun<'p>>,
+    fun_ids: BTreeMap<Span, usize>,
+    pending: Vec<Option<Vec<AbsVal>>>,
+    thresholds: BTreeSet<Lin>,
+    widen: BTreeMap<(usize, Vec<usize>), WidenState>,
+    schemes: BTreeMap<Span, MlScheme>,
+}
+
+/// Analyzes one top-level `fun` declaration. Returns `None` when the
+/// declaration is out of scope for inference (multi-clause, mutual
+/// recursion, explicit index parameters, already annotated, or no ML
+/// scheme available).
+pub fn analyze_decl<'p>(
+    fun: &'p sast::FunDecl,
+    schemes: &BTreeMap<Span, MlScheme>,
+    namer: &mut Namer,
+) -> Option<DeclAnalysis<'p>> {
+    if fun.anno.is_some()
+        || fun.clauses.len() != 1
+        || !fun.index_params.is_empty()
+        || !fun.tyvars.is_empty()
+    {
+        return None;
+    }
+    let scheme = schemes.get(&fun.name.span)?.clone();
+    let mut az = Analyzer {
+        syms: SymTable::new(),
+        funs: Vec::new(),
+        fun_ids: BTreeMap::new(),
+        pending: Vec::new(),
+        thresholds: BTreeSet::new(),
+        widen: BTreeMap::new(),
+        schemes: schemes.clone(),
+    };
+
+    // Seed the outer parameters with fresh symbols.
+    let clause = &fun.clauses[0];
+    let mut param_tys = Vec::new();
+    let mut ty = &scheme.ty;
+    for _ in 0..clause.params.len() {
+        match ty {
+            MlTy::Arrow(d, r) => {
+                param_tys.push(d.as_ref());
+                ty = r;
+            }
+            _ => return None,
+        }
+    }
+    let mut env: AEnv = AEnv::new();
+    let mut seed = Vec::new();
+    for (pat, mlty) in clause.params.iter().zip(&param_tys) {
+        seed.push(az.seed_pattern(pat, mlty, namer, &mut env));
+    }
+
+    // Iterate to a fixpoint.
+    let mut converged = false;
+    for _round in 0..MAX_ROUNDS {
+        az.pending = vec![None; az.funs.len()];
+        let mut round_env = env.clone();
+        az.eval(&clause.body, &mut round_env);
+        // Evaluate every reachable local function under its current entry.
+        for k in 0..az.funs.len() {
+            let Some(entry) = az.funs[k].entry.clone() else { continue };
+            let decl = az.funs[k].decl;
+            let mut fenv = az.funs[k].captured.clone();
+            for (pat, v) in decl.clauses[0].params.iter().zip(&entry) {
+                az.bind_pattern(pat, v.clone(), &mut fenv);
+            }
+            az.eval(&decl.clauses[0].body, &mut fenv);
+        }
+        // Merge pending call joins into entries, widening as needed.
+        let mut changed = false;
+        for k in 0..az.funs.len() {
+            let incoming = az.pending.get(k).cloned().flatten();
+            let Some(incoming) = incoming else { continue };
+            let next = match az.funs[k].entry.clone() {
+                None => incoming,
+                Some(old) => {
+                    let mut out = Vec::new();
+                    for (i, (o, n)) in old.iter().zip(&incoming).enumerate() {
+                        out.push(az.widen_val(k, &mut vec![i], o, n));
+                    }
+                    out
+                }
+            };
+            if az.funs[k].entry.as_ref() != Some(&next) {
+                az.funs[k].entry = Some(next);
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    let locals = az
+        .funs
+        .iter()
+        .filter_map(|f| {
+            let entry = f.entry.clone()?;
+            let scheme = az.schemes.get(&f.decl.name.span)?.clone();
+            Some((f.decl, scheme, entry))
+        })
+        .collect();
+    Some(DeclAnalysis {
+        outer: fun,
+        outer_scheme: scheme,
+        outer_seed: seed,
+        locals,
+        syms: az.syms,
+        converged,
+    })
+}
+
+impl<'p> Analyzer<'p> {
+    /// Binds a top-level parameter pattern to symbol-seeded values.
+    fn seed_pattern(
+        &mut self,
+        pat: &Pat,
+        mlty: &MlTy,
+        namer: &mut Namer,
+        env: &mut AEnv,
+    ) -> AbsVal {
+        match (pat, mlty) {
+            (Pat::Anno(p, _, _), t) => self.seed_pattern(p, t, namer, env),
+            (Pat::Var(x), MlTy::Con(c, _)) if c == "int" => {
+                let s = self.syms.fresh(namer.fresh("i"), false);
+                let v = AbsVal::Int(Interval::exact(Lin::sym(s)));
+                env.insert(x.name.clone(), v.clone());
+                v
+            }
+            (Pat::Var(x), MlTy::Con(c, _)) if c == "array" => {
+                let s = self.syms.fresh(namer.fresh("n"), true);
+                let v = AbsVal::Arr(Interval::exact(Lin::sym(s)));
+                env.insert(x.name.clone(), v.clone());
+                v
+            }
+            (Pat::Tuple(ps, _), MlTy::Tuple(ts)) if ps.len() == ts.len() => AbsVal::Tup(
+                ps.iter().zip(ts).map(|(p, t)| self.seed_pattern(p, t, namer, env)).collect(),
+            ),
+            (p, _) => {
+                for v in p.bound_vars() {
+                    env.insert(v.name.clone(), AbsVal::Other);
+                }
+                AbsVal::Other
+            }
+        }
+    }
+
+    /// Binds a pattern to an abstract value inside a function body.
+    fn bind_pattern(&mut self, pat: &Pat, val: AbsVal, env: &mut AEnv) {
+        match (pat, val) {
+            (Pat::Var(x), v) => {
+                env.insert(x.name.clone(), v);
+            }
+            (Pat::Anno(p, _, _), v) => self.bind_pattern(p, v, env),
+            (Pat::Tuple(ps, _), AbsVal::Tup(vs)) if ps.len() == vs.len() => {
+                for (p, v) in ps.iter().zip(vs) {
+                    self.bind_pattern(p, v, env);
+                }
+            }
+            (p, _) => {
+                for v in p.bound_vars() {
+                    env.insert(v.name.clone(), AbsVal::Other);
+                }
+            }
+        }
+    }
+
+    /// Registers the local functions of a `let` group (or re-captures
+    /// their environment on later rounds).
+    fn register_funs(&mut self, group: &'p [sast::FunDecl], env: &mut AEnv) {
+        // Only simple bare singletons participate; everything else is
+        // bound opaquely (mutual recursion and annotated locals are out
+        // of scope for inference — honestly reported by verify).
+        if group.len() == 1
+            && group[0].anno.is_none()
+            && group[0].clauses.len() == 1
+            && group[0].index_params.is_empty()
+            && group[0].tyvars.is_empty()
+            && self.schemes.contains_key(&group[0].name.span)
+        {
+            let f = &group[0];
+            let id = match self.fun_ids.get(&f.name.span) {
+                Some(id) => *id,
+                None => {
+                    let id = self.funs.len();
+                    self.fun_ids.insert(f.name.span, id);
+                    self.funs.push(LocalFun { decl: f, captured: AEnv::new(), entry: None });
+                    self.pending.push(None);
+                    id
+                }
+            };
+            env.insert(f.name.name.clone(), AbsVal::LocalFun(id));
+            let mut captured = env.clone();
+            captured.insert(f.name.name.clone(), AbsVal::LocalFun(id));
+            self.funs[id].captured = captured;
+        } else {
+            for f in group {
+                env.insert(f.name.name.clone(), AbsVal::Other);
+            }
+        }
+    }
+
+    /// Records a call to local function `id` with argument abstractions.
+    fn record_call(&mut self, id: usize, args: Vec<AbsVal>) {
+        let arity = self.funs[id].decl.clauses[0].params.len();
+        if args.len() != arity {
+            return;
+        }
+        let slot = &mut self.pending[id];
+        let joined = match slot.take() {
+            None => args,
+            Some(prev) => prev.iter().zip(&args).map(|(a, b)| a.join(b, &self.syms)).collect(),
+        };
+        *slot = Some(joined);
+    }
+
+    /// Widens one entry slot: precise joins for the first couple of
+    /// growth steps, then jumps to harvested thresholds, then to ±∞.
+    fn widen_val(
+        &mut self,
+        fun: usize,
+        path: &mut Vec<usize>,
+        old: &AbsVal,
+        incoming: &AbsVal,
+    ) -> AbsVal {
+        match (old, incoming) {
+            (AbsVal::Int(o), AbsVal::Int(n)) => {
+                AbsVal::Int(self.widen_interval(fun, path.clone(), o, n))
+            }
+            (AbsVal::Arr(o), AbsVal::Arr(n)) => {
+                AbsVal::Arr(self.widen_interval(fun, path.clone(), o, n))
+            }
+            (AbsVal::Tup(os), AbsVal::Tup(ns)) if os.len() == ns.len() => {
+                let mut out = Vec::new();
+                for (i, (o, n)) in os.iter().zip(ns).enumerate() {
+                    path.push(i);
+                    out.push(self.widen_val(fun, path, o, n));
+                    path.pop();
+                }
+                AbsVal::Tup(out)
+            }
+            _ => old.join(incoming, &self.syms),
+        }
+    }
+
+    fn widen_interval(
+        &mut self,
+        fun: usize,
+        path: Vec<usize>,
+        old: &Interval,
+        incoming: &Interval,
+    ) -> Interval {
+        let joined = old.join(incoming, &self.syms);
+        if joined.subsumed_by(old, &self.syms) {
+            return old.clone();
+        }
+        let st = self.widen.entry((fun, path)).or_default();
+        st.grows += 1;
+        if st.grows <= GROW_LIMIT {
+            return joined;
+        }
+        let mut out = joined.clone();
+        if joined.hi != old.hi {
+            let next = self.thresholds.iter().find(|t| !st.tried_hi.contains(*t)).cloned();
+            out.hi = match next {
+                Some(t) => {
+                    st.tried_hi.insert(t.clone());
+                    Bound::Fin(t)
+                }
+                None => Bound::PosInf,
+            };
+        }
+        if joined.lo != old.lo {
+            let next = self.thresholds.iter().rev().find(|t| !st.tried_lo.contains(*t)).cloned();
+            out.lo = match next {
+                Some(t) => {
+                    st.tried_lo.insert(t.clone());
+                    Bound::Fin(t)
+                }
+                None => Bound::NegInf,
+            };
+        }
+        out
+    }
+
+    /// Abstract evaluation of an expression.
+    fn eval(&mut self, e: &'p Expr, env: &mut AEnv) -> AbsVal {
+        match e {
+            Expr::Int(k, _) => AbsVal::Int(Interval::lit(*k)),
+            Expr::Bool(..) | Expr::Raise(..) | Expr::Fn(..) => AbsVal::Other,
+            Expr::Var(x) => env.get(&x.name).cloned().unwrap_or(AbsVal::Other),
+            Expr::Tuple(es, _) => AbsVal::Tup(es.iter().map(|e| self.eval(e, env)).collect()),
+            Expr::Anno(e, _, _) => self.eval(e, env),
+            Expr::Seq(es, _) => {
+                let mut last = AbsVal::Other;
+                for e in es {
+                    last = self.eval(e, env);
+                }
+                last
+            }
+            Expr::Andalso(a, b, _) | Expr::Orelse(a, b, _) => {
+                self.eval(a, env);
+                self.eval(b, env);
+                AbsVal::Other
+            }
+            Expr::Handle(body, arms, _) => {
+                let mut v = self.eval(body, env);
+                for (_, h) in arms {
+                    let hv = self.eval(h, &mut env.clone());
+                    v = v.join(&hv, &self.syms);
+                }
+                v
+            }
+            Expr::Let(decls, body, _) => {
+                for d in decls {
+                    match d {
+                        sast::Decl::Fun(group) => self.register_funs(group, env),
+                        sast::Decl::Val(v) => {
+                            let val = self.eval(&v.expr, env);
+                            self.bind_pattern(&v.pat, val, env);
+                        }
+                        _ => {}
+                    }
+                }
+                self.eval(body, env)
+            }
+            Expr::If(cond, then, els, _) => {
+                self.eval(cond, env);
+                let mut tenv = env.clone();
+                self.narrow(cond, true, &mut tenv);
+                let tv = self.eval(then, &mut tenv);
+                let mut eenv = env.clone();
+                self.narrow(cond, false, &mut eenv);
+                let ev = self.eval(els, &mut eenv);
+                tv.join(&ev, &self.syms)
+            }
+            Expr::Case(scrut, arms, _) => {
+                self.eval(scrut, env);
+                let mut out: Option<AbsVal> = None;
+                for (p, body) in arms {
+                    let mut aenv = env.clone();
+                    self.bind_pattern(p, AbsVal::Other, &mut aenv);
+                    let v = self.eval(body, &mut aenv);
+                    out = Some(match out {
+                        None => v,
+                        Some(prev) => prev.join(&v, &self.syms),
+                    });
+                }
+                out.unwrap_or(AbsVal::Other)
+            }
+            Expr::App(f, arg, _) => self.eval_app(f, arg, env),
+        }
+    }
+
+    fn eval_app(&mut self, f: &'p Expr, arg: &'p Expr, env: &mut AEnv) -> AbsVal {
+        // Calls to registered local functions: join the argument
+        // abstraction into the callee's entry.
+        if let Expr::Var(name) = f {
+            if let Some(AbsVal::LocalFun(id)) = env.get(&name.name).cloned() {
+                let argv = self.eval(arg, env);
+                let arity = self.funs[id].decl.clauses[0].params.len();
+                let args = match (arity, argv) {
+                    (1, v) => vec![v],
+                    (_, AbsVal::Tup(vs)) => vs,
+                    (_, _) => vec![],
+                };
+                self.record_call(id, args);
+                return AbsVal::Other;
+            }
+            // Primitives (only when not shadowed by a program binding).
+            if !env.contains_key(&name.name) {
+                return self.eval_prim(&name.name, arg, env);
+            }
+        }
+        self.eval(f, env);
+        self.eval(arg, env);
+        AbsVal::Other
+    }
+
+    fn eval_prim(&mut self, prim: &str, arg: &'p Expr, env: &mut AEnv) -> AbsVal {
+        let bin = |az: &mut Self, env: &mut AEnv| -> Option<(AbsVal, AbsVal)> {
+            match arg {
+                Expr::Tuple(es, _) if es.len() == 2 => {
+                    let a = az.eval(&es[0], env);
+                    let b = az.eval(&es[1], env);
+                    Some((a, b))
+                }
+                _ => None,
+            }
+        };
+        match prim {
+            "+" => {
+                // Midpoint shape `a + (b - a) div k`: the result lies in
+                // the convex hull of `a` and `b` for k >= 1, which the
+                // non-relational domain cannot see through plain
+                // interval arithmetic.
+                if let Expr::Tuple(es, _) = arg {
+                    if es.len() == 2 {
+                        if let Some(bv) = self.midpoint_offset(&es[0], &es[1], env) {
+                            let av = self.eval(&es[0], env);
+                            return match (av.int(), bv.int()) {
+                                (Some(a), Some(b)) => AbsVal::Int(a.join(b, &self.syms)),
+                                _ => AbsVal::Other,
+                            };
+                        }
+                    }
+                }
+                match bin(self, env) {
+                    Some((a, b)) => match (a.int(), b.int()) {
+                        (Some(x), Some(y)) => AbsVal::Int(x.add(y)),
+                        _ => AbsVal::Other,
+                    },
+                    None => {
+                        self.eval(arg, env);
+                        AbsVal::Other
+                    }
+                }
+            }
+            "-" => match bin(self, env) {
+                Some((a, b)) => match (a.int(), b.int()) {
+                    (Some(x), Some(y)) => AbsVal::Int(x.sub(y)),
+                    _ => AbsVal::Other,
+                },
+                None => {
+                    self.eval(arg, env);
+                    AbsVal::Other
+                }
+            },
+            "*" => match bin(self, env) {
+                Some((a, b)) => {
+                    let av = a.int().cloned();
+                    let bv = b.int().cloned();
+                    match (av, bv) {
+                        (Some(x), Some(y)) => {
+                            if let Some(k) = y.as_exact().and_then(|l| l.as_const()) {
+                                AbsVal::Int(x.scale(k))
+                            } else if let Some(k) = x.as_exact().and_then(|l| l.as_const()) {
+                                AbsVal::Int(y.scale(k))
+                            } else {
+                                AbsVal::Other
+                            }
+                        }
+                        _ => AbsVal::Other,
+                    }
+                }
+                None => {
+                    self.eval(arg, env);
+                    AbsVal::Other
+                }
+            },
+            "div" => {
+                // `(a + b) div 2` is also a midpoint: in the hull of a, b.
+                if let Expr::Tuple(es, _) = arg {
+                    if es.len() == 2 {
+                        if let (Expr::App(f2, arg2, _), Expr::Int(2, _)) = (&es[0], &es[1]) {
+                            if matches!(f2.as_ref(), Expr::Var(i) if i.name == "+"
+                                && !env.contains_key("+"))
+                            {
+                                if let Expr::Tuple(xs, _) = arg2.as_ref() {
+                                    if xs.len() == 2 {
+                                        let a = self.eval(&xs[0], env);
+                                        let b = self.eval(&xs[1], env);
+                                        if let (Some(x), Some(y)) = (a.int(), b.int()) {
+                                            return AbsVal::Int(x.join(y, &self.syms));
+                                        }
+                                        return AbsVal::Other;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                match bin(self, env) {
+                    Some((a, b)) => {
+                        let d = b.int().and_then(|i| i.as_exact()).and_then(|l| l.as_const());
+                        match (a.int(), d) {
+                            (Some(x), Some(d)) if d > 0 => AbsVal::Int(x.fdiv(d, &self.syms)),
+                            _ => AbsVal::Other,
+                        }
+                    }
+                    None => {
+                        self.eval(arg, env);
+                        AbsVal::Other
+                    }
+                }
+            }
+            "mod" => match bin(self, env) {
+                Some((_, b)) => {
+                    let d = b.int().and_then(|i| i.as_exact()).and_then(|l| l.as_const());
+                    match d {
+                        Some(d) if d > 0 => {
+                            AbsVal::Int(Interval::of(Some(Lin::lit(0)), Some(Lin::lit(d - 1))))
+                        }
+                        _ => AbsVal::Other,
+                    }
+                }
+                None => {
+                    self.eval(arg, env);
+                    AbsVal::Other
+                }
+            },
+            "~" => {
+                let v = self.eval(arg, env);
+                match v.int() {
+                    Some(i) => AbsVal::Int(i.scale(-1)),
+                    None => AbsVal::Other,
+                }
+            }
+            "length" => {
+                let v = self.eval(arg, env);
+                match v {
+                    AbsVal::Arr(len) => AbsVal::Int(len),
+                    _ => AbsVal::Other,
+                }
+            }
+            "array" => match bin(self, env) {
+                Some((n, _)) => match n.int() {
+                    Some(i) => AbsVal::Arr(i.clone()),
+                    None => AbsVal::Arr(Interval::top()),
+                },
+                None => {
+                    self.eval(arg, env);
+                    AbsVal::Other
+                }
+            },
+            _ => {
+                self.eval(arg, env);
+                AbsVal::Other
+            }
+        }
+    }
+
+    /// Recognizes `b_expr = (c - a) div k` against the left operand `a`
+    /// of an addition; returns the abstraction of `c` when it matches.
+    fn midpoint_offset(&mut self, a: &'p Expr, b: &'p Expr, env: &mut AEnv) -> Option<AbsVal> {
+        let Expr::App(df, darg, _) = b else { return None };
+        let is_prim = |e: &Expr, s: &str, env: &AEnv| matches!(e, Expr::Var(i) if i.name == s && !env.contains_key(s));
+        if !is_prim(df, "div", env) {
+            return None;
+        }
+        let Expr::Tuple(des, _) = darg.as_ref() else { return None };
+        let [num, den] = des.as_slice() else { return None };
+        let k = match den {
+            Expr::Int(k, _) if *k >= 1 => *k,
+            _ => return None,
+        };
+        let _ = k;
+        let Expr::App(sf, sarg, _) = num else { return None };
+        if !is_prim(sf, "-", env) {
+            return None;
+        }
+        let Expr::Tuple(ses, _) = sarg.as_ref() else { return None };
+        let [c, a2] = ses.as_slice() else { return None };
+        let same_var = match (a, a2) {
+            (Expr::Var(x), Expr::Var(y)) => x.name == y.name,
+            (Expr::Int(x, _), Expr::Int(y, _)) => x == y,
+            _ => false,
+        };
+        if !same_var {
+            return None;
+        }
+        Some(self.eval(c, env))
+    }
+
+    /// Occurrence-style narrowing from a branch condition.
+    fn narrow(&mut self, cond: &'p Expr, positive: bool, env: &mut AEnv) {
+        match cond {
+            Expr::Andalso(a, b, _) if positive => {
+                self.narrow(a, true, env);
+                self.narrow(b, true, env);
+            }
+            Expr::Orelse(a, b, _) if !positive => {
+                self.narrow(a, false, env);
+                self.narrow(b, false, env);
+            }
+            Expr::App(f, arg, _) => {
+                if let Expr::Var(name) = f.as_ref() {
+                    if name.name == "not" && !env.contains_key("not") {
+                        self.narrow(arg, !positive, env);
+                        return;
+                    }
+                    let op = match name.name.as_str() {
+                        "<" => Some(CmpOp::Lt),
+                        "<=" => Some(CmpOp::Le),
+                        ">" => Some(CmpOp::Gt),
+                        ">=" => Some(CmpOp::Ge),
+                        "=" => Some(CmpOp::Eq),
+                        "<>" => Some(CmpOp::Neq),
+                        _ => None,
+                    };
+                    if let (Some(op), false) = (op, env.contains_key(&name.name)) {
+                        if let Expr::Tuple(es, _) = arg.as_ref() {
+                            if let [lhs, rhs] = es.as_slice() {
+                                let op = if positive { op } else { negate(op) };
+                                self.narrow_cmp(lhs, op, rhs, env);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn narrow_cmp(&mut self, lhs: &'p Expr, op: CmpOp, rhs: &'p Expr, env: &mut AEnv) {
+        let lv = self.eval(lhs, &mut env.clone());
+        let rv = self.eval(rhs, &mut env.clone());
+        // Harvest widening thresholds from exact comparison operands.
+        for v in [&lv, &rv] {
+            if let Some(e) = v.int().and_then(|i| i.as_exact()) {
+                self.thresholds.insert(e.clone());
+                if let Some(p) = e.add(&Lin::lit(1)) {
+                    self.thresholds.insert(p);
+                }
+                if let Some(m) = e.sub(&Lin::lit(1)) {
+                    self.thresholds.insert(m);
+                }
+            }
+        }
+        if let (Expr::Var(x), Some(r)) = (lhs, rv.int()) {
+            self.narrow_var(&x.name, op, r, env);
+        }
+        if let (Expr::Var(y), Some(l)) = (rhs, lv.int()) {
+            self.narrow_var(&y.name, flip(op), l, env);
+        }
+    }
+
+    /// Applies `x OP iv` to the interval of `x` in `env`.
+    fn narrow_var(&mut self, x: &str, op: CmpOp, iv: &Interval, env: &mut AEnv) {
+        let Some(AbsVal::Int(cur)) = env.get(x).cloned() else { return };
+        let one = Lin::lit(1);
+        let narrowed = match op {
+            CmpOp::Lt => match iv.hi.fin().and_then(|h| h.sub(&one)) {
+                Some(h) => cur.clamp_hi(&h, &self.syms),
+                None => cur,
+            },
+            CmpOp::Le => match iv.hi.fin() {
+                Some(h) => cur.clamp_hi(h, &self.syms),
+                None => cur,
+            },
+            CmpOp::Gt => match iv.lo.fin().and_then(|l| l.add(&one)) {
+                Some(l) => cur.clamp_lo(&l, &self.syms),
+                None => cur,
+            },
+            CmpOp::Ge => match iv.lo.fin() {
+                Some(l) => cur.clamp_lo(l, &self.syms),
+                None => cur,
+            },
+            CmpOp::Eq => {
+                let mut out = cur;
+                if let Some(l) = iv.lo.fin() {
+                    out = out.clamp_lo(l, &self.syms);
+                }
+                if let Some(h) = iv.hi.fin() {
+                    out = out.clamp_hi(h, &self.syms);
+                }
+                out
+            }
+            CmpOp::Neq => match iv.as_exact() {
+                Some(e) => cur.shave_ne(e),
+                None => cur,
+            },
+        };
+        env.insert(x.to_string(), AbsVal::Int(narrowed));
+    }
+}
+
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Eq => CmpOp::Neq,
+        CmpOp::Neq => CmpOp::Eq,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Neq => CmpOp::Neq,
+    }
+}

@@ -1,0 +1,286 @@
+//! The interval abstract domain with symbolic [`Lin`] bounds.
+//!
+//! Values are `[lo, hi]` with bounds drawn from `Lin ∪ {−∞, +∞}`. The
+//! domain is non-relational, so joins and arithmetic lose relations
+//! between variables; the midpoint special cases in `absint` recover the
+//! one relational fact binary search needs. Where a comparison between
+//! bounds is undecidable the operations pick the conservative answer
+//! (wider intervals, fewer narrowings) — imprecision here only costs
+//! inference coverage, never soundness, because the solver re-proves
+//! every candidate.
+
+use crate::lin::{Lin, SymTable};
+
+/// One end of an interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    /// −∞ (as a lower bound) — no information.
+    NegInf,
+    /// A finite symbolic bound.
+    Fin(Lin),
+    /// +∞ (as an upper bound) — no information.
+    PosInf,
+}
+
+impl Bound {
+    /// The finite bound, if any.
+    pub fn fin(&self) -> Option<&Lin> {
+        match self {
+            Bound::Fin(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// An interval `[lo, hi]`. Empty intervals are not represented — the
+/// analysis snaps to `top()` instead of tracking unreachability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: Bound,
+    /// Upper bound.
+    pub hi: Bound,
+}
+
+impl Interval {
+    /// The unconstrained interval `[−∞, +∞]`.
+    pub fn top() -> Interval {
+        Interval { lo: Bound::NegInf, hi: Bound::PosInf }
+    }
+
+    /// The exact singleton `[e, e]`.
+    pub fn exact(e: Lin) -> Interval {
+        Interval { lo: Bound::Fin(e.clone()), hi: Bound::Fin(e) }
+    }
+
+    /// The constant singleton.
+    pub fn lit(k: i64) -> Interval {
+        Interval::exact(Lin::lit(k))
+    }
+
+    /// `[lo, hi]` from optional finite ends.
+    pub fn of(lo: Option<Lin>, hi: Option<Lin>) -> Interval {
+        Interval {
+            lo: lo.map_or(Bound::NegInf, Bound::Fin),
+            hi: hi.map_or(Bound::PosInf, Bound::Fin),
+        }
+    }
+
+    /// The exact value when `lo = hi`.
+    pub fn as_exact(&self) -> Option<&Lin> {
+        match (&self.lo, &self.hi) {
+            (Bound::Fin(a), Bound::Fin(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Join (convex hull). Bounds that cannot be compared syntactically
+    /// widen to ±∞.
+    pub fn join(&self, o: &Interval, syms: &SymTable) -> Interval {
+        let lo = match (&self.lo, &o.lo) {
+            (Bound::Fin(a), Bound::Fin(b)) => match (a.le(b, syms), b.le(a, syms)) {
+                (Some(true), _) => Bound::Fin(a.clone()),
+                (_, Some(true)) => Bound::Fin(b.clone()),
+                _ => Bound::NegInf,
+            },
+            _ => Bound::NegInf,
+        };
+        let hi = match (&self.hi, &o.hi) {
+            (Bound::Fin(a), Bound::Fin(b)) => match (a.le(b, syms), b.le(a, syms)) {
+                (_, Some(true)) => Bound::Fin(a.clone()),
+                (Some(true), _) => Bound::Fin(b.clone()),
+                _ => Bound::PosInf,
+            },
+            _ => Bound::PosInf,
+        };
+        Interval { lo, hi }
+    }
+
+    /// Syntactic inclusion `self ⊑ o` — `false` when undecidable.
+    pub fn subsumed_by(&self, o: &Interval, syms: &SymTable) -> bool {
+        let lo_ok = match (&o.lo, &self.lo) {
+            (Bound::NegInf, _) => true,
+            (Bound::Fin(ol), Bound::Fin(sl)) => ol.le(sl, syms) == Some(true),
+            _ => false,
+        };
+        let hi_ok = match (&o.hi, &self.hi) {
+            (Bound::PosInf, _) => true,
+            (Bound::Fin(oh), Bound::Fin(sh)) => sh.le(oh, syms) == Some(true),
+            _ => false,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Pointwise addition.
+    pub fn add(&self, o: &Interval) -> Interval {
+        let lo = match (&self.lo, &o.lo) {
+            (Bound::Fin(a), Bound::Fin(b)) => a.add(b).map_or(Bound::NegInf, Bound::Fin),
+            _ => Bound::NegInf,
+        };
+        let hi = match (&self.hi, &o.hi) {
+            (Bound::Fin(a), Bound::Fin(b)) => a.add(b).map_or(Bound::PosInf, Bound::Fin),
+            _ => Bound::PosInf,
+        };
+        Interval { lo, hi }
+    }
+
+    /// Pointwise subtraction (`self - o` flips `o`'s ends).
+    pub fn sub(&self, o: &Interval) -> Interval {
+        let lo = match (&self.lo, &o.hi) {
+            (Bound::Fin(a), Bound::Fin(b)) => a.sub(b).map_or(Bound::NegInf, Bound::Fin),
+            _ => Bound::NegInf,
+        };
+        let hi = match (&self.hi, &o.lo) {
+            (Bound::Fin(a), Bound::Fin(b)) => a.sub(b).map_or(Bound::PosInf, Bound::Fin),
+            _ => Bound::PosInf,
+        };
+        Interval { lo, hi }
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&self, c: i64) -> Interval {
+        if c == 0 {
+            return Interval::lit(0);
+        }
+        let scale_bound = |b: &Bound| match b {
+            Bound::Fin(l) => l.scale(c).map(Bound::Fin),
+            _ => None,
+        };
+        let (a, b) = (scale_bound(&self.lo), scale_bound(&self.hi));
+        if c > 0 {
+            Interval { lo: a.unwrap_or(Bound::NegInf), hi: b.unwrap_or(Bound::PosInf) }
+        } else {
+            Interval { lo: b.unwrap_or(Bound::NegInf), hi: a.unwrap_or(Bound::PosInf) }
+        }
+    }
+
+    /// Flooring division by a positive constant `d`.
+    ///
+    /// Exact when both ends divide evenly; otherwise each end falls back
+    /// to the best *decidable* approximation: a constant `c` with
+    /// `c·d <= e` for the lower end (sound: `floor(e/d) >= c`), and the
+    /// numerator itself for the upper end when it is decidably
+    /// nonnegative (`floor(e/d) <= e` for `e >= 0`, `d >= 1`).
+    pub fn fdiv(&self, d: i64, syms: &SymTable) -> Interval {
+        if d <= 0 {
+            return Interval::top();
+        }
+        let lo = match &self.lo {
+            Bound::Fin(e) => match e.div_exact(d) {
+                Some(q) => Bound::Fin(q),
+                None => match e.as_const() {
+                    Some(k) => Bound::Fin(Lin::lit(k.div_euclid(d))),
+                    // Largest constant c with c*d <= e decidable; try a
+                    // couple of small candidates (0 and -1 cover the
+                    // `n div 4`-style numerators the corpus produces).
+                    None => [0i64, -1]
+                        .iter()
+                        .find(|c| Lin::lit(*c * d).le(e, syms) == Some(true))
+                        .map_or(Bound::NegInf, |c| Bound::Fin(Lin::lit(*c))),
+                },
+            },
+            _ => Bound::NegInf,
+        };
+        let hi = match &self.hi {
+            Bound::Fin(e) => match e.div_exact(d) {
+                Some(q) => Bound::Fin(q),
+                None => match e.as_const() {
+                    Some(k) => Bound::Fin(Lin::lit(k.div_euclid(d))),
+                    None => {
+                        if e.nonneg(syms) == Some(true) {
+                            Bound::Fin(e.clone())
+                        } else {
+                            Bound::PosInf
+                        }
+                    }
+                },
+            },
+            _ => Bound::PosInf,
+        };
+        Interval { lo, hi }
+    }
+
+    /// Meet with `x <= e`: tightens the upper bound when decidable.
+    pub fn clamp_hi(&self, e: &Lin, syms: &SymTable) -> Interval {
+        let hi = match &self.hi {
+            Bound::Fin(h) if h.le(e, syms) == Some(true) => Bound::Fin(h.clone()),
+            _ => Bound::Fin(e.clone()),
+        };
+        Interval { lo: self.lo.clone(), hi }
+    }
+
+    /// Meet with `x >= e`: tightens the lower bound when decidable.
+    pub fn clamp_lo(&self, e: &Lin, syms: &SymTable) -> Interval {
+        let lo = match &self.lo {
+            Bound::Fin(l) if e.le(l, syms) == Some(true) => Bound::Fin(l.clone()),
+            _ => Bound::Fin(e.clone()),
+        };
+        Interval { lo, hi: self.hi.clone() }
+    }
+
+    /// Occurrence-style narrowing for `x ≠ e` (the `if i = n … else …`
+    /// loop-exit shape): when an end of the interval is *exactly* `e` the
+    /// disequality shaves it by one.
+    pub fn shave_ne(&self, e: &Lin) -> Interval {
+        let mut out = self.clone();
+        if let Bound::Fin(h) = &out.hi {
+            if h == e {
+                out.hi = h.sub(&Lin::lit(1)).map_or(Bound::PosInf, Bound::Fin);
+            }
+        }
+        if let Bound::Fin(l) = &out.lo {
+            if l == e {
+                out.lo = l.add(&Lin::lit(1)).map_or(Bound::NegInf, Bound::Fin);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_widens_incomparable_bounds() {
+        let mut t = SymTable::new();
+        let n = t.fresh("n", true);
+        let a = Interval::lit(1);
+        let b = Interval::exact(Lin::sym(n));
+        let j = a.join(&b, &t);
+        // lo: min(1, n) undecidable -> -inf is wrong only for precision;
+        // but 0 <= n and 0 <= 1 are not the bounds here: 1 vs n is
+        // undecidable both ways, so lo widens.
+        assert_eq!(j.lo, Bound::NegInf);
+        assert_eq!(j.hi, Bound::PosInf);
+        // 0 vs n: decidable (n nonneg).
+        let z = Interval::lit(0);
+        let j2 = z.join(&b, &t);
+        assert_eq!(j2.lo, Bound::Fin(Lin::lit(0)));
+        assert_eq!(j2.hi, Bound::Fin(Lin::sym(n)));
+    }
+
+    #[test]
+    fn shave_ne_trims_exact_end() {
+        let mut t = SymTable::new();
+        let n = t.fresh("n", true);
+        let i = Interval::of(Some(Lin::lit(0)), Some(Lin::sym(n)));
+        let shaved = i.shave_ne(&Lin::sym(n));
+        assert_eq!(shaved.hi, Bound::Fin(Lin::sym(n).sub(&Lin::lit(1)).unwrap()));
+        assert_eq!(shaved.lo, Bound::Fin(Lin::lit(0)));
+    }
+
+    #[test]
+    fn fdiv_exact_and_fallback() {
+        let mut t = SymTable::new();
+        let n = t.fresh("n", true);
+        let two_n = Interval::exact(Lin::sym(n).scale(2).unwrap());
+        let q = two_n.fdiv(2, &t);
+        assert_eq!(q.as_exact(), Some(&Lin::sym(n)));
+        // n div 4: inexact; lower end falls back to 0 (n >= 0), upper to n.
+        let nn = Interval::exact(Lin::sym(n));
+        let q4 = nn.fdiv(4, &t);
+        assert_eq!(q4.lo, Bound::Fin(Lin::lit(0)));
+        assert_eq!(q4.hi, Bound::Fin(Lin::sym(n)));
+    }
+}

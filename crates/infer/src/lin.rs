@@ -1,0 +1,239 @@
+//! Symbolic linear expressions — the bound language of the interval
+//! domain.
+//!
+//! A [`Lin`] is `k + Σ cᵢ·sᵢ` over a table of *symbols*: unknowns that
+//! stand for the sizes of array parameters and the values of integer
+//! parameters of the function group under analysis. Bounds stay exact
+//! only while they remain linear in these symbols; everything else falls
+//! out of the representable fragment and widens to ±∞ — which is fine,
+//! because the abstract domain is never trusted: every synthesized
+//! refinement is re-proved by the production solver before it is applied.
+//!
+//! Comparisons between two `Lin`s are *syntactically decidable* only when
+//! their difference is a constant, or when it is a nonnegative combination
+//! of symbols known to be nonnegative (array sizes). Everything else is
+//! "unknown", which the interval operations treat conservatively.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbol identifier: an index into [`SymTable`].
+pub type SymId = u32;
+
+/// What a symbol stands for, and how to render it in a synthesized
+/// annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Surface index-variable name this symbol renders as (either an
+    /// existing annotation variable or a freshly synthesized one).
+    pub name: String,
+    /// Whether the symbol is known nonnegative (array sizes, `nat`-sorted
+    /// annotation variables).
+    pub nonneg: bool,
+}
+
+/// The symbol table of one analysis run. Symbols are append-only so
+/// `SymId`s stay stable.
+#[derive(Debug, Clone, Default)]
+pub struct SymTable {
+    syms: Vec<Symbol>,
+}
+
+impl SymTable {
+    /// Creates an empty table.
+    pub fn new() -> SymTable {
+        SymTable::default()
+    }
+
+    /// Interns a new symbol and returns its id.
+    pub fn fresh(&mut self, name: impl Into<String>, nonneg: bool) -> SymId {
+        let id = self.syms.len() as SymId;
+        self.syms.push(Symbol { name: name.into(), nonneg });
+        id
+    }
+
+    /// Looks a symbol up.
+    pub fn get(&self, id: SymId) -> &Symbol {
+        &self.syms[id as usize]
+    }
+
+    /// Iterates over all symbols in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymId, &Symbol)> {
+        self.syms.iter().enumerate().map(|(i, s)| (i as SymId, s))
+    }
+}
+
+/// A linear expression `k + Σ cᵢ·sᵢ` (no zero coefficients stored).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lin {
+    /// Constant term.
+    pub k: i64,
+    /// Coefficient per symbol, zero coefficients removed.
+    pub terms: BTreeMap<SymId, i64>,
+}
+
+impl Lin {
+    /// The constant `k`.
+    pub fn lit(k: i64) -> Lin {
+        Lin { k, terms: BTreeMap::new() }
+    }
+
+    /// The symbol `s` with coefficient 1.
+    pub fn sym(s: SymId) -> Lin {
+        Lin { k: 0, terms: BTreeMap::from([(s, 1)]) }
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.k)
+    }
+
+    /// `self + o`, `None` on overflow.
+    pub fn add(&self, o: &Lin) -> Option<Lin> {
+        let k = self.k.checked_add(o.k)?;
+        let mut terms = self.terms.clone();
+        for (s, c) in &o.terms {
+            let e = terms.entry(*s).or_insert(0);
+            *e = e.checked_add(*c)?;
+            if *e == 0 {
+                terms.remove(s);
+            }
+        }
+        Some(Lin { k, terms })
+    }
+
+    /// `self - o`, `None` on overflow.
+    pub fn sub(&self, o: &Lin) -> Option<Lin> {
+        self.add(&o.scale(-1)?)
+    }
+
+    /// `self * c` (may be zero or negative); `None` on overflow.
+    pub fn scale(&self, c: i64) -> Option<Lin> {
+        if c == 0 {
+            return Some(Lin::lit(0));
+        }
+        let k = self.k.checked_mul(c)?;
+        let mut terms = BTreeMap::new();
+        for (s, coef) in &self.terms {
+            terms.insert(*s, coef.checked_mul(c)?);
+        }
+        Some(Lin { k, terms })
+    }
+
+    /// Exact division by a positive constant, only when every coefficient
+    /// and the constant are divisible.
+    pub fn div_exact(&self, d: i64) -> Option<Lin> {
+        if d <= 0 || self.k % d != 0 || self.terms.values().any(|c| c % d != 0) {
+            return None;
+        }
+        Some(Lin { k: self.k / d, terms: self.terms.iter().map(|(s, c)| (*s, c / d)).collect() })
+    }
+
+    /// Decides `self >= 0` syntactically: true when the constant is
+    /// nonnegative and every term is a nonnegative coefficient on a
+    /// known-nonnegative symbol. Returns `None` when undecidable.
+    pub fn nonneg(&self, syms: &SymTable) -> Option<bool> {
+        if self.k >= 0 && self.terms.iter().all(|(s, c)| *c >= 0 && syms.get(*s).nonneg) {
+            return Some(true);
+        }
+        // Decidably negative: constant < 0 and every term nonpositive on a
+        // nonnegative symbol can still be >= 0 only if symbols conspire —
+        // but with all coefficients <= 0 and k < 0 the value is < 0 ... no:
+        // nonneg symbols with nonpositive coefficients only decrease the
+        // value, so k < 0 forces the total below zero.
+        if self.k < 0 && self.terms.iter().all(|(s, c)| *c <= 0 && syms.get(*s).nonneg) {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Decides `self <= o`: `Some(true)`/`Some(false)` when syntactically
+    /// certain, `None` otherwise.
+    pub fn le(&self, o: &Lin, syms: &SymTable) -> Option<bool> {
+        o.sub(self)?.nonneg(syms)
+    }
+
+    /// Renders the expression over the symbol table's surface names, in
+    /// concrete DML index syntax (e.g. `n1 - 1`, `2 * n1 + i1`).
+    pub fn render(&self, syms: &SymTable) -> String {
+        let mut out = String::new();
+        for (s, c) in &self.terms {
+            let name = &syms.get(*s).name;
+            let (sign, mag) = if *c < 0 { ("-", -c) } else { ("+", *c) };
+            if out.is_empty() {
+                if sign == "-" {
+                    out.push('~');
+                }
+            } else {
+                out.push_str(if sign == "-" { " - " } else { " + " });
+            }
+            if mag == 1 {
+                out.push_str(name);
+            } else {
+                out.push_str(&format!("{mag} * {name}"));
+            }
+        }
+        if out.is_empty() {
+            return format!("{}", self.k).replace('-', "~");
+        }
+        match self.k.cmp(&0) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Greater => out.push_str(&format!(" + {}", self.k)),
+            std::cmp::Ordering::Less => out.push_str(&format!(" - {}", -self.k)),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Lin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.k)?;
+        for (s, c) in &self.terms {
+            write!(f, " + {c}*s{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let mut t = SymTable::new();
+        let n = t.fresh("n1", true);
+        let ln = Lin::sym(n);
+        let one = Lin::lit(1);
+        assert_eq!(ln.sub(&ln).unwrap(), Lin::lit(0));
+        // 0 <= n is decidable (n nonneg), 1 <= n is not.
+        assert_eq!(Lin::lit(0).le(&ln, &t), Some(true));
+        assert_eq!(one.le(&ln, &t), None);
+        // n - 1 <= n decidable.
+        assert_eq!(ln.sub(&one).unwrap().le(&ln, &t), Some(true));
+        // n + 1 <= n decidably false.
+        assert_eq!(ln.add(&one).unwrap().le(&ln, &t), Some(false));
+    }
+
+    #[test]
+    fn rendering() {
+        let mut t = SymTable::new();
+        let n = t.fresh("n1", true);
+        assert_eq!(Lin::sym(n).render(&t), "n1");
+        assert_eq!(Lin::sym(n).sub(&Lin::lit(1)).unwrap().render(&t), "n1 - 1");
+        assert_eq!(Lin::lit(-2).render(&t), "~2");
+        assert_eq!(
+            Lin::sym(n).scale(2).unwrap().add(&Lin::lit(3)).unwrap().render(&t),
+            "2 * n1 + 3"
+        );
+    }
+
+    #[test]
+    fn exact_division() {
+        let mut t = SymTable::new();
+        let n = t.fresh("n", true);
+        let e = Lin::sym(n).scale(2).unwrap().sub(&Lin::lit(2)).unwrap();
+        assert_eq!(e.div_exact(2).unwrap(), Lin::sym(n).sub(&Lin::lit(1)).unwrap());
+        assert_eq!(Lin::sym(n).div_exact(2), None);
+    }
+}

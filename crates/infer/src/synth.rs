@@ -1,0 +1,374 @@
+//! Candidate `where`-clause synthesis from fixpoint entry states.
+//!
+//! `absint` delivers, per top-level declaration, the symbol-seeded outer
+//! parameter shape and an interval abstraction for every reached local
+//! function's entry. This module turns those into concrete [`DType`]
+//! annotations:
+//!
+//! * the **outer** function gets a *facts-only* annotation that names its
+//!   parameters' indices (`{n1:nat} int array(n1) -> int`) without
+//!   restricting callers — singleton types record what is true of any
+//!   argument, they do not impose preconditions;
+//! * each **local** function gets a full refinement: exact entries become
+//!   singleton indices (`int(n1 - 1)`), proper intervals become fresh
+//!   guarded quantifiers (`{a1:nat | a1 <= n1} int(a1)`).
+//!
+//! Every quantifier gets its own `{…}` group so each variable's guard
+//! survives pretty-printing, and guards only ever mention the variable
+//! itself plus outer symbols — the scoping DML's `where`-clauses support.
+//!
+//! Nothing here is trusted: `verify` re-elaborates the program with the
+//! candidates applied and keeps only what the solver proves.
+
+use crate::absint::{AbsVal, DeclAnalysis, Namer};
+use crate::interval::Interval;
+use crate::lin::{Lin, SymTable};
+use dml_syntax::ast::{self as sast, CmpOp, DType, IExpr, IProp, Ident, Pat, Quant, Sort};
+use dml_syntax::{pretty, Span};
+use dml_types::ml::MlTy;
+
+/// One synthesized annotation for one function.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Function name (for reports and fix-it text).
+    pub fun_name: String,
+    /// Span of the function's name identifier — the patch key.
+    pub name_span: Span,
+    /// The synthesized annotation type.
+    pub anno: DType,
+    /// `pretty::dtype(anno)` — stable rendering for reports and fix-its.
+    pub rendered: String,
+    /// Byte offset (end of the last clause body) where a `where`-clause
+    /// would be inserted by a fix-it.
+    pub insert_at: u32,
+    /// Whether this is the enclosing top-level function (applied first;
+    /// local candidates may reference its index variables).
+    pub is_outer: bool,
+}
+
+impl Candidate {
+    /// The full fix-it text, e.g. `where f <| {n1:nat} int array(n1) -> int`.
+    pub fn fixit_text(&self) -> String {
+        format!("\nwhere {} <| {}", self.fun_name, self.rendered)
+    }
+}
+
+/// All candidates for one top-level declaration, outer first.
+#[derive(Debug)]
+pub struct DeclCandidates {
+    /// Name of the top-level function.
+    pub decl_name: String,
+    /// Candidates in application order (outer annotation, then locals).
+    pub candidates: Vec<Candidate>,
+    /// Whether the fixpoint converged (diagnostics only).
+    pub converged: bool,
+}
+
+/// Synthesizes candidates from one declaration's analysis.
+pub fn synthesize(analysis: &DeclAnalysis<'_>, namer: &mut Namer) -> DeclCandidates {
+    let mut candidates = Vec::new();
+    let syms = &analysis.syms;
+
+    // Outer facts-only annotation: only when parameters introduced
+    // symbols. Polymorphic schemes are fine — their quantified variables
+    // appear as `Rigid` names, rendered `'a`, which the elaborator scopes
+    // over the whole `where`-clause.
+    if syms.iter().next().is_some() {
+        if let Some(anno) = outer_anno(analysis) {
+            candidates.push(make_candidate(analysis.outer, anno, true));
+        }
+    }
+
+    for (decl, scheme, entry) in &analysis.locals {
+        if let Some(anno) = local_anno(decl, &scheme.ty, entry, syms, namer) {
+            candidates.push(make_candidate(decl, anno, false));
+        }
+    }
+
+    DeclCandidates {
+        decl_name: analysis.outer.name.name.clone(),
+        candidates,
+        converged: analysis.converged,
+    }
+}
+
+fn make_candidate(decl: &sast::FunDecl, anno: DType, is_outer: bool) -> Candidate {
+    let insert_at = decl.clauses.last().map(|c| c.body.span().end).unwrap_or(decl.name.span.end);
+    Candidate {
+        fun_name: decl.name.name.clone(),
+        name_span: decl.name.span,
+        rendered: pretty::dtype(&anno),
+        anno,
+        insert_at,
+        is_outer,
+    }
+}
+
+/// The outer annotation: nested single-quant Pi groups for every seeded
+/// symbol (guard-free — facts, not preconditions), singleton parameter
+/// types, existential (unindexed) result.
+fn outer_anno(analysis: &DeclAnalysis<'_>) -> Option<DType> {
+    let clause = &analysis.outer.clauses[0];
+    let syms = &analysis.syms;
+    let mut ty = &analysis.outer_scheme.ty;
+    let mut doms = Vec::new();
+    for (pat, seed) in clause.params.iter().zip(&analysis.outer_seed) {
+        let MlTy::Arrow(d, r) = ty else { return None };
+        doms.push(seeded_dtype(pat, d, seed, syms)?);
+        ty = r;
+    }
+    let mut out = ml_to_dtype(ty)?;
+    for d in doms.into_iter().rev() {
+        out = DType::Arrow(Box::new(d), Box::new(out));
+    }
+    for (_, sym) in syms.iter().collect::<Vec<_>>().into_iter().rev() {
+        let sort = if sym.nonneg { Sort::Nat } else { Sort::Int };
+        let q = Quant { var: Ident::synth(&sym.name), sort, guard: None };
+        out = DType::Pi(vec![q], Box::new(out));
+    }
+    Some(out)
+}
+
+/// Rebuilds a parameter type from its symbol-seeded abstraction.
+fn seeded_dtype(pat: &Pat, mlty: &MlTy, seed: &AbsVal, syms: &SymTable) -> Option<DType> {
+    match (pat, seed) {
+        (Pat::Anno(p, _, _), s) => seeded_dtype(p, mlty, s, syms),
+        (_, AbsVal::Int(iv)) => match iv.as_exact() {
+            Some(e) => Some(singleton("int", Vec::new(), e, syms)),
+            None => ml_to_dtype(mlty),
+        },
+        (_, AbsVal::Arr(len)) => {
+            let MlTy::Con(c, args) = mlty else { return None };
+            if c != "array" || args.len() != 1 {
+                return None;
+            }
+            let elem = ml_to_dtype(&args[0])?;
+            match len.as_exact() {
+                Some(e) => Some(singleton("array", vec![elem], e, syms)),
+                None => ml_to_dtype(mlty),
+            }
+        }
+        (Pat::Tuple(ps, _), AbsVal::Tup(vs)) if ps.len() == vs.len() => {
+            let MlTy::Tuple(ts) = mlty else { return None };
+            if ts.len() != ps.len() {
+                return None;
+            }
+            let parts: Option<Vec<_>> =
+                ps.iter().zip(ts).zip(vs).map(|((p, t), v)| seeded_dtype(p, t, v, syms)).collect();
+            Some(DType::Product(parts?))
+        }
+        _ => ml_to_dtype(mlty),
+    }
+}
+
+/// The local annotation: exact entries become singletons, proper
+/// intervals fresh guarded quantifiers.
+fn local_anno(
+    decl: &sast::FunDecl,
+    scheme_ty: &MlTy,
+    entry: &[AbsVal],
+    syms: &SymTable,
+    namer: &mut Namer,
+) -> Option<DType> {
+    let clause = &decl.clauses[0];
+    let mut ty = scheme_ty;
+    let mut doms = Vec::new();
+    let mut quants: Vec<Quant> = Vec::new();
+    let mut informative = false;
+    for (_pat, v) in clause.params.iter().zip(entry) {
+        let MlTy::Arrow(d, r) = ty else { return None };
+        doms.push(entry_dtype(d, v, syms, namer, &mut quants, &mut informative)?);
+        ty = r;
+    }
+    if !informative {
+        return None;
+    }
+    let mut out = ml_to_dtype(ty)?;
+    for d in doms.into_iter().rev() {
+        out = DType::Arrow(Box::new(d), Box::new(out));
+    }
+    for q in quants.into_iter().rev() {
+        out = DType::Pi(vec![q], Box::new(out));
+    }
+    Some(out)
+}
+
+/// Converts one entry slot to a parameter type, accumulating fresh
+/// quantifiers for proper intervals.
+fn entry_dtype(
+    mlty: &MlTy,
+    v: &AbsVal,
+    syms: &SymTable,
+    namer: &mut Namer,
+    quants: &mut Vec<Quant>,
+    informative: &mut bool,
+) -> Option<DType> {
+    match v {
+        AbsVal::Int(iv) => match iv.as_exact() {
+            Some(e) => {
+                *informative = true;
+                Some(singleton("int", Vec::new(), e, syms))
+            }
+            None => match interval_quant(iv, "a", false, syms, namer) {
+                Some((q, var)) => {
+                    quants.push(q);
+                    *informative = true;
+                    Some(DType::App {
+                        name: Ident::synth("int"),
+                        ty_args: Vec::new(),
+                        ix_args: vec![sast::Index::Int(IExpr::Var(var))],
+                    })
+                }
+                None => ml_to_dtype(mlty),
+            },
+        },
+        AbsVal::Arr(len) => {
+            let MlTy::Con(c, args) = mlty else { return ml_to_dtype(mlty) };
+            if c != "array" || args.len() != 1 {
+                return ml_to_dtype(mlty);
+            }
+            let elem = ml_to_dtype(&args[0])?;
+            match len.as_exact() {
+                Some(e) => {
+                    *informative = true;
+                    Some(singleton("array", vec![elem], e, syms))
+                }
+                None => match interval_quant(len, "n", true, syms, namer) {
+                    Some((q, var)) => {
+                        quants.push(q);
+                        *informative = true;
+                        Some(DType::App {
+                            name: Ident::synth("array"),
+                            ty_args: vec![elem],
+                            ix_args: vec![sast::Index::Int(IExpr::Var(var))],
+                        })
+                    }
+                    None => ml_to_dtype(mlty),
+                },
+            }
+        }
+        AbsVal::Tup(vs) => {
+            let MlTy::Tuple(ts) = mlty else { return ml_to_dtype(mlty) };
+            if ts.len() != vs.len() {
+                return ml_to_dtype(mlty);
+            }
+            let parts: Option<Vec<_>> = ts
+                .iter()
+                .zip(vs)
+                .map(|(t, v)| entry_dtype(t, v, syms, namer, quants, informative))
+                .collect();
+            Some(DType::Product(parts?))
+        }
+        _ => ml_to_dtype(mlty),
+    }
+}
+
+/// Builds a fresh quantifier `{x:sort | lo <= x && x <= hi}` for a proper
+/// interval. Returns `None` when the interval carries no information (or
+/// `always_nat` is false and neither end is finite).
+fn interval_quant(
+    iv: &Interval,
+    prefix: &'static str,
+    always_nat: bool,
+    syms: &SymTable,
+    namer: &mut Namer,
+) -> Option<(Quant, Ident)> {
+    let lo = iv.lo.fin();
+    let hi = iv.hi.fin();
+    if lo.is_none() && hi.is_none() && !always_nat {
+        return None;
+    }
+    let name = namer.fresh(prefix);
+    let var = Ident::synth(&name);
+    let nat = always_nat || lo.is_some_and(|l| l.nonneg(syms) == Some(true));
+    let mut guard: Option<IProp> = None;
+    let push = |p: IProp, guard: &mut Option<IProp>| {
+        *guard = Some(match guard.take() {
+            None => p,
+            Some(g) => IProp::And(Box::new(g), Box::new(p)),
+        });
+    };
+    if let Some(l) = lo {
+        // `0 <= x` is already implied by `nat`.
+        if !(nat && l.as_const() == Some(0)) {
+            push(
+                IProp::Cmp(
+                    CmpOp::Le,
+                    Box::new(lin_to_iexpr(l, syms)),
+                    Box::new(IExpr::Var(var.clone())),
+                ),
+                &mut guard,
+            );
+        }
+    }
+    if let Some(h) = hi {
+        push(
+            IProp::Cmp(
+                CmpOp::Le,
+                Box::new(IExpr::Var(var.clone())),
+                Box::new(lin_to_iexpr(h, syms)),
+            ),
+            &mut guard,
+        );
+    }
+    let sort = if nat { Sort::Nat } else { Sort::Int };
+    if guard.is_none() && !nat {
+        return None;
+    }
+    Some((Quant { var: var.clone(), sort, guard }, var))
+}
+
+fn singleton(family: &str, ty_args: Vec<DType>, e: &Lin, syms: &SymTable) -> DType {
+    DType::App {
+        name: Ident::synth(family),
+        ty_args,
+        ix_args: vec![sast::Index::Int(lin_to_iexpr(e, syms))],
+    }
+}
+
+/// Renders a [`Lin`] as a surface index expression over symbol names.
+pub fn lin_to_iexpr(l: &Lin, syms: &SymTable) -> IExpr {
+    let mut acc: Option<IExpr> = None;
+    for (s, c) in &l.terms {
+        let var = IExpr::Var(Ident::synth(&syms.get(*s).name));
+        let mag = c.unsigned_abs() as i64;
+        let term = if mag == 1 {
+            var
+        } else {
+            IExpr::Mul(Box::new(IExpr::Lit(mag, Span::point(0))), Box::new(var))
+        };
+        acc = Some(match (acc, *c >= 0) {
+            (None, true) => term,
+            (None, false) => IExpr::Neg(Box::new(term)),
+            (Some(a), true) => IExpr::Add(Box::new(a), Box::new(term)),
+            (Some(a), false) => IExpr::Sub(Box::new(a), Box::new(term)),
+        });
+    }
+    match acc {
+        None => IExpr::Lit(l.k, Span::point(0)),
+        Some(a) if l.k > 0 => IExpr::Add(Box::new(a), Box::new(IExpr::Lit(l.k, Span::point(0)))),
+        Some(a) if l.k < 0 => IExpr::Sub(Box::new(a), Box::new(IExpr::Lit(-l.k, Span::point(0)))),
+        Some(a) => a,
+    }
+}
+
+/// Converts a phase-1 ML type back to an (unindexed) surface type.
+/// Unindexed families elaborate existentially, so this is always sound.
+/// Returns `None` on unsolved unification variables.
+pub fn ml_to_dtype(t: &MlTy) -> Option<DType> {
+    match t {
+        MlTy::UVar(_) => None,
+        MlTy::Rigid(name) => Some(DType::Var(Ident::synth(name))),
+        MlTy::Con(name, args) => {
+            let ty_args: Option<Vec<_>> = args.iter().map(ml_to_dtype).collect();
+            Some(DType::App { name: Ident::synth(name), ty_args: ty_args?, ix_args: Vec::new() })
+        }
+        MlTy::Tuple(ts) => {
+            let parts: Option<Vec<_>> = ts.iter().map(ml_to_dtype).collect();
+            Some(DType::Product(parts?))
+        }
+        MlTy::Arrow(a, b) => {
+            Some(DType::Arrow(Box::new(ml_to_dtype(a)?), Box::new(ml_to_dtype(b)?)))
+        }
+    }
+}

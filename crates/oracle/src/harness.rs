@@ -45,6 +45,13 @@
 //! `Constraint`s and proven with 1-worker and 4-worker `prove_all`,
 //! pinning verdict equality under parallel solving.
 //!
+//! With [`FuzzConfig::infer`] on, the run ends with an end-to-end
+//! inference cross-check: each seed benchmark is stripped of its
+//! annotations, re-inferred (`dml::Compiler::infer`), and every
+//! solver-proven goal of the refined program is decided by the oracle —
+//! a countermodel there means a synthesized annotation made the solver
+//! elide a falsifiable bound check.
+//!
 //! Divergences are [minimized](crate::minimize()) and serialized as
 //! [repro files](crate::repro); the report is deterministic for a fixed
 //! seed (it carries a digest the tests compare across runs).
@@ -75,6 +82,10 @@ pub struct FuzzConfig {
     pub repro_dir: Option<PathBuf>,
     /// Also run end-to-end generated-program cases (every 8th iteration).
     pub programs: bool,
+    /// Also cross-check inferred refinements: strip each benchmark
+    /// program's annotations, re-infer them, and decide every
+    /// solver-proven goal of the refined program with the exact oracle.
+    pub infer: bool,
     /// Goal-generator tunables.
     pub gen: GenConfig,
     /// Batch size for the 1-vs-4-worker `prove_all` comparison.
@@ -89,6 +100,7 @@ impl Default for FuzzConfig {
             bound: DEFAULT_BOUND,
             repro_dir: None,
             programs: true,
+            infer: false,
             gen: GenConfig::default(),
             workers_batch: 32,
         }
@@ -118,6 +130,10 @@ pub enum DivergenceKind {
     MetamorphicFlip,
     /// A generated program behaved differently across check modes.
     ProgramMismatch,
+    /// The solver proved a goal of an inference-refined program that the
+    /// enumeration oracle refutes with a concrete countermodel — an
+    /// inferred annotation led to an unsound bound-check elision.
+    InferUnsound,
 }
 
 impl fmt::Display for DivergenceKind {
@@ -130,6 +146,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::BudgetFlip => "budget-flip",
             DivergenceKind::MetamorphicFlip => "metamorphic-flip",
             DivergenceKind::ProgramMismatch => "program-mismatch",
+            DivergenceKind::InferUnsound => "infer-unsound",
         };
         write!(f, "{s}")
     }
@@ -177,6 +194,13 @@ pub struct FuzzReport {
     pub program_cases: u64,
     /// Goals compared under 1-vs-4-worker `prove_all`.
     pub worker_checked_goals: u64,
+    /// Benchmark programs round-tripped through strip → infer (0 unless
+    /// [`FuzzConfig::infer`] is on).
+    pub infer_programs: u64,
+    /// Annotations inference synthesized and the solver verified.
+    pub infer_accepted: u64,
+    /// Solver-proven goals of refined programs decided by the oracle.
+    pub infer_goals: u64,
     /// All divergences, in discovery order.
     pub divergences: Vec<Divergence>,
     /// FNV-1a digest over every verdict of the run — two runs with the
@@ -209,6 +233,13 @@ impl FuzzReport {
             "cross-checks: {} metamorphic variant(s), {} worker-compared goal(s), {} program case(s)\n",
             self.metamorphic_checks, self.worker_checked_goals, self.program_cases
         ));
+        if self.infer_programs > 0 {
+            out.push_str(&format!(
+                "inference: {} program(s) stripped and re-inferred, {} annotation(s) accepted, \
+                 {} proven goal(s) oracle-checked\n",
+                self.infer_programs, self.infer_accepted, self.infer_goals
+            ));
+        }
         if self.ok() {
             out.push_str("no divergences\n");
         } else {
@@ -267,6 +298,14 @@ impl FuzzReport {
             ("metamorphicChecks", Json::Int(self.metamorphic_checks as i64)),
             ("workerCheckedGoals", Json::Int(self.worker_checked_goals as i64)),
             ("programCases", Json::Int(self.program_cases as i64)),
+            (
+                "infer",
+                obj(vec![
+                    ("programs", Json::Int(self.infer_programs as i64)),
+                    ("accepted", Json::Int(self.infer_accepted as i64)),
+                    ("goals", Json::Int(self.infer_goals as i64)),
+                ]),
+            ),
             ("divergences", Json::Array(divs)),
         ])
         .render()
@@ -552,8 +591,97 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     if !batch.is_empty() {
         check_workers(&mut report, cfg, &batch, &mut gen, &mut digest);
     }
+    if cfg.infer {
+        check_infer(&mut report, cfg, &mut digest);
+    }
     report.digest = digest.finish();
     report
+}
+
+/// Cross-checks the inference pipeline end to end: every seed benchmark
+/// program is stripped of its annotations, recompiled with inference on,
+/// and every obligation of the refined program is re-proven goal by goal;
+/// each solver-`Proven` goal is then decided by the enumeration oracle. A
+/// concrete countermodel means an inferred annotation made the solver
+/// prove a falsifiable bound — the exact unsoundness `dmlc infer`'s
+/// "solver disposes" contract must exclude. Goals carrying residual
+/// existentials are skipped: a countermodel of `hyps ∧ ¬concl` does not
+/// refute an existentially quantified conclusion.
+fn check_infer(report: &mut FuzzReport, cfg: &FuzzConfig, digest: &mut Fnv) {
+    let infer_fail = |report: &mut FuzzReport, cfg: &FuzzConfig, name: &str, detail: String| {
+        push_divergence(
+            report,
+            cfg,
+            Divergence {
+                iter: 0,
+                kind: DivergenceKind::InferUnsound,
+                detail: format!("{name}: {detail}"),
+                repro: String::new(),
+                repro_path: None,
+            },
+        );
+    };
+    for p in dml_programs::all_programs() {
+        report.infer_programs += 1;
+        let stripped = match dml::strip_annotations(p.source) {
+            Ok(s) => s,
+            Err(e) => {
+                infer_fail(report, cfg, p.name, format!("strip failed: {e}"));
+                continue;
+            }
+        };
+        let compiled = match dml::Compiler::new().workers(1).infer(true).compile(&stripped) {
+            Ok(c) => c,
+            Err(e) => {
+                infer_fail(report, cfg, p.name, format!("stripped compile failed: {e}"));
+                continue;
+            }
+        };
+        report.infer_accepted += compiled.infer_report().map_or(0, |r| r.accepted.len() as u64);
+        // Re-prove each obligation of the refined program to recover its
+        // individual goals, then hand every proven one to the oracle. The
+        // id range starts far above anything elaboration generated, so
+        // existential elimination cannot capture constraint variables.
+        let solver = Solver::new(SolverOptions::default().with_workers(Some(1)));
+        let mut oracle_gen = VarGen::starting_at(1 << 24);
+        for (ob, _) in compiled.obligations() {
+            let outcome = solver.prove(&ob.constraint, &mut oracle_gen);
+            for (goal, verdict) in &outcome.results {
+                if !verdict.is_proven() || goal.residual_existential {
+                    continue;
+                }
+                report.infer_goals += 1;
+                if let OracleVerdict::Refuted(model) = oracle_decide(goal, cfg.bound) {
+                    let assignment =
+                        model.iter().map(|(n, v)| format!("{n}={v}")).collect::<Vec<_>>().join(" ");
+                    push_divergence(
+                        report,
+                        cfg,
+                        Divergence {
+                            iter: 0,
+                            kind: DivergenceKind::InferUnsound,
+                            detail: format!(
+                                "{}: solver proved a goal of the refined `{}` with integer \
+                                 countermodel {assignment}",
+                                p.name, ob.in_fun
+                            ),
+                            repro: write_goal(
+                                goal,
+                                None,
+                                &[format!(
+                                    "infer-unsound in {} fun {} (countermodel {assignment})",
+                                    p.name, ob.in_fun
+                                )],
+                            ),
+                            repro_path: None,
+                        },
+                    );
+                }
+            }
+        }
+        digest.push(p.name);
+        digest.push(&report.infer_goals.to_string());
+    }
 }
 
 /// Decides one goal with a solver (fresh stats; the solver's options and
@@ -741,6 +869,18 @@ mod tests {
         let json = r.render_json();
         assert!(json.starts_with(r#"{"seed":42"#), "{json}");
         assert!(json.contains(r#""divergences":[]"#), "{json}");
+    }
+
+    #[test]
+    fn infer_cross_check_is_clean() {
+        // Strip → infer → oracle over the whole benchmark corpus: every
+        // annotation inference talks the solver into must survive the
+        // enumeration oracle (no countermodel within the box).
+        let cfg = FuzzConfig { iters: 0, programs: false, infer: true, ..FuzzConfig::default() };
+        let r = run_fuzz(&cfg);
+        assert!(r.ok(), "divergences:\n{}", r.render_human());
+        assert!(r.infer_programs > 0);
+        assert!(r.infer_goals > 0, "no proven goals reached the oracle");
     }
 
     #[test]

@@ -124,6 +124,10 @@ pub struct FunDecl {
     pub clauses: Vec<Clause>,
     /// The `where f <| dtype` annotation, if present.
     pub anno: Option<DType>,
+    /// Source span of the whole `where f <| dtype` clause (from the
+    /// `where` keyword through the end of the type). `None` when the
+    /// function has no annotation or the declaration was synthesized.
+    pub anno_span: Option<Span>,
 }
 
 /// One clause of a function: `f p1 ... pn = body`.

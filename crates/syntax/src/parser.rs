@@ -327,7 +327,8 @@ impl Parser {
             }
             clauses.push(self.clause_tail()?);
         }
-        let anno = if self.eat(&Token::Where) {
+        let where_start = self.span().start;
+        let (anno, anno_span) = if self.eat(&Token::Where) {
             let aname = self.ident()?;
             if aname.name != name.name {
                 return Err(ParseError::new(
@@ -339,11 +340,13 @@ impl Parser {
                 ));
             }
             self.expect(Token::OfType)?;
-            Some(self.dtype()?)
+            let ty = self.dtype()?;
+            let span = Span::new(where_start, self.prev_span().end);
+            (Some(ty), Some(span))
         } else {
-            None
+            (None, None)
         };
-        Ok(FunDecl { tyvars, index_params, name, clauses, anno })
+        Ok(FunDecl { tyvars, index_params, name, clauses, anno, anno_span })
     }
 
     fn clause_tail(&mut self) -> Result<Clause, ParseError> {

@@ -54,6 +54,44 @@ fn showcase_example_triggers_every_lint() {
     assert!(!compiled.fully_verified());
 }
 
+/// DML007 closes the loop with `dmlc infer`: linting an unannotated
+/// program whose residual checks inference can discharge produces one
+/// inferable-annotation finding per accepted annotation, each carrying a
+/// machine-applicable fix that renders as a SARIF `fixes` insertion.
+#[test]
+fn inferable_annotation_fires_with_sarif_fix() {
+    let src =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/asum_bare.dml"))
+            .expect("examples/asum_bare.dml exists");
+    let compiled = compile(&src).expect("compiles");
+    let findings = compiled.lints();
+    let dml7: Vec<_> = findings.iter().filter(|f| f.code == "DML007").collect();
+    assert_eq!(dml7.len(), 2, "outer `asum` + local `loop`: {findings:?}");
+    assert!(dml7.iter().all(|f| f.severity == dml::Severity::Note), "advisory severity");
+    for f in &dml7 {
+        let fix = f.fix.as_ref().expect("DML007 carries a fix");
+        assert!(fix.text.starts_with("\nwhere "), "fix is a where-clause: {}", fix.text);
+        assert!((fix.insert_at as usize) <= src.len());
+    }
+    // SARIF schema: the fix renders as a zero-length-deletion replacement
+    // (the SARIF encoding of a pure insertion) under `fixes`.
+    let sarif = dml::render::sarif(&findings, &src, "examples/asum_bare.dml");
+    assert!(sarif.contains("\"id\": \"DML007\""), "{sarif}");
+    assert!(sarif.contains("\"fixes\": ["), "{sarif}");
+    assert!(sarif.contains("\"charLength\": 0"), "{sarif}");
+    assert!(sarif.contains("\"insertedContent\""), "{sarif}");
+    // Applying every fix textually yields a residual-free program — the
+    // lint's suggestion really is the `dmlc infer` result.
+    let mut patched = src.clone();
+    let mut fixes: Vec<_> = dml7.iter().map(|f| f.fix.as_ref().unwrap()).collect();
+    fixes.sort_by_key(|f| std::cmp::Reverse(f.insert_at));
+    for f in fixes {
+        patched.insert_str(f.insert_at as usize, &f.text);
+    }
+    let recompiled = compile(&patched).expect("patched source compiles");
+    assert!(recompiled.residual_checks().is_empty(), "{patched}");
+}
+
 /// Guarded-vs-unguarded pair over a real benchmark shape: adding a
 /// redundant defensive bound test to bcopy's inner access makes DML001
 /// fire; the original does not.

@@ -10,8 +10,19 @@
 use dml::{Compiler, PipelineError};
 
 /// `(file, proven, refuted, unknown, residual, strict_compiles)`.
-const SNAPSHOTS: &[(&str, usize, usize, usize, usize, bool)] =
-    &[("lints.dml", 6, 0, 2, 1, false), ("residual.dml", 6, 0, 1, 1, false)];
+///
+/// The `*_bare.dml` twins are compiled *without* inference here — these
+/// are their plain baselines; `tests/infer_golden.rs` pins what
+/// `Compiler::infer(true)` recovers from each.
+const SNAPSHOTS: &[(&str, usize, usize, usize, usize, bool)] = &[
+    ("lints.dml", 6, 0, 2, 1, false),
+    ("residual.dml", 6, 0, 1, 1, false),
+    ("asum_bare.dml", 2, 0, 1, 1, false),
+    ("amax_bare.dml", 2, 0, 1, 1, false),
+    ("bsearch_bare.dml", 3, 0, 1, 1, false),
+    ("dotprod_bare.dml", 3, 0, 2, 2, false),
+    ("bcopy_bare.dml", 12, 0, 10, 10, false),
+];
 
 fn counts(file: &str) -> (usize, usize, usize, usize, bool) {
     let path = format!("{}/examples/{file}", env!("CARGO_MANIFEST_DIR"));
