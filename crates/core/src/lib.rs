@@ -52,6 +52,7 @@ pub use dml_index::{UnknownReason, Verdict};
 pub use dml_infer::{infer_refinements, strip_annotations, InferOutcome, InferReport};
 pub use dml_solver::{Solver, SolverOptions};
 pub use dml_syntax::Severity;
+pub use pipeline::clear_gen_memo;
 #[allow(deprecated)]
 pub use pipeline::{compile, compile_with_options, compile_with_solver};
 pub use pipeline::{CompileStats, Compiled, Compiler, PipelineError};

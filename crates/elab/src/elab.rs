@@ -208,14 +208,28 @@ impl<'e> Elaborator<'e> {
             }
         }
         let mut c = Constraint::Prop(concl).guarded_by(hyps);
+        if c.is_trivial() {
+            return c;
+        }
+        // One free-variable pass for the whole closure: binder ids are
+        // globally unique, so a context variable is wrapped iff it occurs
+        // free in the pre-quantification body. (Wrapping per quantifier via
+        // `Constraint::exists`/`forall` recomputes free_vars of the growing
+        // body each time — quadratic in context depth, and the context here
+        // can be >100 entries deep.)
+        let mut fv = c.free_vars();
         for e in self.ctx.iter().rev() {
             if let Entry::Exi(v, s) = e {
-                c = Constraint::exists(v.clone(), *s, c);
+                if fv.remove(v) {
+                    c = Constraint::Exists(v.clone(), *s, Box::new(c));
+                }
             }
         }
         for e in self.ctx.iter().rev() {
             if let Entry::Uni(v, s) = e {
-                c = Constraint::forall(v.clone(), *s, c);
+                if fv.remove(v) {
+                    c = Constraint::Forall(v.clone(), *s, Box::new(c));
+                }
             }
         }
         c

@@ -111,6 +111,60 @@ impl IExp {
         s
     }
 
+    /// `true` if `v` occurs in the expression (allocation-free, unlike
+    /// [`IExp::free_vars`]).
+    pub fn contains_var(&self, v: &Var) -> bool {
+        match self {
+            IExp::Var(w) => w == v,
+            IExp::Lit(_) => false,
+            IExp::Add(a, b)
+            | IExp::Sub(a, b)
+            | IExp::Mul(a, b)
+            | IExp::Div(a, b)
+            | IExp::Mod(a, b)
+            | IExp::Min(a, b)
+            | IExp::Max(a, b) => a.contains_var(v) || b.contains_var(v),
+            IExp::Abs(a) | IExp::Sgn(a) => a.contains_var(v),
+        }
+    }
+
+    /// Simultaneous capture-free substitution: every variable is replaced by
+    /// its mapped expression in one pass, without re-substituting inside the
+    /// replacements. Equivalent to sequential [`IExp::subst`] when no mapped
+    /// variable occurs in any replacement expression.
+    pub fn subst_many(&self, subs: &[(Var, IExp)]) -> IExp {
+        match self {
+            IExp::Var(w) => match subs.iter().find(|(v, _)| v == w) {
+                Some((_, e)) => e.clone(),
+                None => self.clone(),
+            },
+            IExp::Lit(_) => self.clone(),
+            IExp::Add(a, b) => {
+                IExp::Add(Box::new(a.subst_many(subs)), Box::new(b.subst_many(subs)))
+            }
+            IExp::Sub(a, b) => {
+                IExp::Sub(Box::new(a.subst_many(subs)), Box::new(b.subst_many(subs)))
+            }
+            IExp::Mul(a, b) => {
+                IExp::Mul(Box::new(a.subst_many(subs)), Box::new(b.subst_many(subs)))
+            }
+            IExp::Div(a, b) => {
+                IExp::Div(Box::new(a.subst_many(subs)), Box::new(b.subst_many(subs)))
+            }
+            IExp::Mod(a, b) => {
+                IExp::Mod(Box::new(a.subst_many(subs)), Box::new(b.subst_many(subs)))
+            }
+            IExp::Min(a, b) => {
+                IExp::Min(Box::new(a.subst_many(subs)), Box::new(b.subst_many(subs)))
+            }
+            IExp::Max(a, b) => {
+                IExp::Max(Box::new(a.subst_many(subs)), Box::new(b.subst_many(subs)))
+            }
+            IExp::Abs(a) => IExp::Abs(Box::new(a.subst_many(subs))),
+            IExp::Sgn(a) => IExp::Sgn(Box::new(a.subst_many(subs))),
+        }
+    }
+
     /// Capture-free substitution of `v := e` (ids are globally unique, so no
     /// renaming is ever needed).
     pub fn subst(&self, v: &Var, e: &IExp) -> IExp {

@@ -42,5 +42,5 @@ pub use iexp::IExp;
 pub use linear::{Linear, NonLinear};
 pub use prop::{Cmp, Prop};
 pub use sort::Sort;
-pub use var::{Var, VarGen};
+pub use var::{Var, VarGen, VarLease};
 pub use verdict::{UnknownReason, Verdict};

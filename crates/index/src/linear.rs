@@ -29,7 +29,11 @@ impl fmt::Display for NonLinear {
 impl std::error::Error for NonLinear {}
 
 /// A linear form `constant + Σ coeff·var` with exact integer coefficients.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+///
+/// The derived `Ord` is structural (coefficient map in variable-id order,
+/// then the constant term) and exists so solver working sets can be
+/// sorted/deduplicated without formatting terms into strings.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
 pub struct Linear {
     /// Coefficients per variable; zero coefficients are never stored.
     coeffs: BTreeMap<Var, i64>,

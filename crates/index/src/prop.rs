@@ -179,6 +179,20 @@ impl Prop {
         s
     }
 
+    /// Simultaneous capture-free substitution of integer index variables
+    /// (see [`IExp::subst_many`]).
+    pub fn subst_many(&self, subs: &[(Var, IExp)]) -> Prop {
+        match self {
+            Prop::True | Prop::False | Prop::BVar(_) => self.clone(),
+            Prop::Cmp(op, a, b) => Prop::Cmp(*op, a.subst_many(subs), b.subst_many(subs)),
+            Prop::Not(p) => Prop::Not(Box::new(p.subst_many(subs))),
+            Prop::And(p, q) => {
+                Prop::And(Box::new(p.subst_many(subs)), Box::new(q.subst_many(subs)))
+            }
+            Prop::Or(p, q) => Prop::Or(Box::new(p.subst_many(subs)), Box::new(q.subst_many(subs))),
+        }
+    }
+
     /// Substitutes an integer expression for an integer index variable.
     pub fn subst(&self, v: &Var, e: &IExp) -> Prop {
         match self {

@@ -6,6 +6,7 @@
 //! as long as binders always use fresh ids (which [`VarGen`] guarantees).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// An index variable: a unique id plus a display name.
@@ -123,6 +124,11 @@ impl VarGen {
         self.next
     }
 
+    /// Ids left in this supply's range before [`VarGen::fresh`] panics.
+    pub fn remaining(&self) -> u32 {
+        self.limit - self.next
+    }
+
     /// Ensures future ids are strictly greater than `id` (used when a
     /// supply must not collide with variables created elsewhere).
     pub fn advance_past(&mut self, id: u32) {
@@ -138,6 +144,11 @@ impl VarGen {
     ///
     /// Panics if the remaining id space cannot fit `n` stride-sized
     /// ranges (practically unreachable: >4000 sixteen-way splits fit).
+    ///
+    /// `split` fixes the partition at spawn time, which is only sound when
+    /// each sub-supply stays pinned to one worker for the whole batch. Under
+    /// work-stealing — where the set of threads touching a batch is not
+    /// known up front — use [`VarLease`] instead.
     pub fn split(&mut self, n: usize) -> Vec<VarGen> {
         let n = n.max(1);
         let mut out = Vec::with_capacity(n);
@@ -151,6 +162,55 @@ impl VarGen {
             self.next = end;
         }
         out
+    }
+}
+
+/// An atomically-leased region of fresh variable ids.
+///
+/// [`VarGen::split`] partitions ids by worker *at spawn time*, which is
+/// unsound under work-stealing: a thread that steals goals beyond its
+/// original share would have to mint ids from a range it does not own.
+/// A `VarLease` instead carves one region out of a parent supply and hands
+/// out disjoint chunks on demand through an atomic cursor — any number of
+/// threads can lease any number of chunks, in any schedule, and no id is
+/// ever produced twice. The parent supply advances past the whole region
+/// at carve time, so its later ids cannot collide with leased ones either.
+#[derive(Debug)]
+pub struct VarLease {
+    next: AtomicU32,
+    limit: u32,
+}
+
+impl VarLease {
+    /// Carves a `size`-id region out of `parent` (which advances past it).
+    ///
+    /// Panics if the parent's remaining id space is smaller than `size`.
+    pub fn carve(parent: &mut VarGen, size: u32) -> VarLease {
+        let start = parent.next;
+        let end = start
+            .checked_add(size)
+            .filter(|e| *e <= parent.limit)
+            .expect("VarGen id space exhausted by lease carve");
+        parent.next = end;
+        VarLease { next: AtomicU32::new(start), limit: end }
+    }
+
+    /// Atomically leases the next `n`-id chunk as a fresh supply.
+    ///
+    /// Panics if the region is exhausted; size the carve for the worst
+    /// case (callers lease one chunk per work unit, so `chunks × n` bounds
+    /// the region).
+    pub fn lease(&self, n: u32) -> VarGen {
+        let start = self.next.fetch_add(n, Ordering::Relaxed);
+        let end = start.checked_add(n).filter(|e| *e <= self.limit).unwrap_or_else(|| {
+            panic!("VarLease region exhausted (lease of {n} past {})", self.limit)
+        });
+        VarGen { next: start, limit: end }
+    }
+
+    /// Ids not yet leased.
+    pub fn remaining(&self) -> u32 {
+        self.limit.saturating_sub(self.next.load(Ordering::Relaxed))
     }
 }
 
@@ -215,6 +275,58 @@ mod tests {
         }
         assert!(!seen.contains(&after.id()), "parent id fell inside a worker range");
         assert!(after.id() > seen.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn lease_chunks_are_disjoint_from_each_other_and_parent() {
+        let mut g = VarGen::new();
+        g.fresh("before");
+        let lease = VarLease::carve(&mut g, 1 << 10);
+        let after = g.fresh("after");
+        let mut seen = HashSet::new();
+        for _ in 0..8 {
+            let mut sub = lease.lease(64);
+            for _ in 0..64 {
+                assert!(seen.insert(sub.fresh("w").id()), "leased ids collided");
+            }
+        }
+        assert!(!seen.contains(&after.id()), "parent id fell inside the leased region");
+    }
+
+    /// Regression test for work-stealing id soundness: replays a schedule
+    /// where worker B steals goals that a `split`-style static partition
+    /// would have assigned to worker A. Under leasing, every goal's ids
+    /// come from a chunk claimed at execution time by whichever thread
+    /// actually runs it, so the interleaved schedule mints no duplicate.
+    #[test]
+    fn lease_is_sound_under_a_stolen_goal_schedule() {
+        let mut g = VarGen::new();
+        let lease = VarLease::carve(&mut g, 1 << 12);
+        // Schedule: A takes goal 0, B steals goals 1 and 2 while A is
+        // still mid-goal, A resumes with goal 3. Chunks interleave in the
+        // same order the steals happen.
+        let mut a0 = lease.lease(16);
+        let mut b1 = lease.lease(16);
+        let ids_a0: Vec<u32> = (0..16).map(|_| a0.fresh("a").id()).collect();
+        let mut b2 = lease.lease(16);
+        let ids_b1: Vec<u32> = (0..16).map(|_| b1.fresh("b").id()).collect();
+        let mut a3 = lease.lease(16);
+        let ids_b2: Vec<u32> = (0..16).map(|_| b2.fresh("b").id()).collect();
+        let ids_a3: Vec<u32> = (0..16).map(|_| a3.fresh("a").id()).collect();
+        let mut all = HashSet::new();
+        for id in ids_a0.iter().chain(&ids_b1).chain(&ids_b2).chain(&ids_a3) {
+            assert!(all.insert(*id), "stolen schedule produced duplicate id {id}");
+        }
+        assert!(!all.contains(&g.fresh("parent").id()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn lease_past_region_panics() {
+        let mut g = VarGen::new();
+        let lease = VarLease::carve(&mut g, 32);
+        let _ = lease.lease(16);
+        let _ = lease.lease(17);
     }
 
     #[test]

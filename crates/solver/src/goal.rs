@@ -655,59 +655,186 @@ const REFUTE_SEARCH_BOUND: i64 = 8;
 /// witness is sound for a positively-occurring existential: proving `φ[e/v]`
 /// proves `∃v. φ`.
 pub fn eliminate_existentials(c: &Constraint, stats: &mut SolverStats) -> Constraint {
-    match c {
-        Constraint::Prop(_) => c.clone(),
-        Constraint::And(cs) => {
-            Constraint::And(cs.iter().map(|c| eliminate_existentials(c, stats)).collect())
+    let residual_base = stats.existentials_residual;
+    let mut cur = eliminate_pass(c, stats);
+    // A substitution in one ∃-chain can unlock a residual in a *separated*
+    // chain elsewhere in the tree (the old recursive re-scan handled this
+    // implicitly); iterate whole passes to that fixpoint. Constraints from
+    // the elaborator are a single chain, so this loop exits immediately.
+    loop {
+        if !contains_exists(&cur) {
+            return cur;
         }
-        Constraint::Implies(p, c) => {
-            Constraint::Implies(p.clone(), Box::new(eliminate_existentials(c, stats)))
+        let before = stats.existentials_eliminated;
+        // Every pass counts all residuals it sees, so a re-scan would
+        // double-count the ones that stay residual; recount from the base
+        // so the final tally is the residuals left in the *output*.
+        stats.existentials_residual = residual_base;
+        let next = eliminate_pass(&cur, stats);
+        if stats.existentials_eliminated == before {
+            return next;
         }
-        Constraint::Forall(v, s, c) => {
-            Constraint::Forall(v.clone(), *s, Box::new(eliminate_existentials(c, stats)))
-        }
-        Constraint::Exists(v, s, body) => {
-            let body = eliminate_existentials(body, stats);
-            match find_witness(&body, v) {
-                Some(e) => {
-                    stats.existentials_eliminated += 1;
-                    // Substitution may expose further eliminations.
-                    eliminate_existentials(&body.subst(v, &e), stats)
-                }
-                None => {
-                    stats.existentials_residual += 1;
-                    Constraint::Exists(v.clone(), *s, Box::new(body))
-                }
-            }
-        }
+        cur = next;
     }
 }
 
-/// Searches a constraint for an equation determining `v`.
-///
-/// Preference order matters for both soundness and completeness of the
-/// overall method: (1) hypothesis equations where `v` appears *alone* on
+/// One structural elimination pass: every maximal run of consecutive
+/// existentials is solved as a batch by [`eliminate_chain_once`].
+fn eliminate_pass(c: &Constraint, stats: &mut SolverStats) -> Constraint {
+    match c {
+        Constraint::Prop(_) => c.clone(),
+        Constraint::And(cs) => {
+            Constraint::And(cs.iter().map(|c| eliminate_pass(c, stats)).collect())
+        }
+        Constraint::Implies(p, c) => {
+            Constraint::Implies(p.clone(), Box::new(eliminate_pass(c, stats)))
+        }
+        Constraint::Forall(v, s, c) => {
+            Constraint::Forall(v.clone(), *s, Box::new(eliminate_pass(c, stats)))
+        }
+        Constraint::Exists(_, _, _) => eliminate_chain_once(c, stats),
+    }
+}
+
+/// An equation `a = b` from the constraint, with its linear normal form
+/// `a - b` precomputed (when both sides are linear) so repeated witness
+/// probes don't re-run [`Linear::from_iexp`] per variable.
+struct EqEntry {
+    a: IExp,
+    b: IExp,
+    diff: Option<Linear>,
+}
+
+impl EqEntry {
+    fn new((a, b): (IExp, IExp)) -> EqEntry {
+        let diff = Linear::from_iexp(&a)
+            .ok()
+            .and_then(|la| Linear::from_iexp(&b).ok().map(|lb| la.sub(&lb)));
+        EqEntry { a, b, diff }
+    }
+
+    fn subst(&mut self, v: &Var, e: &IExp) {
+        if !self.a.contains_var(v) && !self.b.contains_var(v) {
+            return;
+        }
+        self.a = self.a.subst(v, e);
+        self.b = self.b.subst(v, e);
+        self.diff = Linear::from_iexp(&self.a)
+            .ok()
+            .and_then(|la| Linear::from_iexp(&self.b).ok().map(|lb| la.sub(&lb)));
+    }
+}
+
+/// Eliminates a maximal run of nested existentials (`∃v₁…∃vₖ. body`) as a
+/// batch. Equations are collected from the body **once** and kept
+/// up-to-date under witness substitution, instead of re-collecting (and
+/// re-linearizing) the whole body per variable; the accumulated witnesses
+/// are applied to the body in a single [`Constraint::subst_many`] pass at
+/// the end. Witness *choice* is unchanged: variables are attempted
+/// innermost-first, the search restarts from the innermost residual after
+/// every success (an enclosing substitution may pin a residual down), and
+/// per-variable preference order is the one documented on
+/// [`witness_from_eqs`].
+fn eliminate_chain_once(c: &Constraint, stats: &mut SolverStats) -> Constraint {
+    let mut chain: Vec<(Var, Sort)> = Vec::new();
+    let mut cur = c;
+    while let Constraint::Exists(v, s, b) = cur {
+        chain.push((v.clone(), *s));
+        cur = b.as_ref();
+    }
+    // Separated chains deeper in the body are eliminated first, exactly as
+    // the innermost-first recursion used to.
+    let body = eliminate_pass(cur, stats);
+    let mut raw_hyp = Vec::new();
+    let mut raw_concl = Vec::new();
+    collect_equations(&body, false, &mut raw_hyp, &mut raw_concl);
+    let mut hyp_eqs: Vec<EqEntry> = raw_hyp.into_iter().map(EqEntry::new).collect();
+    let mut concl_eqs: Vec<EqEntry> = raw_concl.into_iter().map(EqEntry::new).collect();
+    let mut solved: Vec<(Var, IExp)> = Vec::new();
+    let mut done = vec![false; chain.len()];
+    'search: loop {
+        for idx in (0..chain.len()).rev() {
+            if done[idx] {
+                continue;
+            }
+            let v = &chain[idx].0;
+            let Some(e) = witness_from_eqs(v, &hyp_eqs, &concl_eqs) else {
+                continue;
+            };
+            stats.existentials_eliminated += 1;
+            // Keep earlier witnesses fully resolved so the final
+            // simultaneous substitution equals the old sequential one.
+            for (_, w) in solved.iter_mut() {
+                if w.contains_var(v) {
+                    *w = w.subst(v, &e);
+                }
+            }
+            for eq in hyp_eqs.iter_mut().chain(concl_eqs.iter_mut()) {
+                eq.subst(v, &e);
+            }
+            solved.push((v.clone(), e));
+            done[idx] = true;
+            continue 'search;
+        }
+        break;
+    }
+    let mut out = if solved.is_empty() { body } else { body.subst_many(&solved) };
+    for idx in (0..chain.len()).rev() {
+        if !done[idx] {
+            stats.existentials_residual += 1;
+            let (v, s) = &chain[idx];
+            out = Constraint::Exists(v.clone(), *s, Box::new(out));
+        }
+    }
+    out
+}
+
+/// Witness search over the pre-collected equation lists, in
+/// preference order: (1) hypothesis equations where `v` appears *alone* on
 /// one side (argument/pattern defining equations — facts about actual
-/// run-time values); (2) conclusion equations with `v` alone (the
-/// obligation defining the variable itself); (3) general linear solves from
-/// hypotheses; (4) from conclusions. Taking a hypothesis-alone equation
-/// first ensures a second, conflicting equation is checked against the
-/// defining value rather than vacuously discharged.
-fn find_witness(c: &Constraint, v: &Var) -> Option<IExp> {
-    let mut hyp_eqs: Vec<(IExp, IExp)> = Vec::new();
-    let mut concl_eqs: Vec<(IExp, IExp)> = Vec::new();
-    collect_equations(c, false, &mut hyp_eqs, &mut concl_eqs);
-    for (a, b) in hyp_eqs.iter().chain(concl_eqs.iter()) {
-        if let Some(e) = solve_alone(v, a, b) {
+/// run-time values); (2) conclusion equations with `v` alone; (3) general
+/// linear solves from hypotheses; (4) from conclusions. Taking a
+/// hypothesis-alone equation first ensures a second, conflicting equation
+/// is checked against the defining value rather than vacuously discharged.
+fn witness_from_eqs(v: &Var, hyp_eqs: &[EqEntry], concl_eqs: &[EqEntry]) -> Option<IExp> {
+    for eq in hyp_eqs.iter().chain(concl_eqs) {
+        if let Some(e) = solve_alone(v, &eq.a, &eq.b) {
             return Some(e);
         }
     }
-    for (a, b) in hyp_eqs.iter().chain(concl_eqs.iter()) {
-        if let Some(e) = solve_linear(v, a, b) {
+    for eq in hyp_eqs.iter().chain(concl_eqs) {
+        if let Some(e) = solve_linear_entry(v, eq) {
             return Some(e);
         }
     }
     None
+}
+
+/// Solves a linear equation `a = b` for `v` against the precomputed linear
+/// difference: coefficient ±1, or a larger coefficient when the remainder
+/// divides exactly (`4q' = 4q + 4` gives `q' = q + 1`).
+fn solve_linear_entry(v: &Var, eq: &EqEntry) -> Option<IExp> {
+    let lin = eq.diff.as_ref()?;
+    let coeff = lin.coeff(v);
+    if coeff == 0 {
+        return None;
+    }
+    let mut rest = lin.clone();
+    rest.add_term(v.clone(), -coeff);
+    // coeff·v + rest = 0  →  v = -rest/coeff.
+    let negated = rest.scale(-1);
+    let solution = negated.div_exact(coeff)?;
+    Some(solution.to_iexp())
+}
+
+/// `true` if any existential quantifier occurs in the constraint.
+fn contains_exists(c: &Constraint) -> bool {
+    match c {
+        Constraint::Prop(_) => false,
+        Constraint::And(cs) => cs.iter().any(contains_exists),
+        Constraint::Implies(_, c) | Constraint::Forall(_, _, c) => contains_exists(c),
+        Constraint::Exists(_, _, _) => true,
+    }
 }
 
 fn collect_equations(
@@ -756,25 +883,6 @@ fn solve_alone(v: &Var, a: &IExp, b: &IExp) -> Option<IExp> {
         }
     }
     None
-}
-
-/// Solves a linear equation `a = b` for `v`: coefficient ±1, or a larger
-/// coefficient when the remainder divides exactly (`4q' = 4q + 4` gives
-/// `q' = q + 1`).
-fn solve_linear(v: &Var, a: &IExp, b: &IExp) -> Option<IExp> {
-    let la = Linear::from_iexp(a).ok()?;
-    let lb = Linear::from_iexp(b).ok()?;
-    let lin = la.sub(&lb); // lin = 0
-    let coeff = lin.coeff(v);
-    if coeff == 0 {
-        return None;
-    }
-    let mut rest = lin.clone();
-    rest.add_term(v.clone(), -coeff);
-    // coeff·v + rest = 0  →  v = -rest/coeff.
-    let negated = rest.scale(-1);
-    let solution = negated.div_exact(coeff)?;
-    Some(solution.to_iexp())
 }
 
 /// Splits a (post-elimination) constraint into goals.

@@ -1,28 +1,39 @@
-//! Multi-worker constraint solving over `std::thread::scope`.
+//! Multi-worker constraint solving over the persistent worker pool.
 //!
 //! Obligations are independent verification conditions, so they can be
 //! solved concurrently. The design keeps the solve phase *deterministic*:
 //!
 //! - results come back in obligation order regardless of worker count or
-//!   scheduling (each worker tags results with the obligation index) —
-//!   this includes per-goal [`dml_obs::GoalTrace`] buffers when tracing is
-//!   on: each goal's events are buffered by whichever worker decided it
-//!   and ride inside its [`Outcome`], so the merged trace stream is
-//!   identical for every worker count;
-//! - each worker gets a disjoint [`VarGen`] id range via [`VarGen::split`],
-//!   so fresh-variable generation needs no lock and ids never collide —
-//!   worker-fresh variables are internal to lowering/Omega and never escape
-//!   into reported results;
+//!   scheduling (every obligation owns a result slot) — this includes
+//!   per-goal [`dml_obs::GoalTrace`] buffers when tracing is on: each
+//!   goal's events are buffered by whichever worker decided it and ride
+//!   inside its [`Outcome`], so the merged trace stream is identical for
+//!   every worker count;
+//! - fresh-variable generation is lock-free and collision-free under
+//!   work-stealing: each claimed chunk leases a disjoint id range from a
+//!   [`dml_index::VarLease`] at execution time — worker-fresh variables
+//!   are internal to lowering/Omega and never escape into reported
+//!   results;
 //! - with `workers <= 1` the parent `gen` is threaded through directly,
 //!   reproducing the sequential pipeline's variable consumption exactly.
 //!
-//! Work distribution is a shared atomic index (cheap work stealing): a
-//! worker claims the next unsolved obligation until none remain, so one
-//! slow goal cannot serialise the rest of the batch behind it.
+//! Work is distributed in *chunks* sized by estimated Fourier–Motzkin
+//! cost, not one obligation per task: atoms per obligation approximate
+//! the upper×lower pair combinations FM will perform, so chunk boundaries
+//! land where the work is, a few chunks per worker leave room for
+//! stealing, and the shared cursor is touched once per chunk instead of
+//! once per goal. Threads come from the lazily-spawned persistent pool
+//! ([`crate::pool`]) — a batch costs a condvar notify, not N
+//! `thread::spawn`s.
 
 use crate::goal::{Outcome, Solver};
-use dml_index::{Constraint, VarGen};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::pool;
+use dml_index::{Constraint, VarGen, VarLease};
+
+/// Chunks per worker the batch is split into. >1 so a worker that hits a
+/// slow chunk can have the rest of its share stolen; small enough that
+/// chunk claiming stays off the profile.
+const CHUNKS_PER_WORKER: usize = 4;
 
 /// Resolves an optional worker-count request against the batch size.
 ///
@@ -31,6 +42,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub fn effective_workers(requested: Option<usize>, n: usize) -> usize {
     let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     requested.unwrap_or(avail).clamp(1, n.max(1))
+}
+
+/// Estimated Fourier–Motzkin cost of one obligation, in arbitrary units.
+///
+/// FM pair combination is quadratic in the inequalities in play, and each
+/// atom of the constraint contributes a bounded number of inequalities,
+/// so `atoms²` tracks the pair-combination counters the fuel meter
+/// charges far better than a flat per-goal estimate. `+1` keeps
+/// trivial obligations from costing zero (claiming them is not free).
+fn estimated_cost(c: &Constraint) -> u64 {
+    let atoms = c.atom_count() as u64;
+    atoms * atoms + 1
+}
+
+/// Splits `constraints` into at most `workers × CHUNKS_PER_WORKER`
+/// contiguous chunks of roughly equal estimated cost. Contiguity keeps the
+/// result merge trivially in obligation order.
+fn cost_chunks(constraints: &[&Constraint], workers: usize) -> Vec<(usize, usize)> {
+    let total: u64 = constraints.iter().map(|c| estimated_cost(c)).sum();
+    let target_chunks = (workers * CHUNKS_PER_WORKER).min(constraints.len()).max(1);
+    let per_chunk = (total / target_chunks as u64).max(1);
+    let mut chunks = Vec::with_capacity(target_chunks);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, c) in constraints.iter().enumerate() {
+        acc += estimated_cost(c);
+        if acc >= per_chunk && i + 1 < constraints.len() {
+            chunks.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < constraints.len() {
+        chunks.push((start, constraints.len()));
+    }
+    chunks
 }
 
 /// Proves every constraint, returning one [`Outcome`] per constraint in
@@ -43,31 +90,10 @@ pub fn prove_all(solver: &Solver, constraints: &[&Constraint], gen: &mut VarGen)
     if workers <= 1 {
         return constraints.iter().map(|c| solver.prove(c, gen)).collect();
     }
-    let supplies = gen.split(workers);
-    let next = AtomicUsize::new(0);
+    let chunks = cost_chunks(constraints, workers);
+    let lease = VarLease::carve(gen, chunks.len() as u32 * pool::LEASE_STRIDE);
     let mut slots: Vec<Option<Outcome>> = vec![None; constraints.len()];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = supplies
-            .into_iter()
-            .map(|mut sub| {
-                let next = &next;
-                scope.spawn(move || {
-                    let mut done: Vec<(usize, Outcome)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(c) = constraints.get(i) else { break };
-                        done.push((i, solver.prove(c, &mut sub)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, outcome) in h.join().expect("solver worker panicked") {
-                slots[i] = Some(outcome);
-            }
-        }
-    });
+    pool::run_batch(solver, constraints, &mut slots, chunks, lease, workers);
     slots.into_iter().map(|s| s.expect("every obligation solved exactly once")).collect()
 }
 

@@ -20,7 +20,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// A single inequality `lin ≤ 0`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ineq {
     lin: Linear,
 }
@@ -425,8 +425,11 @@ impl System {
             if rest.len() > opts.max_ineqs {
                 return (RefuteResult::Overflow, combinations);
             }
-            // Deduplicate to keep the working set small.
-            rest.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+            // Deduplicate to keep the working set small. The structural
+            // sort (variable-id order) replaces an earlier sort keyed on
+            // `format!`-rendered strings, which allocated two strings per
+            // comparison on every elimination round.
+            rest.sort_unstable();
             rest.dedup();
             work = rest;
             if work.is_empty() {

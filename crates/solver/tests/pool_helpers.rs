@@ -1,0 +1,106 @@
+//! Exercises the persistent worker pool's *helper threads* — the code
+//! path a single-core machine never takes by default (its pool has
+//! `available_parallelism - 1 = 0` helpers and the submitting thread works
+//! every batch alone). `DML_SOLVER_HELPERS` forces helpers into existence
+//! so the condvar handoff, chunk stealing, batch retirement, and
+//! work-stealing id leases run under real thread interleavings even here.
+//!
+//! This is an integration test binary so it owns its process: the env var
+//! is set before anything touches the pool's one-time initializer.
+
+use dml_index::{Constraint, IExp, Prop, Sort, VarGen};
+use dml_solver::{pool, prove_all, Solver, SolverOptions};
+use std::sync::Once;
+
+static FORCE_HELPERS: Once = Once::new();
+
+fn force_helpers() {
+    FORCE_HELPERS.call_once(|| {
+        // Safe in edition 2021; this binary is single-purpose and sets the
+        // variable before the pool can be initialized.
+        std::env::set_var("DML_SOLVER_HELPERS", "3");
+    });
+}
+
+/// `∀n. 0 ≤ n ⊃ 0 ≤ n + k` — valid for k ≥ 0, falsifiable for k < 0.
+fn shifted(gen: &mut VarGen, k: i64) -> Constraint {
+    let n = gen.fresh("n");
+    Constraint::Forall(
+        n.clone(),
+        Sort::Int,
+        Box::new(Constraint::Implies(
+            Prop::le(IExp::lit(0), IExp::var(n.clone())),
+            Box::new(Constraint::Prop(Prop::le(IExp::lit(0), IExp::var(n) + IExp::lit(k)))),
+        )),
+    )
+}
+
+fn verdicts(solver: &Solver, cs: &[Constraint], gen: &VarGen) -> Vec<Vec<bool>> {
+    let refs: Vec<&Constraint> = cs.iter().collect();
+    let mut gen = gen.clone();
+    prove_all(solver, &refs, &mut gen)
+        .iter()
+        .map(|o| o.results.iter().map(|(_, r)| r.is_proven()).collect())
+        .collect()
+}
+
+#[test]
+fn helper_threads_solve_batches_cold_and_warm() {
+    force_helpers();
+    let mut gen = VarGen::new();
+    let cs: Vec<Constraint> = (-8..56).map(|k| shifted(&mut gen, k)).collect();
+
+    let sequential =
+        verdicts(&Solver::new(SolverOptions::default().with_workers(Some(1))), &cs, &gen);
+    // Cold pool: the first parallel batch pays the helper spawn.
+    let parallel = Solver::new(SolverOptions::default().with_workers(Some(4)));
+    let cold = verdicts(&parallel, &cs, &gen);
+    assert!(pool::is_warm(), "first parallel batch initializes the pool");
+    assert_eq!(pool::prewarm(), 3, "DML_SOLVER_HELPERS pins the helper count");
+    // Warm pool: helpers already parked on the condvar.
+    let warm = verdicts(&parallel, &cs, &gen);
+
+    assert_eq!(sequential, cold, "cold-pool verdicts match sequential, in order");
+    assert_eq!(sequential, warm, "warm-pool verdicts match sequential, in order");
+    for (i, row) in cold.iter().enumerate() {
+        assert_eq!(row, &vec![i >= 8], "obligation {i}");
+    }
+}
+
+#[test]
+fn many_small_batches_reuse_the_pool() {
+    force_helpers();
+    // Batches much smaller than the chunk fan-out, repeatedly: exercises
+    // batch retirement and helpers racing the submitter to stale queues.
+    for round in 0..50 {
+        let mut gen = VarGen::new();
+        let cs: Vec<Constraint> = (0..3).map(|k| shifted(&mut gen, k - 1)).collect();
+        let solver = Solver::new(SolverOptions::default().with_workers(Some(4)));
+        let got = verdicts(&solver, &cs, &gen);
+        assert_eq!(got.len(), 3, "round {round}");
+        for (i, row) in got.iter().enumerate() {
+            assert_eq!(row, &vec![i >= 1], "round {round} obligation {i}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_submitters_share_the_pool() {
+    force_helpers();
+    // Several threads each submit batches at once: batches queue behind
+    // one another and helpers pick whichever has work, like a compile
+    // service would drive it.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            scope.spawn(move || {
+                let mut gen = VarGen::new();
+                let cs: Vec<Constraint> = (0..24).map(|k| shifted(&mut gen, k - 4)).collect();
+                let solver = Solver::new(SolverOptions::default().with_workers(Some(4)));
+                let got = verdicts(&solver, &cs, &gen);
+                for (i, row) in got.iter().enumerate() {
+                    assert_eq!(row, &vec![i >= 4], "submitter {t} obligation {i}");
+                }
+            });
+        }
+    });
+}
