@@ -9,6 +9,9 @@
 //! dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]
 //! dmlc run <file.dml> <fun> [ints...]   run a function on integer args
 //! dmlc eval <file.dml> <fun> [ints...]  alias for `run`
+//! dmlc serve [--socket PATH]   persistent check service (JSON protocol)
+//! dmlc stats --remote SOCKET   a running daemon's cache/request counters
+//! dmlc shutdown --remote SOCKET  flush the daemon's caches and stop it
 //! dmlc fuzz [--seed S] [--iters N] [--json]  differential solver fuzzer
 //! dmlc figure4                 print the paper's Figure 4 constraints
 //! dmlc table <1|2|3> [factor] [--timings]  regenerate an evaluation table
@@ -39,29 +42,43 @@
 //! * `--deadline-ms N` — per-goal wall-clock budget.
 //! * `--strict` — unproven obligations abort compilation (the permissive
 //!   default lets them degrade to residual runtime checks).
+//! * `--disk-cache FILE` — attach the persistent verdict store: canonical
+//!   goal verdicts survive across processes (and are shared with any
+//!   `dmlc serve --disk-cache` daemon pointed at the same file).
+//! * `--remote SOCKET` — run `check`/`infer`/`explain` against a
+//!   `dmlc serve --socket SOCKET` daemon instead of in-process. Output is
+//!   byte-identical (both paths render through the same report code);
+//!   only the wall time changes.
 
 use dml::experiments;
-use dml::{Compiler, Mode, ObKind, Severity, Value};
+use dml::{Compiler, Mode, Severity, Value};
 use std::process::ExitCode;
 use std::time::Duration;
 
+#[cfg(unix)]
+mod remote;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (compiler, args) = match parse_session_flags(&args) {
+    let (session, args) = match parse_session_flags(&args) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    let compiler = &session.compiler;
     match args.first().map(String::as_str) {
-        Some("check") => check_cmd(&compiler, &args),
-        Some("infer") => infer_cmd(&compiler, &args),
+        Some("check") => check_cmd(&session, &args),
+        Some("infer") => infer_cmd(&session, &args),
         Some("strip") => with_file(&args, strip),
-        Some("explain") => explain_cmd(&compiler, &args),
-        Some("constraints") => with_file(&args, |src| constraints(&compiler, src)),
-        Some("lint") => lint(&compiler, &args),
-        Some("run" | "eval") => run(&compiler, &args),
+        Some("explain") => explain_cmd(&session, &args),
+        Some("constraints") => with_file(&args, |src| constraints(compiler, src)),
+        Some("lint") => lint(compiler, &args),
+        Some("run" | "eval") => run(compiler, &args),
+        Some("serve") => serve_cmd(&session, &args),
+        Some("stats") => remote_only(&session, "stats"),
+        Some("shutdown") => remote_only(&session, "shutdown"),
         Some("fuzz") => fuzz(&args),
         Some("figure4") => {
             for line in experiments::figure4() {
@@ -72,7 +89,7 @@ fn main() -> ExitCode {
         Some("table") => table(&args),
         _ => {
             eprintln!(
-                "usage: dmlc <check|infer|strip|explain|constraints|lint|run|eval|fuzz|figure4|table> ...\n\
+                "usage: dmlc <check|infer|strip|explain|constraints|lint|run|eval|serve|stats|shutdown|fuzz|figure4|table> ...\n\
                  \n\
                  dmlc check <file.dml> [--trace-out FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc infer <file.dml> [--json] [--fuel N] [--deadline-ms N]\n\
@@ -82,20 +99,36 @@ fn main() -> ExitCode {
                  dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE] [--fuel N] [--strict]\n\
                  dmlc run <file.dml> <fun> [ints...] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc eval <file.dml> <fun> [ints...]   (alias for run)\n\
+                 dmlc serve [--socket PATH] [--disk-cache FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc stats --remote SOCKET\n\
+                 dmlc shutdown --remote SOCKET\n\
                  dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--infer] [--repro-dir D] [--no-programs]\n\
                  dmlc figure4\n\
-                 dmlc table <1|2|3> [factor] [--timings] [--infer]"
+                 dmlc table <1|2|3> [factor] [--timings] [--infer]\n\
+                 \n\
+                 check/explain/infer also accept --remote SOCKET to run against a\n\
+                 `dmlc serve --socket SOCKET` daemon (same output, warm caches)."
             );
             ExitCode::FAILURE
         }
     }
 }
 
-/// Extracts the `--fuel` / `--deadline-ms` / `--strict` session flags from
-/// anywhere on the command line, returning the configured [`Compiler`] and
-/// the remaining arguments.
-fn parse_session_flags(args: &[String]) -> Result<(Compiler, Vec<String>), String> {
+/// One configured invocation: the compiler session plus where to run it
+/// (locally, or against a `dmlc serve` daemon).
+struct SessionSetup {
+    compiler: Compiler,
+    /// Unix-socket path of a running daemon (`--remote`).
+    remote: Option<String>,
+}
+
+/// Extracts the session flags (`--fuel`, `--deadline-ms`, `--strict`,
+/// `--disk-cache`, `--remote`) from anywhere on the command line,
+/// returning the configured [`SessionSetup`] and the remaining arguments.
+fn parse_session_flags(args: &[String]) -> Result<(SessionSetup, Vec<String>), String> {
     let mut compiler = Compiler::new();
+    let mut remote = None;
+    let mut disk_cache: Option<String> = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -113,10 +146,27 @@ fn parse_session_flags(args: &[String]) -> Result<(Compiler, Vec<String>), Strin
                 compiler = compiler.deadline(Duration::from_millis(n));
             }
             "--strict" => compiler = compiler.strict(true),
+            "--disk-cache" => {
+                let v = it.next().ok_or("--disk-cache expects a file path")?;
+                disk_cache = Some(v.clone());
+            }
+            "--remote" => {
+                let v = it.next().ok_or("--remote expects a socket path")?;
+                remote = Some(v.clone());
+            }
             _ => rest.push(a.clone()),
         }
     }
-    Ok((compiler, rest))
+    // Attach the disk tier after all budget flags are parsed so the
+    // session solver is created with its final options.
+    if let Some(path) = disk_cache {
+        let loaded = {
+            compiler = compiler.disk_cache(&path);
+            compiler.solver().cache().disk_loaded()
+        };
+        eprintln!("disk cache: {loaded} verdict(s) loaded from {path}");
+    }
+    Ok((SessionSetup { compiler, remote }, rest))
 }
 
 fn with_file(args: &[String], f: impl Fn(&str) -> ExitCode) -> ExitCode {
@@ -135,8 +185,10 @@ fn with_file(args: &[String], f: impl Fn(&str) -> ExitCode) -> ExitCode {
 
 /// `dmlc check <file> [--trace-out FILE]` — with `--trace-out`, compiles
 /// with tracing on and writes a Chrome trace-event file alongside the
-/// normal report (which stays byte-identical in the default mode).
-fn check_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
+/// normal report (which stays byte-identical in the default mode). With
+/// `--remote SOCKET` the check runs on a `dmlc serve` daemon instead and
+/// prints the same report.
+fn check_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
     let Some(path) = args.get(1) else {
         eprintln!("missing file argument");
         return ExitCode::FAILURE;
@@ -165,8 +217,19 @@ fn check_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let session = if trace_out.is_some() { compiler.clone().trace(true) } else { compiler.clone() };
-    match session.compile(&src) {
+    if let Some(socket) = &session.remote {
+        if trace_out.is_some() {
+            eprintln!("--trace-out is not supported with --remote");
+            return ExitCode::FAILURE;
+        }
+        return remote_check(socket, path, &src);
+    }
+    let compiler = if trace_out.is_some() {
+        session.compiler.clone().trace(true)
+    } else {
+        session.compiler.clone()
+    };
+    match compiler.compile(&src) {
         Ok(compiled) => {
             if let Some(out_path) = &trace_out {
                 let trace = dml::chrome_trace(&compiled, &src, path);
@@ -176,7 +239,14 @@ fn check_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
                 }
                 eprintln!("trace written to {out_path} ({} events)", trace.len());
             }
-            report_check(&compiled, &src)
+            let report = dml::check_report(&compiled, &src);
+            print!("{}", report.text);
+            flush_disk_tier(&compiler);
+            if report.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("{e}");
@@ -185,11 +255,51 @@ fn check_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
     }
 }
 
+/// Persists newly decided verdicts when a `--disk-cache` store is
+/// attached (a no-op otherwise).
+fn flush_disk_tier(compiler: &Compiler) {
+    match compiler.flush_disk() {
+        Ok(Some(n)) => eprintln!("disk cache: {n} verdict(s) on disk"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: disk cache flush failed: {e}"),
+    }
+}
+
+#[cfg(unix)]
+fn remote_check(socket: &str, path: &str, src: &str) -> ExitCode {
+    use dml::serve::protocol::Json;
+    let params =
+        vec![("source", Json::Str(src.to_string())), ("path", Json::Str(path.to_string()))];
+    match remote::call(socket, "check", params) {
+        Ok(result) => {
+            let report =
+                result.get("report").and_then(dml::serve::Value::as_str).unwrap_or_default();
+            print!("{report}");
+            let ok = result.get("ok").and_then(dml::serve::Value::as_bool).unwrap_or(false);
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn remote_check(_socket: &str, _path: &str, _src: &str) -> ExitCode {
+    eprintln!("--remote requires a Unix platform");
+    ExitCode::FAILURE
+}
+
 /// `dmlc infer <file> [--json]` — compiles with inference enabled and
 /// prints the before/after residual-check report: accepted annotations
 /// (with fix-it text), rejected candidates (with the solver's reason), and
 /// the honestly-residual sites.
-fn infer_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
+fn infer_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
     let Some(path) = args.get(1) else {
         eprintln!("usage: dmlc infer <file.dml> [--json]");
         return ExitCode::FAILURE;
@@ -211,7 +321,10 @@ fn infer_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match compiler.clone().infer(true).compile(&src) {
+    if let Some(socket) = &session.remote {
+        return remote_text(socket, "infer", &src, vec![("json", json_bool(json))]);
+    }
+    let compiled = match session.compiler.clone().infer(true).compile(&src) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -247,7 +360,7 @@ fn strip(src: &str) -> ExitCode {
 
 /// `dmlc explain <file> [--goal N]` — renders the deterministic per-goal
 /// proof traces of a traced compile.
-fn explain_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
+fn explain_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
     let Some(path) = args.get(1) else {
         eprintln!("usage: dmlc explain <file.dml> [--goal N]");
         return ExitCode::FAILURE;
@@ -276,7 +389,14 @@ fn explain_cmd(compiler: &Compiler, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match compiler.clone().trace(true).compile(&src) {
+    if let Some(socket) = &session.remote {
+        let extra = match goal {
+            Some(n) => vec![("goal", dml::serve::protocol::Json::Int(n as i64))],
+            None => Vec::new(),
+        };
+        return remote_text(socket, "explain", &src, extra);
+    }
+    match session.compiler.clone().trace(true).compile(&src) {
         Ok(compiled) => {
             if let Some(n) = goal {
                 let total = compiled.goal_count();
@@ -364,56 +484,136 @@ fn fuzz(args: &[String]) -> ExitCode {
     }
 }
 
-fn report_check(compiled: &dml::Compiled, src: &str) -> ExitCode {
-    let stats = compiled.stats();
-    println!(
-        "{} constraints generated ({} goals), {:.1} ms generation, {:.1} ms solving",
-        stats.constraints,
-        stats.goals,
-        stats.generation_time.as_secs_f64() * 1e3,
-        stats.solve_time.as_secs_f64() * 1e3,
-    );
-    println!(
-        "solver cache: {} hits, {} misses",
-        stats.solver.cache_hits, stats.solver.cache_misses
-    );
-    println!(
-        "proven check sites: {}; unproven: {}",
-        compiled.proven_sites().len(),
-        compiled.unproven_sites().len()
-    );
-    for (site, con) in compiled.match_warnings() {
-        println!(
-            "warning: match at {site} may not be exhaustive (constructor `{con}` \
-             not provably impossible)"
-        );
+/// `dmlc serve [--socket PATH]` — runs the persistent check service over
+/// stdio (the default) or a Unix socket, holding one warm compiler session
+/// — goal cache, gen memo, worker pool, optional `--disk-cache` store —
+/// across every request. Protocol: `docs/PROTOCOL.md`.
+fn serve_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--socket" => match rest.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => {
+                    eprintln!("--socket expects a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
     }
-    if compiled.fully_verified() {
-        println!("fully verified: all run-time checks at proven sites are eliminated");
-        return ExitCode::SUCCESS;
+    let mut service = dml::Session::new(session.compiler.clone());
+    let result = match &socket {
+        None => {
+            eprintln!(
+                "dmlc serve: reading requests from stdin (schemaVersion {})",
+                dml::serve::SCHEMA_VERSION
+            );
+            dml::serve::serve_stdio(&mut service)
+        }
+        Some(path) => serve_socket(&mut service, path),
+    };
+    // Shutdown requests flush in-band; this covers plain EOF.
+    match service.flush_disk() {
+        Ok(Some(n)) => eprintln!("disk cache: {n} verdict(s) on disk"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: disk cache flush failed: {e}"),
     }
-    // Not fully verified. In permissive mode, unproven *check*
-    // obligations degrade gracefully to residual runtime checks;
-    // only failed non-check obligations (type equations, guards)
-    // make the program ill-typed.
-    let ill_typed = compiled
-        .failures()
-        .any(|(o, _)| !o.kind.is_check() && !matches!(o.kind, ObKind::Unreachable { .. }));
-    for rc in compiled.residual_checks() {
-        println!("{rc}");
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
     }
-    if ill_typed {
-        println!("NOT fully verified; unproven obligations:\n");
-        print!("{}", compiled.explain_failures(src));
-        ExitCode::FAILURE
-    } else {
-        println!(
-            "{} residual runtime check(s) remain (permissive mode; \
-             use --strict to make this an error)",
-            compiled.residual_checks().len()
-        );
-        ExitCode::SUCCESS
+}
+
+#[cfg(unix)]
+fn serve_socket(service: &mut dml::Session, path: &str) -> std::io::Result<()> {
+    eprintln!("dmlc serve: listening on {path} (schemaVersion {})", dml::serve::SCHEMA_VERSION);
+    dml::serve::serve_unix(service, std::path::Path::new(path))
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_service: &mut dml::Session, _path: &str) -> std::io::Result<()> {
+    Err(std::io::Error::other("--socket requires a Unix platform"))
+}
+
+/// `dmlc stats --remote SOCKET` / `dmlc shutdown --remote SOCKET` —
+/// methods that only make sense against a running daemon.
+fn remote_only(session: &SessionSetup, method: &'static str) -> ExitCode {
+    let Some(socket) = &session.remote else {
+        eprintln!("usage: dmlc {method} --remote SOCKET");
+        return ExitCode::FAILURE;
+    };
+    remote_simple(socket, method)
+}
+
+#[cfg(unix)]
+fn remote_simple(socket: &str, method: &str) -> ExitCode {
+    match remote::call(socket, method, Vec::new()) {
+        Ok(result) => {
+            println!("{}", remote::render(&result));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
     }
+}
+
+#[cfg(not(unix))]
+fn remote_simple(_socket: &str, _method: &str) -> ExitCode {
+    eprintln!("--remote requires a Unix platform");
+    ExitCode::FAILURE
+}
+
+/// Sends a source-bearing request to the daemon and prints its `text`
+/// result verbatim (the daemon renders through the same code paths the
+/// local commands use).
+#[cfg(unix)]
+fn remote_text(
+    socket: &str,
+    method: &str,
+    src: &str,
+    extra: Vec<(&str, dml::serve::protocol::Json)>,
+) -> ExitCode {
+    use dml::serve::protocol::Json;
+    let mut params = vec![("source", Json::Str(src.to_string()))];
+    params.extend(extra);
+    match remote::call(socket, method, params) {
+        Ok(result) => {
+            print!(
+                "{}",
+                result.get("text").and_then(dml::serve::Value::as_str).unwrap_or_default()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn remote_text(
+    _socket: &str,
+    _method: &str,
+    _src: &str,
+    _extra: Vec<(&str, dml::serve::protocol::Json)>,
+) -> ExitCode {
+    eprintln!("--remote requires a Unix platform");
+    ExitCode::FAILURE
+}
+
+fn json_bool(b: bool) -> dml::serve::protocol::Json {
+    dml::serve::protocol::Json::Bool(b)
 }
 
 fn constraints(compiler: &Compiler, src: &str) -> ExitCode {

@@ -1,0 +1,72 @@
+//! The `--remote` client: one request to a running `dmlc serve` daemon
+//! over its Unix socket, rendered exactly like the local command would
+//! render it. The daemon renders reports through the same
+//! [`dml::report::check_report`] the one-shot path uses, so routing a
+//! command through `--remote` changes wall time, not bytes.
+
+use dml::serve::protocol::{self, Json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+/// Sends one request and returns the response's `result` value.
+///
+/// # Errors
+///
+/// A printable message for connection failures, transport failures, and
+/// in-band protocol errors (the daemon's `error.message`, which for
+/// `compile-error` is the same text local `dmlc` prints to stderr).
+pub fn call(socket: &str, method: &str, params: Vec<(&str, Json)>) -> Result<Value, String> {
+    let stream = UnixStream::connect(socket).map_err(|e| {
+        format!(
+            "cannot connect to daemon at {socket}: {e}\n\
+             (start one with `dmlc serve --socket {socket}`)"
+        )
+    })?;
+    let mut writer = stream.try_clone().map_err(|e| format!("socket error: {e}"))?;
+    writer
+        .write_all(protocol::request_line(1, method, params).as_bytes())
+        .map_err(|e| format!("cannot write to daemon: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read daemon response: {e}"))?;
+    if line.trim().is_empty() {
+        return Err("daemon closed the connection without responding".to_string());
+    }
+    let response =
+        Value::parse(line.trim()).map_err(|e| format!("daemon sent invalid JSON: {e}"))?;
+    if let Some(err) = response.get("error") {
+        let code = err.get("code").and_then(Value::as_str).unwrap_or("internal-error");
+        let message = err.get("message").and_then(Value::as_str).unwrap_or("unknown error");
+        return Err(if code == "compile-error" {
+            message.to_string()
+        } else {
+            format!("daemon error ({code}): {message}")
+        });
+    }
+    response
+        .get("result")
+        .cloned()
+        .ok_or_else(|| "daemon response has neither result nor error".to_string())
+}
+
+/// Re-renders a parsed response value as JSON (for `dmlc stats --remote`).
+pub fn render(v: &Value) -> String {
+    to_json(v).render()
+}
+
+fn to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Num(n) => match v.as_i64() {
+            Some(i) => Json::Int(i),
+            None => Json::Num(*n),
+        },
+        Value::Str(s) => Json::Str(s.clone()),
+        Value::Array(items) => Json::Array(items.iter().map(to_json).collect()),
+        Value::Object(fields) => {
+            Json::Object(fields.iter().map(|(k, v)| (k.clone(), to_json(v))).collect())
+        }
+    }
+}

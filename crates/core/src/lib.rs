@@ -42,6 +42,8 @@
 
 pub mod experiments;
 pub mod pipeline;
+pub mod report;
+pub mod serve;
 pub mod table;
 pub mod trace;
 
@@ -53,7 +55,7 @@ pub use dml_infer::{infer_refinements, strip_annotations, InferOutcome, InferRep
 pub use dml_solver::{Solver, SolverOptions};
 pub use dml_syntax::Severity;
 pub use pipeline::clear_gen_memo;
-#[allow(deprecated)]
-pub use pipeline::{compile, compile_with_options, compile_with_solver};
 pub use pipeline::{CompileStats, Compiled, Compiler, PipelineError};
+pub use report::{check_report, stable_body, CheckReport};
+pub use serve::{CheckOutcome, Session};
 pub use trace::{chrome_trace, render_explain, GoalRecord, ObligationTrace};

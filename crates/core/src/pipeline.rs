@@ -91,6 +91,11 @@ pub struct CompileStats {
     pub generation_time: Duration,
     /// Time spent solving constraints.
     pub solve_time: Duration,
+    /// Obligations whose verdicts were reused from a previous compile by
+    /// the incremental session layer (always 0 outside `dmlc serve` /
+    /// [`crate::serve::Session`]). Reused obligations contribute nothing
+    /// to `goals` or the solver counters — they never reach the solver.
+    pub obligations_reused: usize,
     /// Aggregated solver statistics.
     pub solver: dml_solver::SolverStats,
 }
@@ -317,10 +322,18 @@ impl Compiled {
     }
 }
 
-/// A compilation session: solver budgets, strictness, and solver sharing
-/// behind one builder. This is the crate's public compile surface; the
-/// free functions [`compile`], [`compile_with_options`] and
-/// [`compile_with_solver`] are deprecated shims over it.
+/// A compilation session: solver budgets, strictness, caches, and solver
+/// sharing behind one builder. This is the crate's only compile surface.
+///
+/// A `Compiler` is a **reusable handle**: its session solver (and the
+/// verdict cache inside it) is created on first [`Compiler::compile`] and
+/// shared by every later compile on the same handle, so a long-lived
+/// session — the `dmlc serve` daemon, a test harness, an IDE — pays goal
+/// solving once per distinct canonical goal, not once per request.
+/// Option setters may be called between compiles; they apply to the next
+/// compile while the session cache is kept (verdicts computed under
+/// different budgets never collide — the cache key carries the budget
+/// class).
 ///
 /// # Examples
 ///
@@ -336,12 +349,31 @@ impl Compiled {
 /// let compiled = compiler.compile("fun id(x) = x").expect("compiles");
 /// assert!(compiled.fully_verified());
 /// ```
+///
+/// One handle, many compiles — the second request is answered from the
+/// session's verdict cache:
+///
+/// ```
+/// use dml::Compiler;
+///
+/// let session = Compiler::new();
+/// let src = "fun first(v) = sub(v, 0)
+/// where first <| {n:nat | n > 0} int array(n) -> int";
+/// let cold = session.compile(src).expect("compiles");
+/// assert!(cold.stats().solver.cache_misses > 0);
+/// let warm = session.compile(src).expect("compiles");
+/// assert_eq!(warm.stats().solver.cache_misses, 0, "all hits");
+/// ```
+///
+/// Cloning a handle *after* its first compile shares the session solver;
+/// cloning before gives an independent session.
+#[non_exhaustive]
 #[derive(Debug, Clone, Default)]
 pub struct Compiler {
     options: SolverOptions,
     strict: bool,
     infer: bool,
-    solver: Option<Solver>,
+    session: OnceLock<Solver>,
 }
 
 impl Compiler {
@@ -410,14 +442,44 @@ impl Compiler {
         self
     }
 
-    /// Compiles against a caller-supplied solver, *sharing its verdict
-    /// cache*. The solver's options become the session baseline (budget
-    /// setters called afterwards still apply — verdicts computed under
-    /// different fuel budgets never collide in the shared cache).
+    /// Adopts a caller-supplied solver as the session solver, *sharing its
+    /// verdict cache*. The solver's options become the session baseline
+    /// (budget setters called afterwards still apply — verdicts computed
+    /// under different fuel budgets never collide in the shared cache).
     pub fn with_solver(mut self, solver: &Solver) -> Compiler {
         self.options = *solver.options();
-        self.solver = Some(solver.clone());
+        self.session = OnceLock::from(solver.clone());
         self
+    }
+
+    /// The session solver, created on first use. Every
+    /// [`Compiler::compile`] on this handle runs through it (with the
+    /// handle's current options applied), so its verdict cache carries
+    /// across compiles.
+    pub fn solver(&self) -> &Solver {
+        self.session.get_or_init(|| Solver::new(self.options))
+    }
+
+    /// Attaches an on-disk verdict store at `path` to the session cache
+    /// (see [`dml_solver::cache::GoalCache::attach_disk`]): previously
+    /// flushed verdicts answer goals across process restarts, and new
+    /// verdicts are queued until [`Compiler::flush_disk`]. A missing,
+    /// stale, or corrupted file is ignored — persistence never fails a
+    /// compile.
+    pub fn disk_cache(self, path: impl Into<std::path::PathBuf>) -> Compiler {
+        self.solver().cache().attach_disk(path);
+        self
+    }
+
+    /// Writes verdicts queued since the last flush back to the attached
+    /// disk store (no-op without one). Returns the total entries now on
+    /// disk when a write happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the store write.
+    pub fn flush_disk(&self) -> std::io::Result<Option<usize>> {
+        self.solver().cache().flush_disk()
     }
 
     /// The solver options this session will compile with.
@@ -454,10 +516,28 @@ impl Compiler {
     /// and, in strict mode, [`PipelineError::Unproven`] when any
     /// obligation is left unproven.
     pub fn compile(&self, src: &str) -> Result<Compiled, PipelineError> {
-        let solver = match &self.solver {
-            Some(s) => s.with_options(self.options),
-            None => Solver::new(self.options),
-        };
+        self.compile_incremental(src, None)
+    }
+
+    /// [`Compiler::compile`] with an optional verdict-reuse plan from the
+    /// incremental session layer (`serve`): obligations bucketed to
+    /// declarations the plan marks unchanged take their previous verdicts
+    /// without touching the solver. Callers are responsible for the plan's
+    /// soundness preconditions (environment signature unchanged, decl text
+    /// unchanged — see [`crate::serve::incremental`]); a per-bucket
+    /// obligation-count mismatch falls back to solving that bucket.
+    pub(crate) fn compile_incremental(
+        &self,
+        src: &str,
+        reuse: Option<&ReusePlan>,
+    ) -> Result<Compiled, PipelineError> {
+        // The session solver is created once per handle; applying the
+        // handle's current options here keeps later setter calls honest
+        // while preserving the shared cache.
+        let solver = self.solver().with_options(self.options);
+        // Trace mode re-decides every goal for complete event stories;
+        // verdict reuse would leave reused obligations storyless.
+        let reuse = if self.options.trace || self.infer { None } else { reuse };
         let program = dml_syntax::parse_program(src).map_err(PipelineError::Parse)?;
         // The gen memo key is the source text alone: generation is
         // deterministic per source. Inference rewrites the AST based on
@@ -475,7 +555,7 @@ impl Compiler {
             src.hash(&mut h);
             (program, None, Some(h.finish()))
         };
-        let mut compiled = run_pipeline_ast(program, &solver, memo_key)?;
+        let mut compiled = run_pipeline_ast(program, &solver, memo_key, reuse)?;
         compiled.infer_report = infer_report;
         let compiled = compiled;
         if self.strict && !compiled.fully_verified() {
@@ -494,34 +574,29 @@ impl Compiler {
     }
 }
 
-/// Compiles with default solver options.
-///
-/// # Errors
-///
-/// Returns a [`PipelineError`] for parse/type/elaboration failures.
-#[deprecated(note = "use `Compiler::new().compile(src)`")]
-pub fn compile(src: &str) -> Result<Compiled, PipelineError> {
-    Compiler::new().compile(src)
+/// A verdict-reuse plan for one incremental recompile, built by the
+/// session layer (`serve::incremental`) from the previous compile of the
+/// same file. Obligations are bucketed to top-level declarations by source
+/// position; a bucket whose declaration is unchanged takes its previous
+/// verdicts positionally instead of re-solving (sound because
+/// re-elaboration of identical decl text under an identical environment
+/// signature yields the same constraints up to variable renaming, and
+/// verdicts are alpha-invariant).
+#[derive(Debug, Clone)]
+pub(crate) struct ReusePlan {
+    /// Bucket boundaries: the current program's top-level declaration
+    /// start positions, ascending.
+    pub decl_starts: Vec<usize>,
+    /// Per declaration: the previous compile's collapsed verdicts for that
+    /// bucket in obligation order, or `None` to re-solve.
+    pub prior: Vec<Option<Vec<Verdict>>>,
 }
 
-/// Compiles with explicit solver options.
-///
-/// # Errors
-///
-/// Returns a [`PipelineError`] for parse/type/elaboration failures.
-#[deprecated(note = "use `Compiler::new().solver_options(options).compile(src)`")]
-pub fn compile_with_options(src: &str, options: SolverOptions) -> Result<Compiled, PipelineError> {
-    Compiler::new().solver_options(options).compile(src)
-}
-
-/// Compiles against a caller-supplied solver (shares its verdict cache).
-///
-/// # Errors
-///
-/// Returns a [`PipelineError`] for parse/type/elaboration failures.
-#[deprecated(note = "use `Compiler::new().with_solver(solver).compile(src)`")]
-pub fn compile_with_solver(src: &str, solver: &Solver) -> Result<Compiled, PipelineError> {
-    Compiler::new().with_solver(solver).compile(src)
+/// The declaration bucket owning a source position: the greatest decl
+/// start at or before it (positions before the first decl fall into
+/// bucket 0).
+pub(crate) fn bucket_of(decl_starts: &[usize], site_start: usize) -> usize {
+    decl_starts.partition_point(|&s| s <= site_start).saturating_sub(1)
 }
 
 /// Collapses an outcome into the single verdict recorded per obligation:
@@ -646,23 +721,56 @@ fn run_pipeline_ast(
     program: sast::Program,
     solver: &Solver,
     memo_key: Option<u64>,
+    reuse: Option<&ReusePlan>,
 ) -> Result<Compiled, PipelineError> {
     let gen_start = Instant::now();
     let GenArtifacts { program, env, obligations, top_level, gen, contexts } =
         gen_phase_memoized(program, memo_key)?;
     let generation_time = gen_start.elapsed();
 
-    // Solve every obligation (in parallel when the options ask for it;
-    // results come back in obligation order either way). Cache hit/miss
-    // counters are snapshot-and-diffed around the solve so the reported
-    // numbers are this compile's own, even when the solver (and its
-    // process-lived cache) is shared across many compiles.
+    // Incremental reuse: bucket obligations to declarations and take the
+    // previous compile's verdicts for buckets the plan marks unchanged. A
+    // bucket whose obligation count differs from the plan's record is
+    // re-solved in full (positional pairing would be meaningless).
+    let mut reused: Vec<Option<Verdict>> = vec![None; obligations.len()];
+    let mut obligations_reused = 0usize;
+    if let Some(plan) = reuse {
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); plan.prior.len()];
+        for (i, ob) in obligations.iter().enumerate() {
+            let d = bucket_of(&plan.decl_starts, ob.site.start as usize);
+            if let Some(b) = buckets.get_mut(d) {
+                b.push(i);
+            }
+        }
+        for (bucket, prior) in buckets.iter().zip(&plan.prior) {
+            if let Some(verdicts) = prior {
+                if verdicts.len() == bucket.len() {
+                    for (&slot, v) in bucket.iter().zip(verdicts) {
+                        reused[slot] = Some(v.clone());
+                        obligations_reused += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Solve every obligation the plan did not answer (in parallel when the
+    // options ask for it; results come back in obligation order either
+    // way). Cache hit/miss counters are snapshot-and-diffed around the
+    // solve so the reported numbers are this compile's own, even when the
+    // solver (and its process-lived cache) is shared across many compiles.
     let solve_start = Instant::now();
     let solver = solver.clone();
-    let cache_snapshot = (solver.cache().hits(), solver.cache().misses());
+    let cache_snapshot =
+        (solver.cache().hits(), solver.cache().misses(), solver.cache().disk_hits());
     let mut gen = gen;
     let outcomes = {
-        let constraints: Vec<_> = obligations.iter().map(|ob| &ob.constraint).collect();
+        let constraints: Vec<_> = obligations
+            .iter()
+            .zip(&reused)
+            .filter(|(_, r)| r.is_none())
+            .map(|(ob, _)| &ob.constraint)
+            .collect::<Vec<_>>();
         prove_all(&solver, &constraints, &mut gen)
     };
     let tracing = solver.options().trace;
@@ -670,7 +778,13 @@ fn run_pipeline_ast(
     let mut traces = Vec::new();
     let mut solver_stats = dml_solver::SolverStats::default();
     let mut goals = 0usize;
-    for (ob, outcome) in obligations.into_iter().zip(outcomes) {
+    let mut outcomes = outcomes.into_iter();
+    for (ob, prior) in obligations.into_iter().zip(reused) {
+        if let Some(verdict) = prior {
+            results.push((ob, verdict));
+            continue;
+        }
+        let outcome = outcomes.next().expect("one outcome per solved obligation");
         goals += outcome.results.len();
         solver_stats.merge(&outcome.stats);
         let verdict = collapse_verdicts(&outcome);
@@ -689,6 +803,7 @@ fn run_pipeline_ast(
     // during *this* compile's solve, not since the cache was created.
     solver_stats.cache_hits = (solver.cache().hits() - cache_snapshot.0) as usize;
     solver_stats.cache_misses = (solver.cache().misses() - cache_snapshot.1) as usize;
+    solver_stats.cache_disk_hits = (solver.cache().disk_hits() - cache_snapshot.2) as usize;
     let solve_time = solve_start.elapsed();
 
     // Check elimination (§4): a program that type-checks compiles its
@@ -721,6 +836,7 @@ fn run_pipeline_ast(
         goals,
         generation_time,
         solve_time,
+        obligations_reused,
         solver: solver_stats,
     };
     Ok(Compiled {
@@ -1008,19 +1124,32 @@ where first <| {n:nat | n > 0} int array(n) -> int
         assert_eq!(cold.proven_sites(), warm.proven_sites());
     }
 
-    /// The deprecated free functions still work (they are thin shims over
-    /// [`Compiler`]).
+    /// A single `Compiler` handle is a reusable session: its second
+    /// compile of the same program is answered entirely from the session
+    /// verdict cache, and an option change between compiles keeps the
+    /// cache while applying the new budget.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_compile_programs() {
+    fn compiler_handle_reuses_session_across_compiles() {
         let src = r#"
 fun first(v) = sub(v, 0)
 where first <| {n:nat | n > 0} int array(n) -> int
 "#;
-        assert!(super::compile(src).unwrap().fully_verified());
-        assert!(compile_with_options(src, SolverOptions::default()).unwrap().fully_verified());
-        let solver = Solver::new(SolverOptions::default());
-        assert!(compile_with_solver(src, &solver).unwrap().fully_verified());
+        let session = Compiler::new();
+        let cold = session.compile(src).unwrap();
+        assert!(cold.stats().solver.cache_misses > 0);
+        let warm = session.compile(src).unwrap();
+        assert_eq!(warm.stats().solver.cache_misses, 0, "second compile is all hits");
+        assert!(warm.stats().solver.cache_hits > 0);
+        assert_eq!(cold.proven_sites(), warm.proven_sites());
+
+        // Changing an option between compiles keeps the session cache:
+        // the budget-class key partition means unlimited-fuel verdicts
+        // still answer unlimited-fuel goals, while the new fuel class
+        // misses cleanly.
+        let refueled = session.clone().fuel(1_000_000);
+        let third = refueled.compile(src).unwrap();
+        assert!(third.fully_verified());
+        assert_eq!(cold.proven_sites(), third.proven_sites());
     }
 
     /// Worker count and cache do not change verdicts or proven sites.

@@ -1,0 +1,537 @@
+//! On-disk, content-addressed persistence for the verdict cache.
+//!
+//! The in-memory [`crate::GoalCache`] starts cold on every process start,
+//! which throws away exactly the work a check service exists to reuse. This
+//! module gives the cache a second tier: a flat file of
+//! `canonical-goal-hash → verdict` entries that survives process restarts
+//! and is shared between every compile that names the same path.
+//!
+//! **Key.** Entries are addressed by a [stable 64-bit FNV-1a
+//! hash](stable_goal_hash) of the goal's canonical form
+//! ([`crate::canon::CanonGoal`]), walked structurally — variable *ids*
+//! (already densely alpha-renamed by canonicalization), sorts, operators,
+//! literals, and the budget class all feed the hash, display names never
+//! do. Two alpha-variant goals therefore share one entry across processes,
+//! machines, and files, exactly as they share one in-memory cache slot
+//! within a process. (`std`'s `DefaultHasher` is *not* used: its output is
+//! explicitly not guaranteed stable across releases.)
+//!
+//! **Value.** The verdict plus the budget class it was computed under —
+//! the same partitioning the in-memory cache uses, so a fuel-starved
+//! `Unknown(FuelExhausted)` can never masquerade as the unlimited answer.
+//! `Unknown(Deadline)` verdicts are never persisted (they are never even
+//! inserted into the in-memory cache): wall-clock verdicts are
+//! machine-dependent.
+//!
+//! **Versioning.** The file opens with a header naming the format version
+//! and [`SOLVER_LOGIC_VERSION`]. A header mismatch — or any parse error at
+//! all — makes the loader return an empty store instead of failing:
+//! a stale or corrupted cache file costs re-solving, never a crash. Bump
+//! `SOLVER_LOGIC_VERSION` whenever a change to the solver can alter any
+//! verdict; every existing cache file is then ignored wholesale.
+//!
+//! Writes go through a temp file in the same directory followed by an
+//! atomic rename, and the writer re-reads the file first and merges, so
+//! concurrent one-shot processes sharing a path lose at most each other's
+//! latest entries, never the file's integrity.
+
+use crate::canon::{BudgetClass, CanonGoal};
+use dml_index::{IExp, Prop, Sort, UnknownReason, Var, Verdict};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Version of the solver's decision logic. Part of the on-disk cache
+/// header: bumping it invalidates every previously persisted verdict.
+///
+/// Bump this whenever a solver change can alter any verdict — new
+/// tightening rules, changed lowering, different fuel accounting.
+pub const SOLVER_LOGIC_VERSION: u32 = 1;
+
+/// On-disk format version (the line syntax itself).
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &str = "dml-verdict-cache";
+
+/// A verdict as persisted: the answer plus the budget class it was
+/// computed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskEntry {
+    /// Budget class the verdict is valid for (also part of the key hash;
+    /// duplicated in the value so the file is self-describing).
+    pub budget: BudgetClass,
+    /// The persisted verdict. Never `Unknown(Deadline)`.
+    pub verdict: Verdict,
+}
+
+/// An on-disk verdict store: the loaded entries plus everything inserted
+/// since, flushed back with [`DiskStore::flush`].
+#[derive(Debug)]
+pub struct DiskStore {
+    path: PathBuf,
+    /// Entries present when the file was loaded.
+    loaded: BTreeMap<u64, DiskEntry>,
+    /// Entries inserted this process and not yet flushed.
+    fresh: BTreeMap<u64, DiskEntry>,
+    /// Number of entries the loader found (0 when the file was absent,
+    /// stale, or corrupt).
+    loaded_count: usize,
+}
+
+impl DiskStore {
+    /// Opens (or initializes) a store at `path`. A missing, stale
+    /// (version-mismatched), or corrupted file yields an *empty* store —
+    /// persistence failures degrade to a cold cache, never an error.
+    pub fn open(path: impl Into<PathBuf>) -> DiskStore {
+        let path = path.into();
+        let loaded = match std::fs::read_to_string(&path) {
+            Ok(text) => parse_file(&text).unwrap_or_default(),
+            Err(_) => BTreeMap::new(),
+        };
+        let loaded_count = loaded.len();
+        DiskStore { path, loaded, fresh: BTreeMap::new(), loaded_count }
+    }
+
+    /// The file path this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of entries found on disk at open time.
+    pub fn loaded_count(&self) -> usize {
+        self.loaded_count
+    }
+
+    /// Number of entries inserted since open (or the last flush) and not
+    /// yet written back.
+    pub fn pending(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// Looks up a verdict by stable goal hash.
+    pub fn get(&self, hash: u64) -> Option<&DiskEntry> {
+        self.fresh.get(&hash).or_else(|| self.loaded.get(&hash))
+    }
+
+    /// Records a verdict for later flushing. `Unknown(Deadline)` is
+    /// silently dropped (wall-clock verdicts never persist).
+    pub fn insert(&mut self, hash: u64, entry: DiskEntry) {
+        if entry.verdict == Verdict::Unknown(UnknownReason::Deadline) {
+            return;
+        }
+        self.fresh.insert(hash, entry);
+    }
+
+    /// Writes every entry back to the path: re-reads the current file,
+    /// merges (fresh entries win), writes a temp file, renames it into
+    /// place. Returns the total entry count written, or `None` when there
+    /// was nothing new to write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the temp-file write or the rename.
+    pub fn flush(&mut self) -> std::io::Result<Option<usize>> {
+        if self.fresh.is_empty() {
+            return Ok(None);
+        }
+        // Merge with whatever is on disk *now* — another process may have
+        // flushed since we loaded.
+        let mut merged = match std::fs::read_to_string(&self.path) {
+            Ok(text) => parse_file(&text).unwrap_or_default(),
+            Err(_) => BTreeMap::new(),
+        };
+        for (k, v) in std::mem::take(&mut self.loaded) {
+            merged.entry(k).or_insert(v);
+        }
+        merged.extend(std::mem::take(&mut self.fresh));
+
+        let mut out = String::new();
+        out.push_str(&format!("{MAGIC} {FORMAT_VERSION} logic {SOLVER_LOGIC_VERSION}\n"));
+        for (hash, e) in &merged {
+            // A verdict variant this version cannot render (future
+            // additions behind `#[non_exhaustive]`) is simply skipped.
+            if let Some(v) = render_verdict(&e.verdict) {
+                out.push_str(&format!("{hash:016x} {} {v}\n", render_budget(e.budget)));
+            }
+        }
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let written = merged.len();
+        self.loaded = merged;
+        self.loaded_count = written;
+        Ok(Some(written))
+    }
+}
+
+/// Parses a cache file. `None` on any header mismatch or malformed line —
+/// the caller treats that as an empty (ignored) file.
+fn parse_file(text: &str) -> Option<BTreeMap<u64, DiskEntry>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut h = header.split(' ');
+    if h.next()? != MAGIC {
+        return None;
+    }
+    if h.next()?.parse::<u32>().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    if h.next()? != "logic" {
+        return None;
+    }
+    if h.next()?.parse::<u32>().ok()? != SOLVER_LOGIC_VERSION {
+        return None;
+    }
+    if h.next().is_some() {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let budget = parse_budget(parts.next()?)?;
+        let verdict = parse_verdict(parts.next()?)?;
+        entries.insert(hash, DiskEntry { budget, verdict });
+    }
+    Some(entries)
+}
+
+fn render_budget(b: BudgetClass) -> String {
+    match b {
+        BudgetClass::Unlimited => "u".to_string(),
+        BudgetClass::Fuel(f) => format!("f:{f}"),
+    }
+}
+
+fn parse_budget(s: &str) -> Option<BudgetClass> {
+    if s == "u" {
+        return Some(BudgetClass::Unlimited);
+    }
+    let f = s.strip_prefix("f:")?.parse().ok()?;
+    Some(BudgetClass::Fuel(f))
+}
+
+fn render_verdict(v: &Verdict) -> Option<String> {
+    match v {
+        Verdict::Proven => Some("P".to_string()),
+        Verdict::Refuted => Some("R".to_string()),
+        Verdict::Unknown(UnknownReason::PossiblyFalsifiable) => Some("U:pf".to_string()),
+        Verdict::Unknown(UnknownReason::Blowup) => Some("U:blowup".to_string()),
+        Verdict::Unknown(UnknownReason::FuelExhausted) => Some("U:fuel".to_string()),
+        Verdict::Unknown(UnknownReason::Deadline) => Some("U:deadline".to_string()),
+        // The nonlinear expression text is preserved exactly (it surfaces
+        // in `dmlc check` residual reasons, which must stay byte-identical
+        // whether the verdict came from disk or a fresh solve).
+        Verdict::Unknown(UnknownReason::Nonlinear(expr)) => Some(format!("U:nl:{}", escape(expr))),
+        // Forward compatibility: a verdict variant this version cannot
+        // name is not persisted.
+        _ => None,
+    }
+}
+
+fn parse_verdict(s: &str) -> Option<Verdict> {
+    match s {
+        "P" => Some(Verdict::Proven),
+        "R" => Some(Verdict::Refuted),
+        "U:pf" => Some(Verdict::Unknown(UnknownReason::PossiblyFalsifiable)),
+        "U:blowup" => Some(Verdict::Unknown(UnknownReason::Blowup)),
+        "U:fuel" => Some(Verdict::Unknown(UnknownReason::FuelExhausted)),
+        "U:deadline" => Some(Verdict::Unknown(UnknownReason::Deadline)),
+        _ => {
+            let expr = s.strip_prefix("U:nl:")?;
+            Some(Verdict::Unknown(UnknownReason::Nonlinear(unescape(expr)?)))
+        }
+    }
+}
+
+/// Percent-escapes the characters that would break the line format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0a"),
+            '\r' => out.push_str("%0d"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next()?;
+        let lo = chars.next()?;
+        let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16).ok()?;
+        out.push(byte as char);
+    }
+    Some(out)
+}
+
+/// A process-independent 64-bit FNV-1a hash of a canonical goal.
+///
+/// Canonicalization already renamed every variable to a dense id and
+/// normalized hypothesis order, so feeding ids, tags, and literals in
+/// structural order yields the same hash for alpha-variant goals in any
+/// process. Display names are excluded by construction ([`Var`] identity
+/// is id-only and only ids are fed).
+pub fn stable_goal_hash(key: &CanonGoal) -> u64 {
+    let mut h = Fnv1a::new();
+    h.u32(match key.budget {
+        BudgetClass::Unlimited => 0,
+        BudgetClass::Fuel(_) => 1,
+    });
+    if let BudgetClass::Fuel(f) = key.budget {
+        h.u64(f);
+    }
+    h.usize(key.sorts.len());
+    for s in &key.sorts {
+        h.u32(sort_tag(*s));
+    }
+    h.usize(key.hyps.len());
+    for p in &key.hyps {
+        hash_prop(&mut h, p);
+    }
+    hash_prop(&mut h, &key.concl);
+    h.finish()
+}
+
+fn sort_tag(s: Sort) -> u32 {
+    match s {
+        Sort::Int => 0,
+        Sort::Bool => 1,
+    }
+}
+
+fn hash_var(h: &mut Fnv1a, v: &Var) {
+    h.u32(v.id());
+}
+
+fn hash_iexp(h: &mut Fnv1a, e: &IExp) {
+    match e {
+        IExp::Var(v) => {
+            h.u32(0);
+            hash_var(h, v);
+        }
+        IExp::Lit(n) => {
+            h.u32(1);
+            h.u64(*n as u64);
+        }
+        IExp::Add(a, b) => bin(h, 2, a, b),
+        IExp::Sub(a, b) => bin(h, 3, a, b),
+        IExp::Mul(a, b) => bin(h, 4, a, b),
+        IExp::Div(a, b) => bin(h, 5, a, b),
+        IExp::Mod(a, b) => bin(h, 6, a, b),
+        IExp::Min(a, b) => bin(h, 7, a, b),
+        IExp::Max(a, b) => bin(h, 8, a, b),
+        IExp::Abs(a) => {
+            h.u32(9);
+            hash_iexp(h, a);
+        }
+        IExp::Sgn(a) => {
+            h.u32(10);
+            hash_iexp(h, a);
+        }
+    }
+}
+
+fn bin(h: &mut Fnv1a, tag: u32, a: &IExp, b: &IExp) {
+    h.u32(tag);
+    hash_iexp(h, a);
+    hash_iexp(h, b);
+}
+
+fn hash_prop(h: &mut Fnv1a, p: &Prop) {
+    match p {
+        Prop::True => h.u32(0),
+        Prop::False => h.u32(1),
+        Prop::BVar(v) => {
+            h.u32(2);
+            hash_var(h, v);
+        }
+        Prop::Cmp(op, a, b) => {
+            h.u32(3);
+            h.u32(*op as u32);
+            hash_iexp(h, a);
+            hash_iexp(h, b);
+        }
+        Prop::Not(q) => {
+            h.u32(4);
+            hash_prop(h, q);
+        }
+        Prop::And(a, b) => {
+            h.u32(5);
+            hash_prop(h, a);
+            hash_prop(h, b);
+        }
+        Prop::Or(a, b) => {
+            h.u32(6);
+            hash_prop(h, a);
+            hash_prop(h, b);
+        }
+    }
+}
+
+/// FNV-1a, 64-bit. Same constants as the oracle's report digest; kept
+/// private to each crate since the dependency direction forbids sharing.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonicalize;
+    use crate::goal::Goal;
+    use dml_index::VarGen;
+
+    fn sample_goal(name_a: &str, name_b: &str) -> Goal {
+        let mut g = VarGen::new();
+        let a = g.fresh(name_a);
+        let b = g.fresh(name_b);
+        Goal {
+            ctx: vec![(a.clone(), Sort::Int), (b.clone(), Sort::Int)],
+            hyps: vec![
+                Prop::le(IExp::lit(0), IExp::var(a.clone())),
+                Prop::lt(IExp::var(a.clone()), IExp::var(b.clone())),
+            ],
+            concl: Prop::le(IExp::var(a), IExp::var(b)),
+            residual_existential: false,
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_alpha_invariant_and_discriminating() {
+        let k1 = canonicalize(&sample_goal("i", "n"));
+        let k2 = canonicalize(&sample_goal("j", "m"));
+        assert_eq!(stable_goal_hash(&k1), stable_goal_hash(&k2));
+
+        let mut other = sample_goal("i", "n");
+        other.concl = Prop::lt(IExp::var(other.ctx[0].0.clone()), IExp::lit(10));
+        assert_ne!(stable_goal_hash(&k1), stable_goal_hash(&canonicalize(&other)));
+
+        // Budget class partitions the hash space.
+        let low = crate::canon::canonicalize_budgeted(&sample_goal("i", "n"), BudgetClass::Fuel(8));
+        assert_ne!(stable_goal_hash(&k1), stable_goal_hash(&low));
+    }
+
+    #[test]
+    fn round_trips_entries_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("dml-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.vcache");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = DiskStore::open(&path);
+        assert_eq!(store.loaded_count(), 0);
+        store.insert(1, DiskEntry { budget: BudgetClass::Unlimited, verdict: Verdict::Proven });
+        store.insert(2, DiskEntry { budget: BudgetClass::Fuel(64), verdict: Verdict::Refuted });
+        store.insert(
+            3,
+            DiskEntry {
+                budget: BudgetClass::Unlimited,
+                verdict: Verdict::Unknown(UnknownReason::Nonlinear("i * j % 2".into())),
+            },
+        );
+        // Deadline verdicts are dropped on insert.
+        store.insert(
+            4,
+            DiskEntry {
+                budget: BudgetClass::Unlimited,
+                verdict: Verdict::Unknown(UnknownReason::Deadline),
+            },
+        );
+        assert_eq!(store.flush().unwrap(), Some(3));
+        assert_eq!(store.flush().unwrap(), None, "second flush has nothing new");
+
+        let reopened = DiskStore::open(&path);
+        assert_eq!(reopened.loaded_count(), 3);
+        assert_eq!(reopened.get(1).unwrap().verdict, Verdict::Proven);
+        assert_eq!(reopened.get(2).unwrap().budget, BudgetClass::Fuel(64));
+        assert_eq!(
+            reopened.get(3).unwrap().verdict,
+            Verdict::Unknown(UnknownReason::Nonlinear("i * j % 2".into()))
+        );
+        assert!(reopened.get(4).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_or_corrupt_files_load_as_empty() {
+        let dir = std::env::temp_dir().join(format!("dml-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        for (name, contents) in [
+            ("old-version.vcache", format!("{MAGIC} 0 logic {SOLVER_LOGIC_VERSION}\n1 u P\n")),
+            ("old-logic.vcache", format!("{MAGIC} {FORMAT_VERSION} logic 0\n1 u P\n")),
+            ("wrong-magic.vcache", "not-a-cache 1 logic 1\n".to_string()),
+            ("garbage.vcache", "\u{0}\u{1}binary junk".to_string()),
+            (
+                "bad-entry.vcache",
+                format!("{MAGIC} {FORMAT_VERSION} logic {SOLVER_LOGIC_VERSION}\nzzzz u P\n"),
+            ),
+            ("empty.vcache", String::new()),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, contents).unwrap();
+            let store = DiskStore::open(&path);
+            assert_eq!(store.loaded_count(), 0, "{name} must be ignored, not fatal");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn nonlinear_expr_text_survives_escaping() {
+        for expr in ["a * b", "100% weird\nexpr", "x %0a y"] {
+            let rendered = render_verdict(&Verdict::Unknown(UnknownReason::Nonlinear(expr.into())))
+                .expect("nonlinear verdicts render");
+            assert!(!rendered.contains('\n'));
+            assert_eq!(
+                parse_verdict(&rendered),
+                Some(Verdict::Unknown(UnknownReason::Nonlinear(expr.into())))
+            );
+        }
+    }
+}
