@@ -9,6 +9,8 @@
 //! dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE]
 //! dmlc run <file.dml> <fun> [ints...]   run a function on integer args
 //! dmlc eval <file.dml> <fun> [ints...]  alias for `run`
+//! dmlc emit-rust <file.dml> [--out DIR] [--checked|--unchecked-proven]
+//!                              compile to a standalone Rust crate
 //! dmlc serve [--socket PATH]   persistent check service (JSON protocol)
 //! dmlc stats --remote SOCKET   a running daemon's cache/request counters
 //! dmlc shutdown --remote SOCKET  flush the daemon's caches and stop it
@@ -76,6 +78,7 @@ fn main() -> ExitCode {
         Some("constraints") => with_file(&args, |src| constraints(compiler, src)),
         Some("lint") => lint(compiler, &args),
         Some("run" | "eval") => run(compiler, &args),
+        Some("emit-rust") => emit_rust(compiler, &args),
         Some("serve") => serve_cmd(&session, &args),
         Some("stats") => remote_only(&session, "stats"),
         Some("shutdown") => remote_only(&session, "shutdown"),
@@ -89,7 +92,7 @@ fn main() -> ExitCode {
         Some("table") => table(&args),
         _ => {
             eprintln!(
-                "usage: dmlc <check|infer|strip|explain|constraints|lint|run|eval|serve|stats|shutdown|fuzz|figure4|table> ...\n\
+                "usage: dmlc <check|infer|strip|explain|constraints|lint|run|eval|emit-rust|serve|stats|shutdown|fuzz|figure4|table> ...\n\
                  \n\
                  dmlc check <file.dml> [--trace-out FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc infer <file.dml> [--json] [--fuel N] [--deadline-ms N]\n\
@@ -99,6 +102,7 @@ fn main() -> ExitCode {
                  dmlc lint <file.dml> [--format human|json|sarif] [--deny CODE] [--fuel N] [--strict]\n\
                  dmlc run <file.dml> <fun> [ints...] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc eval <file.dml> <fun> [ints...]   (alias for run)\n\
+                 dmlc emit-rust <file.dml> [--out DIR] [--checked|--unchecked-proven] [--name NAME]\n\
                  dmlc serve [--socket PATH] [--disk-cache FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc stats --remote SOCKET\n\
                  dmlc shutdown --remote SOCKET\n\
@@ -646,6 +650,112 @@ fn constraints(compiler: &Compiler, src: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `dmlc emit-rust <file> [--out DIR] [--checked|--unchecked-proven]
+/// [--name NAME]` — compiles a checked program to a standalone Cargo crate
+/// (see docs/EMIT.md for the emission contract).
+///
+/// The default variant is `--unchecked-proven`: array/list sites whose
+/// guard obligations the solver proved become `get_unchecked`-style
+/// accesses inside `// SAFETY: goal #N proven` unsafe blocks; everything
+/// else (and the whole program under `--checked`) uses the hoisted checked
+/// form. The default output directory is `emit/<name>_<variant>/`.
+fn emit_rust(compiler: &Compiler, args: &[String]) -> ExitCode {
+    let usage =
+        "usage: dmlc emit-rust <file.dml> [--out DIR] [--checked|--unchecked-proven] [--name NAME]";
+    let Some(path) = args.get(1) else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let mut variant = dml_emit::Variant::UncheckedProven;
+    let mut out_dir: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--checked" => variant = dml_emit::Variant::Checked,
+            "--unchecked-proven" => variant = dml_emit::Variant::UncheckedProven,
+            "--out" => match rest.next() {
+                Some(d) => out_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--out expects a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--name" => match rest.next() {
+                Some(n) => name = Some(n.clone()),
+                None => {
+                    eprintln!("--name expects a crate name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compiler.compile(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schemes = match dml_types::infer::infer_program(compiled.program(), compiled.env()) {
+        Ok(r) => r.schemes,
+        Err(e) => {
+            eprintln!("phase-1 re-inference failed: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sites = compiled.site_verdicts();
+    let stem = std::path::Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("program");
+    let variant_tag = match variant {
+        dml_emit::Variant::Checked => "checked",
+        dml_emit::Variant::UncheckedProven => "unchecked",
+    };
+    let crate_name =
+        name.unwrap_or_else(|| format!("{}_{variant_tag}", dml_emit::sanitize_crate_name(stem)));
+    let opts = dml_emit::EmitOptions { variant, crate_name: crate_name.clone() };
+    let emitted =
+        match dml_emit::emit_program(compiled.program(), compiled.env(), &schemes, &sites, &opts) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let dir = out_dir.unwrap_or_else(|| format!("emit/{crate_name}"));
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = dml_emit::write_crate(&emitted, dir) {
+        eprintln!("cannot write {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let proven = sites.iter().filter(|s| s.proven).count();
+    println!("emitted {} ({}) to {}", emitted.crate_name, variant, dir.display());
+    println!(
+        "sites: {} proven of {} total; lowered {} unchecked, {} checked",
+        proven,
+        sites.len(),
+        emitted.stats.unchecked_sites,
+        emitted.stats.checked_sites
+    );
+    if let Some(reason) = &emitted.driver_fallback {
+        println!("driver: build-only fallback ({reason})");
+    } else {
+        println!("driver: benchmark main synthesised (argv: [size] [iters] [seed])");
+    }
+    println!("build: cargo build --release --manifest-path {}/Cargo.toml", dir.display());
+    ExitCode::SUCCESS
 }
 
 /// `dmlc lint <file> [--format human|json|sarif] [--deny CODE]`

@@ -253,6 +253,16 @@ impl Compiled {
         &self.proven_sites
     }
 
+    /// Per-site verdict summaries for backends: one record per checking
+    /// primitive call site, with the 1-based goal numbers (in
+    /// [`Compiled::obligations`] order — the numbering `dmlc constraints`
+    /// prints) and whether the site may compile unchecked. The proven flag
+    /// is fail-safe: it is only set for members of
+    /// [`Compiled::proven_sites`].
+    pub fn site_verdicts(&self) -> Vec<dml_elab::SiteVerdict> {
+        dml_elab::site_verdicts(&self.obligations, &self.proven_sites)
+    }
+
     /// Check-primitive call sites that could *not* be proven (their checks
     /// stay at run time even in eliminated mode).
     pub fn unproven_sites(&self) -> HashSet<Span> {

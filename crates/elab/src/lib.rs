@@ -35,9 +35,11 @@ pub mod obligation;
 pub mod report;
 pub mod residual;
 pub mod site;
+pub mod sites;
 
 pub use elab::{elaborate, ElabError, ElabOutput, Elaborator};
 pub use obligation::{ObKind, Obligation};
 pub use report::{explain, sequent_view, SequentView};
 pub use residual::{residual_checks, ResidualCheck};
 pub use site::{SiteContext, SiteRole};
+pub use sites::{site_verdicts, SiteVerdict};

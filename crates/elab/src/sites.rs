@@ -1,0 +1,114 @@
+//! Per-site verdict summaries: the obligation → backend plumbing.
+//!
+//! The native backend (`dml-emit`) lowers each checking-primitive call site
+//! to a checked or unchecked access form depending on whether *every* guard
+//! obligation of the site was proven. This module folds the flat solved
+//! obligation list into one record per site, carrying the 1-based goal
+//! numbers (in `obligations()` order — the same numbering `dmlc constraints`
+//! prints) so the emitter can write traceable `// SAFETY: goal #N proven`
+//! comments.
+
+use crate::obligation::{ObKind, Obligation};
+use dml_index::Verdict;
+use dml_syntax::Span;
+use dml_types::env::CheckKind;
+use std::collections::HashSet;
+
+/// The solved status of one checking-primitive call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteVerdict {
+    /// Span of the primitive application.
+    pub site: Span,
+    /// The primitive (`sub`, `update`, `nth`, ...).
+    pub prim: String,
+    /// Array bound or list tag.
+    pub check: CheckKind,
+    /// The enclosing function, for reporting.
+    pub in_fun: String,
+    /// 1-based indices (into the full obligation list) of this site's
+    /// guard obligations.
+    pub goals: Vec<usize>,
+    /// `true` when the backend may use the unchecked access form here:
+    /// every guard goal of the site is proven *and* the site is in the
+    /// pipeline's fail-safe proven set (which empties when any non-check
+    /// obligation of the program fails).
+    pub proven: bool,
+}
+
+/// Folds solved obligations into per-site verdicts, sorted by source
+/// position. `proven_sites` is the pipeline's fail-safe set
+/// (`Compiled::proven_sites`); a site is marked proven only if it appears
+/// there.
+pub fn site_verdicts(
+    results: &[(Obligation, Verdict)],
+    proven_sites: &HashSet<Span>,
+) -> Vec<SiteVerdict> {
+    let mut out: Vec<SiteVerdict> = Vec::new();
+    for (k, (ob, _)) in results.iter().enumerate() {
+        let ObKind::Bound { prim, check } = &ob.kind else { continue };
+        let goal = k + 1;
+        if let Some(existing) = out.iter_mut().find(|s| s.site == ob.site) {
+            existing.goals.push(goal);
+            continue;
+        }
+        out.push(SiteVerdict {
+            site: ob.site,
+            prim: prim.clone(),
+            check: *check,
+            in_fun: ob.in_fun.clone(),
+            goals: vec![goal],
+            proven: proven_sites.contains(&ob.site),
+        });
+    }
+    out.sort_by_key(|s| (s.site.start, s.site.end));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_index::{Constraint, Prop, UnknownReason};
+
+    fn bound(prim: &str, start: u32, end: u32) -> Obligation {
+        Obligation {
+            kind: ObKind::Bound { prim: prim.into(), check: CheckKind::ArrayBound },
+            site: Span { start, end },
+            constraint: Constraint::Prop(Prop::True),
+            in_fun: "f".into(),
+        }
+    }
+
+    #[test]
+    fn goals_are_one_based_and_grouped_by_site() {
+        let results = vec![
+            (bound("sub", 10, 14), Verdict::Proven),
+            (bound("sub", 10, 14), Verdict::Proven),
+            (bound("update", 20, 26), Verdict::Unknown(UnknownReason::FuelExhausted)),
+        ];
+        let proven: HashSet<Span> = [Span { start: 10, end: 14 }].into_iter().collect();
+        let sites = site_verdicts(&results, &proven);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].goals, vec![1, 2]);
+        assert!(sites[0].proven);
+        assert_eq!(sites[1].goals, vec![3]);
+        assert!(!sites[1].proven);
+    }
+
+    #[test]
+    fn proven_requires_membership_in_the_fail_safe_set() {
+        // Both goals proven, but the pipeline emptied the proven set (some
+        // non-check obligation failed): the site must stay checked.
+        let results = vec![(bound("sub", 1, 5), Verdict::Proven)];
+        let sites = site_verdicts(&results, &HashSet::new());
+        assert!(!sites[0].proven, "fail-safe: empty proven set wins");
+    }
+
+    #[test]
+    fn sites_sort_by_position() {
+        let results =
+            vec![(bound("sub", 50, 54), Verdict::Proven), (bound("nth", 5, 9), Verdict::Proven)];
+        let sites = site_verdicts(&results, &HashSet::new());
+        assert_eq!(sites[0].site.start, 5);
+        assert_eq!(sites[1].site.start, 50);
+    }
+}

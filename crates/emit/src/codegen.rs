@@ -1,0 +1,1606 @@
+//! The DML → Rust translator.
+//!
+//! Strategy (documented in `docs/EMIT.md`):
+//!
+//! * Phase-1 ML schemes type every `fun`/`val` binder; emitted functions
+//!   are plain Rust `fn`s over `i64`/`bool`/`rt::Arr`/`rt::List`/user
+//!   enums, generic over `rt::Val`-bounded type variables.
+//! * Local functions are lambda-lifted to the top level; their free value
+//!   variables become trailing capture parameters (fixpoint across `and`
+//!   groups).
+//! * Direct self-tail-calls are rewritten into a `loop { ... }` with
+//!   simultaneous parameter rebinding — DML benchmark loops recurse far
+//!   past any native stack.
+//! * Every `sub`/`update`/`nth` site hoists base and index (and the stored
+//!   value) into temporaries *in source evaluation order* before the
+//!   access — the snippet-1 desugaring that defeats the evaluation-order/
+//!   aliasing trap — then selects the access form from the site verdict.
+
+use crate::names::{mangle, tyvar};
+use dml_elab::SiteVerdict;
+use dml_syntax::ast as sast;
+use dml_syntax::Span;
+use dml_types::env::Env;
+use dml_types::ml::{MlScheme, MlTy};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// Which access forms the backend emits at check sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Every site uses the hoisted checked form (`get_ck`/`set_ck`/
+    /// `nth_ck`) — the paper's "all checks on" baseline.
+    Checked,
+    /// Sites with a Proven verdict use the unchecked form inside a
+    /// `// SAFETY: goal #N proven` unsafe block; all others stay checked.
+    UncheckedProven,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variant::Checked => write!(f, "checked"),
+            Variant::UncheckedProven => write!(f, "proven-unchecked"),
+        }
+    }
+}
+
+/// A translation error: the program uses a construct outside the emitted
+/// subset (see docs/EMIT.md for the subset definition).
+#[derive(Debug, Clone)]
+pub struct EmitError {
+    /// What went wrong.
+    pub message: String,
+    /// Where, if known.
+    pub span: Option<Span>,
+}
+
+impl EmitError {
+    pub(crate) fn new(message: impl Into<String>, span: Option<Span>) -> EmitError {
+        EmitError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "emit error at {s}: {}", self.message),
+            None => write!(f, "emit error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// Counters describing what the emitter did with check sites.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmitStats {
+    /// Sites lowered to the unchecked form (each inside one `unsafe`
+    /// block with a goal-numbered SAFETY comment).
+    pub unchecked_sites: usize,
+    /// Sites lowered to the hoisted checked form.
+    pub checked_sites: usize,
+}
+
+/// One flattened Rust parameter of an emitted function.
+#[derive(Debug, Clone)]
+pub(crate) struct RsParam {
+    pub rust: String,
+    pub ml: MlTy,
+}
+
+/// A captured enclosing binding, passed as a trailing parameter.
+#[derive(Debug, Clone)]
+pub(crate) struct Capture {
+    pub src: String,
+    pub rust: String,
+    pub ml: Option<MlTy>,
+    pub binding_id: u32,
+}
+
+/// The signature of an emitted (top-level or lifted) function.
+#[derive(Debug, Clone)]
+pub(crate) struct FnSig {
+    pub rust: String,
+    /// Rust generic parameter names.
+    pub generics: Vec<String>,
+    /// Per curried group: the flattened Rust parameters.
+    pub groups: Vec<Vec<RsParam>>,
+    /// Per curried group: the group's whole ML type (for eta-wrapping).
+    pub group_tys: Vec<MlTy>,
+    pub ret: MlTy,
+    pub captures: Vec<Capture>,
+}
+
+impl FnSig {
+    fn flat_params(&self) -> Vec<&RsParam> {
+        self.groups.iter().flatten().collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Binding {
+    Val { rust: String, ml: Option<MlTy>, id: u32 },
+    Fn(Rc<FnSig>),
+}
+
+/// The translator. One instance per emitted crate.
+pub(crate) struct Emitter<'a> {
+    env: &'a Env,
+    schemes: &'a HashMap<Span, MlScheme>,
+    sites: HashMap<Span, &'a SiteVerdict>,
+    variant: Variant,
+    pub out_types: Vec<String>,
+    pub out_fns: Vec<String>,
+    pub stats: EmitStats,
+    /// Top-level function signatures in declaration order.
+    pub top_fns: Vec<(String, Rc<FnSig>)>,
+    scopes: Vec<HashMap<String, Binding>>,
+    used_fn_names: HashSet<String>,
+    tmp: u32,
+    next_binding: u32,
+}
+
+const PRIMS: &[&str] = &[
+    "+",
+    "-",
+    "*",
+    "div",
+    "mod",
+    "neg",
+    "iabs",
+    "imin",
+    "imax",
+    "=",
+    "<>",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "not",
+    "length",
+    "sub",
+    "update",
+    "array",
+    "subCK",
+    "updateCK",
+    "llength",
+    "nth",
+    "nthCK",
+    "print_int",
+];
+
+impl<'a> Emitter<'a> {
+    pub fn new(
+        env: &'a Env,
+        schemes: &'a HashMap<Span, MlScheme>,
+        sites: &'a [SiteVerdict],
+        variant: Variant,
+    ) -> Emitter<'a> {
+        Emitter {
+            env,
+            schemes,
+            sites: sites.iter().map(|s| (s.site, s)).collect(),
+            variant,
+            out_types: Vec::new(),
+            out_fns: Vec::new(),
+            stats: EmitStats::default(),
+            top_fns: Vec::new(),
+            scopes: vec![HashMap::new()],
+            used_fn_names: HashSet::new(),
+            tmp: 0,
+            next_binding: 0,
+        }
+    }
+
+    fn fresh(&mut self, stem: &str) -> String {
+        self.tmp += 1;
+        format!("__{stem}{}", self.tmp)
+    }
+
+    fn fresh_binding_id(&mut self) -> u32 {
+        self.next_binding += 1;
+        self.next_binding
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn bind_val(&mut self, name: &str, rust: String, ml: Option<MlTy>) -> u32 {
+        let id = self.fresh_binding_id();
+        self.scopes
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(name.to_string(), Binding::Val { rust, ml, id });
+        id
+    }
+
+    fn unique_fn_name(&mut self, base: &str) -> String {
+        let mut name = mangle(base);
+        let mut k = 1;
+        while !self.used_fn_names.insert(name.clone()) {
+            k += 1;
+            name = format!("{}_{k}", mangle(base));
+        }
+        name
+    }
+
+    // -- types ------------------------------------------------------------
+
+    /// Renders an ML type as Rust. Unconstrained unification variables
+    /// default to `i64` (they are unused by construction).
+    pub(crate) fn rs_ty(ml: &MlTy) -> Result<String, EmitError> {
+        Ok(match ml {
+            MlTy::UVar(_) => "i64".to_string(),
+            MlTy::Rigid(n) => tyvar(n),
+            MlTy::Con(n, args) => match (n.as_str(), args.len()) {
+                ("int", 0) => "i64".to_string(),
+                ("bool", 0) => "bool".to_string(),
+                ("unit", 0) => "()".to_string(),
+                ("order", 0) => "rt::order".to_string(),
+                ("array", 1) => format!("rt::Arr<{}>", Self::rs_ty(&args[0])?),
+                ("list", 1) => format!("rt::List<{}>", Self::rs_ty(&args[0])?),
+                _ => {
+                    let mut out = mangle(n);
+                    if !args.is_empty() {
+                        out.push('<');
+                        for (k, a) in args.iter().enumerate() {
+                            if k > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push_str(&Self::rs_ty(a)?);
+                        }
+                        out.push('>');
+                    }
+                    out
+                }
+            },
+            MlTy::Tuple(ts) => {
+                let mut out = "(".to_string();
+                for t in ts {
+                    out.push_str(&Self::rs_ty(t)?);
+                    out.push_str(", ");
+                }
+                out.push(')');
+                out
+            }
+            MlTy::Arrow(a, b) => {
+                format!("rt::Fun<{}, {}>", Self::rs_ty(a)?, Self::rs_ty(b)?)
+            }
+        })
+    }
+
+    /// `true` when the rendered Rust type is `Copy` (no clone needed).
+    fn is_copy(ml: Option<&MlTy>) -> bool {
+        match ml {
+            None => false,
+            Some(MlTy::Con(n, args)) => {
+                args.is_empty() && matches!(n.as_str(), "int" | "bool" | "unit" | "order")
+            }
+            Some(MlTy::Tuple(ts)) => ts.iter().all(|t| Self::is_copy(Some(t))),
+            Some(_) => false,
+        }
+    }
+
+    // -- datatypes --------------------------------------------------------
+
+    pub fn datatype_def(&mut self, d: &sast::DatatypeDecl) -> Result<(), EmitError> {
+        if d.name.name == "list" || d.name.name == "order" {
+            return Err(EmitError::new(
+                format!("datatype `{}` shadows a runtime type", d.name.name),
+                Some(d.name.span),
+            ));
+        }
+        let mut out = String::new();
+        out.push_str("#[derive(Clone, Debug)]\n");
+        out.push_str(&format!("pub enum {}", mangle(&d.name.name)));
+        if !d.tyvars.is_empty() {
+            out.push('<');
+            for (k, tv) in d.tyvars.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&tyvar(&tv.name));
+            }
+            out.push('>');
+        }
+        out.push_str(" {\n");
+        for con in &d.cons {
+            let info = self.env.cons.get(&con.name.name).ok_or_else(|| {
+                EmitError::new(
+                    format!("constructor `{}` missing from environment", con.name.name),
+                    Some(con.name.span),
+                )
+            })?;
+            match info.arg_ml() {
+                None => out.push_str(&format!("    {},\n", mangle(&con.name.name))),
+                Some(arg) => out.push_str(&format!(
+                    "    {}(std::rc::Rc<{}>),\n",
+                    mangle(&con.name.name),
+                    Self::rs_ty(&arg)?
+                )),
+            }
+        }
+        out.push_str("}\n");
+        self.out_types.push(out);
+        Ok(())
+    }
+
+    /// The Rust path of a constructor (`rt::List::cons`, `answer::FOUND`).
+    fn con_path(&self, name: &str) -> Result<String, EmitError> {
+        match name {
+            "nil" => return Ok("rt::List::nil".to_string()),
+            "::" => return Ok("rt::List::cons".to_string()),
+            "LESS" | "EQUAL" | "GREATER" => return Ok(format!("rt::order::{name}")),
+            _ => {}
+        }
+        let info = self
+            .env
+            .cons
+            .get(name)
+            .ok_or_else(|| EmitError::new(format!("unknown constructor `{name}`"), None))?;
+        Ok(format!("{}::{}", mangle(&info.datatype), mangle(name)))
+    }
+
+    // -- programs ---------------------------------------------------------
+
+    pub fn program(&mut self, prog: &sast::Program) -> Result<(), EmitError> {
+        for d in &prog.decls {
+            match d {
+                sast::Decl::Datatype(dd) => self.datatype_def(dd)?,
+                sast::Decl::Typeref(_) | sast::Decl::Assert(_) => {}
+                sast::Decl::Fun(group) => {
+                    let sigs = self.fun_group(group, "")?;
+                    for (fd, sig) in group.iter().zip(sigs) {
+                        self.top_fns.push((fd.name.name.clone(), sig));
+                    }
+                }
+                sast::Decl::Val(v) => {
+                    return Err(EmitError::new(
+                        "top-level `val` declarations are outside the emitted subset",
+                        Some(v.span),
+                    ))
+                }
+                sast::Decl::Exception(e) => {
+                    return Err(EmitError::new(
+                        "exceptions are outside the emitted subset",
+                        Some(e.span),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- functions --------------------------------------------------------
+
+    /// Translates a (possibly mutually recursive) `fun` group, registering
+    /// the functions in the current scope and appending their definitions.
+    /// `prefix` qualifies lifted names with their enclosing function.
+    fn fun_group(
+        &mut self,
+        group: &[sast::FunDecl],
+        prefix: &str,
+    ) -> Result<Vec<Rc<FnSig>>, EmitError> {
+        // 1. Schemes and shapes.
+        let mut shapes = Vec::new();
+        for fd in group {
+            let scheme = self.schemes.get(&fd.name.span).ok_or_else(|| {
+                EmitError::new(
+                    format!("no inferred scheme for `{}`", fd.name.name),
+                    Some(fd.name.span),
+                )
+            })?;
+            let n_groups =
+                fd.clauses.first().map(|c| c.params.len()).ok_or_else(|| {
+                    EmitError::new("function with no clauses", Some(fd.name.span))
+                })?;
+            let (group_tys, ret) = arrow_groups(&scheme.ty, n_groups, fd.name.span)?;
+            shapes.push((scheme.clone(), group_tys, ret));
+        }
+
+        // 2. Captures: free value variables, closed over local-fn calls.
+        let group_names: HashSet<&str> = group.iter().map(|f| f.name.name.as_str()).collect();
+        let mut raw_free: Vec<BTreeSet<String>> = Vec::new();
+        let mut deps: Vec<BTreeSet<String>> = Vec::new();
+        for fd in group {
+            let mut free = BTreeSet::new();
+            for clause in &fd.clauses {
+                let mut bound: Vec<String> = clause
+                    .params
+                    .iter()
+                    .flat_map(|p| p.bound_vars())
+                    .map(|i| i.name.clone())
+                    .collect();
+                bound.push(fd.name.name.clone());
+                free_idents(&clause.body, &mut bound, &mut free);
+            }
+            let mut caps = BTreeSet::new();
+            let mut dep = BTreeSet::new();
+            for name in free {
+                if group_names.contains(name.as_str()) {
+                    continue;
+                }
+                match self.lookup(&name) {
+                    Some(Binding::Val { .. }) => {
+                        caps.insert(name);
+                    }
+                    Some(Binding::Fn(sig)) => {
+                        // Calling an earlier lifted fn pulls in its captures.
+                        for c in &sig.captures {
+                            caps.insert(c.src.clone());
+                        }
+                    }
+                    None => {} // prim, constructor, or later top-level fn
+                }
+            }
+            for name in group_names.iter() {
+                dep.insert(name.to_string());
+            }
+            raw_free.push(caps);
+            deps.push(dep);
+        }
+        // Fixpoint across the group: everyone shares the union of captures
+        // reachable through intra-group calls. (Conservative — a member
+        // that never calls a sibling may carry an unused capture — but
+        // deterministic and simple; unused parameters are allowed.)
+        let union: BTreeSet<String> = raw_free.iter().flatten().cloned().collect();
+        let caps_per_fn: Vec<BTreeSet<String>> =
+            if group.len() > 1 { vec![union; group.len()] } else { raw_free };
+
+        // 3. Build signatures and register bindings.
+        let mut sigs: Vec<Rc<FnSig>> = Vec::new();
+        for (k, fd) in group.iter().enumerate() {
+            let (scheme, group_tys, ret) = &shapes[k];
+            let base = if prefix.is_empty() {
+                fd.name.name.clone()
+            } else {
+                format!("{prefix}_{}", fd.name.name)
+            };
+            let rust = self.unique_fn_name(&base);
+            // Captures with their binding identity and types.
+            let mut captures = Vec::new();
+            for src in &caps_per_fn[k] {
+                let Some(Binding::Val { rust: r, ml, id }) = self.lookup(src) else {
+                    return Err(EmitError::new(
+                        format!("capture `{src}` of `{}` is not a value binding", fd.name.name),
+                        Some(fd.name.span),
+                    ));
+                };
+                captures.push(Capture {
+                    src: src.clone(),
+                    rust: r.clone(),
+                    ml: ml.clone(),
+                    binding_id: *id,
+                });
+            }
+            // Parameter layout from the first clause.
+            let simple = fd.clauses.len() == 1 && fd.clauses[0].params.iter().all(simple_group_pat);
+            let mut groups = Vec::new();
+            if simple {
+                for (p, gty) in fd.clauses[0].params.iter().zip(group_tys.iter()) {
+                    groups.push(self.direct_group_params(p, gty)?);
+                }
+            } else {
+                for (g, gty) in group_tys.iter().enumerate() {
+                    let is_unit = matches!(gty, MlTy::Con(n, a) if n == "unit" && a.is_empty());
+                    if is_unit {
+                        groups.push(Vec::new());
+                    } else {
+                        groups.push(vec![RsParam { rust: format!("__a{g}"), ml: gty.clone() }]);
+                    }
+                }
+            }
+            // Generics: scheme variables plus free rigids of the signature.
+            let mut rigids = BTreeSet::new();
+            scheme.ty.rigids_into(&mut rigids);
+            for c in &captures {
+                if let Some(ml) = &c.ml {
+                    ml.rigids_into(&mut rigids);
+                }
+            }
+            let generics: Vec<String> = rigids.iter().map(|r| tyvar(r)).collect();
+            let sig = Rc::new(FnSig {
+                rust,
+                generics,
+                groups,
+                group_tys: group_tys.clone(),
+                ret: ret.clone(),
+                captures,
+            });
+            self.scopes
+                .last_mut()
+                .expect("scope stack nonempty")
+                .insert(fd.name.name.clone(), Binding::Fn(Rc::clone(&sig)));
+            sigs.push(sig);
+        }
+
+        // 4. Translate bodies.
+        for (fd, sig) in group.iter().zip(sigs.iter()) {
+            let def = self.fn_def(fd, sig)?;
+            self.out_fns.push(def);
+        }
+        Ok(sigs)
+    }
+
+    /// Flattened Rust params for a simple (single-clause, var-ish) group
+    /// pattern.
+    fn direct_group_params(
+        &mut self,
+        pat: &sast::Pat,
+        gty: &MlTy,
+    ) -> Result<Vec<RsParam>, EmitError> {
+        let pat = strip_anno(pat);
+        match pat {
+            sast::Pat::Var(i) => Ok(vec![RsParam { rust: mangle(&i.name), ml: gty.clone() }]),
+            sast::Pat::Wild(_) => {
+                let name = self.fresh("w");
+                Ok(vec![RsParam { rust: name, ml: gty.clone() }])
+            }
+            sast::Pat::Tuple(ps, span) => {
+                if ps.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let comps: Vec<MlTy> = match gty {
+                    MlTy::Tuple(ts) if ts.len() == ps.len() => ts.clone(),
+                    _ => {
+                        return Err(EmitError::new(
+                            "tuple pattern does not match inferred group type",
+                            Some(*span),
+                        ))
+                    }
+                };
+                let mut out = Vec::new();
+                for (p, ml) in ps.iter().zip(comps) {
+                    match strip_anno(p) {
+                        sast::Pat::Var(i) => out.push(RsParam { rust: mangle(&i.name), ml }),
+                        sast::Pat::Wild(_) => {
+                            let name = self.fresh("w");
+                            out.push(RsParam { rust: name, ml });
+                        }
+                        other => {
+                            return Err(EmitError::new(
+                                "non-variable pattern in simple group",
+                                Some(other.span()),
+                            ))
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            other => Err(EmitError::new("unsupported parameter pattern", Some(other.span()))),
+        }
+    }
+
+    /// Emits one function definition.
+    fn fn_def(&mut self, fd: &sast::FunDecl, sig: &Rc<FnSig>) -> Result<String, EmitError> {
+        let self_tail = fd.clauses.iter().any(|c| scan_self_tail(&c.body, &fd.name.name));
+        // New scope: params + captures.
+        self.scopes.push(HashMap::new());
+        let simple = fd.clauses.len() == 1 && fd.clauses[0].params.iter().all(simple_group_pat);
+        if simple {
+            for (p, group) in fd.clauses[0].params.iter().zip(sig.groups.iter()) {
+                let pat = strip_anno(p);
+                match pat {
+                    sast::Pat::Var(i) => {
+                        let rp = &group[0];
+                        self.bind_val(&i.name, rp.rust.clone(), Some(rp.ml.clone()));
+                    }
+                    sast::Pat::Tuple(ps, _) => {
+                        for (sp, rp) in ps.iter().zip(group.iter()) {
+                            if let sast::Pat::Var(i) = strip_anno(sp) {
+                                self.bind_val(&i.name, rp.rust.clone(), Some(rp.ml.clone()));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for c in &sig.captures {
+            // Preserve the capture's original binding id so identity checks
+            // in `resolve_capture` succeed inside the lifted body.
+            self.scopes.last_mut().expect("scope stack nonempty").insert(
+                c.src.clone(),
+                Binding::Val { rust: c.rust.clone(), ml: c.ml.clone(), id: c.binding_id },
+            );
+        }
+        // Re-register self so recursive references resolve inside the body.
+        self.scopes
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(fd.name.name.clone(), Binding::Fn(Rc::clone(sig)));
+
+        let tail_target = if self_tail { Some(Rc::clone(sig)) } else { None };
+        let body = if simple {
+            self.expr(&fd.clauses[0].body, tail_target.as_ref())?
+        } else {
+            self.clause_match(fd, sig, tail_target.as_ref())?
+        };
+        self.scopes.pop();
+
+        // Header.
+        let mut out = String::new();
+        out.push_str(&format!("fn {}", sig.rust));
+        if !sig.generics.is_empty() {
+            out.push('<');
+            for (k, g) in sig.generics.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{g}: rt::Val"));
+            }
+            out.push('>');
+        }
+        out.push('(');
+        let mut first = true;
+        for p in sig.flat_params() {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            if self_tail {
+                out.push_str("mut ");
+            }
+            out.push_str(&format!("{}: {}", p.rust, Self::rs_ty(&p.ml)?));
+        }
+        for c in &sig.captures {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let ty = match &c.ml {
+                Some(ml) => Self::rs_ty(ml)?,
+                None => {
+                    return Err(EmitError::new(
+                        format!("capture `{}` has no inferred type", c.src),
+                        Some(fd.name.span),
+                    ))
+                }
+            };
+            out.push_str(&format!("{}: {ty}", c.rust));
+        }
+        out.push_str(&format!(") -> {} {{\n", Self::rs_ty(&sig.ret)?));
+        if self_tail {
+            out.push_str("    '__rec: loop {\n        return ");
+            out.push_str(&body);
+            out.push_str(";\n    }\n");
+        } else {
+            out.push_str("    ");
+            out.push_str(&body);
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        Ok(out)
+    }
+
+    /// Multi-clause (or complex-pattern) body: match on the tuple of group
+    /// parameters.
+    fn clause_match(
+        &mut self,
+        fd: &sast::FunDecl,
+        sig: &Rc<FnSig>,
+        tail: Option<&Rc<FnSig>>,
+    ) -> Result<String, EmitError> {
+        let scrut_names: Vec<String> = sig
+            .groups
+            .iter()
+            .flat_map(|g| g.iter().map(|p| format!("{}.clone()", p.rust)))
+            .collect();
+        let scrut_tys: Vec<MlTy> =
+            sig.groups.iter().flat_map(|g| g.iter().map(|p| p.ml.clone())).collect();
+        let (scrut, scrut_ty) = match scrut_names.len() {
+            0 => {
+                return Err(EmitError::new(
+                    "multi-clause function of unit argument unsupported",
+                    Some(fd.name.span),
+                ))
+            }
+            1 => (scrut_names[0].clone(), scrut_tys[0].clone()),
+            _ => (format!("({})", scrut_names.join(", ")), MlTy::Tuple(scrut_tys)),
+        };
+        let mut arms = Vec::new();
+        let mut last_irrefutable = false;
+        for clause in &fd.clauses {
+            self.scopes.push(HashMap::new());
+            // Combine the clause's group patterns into one pattern shape
+            // matching the scrutinee.
+            let flat_pats: Vec<&sast::Pat> = clause.params.iter().collect();
+            let (pat_str, prologue, irrefutable) = if flat_pats.len() == 1 {
+                self.pat(flat_pats[0], Some(&scrut_ty))?
+            } else {
+                let mut parts = Vec::new();
+                let mut pro = String::new();
+                let mut irr = true;
+                let tys = match &scrut_ty {
+                    MlTy::Tuple(ts) => ts.clone(),
+                    _ => vec![],
+                };
+                for (k, p) in flat_pats.iter().enumerate() {
+                    let (s, pr, ir) = self.pat(p, tys.get(k))?;
+                    parts.push(s);
+                    pro.push_str(&pr);
+                    irr &= ir;
+                }
+                (format!("({})", parts.join(", ")), pro, irr)
+            };
+            let body = self.expr(&clause.body, tail)?;
+            self.scopes.pop();
+            arms.push(format!("        {pat_str} => {{ {prologue}{body} }}"));
+            last_irrefutable = irrefutable;
+        }
+        if !last_irrefutable {
+            arms.push("        _ => rt::match_fail()".to_string());
+        }
+        Ok(format!("match {scrut} {{\n{}\n    }}", arms.join(",\n")))
+    }
+
+    // -- patterns ---------------------------------------------------------
+
+    /// Translates a pattern to (rust pattern, prologue statements,
+    /// irrefutable?). Binds pattern variables in the current scope.
+    fn pat(
+        &mut self,
+        p: &sast::Pat,
+        scrut_ml: Option<&MlTy>,
+    ) -> Result<(String, String, bool), EmitError> {
+        match p {
+            sast::Pat::Anno(inner, _, _) => self.pat(inner, scrut_ml),
+            sast::Pat::Wild(_) => Ok(("_".to_string(), String::new(), true)),
+            sast::Pat::Int(n, _) => Ok((format!("{n}"), String::new(), false)),
+            sast::Pat::Bool(b, _) => Ok((format!("{b}"), String::new(), false)),
+            sast::Pat::Var(i) => {
+                if self.env.is_constructor(&i.name) {
+                    // Nullary constructor pattern.
+                    return Ok((self.con_path(&i.name)?, String::new(), false));
+                }
+                let rust = mangle(&i.name);
+                self.bind_val(&i.name, rust.clone(), scrut_ml.cloned());
+                Ok((rust, String::new(), true))
+            }
+            sast::Pat::Tuple(ps, _) => {
+                if ps.is_empty() {
+                    return Ok(("()".to_string(), String::new(), true));
+                }
+                let comp_tys: Vec<Option<&MlTy>> = match scrut_ml {
+                    Some(MlTy::Tuple(ts)) if ts.len() == ps.len() => ts.iter().map(Some).collect(),
+                    _ => vec![None; ps.len()],
+                };
+                let mut parts = Vec::new();
+                let mut prologue = String::new();
+                let mut irr = true;
+                for (sub, ty) in ps.iter().zip(comp_tys) {
+                    let (s, pro, ir) = self.pat(sub, ty)?;
+                    parts.push(s);
+                    prologue.push_str(&pro);
+                    irr &= ir;
+                }
+                Ok((format!("({})", parts.join(", ")), prologue, irr))
+            }
+            sast::Pat::Con(name, arg, span) => {
+                let path = self.con_path(&name.name)?;
+                let Some(arg) = arg else {
+                    return Ok((path, String::new(), false));
+                };
+                // Payload type: constructor arg with datatype tyvars
+                // instantiated from the scrutinee's type arguments.
+                let payload_ml = self.con_payload_ml(&name.name, scrut_ml);
+                let holder = self.fresh("p");
+                let mut prologue = String::new();
+                match strip_anno(arg) {
+                    sast::Pat::Var(i) if !self.env.is_constructor(&i.name) => {
+                        let rust = mangle(&i.name);
+                        prologue.push_str(&format!("let {rust} = (*{holder}).clone(); "));
+                        self.bind_val(&i.name, rust, payload_ml);
+                    }
+                    sast::Pat::Wild(_) => {}
+                    sast::Pat::Tuple(ps, _) => {
+                        let comp_tys: Vec<Option<MlTy>> = match &payload_ml {
+                            Some(MlTy::Tuple(ts)) if ts.len() == ps.len() => {
+                                ts.iter().map(|t| Some(t.clone())).collect()
+                            }
+                            _ => vec![None; ps.len()],
+                        };
+                        let mut names = Vec::new();
+                        for (sub, ty) in ps.iter().zip(comp_tys) {
+                            match strip_anno(sub) {
+                                sast::Pat::Var(i) if !self.env.is_constructor(&i.name) => {
+                                    let rust = mangle(&i.name);
+                                    names.push(rust.clone());
+                                    self.bind_val(&i.name, rust, ty);
+                                }
+                                sast::Pat::Wild(_) => names.push("_".to_string()),
+                                other => {
+                                    return Err(EmitError::new(
+                                        "nested constructor pattern depth unsupported",
+                                        Some(other.span()),
+                                    ))
+                                }
+                            }
+                        }
+                        prologue.push_str(&format!(
+                            "let ({}) = (*{holder}).clone(); ",
+                            names.join(", ")
+                        ));
+                    }
+                    other => {
+                        return Err(EmitError::new(
+                            "unsupported constructor payload pattern",
+                            Some(other.span()),
+                        ))
+                    }
+                }
+                let _ = span;
+                Ok((format!("{path}({holder})"), prologue, false))
+            }
+        }
+    }
+
+    /// The ML type of a constructor's payload given the scrutinee type.
+    fn con_payload_ml(&self, con: &str, scrut_ml: Option<&MlTy>) -> Option<MlTy> {
+        let info = self.env.cons.get(con)?;
+        let arg = info.arg_ml()?;
+        let Some(MlTy::Con(_, args)) = scrut_ml else { return None };
+        let map: HashMap<&str, &MlTy> =
+            info.tyvars.iter().map(|t| t.as_str()).zip(args.iter()).collect();
+        Some(arg.subst_rigids(&|n| map.get(n).map(|t| (*t).clone())))
+    }
+
+    // -- expressions ------------------------------------------------------
+
+    /// Translates an expression to a Rust expression string. `tail` is the
+    /// enclosing function when this position is a tail position of a
+    /// loop-rewritten body.
+    fn expr(&mut self, e: &sast::Expr, tail: Option<&Rc<FnSig>>) -> Result<String, EmitError> {
+        match e {
+            sast::Expr::Int(n, _) => {
+                Ok(if *n < 0 { format!("({n}i64)") } else { format!("{n}i64") })
+            }
+            sast::Expr::Bool(b, _) => Ok(format!("{b}")),
+            sast::Expr::Var(i) => self.var_value(i),
+            sast::Expr::Anno(inner, _, _) => self.expr(inner, tail),
+            sast::Expr::Tuple(es, _) => {
+                if es.is_empty() {
+                    return Ok("()".to_string());
+                }
+                let mut parts = Vec::new();
+                for x in es {
+                    parts.push(self.expr(x, None)?);
+                }
+                Ok(format!("({},)", parts.join(", ")))
+            }
+            sast::Expr::If(c, t, f, _) => {
+                let c = self.expr(c, None)?;
+                let t = self.expr(t, tail)?;
+                let f = self.expr(f, tail)?;
+                Ok(format!("(if {c} {{ {t} }} else {{ {f} }})"))
+            }
+            sast::Expr::Andalso(a, b, _) => {
+                let a = self.expr(a, None)?;
+                let b = self.expr(b, None)?;
+                Ok(format!("({a} && {b})"))
+            }
+            sast::Expr::Orelse(a, b, _) => {
+                let a = self.expr(a, None)?;
+                let b = self.expr(b, None)?;
+                Ok(format!("({a} || {b})"))
+            }
+            sast::Expr::Seq(es, _) => {
+                let (last, init) = es
+                    .split_last()
+                    .ok_or_else(|| EmitError::new("empty sequence", Some(e.span())))?;
+                let mut out = "{ ".to_string();
+                for x in init {
+                    let s = self.expr(x, None)?;
+                    out.push_str(&format!("let _ = {s}; "));
+                }
+                out.push_str(&self.expr(last, tail)?);
+                out.push_str(" }");
+                Ok(out)
+            }
+            sast::Expr::Case(scrut, arms, _) => self.case(scrut, arms, tail),
+            sast::Expr::Let(decls, body, _) => self.let_expr(decls, body, tail),
+            sast::Expr::App(_, _, _) => self.app(e, tail),
+            sast::Expr::Fn(_, span) => Err(EmitError::new(
+                "anonymous `fn` expressions are outside the emitted subset",
+                Some(*span),
+            )),
+            sast::Expr::Raise(_, span) | sast::Expr::Handle(_, _, span) => {
+                Err(EmitError::new("exceptions are outside the emitted subset", Some(*span)))
+            }
+        }
+    }
+
+    fn case(
+        &mut self,
+        scrut: &sast::Expr,
+        arms: &[(sast::Pat, sast::Expr)],
+        tail: Option<&Rc<FnSig>>,
+    ) -> Result<String, EmitError> {
+        let scrut_ml = self.expr_ml(scrut);
+        let scrut_s = self.expr(scrut, None)?;
+        let mut out_arms = Vec::new();
+        let mut last_irr = false;
+        for (p, body) in arms {
+            self.scopes.push(HashMap::new());
+            let (pat_s, prologue, irr) = self.pat(p, scrut_ml.as_ref())?;
+            let body_s = self.expr(body, tail)?;
+            self.scopes.pop();
+            out_arms.push(format!("{pat_s} => {{ {prologue}{body_s} }}"));
+            last_irr = irr;
+        }
+        if !last_irr {
+            out_arms.push("_ => rt::match_fail()".to_string());
+        }
+        Ok(format!("(match {scrut_s} {{ {} }})", out_arms.join(", ")))
+    }
+
+    fn let_expr(
+        &mut self,
+        decls: &[sast::Decl],
+        body: &sast::Expr,
+        tail: Option<&Rc<FnSig>>,
+    ) -> Result<String, EmitError> {
+        self.scopes.push(HashMap::new());
+        let mut out = "{ ".to_string();
+        let result = (|| -> Result<(), EmitError> {
+            for d in decls {
+                match d {
+                    sast::Decl::Val(v) => {
+                        let e = self.expr(&v.expr, None)?;
+                        let stmt = self.val_binding(&v.pat, &e)?;
+                        out.push_str(&stmt);
+                    }
+                    sast::Decl::Fun(group) => {
+                        // Lift with the enclosing function's name as prefix
+                        // for readable lifted names.
+                        let prefix = self.current_prefix();
+                        self.fun_group(group, &prefix)?;
+                    }
+                    other => {
+                        return Err(EmitError::new(
+                            "only `val` and `fun` declarations are supported in `let`",
+                            Some(other.span()),
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.scopes.pop();
+            return Err(e);
+        }
+        let body_s = self.expr(body, tail);
+        self.scopes.pop();
+        out.push_str(&body_s?);
+        out.push_str(" }");
+        Ok(out)
+    }
+
+    /// A readable prefix for lifted local functions: the nearest enclosing
+    /// emitted function name. Uniqueness comes from `unique_fn_name`.
+    fn current_prefix(&self) -> String {
+        self.top_fns.last().map(|(n, _)| mangle(n)).unwrap_or_default()
+    }
+
+    /// `let <pat> = <expr>;` for irrefutable patterns.
+    fn val_binding(&mut self, pat: &sast::Pat, rhs: &str) -> Result<String, EmitError> {
+        match strip_anno(pat) {
+            sast::Pat::Wild(_) => Ok(format!("let _ = {rhs}; ")),
+            sast::Pat::Var(i) if !self.env.is_constructor(&i.name) => {
+                let rust = mangle(&i.name);
+                let ml = self.schemes.get(&i.span).map(|s| s.ty.clone());
+                self.bind_val(&i.name, rust.clone(), ml);
+                Ok(format!("let {rust} = {rhs}; "))
+            }
+            sast::Pat::Tuple(ps, span) => {
+                let mut names = Vec::new();
+                for p in ps {
+                    match strip_anno(p) {
+                        sast::Pat::Var(i) if !self.env.is_constructor(&i.name) => {
+                            let rust = mangle(&i.name);
+                            let ml = self.schemes.get(&i.span).map(|s| s.ty.clone());
+                            self.bind_val(&i.name, rust.clone(), ml);
+                            names.push(rust);
+                        }
+                        sast::Pat::Wild(_) => names.push("_".to_string()),
+                        other => {
+                            return Err(EmitError::new(
+                                "refutable pattern in `val` binding",
+                                Some(other.span()),
+                            ))
+                        }
+                    }
+                }
+                let _ = span;
+                Ok(format!("let ({}) = {rhs}; ", names.join(", ")))
+            }
+            other => Err(EmitError::new("refutable pattern in `val` binding", Some(other.span()))),
+        }
+    }
+
+    /// A variable in value position.
+    fn var_value(&mut self, i: &sast::Ident) -> Result<String, EmitError> {
+        if self.env.is_constructor(&i.name) {
+            return self.con_path(&i.name);
+        }
+        match self.lookup(&i.name).cloned() {
+            Some(Binding::Val { rust, ml, .. }) => {
+                if Self::is_copy(ml.as_ref()) {
+                    Ok(rust)
+                } else {
+                    Ok(format!("{rust}.clone()"))
+                }
+            }
+            Some(Binding::Fn(sig)) => self.eta_wrap(&sig, i.span),
+            None => Err(EmitError::new(
+                format!("`{}` cannot be used as a value here", i.name),
+                Some(i.span),
+            )),
+        }
+    }
+
+    /// Wraps a known function as a first-class `rt::Fun` value.
+    fn eta_wrap(&mut self, sig: &FnSig, span: Span) -> Result<String, EmitError> {
+        if sig.groups.len() != 1 {
+            return Err(EmitError::new(
+                "only single-group functions can be used as values",
+                Some(span),
+            ));
+        }
+        let gty = Self::rs_ty(&sig.group_tys[0])?;
+        let x = self.fresh("x");
+        let mut args = Vec::new();
+        match sig.groups[0].len() {
+            0 => {}
+            1 => args.push(x.clone()),
+            k => {
+                for j in 0..k {
+                    args.push(format!("{x}.{j}"));
+                }
+            }
+        }
+        // Clone captured values into the closure, then clone per call.
+        let mut pre = String::new();
+        let mut cap_args = Vec::new();
+        for c in &sig.captures {
+            let cur = self.resolve_capture(c, span)?;
+            let held = self.fresh("c");
+            pre.push_str(&format!("let {held} = {cur}; "));
+            cap_args.push(format!("{held}.clone()"));
+        }
+        args.extend(cap_args);
+        Ok(format!("{{ {pre}rt::fun(move |{x}: {gty}| {}({})) }}", sig.rust, args.join(", ")))
+    }
+
+    /// Resolves a callee's capture by name in the current scope, checking
+    /// binding *identity* (not just the name): a later `val` shadowing the
+    /// captured variable would silently change which value the lifted
+    /// function receives, so we refuse to emit that. Inside the callee's
+    /// own body (and its siblings') the capture is re-bound as a parameter
+    /// carrying the same id, so the check passes there too.
+    fn resolve_capture(&self, c: &Capture, span: Span) -> Result<String, EmitError> {
+        match self.lookup(&c.src) {
+            Some(Binding::Val { rust, ml, id }) if *id == c.binding_id => {
+                if Self::is_copy(ml.as_ref()) {
+                    Ok(rust.clone())
+                } else {
+                    Ok(format!("{rust}.clone()"))
+                }
+            }
+            _ => Err(EmitError::new(
+                format!("captured variable `{}` is shadowed or out of scope at this call", c.src),
+                Some(span),
+            )),
+        }
+    }
+
+    /// The ML type of an expression, when cheaply known (variables and
+    /// annotated binders). Used only to type pattern bindings.
+    fn expr_ml(&self, e: &sast::Expr) -> Option<MlTy> {
+        match e {
+            sast::Expr::Var(i) => match self.lookup(&i.name) {
+                Some(Binding::Val { ml, .. }) => ml.clone(),
+                _ => None,
+            },
+            sast::Expr::Anno(inner, _, _) => self.expr_ml(inner),
+            sast::Expr::App(f, _, _) => {
+                // Result type of a known function call.
+                if let sast::Expr::Var(i) = strip_app_head(f) {
+                    if let Some(Binding::Fn(sig)) = self.lookup(&i.name) {
+                        return Some(sig.ret.clone());
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    // -- application ------------------------------------------------------
+
+    fn app(&mut self, e: &sast::Expr, tail: Option<&Rc<FnSig>>) -> Result<String, EmitError> {
+        // Unravel the curried application spine.
+        let mut args: Vec<&sast::Expr> = Vec::new();
+        let mut head = e;
+        while let sast::Expr::App(f, a, _) = head {
+            args.push(a);
+            head = f;
+        }
+        args.reverse();
+        let head = strip_anno_expr(head);
+
+        if let sast::Expr::Var(i) = head {
+            let name = i.name.as_str();
+            // Constructor application.
+            if self.env.is_constructor(name) {
+                if args.len() != 1 {
+                    return Err(EmitError::new(
+                        format!("constructor `{name}` applied to {} groups", args.len()),
+                        Some(e.span()),
+                    ));
+                }
+                let payload = self.expr(args[0], None)?;
+                return Ok(format!("{}(std::rc::Rc::new({payload}))", self.con_path(name)?));
+            }
+            // Known function or local value?
+            match self.lookup(name).cloned() {
+                Some(Binding::Fn(sig)) => {
+                    if args.len() == sig.groups.len() {
+                        return self.known_call(&sig, &args, e.span(), tail);
+                    }
+                    return Err(EmitError::new(
+                        format!(
+                            "`{name}` expects {} argument group(s), got {} (partial application \
+                             is outside the emitted subset)",
+                            sig.groups.len(),
+                            args.len()
+                        ),
+                        Some(e.span()),
+                    ));
+                }
+                Some(Binding::Val { .. }) => {
+                    return self.value_call(head, &args);
+                }
+                None => {
+                    if PRIMS.contains(&name) {
+                        if args.len() != 1 {
+                            return Err(EmitError::new(
+                                format!("primitive `{name}` applied to {} groups", args.len()),
+                                Some(e.span()),
+                            ));
+                        }
+                        return self.prim_call(name, args[0], e.span());
+                    }
+                    return Err(EmitError::new(format!("unknown function `{name}`"), Some(i.span)));
+                }
+            }
+        }
+        // General head expression of function type.
+        self.value_call(head, &args)
+    }
+
+    /// Application of a first-class function value, one group at a time.
+    fn value_call(&mut self, head: &sast::Expr, args: &[&sast::Expr]) -> Result<String, EmitError> {
+        let mut cur = match head {
+            sast::Expr::Var(i) => match self.lookup(&i.name) {
+                Some(Binding::Val { rust, .. }) => format!("&{rust}"),
+                _ => format!("&{}", self.expr(head, None)?),
+            },
+            _ => format!("&{}", self.expr(head, None)?),
+        };
+        for (k, a) in args.iter().enumerate() {
+            let arg = self.expr(a, None)?;
+            let call = format!("rt::app({cur}, {arg})");
+            cur = if k + 1 == args.len() { call } else { format!("&{call}") };
+        }
+        Ok(cur)
+    }
+
+    /// Direct call of a known (emitted) function; handles the self-tail
+    /// loop rewrite.
+    fn known_call(
+        &mut self,
+        sig: &Rc<FnSig>,
+        args: &[&sast::Expr],
+        span: Span,
+        tail: Option<&Rc<FnSig>>,
+    ) -> Result<String, EmitError> {
+        // Flatten arguments group by group, preserving evaluation order.
+        let mut pre = String::new();
+        let mut flat: Vec<String> = Vec::new();
+        for (g, a) in args.iter().enumerate() {
+            let k = sig.groups[g].len();
+            let a_stripped = strip_anno_expr(a);
+            match k {
+                0 => match a_stripped {
+                    sast::Expr::Tuple(es, _) if es.is_empty() => {}
+                    other => {
+                        let s = self.expr(other, None)?;
+                        pre.push_str(&format!("let _ = {s}; "));
+                    }
+                },
+                1 => flat.push(self.expr(a_stripped, None)?),
+                _ => match a_stripped {
+                    sast::Expr::Tuple(es, _) if es.len() == k => {
+                        for x in es {
+                            flat.push(self.expr(x, None)?);
+                        }
+                    }
+                    other => {
+                        let t = self.fresh("g");
+                        let s = self.expr(other, None)?;
+                        pre.push_str(&format!("let {t} = {s}; "));
+                        for j in 0..k {
+                            flat.push(format!("{t}.{j}.clone()"));
+                        }
+                    }
+                },
+            }
+        }
+
+        // Self-tail call inside a loop-form body: rebind and continue.
+        let is_self_tail = tail.map(|t| Rc::ptr_eq(t, sig)).unwrap_or(false);
+        if is_self_tail {
+            let params = sig.flat_params();
+            debug_assert_eq!(params.len(), flat.len());
+            let mut out = "{ ".to_string();
+            out.push_str(&pre);
+            let temps: Vec<String> = (0..flat.len()).map(|k| format!("__n{k}")).collect();
+            if !flat.is_empty() {
+                out.push_str(&format!("let ({},) = ({},); ", temps.join(", "), flat.join(", ")));
+                for (p, t) in params.iter().zip(&temps) {
+                    out.push_str(&format!("{} = {t}; ", p.rust));
+                }
+            }
+            out.push_str("continue '__rec }");
+            return Ok(out);
+        }
+
+        // Ordinary call: append captures.
+        let mut call_args = flat;
+        for c in &sig.captures {
+            call_args.push(self.resolve_capture(c, span)?);
+        }
+        let call = format!("{}({})", sig.rust, call_args.join(", "));
+        if pre.is_empty() {
+            Ok(call)
+        } else {
+            Ok(format!("{{ {pre}{call} }}"))
+        }
+    }
+
+    // -- primitives -------------------------------------------------------
+
+    /// The components of a primitive's tuple argument.
+    fn prim_args(arg: &sast::Expr, n: usize, span: Span) -> Result<Vec<&sast::Expr>, EmitError> {
+        let arg = strip_anno_expr(arg);
+        if n == 1 {
+            return Ok(vec![arg]);
+        }
+        match arg {
+            sast::Expr::Tuple(es, _) if es.len() == n => Ok(es.iter().collect()),
+            _ => Err(EmitError::new(format!("primitive expects a {n}-tuple argument"), Some(span))),
+        }
+    }
+
+    /// A base-array/list argument in method position: borrows variables
+    /// instead of cloning the handle.
+    fn base_expr(&mut self, e: &sast::Expr) -> Result<String, EmitError> {
+        match strip_anno_expr(e) {
+            sast::Expr::Var(i) if !self.env.is_constructor(&i.name) => {
+                if let Some(Binding::Val { rust, .. }) = self.lookup(&i.name) {
+                    return Ok(format!("(&{rust})"));
+                }
+                Ok(format!("({})", self.expr(e, None)?))
+            }
+            _ => Ok(format!("({})", self.expr(e, None)?)),
+        }
+    }
+
+    /// The SAFETY comment for a proven site.
+    fn safety_comment(site: &SiteVerdict) -> String {
+        let goals: Vec<String> = site.goals.iter().map(|g| format!("goal #{g} proven")).collect();
+        format!("// SAFETY: {}", goals.join("; "))
+    }
+
+    /// Whether the site at `span` may use the unchecked access form.
+    fn site_unchecked(&self, span: Span) -> Option<SiteVerdict> {
+        if self.variant != Variant::UncheckedProven {
+            return None;
+        }
+        match self.sites.get(&span) {
+            Some(s) if s.proven => Some((*s).clone()),
+            _ => None,
+        }
+    }
+
+    fn prim_call(&mut self, name: &str, arg: &sast::Expr, span: Span) -> Result<String, EmitError> {
+        match name {
+            "+" | "-" | "*" | "div" | "mod" | "imin" | "imax" => {
+                let es = Self::prim_args(arg, 2, span)?;
+                let a = self.expr(es[0], None)?;
+                let b = self.expr(es[1], None)?;
+                let f = match name {
+                    "+" => "rt::add",
+                    "-" => "rt::subi",
+                    "*" => "rt::mul",
+                    "div" => "rt::fdiv",
+                    "mod" => "rt::fmod",
+                    "imin" => "rt::imin",
+                    _ => "rt::imax",
+                };
+                Ok(format!("{f}({a}, {b})"))
+            }
+            "=" | "<>" | "<" | "<=" | ">" | ">=" => {
+                let es = Self::prim_args(arg, 2, span)?;
+                let a = self.expr(es[0], None)?;
+                let b = self.expr(es[1], None)?;
+                let op = match name {
+                    "=" => "==",
+                    "<>" => "!=",
+                    other => other,
+                };
+                Ok(format!("({a} {op} {b})"))
+            }
+            "neg" | "iabs" => {
+                let es = Self::prim_args(arg, 1, span)?;
+                let a = self.expr(es[0], None)?;
+                let f = if name == "neg" { "rt::neg" } else { "rt::iabs" };
+                Ok(format!("{f}({a})"))
+            }
+            "not" => {
+                let es = Self::prim_args(arg, 1, span)?;
+                let a = self.expr(es[0], None)?;
+                Ok(format!("(!{a})"))
+            }
+            "print_int" => {
+                let es = Self::prim_args(arg, 1, span)?;
+                let a = self.expr(es[0], None)?;
+                Ok(format!("rt::print_int({a})"))
+            }
+            "length" => {
+                let es = Self::prim_args(arg, 1, span)?;
+                let b = self.base_expr(es[0])?;
+                Ok(format!("{b}.len()"))
+            }
+            "llength" => {
+                let es = Self::prim_args(arg, 1, span)?;
+                let b = self.base_expr(es[0])?;
+                Ok(format!("{b}.llength()"))
+            }
+            "array" => {
+                let es = Self::prim_args(arg, 2, span)?;
+                let n = self.expr(es[0], None)?;
+                let x = self.expr(es[1], None)?;
+                Ok(format!("rt::Arr::new({n}, {x})"))
+            }
+            "sub" | "subCK" | "nth" | "nthCK" => {
+                let es = Self::prim_args(arg, 2, span)?;
+                // Hoist base then index, in source evaluation order.
+                let b = self.base_expr(es[0])?;
+                let i = self.expr(es[1], None)?;
+                let bt = self.fresh("b");
+                let it = self.fresh("i");
+                let is_list = name.starts_with("nth");
+                let site = if name.ends_with("CK") { None } else { self.site_unchecked(span) };
+                let access = match site {
+                    Some(s) => {
+                        self.stats.unchecked_sites += 1;
+                        let safety = Self::safety_comment(&s);
+                        let m = if is_list { "nth_un" } else { "get_un" };
+                        format!("{safety}\n      unsafe {{ {bt}.{m}({it}) }}")
+                    }
+                    None => {
+                        if !name.ends_with("CK") {
+                            self.stats.checked_sites += 1;
+                        }
+                        let m = if is_list { "nth_ck" } else { "get_ck" };
+                        format!("{bt}.{m}({it})")
+                    }
+                };
+                Ok(format!("{{ let {bt} = {b}; let {it} = {i};\n      {access} }}"))
+            }
+            "update" | "updateCK" => {
+                let es = Self::prim_args(arg, 3, span)?;
+                let b = self.base_expr(es[0])?;
+                let i = self.expr(es[1], None)?;
+                let x = self.expr(es[2], None)?;
+                let bt = self.fresh("b");
+                let it = self.fresh("i");
+                let xt = self.fresh("v");
+                let site = if name.ends_with("CK") { None } else { self.site_unchecked(span) };
+                let access = match site {
+                    Some(s) => {
+                        self.stats.unchecked_sites += 1;
+                        let safety = Self::safety_comment(&s);
+                        format!("{safety}\n      unsafe {{ {bt}.set_un({it}, {xt}) }}")
+                    }
+                    None => {
+                        if !name.ends_with("CK") {
+                            self.stats.checked_sites += 1;
+                        }
+                        format!("{bt}.set_ck({it}, {xt})")
+                    }
+                };
+                Ok(format!("{{ let {bt} = {b}; let {it} = {i}; let {xt} = {x};\n      {access} }}"))
+            }
+            other => Err(EmitError::new(format!("unsupported primitive `{other}`"), Some(span))),
+        }
+    }
+}
+
+// -- helpers ---------------------------------------------------------------
+
+/// Splits an ML arrow type into `n` curried argument groups plus result.
+fn arrow_groups(ty: &MlTy, n: usize, span: Span) -> Result<(Vec<MlTy>, MlTy), EmitError> {
+    let mut groups = Vec::new();
+    let mut cur = ty.clone();
+    for _ in 0..n {
+        match cur {
+            MlTy::Arrow(a, b) => {
+                groups.push(*a);
+                cur = *b;
+            }
+            _ => {
+                return Err(EmitError::new(
+                    "inferred type has fewer arrows than parameter groups",
+                    Some(span),
+                ))
+            }
+        }
+    }
+    Ok((groups, cur))
+}
+
+fn strip_anno(p: &sast::Pat) -> &sast::Pat {
+    match p {
+        sast::Pat::Anno(inner, _, _) => strip_anno(inner),
+        other => other,
+    }
+}
+
+fn strip_anno_expr(e: &sast::Expr) -> &sast::Expr {
+    match e {
+        sast::Expr::Anno(inner, _, _) => strip_anno_expr(inner),
+        other => other,
+    }
+}
+
+fn strip_app_head(e: &sast::Expr) -> &sast::Expr {
+    match e {
+        sast::Expr::App(f, _, _) => strip_app_head(f),
+        sast::Expr::Anno(inner, _, _) => strip_app_head(inner),
+        other => other,
+    }
+}
+
+/// Is this parameter pattern simple enough for direct named binding?
+fn simple_group_pat(p: &sast::Pat) -> bool {
+    match strip_anno(p) {
+        sast::Pat::Var(_) | sast::Pat::Wild(_) => true,
+        sast::Pat::Tuple(ps, _) => {
+            ps.iter().all(|q| matches!(strip_anno(q), sast::Pat::Var(_) | sast::Pat::Wild(_)))
+        }
+        _ => false,
+    }
+}
+
+/// Does `body` contain a direct self-tail-call of `name`?
+fn scan_self_tail(body: &sast::Expr, name: &str) -> bool {
+    match body {
+        sast::Expr::App(_, _, _) => {
+            matches!(strip_app_head(body), sast::Expr::Var(i) if i.name == name)
+        }
+        sast::Expr::If(_, t, f, _) => scan_self_tail(t, name) || scan_self_tail(f, name),
+        sast::Expr::Case(_, arms, _) => arms.iter().any(|(_, e)| scan_self_tail(e, name)),
+        sast::Expr::Let(decls, e, _) => {
+            // A redefinition of `name` in the let shadows the function.
+            let shadowed = decls.iter().any(|d| match d {
+                sast::Decl::Fun(fs) => fs.iter().any(|f| f.name.name == name),
+                sast::Decl::Val(v) => v.pat.bound_vars().iter().any(|i| i.name == name),
+                _ => false,
+            });
+            !shadowed && scan_self_tail(e, name)
+        }
+        sast::Expr::Seq(es, _) => es.last().map(|e| scan_self_tail(e, name)).unwrap_or(false),
+        sast::Expr::Anno(e, _, _) => scan_self_tail(e, name),
+        _ => false,
+    }
+}
+
+/// Collects free identifiers of `e` (value positions) into `out`, skipping
+/// those in `bound`.
+fn free_idents(e: &sast::Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match e {
+        sast::Expr::Var(i) => {
+            if !bound.iter().any(|b| b == &i.name) {
+                out.insert(i.name.clone());
+            }
+        }
+        sast::Expr::Int(_, _) | sast::Expr::Bool(_, _) => {}
+        sast::Expr::App(f, a, _) => {
+            free_idents(f, bound, out);
+            free_idents(a, bound, out);
+        }
+        sast::Expr::Tuple(es, _) | sast::Expr::Seq(es, _) => {
+            for x in es {
+                free_idents(x, bound, out);
+            }
+        }
+        sast::Expr::If(c, t, f, _) => {
+            free_idents(c, bound, out);
+            free_idents(t, bound, out);
+            free_idents(f, bound, out);
+        }
+        sast::Expr::Andalso(a, b, _) | sast::Expr::Orelse(a, b, _) => {
+            free_idents(a, bound, out);
+            free_idents(b, bound, out);
+        }
+        sast::Expr::Anno(x, _, _) => free_idents(x, bound, out),
+        sast::Expr::Case(scrut, arms, _) => {
+            free_idents(scrut, bound, out);
+            for (p, body) in arms {
+                let mark = bound.len();
+                for v in p.bound_vars() {
+                    bound.push(v.name.clone());
+                }
+                free_idents(body, bound, out);
+                bound.truncate(mark);
+            }
+        }
+        sast::Expr::Fn(arms, _) => {
+            for (p, body) in arms {
+                let mark = bound.len();
+                for v in p.bound_vars() {
+                    bound.push(v.name.clone());
+                }
+                free_idents(body, bound, out);
+                bound.truncate(mark);
+            }
+        }
+        sast::Expr::Let(decls, body, _) => {
+            let mark = bound.len();
+            for d in decls {
+                match d {
+                    sast::Decl::Val(v) => {
+                        free_idents(&v.expr, bound, out);
+                        for i in v.pat.bound_vars() {
+                            bound.push(i.name.clone());
+                        }
+                    }
+                    sast::Decl::Fun(fs) => {
+                        for f in fs {
+                            bound.push(f.name.name.clone());
+                        }
+                        for f in fs {
+                            for c in &f.clauses {
+                                let m2 = bound.len();
+                                for p in &c.params {
+                                    for i in p.bound_vars() {
+                                        bound.push(i.name.clone());
+                                    }
+                                }
+                                free_idents(&c.body, bound, out);
+                                bound.truncate(m2);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            free_idents(body, bound, out);
+            bound.truncate(mark);
+        }
+        sast::Expr::Raise(_, _) => {}
+        sast::Expr::Handle(x, arms, _) => {
+            free_idents(x, bound, out);
+            for (_, body) in arms {
+                free_idents(body, bound, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,719 @@
+//! Benchmark driver synthesis: a `fn main()` derived from the entry
+//! function's dependent annotation.
+//!
+//! The entry point is the **last** top-level `fun` declaration. Its
+//! annotation's Π-quantifiers tell the driver which index variables are
+//! array/list *lengths* (they index an `array(n)`/`list(n)` in the domain)
+//! and which are *scalars* (they index an `int(k)` or are plain `int`
+//! arguments). Lengths come from `argv[1]` (`size`, clamped to literal
+//! lower bounds from the guards; list lengths additionally capped at 4096
+//! so recursive `Drop` cannot overflow the stack). Scalars are redrawn
+//! every iteration from guard-derived intervals and re-checked against the
+//! full guard conjunction, so the driver never feeds the program an input
+//! its type forbids.
+//!
+//! Everything is deterministic: one xorshift RNG seeded from `argv[3]`
+//! drives all draws, so the checked and proven-unchecked variants see
+//! byte-identical inputs and must produce byte-identical stdout — that is
+//! the differential test.
+//!
+//! `argv`: `[size] [iters] [seed]`, defaulting to `1000 3 0xDA7A5EED`.
+//! Timing goes to **stderr** (`time_ns <n>`), results and FNV-hashed
+//! array summaries to **stdout**.
+
+use crate::codegen::FnSig;
+use crate::names::mangle;
+use dml_syntax::ast as sast;
+use dml_types::env::Env;
+use dml_types::ml::MlTy;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Outcome of driver synthesis.
+pub(crate) struct Driver {
+    /// The full `fn main() { ... }` text.
+    pub main_rs: String,
+    /// `None` when a real driver was produced; otherwise why only a
+    /// build-only fallback could be emitted.
+    pub fallback_reason: Option<String>,
+}
+
+/// A build-only `main` for programs outside the driver subset.
+fn fallback(reason: &str) -> Driver {
+    let reason_lit = reason.replace('\\', "\\\\").replace('"', "\\\"");
+    Driver {
+        main_rs: format!("fn main() {{\n    println!(\"no driver: {reason_lit}\");\n}}\n"),
+        fallback_reason: Some(reason.to_string()),
+    }
+}
+
+/// How one quantified index variable is used by the entry's domain.
+#[derive(Debug, Clone)]
+struct IndexVar {
+    rust: String,
+    /// Indexes an `array(v)`/`list(v)` somewhere in the domain.
+    is_length: bool,
+    /// Indexes a `list(v)` (forces the 4096 cap).
+    is_list_len: bool,
+    /// Literal lower bound from sort + guards (`nat` gives 0).
+    lo: i64,
+    /// Literal exclusive upper bound, if any.
+    hi_lit: Option<i64>,
+}
+
+pub(crate) fn synth_main(
+    prog: &sast::Program,
+    env: &Env,
+    top_fns: &[(String, Rc<FnSig>)],
+) -> Driver {
+    // Entry: last top-level fun declaration.
+    let Some(entry_fd) = prog.decls.iter().rev().find_map(|d| match d {
+        sast::Decl::Fun(group) => group.last(),
+        _ => None,
+    }) else {
+        return fallback("program has no top-level fun declaration");
+    };
+    let Some((_, sig)) = top_fns.iter().rev().find(|(n, _)| *n == entry_fd.name.name) else {
+        return fallback("entry function was not emitted");
+    };
+    let Some(anno) = &entry_fd.anno else {
+        return fallback("entry function has no dependent annotation");
+    };
+
+    // Peel quantifiers: explicit index params plus Pi layers.
+    let mut quants: Vec<sast::Quant> = entry_fd.index_params.clone();
+    let mut ty = anno.clone();
+    loop {
+        match ty {
+            sast::DType::Pi(qs, inner) => {
+                quants.extend(qs);
+                ty = *inner;
+            }
+            other => {
+                ty = other;
+                break;
+            }
+        }
+    }
+
+    // Peel one arrow per curried group.
+    let mut dom_dts: Vec<sast::DType> = Vec::new();
+    for _ in 0..sig.groups.len() {
+        match ty {
+            sast::DType::Arrow(d, rest) => {
+                dom_dts.push(*d);
+                ty = *rest;
+            }
+            _ => return fallback("annotation has fewer arrows than parameter groups"),
+        }
+    }
+
+    // Flatten each group's domain to per-parameter dependent types.
+    let mut flat: Vec<(MlTy, sast::DType)> = Vec::new();
+    for (g, dt) in dom_dts.into_iter().enumerate() {
+        let k = sig.groups[g].len();
+        match k {
+            0 => {}
+            1 => flat.push((sig.groups[g][0].ml.clone(), dt)),
+            _ => match dt {
+                sast::DType::Product(ds) if ds.len() == k => {
+                    for (p, d) in sig.groups[g].iter().zip(ds) {
+                        flat.push((p.ml.clone(), d));
+                    }
+                }
+                _ => return fallback("domain product does not match parameter group"),
+            },
+        }
+    }
+
+    // Classify index variables.
+    let mut vars: HashMap<String, IndexVar> = HashMap::new();
+    let mut conjuncts: Vec<sast::IProp> = Vec::new();
+    for q in &quants {
+        let mut iv = IndexVar {
+            rust: format!("__ix_{}", mangle(&q.var.name)),
+            is_length: false,
+            is_list_len: false,
+            lo: 0,
+            hi_lit: None,
+        };
+        match flatten_sort(&q.var.name, &q.sort, &mut conjuncts) {
+            Ok(lo) => iv.lo = lo,
+            Err(reason) => return fallback(&reason),
+        }
+        if let Some(g) = &q.guard {
+            collect_conjuncts(g, &mut conjuncts);
+        }
+        vars.insert(q.var.name.clone(), iv);
+    }
+    for (_, dt) in &flat {
+        mark_lengths(dt, &mut vars);
+    }
+    // Literal bounds from the guard conjunction.
+    for c in &conjuncts {
+        apply_literal_bound(c, &mut vars);
+    }
+
+    // Partition parameters into pre-loop aggregates and per-iter scalars.
+    let mut pre = String::new(); // statements before the iteration loop
+    let mut scalar_draws = String::new(); // statements inside the redraw loop
+    let mut scalar_names: Vec<String> = Vec::new();
+    let mut call_args: Vec<String> = Vec::new();
+    let mut printable_aggs: Vec<(String, String)> = Vec::new();
+    let mut agg_n = 0usize;
+    let mut b = Builder { env, vars: &vars, tmp: 0 };
+
+    // Length variables are fixed before anything else.
+    let mut var_names: Vec<&String> = vars.keys().collect();
+    var_names.sort();
+    for name in &var_names {
+        let iv = &vars[*name];
+        if iv.is_length {
+            let clamp = if iv.is_list_len { "rt::list_len_clamp" } else { "rt::len_clamp" };
+            let _ = writeln!(pre, "    let {} = {clamp}(__size, {});", iv.rust, iv.lo);
+        }
+    }
+
+    for (k, (ml, dt)) in flat.iter().enumerate() {
+        match classify(ml, dt, &vars) {
+            Class::Scalar => {
+                // Singleton int(v): the value IS the index variable.
+                if let Some(v) = singleton_var(dt) {
+                    let iv = &vars[&v];
+                    if iv.is_length {
+                        call_args.push(iv.rust.clone());
+                        continue;
+                    }
+                    let lo = iv.lo;
+                    let hi = match iv.hi_lit {
+                        Some(h) => format!("{h}"),
+                        None => format!("__size.max({})", lo + 1),
+                    };
+                    let _ = writeln!(
+                        scalar_draws,
+                        "            let {} = __rng.int_in({lo}, {hi});",
+                        iv.rust
+                    );
+                    scalar_names.push(iv.rust.clone());
+                    call_args.push(iv.rust.clone());
+                } else if let Some(lit) = singleton_lit(dt) {
+                    call_args.push(format!("{lit}i64"));
+                } else {
+                    // Plain unindexed int: a fresh draw in [0, size).
+                    let n = format!("__s{k}");
+                    let _ = writeln!(
+                        scalar_draws,
+                        "            let {n} = __rng.int_in(0, __size.max(1));"
+                    );
+                    scalar_names.push(n.clone());
+                    call_args.push(n);
+                }
+            }
+            Class::Bool => {
+                let n = format!("__s{k}");
+                let _ = writeln!(scalar_draws, "            let {n} = __rng.int_in(0, 2) == 1;");
+                scalar_names.push(n.clone());
+                call_args.push(n);
+            }
+            Class::Unit => call_args.push("()".to_string()),
+            Class::Aggregate => {
+                let name = format!("__agg{agg_n}");
+                agg_n += 1;
+                match b.build(ml, dt, &name, 1) {
+                    Ok(stmts) => pre.push_str(&stmts),
+                    Err(reason) => return fallback(&reason),
+                }
+                call_args.push(format!("{name}.clone()"));
+                if !has_arrow(ml) {
+                    printable_aggs.push((format!("arg{k}"), name));
+                }
+            }
+            Class::Unsupported(reason) => return fallback(&reason),
+        }
+    }
+
+    // Guard re-check: only meaningful when scalars are drawn.
+    let guard_rust = if scalar_names.is_empty() || conjuncts.is_empty() {
+        None
+    } else {
+        let mut parts = Vec::new();
+        for c in &conjuncts {
+            match prop_rust(c, &vars) {
+                Ok(s) => parts.push(s),
+                Err(reason) => return fallback(&reason),
+            }
+        }
+        Some(parts.join(" && "))
+    };
+
+    // Assemble main().
+    let mut m = String::new();
+    m.push_str("fn main() {\n");
+    m.push_str("    let __argv: Vec<String> = std::env::args().collect();\n");
+    m.push_str(
+        "    let __size: i64 = __argv.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);\n",
+    );
+    m.push_str(
+        "    let __iters: i64 = __argv.get(2).and_then(|s| s.parse().ok()).unwrap_or(3).max(1);\n",
+    );
+    m.push_str(
+        "    let __seed: u64 = __argv.get(3).and_then(|s| s.parse().ok()).unwrap_or(0xDA7A5EED);\n",
+    );
+    m.push_str("    let mut __rng = rt::Rng::new(__seed);\n");
+    m.push_str(&pre);
+    m.push_str("    let mut __last = None;\n");
+    m.push_str("    let __t0 = std::time::Instant::now();\n");
+    m.push_str("    for __it in 0..__iters {\n");
+    m.push_str("        let _ = __it;\n");
+    if scalar_draws.is_empty() {
+        // No per-iter inputs.
+    } else if let Some(g) = &guard_rust {
+        m.push_str(&format!(
+            "        let ({names},) = {{\n            let mut __attempt = 0i64;\n            loop {{\n{draws}                if ({g}) || __attempt >= 64 {{ break ({names},); }}\n                __attempt += 1;\n            }}\n        }};\n",
+            names = scalar_names.join(", "),
+            draws = indent(&scalar_draws, "        "),
+        ));
+    } else {
+        m.push_str(&indent(&scalar_draws, "        "));
+    }
+    m.push_str(&format!("        __last = Some({}({}));\n", sig.rust, call_args.join(", ")));
+    m.push_str("    }\n");
+    m.push_str("    let __dt = __t0.elapsed().as_nanos();\n");
+    m.push_str("    eprintln!(\"time_ns {}\", __dt);\n");
+    m.push_str("    println!(\"result {:?}\", __last.unwrap());\n");
+    for (label, name) in &printable_aggs {
+        m.push_str(&format!("    println!(\"{label} {{:?}}\", {name});\n"));
+    }
+    m.push_str("}\n");
+
+    Driver { main_rs: m, fallback_reason: None }
+}
+
+// -- classification --------------------------------------------------------
+
+enum Class {
+    Scalar,
+    Bool,
+    Unit,
+    Aggregate,
+    Unsupported(String),
+}
+
+fn classify(ml: &MlTy, dt: &sast::DType, _vars: &HashMap<String, IndexVar>) -> Class {
+    match ml {
+        MlTy::Con(n, args) if n == "int" && args.is_empty() => Class::Scalar,
+        MlTy::Con(n, args) if n == "bool" && args.is_empty() => {
+            if matches!(dt, sast::DType::App { ix_args, .. } if !ix_args.is_empty()) {
+                Class::Unsupported("singleton bool parameters unsupported".into())
+            } else {
+                Class::Bool
+            }
+        }
+        MlTy::Con(n, args) if n == "unit" && args.is_empty() => Class::Unit,
+        MlTy::Con(n, _) if n == "array" || n == "list" => Class::Aggregate,
+        MlTy::Arrow(_, _) => Class::Aggregate,
+        MlTy::Tuple(_) => Class::Aggregate,
+        MlTy::Rigid(_) | MlTy::UVar(_) => Class::Scalar,
+        MlTy::Con(n, _) => Class::Unsupported(format!("parameter of type `{n}` unsupported")),
+    }
+}
+
+fn singleton_var(dt: &sast::DType) -> Option<String> {
+    match dt {
+        sast::DType::App { name, ix_args, .. } if name.name == "int" && ix_args.len() == 1 => {
+            match &ix_args[0] {
+                sast::Index::Int(sast::IExpr::Var(v)) => Some(v.name.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn singleton_lit(dt: &sast::DType) -> Option<i64> {
+    match dt {
+        sast::DType::App { name, ix_args, .. } if name.name == "int" && ix_args.len() == 1 => {
+            match &ix_args[0] {
+                sast::Index::Int(sast::IExpr::Lit(n, _)) => Some(*n),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Marks variables used as `array(v)` / `list(v)` lengths, recursing into
+/// type arguments and products.
+fn mark_lengths(dt: &sast::DType, vars: &mut HashMap<String, IndexVar>) {
+    match dt {
+        sast::DType::App { name, ty_args, ix_args } => {
+            let fam = name.name.as_str();
+            if (fam == "array" || fam == "list") && ix_args.len() == 1 {
+                if let sast::Index::Int(sast::IExpr::Var(v)) = &ix_args[0] {
+                    if let Some(iv) = vars.get_mut(&v.name) {
+                        iv.is_length = true;
+                        if fam == "list" {
+                            iv.is_list_len = true;
+                        }
+                    }
+                }
+            }
+            for t in ty_args {
+                mark_lengths(t, vars);
+            }
+        }
+        sast::DType::Product(ds) => {
+            for d in ds {
+                mark_lengths(d, vars);
+            }
+        }
+        sast::DType::Arrow(a, b) => {
+            mark_lengths(a, vars);
+            mark_lengths(b, vars);
+        }
+        sast::DType::Pi(_, t) | sast::DType::Sigma(_, t) => mark_lengths(t, vars),
+        sast::DType::Var(_) => {}
+    }
+}
+
+/// Flattens a sort into a literal lower bound plus extra conjuncts.
+fn flatten_sort(
+    var: &str,
+    sort: &sast::Sort,
+    conjuncts: &mut Vec<sast::IProp>,
+) -> Result<i64, String> {
+    match sort {
+        sast::Sort::Int => Ok(0), // scalars default to [0, _)
+        sast::Sort::Nat => Ok(0),
+        sast::Sort::Bool => Err("boolean index parameters unsupported".into()),
+        sast::Sort::Subset(inner, base, prop) => {
+            let lo = flatten_sort(var, base, conjuncts)?;
+            // The subset's bound variable names the quantified variable.
+            conjuncts.push(rename_prop(prop, &inner.name, var));
+            Ok(lo)
+        }
+    }
+}
+
+fn rename_prop(p: &sast::IProp, from: &str, to: &str) -> sast::IProp {
+    match p {
+        sast::IProp::Var(i) => {
+            let mut i = i.clone();
+            if i.name == from {
+                i.name = to.to_string();
+            }
+            sast::IProp::Var(i)
+        }
+        sast::IProp::Lit(b, s) => sast::IProp::Lit(*b, *s),
+        sast::IProp::Cmp(op, a, c) => sast::IProp::Cmp(
+            *op,
+            Box::new(rename_iexpr(a, from, to)),
+            Box::new(rename_iexpr(c, from, to)),
+        ),
+        sast::IProp::Not(q) => sast::IProp::Not(Box::new(rename_prop(q, from, to))),
+        sast::IProp::And(a, c) => {
+            sast::IProp::And(Box::new(rename_prop(a, from, to)), Box::new(rename_prop(c, from, to)))
+        }
+        sast::IProp::Or(a, c) => {
+            sast::IProp::Or(Box::new(rename_prop(a, from, to)), Box::new(rename_prop(c, from, to)))
+        }
+    }
+}
+
+fn rename_iexpr(e: &sast::IExpr, from: &str, to: &str) -> sast::IExpr {
+    use sast::IExpr::*;
+    let r = |x: &sast::IExpr| Box::new(rename_iexpr(x, from, to));
+    match e {
+        Var(i) => {
+            let mut i = i.clone();
+            if i.name == from {
+                i.name = to.to_string();
+            }
+            Var(i)
+        }
+        Lit(n, s) => Lit(*n, *s),
+        Add(a, b) => Add(r(a), r(b)),
+        Sub(a, b) => Sub(r(a), r(b)),
+        Mul(a, b) => Mul(r(a), r(b)),
+        Div(a, b) => Div(r(a), r(b)),
+        Mod(a, b) => Mod(r(a), r(b)),
+        Min(a, b) => Min(r(a), r(b)),
+        Max(a, b) => Max(r(a), r(b)),
+        Abs(a) => Abs(r(a)),
+        Sgn(a) => Sgn(r(a)),
+        Neg(a) => Neg(r(a)),
+    }
+}
+
+fn collect_conjuncts(p: &sast::IProp, out: &mut Vec<sast::IProp>) {
+    match p {
+        sast::IProp::And(a, b) => {
+            collect_conjuncts(a, out);
+            collect_conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Tightens literal bounds from `v op lit` / `lit op v` conjuncts.
+fn apply_literal_bound(c: &sast::IProp, vars: &mut HashMap<String, IndexVar>) {
+    use sast::CmpOp::*;
+    let sast::IProp::Cmp(op, a, b) = c else { return };
+    let (var, lit, var_on_left) = match (a.as_ref(), b.as_ref()) {
+        (sast::IExpr::Var(v), sast::IExpr::Lit(n, _)) => (v.name.clone(), *n, true),
+        (sast::IExpr::Lit(n, _), sast::IExpr::Var(v)) => (v.name.clone(), *n, false),
+        _ => return,
+    };
+    let Some(iv) = vars.get_mut(&var) else { return };
+    // Normalise to var OP lit.
+    let op = if var_on_left {
+        *op
+    } else {
+        match op {
+            Lt => Gt,
+            Le => Ge,
+            Gt => Lt,
+            Ge => Le,
+            Eq => Eq,
+            Neq => Neq,
+        }
+    };
+    match op {
+        Ge => iv.lo = iv.lo.max(lit),
+        Gt => iv.lo = iv.lo.max(lit + 1),
+        Lt => iv.hi_lit = Some(iv.hi_lit.map_or(lit, |h| h.min(lit))),
+        Le => iv.hi_lit = Some(iv.hi_lit.map_or(lit + 1, |h| h.min(lit + 1))),
+        Eq => {
+            iv.lo = iv.lo.max(lit);
+            iv.hi_lit = Some(lit + 1);
+        }
+        Neq => {}
+    }
+}
+
+// -- value synthesis -------------------------------------------------------
+
+struct Builder<'a> {
+    env: &'a Env,
+    vars: &'a HashMap<String, IndexVar>,
+    tmp: u32,
+}
+
+impl<'a> Builder<'a> {
+    fn fresh(&mut self) -> String {
+        self.tmp += 1;
+        format!("__t{}", self.tmp)
+    }
+
+    /// Emits statements that build an aggregate value named `out_name`.
+    fn build(
+        &mut self,
+        ml: &MlTy,
+        dt: &sast::DType,
+        out_name: &str,
+        depth: usize,
+    ) -> Result<String, String> {
+        let pad = "    ".repeat(depth);
+        match ml {
+            MlTy::Con(n, args) if n == "array" && args.len() == 1 => {
+                let (len, elem_dt) = self.seq_len(dt, "array")?;
+                let v = self.fresh();
+                let mut s = String::new();
+                let _ = writeln!(s, "{pad}let mut {v} = Vec::new();");
+                let _ = writeln!(s, "{pad}for _ in 0..{len} {{");
+                let inner = self.build(&args[0], &elem_dt, &format!("{v}_e"), depth + 1);
+                s.push_str(&inner?);
+                let _ = writeln!(s, "{pad}    {v}.push({v}_e);");
+                let _ = writeln!(s, "{pad}}}");
+                let _ = writeln!(s, "{pad}let {out_name} = rt::Arr::from_vec({v});");
+                Ok(s)
+            }
+            MlTy::Con(n, args) if n == "list" && args.len() == 1 => {
+                let (len, elem_dt) = self.seq_len(dt, "list")?;
+                let v = self.fresh();
+                let mut s = String::new();
+                let _ = writeln!(s, "{pad}let mut {v} = Vec::new();");
+                let _ = writeln!(s, "{pad}for _ in 0..{len} {{");
+                let inner = self.build(&args[0], &elem_dt, &format!("{v}_e"), depth + 1);
+                s.push_str(&inner?);
+                let _ = writeln!(s, "{pad}    {v}.push({v}_e);");
+                let _ = writeln!(s, "{pad}}}");
+                let _ = writeln!(s, "{pad}let {out_name} = rt::List::from_vec({v});");
+                Ok(s)
+            }
+            MlTy::Con(n, a) if n == "int" && a.is_empty() => {
+                Ok(format!("{pad}let {out_name} = __rng.int_in(0, 1000000);\n"))
+            }
+            MlTy::Rigid(_) | MlTy::UVar(_) => {
+                Ok(format!("{pad}let {out_name} = __rng.int_in(0, 1000000);\n"))
+            }
+            MlTy::Con(n, a) if n == "bool" && a.is_empty() => {
+                Ok(format!("{pad}let {out_name} = __rng.int_in(0, 2) == 1;\n"))
+            }
+            MlTy::Con(n, a) if n == "unit" && a.is_empty() => {
+                Ok(format!("{pad}let {out_name} = ();\n"))
+            }
+            MlTy::Tuple(ts) => {
+                let comps = match dt {
+                    sast::DType::Product(ds) if ds.len() == ts.len() => ds.clone(),
+                    _ => return Err("tuple parameter without matching product type".into()),
+                };
+                let mut s = String::new();
+                let mut names = Vec::new();
+                for (k, (t, d)) in ts.iter().zip(&comps).enumerate() {
+                    let n = format!("{out_name}_{k}");
+                    s.push_str(&self.build(t, d, &n, depth)?);
+                    names.push(n);
+                }
+                let _ = writeln!(s, "{pad}let {out_name} = ({},);", names.join(", "));
+                Ok(s)
+            }
+            MlTy::Arrow(_, _) => {
+                let f = self.fun_value(ml)?;
+                Ok(format!("{pad}let {out_name} = {f};\n"))
+            }
+            MlTy::Con(n, _) => Err(format!("cannot synthesise a value of type `{n}`")),
+        }
+    }
+
+    /// The length expression and element dependent type of a sequence type.
+    fn seq_len(&self, dt: &sast::DType, fam: &str) -> Result<(String, sast::DType), String> {
+        let sast::DType::App { name, ty_args, ix_args } = dt else {
+            return Err(format!("{fam} parameter without {fam} dependent type"));
+        };
+        if name.name != fam || ty_args.len() != 1 {
+            return Err(format!("{fam} parameter with mismatched dependent type"));
+        }
+        let len = match ix_args.as_slice() {
+            [sast::Index::Int(sast::IExpr::Var(v))] => match self.vars.get(&v.name) {
+                Some(iv) => iv.rust.clone(),
+                None => return Err(format!("unknown length variable `{}`", v.name)),
+            },
+            [sast::Index::Int(sast::IExpr::Lit(n, _))] => format!("{n}"),
+            _ => return Err(format!("{fam} length is not a variable or literal")),
+        };
+        Ok((len, ty_args[0].clone()))
+    }
+
+    /// A deterministic function value for a function-typed parameter.
+    fn fun_value(&self, ml: &MlTy) -> Result<String, String> {
+        let MlTy::Arrow(dom, cod) = ml else { return Err("not a function type".into()) };
+        let is_int = |t: &MlTy| {
+            matches!(t, MlTy::Con(n, a) if n == "int" && a.is_empty())
+                || matches!(t, MlTy::Rigid(_) | MlTy::UVar(_))
+        };
+        let is_bool = |t: &MlTy| matches!(t, MlTy::Con(n, a) if n == "bool" && a.is_empty());
+        let int_pair =
+            matches!(dom.as_ref(), MlTy::Tuple(ts) if ts.len() == 2 && ts.iter().all(&is_int));
+        if int_pair && is_bool(cod) {
+            return Ok("rt::fun(|__p: (i64, i64, )| __p.0 <= __p.1)".to_string());
+        }
+        if is_int(dom) && is_bool(cod) {
+            return Ok("rt::fun(|__p: i64| rt::fmod(__p, 2) == 0)".to_string());
+        }
+        // (int * int) -> order, or any 3-way nullary enum in decl order.
+        if int_pair {
+            if let MlTy::Con(n, _) = cod.as_ref() {
+                let paths: Option<Vec<String>> = if n == "order" {
+                    Some(vec![
+                        "rt::order::LESS".into(),
+                        "rt::order::EQUAL".into(),
+                        "rt::order::GREATER".into(),
+                    ])
+                } else {
+                    self.env.datatypes.get(n).and_then(|info| {
+                        if info.cons.len() == 3
+                            && info
+                                .cons
+                                .iter()
+                                .all(|c| self.env.cons.get(c).is_some_and(|ci| ci.arg.is_none()))
+                        {
+                            Some(
+                                info.cons
+                                    .iter()
+                                    .map(|c| format!("{}::{}", mangle(n), mangle(c)))
+                                    .collect(),
+                            )
+                        } else {
+                            None
+                        }
+                    })
+                };
+                if let Some(p) = paths {
+                    return Ok(format!(
+                        "rt::fun(|__p: (i64, i64, )| if __p.0 < __p.1 {{ {} }} else if __p.0 == __p.1 {{ {} }} else {{ {} }})",
+                        p[0], p[1], p[2]
+                    ));
+                }
+            }
+        }
+        Err("function-typed parameter with unsupported shape".into())
+    }
+}
+
+fn has_arrow(ml: &MlTy) -> bool {
+    match ml {
+        MlTy::Arrow(_, _) => true,
+        MlTy::Con(_, args) => args.iter().any(has_arrow),
+        MlTy::Tuple(ts) => ts.iter().any(has_arrow),
+        MlTy::Rigid(_) | MlTy::UVar(_) => false,
+    }
+}
+
+// -- guard translation -----------------------------------------------------
+
+fn prop_rust(p: &sast::IProp, vars: &HashMap<String, IndexVar>) -> Result<String, String> {
+    Ok(match p {
+        sast::IProp::Var(i) => return Err(format!("boolean index variable `{}` in guard", i.name)),
+        sast::IProp::Lit(b, _) => format!("{b}"),
+        sast::IProp::Cmp(op, a, b) => {
+            let op_s = match op {
+                sast::CmpOp::Lt => "<",
+                sast::CmpOp::Le => "<=",
+                sast::CmpOp::Gt => ">",
+                sast::CmpOp::Ge => ">=",
+                sast::CmpOp::Eq => "==",
+                sast::CmpOp::Neq => "!=",
+            };
+            format!("({} {op_s} {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?)
+        }
+        sast::IProp::Not(q) => format!("(!{})", prop_rust(q, vars)?),
+        sast::IProp::And(a, b) => {
+            format!("({} && {})", prop_rust(a, vars)?, prop_rust(b, vars)?)
+        }
+        sast::IProp::Or(a, b) => {
+            format!("({} || {})", prop_rust(a, vars)?, prop_rust(b, vars)?)
+        }
+    })
+}
+
+fn iexpr_rust(e: &sast::IExpr, vars: &HashMap<String, IndexVar>) -> Result<String, String> {
+    use sast::IExpr::*;
+    Ok(match e {
+        Var(i) => match vars.get(&i.name) {
+            Some(iv) => iv.rust.clone(),
+            None => return Err(format!("unknown index variable `{}` in guard", i.name)),
+        },
+        Lit(n, _) => format!("{n}i64"),
+        Add(a, b) => format!("({} + {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?),
+        Sub(a, b) => format!("({} - {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?),
+        Mul(a, b) => format!("({} * {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?),
+        Div(a, b) => format!("rt::fdiv({}, {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?),
+        Mod(a, b) => format!("rt::fmod({}, {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?),
+        Min(a, b) => format!("rt::imin({}, {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?),
+        Max(a, b) => format!("rt::imax({}, {})", iexpr_rust(a, vars)?, iexpr_rust(b, vars)?),
+        Abs(a) => format!("rt::iabs({})", iexpr_rust(a, vars)?),
+        Sgn(a) => format!("({}).signum()", iexpr_rust(a, vars)?),
+        Neg(a) => format!("(-{})", iexpr_rust(a, vars)?),
+    })
+}
+
+fn indent(block: &str, extra: &str) -> String {
+    block
+        .lines()
+        .map(|l| if l.is_empty() { String::new() } else { format!("{extra}{l}") })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}

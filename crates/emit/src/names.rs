@@ -1,0 +1,78 @@
+//! Identifier mangling: DML names to Rust names.
+//!
+//! Emitted crates open with `#![allow(non_snake_case, non_camel_case_types)]`
+//! so source names survive verbatim wherever Rust's grammar permits; only
+//! reserved words and non-identifier characters are rewritten.
+
+/// Rust keywords (strict + reserved) that cannot be used as identifiers.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "become", "box", "break", "const", "continue", "crate", "do", "dyn",
+    "else", "enum", "extern", "false", "final", "fn", "for", "gen", "if", "impl", "in", "let",
+    "loop", "macro", "match", "mod", "move", "mut", "override", "priv", "pub", "ref", "return",
+    "self", "Self", "static", "struct", "super", "trait", "true", "try", "type", "typeof",
+    "unsafe", "unsized", "use", "virtual", "where", "while", "yield",
+];
+
+/// Mangles a DML value/function identifier into a valid Rust identifier.
+pub fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (k, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if k == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else if c == '\'' {
+            out.push('_');
+        } else {
+            out.push_str(&format!("_x{:x}_", c as u32));
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    if KEYWORDS.contains(&out.as_str()) {
+        out.push('_');
+    }
+    out
+}
+
+/// Mangles a DML type variable (`a` from `'a`) into a Rust generic name.
+pub fn tyvar(name: &str) -> String {
+    let base = mangle(name);
+    let mut chars = base.chars();
+    match chars.next() {
+        Some(c) => format!("{}{}", c.to_ascii_uppercase(), chars.as_str()),
+        None => "A".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_get_suffixed() {
+        assert_eq!(mangle("loop"), "loop_");
+        assert_eq!(mangle("match"), "match_");
+        assert_eq!(mangle("ref"), "ref_");
+    }
+
+    #[test]
+    fn ordinary_names_survive() {
+        assert_eq!(mangle("copy4"), "copy4");
+        assert_eq!(mangle("bsearch"), "bsearch");
+    }
+
+    #[test]
+    fn odd_characters_are_encoded() {
+        assert_eq!(mangle("a'b"), "a_b");
+        assert!(mangle("<=").starts_with("_x"));
+    }
+
+    #[test]
+    fn tyvars_are_uppercased() {
+        assert_eq!(tyvar("a"), "A");
+        assert_eq!(tyvar("key"), "Key");
+    }
+}

@@ -1,0 +1,385 @@
+//! The runtime module embedded into every emitted crate.
+//!
+//! This file is compiled twice: once here (so the workspace type-checks and
+//! tests it) and once verbatim inside each generated `src/main.rs`, where
+//! `dml-emit` pastes it into a `mod rt { ... }` block. It must therefore be
+//! dependency-free, contain no inner attributes, and use fully-qualified
+//! `std` paths in signatures.
+//!
+//! The array type mirrors the paper's cost model: `get_ck`/`set_ck` are the
+//! *checked* access forms (a hoisted bound assert followed by an in-bounds
+//! access, exactly the desugaring of SNIPPETS.md snippet 1), while
+//! `get_un`/`set_un` are the unchecked forms the emitter may only call from
+//! an `unsafe` block annotated with the Proven goal that justifies it.
+
+use std::cell::UnsafeCell;
+use std::rc::Rc;
+
+/// Bound required of every type-variable instantiation in emitted code.
+pub trait Val: Clone + std::fmt::Debug + 'static {}
+impl<T: Clone + std::fmt::Debug + 'static> Val for T {}
+
+/// A first-class DML function value.
+pub type Fun<A, B> = Rc<dyn Fn(A) -> B>;
+
+/// Wraps a closure as a function value.
+pub fn fun<A, B>(f: impl Fn(A) -> B + 'static) -> Fun<A, B> {
+    Rc::new(f)
+}
+
+/// Applies a function value (DML application `f e`).
+pub fn app<A, B>(f: &Fun<A, B>, a: A) -> B {
+    (**f)(a)
+}
+
+/// The prelude's `order` datatype.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(non_camel_case_types)]
+pub enum order {
+    LESS,
+    EQUAL,
+    GREATER,
+}
+
+/// The prelude's `'a list` datatype. Constructor names match the DML
+/// prelude so emitted pattern matches read like the source.
+#[allow(non_camel_case_types)]
+pub enum List<T> {
+    nil,
+    cons(Rc<(T, List<T>)>),
+}
+
+impl<T> Clone for List<T> {
+    fn clone(&self) -> List<T> {
+        match self {
+            List::nil => List::nil,
+            List::cons(rc) => List::cons(Rc::clone(rc)),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for List<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Iterative, so deep lists do not recurse the formatter.
+        write!(f, "[")?;
+        let mut cur = self;
+        let mut first = true;
+        while let List::cons(rc) = cur {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{:?}", rc.0)?;
+            cur = &rc.1;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Clone> List<T> {
+    /// Builds a list from a vector, first element at the head.
+    pub fn from_vec(v: Vec<T>) -> List<T> {
+        let mut l = List::nil;
+        for x in v.into_iter().rev() {
+            l = List::cons(Rc::new((x, l)));
+        }
+        l
+    }
+
+    /// The prelude's `llength`.
+    pub fn llength(&self) -> i64 {
+        let mut n = 0i64;
+        let mut cur = self;
+        while let List::cons(rc) = cur {
+            n += 1;
+            cur = &rc.1;
+        }
+        n
+    }
+
+    /// Checked `nth`: the hoisted tag-check form. Panics like SML's
+    /// `Subscript` when the index runs past the end of the list.
+    pub fn nth_ck(&self, i: i64) -> T {
+        assert!(i >= 0, "Subscript: negative list index {i}");
+        let mut cur = self;
+        let mut k = i;
+        loop {
+            match cur {
+                List::nil => panic!("Subscript: list index {i} past end"),
+                List::cons(rc) => {
+                    if k == 0 {
+                        return rc.0.clone();
+                    }
+                    k -= 1;
+                    cur = &rc.1;
+                }
+            }
+        }
+    }
+
+    /// Unchecked `nth`: the `nil` tag check is compiled away.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a Proven verdict for `0 <= i < llength(self)`;
+    /// the `nil` arm is then unreachable.
+    pub unsafe fn nth_un(&self, i: i64) -> T {
+        let mut cur = self;
+        let mut k = i;
+        loop {
+            match cur {
+                // SAFETY: the solver proved i < llength(self), so the walk
+                // hits `cons` at every step (the eliminated tag check).
+                List::nil => unsafe { std::hint::unreachable_unchecked() },
+                List::cons(rc) => {
+                    if k == 0 {
+                        return rc.0.clone();
+                    }
+                    k -= 1;
+                    cur = &rc.1;
+                }
+            }
+        }
+    }
+}
+
+/// Turns an `i64` index into a `usize` after the bound check — the hoisted
+/// assert of the snippet-1 desugaring, shared by every checked access.
+#[inline(always)]
+pub fn ck(i: i64, n: usize) -> usize {
+    assert!(i >= 0 && (i as usize) < n, "Subscript: index {i} out of bounds for length {n}");
+    i as usize
+}
+
+/// A DML array: fixed length, mutable cells, O(1) handle clone.
+///
+/// `UnsafeCell` rather than `RefCell` keeps checked accesses down to one
+/// bound test (no borrow-flag traffic), so the checked-vs-unchecked delta
+/// measured by `BENCH_native.json` isolates the paper's claim. All emitted
+/// code is single-threaded and every internal reference is statement-local,
+/// which keeps the cell discipline sound (and Miri-clean).
+pub struct Arr<T> {
+    cells: Rc<UnsafeCell<Vec<T>>>,
+}
+
+impl<T> Clone for Arr<T> {
+    fn clone(&self) -> Arr<T> {
+        Arr { cells: Rc::clone(&self.cells) }
+    }
+}
+
+impl<T: Clone> Arr<T> {
+    /// The prelude's `array(n, x)`.
+    pub fn new(n: i64, x: T) -> Arr<T> {
+        assert!(n >= 0, "Size: negative array length {n}");
+        Arr::from_vec(vec![x; n as usize])
+    }
+
+    /// Wraps an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Arr<T> {
+        Arr { cells: Rc::new(UnsafeCell::new(v)) }
+    }
+
+    /// The prelude's `length`. Array lengths are fixed at creation.
+    #[inline(always)]
+    pub fn len(&self) -> i64 {
+        // SAFETY: statement-local shared read of the cell.
+        unsafe { (*self.cells.get()).len() as i64 }
+    }
+
+    /// `true` when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checked read: hoisted assert, then an in-bounds read.
+    #[inline(always)]
+    pub fn get_ck(&self, i: i64) -> T {
+        // SAFETY: `ck` just established `u < len`.
+        unsafe {
+            let v = self.cells.get();
+            let u = ck(i, (*v).len());
+            (&*v).get_unchecked(u).clone()
+        }
+    }
+
+    /// Unchecked read.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a Proven verdict for `0 <= i < self.len()`.
+    #[inline(always)]
+    pub unsafe fn get_un(&self, i: i64) -> T {
+        // SAFETY: contract above; the emitter records the goal number at
+        // the call site.
+        unsafe { (&*self.cells.get()).get_unchecked(i as usize).clone() }
+    }
+
+    /// Checked write: hoisted assert, then an in-bounds write.
+    #[inline(always)]
+    pub fn set_ck(&self, i: i64, x: T) {
+        // SAFETY: `ck` just established `u < len`.
+        unsafe {
+            let v = self.cells.get();
+            let u = ck(i, (*v).len());
+            *(&mut *v).get_unchecked_mut(u) = x;
+        }
+    }
+
+    /// Unchecked write.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a Proven verdict for `0 <= i < self.len()`.
+    #[inline(always)]
+    pub unsafe fn set_un(&self, i: i64, x: T) {
+        // SAFETY: contract above; the emitter records the goal number at
+        // the call site.
+        unsafe {
+            *(&mut *self.cells.get()).get_unchecked_mut(i as usize) = x;
+        }
+    }
+
+    /// Copies the contents out (drivers use this for output hashing).
+    pub fn snapshot(&self) -> Vec<T> {
+        // SAFETY: statement-local shared read of the cell.
+        unsafe { (*self.cells.get()).clone() }
+    }
+}
+
+impl<T: Clone + std::fmt::Debug> std::fmt::Debug for Arr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Arrays print as a length plus an FNV-1a hash of their elements'
+        // debug forms: stable across variants, cheap for huge arrays.
+        let mut h = 0xcbf29ce484222325u64;
+        for x in self.snapshot() {
+            let s = format!("{x:?};");
+            for b in s.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        write!(f, "Arr(len={}, fnv=0x{h:016x})", self.len())
+    }
+}
+
+/// The prelude's `print_int`.
+pub fn print_int(n: i64) {
+    println!("{n}");
+}
+
+/// Raised when no `case` arm matches (SML's `Match`).
+pub fn match_fail<T>() -> T {
+    panic!("Match: no clause applied")
+}
+
+/// Wrapping add, matching the interpreter's arithmetic.
+#[inline(always)]
+pub fn add(a: i64, b: i64) -> i64 {
+    a.wrapping_add(b)
+}
+
+/// Wrapping subtract.
+#[inline(always)]
+pub fn subi(a: i64, b: i64) -> i64 {
+    a.wrapping_sub(b)
+}
+
+/// Wrapping multiply.
+#[inline(always)]
+pub fn mul(a: i64, b: i64) -> i64 {
+    a.wrapping_mul(b)
+}
+
+/// Wrapping negate (the prelude's `neg`).
+#[inline(always)]
+pub fn neg(a: i64) -> i64 {
+    a.wrapping_neg()
+}
+
+/// The prelude's `iabs`.
+#[inline(always)]
+pub fn iabs(a: i64) -> i64 {
+    a.wrapping_abs()
+}
+
+/// The prelude's `imin`.
+#[inline(always)]
+pub fn imin(a: i64, b: i64) -> i64 {
+    a.min(b)
+}
+
+/// The prelude's `imax`.
+#[inline(always)]
+pub fn imax(a: i64, b: i64) -> i64 {
+    a.max(b)
+}
+
+/// SML flooring division (`div`). Panics on a zero divisor, like the
+/// interpreter; division guards are never compiled away (see docs/EMIT.md).
+#[inline(always)]
+pub fn fdiv(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "Div: division by zero");
+    let q = a.wrapping_div(b);
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// SML flooring remainder (`mod`).
+#[inline(always)]
+pub fn fmod(a: i64, b: i64) -> i64 {
+    a.wrapping_sub(fdiv(a, b).wrapping_mul(b))
+}
+
+/// Clamps a driver-chosen array length to an annotation's lower bound.
+pub fn len_clamp(size: i64, lo: i64) -> i64 {
+    size.max(lo).max(0)
+}
+
+/// Like [`len_clamp`], but caps list lengths (lists drop recursively, so
+/// drivers keep them shallow; see docs/EMIT.md).
+pub fn list_len_clamp(size: i64, lo: i64) -> i64 {
+    len_clamp(size, lo).min(4096.max(lo))
+}
+
+/// xorshift64* — the deterministic driver RNG. Identical streams in the
+/// checked and unchecked variants make the differential test byte-exact.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator (any seed is fine; zero is fixed up).
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform draw from `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next_u64() % ((hi - lo) as u64)) as i64
+    }
+}
+
+/// FNV-1a over a byte string (drivers hash program names into seeds).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

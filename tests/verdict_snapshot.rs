@@ -22,6 +22,12 @@ const SNAPSHOTS: &[(&str, usize, usize, usize, usize, bool)] = &[
     ("bsearch_bare.dml", 3, 0, 1, 1, false),
     ("dotprod_bare.dml", 3, 0, 2, 2, false),
     ("bcopy_bare.dml", 12, 0, 10, 10, false),
+    // The annotated emit-backend examples (docs/EMIT.md): fully verified,
+    // so strict mode compiles and nothing stays residual.
+    ("dotprod.dml", 9, 0, 0, 0, true),
+    ("bcopy.dml", 26, 0, 0, 0, true),
+    ("bsearch.dml", 11, 0, 0, 0, true),
+    ("aliasing_trap.dml", 18, 0, 0, 0, true),
 ];
 
 fn counts(file: &str) -> (usize, usize, usize, usize, bool) {
