@@ -7,6 +7,7 @@
 //! and reports min/mean/max wall-clock time per iteration.
 
 pub mod json;
+pub mod rss;
 
 use std::time::{Duration, Instant};
 

@@ -1,7 +1,9 @@
 //! `dmlc` — command-line driver for the dml-rs pipeline.
 //!
 //! ```text
-//! dmlc check <file.dml> [--trace-out FILE]   type-check; report checks
+//! dmlc check <files...> [--jobs N|auto] [--trace-out FILE]
+//!                              type-check; report checks (batches fan
+//!                              across one warm session)
 //! dmlc infer <file.dml> [--json]  synthesize + verify range refinements
 //! dmlc strip <file.dml>        print the source with annotations removed
 //! dmlc explain <file.dml> [--goal N]  render per-obligation proof traces
@@ -14,7 +16,7 @@
 //! dmlc serve [--socket PATH]   persistent check service (JSON protocol)
 //! dmlc stats --remote SOCKET   a running daemon's cache/request counters
 //! dmlc shutdown --remote SOCKET  flush the daemon's caches and stop it
-//! dmlc fuzz [--seed S] [--iters N] [--json]  differential solver fuzzer
+//! dmlc fuzz [--seed S] [--iters N] [--scale] [--json]  differential solver fuzzer
 //! dmlc figure4                 print the paper's Figure 4 constraints
 //! dmlc table <1|2|3> [factor] [--timings]  regenerate an evaluation table
 //! dmlc table 1 --infer         Table 1 with annotations stripped + inferred
@@ -94,7 +96,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: dmlc <check|infer|strip|explain|constraints|lint|run|eval|emit-rust|serve|stats|shutdown|fuzz|figure4|table> ...\n\
                  \n\
-                 dmlc check <file.dml> [--trace-out FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
+                 dmlc check <files...> [--jobs N|auto] [--trace-out FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc infer <file.dml> [--json] [--fuel N] [--deadline-ms N]\n\
                  dmlc strip <file.dml>\n\
                  dmlc explain <file.dml> [--goal N] [--fuel N] [--deadline-ms N]\n\
@@ -106,7 +108,7 @@ fn main() -> ExitCode {
                  dmlc serve [--socket PATH] [--disk-cache FILE] [--fuel N] [--deadline-ms N] [--strict]\n\
                  dmlc stats --remote SOCKET\n\
                  dmlc shutdown --remote SOCKET\n\
-                 dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--infer] [--repro-dir D] [--no-programs]\n\
+                 dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--infer] [--scale] [--repro-dir D] [--no-programs]\n\
                  dmlc figure4\n\
                  dmlc table <1|2|3> [factor] [--timings] [--infer]\n\
                  \n\
@@ -187,20 +189,26 @@ fn with_file(args: &[String], f: impl Fn(&str) -> ExitCode) -> ExitCode {
     }
 }
 
-/// `dmlc check <file> [--trace-out FILE]` — with `--trace-out`, compiles
-/// with tracing on and writes a Chrome trace-event file alongside the
-/// normal report (which stays byte-identical in the default mode). With
-/// `--remote SOCKET` the check runs on a `dmlc serve` daemon instead and
-/// prints the same report.
+/// `dmlc check <files...> [--jobs N|auto] [--trace-out FILE]` — with
+/// `--trace-out`, compiles with tracing on and writes a Chrome
+/// trace-event file alongside the normal report (which stays
+/// byte-identical in the default mode). With `--remote SOCKET` the check
+/// runs on a `dmlc serve` daemon instead and prints the same report.
+///
+/// With several files (a batch), every file compiles against the same
+/// warm session — canonically-equal goals dedupe across files — and the
+/// merged report prints one `== path ==` section per file in input
+/// order, byte-identical to sequential per-file runs modulo the volatile
+/// timing/cache lines. `--jobs N` fans the batch across N worker
+/// threads (`auto` = one per core); output and exit code are identical
+/// at any jobs count, only wall time changes.
 fn check_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
-    let Some(path) = args.get(1) else {
-        eprintln!("missing file argument");
-        return ExitCode::FAILURE;
-    };
     let mut trace_out: Option<String> = None;
-    let mut rest = args[2..].iter();
-    while let Some(flag) = rest.next() {
-        match flag.as_str() {
+    let mut jobs: usize = 1;
+    let mut files: Vec<String> = Vec::new();
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
             "--trace-out" => match rest.next() {
                 Some(f) => trace_out = Some(f.clone()),
                 None => {
@@ -208,12 +216,82 @@ fn check_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            other => {
-                eprintln!("unknown flag `{other}`");
+            "--jobs" => match rest.next().map(String::as_str) {
+                Some("auto") => {
+                    jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+                }
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs expects a positive number or `auto`, got `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--jobs expects a positive number or `auto`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                return ExitCode::FAILURE;
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("missing file argument");
+        return ExitCode::FAILURE;
+    }
+    if files.len() > 1 && trace_out.is_some() {
+        eprintln!("--trace-out expects a single file");
+        return ExitCode::FAILURE;
+    }
+
+    // Single file, no fan-out: the original path, byte-for-byte.
+    if files.len() == 1 && jobs == 1 {
+        return check_one(session, &files[0], trace_out.as_deref());
+    }
+
+    // Batch mode. Read everything up front so a bad path fails before
+    // any compile runs (deterministic regardless of jobs).
+    let mut entries = Vec::with_capacity(files.len());
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(source) => entries.push(dml::BatchEntry { name: path.clone(), source }),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    if let Some(socket) = &session.remote {
+        return remote_check_batch(socket, &entries);
+    }
+    let compiler = session.compiler.clone();
+    let outcome = dml::check_batch(&compiler, &entries, jobs);
+    if entries.len() == 1 {
+        // A 1-file batch (`--jobs` on a single file) keeps the
+        // single-file output shape: no section header.
+        match (&outcome.results[0].report, &outcome.results[0].error) {
+            (Some(r), _) => print!("{}", r.text),
+            (None, Some(e)) => eprintln!("{e}"),
+            (None, None) => {}
+        }
+    } else {
+        print!("{}", outcome.merged_report());
+        eprintln!("{}", outcome.summary.render());
+    }
+    flush_disk_tier(&compiler);
+    if outcome.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The original single-file `dmlc check` path (local or `--remote`).
+fn check_one(session: &SessionSetup, path: &str, trace_out: Option<&str>) -> ExitCode {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -235,7 +313,7 @@ fn check_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
     };
     match compiler.compile(&src) {
         Ok(compiled) => {
-            if let Some(out_path) = &trace_out {
+            if let Some(out_path) = trace_out {
                 let trace = dml::chrome_trace(&compiled, &src, path);
                 if let Err(e) = std::fs::write(out_path, trace.render()) {
                     eprintln!("cannot write {out_path}: {e}");
@@ -257,6 +335,47 @@ fn check_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Fans a batch over a `dmlc serve` daemon: one `check` request per file
+/// over the daemon's warm session (requests pipeline sequentially — the
+/// daemon is the shared cache; `--jobs` only parallelizes local
+/// checking). The merged output matches the local batch shape.
+#[cfg(unix)]
+fn remote_check_batch(socket: &str, entries: &[dml::BatchEntry]) -> ExitCode {
+    use dml::serve::protocol::Json;
+    let mut failed = 0usize;
+    for e in entries {
+        println!("== {} ==", e.name);
+        let params =
+            vec![("source", Json::Str(e.source.clone())), ("path", Json::Str(e.name.clone()))];
+        match remote::call(socket, "check", params) {
+            Ok(result) => {
+                let report =
+                    result.get("report").and_then(dml::serve::Value::as_str).unwrap_or_default();
+                print!("{report}");
+                if !result.get("ok").and_then(dml::serve::Value::as_bool).unwrap_or(false) {
+                    failed += 1;
+                }
+            }
+            Err(err) => {
+                println!("error: {err}");
+                failed += 1;
+            }
+        }
+    }
+    eprintln!("batch: {} file(s), {failed} failed (remote)", entries.len());
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(not(unix))]
+fn remote_check_batch(_socket: &str, _entries: &[dml::BatchEntry]) -> ExitCode {
+    eprintln!("--remote requires a Unix platform");
+    ExitCode::FAILURE
 }
 
 /// Persists newly decided verdicts when a `--disk-cache` store is
@@ -424,14 +543,18 @@ fn explain_cmd(session: &SessionSetup, args: &[String]) -> ExitCode {
 }
 
 /// `dmlc fuzz [--seed S] [--iters N] [--bound B] [--json] [--infer]
-/// [--repro-dir D] [--no-programs]` — runs the differential solver fuzzer
+/// [--scale] [--repro-dir D] [--no-programs]` — runs the differential
+/// solver fuzzer
 /// (`dml-oracle`): random goals are decided by the production solver under
 /// a configuration matrix and cross-checked against two independent
 /// reference deciders, with metamorphic and end-to-end program properties
 /// alongside. `--infer` additionally strips each corpus program, re-infers
 /// its annotations, and cross-checks every solver-proven obligation of the
-/// refined program against the exact-rational oracle. Exits FAILURE if any
-/// divergence is found; repro files land in `--repro-dir`.
+/// refined program against the exact-rational oracle. `--scale` compiles a
+/// seeded scale corpus under the workers × cache matrix, pinning the
+/// generator's stamped verdict counts; diverging cases are shrunk and
+/// written as `.dml` repros. Exits FAILURE if any divergence is found;
+/// repro files land in `--repro-dir`.
 fn fuzz(args: &[String]) -> ExitCode {
     let mut cfg = dml_oracle::FuzzConfig::default();
     let mut json = false;
@@ -468,6 +591,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             },
             "--json" => json = true,
             "--infer" => cfg.infer = true,
+            "--scale" => cfg.scale = true,
             "--no-programs" => cfg.programs = false,
             other => {
                 eprintln!("unknown flag `{other}`");

@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod experiments;
 pub mod pipeline;
 pub mod report;
@@ -47,6 +48,7 @@ pub mod serve;
 pub mod table;
 pub mod trace;
 
+pub use batch::{check_batch, BatchEntry, BatchFileResult, BatchOutcome, BatchSummary};
 pub use dml_analysis::{lint_by_code, render, Finding, Fix, InferSuggestion, Lint, LINTS};
 pub use dml_elab::{residual_checks, ObKind, Obligation, ResidualCheck};
 pub use dml_eval::{CheckConfig, Counters, Machine, Mode, Value};

@@ -62,6 +62,7 @@ use crate::oracle::{decide as oracle_decide, OracleVerdict, DEFAULT_BOUND};
 use crate::program::check_program_case;
 use crate::repro::write_goal;
 use crate::rng::OracleRng;
+use crate::scale::{gen_scale_corpus, minimize_scale_case, verify_scale_case, ScaleConfig};
 use dml_index::{Constraint, Prop, VarGen, Verdict};
 use dml_obs::json::{obj, Json};
 use dml_solver::{prove_all, Goal, Solver, SolverOptions, SolverStats};
@@ -90,6 +91,12 @@ pub struct FuzzConfig {
     pub gen: GenConfig,
     /// Batch size for the 1-vs-4-worker `prove_all` comparison.
     pub workers_batch: usize,
+    /// Also cross-check the scale-corpus generator: compile each seeded
+    /// scale case under `{workers 1, workers 4} × {cache on, cache off}`
+    /// and pin the stamped verdict counts plus stable-report equality
+    /// across the matrix. Divergent cases are shrunk with
+    /// [`crate::minimize_scale_case`] and serialized as `.dml` repros.
+    pub scale: bool,
 }
 
 impl Default for FuzzConfig {
@@ -103,6 +110,7 @@ impl Default for FuzzConfig {
             infer: false,
             gen: GenConfig::default(),
             workers_batch: 32,
+            scale: false,
         }
     }
 }
@@ -134,6 +142,11 @@ pub enum DivergenceKind {
     /// enumeration oracle refutes with a concrete countermodel — an
     /// inferred annotation led to an unsound bound-check elision.
     InferUnsound,
+    /// A scale-corpus case diverged from its stamped expectation: the
+    /// verdict counts the generator predicted did not match what the
+    /// compiler produced, or the stable report differed across the
+    /// workers × cache configuration matrix.
+    ScaleMismatch,
 }
 
 impl fmt::Display for DivergenceKind {
@@ -147,6 +160,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::MetamorphicFlip => "metamorphic-flip",
             DivergenceKind::ProgramMismatch => "program-mismatch",
             DivergenceKind::InferUnsound => "infer-unsound",
+            DivergenceKind::ScaleMismatch => "scale-mismatch",
         };
         write!(f, "{s}")
     }
@@ -201,6 +215,11 @@ pub struct FuzzReport {
     pub infer_accepted: u64,
     /// Solver-proven goals of refined programs decided by the oracle.
     pub infer_goals: u64,
+    /// Scale-corpus cases compiled under the configuration matrix (0
+    /// unless [`FuzzConfig::scale`] is on).
+    pub scale_cases: u64,
+    /// Total bound-check sites across those cases.
+    pub scale_sites: u64,
     /// All divergences, in discovery order.
     pub divergences: Vec<Divergence>,
     /// FNV-1a digest over every verdict of the run — two runs with the
@@ -238,6 +257,13 @@ impl FuzzReport {
                 "inference: {} program(s) stripped and re-inferred, {} annotation(s) accepted, \
                  {} proven goal(s) oracle-checked\n",
                 self.infer_programs, self.infer_accepted, self.infer_goals
+            ));
+        }
+        if self.scale_cases > 0 {
+            out.push_str(&format!(
+                "scale: {} corpus case(s) compiled across the workers x cache matrix, \
+                 {} check site(s) pinned\n",
+                self.scale_cases, self.scale_sites
             ));
         }
         if self.ok() {
@@ -304,6 +330,13 @@ impl FuzzReport {
                     ("programs", Json::Int(self.infer_programs as i64)),
                     ("accepted", Json::Int(self.infer_accepted as i64)),
                     ("goals", Json::Int(self.infer_goals as i64)),
+                ]),
+            ),
+            (
+                "scale",
+                obj(vec![
+                    ("cases", Json::Int(self.scale_cases as i64)),
+                    ("sites", Json::Int(self.scale_sites as i64)),
                 ]),
             ),
             ("divergences", Json::Array(divs)),
@@ -594,8 +627,109 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     if cfg.infer {
         check_infer(&mut report, cfg, &mut digest);
     }
+    if cfg.scale {
+        check_scale(&mut report, cfg, &mut digest);
+    }
     report.digest = digest.finish();
     report
+}
+
+/// Obligation target for the fuzz-mode scale corpus: large enough that
+/// every unit shape (proven/residual/mixed/nonlinear chains) appears,
+/// small enough for a nightly-CI iteration.
+const SCALE_TARGET: usize = 240;
+
+/// Cross-checks the scale-corpus generator end to end (see
+/// [`FuzzConfig::scale`]). Three properties are pinned per case:
+///
+/// 1. **Determinism** — regenerating the corpus from the same seed must
+///    reproduce every source byte-for-byte.
+/// 2. **Stamped counts** — the verdict counts the generator predicted
+///    (proven / residual / nonlinear sites) must match the compiler
+///    under every `{workers} × {cache}` configuration.
+/// 3. **Config invisibility** — the stable report body (volatile timing
+///    and cache lines stripped) must be identical across the matrix.
+///
+/// A diverging case is shrunk with [`minimize_scale_case`]: units are
+/// dropped while the *first* configuration still exhibits the failure,
+/// and the minimized `.dml` source is the repro.
+fn check_scale(report: &mut FuzzReport, cfg: &FuzzConfig, digest: &mut Fnv) {
+    let scale_cfg = ScaleConfig::new(cfg.seed, SCALE_TARGET).files(3);
+    let corpus = gen_scale_corpus(&scale_cfg);
+    let again = gen_scale_corpus(&scale_cfg);
+    for (a, b) in corpus.cases.iter().zip(again.cases.iter()) {
+        if a.source != b.source {
+            push_divergence(
+                report,
+                cfg,
+                Divergence {
+                    iter: 0,
+                    kind: DivergenceKind::ScaleMismatch,
+                    detail: format!("regenerating `{}` from seed {} differed", a.name, cfg.seed),
+                    repro: a.source.clone(),
+                    repro_path: None,
+                },
+            );
+            return;
+        }
+    }
+
+    let matrix: [(usize, bool); 4] = [(1, true), (1, false), (4, true), (4, false)];
+    for case in &corpus.cases {
+        report.scale_cases += 1;
+        report.scale_sites += case.expected.check_sites as u64;
+        let mut base: Option<String> = None;
+        for (workers, cache) in matrix {
+            let compiler = dml::Compiler::new().workers(workers).cache(cache);
+            let fail = match compiler.compile(&case.source) {
+                Err(e) => Some(format!("workers={workers} cache={cache}: compile failed: {e}")),
+                Ok(compiled) => match verify_scale_case(&compiled, &case.expected) {
+                    Err(e) => Some(format!("workers={workers} cache={cache}: {e}")),
+                    Ok(()) => {
+                        let body =
+                            dml::stable_body(&dml::check_report(&compiled, &case.source).text);
+                        match &base {
+                            None => {
+                                digest.push(&body);
+                                base = Some(body);
+                                None
+                            }
+                            Some(b) if *b != body => Some(format!(
+                                "workers={workers} cache={cache}: stable report differs \
+                                 from workers=1 cache=on"
+                            )),
+                            Some(_) => None,
+                        }
+                    }
+                },
+            };
+            if let Some(detail) = fail {
+                // Shrink against the *observed* failing configuration.
+                let shrunk = minimize_scale_case(case, |c| {
+                    let compiler = dml::Compiler::new().workers(workers).cache(cache);
+                    match compiler.compile(&c.source) {
+                        Err(_) => true,
+                        Ok(compiled) => verify_scale_case(&compiled, &c.expected).is_err(),
+                    }
+                });
+                push_divergence(
+                    report,
+                    cfg,
+                    Divergence {
+                        iter: 0,
+                        kind: DivergenceKind::ScaleMismatch,
+                        detail: format!("{}: {detail}", case.name),
+                        repro: format!(
+                            "(* scale-mismatch in {} (seed={}): {detail} *)\n{}",
+                            case.name, cfg.seed, shrunk.source
+                        ),
+                        repro_path: None,
+                    },
+                );
+                break;
+            }
+        }
+    }
 }
 
 /// Cross-checks the inference pipeline end to end: every seed benchmark
@@ -810,8 +944,10 @@ fn record(
 fn push_divergence(report: &mut FuzzReport, cfg: &FuzzConfig, mut d: Divergence) {
     if let (Some(dir), false) = (&cfg.repro_dir, d.repro.is_empty()) {
         if std::fs::create_dir_all(dir).is_ok() {
+            // Scale repros are whole DML programs, not `.goal` sequents.
+            let ext = if d.kind == DivergenceKind::ScaleMismatch { "dml" } else { "goal" };
             let path =
-                dir.join(format!("repro-seed{}-iter{}-{}.goal", report.seed, d.iter, d.kind));
+                dir.join(format!("repro-seed{}-iter{}-{}.{ext}", report.seed, d.iter, d.kind));
             if std::fs::write(&path, &d.repro).is_ok() {
                 d.repro_path = Some(path);
             }
@@ -881,6 +1017,22 @@ mod tests {
         assert!(r.ok(), "divergences:\n{}", r.render_human());
         assert!(r.infer_programs > 0);
         assert!(r.infer_goals > 0, "no proven goals reached the oracle");
+    }
+
+    #[test]
+    fn scale_cross_check_is_clean_and_deterministic() {
+        // The seeded scale corpus compiles under the whole workers x
+        // cache matrix with exactly the stamped verdict counts, and the
+        // section contributes to the determinism digest.
+        let cfg = FuzzConfig { iters: 0, programs: false, scale: true, ..FuzzConfig::default() };
+        let a = run_fuzz(&cfg);
+        let b = run_fuzz(&cfg);
+        assert!(a.ok(), "divergences:\n{}", a.render_human());
+        assert_eq!(a.digest, b.digest, "scale section must be deterministic");
+        assert!(a.scale_cases > 0);
+        assert!(a.scale_sites > 0);
+        assert!(a.render_human().contains("scale:"), "{}", a.render_human());
+        assert!(a.render_json().contains(r#""scale":{"cases":"#), "{}", a.render_json());
     }
 
     #[test]

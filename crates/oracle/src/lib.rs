@@ -39,6 +39,7 @@ pub mod program;
 pub mod rat;
 pub mod repro;
 pub mod rng;
+pub mod scale;
 
 pub use gen::{gen_goal, GenConfig};
 pub use harness::{run_fuzz, Divergence, DivergenceKind, FuzzConfig, FuzzReport};
@@ -46,3 +47,7 @@ pub use minimize::minimize;
 pub use oracle::{decide, OracleVerdict, DEFAULT_BOUND};
 pub use repro::{parse_goal, write_goal, ReproCase};
 pub use rng::OracleRng;
+pub use scale::{
+    gen_scale_corpus, minimize_scale_case, verify_scale_case, ExpectedCounts, ScaleCase,
+    ScaleConfig, ScaleCorpus, ScaleUnit,
+};
